@@ -1,0 +1,11 @@
+//! Shared experiment harness: every table and figure of `EXPERIMENTS.md`
+//! is computed by a function here, used both by the `report` binary (which
+//! prints the tables) and the Criterion benches (which time the analysis
+//! side).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,116 @@
+//! Setup constraints and minimum-cycle computation (experiment T4).
+//!
+//! In a two-phase dynamic discipline, logic launched when a phase opens
+//! its source latches must arrive at the next phase's latches before that
+//! phase **closes**. With worst-case arrival `a_p` for logic evaluated
+//! during phase `p` (measured from the phase's opening edge), the scheme
+//! is feasible iff `a_p ≤ width(p)` for both phases, and the minimum cycle
+//! keeps both phase widths at their critical arrival:
+//! `cycle_min = a_0 + a_1 + 2·gap`.
+
+use crate::scheme::TwoPhaseClock;
+
+/// Checks phase-level setup feasibility and computes minimum cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockConstraints {
+    scheme: TwoPhaseClock,
+}
+
+impl ClockConstraints {
+    /// Wraps a clock scheme for constraint queries.
+    pub fn new(scheme: TwoPhaseClock) -> Self {
+        ClockConstraints { scheme }
+    }
+
+    /// The wrapped scheme.
+    pub fn scheme(&self) -> &TwoPhaseClock {
+        &self.scheme
+    }
+
+    /// Setup slack of logic evaluated during `phase` whose worst-case
+    /// arrival (from the phase's opening edge) is `arrival` ns. Negative
+    /// means a violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase > 1`.
+    pub fn slack(&self, phase: u8, arrival: f64) -> f64 {
+        self.scheme.width(phase) - arrival
+    }
+
+    /// Whether both phases meet setup given worst-case arrivals.
+    pub fn feasible(&self, arrival_phase1: f64, arrival_phase2: f64) -> bool {
+        self.slack(0, arrival_phase1) >= 0.0 && self.slack(1, arrival_phase2) >= 0.0
+    }
+
+    /// The smallest cycle (keeping this scheme's non-overlap gap) that
+    /// accommodates the given worst-case arrivals: each phase shrinks to
+    /// exactly its critical arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either arrival is negative.
+    pub fn min_cycle(&self, arrival_phase1: f64, arrival_phase2: f64) -> f64 {
+        assert!(
+            arrival_phase1 >= 0.0 && arrival_phase2 >= 0.0,
+            "arrivals are non-negative"
+        );
+        arrival_phase1 + arrival_phase2 + 2.0 * self.scheme.gap()
+    }
+
+    /// The scheme with each phase resized to exactly fit the arrivals
+    /// (the "critical" clock of the T4 table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either arrival is non-positive.
+    pub fn critical_scheme(&self, arrival_phase1: f64, arrival_phase2: f64) -> TwoPhaseClock {
+        TwoPhaseClock::new(arrival_phase1, arrival_phase2, self.scheme.gap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constraints() -> ClockConstraints {
+        ClockConstraints::new(TwoPhaseClock::new(8.0, 6.0, 1.0))
+    }
+
+    #[test]
+    fn slack_is_width_minus_arrival() {
+        let c = constraints();
+        assert!((c.slack(0, 5.0) - 3.0).abs() < 1e-12);
+        assert!((c.slack(1, 7.0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasibility_needs_both_phases() {
+        let c = constraints();
+        assert!(c.feasible(8.0, 6.0));
+        assert!(!c.feasible(8.1, 6.0));
+        assert!(!c.feasible(8.0, 6.1));
+    }
+
+    #[test]
+    fn min_cycle_adds_gaps() {
+        let c = constraints();
+        assert!((c.min_cycle(5.0, 3.0) - 10.0).abs() < 1e-12);
+        assert_eq!(c.min_cycle(0.0, 0.0), 2.0);
+    }
+
+    #[test]
+    fn critical_scheme_fits_exactly() {
+        let c = constraints();
+        let crit = c.critical_scheme(5.0, 3.0);
+        assert!((crit.cycle() - c.min_cycle(5.0, 3.0)).abs() < 1e-12);
+        assert_eq!(crit.width(0), 5.0);
+        assert_eq!(crit.width(1), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_arrival_rejected() {
+        let _ = constraints().min_cycle(-1.0, 0.0);
+    }
+}

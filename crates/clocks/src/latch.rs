@@ -1,0 +1,152 @@
+//! Latch identification: the phase boundaries of the timing graph.
+
+use tv_flow::{Direction, DeviceRole, FlowAnalysis, NodeClass};
+use tv_netlist::{DeviceId, Netlist, NodeId};
+
+use crate::qualify::Qualification;
+
+/// A dynamic latch found in the netlist: a storage node written through a
+/// clock-qualified pass transistor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Latch {
+    /// The dynamic storage node.
+    pub storage: NodeId,
+    /// The pass transistor that samples it.
+    pub pass: DeviceId,
+    /// The clock phase that opens the pass transistor (0 = φ1, 1 = φ2).
+    pub phase: u8,
+    /// The node the data comes from (the pass device's upstream end).
+    pub data_from: NodeId,
+}
+
+/// Finds every dynamic latch: pass devices whose control is qualified to a
+/// single phase and whose downstream end is a storage (or bus/pass-fed)
+/// node. The resulting list is sorted by storage node id.
+///
+/// Nodes written by pass devices of *conflicting* phases are skipped (they
+/// surface through [`crate::qualify::conflicts`] instead).
+pub fn find_latches(
+    netlist: &Netlist,
+    flow: &FlowAnalysis,
+    qualification: &[Qualification],
+) -> Vec<Latch> {
+    let mut latches = Vec::new();
+    for dref in netlist.devices() {
+        if flow.device_role(dref.id) != DeviceRole::Pass {
+            continue;
+        }
+        let Direction::Toward(storage) = flow.direction(dref.id) else {
+            continue;
+        };
+        let gate = dref.device.gate();
+        let Qualification::Phase(phase) = qualification[gate.index()] else {
+            continue;
+        };
+        // The destination must hold state dynamically: storage proper, an
+        // interior pass node that gates logic, or a (precharged) bus.
+        let class = flow.node_class(storage);
+        let is_state = matches!(
+            class,
+            NodeClass::Storage | NodeClass::Bus | NodeClass::Precharged
+        );
+        if !is_state {
+            continue;
+        }
+        let data_from = dref.device.other_channel_end(storage);
+        latches.push(Latch {
+            storage,
+            pass: dref.id,
+            phase,
+            data_from,
+        });
+    }
+    latches.sort_by_key(|l| (l.storage, l.pass));
+    latches
+}
+
+/// Count of latches per phase `(φ1, φ2)`, for reports.
+pub fn latch_counts(latches: &[Latch]) -> (usize, usize) {
+    let p1 = latches.iter().filter(|l| l.phase == 0).count();
+    (p1, latches.len() - p1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qualify::qualify;
+    use tv_flow::{analyze, RuleSet};
+    use tv_netlist::{NetlistBuilder, Tech};
+
+    fn find(nl: &Netlist) -> Vec<Latch> {
+        let flow = analyze(nl, &RuleSet::all());
+        let q = qualify(nl);
+        find_latches(nl, &flow, &q)
+    }
+
+    #[test]
+    fn simple_latch_found_with_phase() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let phi2 = b.clock("phi2", 1);
+        let d = b.input("d");
+        let qb = b.node("qb");
+        let store = b.dynamic_latch("l", phi2, d, qb);
+        let nl = b.finish().unwrap();
+        let latches = find(&nl);
+        assert_eq!(latches.len(), 1);
+        assert_eq!(latches[0].storage, store);
+        assert_eq!(latches[0].phase, 1);
+        assert_eq!(latches[0].data_from, d);
+    }
+
+    #[test]
+    fn qualified_clock_latch_found() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let phi1 = b.clock("phi1", 0);
+        let we = b.input("we");
+        let nq = b.node("nq");
+        b.nand("g", &[we, phi1], nq);
+        let wq = b.node("wq");
+        b.inverter("i", nq, wq);
+        let d = b.input("d");
+        let qb = b.node("qb");
+        b.dynamic_latch("l", wq, d, qb);
+        let nl = b.finish().unwrap();
+        let latches = find(&nl);
+        assert_eq!(latches.len(), 1);
+        assert_eq!(latches[0].phase, 0);
+    }
+
+    #[test]
+    fn unclocked_mux_is_not_a_latch() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let sel = b.input("sel"); // plain data select, not a clock
+        let src = b.node("src");
+        b.inverter("i", a, src);
+        let m = b.node("m");
+        b.pass("p", sel, src, m);
+        let mb = b.node("mb");
+        b.inverter("im", m, mb);
+        let nl = b.finish().unwrap();
+        assert!(find(&nl).is_empty());
+    }
+
+    #[test]
+    fn master_slave_register_yields_two_latches() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let phi1 = b.clock("phi1", 0);
+        let phi2 = b.clock("phi2", 1);
+        let d = b.input("d");
+        let m = b.node("m");
+        b.dynamic_latch("master", phi1, d, m);
+        let q = b.node("q");
+        b.dynamic_latch("slave", phi2, m, q);
+        let nl = b.finish().unwrap();
+        let latches = find(&nl);
+        assert_eq!(latches.len(), 2);
+        assert_eq!(latch_counts(&latches), (1, 1));
+        // The slave's data comes from the master's restored output.
+        let slave = latches.iter().find(|l| l.phase == 1).unwrap();
+        assert_eq!(nl.node(slave.data_from).name(), "m");
+    }
+}

@@ -1,0 +1,242 @@
+//! Clock-qualification propagation.
+//!
+//! Real control logic rarely gates latches with a raw clock: it gates them
+//! with `enable ∧ φ1`, produced by a NAND/inverter pair or named directly
+//! as a "qualified clock" input. For case analysis the analyzer must know
+//! which internal nodes carry phase-1 timing, which carry phase-2, and
+//! which are unclocked. Qualification propagates through restoring gates —
+//! including *series pull-down interiors*, so a clock on the bottom leg of
+//! a NAND qualifies the gate's output — but **not** through pass
+//! transistors, whose downstream timing is set by their control, not their
+//! data.
+
+use tv_flow::{DeviceRole, FlowAnalysis};
+use tv_netlist::{Netlist, NodeId};
+use tv_netlist::NodeRole;
+
+/// The qualification state of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Qualification {
+    /// Not derived from any clock.
+    #[default]
+    Unclocked,
+    /// Carries the timing of the given phase (0 = φ1, 1 = φ2).
+    Phase(u8),
+    /// Derived from both phases — almost always a design error.
+    Conflict,
+}
+
+impl Qualification {
+    fn merge(self, other: Qualification) -> Qualification {
+        use Qualification::*;
+        match (self, other) {
+            (Unclocked, x) | (x, Unclocked) => x,
+            (Phase(a), Phase(b)) if a == b => Phase(a),
+            _ => Conflict,
+        }
+    }
+}
+
+/// Per-node qualification, computed by forward propagation from the clock
+/// nodes until fixpoint.
+///
+/// A node merges (a) the qualification of every node gating a device on
+/// its channel, and (b) — through pull-down devices only — the
+/// qualification of the channel's other end, which carries clocks on
+/// interior NAND legs up to the stage output. Externally driven inputs
+/// stay unclocked; clocks are their own phase.
+///
+/// # Example
+///
+/// ```
+/// use tv_netlist::{NetlistBuilder, Tech};
+/// use tv_flow::{analyze, RuleSet};
+/// use tv_clocks::qualify::{qualify_with_flow, Qualification};
+///
+/// # fn main() -> Result<(), tv_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new(Tech::nmos4um());
+/// let phi1 = b.clock("phi1", 0);
+/// let en = b.input("en");
+/// let nand_out = b.node("wq_bar");
+/// b.nand("g", &[phi1, en], nand_out);   // enable ∧ φ1 (inverted)
+/// let wq = b.node("wq");
+/// b.inverter("i", nand_out, wq);
+/// let nl = b.finish()?;
+/// let flow = analyze(&nl, &RuleSet::all());
+/// let q = qualify_with_flow(&nl, &flow);
+/// assert_eq!(q[wq.index()], Qualification::Phase(0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn qualify_with_flow(netlist: &Netlist, flow: &FlowAnalysis) -> Vec<Qualification> {
+    let n = netlist.node_count();
+    let mut q = vec![Qualification::Unclocked; n];
+    for id in netlist.node_ids() {
+        if let NodeRole::Clock(p) = netlist.node(id).role() {
+            q[id.index()] = Qualification::Phase(p);
+        }
+    }
+
+    loop {
+        let mut changed = false;
+        for id in netlist.node_ids() {
+            let role = netlist.node(id).role();
+            if role.is_external_source() {
+                continue;
+            }
+            let mut acc = Qualification::Unclocked;
+            for &did in netlist.node_devices(id).channel {
+                let dev = netlist.device(did);
+                // Only devices that *drive* this node qualify it: a pass
+                // transistor hanging off a stage output must not leak its
+                // clock back into the driver.
+                let drives_here = match flow.direction(did) {
+                    tv_flow::Direction::Toward(dst) => dst == id,
+                    _ => true, // unresolved/bidirectional: conservative
+                };
+                if !drives_here {
+                    continue;
+                }
+                acc = acc.merge(q[dev.gate().index()]);
+                // Walk series pull-down interiors: a clock gating the leg
+                // below carries its phase to the output above.
+                if flow.device_role(did) == DeviceRole::PullDown {
+                    let other = dev.other_channel_end(id);
+                    if other != netlist.gnd() && other != netlist.vdd() {
+                        acc = acc.merge(q[other.index()]);
+                    }
+                }
+            }
+            let merged = q[id.index()].merge(acc);
+            if merged != q[id.index()] {
+                q[id.index()] = merged;
+                changed = true;
+            }
+        }
+        if !changed {
+            return q;
+        }
+    }
+}
+
+/// Convenience wrapper that runs the flow analysis internally with the
+/// full rule set. Prefer [`qualify_with_flow`] when a [`FlowAnalysis`] is
+/// already in hand.
+pub fn qualify(netlist: &Netlist) -> Vec<Qualification> {
+    let flow = tv_flow::analyze(netlist, &tv_flow::RuleSet::all());
+    qualify_with_flow(netlist, &flow)
+}
+
+/// Nodes whose qualification is [`Qualification::Conflict`], for reports.
+pub fn conflicts(netlist: &Netlist, q: &[Qualification]) -> Vec<NodeId> {
+    netlist
+        .node_ids()
+        .filter(|id| q[id.index()] == Qualification::Conflict)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_netlist::{NetlistBuilder, Tech};
+
+    fn builder() -> NetlistBuilder {
+        NetlistBuilder::new(Tech::nmos4um())
+    }
+
+    #[test]
+    fn unclocked_logic_stays_unclocked() {
+        let mut b = builder();
+        let a = b.input("a");
+        let out = b.node("out");
+        b.inverter("i", a, out);
+        let nl = b.finish().unwrap();
+        let q = qualify(&nl);
+        assert_eq!(q[out.index()], Qualification::Unclocked);
+    }
+
+    #[test]
+    fn clock_node_is_its_phase() {
+        let mut b = builder();
+        let phi2 = b.clock("phi2", 1);
+        let x = b.node("x");
+        b.inverter("i", phi2, x);
+        let nl = b.finish().unwrap();
+        let q = qualify(&nl);
+        assert_eq!(q[phi2.index()], Qualification::Phase(1));
+        assert_eq!(q[x.index()], Qualification::Phase(1));
+    }
+
+    #[test]
+    fn qualification_propagates_through_gate_chain() {
+        let mut b = builder();
+        let phi1 = b.clock("phi1", 0);
+        let en = b.input("en");
+        let x = b.node("x");
+        b.nand("g", &[en, phi1], x); // clock on the interior leg
+        let y = b.node("y");
+        b.inverter("i", x, y);
+        let z = b.node("z");
+        b.inverter("i2", y, z);
+        let nl = b.finish().unwrap();
+        let q = qualify(&nl);
+        for node in [x, y, z] {
+            assert_eq!(q[node.index()], Qualification::Phase(0));
+        }
+    }
+
+    #[test]
+    fn mixing_phases_conflicts() {
+        let mut b = builder();
+        let phi1 = b.clock("phi1", 0);
+        let phi2 = b.clock("phi2", 1);
+        let bad = b.node("bad");
+        b.nand("g", &[phi1, phi2], bad);
+        let nl = b.finish().unwrap();
+        let q = qualify(&nl);
+        assert_eq!(q[bad.index()], Qualification::Conflict);
+        assert!(conflicts(&nl, &q).contains(&bad));
+    }
+
+    #[test]
+    fn storage_node_inherits_phase_from_pass_gate() {
+        let mut b = builder();
+        let phi1 = b.clock("phi1", 0);
+        let d = b.input("d");
+        let qb = b.node("qb");
+        let store = b.dynamic_latch("l", phi1, d, qb);
+        let nl = b.finish().unwrap();
+        let q = qualify(&nl);
+        assert_eq!(q[store.index()], Qualification::Phase(0));
+    }
+
+    #[test]
+    fn master_slave_phases_do_not_conflict_across_pass() {
+        let mut b = builder();
+        let phi1 = b.clock("phi1", 0);
+        let phi2 = b.clock("phi2", 1);
+        let d = b.input("d");
+        let m = b.node("m");
+        b.dynamic_latch("master", phi1, d, m);
+        let q_out = b.node("q");
+        let slave_store = b.dynamic_latch("slave", phi2, m, q_out);
+        let nl = b.finish().unwrap();
+        let q = qualify(&nl);
+        // The slave storage is φ2 even though its data is φ1-timed: pass
+        // devices must not leak their data side's qualification.
+        assert_eq!(q[slave_store.index()], Qualification::Phase(1));
+        assert!(conflicts(&nl, &q).is_empty());
+    }
+
+    #[test]
+    fn external_input_never_gains_phase() {
+        let mut b = builder();
+        let phi1 = b.clock("phi1", 0);
+        let d = b.input("d");
+        let qb = b.node("qb");
+        b.dynamic_latch("l", phi1, d, qb);
+        let nl = b.finish().unwrap();
+        let q = qualify(&nl);
+        assert_eq!(q[d.index()], Qualification::Unclocked);
+    }
+}

@@ -1,0 +1,168 @@
+//! Clock waveform geometry.
+
+/// A two-phase non-overlapping clock scheme.
+///
+/// One cycle is laid out as
+///
+/// ```text
+/// |<-- w1 -->| gap |<-- w2 -->| gap |   (repeats)
+///    φ1 high          φ2 high
+/// ```
+///
+/// All times in ns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPhaseClock {
+    w1: f64,
+    w2: f64,
+    gap: f64,
+}
+
+impl TwoPhaseClock {
+    /// Creates a scheme with the given phase widths and non-overlap gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is non-positive or non-finite.
+    pub fn new(w1: f64, w2: f64, gap: f64) -> Self {
+        assert!(
+            w1 > 0.0 && w2 > 0.0 && gap > 0.0,
+            "phase widths and gap must be positive"
+        );
+        assert!(
+            w1.is_finite() && w2.is_finite() && gap.is_finite(),
+            "durations must be finite"
+        );
+        TwoPhaseClock { w1, w2, gap }
+    }
+
+    /// A symmetric scheme dividing `cycle` into two equal phases with the
+    /// given gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `2·gap >= cycle`.
+    pub fn symmetric(cycle: f64, gap: f64) -> Self {
+        assert!(2.0 * gap < cycle, "gaps leave no room for phases");
+        let w = (cycle - 2.0 * gap) / 2.0;
+        Self::new(w, w, gap)
+    }
+
+    /// Total cycle time, ns.
+    #[inline]
+    pub fn cycle(&self) -> f64 {
+        self.w1 + self.w2 + 2.0 * self.gap
+    }
+
+    /// Width of the given phase (0 = φ1, 1 = φ2), ns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase > 1`.
+    pub fn width(&self, phase: u8) -> f64 {
+        match phase {
+            0 => self.w1,
+            1 => self.w2,
+            _ => panic!("two-phase scheme has phases 0 and 1 only"),
+        }
+    }
+
+    /// The non-overlap gap, ns.
+    #[inline]
+    pub fn gap(&self) -> f64 {
+        self.gap
+    }
+
+    /// `[start, end)` window of the given phase within the cycle, with
+    /// t = 0 at the rising edge of φ1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase > 1`.
+    pub fn window(&self, phase: u8) -> (f64, f64) {
+        match phase {
+            0 => (0.0, self.w1),
+            1 => (self.w1 + self.gap, self.w1 + self.gap + self.w2),
+            _ => panic!("two-phase scheme has phases 0 and 1 only"),
+        }
+    }
+
+    /// The phase a latch of phase `p` hands its data to (the other one).
+    #[inline]
+    pub fn next_phase(&self, phase: u8) -> u8 {
+        1 - (phase & 1)
+    }
+
+    /// Returns a scheme with the same gap but phase widths scaled so the
+    /// cycle becomes `cycle` while keeping the w1:w2 proportion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new cycle leaves no room for the phases.
+    pub fn with_cycle(&self, cycle: f64) -> Self {
+        let room = cycle - 2.0 * self.gap;
+        assert!(room > 0.0, "cycle too short for the gaps");
+        let scale = room / (self.w1 + self.w2);
+        Self::new(self.w1 * scale, self.w2 * scale, self.gap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_is_sum_of_parts() {
+        let c = TwoPhaseClock::new(8.0, 6.0, 1.0);
+        assert!((c.cycle() - 16.0).abs() < 1e-12);
+        assert_eq!(c.width(0), 8.0);
+        assert_eq!(c.width(1), 6.0);
+        assert_eq!(c.gap(), 1.0);
+    }
+
+    #[test]
+    fn symmetric_splits_evenly() {
+        let c = TwoPhaseClock::symmetric(20.0, 1.0);
+        assert_eq!(c.width(0), 9.0);
+        assert_eq!(c.width(1), 9.0);
+        assert!((c.cycle() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_do_not_overlap() {
+        let c = TwoPhaseClock::new(8.0, 6.0, 1.0);
+        let (s1, e1) = c.window(0);
+        let (s2, e2) = c.window(1);
+        assert!(e1 <= s2);
+        assert!(e2 <= c.cycle());
+        assert_eq!(s1, 0.0);
+        assert!((s2 - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn next_phase_alternates() {
+        let c = TwoPhaseClock::symmetric(10.0, 0.5);
+        assert_eq!(c.next_phase(0), 1);
+        assert_eq!(c.next_phase(1), 0);
+    }
+
+    #[test]
+    fn with_cycle_preserves_proportion() {
+        let c = TwoPhaseClock::new(8.0, 4.0, 1.0).with_cycle(28.0);
+        assert!((c.cycle() - 28.0).abs() < 1e-12);
+        assert!((c.width(0) / c.width(1) - 2.0).abs() < 1e-12);
+        assert_eq!(c.gap(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        let _ = TwoPhaseClock::new(0.0, 5.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "phases 0 and 1")]
+    fn third_phase_rejected() {
+        let c = TwoPhaseClock::symmetric(10.0, 0.5);
+        let _ = c.width(2);
+    }
+}

@@ -1,0 +1,364 @@
+//! The analyzer facade: one call from netlist to full timing report.
+
+use tv_clocks::latch::{find_latches, Latch};
+use tv_clocks::qualify::qualify_with_flow;
+use tv_clocks::ClockConstraints;
+use tv_flow::{Census, FlowAnalysis, FlowReport};
+use tv_netlist::{Netlist, NodeId, NodeRole};
+
+use crate::checks::{check_electrical, CheckIssue};
+use crate::graph::{PhaseCase, TimingGraph};
+use crate::hold::{race_check, RaceHazard};
+use crate::options::AnalysisOptions;
+use crate::paths::{critical_paths, TimingPath};
+use crate::propagate::{propagate, PhaseResult};
+
+/// Assumed driver resistance of primary inputs, kΩ (a strong pad driver).
+pub const SOURCE_RESISTANCE: f64 = 1.0;
+
+/// The per-phase slice of a report.
+#[derive(Debug, Clone)]
+pub struct PhaseAnalysis {
+    /// Which phase (0 = φ1, 1 = φ2).
+    pub phase: u8,
+    /// Arrival propagation outcome.
+    pub result: PhaseResult,
+    /// Top-K critical paths, latest first.
+    pub paths: Vec<TimingPath>,
+    /// Setup slack of the worst endpoint against the configured clock's
+    /// phase width (negative = violation); `None` when nothing arrives.
+    pub slack: Option<f64>,
+    /// Same-phase race-through hazards (transparent latch to transparent
+    /// latch), most dangerous first.
+    pub races: Vec<RaceHazard>,
+    /// Number of timing arcs in this phase's graph.
+    pub arcs: usize,
+}
+
+/// Everything one analysis run produces.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Signal-flow resolution statistics.
+    pub flow_report: FlowReport,
+    /// Chip inventory by inferred node class and device role.
+    pub census: Census,
+    /// The all-clocks-active analysis from primary inputs to outputs —
+    /// the right view for purely combinational circuits and for T1-style
+    /// estimate-vs-simulation comparisons.
+    pub combinational: PhaseResult,
+    /// Critical paths of the combinational view.
+    pub combinational_paths: Vec<TimingPath>,
+    /// Per-phase case analyses (empty when the netlist has no clocks or
+    /// case analysis was disabled).
+    pub phases: Vec<PhaseAnalysis>,
+    /// Latches found.
+    pub latches: Vec<Latch>,
+    /// Electrical rule diagnostics.
+    pub checks: Vec<CheckIssue>,
+    /// Smallest two-phase cycle accommodating both phases' critical
+    /// arrivals (using the configured clock's non-overlap gap); `None`
+    /// without case analysis.
+    pub min_cycle: Option<f64>,
+}
+
+impl TimingReport {
+    /// The phase analysis for phase `p`, if it was run.
+    pub fn phase(&self, p: u8) -> Option<&PhaseAnalysis> {
+        self.phases.iter().find(|x| x.phase == p)
+    }
+
+    /// Worst combinational arrival at a node (convenience passthrough).
+    pub fn arrival(&self, node: NodeId) -> Option<f64> {
+        self.combinational.arrival(node)
+    }
+}
+
+/// The analyzer: borrows a netlist, runs the full TV pipeline.
+#[derive(Debug)]
+pub struct Analyzer<'a> {
+    netlist: &'a Netlist,
+}
+
+impl<'a> Analyzer<'a> {
+    /// Prepares an analyzer for a netlist.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        Analyzer { netlist }
+    }
+
+    /// Runs flow analysis, clock recovery, per-phase timing, path
+    /// extraction, and electrical checks.
+    pub fn run(&self, options: &AnalysisOptions) -> TimingReport {
+        let nl = self.netlist;
+        let flow = tv_flow::analyze(nl, &options.rules);
+        let qual = qualify_with_flow(nl, &flow);
+        let latches = find_latches(nl, &flow, &qual);
+        let flow_report = flow.report(nl);
+        let census = flow.census();
+
+        // Combinational view: everything active, external sources.
+        let comb_graph = TimingGraph::build(
+            nl,
+            &flow,
+            &qual,
+            PhaseCase::all_active(),
+            options.model,
+            SOURCE_RESISTANCE,
+        );
+        let comb_sources = external_sources(nl);
+        let comb_endpoints = endpoints_or_all(nl, nl.outputs());
+        let combinational = propagate(nl, &comb_graph, &comb_sources, &comb_endpoints, &options.slope);
+        let combinational_paths = critical_paths(&comb_graph, &combinational, options.top_k);
+
+        // Per-phase case analysis.
+        let mut phases = Vec::new();
+        let has_clocks = !nl.clocks().is_empty();
+        if options.case_analysis && has_clocks {
+            for p in 0..2u8 {
+                phases.push(self.run_phase(p, &flow, &qual, &latches, options));
+            }
+        }
+
+        let min_cycle = if phases.len() == 2 {
+            let a0 = phases[0].result.critical_arrival().unwrap_or(0.0);
+            let a1 = phases[1].result.critical_arrival().unwrap_or(0.0);
+            Some(ClockConstraints::new(options.clock).min_cycle(a0, a1))
+        } else {
+            None
+        };
+
+        let checks = check_electrical(nl, &flow, &qual);
+
+        TimingReport {
+            flow_report,
+            census,
+            combinational,
+            combinational_paths,
+            phases,
+            latches,
+            checks,
+            min_cycle,
+        }
+    }
+
+    fn run_phase(
+        &self,
+        phase: u8,
+        flow: &FlowAnalysis,
+        qual: &[tv_clocks::Qualification],
+        latches: &[Latch],
+        options: &AnalysisOptions,
+    ) -> PhaseAnalysis {
+        let nl = self.netlist;
+        let graph = TimingGraph::build(
+            nl,
+            flow,
+            qual,
+            PhaseCase::phase(phase),
+            options.model,
+            SOURCE_RESISTANCE,
+        );
+
+        // Sources: primary inputs, this phase's clocks, and the storage
+        // nodes written during the *other* phase (stable now).
+        let mut sources = Vec::new();
+        for id in nl.node_ids() {
+            match nl.node(id).role() {
+                NodeRole::Input => sources.push(id),
+                NodeRole::Clock(p) if p == phase => sources.push(id),
+                _ => {}
+            }
+        }
+        for l in latches {
+            if l.phase != phase {
+                sources.push(l.storage);
+            }
+        }
+
+        // Endpoints: storage captured this phase, plus primary outputs.
+        let mut endpoints: Vec<NodeId> = latches
+            .iter()
+            .filter(|l| l.phase == phase)
+            .map(|l| l.storage)
+            .collect();
+        endpoints.extend(nl.outputs());
+
+        let result = propagate(nl, &graph, &sources, &endpoints, &options.slope);
+        let paths = critical_paths(&graph, &result, options.top_k);
+        let slack = result
+            .critical_arrival()
+            .map(|a| options.clock.width(phase) - a);
+        let races = race_check(nl, &graph, latches, phase);
+        PhaseAnalysis {
+            phase,
+            arcs: graph.arc_count(),
+            result,
+            paths,
+            slack,
+            races,
+        }
+    }
+}
+
+impl<'a> Analyzer<'a> {
+    /// Point-to-point query: the worst-case path from `from` to `to` in
+    /// the all-active (combinational) view — TV's interactive "why is
+    /// this slow" mode. Returns `None` when `to` is unreachable from
+    /// `from`.
+    pub fn path_query(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        options: &AnalysisOptions,
+    ) -> Option<crate::paths::TimingPath> {
+        let nl = self.netlist;
+        let flow = tv_flow::analyze(nl, &options.rules);
+        let qual = qualify_with_flow(nl, &flow);
+        let graph = TimingGraph::build(
+            nl,
+            &flow,
+            &qual,
+            PhaseCase::all_active(),
+            options.model,
+            SOURCE_RESISTANCE,
+        );
+        let result = propagate(nl, &graph, &[from], &[to], &options.slope);
+        let edge = result.arrivals.worst_edge(to)?;
+        crate::paths::backtrack(&graph, &result.arrivals, to, edge)
+    }
+}
+
+fn external_sources(netlist: &Netlist) -> Vec<NodeId> {
+    netlist
+        .node_ids()
+        .filter(|&id| {
+            matches!(
+                netlist.node(id).role(),
+                NodeRole::Input | NodeRole::Clock(_)
+            )
+        })
+        .collect()
+}
+
+fn endpoints_or_all(netlist: &Netlist, preferred: Vec<NodeId>) -> Vec<NodeId> {
+    if !preferred.is_empty() {
+        return preferred;
+    }
+    netlist
+        .node_ids()
+        .filter(|&id| !netlist.node(id).role().is_rail())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::AnalysisOptions;
+    use tv_gen::{chains, datapath};
+    use tv_netlist::Tech;
+
+    #[test]
+    fn inverter_chain_combinational_delay_scales() {
+        let opts = AnalysisOptions::default();
+        let c4 = chains::inverter_chain(Tech::nmos4um(), 4, 1);
+        let c8 = chains::inverter_chain(Tech::nmos4um(), 8, 1);
+        let d4 = Analyzer::new(&c4.netlist)
+            .run(&opts)
+            .arrival(c4.output)
+            .unwrap();
+        let d8 = Analyzer::new(&c8.netlist)
+            .run(&opts)
+            .arrival(c8.output)
+            .unwrap();
+        let ratio = d8 / d4;
+        assert!(
+            (1.8..2.2).contains(&ratio),
+            "8 stages should be ~2x of 4, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn datapath_analysis_produces_phases_and_min_cycle() {
+        let dp = datapath::datapath(Tech::nmos4um(), datapath::DatapathConfig::small());
+        let report = Analyzer::new(&dp.netlist).run(&AnalysisOptions::default());
+        assert_eq!(report.phases.len(), 2);
+        assert!(!report.latches.is_empty());
+        let mc = report.min_cycle.expect("min cycle computed");
+        assert!(mc > 0.0);
+        // Case analysis keeps each phase acyclic.
+        for p in &report.phases {
+            assert!(!p.result.cyclic, "phase {} cyclic", p.phase);
+        }
+    }
+
+    #[test]
+    fn disabling_case_analysis_skips_phases() {
+        let dp = datapath::datapath(Tech::nmos4um(), datapath::DatapathConfig::small());
+        let opts = AnalysisOptions {
+            case_analysis: false,
+            ..AnalysisOptions::default()
+        };
+        let report = Analyzer::new(&dp.netlist).run(&opts);
+        assert!(report.phases.is_empty());
+        assert_eq!(report.min_cycle, None);
+    }
+
+    #[test]
+    fn combinational_paths_end_at_output() {
+        let c = chains::inverter_chain(Tech::nmos4um(), 4, 1);
+        let report = Analyzer::new(&c.netlist).run(&AnalysisOptions::default());
+        let p = report.combinational_paths.first().expect("path exists");
+        assert_eq!(p.endpoint(), c.output);
+    }
+
+    #[test]
+    fn pass_chain_slower_than_inverter_pair() {
+        let opts = AnalysisOptions::default();
+        let pc = chains::pass_chain(Tech::nmos4um(), 6);
+        let ic = chains::inverter_chain(Tech::nmos4um(), 2, 1);
+        let d_pass = Analyzer::new(&pc.netlist)
+            .run(&opts)
+            .arrival(pc.output)
+            .unwrap();
+        let d_inv = Analyzer::new(&ic.netlist)
+            .run(&opts)
+            .arrival(ic.output)
+            .unwrap();
+        assert!(d_pass > d_inv, "pass {d_pass} vs inv {d_inv}");
+    }
+
+    #[test]
+    fn path_query_finds_point_to_point_route() {
+        let c = chains::inverter_chain(Tech::nmos4um(), 5, 1);
+        let nl = &c.netlist;
+        let mid = nl.node_by_name("s1").expect("mid node");
+        let analyzer = Analyzer::new(nl);
+        let opts = AnalysisOptions::default();
+        // From the middle to the output: a 3-stage path.
+        let p = analyzer.path_query(mid, c.output, &opts).expect("reachable");
+        assert_eq!(p.steps.first().map(|s| s.node), Some(mid));
+        assert_eq!(p.endpoint(), c.output);
+        assert_eq!(p.len(), 4); // mid + 3 remaining stages
+        // Reverse direction: unreachable.
+        assert!(analyzer.path_query(c.output, mid, &opts).is_none());
+    }
+
+    #[test]
+    fn phase_slack_reflects_clock_width() {
+        use tv_clocks::TwoPhaseClock;
+        let dp = datapath::datapath(Tech::nmos4um(), datapath::DatapathConfig::small());
+        let roomy = AnalysisOptions {
+            clock: TwoPhaseClock::symmetric(1000.0, 2.0),
+            ..AnalysisOptions::default()
+        };
+        let tight = AnalysisOptions {
+            clock: TwoPhaseClock::symmetric(1.0, 0.01),
+            ..AnalysisOptions::default()
+        };
+        let r1 = Analyzer::new(&dp.netlist).run(&roomy);
+        let r2 = Analyzer::new(&dp.netlist).run(&tight);
+        let s1 = r1.phase(0).unwrap().slack.unwrap();
+        let s2 = r2.phase(0).unwrap().slack.unwrap();
+        assert!(s1 > s2);
+        assert!(s2 < 0.0, "1 ns cycle must violate");
+    }
+}

@@ -1,0 +1,352 @@
+//! Electrical rule checks — the non-timing half of a 1983 timing
+//! verifier's report.
+//!
+//! Ratioed nMOS fails silently in ways a modern static CMOS designer never
+//! sees: a pull-up sized too strong leaves the low level above threshold;
+//! a storage node sharing charge with a big undriven network loses its
+//! value; an unorientable pass transistor makes every delay downstream of
+//! it untrustworthy. TV printed these alongside the critical paths, and
+//! so does this module.
+
+use std::fmt;
+
+use tv_clocks::qualify::{Qualification};
+use tv_flow::{Direction, DeviceRole, FlowAnalysis, NodeClass};
+use tv_netlist::{DeviceId, Netlist, NodeId};
+
+use crate::graph::{pull_down_resistance, pull_up_resistance};
+
+/// One electrical diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckIssue {
+    /// A restoring stage whose pull-up/pull-down resistance ratio is below
+    /// the technology requirement: its logic-low output sits too high.
+    RatioViolation {
+        /// The stage output node.
+        node: NodeId,
+        /// Measured R_pu / R_pd.
+        ratio: f64,
+        /// Required minimum ratio (4, or 8 when driven through pass logic).
+        required: f64,
+    },
+    /// A dynamic node whose stored charge can redistribute onto a
+    /// comparable undriven capacitance when a pass device opens.
+    ChargeSharing {
+        /// The storage/precharged node at risk.
+        node: NodeId,
+        /// Its capacitance, pF.
+        stored_pf: f64,
+        /// The undriven capacitance it may share with, pF.
+        shared_pf: f64,
+    },
+    /// A pass transistor no direction rule could orient: delays through it
+    /// are analyzed conservatively and should be reviewed.
+    UnresolvedDirection {
+        /// The unoriented device.
+        device: DeviceId,
+    },
+    /// A node derived from both clock phases.
+    ClockConflict {
+        /// The conflicted node.
+        node: NodeId,
+    },
+}
+
+impl CheckIssue {
+    /// Renders with netlist names.
+    pub fn display(&self, netlist: &Netlist) -> String {
+        match self {
+            CheckIssue::RatioViolation {
+                node,
+                ratio,
+                required,
+            } => format!(
+                "ratio violation at {}: R_pu/R_pd = {ratio:.2}, need >= {required}",
+                netlist.node(*node).name()
+            ),
+            CheckIssue::ChargeSharing {
+                node,
+                stored_pf,
+                shared_pf,
+            } => format!(
+                "charge sharing at {}: {stored_pf:.4} pF stored vs {shared_pf:.4} pF shared",
+                netlist.node(*node).name()
+            ),
+            CheckIssue::UnresolvedDirection { device } => format!(
+                "unresolved pass direction: {}",
+                netlist.device(*device).name()
+            ),
+            CheckIssue::ClockConflict { node } => format!(
+                "clock qualification conflict at {}",
+                netlist.node(*node).name()
+            ),
+        }
+    }
+}
+
+impl fmt::Display for CheckIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckIssue::RatioViolation { ratio, required, .. } => {
+                write!(f, "ratio violation ({ratio:.2} < {required})")
+            }
+            CheckIssue::ChargeSharing { .. } => write!(f, "charge sharing hazard"),
+            CheckIssue::UnresolvedDirection { device } => {
+                write!(f, "unresolved pass direction ({device})")
+            }
+            CheckIssue::ClockConflict { node } => write!(f, "clock conflict ({node})"),
+        }
+    }
+}
+
+/// Fraction of a dynamic node's capacitance that undriven pass-adjacent
+/// capacitance may reach before we call it a charge-sharing hazard.
+pub const CHARGE_SHARE_LIMIT: f64 = 0.5;
+
+/// Runs every electrical check. Deterministic order: ratio checks by node
+/// id, then charge sharing, then unresolved directions, then conflicts.
+pub fn check_electrical(
+    netlist: &Netlist,
+    flow: &FlowAnalysis,
+    qualification: &[Qualification],
+) -> Vec<CheckIssue> {
+    let tech = netlist.tech();
+    let mut issues = Vec::new();
+
+    // Ratio checks on restored nodes.
+    for id in netlist.node_ids() {
+        if flow.node_class(id) != NodeClass::Restored {
+            continue;
+        }
+        let (Some(r_pu), Some(r_pd)) = (
+            pull_up_resistance(netlist, flow, id),
+            pull_down_resistance(netlist, flow, id),
+        ) else {
+            continue;
+        };
+        let required = if stage_sees_degraded_input(netlist, flow, id) {
+            tech.ratio_through_pass
+        } else {
+            tech.ratio_restored
+        };
+        let ratio = r_pu / r_pd;
+        if ratio < required * 0.999 {
+            issues.push(CheckIssue::RatioViolation {
+                node: id,
+                ratio,
+                required,
+            });
+        }
+    }
+
+    // Charge sharing on dynamic nodes.
+    for id in netlist.node_ids() {
+        let class = flow.node_class(id);
+        if !matches!(class, NodeClass::Storage | NodeClass::Precharged) {
+            continue;
+        }
+        let stored = netlist.node_cap(id);
+        let mut shared = 0.0;
+        for &did in netlist.node_devices(id).channel {
+            if flow.device_role(did) != DeviceRole::Pass {
+                continue;
+            }
+            let other = netlist.device(did).other_channel_end(id);
+            // Charge only redistributes onto sides nothing restores.
+            if matches!(
+                flow.node_class(other),
+                NodeClass::PassInterior | NodeClass::Storage | NodeClass::GateOnly
+            ) {
+                shared += netlist.node_cap(other);
+            }
+        }
+        if stored > 0.0 && shared > CHARGE_SHARE_LIMIT * stored {
+            issues.push(CheckIssue::ChargeSharing {
+                node: id,
+                stored_pf: stored,
+                shared_pf: shared,
+            });
+        }
+    }
+
+    // Unresolved pass directions.
+    for dref in netlist.devices() {
+        if flow.device_role(dref.id) == DeviceRole::Pass
+            && flow.direction(dref.id) == Direction::Unresolved
+        {
+            issues.push(CheckIssue::UnresolvedDirection { device: dref.id });
+        }
+    }
+
+    // Clock qualification conflicts.
+    for id in netlist.node_ids() {
+        if qualification[id.index()] == Qualification::Conflict {
+            issues.push(CheckIssue::ClockConflict { node: id });
+        }
+    }
+
+    issues
+}
+
+/// Whether any pull-down gate input of the stage under `out` is fed by a
+/// pass network (degraded high level VDD − V_T), which doubles the
+/// required ratio.
+fn stage_sees_degraded_input(netlist: &Netlist, flow: &FlowAnalysis, out: NodeId) -> bool {
+    let mut frontier = vec![out];
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(out);
+    while let Some(node) = frontier.pop() {
+        for &did in netlist.node_devices(node).channel {
+            if flow.device_role(did) != DeviceRole::PullDown {
+                continue;
+            }
+            let dev = netlist.device(did);
+            let gate_class = flow.node_class(dev.gate());
+            if matches!(
+                gate_class,
+                NodeClass::Storage | NodeClass::PassInterior | NodeClass::Bus
+            ) {
+                return true;
+            }
+            let other = dev.other_channel_end(node);
+            if other != netlist.gnd() && other != netlist.vdd() && seen.insert(other) {
+                frontier.push(other);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_clocks::qualify::qualify_with_flow;
+    use tv_flow::{analyze, RuleSet};
+    use tv_netlist::{NetlistBuilder, Tech};
+
+    fn run_checks(nl: &Netlist) -> Vec<CheckIssue> {
+        let flow = analyze(nl, &RuleSet::all());
+        let q = qualify_with_flow(nl, &flow);
+        check_electrical(nl, &flow, &q)
+    }
+
+    #[test]
+    fn standard_inverter_is_clean() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let out = b.output("out");
+        b.inverter("i", a, out);
+        let nl = b.finish().unwrap();
+        assert!(run_checks(&nl).is_empty(), "{:?}", run_checks(&nl));
+    }
+
+    #[test]
+    fn overstrong_pulldown_is_fine_overweak_is_not() {
+        // Pull-up at 2 squares, pull-down deliberately long at 2 squares:
+        // electrical ratio ≈ r_dep/r_enh (~1.4) < 4. Violation.
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let out = b.output("out");
+        b.depletion_load(out, 4.0, 8.0);
+        let gnd = b.gnd();
+        b.enhancement("pd", a, gnd, out, 4.0, 8.0);
+        let nl = b.finish().unwrap();
+        let issues = run_checks(&nl);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, CheckIssue::RatioViolation { ratio, .. } if *ratio < 2.0)));
+    }
+
+    #[test]
+    fn pass_driven_stage_needs_ratio_eight() {
+        // Inverter whose input comes through a pass transistor: the
+        // standard 4:1 inverter violates the 8:1 requirement.
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let phi = b.clock("phi1", 0);
+        let d = b.input("d");
+        let qb = b.node("qb");
+        b.dynamic_latch("l", phi, d, qb);
+        let nl = b.finish().unwrap();
+        let issues = run_checks(&nl);
+        assert!(
+            issues.iter().any(|i| matches!(
+                i,
+                CheckIssue::RatioViolation { required, .. } if *required == 8.0
+            )),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn charge_sharing_flagged_on_big_shared_cap() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let phi = b.clock("phi1", 0);
+        let sel = b.clock("phi2", 1);
+        let d = b.input("d");
+        let qb = b.node("qb");
+        let store = b.dynamic_latch("l", phi, d, qb);
+        // Pass device from the storage node onto a big dead capacitance,
+        // opened on the other phase.
+        let big = b.node("big");
+        b.pass("share", sel, store, big);
+        b.add_cap(big, 1.0).unwrap();
+        // Give `big` a second pass contact so it is not a single-contact
+        // sink and stays an undriven interior node.
+        let other = b.node("other");
+        b.pass("share2", sel, big, other);
+        let nl = b.finish().unwrap();
+        let issues = run_checks(&nl);
+        assert!(
+            issues
+                .iter()
+                .any(|i| matches!(i, CheckIssue::ChargeSharing { node, .. } if *node == store)),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn unresolved_direction_reported() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let c = b.input("c");
+        let x = b.node("x");
+        let y = b.node("y");
+        // Channel between two floating internal nodes: nothing orients it.
+        b.pass("mystery", c, x, y);
+        // Keep x/y multi-contact so the sink rule stays quiet.
+        let z = b.node("z");
+        b.pass("m2", c, y, z);
+        let nl = b.finish().unwrap();
+        let issues = run_checks(&nl);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, CheckIssue::UnresolvedDirection { .. })));
+    }
+
+    #[test]
+    fn clock_conflict_reported() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let phi1 = b.clock("phi1", 0);
+        let phi2 = b.clock("phi2", 1);
+        let bad = b.node("bad");
+        b.nand("g", &[phi1, phi2], bad);
+        let nl = b.finish().unwrap();
+        let issues = run_checks(&nl);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, CheckIssue::ClockConflict { .. })));
+    }
+
+    #[test]
+    fn issue_display_uses_names() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let out = b.output("badnode");
+        b.depletion_load(out, 4.0, 8.0);
+        let gnd = b.gnd();
+        b.enhancement("pd", a, gnd, out, 4.0, 8.0);
+        let nl = b.finish().unwrap();
+        let issues = run_checks(&nl);
+        let text = issues[0].display(&nl);
+        assert!(text.contains("badnode"));
+    }
+}

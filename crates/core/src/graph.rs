@@ -1,0 +1,819 @@
+//! Timing-graph construction: from transistors to delay arcs.
+//!
+//! TV's central move was to analyze **stages**, not gates: each driven
+//! node (a restored or precharged stage output) plus the pass network
+//! hanging downstream of it forms one RC problem, and every gate input of
+//! the stage gets an arc to every node of that RC tree with separate
+//! rise and fall delays:
+//!
+//! * **fall** — through the worst-case series pull-down path resistance;
+//! * **rise** — through the (parallel) pull-up resistance, with pass
+//!   devices derated by the technology's `pass_rise_factor` (a pass
+//!   transistor starves near V_DD − V_T);
+//! * pass-device **controls** get arcs too (a latch opens when its clock
+//!   rises), as do precharge clocks.
+//!
+//! Arc delays are single-pole crossing estimates (`T_Elmore · ln 2` at the
+//! 50% convention), which the technology calibrates to the transient
+//! simulator on single stages; [`crate::options::DelayModel`] switches in
+//! the lumped and certified-upper-bound models for the A1 ablation.
+
+use tv_clocks::qualify::Qualification;
+use tv_flow::{Direction, DeviceRole, FlowAnalysis};
+use tv_netlist::{DeviceId, Netlist, NodeId, NodeRole};
+use tv_rc::elmore::{crossing_estimate, elmore_delays};
+use tv_rc::tree::RcTree;
+
+use crate::options::DelayModel;
+
+/// What kind of structure an arc models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArcKind {
+    /// Stage input (a transistor gate) to the stage's output tree.
+    Gate,
+    /// A non-inverting pull-up input (super-buffer internal node).
+    BufferPull,
+    /// Data transfer through pass devices from an external source node.
+    PassData,
+    /// A pass device's control opening: the downstream sees the source's
+    /// value when the control rises.
+    PassControl,
+    /// A precharge clock raising a dynamic node.
+    Precharge,
+}
+
+/// One timing arc. `rise_delay`/`fall_delay` are the delays for the **to**
+/// node rising/falling; `f64::INFINITY` disables that transition. The
+/// `*_tau` fields carry the underlying RC time constants, from which the
+/// propagation derives the output transition times for slope handling.
+#[derive(Debug, Clone)]
+pub struct Arc {
+    /// Upstream node (a gate input, pass control, or data source).
+    pub from: NodeId,
+    /// Downstream node (a stage output or pass-network node).
+    pub to: NodeId,
+    /// Delay for `to` rising, ns.
+    pub rise_delay: f64,
+    /// Delay for `to` falling, ns.
+    pub fall_delay: f64,
+    /// Elmore time constant of the rising transition, ns.
+    pub rise_tau: f64,
+    /// Elmore time constant of the falling transition, ns.
+    pub fall_tau: f64,
+    /// Whether `from` rising causes `to` to fall (gate inversion).
+    pub inverting: bool,
+    /// Structural kind (controls propagation semantics).
+    pub kind: ArcKind,
+}
+
+/// The clock case a graph is built for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseCase {
+    /// `Some(p)`: phase `p` is high, the other low (TV's case analysis).
+    /// `None`: every clock treated as active — the naive mode.
+    pub active: Option<u8>,
+}
+
+impl PhaseCase {
+    /// Case analysis for phase `p`.
+    pub fn phase(p: u8) -> Self {
+        PhaseCase { active: Some(p) }
+    }
+
+    /// All clocks active (no case analysis).
+    pub fn all_active() -> Self {
+        PhaseCase { active: None }
+    }
+}
+
+/// The timing graph for one netlist under one phase case.
+#[derive(Debug, Clone)]
+pub struct TimingGraph {
+    /// All arcs.
+    pub arcs: Vec<Arc>,
+    /// Per node (by index): indices into `arcs` of arcs leaving that node.
+    pub out_arcs: Vec<Vec<u32>>,
+    /// The phase case the graph was built for.
+    pub case: PhaseCase,
+}
+
+impl TimingGraph {
+    /// Builds the graph. `qualification` comes from
+    /// [`tv_clocks::qualify::qualify_with_flow`]; `source_resistance` is
+    /// the assumed driver resistance of primary inputs (kΩ).
+    pub fn build(
+        netlist: &Netlist,
+        flow: &FlowAnalysis,
+        qualification: &[Qualification],
+        case: PhaseCase,
+        model: DelayModel,
+        source_resistance: f64,
+    ) -> Self {
+        let mut builder = GraphBuilder {
+            netlist,
+            flow,
+            qualification,
+            case,
+            model,
+            arcs: Vec::new(),
+        };
+        builder.build_all(source_resistance);
+        let mut out_arcs: Vec<Vec<u32>> = vec![Vec::new(); netlist.node_count()];
+        for (i, a) in builder.arcs.iter().enumerate() {
+            out_arcs[a.from.index()].push(i as u32);
+        }
+        TimingGraph {
+            arcs: builder.arcs,
+            out_arcs,
+            case,
+        }
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+}
+
+struct GraphBuilder<'a> {
+    netlist: &'a Netlist,
+    flow: &'a FlowAnalysis,
+    qualification: &'a [Qualification],
+    case: PhaseCase,
+    model: DelayModel,
+    arcs: Vec<Arc>,
+}
+
+/// One node of the case-aware downstream walk.
+struct WalkNode {
+    node: NodeId,
+    parent: Option<usize>,
+    /// Pass device from the parent (None for the root).
+    via: Option<DeviceId>,
+    /// Controls of every pass device on the path root → here.
+    controls: Vec<NodeId>,
+}
+
+impl<'a> GraphBuilder<'a> {
+    fn build_all(&mut self, source_resistance: f64) {
+        let nl = self.netlist;
+        for id in nl.node_ids() {
+            if self.is_driver_node(id) {
+                self.build_stage(id);
+            } else if matches!(nl.node(id).role(), NodeRole::Input)
+                && has_pass_fanout(nl, self.flow, id)
+            {
+                self.build_source_tree(id, source_resistance);
+            }
+        }
+    }
+
+    /// A driver node has at least one pull-up-ish or precharge device on
+    /// its channel.
+    fn is_driver_node(&self, id: NodeId) -> bool {
+        self.netlist.node_devices(id).channel.iter().any(|&d| {
+            matches!(
+                self.flow.device_role(d),
+                DeviceRole::PullUp
+                    | DeviceRole::ActivePullUp
+                    | DeviceRole::EnhPullUp
+                    | DeviceRole::Precharge
+            ) && self.netlist.device(d).other_channel_end(id) == self.netlist.vdd()
+        })
+    }
+
+    /// Whether a pass device conducts in the current case.
+    fn pass_is_on(&self, dev: DeviceId) -> bool {
+        let Some(active) = self.case.active else {
+            return true;
+        };
+        let gate = self.netlist.device(dev).gate();
+        match self.qualification[gate.index()] {
+            Qualification::Phase(p) => p == active,
+            // Unclocked or conflicting controls could be on: conservative.
+            _ => true,
+        }
+    }
+
+    /// Case-aware walk of the pass network downstream of `root`.
+    ///
+    /// The walk never enters externally driven nodes (inputs, clocks —
+    /// they are sources, not loads) and never expands *through* a node
+    /// that is itself **restored**: such a node re-drives its own
+    /// downstream and owns its own stage walk, which keeps trees small
+    /// and prevents bidirectional bus couplers from dragging neighboring
+    /// stages into one RC problem. *Precharged* nodes are passive during
+    /// evaluation, so the walk does continue through them — this is what
+    /// lets a Manchester carry chain appear as the long series RC path it
+    /// electrically is.
+    fn walk_downstream(&self, root: NodeId) -> Vec<WalkNode> {
+        let nl = self.netlist;
+        let mut nodes = vec![WalkNode {
+            node: root,
+            parent: None,
+            via: None,
+            controls: Vec::new(),
+        }];
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(root);
+        let mut i = 0;
+        while i < nodes.len() {
+            let here = nodes[i].node;
+            // Only the root expands past a driven node; reached driven
+            // nodes terminate their branch.
+            if i > 0 && self.flow.node_class(here) == tv_flow::NodeClass::Restored {
+                i += 1;
+                continue;
+            }
+            for &did in nl.node_devices(here).channel {
+                if self.flow.device_role(did) != DeviceRole::Pass || !self.pass_is_on(did) {
+                    continue;
+                }
+                let dev = nl.device(did);
+                let other = dev.other_channel_end(here);
+                if nl.node(other).role().is_external_source() {
+                    continue; // never walk into a source
+                }
+                let downstream = match self.flow.direction(did) {
+                    Direction::Toward(dst) => dst == other,
+                    Direction::Bidirectional | Direction::Unresolved => true,
+                };
+                if !downstream || seen.contains(&other) {
+                    continue;
+                }
+                seen.insert(other);
+                let mut controls = nodes[i].controls.clone();
+                controls.push(dev.gate());
+                nodes.push(WalkNode {
+                    node: other,
+                    parent: Some(i),
+                    via: Some(did),
+                    controls,
+                });
+            }
+            i += 1;
+        }
+        nodes
+    }
+
+    /// Per-walk-node delay estimates and Elmore time constants for rising
+    /// and falling transitions, according to the configured model. Returns
+    /// `(rise_delay, fall_delay, rise_tau, fall_tau)` vectors.
+    #[allow(clippy::type_complexity)]
+    fn tree_delays(
+        &self,
+        walk: &[WalkNode],
+        r_rise: f64,
+        r_fall: f64,
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let nl = self.netlist;
+        let tech = nl.tech();
+        let x = 1.0 - tech.switch_fraction; // fraction remaining at crossing
+        let build = |driver_r: f64, rise: bool| -> (Vec<f64>, Vec<f64>) {
+            let mut tree = RcTree::new(driver_r);
+            tree.add_cap(tree.root(), nl.node_cap(walk[0].node));
+            let mut rc_ids = vec![tree.root()];
+            for w in walk.iter().skip(1) {
+                let parent_rc = rc_ids[w.parent.expect("non-root has parent")];
+                let dev = nl.device(w.via.expect("non-root has device"));
+                let mut r = dev.resistance(tech);
+                if rise {
+                    r *= tech.pass_rise_factor;
+                }
+                let id = tree.add_child(parent_rc, r, nl.node_cap(w.node));
+                rc_ids.push(id);
+            }
+            let elmore = elmore_delays(&tree);
+            let delays = match self.model {
+                DelayModel::Elmore => elmore.iter().map(|&e| crossing_estimate(e, x)).collect(),
+                DelayModel::Lumped => {
+                    let v = crossing_estimate(driver_r * tree.total_cap(), x);
+                    vec![v; tree.len()]
+                }
+                DelayModel::UpperBound => elmore.iter().map(|&e| e / x).collect(),
+            };
+            (delays, elmore)
+        };
+        let (rise_d, rise_tau) = if r_rise.is_finite() {
+            build(r_rise, true)
+        } else {
+            (vec![f64::INFINITY; walk.len()], vec![0.0; walk.len()])
+        };
+        let (fall_d, fall_tau) = if r_fall.is_finite() {
+            build(r_fall, false)
+        } else {
+            (vec![f64::INFINITY; walk.len()], vec![0.0; walk.len()])
+        };
+        (rise_d, fall_d, rise_tau, fall_tau)
+    }
+
+    /// Builds arcs for one driving stage rooted at `out`.
+    fn build_stage(&mut self, out: NodeId) {
+        let nl = self.netlist;
+        let r_pu = pull_up_resistance(nl, self.flow, out);
+        let r_pd = pull_down_resistance(nl, self.flow, out);
+        let walk = self.walk_downstream(out);
+        let (rise_d, fall_d, rise_tau, fall_tau) = self.tree_delays(
+            &walk,
+            r_pu.unwrap_or(f64::INFINITY),
+            r_pd.unwrap_or(f64::INFINITY),
+        );
+
+        let inputs = stage_inputs(nl, self.flow, out);
+        for (i, w) in walk.iter().enumerate() {
+            // Domino discipline: a precharged node starts its evaluation
+            // phase high and can only FALL until the next precharge; a
+            // "rise" through logic is not a transition it can make. Only
+            // the precharge arc itself may raise it.
+            let rise_dly = if self.flow.node_class(w.node) == tv_flow::NodeClass::Precharged {
+                f64::INFINITY
+            } else {
+                rise_d[i]
+            };
+            for inp in &inputs {
+                match inp.kind {
+                    StageInputKind::PullDownGate => self.arcs.push(Arc {
+                        from: inp.node,
+                        to: w.node,
+                        rise_delay: rise_dly,
+                        fall_delay: fall_d[i],
+                        rise_tau: rise_tau[i],
+                        fall_tau: fall_tau[i],
+                        inverting: true,
+                        kind: ArcKind::Gate,
+                    }),
+                    StageInputKind::PullUpGate => self.arcs.push(Arc {
+                        from: inp.node,
+                        to: w.node,
+                        rise_delay: rise_dly,
+                        fall_delay: f64::INFINITY,
+                        rise_tau: rise_tau[i],
+                        fall_tau: fall_tau[i],
+                        inverting: false,
+                        kind: ArcKind::BufferPull,
+                    }),
+                }
+            }
+            // Pass controls along the path: when the latest-arriving
+            // control rises, the whole path conducts.
+            for &ctrl in &w.controls {
+                self.arcs.push(Arc {
+                    from: ctrl,
+                    to: w.node,
+                    rise_delay: rise_dly,
+                    fall_delay: fall_d[i],
+                    rise_tau: rise_tau[i],
+                    fall_tau: fall_tau[i],
+                    inverting: false,
+                    kind: ArcKind::PassControl,
+                });
+            }
+        }
+
+        // Precharge arcs: the precharge clock raises the root (and its
+        // subtree) when its phase is active.
+        for &did in nl.node_devices(out).channel {
+            if self.flow.device_role(did) != DeviceRole::Precharge {
+                continue;
+            }
+            let gate = nl.device(did).gate();
+            let on = match (self.case.active, self.qualification[gate.index()]) {
+                (None, _) => true,
+                (Some(p), Qualification::Phase(q)) => p == q,
+                (Some(_), _) => true,
+            };
+            if !on {
+                continue;
+            }
+            let r_pre = nl.device(did).resistance(nl.tech());
+            let (pre_rise, _, pre_tau, _) = self.tree_delays(&walk, r_pre, f64::INFINITY);
+            for (i, w) in walk.iter().enumerate() {
+                self.arcs.push(Arc {
+                    from: gate,
+                    to: w.node,
+                    rise_delay: pre_rise[i],
+                    fall_delay: f64::INFINITY,
+                    rise_tau: pre_tau[i],
+                    fall_tau: pre_tau[i],
+                    inverting: false,
+                    kind: ArcKind::Precharge,
+                });
+            }
+        }
+    }
+
+    /// Builds pass-data arcs from a primary input that feeds pass devices
+    /// directly (no on-chip driver stage).
+    fn build_source_tree(&mut self, source: NodeId, source_resistance: f64) {
+        let walk = self.walk_downstream(source);
+        if walk.len() <= 1 {
+            return;
+        }
+        let (rise_d, fall_d, rise_tau, fall_tau) =
+            self.tree_delays(&walk, source_resistance, source_resistance);
+        for (i, w) in walk.iter().enumerate().skip(1) {
+            let rise_dly = if self.flow.node_class(w.node) == tv_flow::NodeClass::Precharged {
+                f64::INFINITY
+            } else {
+                rise_d[i]
+            };
+            self.arcs.push(Arc {
+                from: source,
+                to: w.node,
+                rise_delay: rise_dly,
+                fall_delay: fall_d[i],
+                rise_tau: rise_tau[i],
+                fall_tau: fall_tau[i],
+                inverting: false,
+                kind: ArcKind::PassData,
+            });
+            for &ctrl in &w.controls {
+                self.arcs.push(Arc {
+                    from: ctrl,
+                    to: w.node,
+                    rise_delay: rise_dly,
+                    fall_delay: fall_d[i],
+                    rise_tau: rise_tau[i],
+                    fall_tau: fall_tau[i],
+                    inverting: false,
+                    kind: ArcKind::PassControl,
+                });
+            }
+        }
+    }
+}
+
+fn has_pass_fanout(netlist: &Netlist, flow: &FlowAnalysis, node: NodeId) -> bool {
+    netlist
+        .node_devices(node)
+        .channel
+        .iter()
+        .any(|&d| flow.device_role(d) == DeviceRole::Pass)
+}
+
+/// Effective pull-up resistance at a node: the parallel combination of
+/// every static pull-up device (loads, super-buffer pull-ups, enhancement
+/// followers) on its channel. `None` if the node has no static pull-up.
+pub fn pull_up_resistance(netlist: &Netlist, flow: &FlowAnalysis, node: NodeId) -> Option<f64> {
+    let mut conductance = 0.0;
+    for &did in netlist.node_devices(node).channel {
+        if matches!(
+            flow.device_role(did),
+            DeviceRole::PullUp | DeviceRole::ActivePullUp | DeviceRole::EnhPullUp
+        ) {
+            conductance += 1.0 / netlist.device(did).resistance(netlist.tech());
+        }
+    }
+    (conductance > 0.0).then(|| 1.0 / conductance)
+}
+
+/// Worst-case (maximum) series resistance of any pull-down path from
+/// `node` to GND. `None` if no pull-down path exists.
+pub fn pull_down_resistance(netlist: &Netlist, flow: &FlowAnalysis, node: NodeId) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    let mut on_path = vec![false; netlist.node_count()];
+    dfs_pd(netlist, flow, node, 0.0, &mut on_path, &mut best);
+    best
+}
+
+fn dfs_pd(
+    netlist: &Netlist,
+    flow: &FlowAnalysis,
+    node: NodeId,
+    acc: f64,
+    on_path: &mut [bool],
+    best: &mut Option<f64>,
+) {
+    on_path[node.index()] = true;
+    for &did in netlist.node_devices(node).channel {
+        if flow.device_role(did) != DeviceRole::PullDown {
+            continue;
+        }
+        let dev = netlist.device(did);
+        let other = dev.other_channel_end(node);
+        let r = acc + dev.resistance(netlist.tech());
+        if other == netlist.gnd() {
+            *best = Some(best.map_or(r, |b: f64| b.max(r)));
+        } else if other != netlist.vdd() && !on_path[other.index()] {
+            dfs_pd(netlist, flow, other, r, on_path, best);
+        }
+    }
+    on_path[node.index()] = false;
+}
+
+/// How a stage input connects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StageInputKind {
+    /// Gates a pull-down device: input rise → output fall.
+    PullDownGate,
+    /// Gates an active pull-up: input rise → output rise.
+    PullUpGate,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StageInput {
+    node: NodeId,
+    kind: StageInputKind,
+}
+
+/// The gate inputs of the stage driving `out`: gates of the pull-down
+/// network reachable below it, plus gates of actively pulled-up devices.
+fn stage_inputs(netlist: &Netlist, flow: &FlowAnalysis, out: NodeId) -> Vec<StageInput> {
+    let mut inputs: Vec<StageInput> = Vec::new();
+    let push = |node: NodeId, kind: StageInputKind, inputs: &mut Vec<StageInput>| {
+        if !netlist.node(node).role().is_rail()
+            && !inputs.iter().any(|i| i.node == node && i.kind == kind)
+        {
+            inputs.push(StageInput { node, kind });
+        }
+    };
+
+    // Active pull-ups on the output.
+    for &did in netlist.node_devices(out).channel {
+        match flow.device_role(did) {
+            DeviceRole::ActivePullUp | DeviceRole::EnhPullUp => {
+                let g = netlist.device(did).gate();
+                if g != out {
+                    push(g, StageInputKind::PullUpGate, &mut inputs);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Pull-down network below the output.
+    let mut frontier = vec![out];
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(out);
+    while let Some(node) = frontier.pop() {
+        for &did in netlist.node_devices(node).channel {
+            if flow.device_role(did) != DeviceRole::PullDown {
+                continue;
+            }
+            let dev = netlist.device(did);
+            push(dev.gate(), StageInputKind::PullDownGate, &mut inputs);
+            let other = dev.other_channel_end(node);
+            if other != netlist.gnd() && other != netlist.vdd() && seen.insert(other) {
+                frontier.push(other);
+            }
+        }
+    }
+    inputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::DelayModel;
+    use tv_clocks::qualify::qualify_with_flow;
+    use tv_flow::{analyze, RuleSet};
+    use tv_netlist::{NetlistBuilder, Tech};
+
+    fn graph_for(nl: &Netlist, case: PhaseCase) -> (TimingGraph, FlowAnalysis) {
+        let flow = analyze(nl, &RuleSet::all());
+        let q = qualify_with_flow(nl, &flow);
+        let g = TimingGraph::build(nl, &flow, &q, case, DelayModel::Elmore, 1.0);
+        (g, flow)
+    }
+
+    #[test]
+    fn inverter_yields_one_arc_with_asymmetric_delays() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let out = b.output("out");
+        b.inverter("i", a, out);
+        let nl = b.finish().unwrap();
+        let (g, _) = graph_for(&nl, PhaseCase::all_active());
+        assert_eq!(g.arc_count(), 1);
+        let arc = &g.arcs[0];
+        assert_eq!(arc.from, a);
+        assert_eq!(arc.to, out);
+        assert!(arc.inverting);
+        assert!(
+            arc.rise_delay > 3.0 * arc.fall_delay,
+            "ratioed rise {} vs fall {}",
+            arc.rise_delay,
+            arc.fall_delay
+        );
+    }
+
+    #[test]
+    fn nand_has_arc_per_input() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let i0 = b.input("i0");
+        let i1 = b.input("i1");
+        let i2 = b.input("i2");
+        let out = b.node("out");
+        b.nand("g", &[i0, i1, i2], out);
+        let nl = b.finish().unwrap();
+        let (g, _) = graph_for(&nl, PhaseCase::all_active());
+        // Arcs to the output from each input; the walk root is just `out`
+        // (interior chain nodes are not driver roots).
+        let to_out: Vec<_> = g.arcs.iter().filter(|a| a.to == out).collect();
+        assert_eq!(to_out.len(), 3);
+        for a in to_out {
+            assert!(a.inverting);
+            assert!(a.fall_delay.is_finite());
+        }
+    }
+
+    #[test]
+    fn pass_chain_arcs_grow_with_depth() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let en = b.input("en");
+        let s0 = b.node("s0");
+        b.inverter("drv", a, s0);
+        let s1 = b.node("s1");
+        let s2 = b.node("s2");
+        b.pass("p0", en, s0, s1);
+        b.pass("p1", en, s1, s2);
+        let out = b.node("out");
+        b.inverter("rcv", s2, out);
+        let nl = b.finish().unwrap();
+        let (g, _) = graph_for(&nl, PhaseCase::all_active());
+        let d = |to: NodeId| {
+            g.arcs
+                .iter()
+                .find(|x| x.from == a && x.to == to)
+                .map(|x| x.fall_delay)
+                .expect("arc exists")
+        };
+        assert!(d(s1) > d(s0));
+        assert!(d(s2) > d(s1));
+        // Control arcs from `en` exist for downstream nodes.
+        assert!(g.arcs.iter().any(|x| x.from == en && x.to == s2
+            && x.kind == ArcKind::PassControl));
+    }
+
+    #[test]
+    fn super_buffer_internal_gets_noninverting_pullup_arc() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let out = b.output("out");
+        let internal = b.super_buffer("sb", a, out, 4.0);
+        let nl = b.finish().unwrap();
+        let (g, _) = graph_for(&nl, PhaseCase::all_active());
+        let pull = g
+            .arcs
+            .iter()
+            .find(|x| x.from == internal && x.to == out && x.kind == ArcKind::BufferPull)
+            .expect("buffer pull arc");
+        assert!(!pull.inverting);
+        assert!(pull.rise_delay.is_finite());
+        assert!(pull.fall_delay.is_infinite());
+    }
+
+    #[test]
+    fn case_analysis_disables_inactive_phase_pass() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let phi1 = b.clock("phi1", 0);
+        let d = b.input("d");
+        let qb = b.node("qb");
+        let store = b.dynamic_latch("l", phi1, d, qb);
+        let nl = b.finish().unwrap();
+
+        // Phase 0 active: data flows into the latch.
+        let (g0, _) = graph_for(&nl, PhaseCase::phase(0));
+        assert!(g0.arcs.iter().any(|a| a.to == store));
+
+        // Phase 1 active: the φ1 pass is off, no arc reaches the storage.
+        let (g1, _) = graph_for(&nl, PhaseCase::phase(1));
+        assert!(!g1.arcs.iter().any(|a| a.to == store));
+    }
+
+    #[test]
+    fn precharge_arc_present_only_in_its_phase() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let phi2 = b.clock("phi2", 1);
+        let en = b.input("en");
+        let bus = b.node("bus");
+        b.precharge("pre", phi2, bus);
+        let gnd = b.gnd();
+        b.enhancement("dis", en, gnd, bus, 8.0, 4.0);
+        let nl = b.finish().unwrap();
+        let (g1, _) = graph_for(&nl, PhaseCase::phase(1));
+        assert!(g1
+            .arcs
+            .iter()
+            .any(|a| a.kind == ArcKind::Precharge && a.to == bus));
+        let (g0, _) = graph_for(&nl, PhaseCase::phase(0));
+        assert!(!g0.arcs.iter().any(|a| a.kind == ArcKind::Precharge));
+        // The discharge arc from `en` exists in both cases.
+        assert!(g0.arcs.iter().any(|a| a.from == en && a.to == bus));
+    }
+
+    #[test]
+    fn pull_down_resistance_takes_worst_path() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let i0 = b.input("i0");
+        let i1 = b.input("i1");
+        let out = b.node("out");
+        // NOR: two parallel pull-downs — worst single path is one device.
+        b.nor("g", &[i0, i1], out);
+        let nl = b.finish().unwrap();
+        let flow = analyze(&nl, &RuleSet::all());
+        let r_nor = pull_down_resistance(&nl, &flow, out).unwrap();
+
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let i0 = b.input("i0");
+        let i1 = b.input("i1");
+        let out = b.node("out");
+        b.nand("g", &[i0, i1], out);
+        let nl2 = b.finish().unwrap();
+        let flow2 = analyze(&nl2, &RuleSet::all());
+        let r_nand = pull_down_resistance(&nl2, &flow2, out).unwrap();
+        // NAND series devices are sized wider to match the inverter, so
+        // its total equals the NOR's single leg.
+        assert!((r_nand - r_nor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn input_fed_latch_gets_pass_data_arc() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let phi1 = b.clock("phi1", 0);
+        let d = b.input("d");
+        let qb = b.node("qb");
+        let store = b.dynamic_latch("l", phi1, d, qb);
+        let nl = b.finish().unwrap();
+        let (g, _) = graph_for(&nl, PhaseCase::phase(0));
+        let data = g
+            .arcs
+            .iter()
+            .find(|a| a.from == d && a.to == store && a.kind == ArcKind::PassData)
+            .expect("data arc");
+        assert!(!data.inverting);
+        // Clock control arc too.
+        assert!(g
+            .arcs
+            .iter()
+            .any(|a| a.to == store && a.kind == ArcKind::PassControl));
+    }
+
+    #[test]
+    fn lumped_model_gives_same_delay_everywhere_in_tree() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let en = b.input("en");
+        let s0 = b.node("s0");
+        b.inverter("drv", a, s0);
+        let s1 = b.node("s1");
+        b.pass("p0", en, s0, s1);
+        let out = b.node("out");
+        b.inverter("rcv", s1, out);
+        let nl = b.finish().unwrap();
+        let flow = analyze(&nl, &RuleSet::all());
+        let q = qualify_with_flow(&nl, &flow);
+        let g = TimingGraph::build(
+            &nl,
+            &flow,
+            &q,
+            PhaseCase::all_active(),
+            DelayModel::Lumped,
+            1.0,
+        );
+        let d0 = g
+            .arcs
+            .iter()
+            .find(|x| x.from == a && x.to == s0)
+            .unwrap()
+            .fall_delay;
+        let d1 = g
+            .arcs
+            .iter()
+            .find(|x| x.from == a && x.to == s1)
+            .unwrap()
+            .fall_delay;
+        assert!((d0 - d1).abs() < 1e-12, "lumped ignores tree position");
+    }
+
+    #[test]
+    fn upper_bound_model_dominates_elmore() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let out = b.output("out");
+        b.inverter("i", a, out);
+        b.add_cap(out, 0.2).unwrap();
+        let nl = b.finish().unwrap();
+        let flow = analyze(&nl, &RuleSet::all());
+        let q = qualify_with_flow(&nl, &flow);
+        let ge = TimingGraph::build(
+            &nl,
+            &flow,
+            &q,
+            PhaseCase::all_active(),
+            DelayModel::Elmore,
+            1.0,
+        );
+        let gu = TimingGraph::build(
+            &nl,
+            &flow,
+            &q,
+            PhaseCase::all_active(),
+            DelayModel::UpperBound,
+            1.0,
+        );
+        assert!(gu.arcs[0].fall_delay > ge.arcs[0].fall_delay);
+        assert!(gu.arcs[0].rise_delay > ge.arcs[0].rise_delay);
+    }
+}

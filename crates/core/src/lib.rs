@@ -1,0 +1,64 @@
+//! **TV** — transistor-level static timing analysis for nMOS VLSI.
+//!
+//! This crate is the reproduction of the system of Jouppi's *"Timing
+//! analysis for nMOS VLSI"* (Proc. 20th DAC, 1983): a timing verifier that
+//! consumes an extracted transistor netlist — not a gate-level
+//! abstraction — and reports worst-case delays, critical paths, minimum
+//! two-phase cycle time, and the electrical rule violations designers of
+//! that era fought (pull-up ratio errors, charge sharing, unresolvable
+//! pass-transistor directions).
+//!
+//! The pipeline, mirroring the paper's structure:
+//!
+//! 1. `tv-flow` resolves signal-flow directions and classifies devices;
+//! 2. `tv-clocks` recovers the two-phase discipline (qualified clocks,
+//!    latches);
+//! 3. [`graph`] turns each driving stage plus its downstream pass network
+//!    into **timing arcs** with separate rise/fall Elmore delays
+//!    (`tv-rc`);
+//! 4. [`propagate`] computes worst-case rise/fall arrival times per clock
+//!    phase (case analysis), with genuine cyclic structures detected and
+//!    reported rather than looped on;
+//! 5. [`paths`] backtracks the top-K critical paths and [`hold`] runs
+//!    the min-delay race-through check;
+//! 6. [`checks`] runs the electrical rule checks;
+//! 7. [`analyzer`] ties it together behind one call and [`report`]
+//!    renders the result tables.
+//!
+//! # Example
+//!
+//! ```
+//! use tv_core::{Analyzer, AnalysisOptions};
+//! use tv_gen::chains;
+//! use tv_netlist::Tech;
+//!
+//! let circuit = chains::inverter_chain(Tech::nmos4um(), 4, 2);
+//! let report = Analyzer::new(&circuit.netlist)
+//!     .run(&AnalysisOptions::default());
+//! // A 4-stage chain has a finite combinational delay at its output.
+//! let delay = report.combinational.arrival(circuit.output);
+//! assert!(delay.is_some());
+//! assert!(delay.unwrap() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod checks;
+pub mod graph;
+pub mod hold;
+pub mod optimize;
+pub mod options;
+pub mod paths;
+pub mod propagate;
+pub mod report;
+
+pub use analyzer::{Analyzer, TimingReport};
+pub use checks::{check_electrical, CheckIssue};
+pub use graph::{Arc, ArcKind, PhaseCase, TimingGraph};
+pub use hold::{race_check, RaceHazard};
+pub use optimize::{buffer_long_pass_runs, BufferInsertion};
+pub use options::{AnalysisOptions, DelayModel};
+pub use paths::{PathStep, TimingPath};
+pub use propagate::{Arrivals, PhaseResult};

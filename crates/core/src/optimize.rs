@@ -1,0 +1,200 @@
+//! Analyzer-driven optimization: automatic buffer insertion on long pass
+//! runs.
+//!
+//! The TV paper's closing argument — and the reason timing verifiers were
+//! built — is that once a tool can *find* the slow structures, it can
+//! drive fixing them. The canonical nMOS fix is mechanical: a run of more
+//! than a few series pass transistors grows quadratically slow, so break
+//! it with a restoring buffer (two inverters). This module implements
+//! that transformation as a netlist-to-netlist pass:
+//!
+//! 1. run flow analysis and measure, for every node, the longest run of
+//!    oriented pass devices separating it from a restoring driver;
+//! 2. wherever a run would exceed `max_run`, splice in an inverter pair
+//!    and rewire the downstream pass device onto the buffer's output;
+//! 3. return the edited netlist plus a description of each site.
+//!
+//! The pass is deterministic, idempotent for a given `max_run`, and
+//! preserves all existing node/device ids (new structure is appended).
+
+use std::collections::HashMap;
+
+use tv_flow::{Direction, DeviceRole, FlowAnalysis, NodeClass, RuleSet};
+use tv_netlist::{DeviceId, Netlist, NodeId};
+
+/// The outcome of a buffer-insertion pass.
+#[derive(Debug)]
+pub struct BufferInsertion {
+    /// The edited netlist (unchanged if `inserted == 0`).
+    pub netlist: Netlist,
+    /// Number of buffers (inverter pairs) inserted.
+    pub inserted: usize,
+    /// Names of the nodes buffers were inserted after.
+    pub sites: Vec<String>,
+}
+
+/// Splits every oriented pass run longer than `max_run` devices by
+/// inserting a restoring inverter pair. Bidirectional and unresolved pass
+/// devices are left untouched (buffering a bus coupler would break it).
+///
+/// # Panics
+///
+/// Panics if `max_run == 0`.
+pub fn buffer_long_pass_runs(netlist: &Netlist, max_run: usize) -> BufferInsertion {
+    assert!(max_run > 0, "a run limit of zero would buffer everything");
+    let flow = FlowAnalysis::run(netlist, &RuleSet::all());
+
+    // Depth = number of consecutive oriented pass devices from the nearest
+    // restoring (or external) driver. Computed in BFS order from depth-0
+    // origins; orientation makes the pass graph acyclic in practice, and a
+    // visit cap guards the pathological cases.
+    let mut depth: HashMap<NodeId, usize> = HashMap::new();
+    let mut order: Vec<(DeviceId, NodeId, NodeId)> = Vec::new(); // (dev, up, down)
+    {
+        let mut frontier: Vec<NodeId> = netlist
+            .node_ids()
+            .filter(|&n| {
+                matches!(
+                    flow.node_class(n),
+                    NodeClass::Restored | NodeClass::Precharged | NodeClass::External
+                )
+            })
+            .collect();
+        for &n in &frontier {
+            depth.insert(n, 0);
+        }
+        let mut guard = 0usize;
+        while let Some(u) = frontier.pop() {
+            guard += 1;
+            if guard > 4 * netlist.device_count() + netlist.node_count() {
+                break;
+            }
+            let du = depth[&u];
+            for &did in netlist.node_devices(u).channel {
+                if flow.device_role(did) != DeviceRole::Pass {
+                    continue;
+                }
+                let Direction::Toward(v) = flow.direction(did) else {
+                    continue;
+                };
+                if v == u {
+                    continue; // flows into u, not out of it
+                }
+                let dv = du + 1;
+                let better = depth.get(&v).is_none_or(|&old| dv > old);
+                if better {
+                    depth.insert(v, dv);
+                    order.push((did, u, v));
+                    frontier.push(v);
+                }
+            }
+        }
+    }
+
+    // Re-walk in recorded order, inserting buffers where the (possibly
+    // already-shortened) run would exceed the limit.
+    let mut b = netlist.to_builder();
+    let mut eff_depth: HashMap<NodeId, usize> = HashMap::new();
+    let mut buffered_at: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut sites = Vec::new();
+    for (did, u, v) in order {
+        let du = eff_depth.get(&u).copied().unwrap_or(0);
+        if du >= max_run {
+            // Break the run at `u`: one shared buffer per node.
+            let buf_out = *buffered_at.entry(u).or_insert_with(|| {
+                let uname = netlist.node(u).name().to_owned();
+                let mid = b.node(format!("{uname}_abuf_n"));
+                b.inverter(format!("{uname}_abuf_a"), u, mid);
+                let out = b.node(format!("{uname}_abuf_o"));
+                b.inverter(format!("{uname}_abuf_b"), mid, out);
+                sites.push(uname);
+                out
+            });
+            b.rewire_channel(did, u, buf_out);
+            eff_depth.insert(v, 1);
+        } else {
+            eff_depth.insert(v, du + 1);
+        }
+    }
+
+    let inserted = sites.len();
+    let netlist = b
+        .finish()
+        .expect("buffer insertion preserves structural validity");
+    BufferInsertion {
+        netlist,
+        inserted,
+        sites,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalysisOptions, Analyzer};
+    use tv_gen::chains::pass_chain;
+    use tv_netlist::Tech;
+
+    #[test]
+    fn short_chains_are_left_alone() {
+        let c = pass_chain(Tech::nmos4um(), 3);
+        let r = buffer_long_pass_runs(&c.netlist, 4);
+        assert_eq!(r.inserted, 0);
+        assert_eq!(r.netlist.device_count(), c.netlist.device_count());
+    }
+
+    #[test]
+    fn long_chain_gets_buffers_and_speeds_up() {
+        let c = pass_chain(Tech::nmos4um(), 9);
+        let before = Analyzer::new(&c.netlist)
+            .run(&AnalysisOptions::default())
+            .combinational
+            .arrivals
+            .rise(c.output)
+            .expect("reachable");
+
+        let r = buffer_long_pass_runs(&c.netlist, 3);
+        assert!(r.inserted >= 2, "expected ≥2 buffers, got {}", r.inserted);
+        // 4 devices per buffer.
+        assert_eq!(
+            r.netlist.device_count(),
+            c.netlist.device_count() + 4 * r.inserted
+        );
+
+        let out = r.netlist.node_by_name("out").expect("output survives");
+        let after = Analyzer::new(&r.netlist)
+            .run(&AnalysisOptions::default())
+            .combinational
+            .arrivals
+            .rise(out)
+            .expect("still reachable");
+        assert!(
+            after < before,
+            "buffering must speed the chain: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn pass_is_idempotent() {
+        let c = pass_chain(Tech::nmos4um(), 9);
+        let once = buffer_long_pass_runs(&c.netlist, 3);
+        let twice = buffer_long_pass_runs(&once.netlist, 3);
+        assert_eq!(twice.inserted, 0, "sites: {:?}", twice.sites);
+    }
+
+    #[test]
+    fn sites_name_real_nodes() {
+        let c = pass_chain(Tech::nmos4um(), 7);
+        let r = buffer_long_pass_runs(&c.netlist, 3);
+        for site in &r.sites {
+            assert!(c.netlist.node_by_name(site).is_some(), "unknown site {site}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "run limit of zero")]
+    fn zero_limit_panics() {
+        let c = pass_chain(Tech::nmos4um(), 2);
+        let _ = buffer_long_pass_runs(&c.netlist, 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Analysis configuration.
+
+use tv_clocks::TwoPhaseClock;
+use tv_flow::RuleSet;
+use tv_rc::SlopeModel;
+
+/// Which RC delay model converts stage resistance and capacitance into an
+/// arc delay (the A1 ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DelayModel {
+    /// Distributed Elmore delay over the stage's RC tree (TV's model, the
+    /// default).
+    #[default]
+    Elmore,
+    /// Lumped: driver resistance × total tree capacitance, ignoring pass
+    /// and interconnect resistance. The pre-TV model; underestimates chain
+    /// far ends.
+    Lumped,
+    /// The certified *upper* bound (`T_D / x` at the switching fraction) —
+    /// maximally conservative.
+    UpperBound,
+}
+
+/// Options controlling one analysis run.
+#[derive(Debug, Clone)]
+pub struct AnalysisOptions {
+    /// Rules used by the signal-flow direction fixpoint.
+    pub rules: RuleSet,
+    /// The RC delay model for arcs.
+    pub model: DelayModel,
+    /// Whether to run per-phase case analysis (TV's approach). When
+    /// `false`, all clocks are treated as simultaneously active — the
+    /// naive mode the T4 ablation compares against.
+    pub case_analysis: bool,
+    /// The clock scheme setup checks are made against.
+    pub clock: TwoPhaseClock,
+    /// How many critical paths to extract per phase.
+    pub top_k: usize,
+    /// Waveform-slope handling ([`SlopeModel::calibrated`] by default;
+    /// [`SlopeModel::disabled`] for pure step-response analysis).
+    pub slope: SlopeModel,
+}
+
+impl Default for AnalysisOptions {
+    /// Elmore model, full rule set, case analysis on, a roomy 100 ns
+    /// symmetric clock, top-10 paths.
+    fn default() -> Self {
+        AnalysisOptions {
+            rules: RuleSet::all(),
+            model: DelayModel::Elmore,
+            case_analysis: true,
+            clock: TwoPhaseClock::symmetric(100.0, 2.0),
+            top_k: 10,
+            slope: SlopeModel::calibrated(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_elmore_with_case_analysis() {
+        let o = AnalysisOptions::default();
+        assert_eq!(o.model, DelayModel::Elmore);
+        assert!(o.case_analysis);
+        assert_eq!(o.top_k, 10);
+        assert!(o.clock.cycle() > 0.0);
+    }
+
+    #[test]
+    fn delay_model_default_is_elmore() {
+        assert_eq!(DelayModel::default(), DelayModel::Elmore);
+    }
+}

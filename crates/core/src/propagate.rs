@@ -1,0 +1,390 @@
+//! Worst-case arrival-time propagation over the timing graph.
+
+use std::collections::VecDeque;
+
+use tv_netlist::{Netlist, NodeId};
+use tv_rc::SlopeModel;
+
+use crate::graph::{ArcKind, PhaseCase, TimingGraph};
+
+/// A signal transition direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// Low → high.
+    Rise,
+    /// High → low.
+    Fall,
+}
+
+impl Edge {
+    /// The opposite direction.
+    #[inline]
+    pub fn flipped(self) -> Edge {
+        match self {
+            Edge::Rise => Edge::Fall,
+            Edge::Fall => Edge::Rise,
+        }
+    }
+}
+
+/// The predecessor record for path backtracking: which arc set this
+/// arrival and which edge of the `from` node triggered it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Pred {
+    pub arc: u32,
+    pub from_edge: Edge,
+}
+
+/// Worst-case rise/fall arrival times at every node, measured from the
+/// analyzed phase's opening edge. `f64::NEG_INFINITY` means the
+/// transition never happens in this case.
+#[derive(Debug, Clone)]
+pub struct Arrivals {
+    pub(crate) rise: Vec<f64>,
+    pub(crate) fall: Vec<f64>,
+    /// 10–90% transition time of the waveform achieving the worst rise.
+    pub(crate) trans_rise: Vec<f64>,
+    /// 10–90% transition time of the waveform achieving the worst fall.
+    pub(crate) trans_fall: Vec<f64>,
+    pub(crate) pred_rise: Vec<Option<Pred>>,
+    pub(crate) pred_fall: Vec<Option<Pred>>,
+}
+
+impl Arrivals {
+    /// Rise arrival at `node`, ns, if it can rise in this case.
+    pub fn rise(&self, node: NodeId) -> Option<f64> {
+        finite(self.rise[node.index()])
+    }
+
+    /// Fall arrival at `node`, ns, if it can fall in this case.
+    pub fn fall(&self, node: NodeId) -> Option<f64> {
+        finite(self.fall[node.index()])
+    }
+
+    /// Worst (latest) arrival at `node` over both edges, ns.
+    pub fn arrival(&self, node: NodeId) -> Option<f64> {
+        match (self.rise(node), self.fall(node)) {
+            (Some(r), Some(f)) => Some(r.max(f)),
+            (Some(r), None) => Some(r),
+            (None, Some(f)) => Some(f),
+            (None, None) => None,
+        }
+    }
+
+    /// 10–90% transition time of the waveform achieving the worst arrival
+    /// of the given edge at `node`, ns.
+    pub fn transition(&self, node: NodeId, edge: Edge) -> Option<f64> {
+        match edge {
+            Edge::Rise => self.rise(node).map(|_| self.trans_rise[node.index()]),
+            Edge::Fall => self.fall(node).map(|_| self.trans_fall[node.index()]),
+        }
+    }
+
+    /// The edge achieving [`Arrivals::arrival`], when one exists.
+    pub fn worst_edge(&self, node: NodeId) -> Option<Edge> {
+        match (self.rise(node), self.fall(node)) {
+            (Some(r), Some(f)) => Some(if r >= f { Edge::Rise } else { Edge::Fall }),
+            (Some(_), None) => Some(Edge::Rise),
+            (None, Some(_)) => Some(Edge::Fall),
+            (None, None) => None,
+        }
+    }
+}
+
+fn finite(v: f64) -> Option<f64> {
+    v.is_finite().then_some(v)
+}
+
+/// The outcome of propagating one phase case.
+#[derive(Debug, Clone)]
+pub struct PhaseResult {
+    /// The case analyzed.
+    pub case: PhaseCase,
+    /// Per-node arrivals.
+    pub arrivals: Arrivals,
+    /// Endpoint nodes (latches captured this phase, primary outputs) with
+    /// their worst arrivals, sorted latest-first.
+    pub endpoints: Vec<(NodeId, f64)>,
+    /// Whether relaxation hit the iteration cap — a genuine (or
+    /// unresolvable) combinational cycle.
+    pub cyclic: bool,
+    /// Number of arc relaxations performed (a work measure for T5).
+    pub relaxations: usize,
+}
+
+impl PhaseResult {
+    /// Latest endpoint arrival, ns; `None` when nothing arrives (e.g. an
+    /// empty case).
+    pub fn critical_arrival(&self) -> Option<f64> {
+        self.endpoints.first().map(|&(_, t)| t)
+    }
+
+    /// Convenience passthrough to [`Arrivals::arrival`].
+    pub fn arrival(&self, node: NodeId) -> Option<f64> {
+        self.arrivals.arrival(node)
+    }
+}
+
+/// Propagates worst-case arrivals from `sources` (arrival 0 on both
+/// edges, step transitions) through the graph. `endpoints` selects which
+/// nodes are reported as capture points.
+///
+/// Slope handling follows TV: each arc's delay is padded with
+/// `k_slope × input_transition`, and the output transition is
+/// `k_transition × τ` of the arc's RC constant. Pass
+/// [`SlopeModel::disabled`] for pure step-response analysis.
+///
+/// Relaxation is worklist-based and monotone (arrivals only grow), so on
+/// an acyclic graph it terminates exactly; a relaxation budget of
+/// `64 × (arcs + nodes)` catches combinational cycles, which are
+/// reported via [`PhaseResult::cyclic`] instead of looping forever.
+pub fn propagate(
+    netlist: &Netlist,
+    graph: &TimingGraph,
+    sources: &[NodeId],
+    endpoints: &[NodeId],
+    slope: &SlopeModel,
+) -> PhaseResult {
+    let n = netlist.node_count();
+    let mut arr = Arrivals {
+        rise: vec![f64::NEG_INFINITY; n],
+        fall: vec![f64::NEG_INFINITY; n],
+        trans_rise: vec![0.0; n],
+        trans_fall: vec![0.0; n],
+        pred_rise: vec![None; n],
+        pred_fall: vec![None; n],
+    };
+
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    let mut queued = vec![false; n];
+    for &s in sources {
+        arr.rise[s.index()] = 0.0;
+        arr.fall[s.index()] = 0.0;
+        if !queued[s.index()] {
+            queued[s.index()] = true;
+            queue.push_back(s);
+        }
+    }
+
+    let budget = 64 * (graph.arcs.len() + n).max(1);
+    let mut relaxations = 0usize;
+    let mut cyclic = false;
+
+    while let Some(node) = queue.pop_front() {
+        queued[node.index()] = false;
+        if relaxations > budget {
+            cyclic = true;
+            break;
+        }
+        let (from_rise, from_fall) = (arr.rise[node.index()], arr.fall[node.index()]);
+        let (from_trise, from_tfall) = (
+            arr.trans_rise[node.index()],
+            arr.trans_fall[node.index()],
+        );
+        for &ai in &graph.out_arcs[node.index()] {
+            let arc = &graph.arcs[ai as usize];
+            let to = arc.to.index();
+            // Candidate (arrival, trigger edge) for the target's rise and
+            // fall, depending on arc semantics, padded with the slope
+            // penalty of the triggering waveform.
+            let (cand_rise, rise_src, cand_fall, fall_src) = match arc.kind {
+                ArcKind::PassControl | ArcKind::Precharge => (
+                    from_rise + arc.rise_delay + slope.k_slope * from_trise,
+                    Edge::Rise,
+                    from_rise + arc.fall_delay + slope.k_slope * from_trise,
+                    Edge::Rise,
+                ),
+                _ if arc.inverting => (
+                    from_fall + arc.rise_delay + slope.k_slope * from_tfall,
+                    Edge::Fall,
+                    from_rise + arc.fall_delay + slope.k_slope * from_trise,
+                    Edge::Rise,
+                ),
+                _ => (
+                    from_rise + arc.rise_delay + slope.k_slope * from_trise,
+                    Edge::Rise,
+                    from_fall + arc.fall_delay + slope.k_slope * from_tfall,
+                    Edge::Fall,
+                ),
+            };
+            let mut improved = false;
+            if cand_rise.is_finite() && cand_rise > arr.rise[to] {
+                arr.rise[to] = cand_rise;
+                arr.trans_rise[to] = slope.output_transition(arc.rise_tau);
+                arr.pred_rise[to] = Some(Pred {
+                    arc: ai,
+                    from_edge: rise_src,
+                });
+                improved = true;
+            }
+            if cand_fall.is_finite() && cand_fall > arr.fall[to] {
+                arr.fall[to] = cand_fall;
+                arr.trans_fall[to] = slope.output_transition(arc.fall_tau);
+                arr.pred_fall[to] = Some(Pred {
+                    arc: ai,
+                    from_edge: fall_src,
+                });
+                improved = true;
+            }
+            relaxations += 1;
+            if improved && !queued[to] {
+                queued[to] = true;
+                queue.push_back(arc.to);
+            }
+        }
+    }
+
+    let mut eps: Vec<(NodeId, f64)> = endpoints
+        .iter()
+        .filter_map(|&e| arr.arrival(e).map(|t| (e, t)))
+        .collect();
+    eps.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite arrivals"));
+
+    PhaseResult {
+        case: graph.case,
+        arrivals: arr,
+        endpoints: eps,
+        cyclic,
+        relaxations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PhaseCase;
+    use crate::options::DelayModel;
+    use tv_clocks::qualify::qualify_with_flow;
+    use tv_flow::{analyze, RuleSet};
+    use tv_netlist::{NetlistBuilder, Tech};
+
+    fn run(nl: &Netlist, case: PhaseCase, sources: &[NodeId], endpoints: &[NodeId]) -> PhaseResult {
+        let flow = analyze(nl, &RuleSet::all());
+        let q = qualify_with_flow(nl, &flow);
+        let g = TimingGraph::build(nl, &flow, &q, case, DelayModel::Elmore, 1.0);
+        propagate(nl, &g, sources, endpoints, &SlopeModel::calibrated())
+    }
+
+    #[test]
+    fn chain_arrivals_accumulate() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let x = b.node("x");
+        let y = b.node("y");
+        let z = b.output("z");
+        b.inverter("i1", a, x);
+        b.inverter("i2", x, y);
+        b.inverter("i3", y, z);
+        let nl = b.finish().unwrap();
+        let r = run(&nl, PhaseCase::all_active(), &[a], &[z]);
+        let ax = r.arrival(x).unwrap();
+        let ay = r.arrival(y).unwrap();
+        let az = r.arrival(z).unwrap();
+        assert!(0.0 < ax && ax < ay && ay < az);
+        assert!(!r.cyclic);
+        assert_eq!(r.critical_arrival(), Some(az));
+    }
+
+    #[test]
+    fn rise_fall_alternate_down_an_inverter_chain() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let x = b.node("x");
+        let y = b.node("y");
+        b.inverter("i1", a, x);
+        b.inverter("i2", x, y);
+        let nl = b.finish().unwrap();
+        let r = run(&nl, PhaseCase::all_active(), &[a], &[y]);
+        // x's slow edge is its rise (depletion load); y's rise is driven
+        // by x's fall, so y's rise is comparatively early, and y's fall
+        // waits for x's slow rise.
+        let x_rise = r.arrivals.rise(x).unwrap();
+        let x_fall = r.arrivals.fall(x).unwrap();
+        assert!(x_rise > x_fall);
+        let y_fall = r.arrivals.fall(y).unwrap();
+        assert!(y_fall > x_rise, "y falls only after x rises");
+    }
+
+    #[test]
+    fn unreachable_node_has_no_arrival() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let other = b.input("other");
+        let x = b.node("x");
+        let y = b.node("y");
+        b.inverter("i1", a, x);
+        b.inverter("i2", other, y);
+        let nl = b.finish().unwrap();
+        let r = run(&nl, PhaseCase::all_active(), &[a], &[x, y]);
+        assert!(r.arrival(x).is_some());
+        assert_eq!(r.arrival(y), None);
+        assert_eq!(r.endpoints.len(), 1);
+    }
+
+    #[test]
+    fn ring_oscillator_detected_as_cyclic() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let kick = b.input("kick");
+        let n0 = b.node("n0");
+        let n1 = b.node("n1");
+        let n2 = b.node("n2");
+        b.nand("g0", &[kick, n2], n0);
+        b.inverter("g1", n0, n1);
+        b.inverter("g2", n1, n2);
+        let nl = b.finish().unwrap();
+        let r = run(&nl, PhaseCase::all_active(), &[kick], &[n2]);
+        assert!(r.cyclic, "three-ring must be flagged cyclic");
+    }
+
+    #[test]
+    fn latch_breaks_the_loop_under_case_analysis() {
+        // A two-phase loop: logic -> φ1 latch -> logic -> φ2 latch -> back.
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let phi1 = b.clock("phi1", 0);
+        let phi2 = b.clock("phi2", 1);
+        let l1_out = b.node("l1_out");
+        let inv1 = b.node("inv1");
+        b.inverter("i1", l1_out, inv1);
+        let l2_out = b.node("l2_out");
+        b.dynamic_latch("l2", phi2, inv1, l2_out);
+        let inv2 = b.node("inv2");
+        b.inverter("i2", l2_out, inv2);
+        b.dynamic_latch("l1", phi1, inv2, l1_out);
+        let nl = b.finish().unwrap();
+        let l1_store = nl.node_by_name("l1_mem").unwrap();
+        let l2_store = nl.node_by_name("l2_mem").unwrap();
+
+        // Phase 1 (φ2 active): source is the φ1 latch, endpoint φ2 latch.
+        let r = run(&nl, PhaseCase::phase(1), &[l1_store, phi2], &[l2_store]);
+        assert!(!r.cyclic);
+        assert!(r.arrival(l2_store).is_some());
+
+        // Without case analysis the loop is unbroken and flagged.
+        let r_naive = run(
+            &nl,
+            PhaseCase::all_active(),
+            &[l1_store, phi1, phi2],
+            &[l2_store],
+        );
+        assert!(r_naive.cyclic);
+    }
+
+    #[test]
+    fn worst_edge_matches_arrival() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let x = b.output("x");
+        b.inverter("i", a, x);
+        let nl = b.finish().unwrap();
+        let r = run(&nl, PhaseCase::all_active(), &[a], &[x]);
+        // The slow edge of an inverter output is the rise.
+        assert_eq!(r.arrivals.worst_edge(x), Some(Edge::Rise));
+        assert_eq!(r.arrival(x), r.arrivals.rise(x));
+    }
+
+    #[test]
+    fn edge_flip_is_involutive() {
+        assert_eq!(Edge::Rise.flipped(), Edge::Fall);
+        assert_eq!(Edge::Fall.flipped().flipped(), Edge::Fall);
+    }
+}

@@ -1,0 +1,102 @@
+//! Text rendering of a [`TimingReport`] — the analyzer's output the way
+//! a 1983 designer would read it.
+
+use std::fmt::Write as _;
+
+use tv_netlist::Netlist;
+
+use crate::analyzer::TimingReport;
+
+impl TimingReport {
+    /// Renders the full report with node names resolved against the
+    /// netlist it was produced from.
+    pub fn render(&self, netlist: &Netlist) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "TV timing report — {} devices, {} nodes",
+            netlist.device_count(),
+            netlist.node_count()
+        );
+        let _ = writeln!(s, "flow: {}", self.flow_report);
+        let _ = writeln!(s, "{}", self.census);
+        let _ = writeln!(s, "latches: {}", self.latches.len());
+
+        if let Some(t) = self.combinational.critical_arrival() {
+            let _ = writeln!(s, "combinational critical arrival: {t:.3} ns");
+        }
+        if self.combinational.cyclic {
+            let _ = writeln!(s, "WARNING: combinational view contains cycles");
+        }
+
+        for p in &self.phases {
+            let _ = writeln!(
+                s,
+                "phase {}: arcs {}  critical {}  slack {}",
+                p.phase + 1,
+                p.arcs,
+                p.result
+                    .critical_arrival()
+                    .map_or("-".to_string(), |t| format!("{t:.3} ns")),
+                p.slack.map_or("-".to_string(), |x| format!("{x:.3} ns")),
+            );
+            if p.result.cyclic {
+                let _ = writeln!(s, "  WARNING: phase {} has cycles", p.phase + 1);
+            }
+            for race in &p.races {
+                let _ = writeln!(
+                    s,
+                    "  RACE: same-phase path reaches latch {} after only {:.3} ns",
+                    netlist.node(race.capture).name(),
+                    race.min_arrival
+                );
+            }
+            if let Some(path) = p.paths.first() {
+                let _ = writeln!(s, "  critical path ({} steps):", path.len());
+                let _ = write!(s, "{}", path.display(netlist));
+            }
+        }
+
+        if let Some(mc) = self.min_cycle {
+            let _ = writeln!(s, "minimum cycle: {mc:.3} ns");
+        }
+
+        if self.checks.is_empty() {
+            let _ = writeln!(s, "electrical checks: clean");
+        } else {
+            let _ = writeln!(s, "electrical checks: {} issue(s)", self.checks.len());
+            for c in &self.checks {
+                let _ = writeln!(s, "  {}", c.display(netlist));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyzer::Analyzer;
+    use crate::options::AnalysisOptions;
+    use tv_gen::{chains, datapath};
+    use tv_netlist::Tech;
+
+    #[test]
+    fn render_mentions_key_sections() {
+        let dp = datapath::datapath(Tech::nmos4um(), datapath::DatapathConfig::small());
+        let report = Analyzer::new(&dp.netlist).run(&AnalysisOptions::default());
+        let text = report.render(&dp.netlist);
+        assert!(text.contains("TV timing report"));
+        assert!(text.contains("phase 1"));
+        assert!(text.contains("phase 2"));
+        assert!(text.contains("minimum cycle"));
+        assert!(text.contains("latches"));
+    }
+
+    #[test]
+    fn clean_circuit_reports_clean_checks() {
+        let c = chains::inverter_chain(Tech::nmos4um(), 3, 1);
+        let report = Analyzer::new(&c.netlist).run(&AnalysisOptions::default());
+        let text = report.render(&c.netlist);
+        assert!(text.contains("electrical checks: clean"), "{text}");
+    }
+}

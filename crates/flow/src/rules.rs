@@ -1,0 +1,149 @@
+//! The structural rules that orient pass transistors, individually
+//! toggleable for ablation studies (experiment A2).
+
+use std::fmt;
+
+/// Which rule resolved a device's direction (for coverage statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Not a pass transistor: drivers flow from their rail into the stage
+    /// by construction.
+    Driver,
+    /// A channel terminal on a primary input or clock is an upstream end.
+    External,
+    /// A channel terminal on a restored or precharged node is an upstream
+    /// end: restoring logic drives pass networks, never the reverse.
+    RestoredDrive,
+    /// Flow entering a node through an already-oriented device continues
+    /// outward through this one.
+    Chain,
+    /// A terminal that is the device's only channel contact and that gates
+    /// other logic (or is a primary output) is a downstream end — e.g. a
+    /// latch storage node.
+    Sink,
+    /// The designer annotated the device's direction explicitly (TV
+    /// accepted such hints for structures its rules could not orient).
+    Seed,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::Driver => "driver",
+            Rule::External => "external",
+            Rule::RestoredDrive => "restored",
+            Rule::Chain => "chain",
+            Rule::Sink => "sink",
+            Rule::Seed => "seed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which of the pass-orientation rules are enabled.
+///
+/// [`RuleSet::all`] is the analyzer's normal configuration; disabling
+/// rules one at a time measures their contribution to resolution coverage.
+///
+/// # Example
+///
+/// ```
+/// use tv_flow::RuleSet;
+///
+/// let no_sink = RuleSet { sink: false, ..RuleSet::all() };
+/// assert!(no_sink.external && !no_sink.sink);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSet {
+    /// Enable [`Rule::External`].
+    pub external: bool,
+    /// Enable [`Rule::RestoredDrive`].
+    pub restored: bool,
+    /// Enable [`Rule::Chain`].
+    pub chain: bool,
+    /// Enable [`Rule::Sink`].
+    pub sink: bool,
+}
+
+impl RuleSet {
+    /// Every rule enabled — the normal analyzer configuration.
+    pub fn all() -> Self {
+        RuleSet {
+            external: true,
+            restored: true,
+            chain: true,
+            sink: true,
+        }
+    }
+
+    /// Every rule disabled — pass directions stay unresolved; useful as an
+    /// ablation baseline.
+    pub fn none() -> Self {
+        RuleSet {
+            external: false,
+            restored: false,
+            chain: false,
+            sink: false,
+        }
+    }
+
+    /// Returns `self` with the named rule disabled (for ablation sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rule` is [`Rule::Driver`], which is not toggleable.
+    pub fn without(mut self, rule: Rule) -> Self {
+        match rule {
+            Rule::External => self.external = false,
+            Rule::RestoredDrive => self.restored = false,
+            Rule::Chain => self.chain = false,
+            Rule::Sink => self.sink = false,
+            Rule::Driver => panic!("the driver rule is structural and cannot be disabled"),
+            Rule::Seed => panic!("seeds are annotations, not a rule to disable"),
+        }
+        self
+    }
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_and_none_are_opposites() {
+        let a = RuleSet::all();
+        let n = RuleSet::none();
+        assert!(a.external && a.restored && a.chain && a.sink);
+        assert!(!(n.external || n.restored || n.chain || n.sink));
+    }
+
+    #[test]
+    fn without_disables_exactly_one() {
+        let r = RuleSet::all().without(Rule::Chain);
+        assert!(!r.chain);
+        assert!(r.external && r.restored && r.sink);
+    }
+
+    #[test]
+    #[should_panic(expected = "driver rule")]
+    fn driver_is_not_toggleable() {
+        let _ = RuleSet::all().without(Rule::Driver);
+    }
+
+    #[test]
+    fn default_is_all() {
+        assert_eq!(RuleSet::default(), RuleSet::all());
+    }
+
+    #[test]
+    fn rules_display_names() {
+        assert_eq!(Rule::Sink.to_string(), "sink");
+        assert_eq!(Rule::RestoredDrive.to_string(), "restored");
+    }
+}

@@ -1,0 +1,347 @@
+//! Channel-connected components ("stages").
+//!
+//! Two nodes belong to the same stage when a transistor channel connects
+//! them; the rails do not merge stages (everything touches VDD/GND). A
+//! stage is the unit TV analyzed electrically: within a stage charge moves
+//! through channels, between stages only through gates.
+
+use tv_netlist::{DeviceId, Netlist, NodeId};
+
+/// Identifier of a stage within a [`Stages`] partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StageId(pub(crate) u32);
+
+impl StageId {
+    /// Dense index of this stage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One channel-connected component.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Non-rail nodes in this stage, sorted by id.
+    pub nodes: Vec<NodeId>,
+    /// Devices whose channel lies inside this stage (touching at least one
+    /// of its nodes), sorted by id.
+    pub devices: Vec<DeviceId>,
+    /// Whether some device in the stage has a channel terminal on VDD.
+    pub touches_vdd: bool,
+    /// Whether some device in the stage has a channel terminal on GND.
+    pub touches_gnd: bool,
+}
+
+impl Stage {
+    /// Number of non-rail nodes in the stage.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the stage can restore logic levels (reaches both rails).
+    #[inline]
+    pub fn is_restoring(&self) -> bool {
+        self.touches_vdd && self.touches_gnd
+    }
+}
+
+/// A partition of a netlist's non-rail nodes into stages.
+///
+/// # Example
+///
+/// ```
+/// use tv_netlist::{NetlistBuilder, Tech};
+/// use tv_flow::stage::Stages;
+///
+/// # fn main() -> Result<(), tv_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new(Tech::nmos4um());
+/// let a = b.input("a");
+/// let x = b.node("x");
+/// let y = b.node("y");
+/// b.inverter("i1", a, x); // stage 1: {x}
+/// b.inverter("i2", x, y); // stage 2: {y} — gates don't merge stages
+/// let nl = b.finish()?;
+/// let stages = Stages::build(&nl);
+/// assert_eq!(stages.len(), 2);
+/// assert_ne!(stages.stage_of(x), stages.stage_of(y));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stages {
+    stages: Vec<Stage>,
+    /// Per node: its stage, or `None` for rails and isolated nodes.
+    stage_of: Vec<Option<StageId>>,
+}
+
+impl Stages {
+    /// Computes the channel-connected components of a netlist by union-find
+    /// over channel edges, skipping the rails.
+    pub fn build(netlist: &Netlist) -> Self {
+        let n = netlist.node_count();
+        let mut uf = UnionFind::new(n);
+        let vdd = netlist.vdd();
+        let gnd = netlist.gnd();
+        for dref in netlist.devices() {
+            let d = dref.device;
+            let s = d.source();
+            let t = d.drain();
+            if s != vdd && s != gnd && t != vdd && t != gnd {
+                uf.union(s.index(), t.index());
+            }
+        }
+
+        // Collect components over nodes that touch at least one channel.
+        let mut root_to_stage: Vec<Option<StageId>> = vec![None; n];
+        let mut stages: Vec<Stage> = Vec::new();
+        let mut stage_of: Vec<Option<StageId>> = vec![None; n];
+
+        for id in netlist.node_ids() {
+            if id == vdd || id == gnd {
+                continue;
+            }
+            if netlist.node_devices(id).channel.is_empty() {
+                continue; // gate-only or isolated node: not in any stage
+            }
+            let root = uf.find(id.index());
+            let sid = match root_to_stage[root] {
+                Some(sid) => sid,
+                None => {
+                    let sid = StageId(stages.len() as u32);
+                    stages.push(Stage {
+                        nodes: Vec::new(),
+                        devices: Vec::new(),
+                        touches_vdd: false,
+                        touches_gnd: false,
+                    });
+                    root_to_stage[root] = Some(sid);
+                    sid
+                }
+            };
+            stages[sid.index()].nodes.push(id);
+            stage_of[id.index()] = Some(sid);
+        }
+
+        // Attach devices: a device belongs to the stage of its non-rail
+        // channel terminal(s).
+        for dref in netlist.devices() {
+            let d = dref.device;
+            let mut owner: Option<StageId> = None;
+            for t in [d.source(), d.drain()] {
+                if t == vdd || t == gnd {
+                    continue;
+                }
+                owner = stage_of[t.index()];
+                if owner.is_some() {
+                    break;
+                }
+            }
+            if let Some(sid) = owner {
+                let st = &mut stages[sid.index()];
+                st.devices.push(dref.id);
+                if d.source() == vdd || d.drain() == vdd {
+                    st.touches_vdd = true;
+                }
+                if d.source() == gnd || d.drain() == gnd {
+                    st.touches_gnd = true;
+                }
+            }
+        }
+
+        Stages { stages, stage_of }
+    }
+
+    /// Number of stages.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the netlist has no stages at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The stage containing `node`, if any (rails and gate-only nodes have
+    /// none).
+    #[inline]
+    pub fn stage_of(&self, node: NodeId) -> Option<StageId> {
+        self.stage_of[node.index()]
+    }
+
+    /// The stage with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this partition.
+    #[inline]
+    pub fn stage(&self, id: StageId) -> &Stage {
+        &self.stages[id.index()]
+    }
+
+    /// Iterates over all stages with their ids.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (StageId, &Stage)> + '_ {
+        self.stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StageId(i as u32), s))
+    }
+}
+
+/// Minimal union-find with path halving and union by size.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let grand = self.parent[self.parent[x] as usize];
+            self.parent[x] = grand;
+            x = grand as usize;
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_netlist::{NetlistBuilder, Tech};
+
+    fn builder() -> NetlistBuilder {
+        NetlistBuilder::new(Tech::nmos4um())
+    }
+
+    #[test]
+    fn inverter_is_one_restoring_stage() {
+        let mut b = builder();
+        let a = b.input("a");
+        let out = b.output("out");
+        b.inverter("i", a, out);
+        let nl = b.finish().unwrap();
+        let st = Stages::build(&nl);
+        assert_eq!(st.len(), 1);
+        let s = st.stage(st.stage_of(out).unwrap());
+        assert!(s.is_restoring());
+        assert_eq!(s.node_count(), 1);
+        assert_eq!(s.devices.len(), 2);
+    }
+
+    #[test]
+    fn gates_do_not_merge_stages() {
+        let mut b = builder();
+        let a = b.input("a");
+        let x = b.node("x");
+        let y = b.node("y");
+        b.inverter("i1", a, x);
+        b.inverter("i2", x, y);
+        let nl = b.finish().unwrap();
+        let st = Stages::build(&nl);
+        assert_eq!(st.len(), 2);
+        assert_ne!(st.stage_of(x), st.stage_of(y));
+    }
+
+    #[test]
+    fn pass_transistor_merges_stages() {
+        let mut b = builder();
+        let a = b.input("a");
+        let phi = b.clock("phi", 0);
+        let x = b.node("x");
+        let y = b.node("y");
+        b.inverter("i1", a, x);
+        b.pass("p", phi, x, y);
+        let _tmp_z = b.node("z");
+        b.inverter("i2", y, _tmp_z);
+        let nl = b.finish().unwrap();
+        let st = Stages::build(&nl);
+        // x and y are channel-connected through the pass transistor.
+        assert_eq!(st.stage_of(x), st.stage_of(y));
+    }
+
+    #[test]
+    fn rails_never_merge_stages() {
+        let mut b = builder();
+        let a = b.input("a");
+        let x = b.node("x");
+        let y = b.node("y");
+        // Two independent inverters both touch both rails.
+        b.inverter("i1", a, x);
+        b.inverter("i2", a, y);
+        let nl = b.finish().unwrap();
+        let st = Stages::build(&nl);
+        assert_eq!(st.len(), 2);
+    }
+
+    #[test]
+    fn nand_internal_node_shares_stage_with_output() {
+        let mut b = builder();
+        let i0 = b.input("i0");
+        let i1 = b.input("i1");
+        let out = b.node("out");
+        b.nand("g", &[i0, i1], out);
+        let nl = b.finish().unwrap();
+        let st = Stages::build(&nl);
+        assert_eq!(st.len(), 1);
+        let internal = nl.node_by_name("g_s0").unwrap();
+        assert_eq!(st.stage_of(out), st.stage_of(internal));
+    }
+
+    #[test]
+    fn gate_only_input_is_in_no_stage() {
+        let mut b = builder();
+        let a = b.input("a");
+        let out = b.node("out");
+        b.inverter("i", a, out);
+        let nl = b.finish().unwrap();
+        let st = Stages::build(&nl);
+        assert_eq!(st.stage_of(a), None);
+        assert_eq!(st.stage_of(nl.vdd()), None);
+    }
+
+    #[test]
+    fn empty_netlist_has_no_stages() {
+        let nl = builder().finish().unwrap();
+        let st = Stages::build(&nl);
+        assert!(st.is_empty());
+    }
+
+    #[test]
+    fn stage_iter_covers_all_nodes_once() {
+        let mut b = builder();
+        let a = b.input("a");
+        for i in 0..5 {
+            let o = b.node(format!("o{i}"));
+            b.inverter(format!("i{i}"), a, o);
+        }
+        let nl = b.finish().unwrap();
+        let st = Stages::build(&nl);
+        let total: usize = st.iter().map(|(_, s)| s.node_count()).sum();
+        assert_eq!(total, 5);
+        assert_eq!(st.iter().len(), st.len());
+    }
+}

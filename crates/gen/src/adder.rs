@@ -1,0 +1,149 @@
+//! Ripple-carry adders built from NAND gates — the ALU core and the
+//! canonical critical path (the carry chain) of experiment T3.
+
+use tv_netlist::{NetlistBuilder, NodeId, Tech};
+
+use crate::Circuit;
+
+/// Adds the classic 9-NAND full adder into an existing builder.
+///
+/// Returns `(sum, carry_out)`. Gate and node names are prefixed with
+/// `name`.
+pub fn full_adder(
+    b: &mut NetlistBuilder,
+    name: &str,
+    a: NodeId,
+    bb: NodeId,
+    cin: NodeId,
+) -> (NodeId, NodeId) {
+    let n1 = b.node(format!("{name}_n1"));
+    let n2 = b.node(format!("{name}_n2"));
+    let n3 = b.node(format!("{name}_n3"));
+    let n4 = b.node(format!("{name}_n4"));
+    let n5 = b.node(format!("{name}_n5"));
+    let n6 = b.node(format!("{name}_n6"));
+    let n7 = b.node(format!("{name}_n7"));
+    let sum = b.node(format!("{name}_sum"));
+    let cout = b.node(format!("{name}_cout"));
+    b.nand(format!("{name}_g1"), &[a, bb], n1);
+    b.nand(format!("{name}_g2"), &[a, n1], n2);
+    b.nand(format!("{name}_g3"), &[bb, n1], n3);
+    b.nand(format!("{name}_g4"), &[n2, n3], n4); // a ⊕ b
+    b.nand(format!("{name}_g5"), &[n4, cin], n5);
+    b.nand(format!("{name}_g6"), &[n4, n5], n6);
+    b.nand(format!("{name}_g7"), &[cin, n5], n7);
+    b.nand(format!("{name}_g8"), &[n6, n7], sum); // a ⊕ b ⊕ cin
+    b.nand(format!("{name}_g9"), &[n5, n1], cout); // majority
+    (sum, cout)
+}
+
+/// Adds a `width`-bit ripple-carry adder into an existing builder, given
+/// the input bit vectors. Returns the sum bits and the carry out.
+///
+/// # Panics
+///
+/// Panics if `a` and `bb` differ in length or are empty.
+pub fn adder_into(
+    b: &mut NetlistBuilder,
+    name: &str,
+    a: &[NodeId],
+    bb: &[NodeId],
+    cin: NodeId,
+) -> (Vec<NodeId>, NodeId) {
+    assert_eq!(a.len(), bb.len(), "operand widths must match");
+    assert!(!a.is_empty(), "adder needs at least one bit");
+    let mut sums = Vec::with_capacity(a.len());
+    let mut carry = cin;
+    for (i, (&ai, &bi)) in a.iter().zip(bb).enumerate() {
+        let (s, c) = full_adder(b, &format!("{name}_fa{i}"), ai, bi, carry);
+        sums.push(s);
+        carry = c;
+    }
+    (sums, carry)
+}
+
+/// A standalone `width`-bit ripple-carry adder with primary inputs
+/// `a0..`, `b0..`, `cin` and outputs `s0..`, `cout`.
+///
+/// The returned [`Circuit`]'s input/output handles are `cin` → `cout`,
+/// the carry chain — the structure's critical path.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn ripple_carry_adder(tech: Tech, width: usize) -> Circuit {
+    assert!(width > 0, "adder needs at least one bit");
+    let mut b = NetlistBuilder::new(tech);
+    let a: Vec<NodeId> = (0..width).map(|i| b.input(format!("a{i}"))).collect();
+    let bv: Vec<NodeId> = (0..width).map(|i| b.input(format!("b{i}"))).collect();
+    let cin = b.input("cin");
+    let (sums, cout) = adder_into(&mut b, "add", &a, &bv, cin);
+    for (i, s) in sums.iter().enumerate() {
+        let out = b.output(format!("s{i}"));
+        // Buffer each sum to a named output through an inverter pair so
+        // outputs are restored nodes.
+        let inv = b.node(format!("sbuf{i}"));
+        b.inverter(format!("sinv{i}a"), *s, inv);
+        b.inverter(format!("sinv{i}b"), inv, out);
+    }
+    let cout_pad = b.output("cout");
+    let cinv = b.node("cbuf");
+    b.inverter("cinva", cout, cinv);
+    b.inverter("cinvb", cinv, cout_pad);
+    let netlist = b.finish().expect("adder generator is structurally valid");
+    let input = netlist.node_by_name("cin").expect("cin exists");
+    let output = netlist.node_by_name("cout").expect("cout exists");
+    Circuit {
+        netlist,
+        input,
+        output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_netlist::validate;
+
+    #[test]
+    fn one_bit_adder_counts() {
+        let c = ripple_carry_adder(Tech::nmos4um(), 1);
+        // 9 NAND2 (3 devices each) + 2×2 output buffers ×2 outputs = 27 + 8.
+        assert_eq!(c.netlist.device_count(), 27 + 8);
+    }
+
+    #[test]
+    fn width_scales_linearly() {
+        let c4 = ripple_carry_adder(Tech::nmos4um(), 4);
+        let c8 = ripple_carry_adder(Tech::nmos4um(), 8);
+        let per_bit4 = c4.netlist.device_count() as f64 / 4.0;
+        let per_bit8 = c8.netlist.device_count() as f64 / 8.0;
+        assert!((per_bit4 - per_bit8).abs() < 1.0);
+    }
+
+    #[test]
+    fn adder_validates_cleanly() {
+        let c = ripple_carry_adder(Tech::nmos4um(), 4);
+        let issues = validate::check(&c.netlist);
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn carry_chain_nodes_exist_per_bit() {
+        let c = ripple_carry_adder(Tech::nmos4um(), 3);
+        for i in 0..3 {
+            assert!(c.netlist.node_by_name(&format!("add_fa{i}_cout")).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "widths must match")]
+    fn mismatched_operands_panic() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let x = b.input("x");
+        let y = b.input("y");
+        let cin = b.input("cin");
+        let _ = adder_into(&mut b, "bad", &[a], &[x, y], cin);
+    }
+}

@@ -1,0 +1,309 @@
+//! Calibration structures: the stage types every delay table sweeps.
+//!
+//! Node-name conventions (part of the interface, used by the harness):
+//! the toggled input is `in`, the observed output is `out`, pass-gate
+//! controls that must be held high are `en`, and chain-interior nodes are
+//! `s0`, `s1`, ….
+
+use tv_netlist::{NetlistBuilder, Tech};
+
+use crate::Circuit;
+
+/// A chain of `n` standard inverters; every stage additionally drives
+/// `fanout − 1` dummy inverter gates so the per-stage load is `fanout`
+/// unit gates.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `fanout == 0`.
+pub fn inverter_chain(tech: Tech, n: usize, fanout: usize) -> Circuit {
+    assert!(n > 0, "chain needs at least one stage");
+    assert!(fanout > 0, "fanout is at least the next stage itself");
+    let mut b = NetlistBuilder::new(tech);
+    let input = b.input("in");
+    let mut prev = input;
+    for i in 0..n {
+        let next = if i + 1 == n {
+            b.output("out")
+        } else {
+            b.node(format!("s{i}"))
+        };
+        b.inverter(format!("inv{i}"), prev, next);
+        for f in 1..fanout {
+            let dummy = b.node(format!("dummy{i}_{f}"));
+            b.inverter(format!("dload{i}_{f}"), prev, dummy);
+        }
+        prev = next;
+    }
+    finishing(b, "in", "out")
+}
+
+/// A chain of `n` k-input NAND gates; the signal threads the first input
+/// of each gate, the remaining `k − 1` inputs are tied to an always-high
+/// enable `en` so the chain is logically transparent (and the worst-case
+/// series pull-down is exercised).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `k == 0`.
+pub fn nand_chain(tech: Tech, n: usize, k: usize) -> Circuit {
+    assert!(n > 0 && k > 0, "need at least one gate with one input");
+    let mut b = NetlistBuilder::new(tech);
+    let input = b.input("in");
+    let en = b.input("en");
+    let mut prev = input;
+    for i in 0..n {
+        let next = if i + 1 == n {
+            b.output("out")
+        } else {
+            b.node(format!("s{i}"))
+        };
+        let mut ins = vec![prev];
+        ins.extend(std::iter::repeat_n(en, k - 1));
+        b.nand(format!("nand{i}"), &ins, next);
+        prev = next;
+    }
+    finishing(b, "in", "out")
+}
+
+/// A chain of `n` k-input NOR gates; the extra inputs tie to an
+/// always-low `en` node so the chain is transparent.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `k == 0`.
+pub fn nor_chain(tech: Tech, n: usize, k: usize) -> Circuit {
+    assert!(n > 0 && k > 0, "need at least one gate with one input");
+    let mut b = NetlistBuilder::new(tech);
+    let input = b.input("in");
+    let en = b.input("en"); // drive low in experiments
+    let mut prev = input;
+    for i in 0..n {
+        let next = if i + 1 == n {
+            b.output("out")
+        } else {
+            b.node(format!("s{i}"))
+        };
+        let mut ins = vec![prev];
+        ins.extend(std::iter::repeat_n(en, k - 1));
+        b.nor(format!("nor{i}"), &ins, next);
+        prev = next;
+    }
+    finishing(b, "in", "out")
+}
+
+/// One standard inverter driving an explicit capacitive load of `load_pf`
+/// picofarads (experiment F2's sweep variable).
+pub fn loaded_inverter(tech: Tech, load_pf: f64) -> Circuit {
+    let mut b = NetlistBuilder::new(tech);
+    let input = b.input("in");
+    let out = b.output("out");
+    b.inverter("inv", input, out);
+    b.add_cap(out, load_pf).expect("load is non-negative");
+    finishing(b, "in", "out")
+}
+
+/// A super buffer of the given scale driving an explicit load.
+pub fn super_buffer_drive(tech: Tech, load_pf: f64, scale: f64) -> Circuit {
+    let mut b = NetlistBuilder::new(tech);
+    let input = b.input("in");
+    let out = b.output("out");
+    b.super_buffer("sb", input, out, scale);
+    b.add_cap(out, load_pf).expect("load is non-negative");
+    finishing(b, "in", "out")
+}
+
+/// Wiring capacitance carried by each pass-chain node, pF — pass chains
+/// in real layouts run along buses, and it is this capacitance that makes
+/// their quadratic delay growth bite.
+pub const PASS_NODE_WIRE_PF: f64 = 0.05;
+
+/// An inverter driving `n` series pass transistors (gates tied to the
+/// always-high `en`), restored by a final inverter into `out`. Each chain
+/// node carries [`PASS_NODE_WIRE_PF`] of wiring. The structure whose delay
+/// grows quadratically with `n` (figure F1).
+///
+/// `in` → inverter → `s0` → pass → `s1` → … → `s(n)` → inverter → `out`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn pass_chain(tech: Tech, n: usize) -> Circuit {
+    assert!(n > 0, "pass chain needs at least one device");
+    let mut b = NetlistBuilder::new(tech);
+    let input = b.input("in");
+    let en = b.input("en");
+    let mut prev = b.node("s0");
+    b.inverter("drv", input, prev);
+    for i in 0..n {
+        let next = b.node(format!("s{}", i + 1));
+        b.add_cap(next, PASS_NODE_WIRE_PF).expect("cap >= 0");
+        b.pass(format!("p{i}"), en, prev, next);
+        prev = next;
+    }
+    let out = b.output("out");
+    b.inverter("rcv", prev, out);
+    finishing(b, "in", "out")
+}
+
+/// Like [`pass_chain`], but with a restoring buffer (two inverters) every
+/// `k` pass devices — the fix for the quadratic blow-up.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `k == 0`.
+pub fn buffered_pass_chain(tech: Tech, n: usize, k: usize) -> Circuit {
+    assert!(n > 0 && k > 0, "need at least one device and interval >= 1");
+    let mut b = NetlistBuilder::new(tech);
+    let input = b.input("in");
+    let en = b.input("en");
+    let mut prev = b.node("s0");
+    b.inverter("drv", input, prev);
+    for i in 0..n {
+        let next = b.node(format!("s{}", i + 1));
+        b.add_cap(next, PASS_NODE_WIRE_PF).expect("cap >= 0");
+        b.pass(format!("p{i}"), en, prev, next);
+        prev = next;
+        // Insert a non-inverting buffer after every k-th device (but not
+        // after the last one; the receiver restores there anyway).
+        if (i + 1) % k == 0 && i + 1 < n {
+            let half = b.node(format!("b{i}_half"));
+            let buffered = b.node(format!("b{i}_out"));
+            b.inverter(format!("buf{i}_a"), prev, half);
+            b.inverter(format!("buf{i}_b"), half, buffered);
+            prev = buffered;
+        }
+    }
+    let out = b.output("out");
+    b.inverter("rcv", prev, out);
+    finishing(b, "in", "out")
+}
+
+/// A precharged bus: a clock-gated precharge device on the bus node plus
+/// `n_drivers` conditional pull-down legs (each a 2-series enhancement path
+/// gated by a driver input and `in`). The bus feeds an inverter to `out`.
+///
+/// # Panics
+///
+/// Panics if `n_drivers == 0`.
+pub fn precharged_bus(tech: Tech, n_drivers: usize) -> Circuit {
+    assert!(n_drivers > 0, "bus needs at least one driver");
+    let s = tech.min_size();
+    let mut b = NetlistBuilder::new(tech);
+    let phi = b.clock("phi1", 0);
+    let input = b.input("in");
+    let bus = b.node("bus");
+    b.precharge("pre", phi, bus);
+    // Bus wiring capacitance grows with the number of taps.
+    b.add_cap(bus, 0.02 * n_drivers as f64)
+        .expect("cap is non-negative");
+    for i in 0..n_drivers {
+        let sel = b.input(format!("sel{i}"));
+        let mid = b.node(format!("leg{i}"));
+        let gnd = b.gnd();
+        b.enhancement(format!("dis{i}_a"), input, gnd, mid, 2.0 * s, s);
+        b.enhancement(format!("dis{i}_b"), sel, mid, bus, 2.0 * s, s);
+    }
+    let out = b.output("out");
+    b.inverter("rcv", bus, out);
+    finishing(b, "in", "out")
+}
+
+fn finishing(b: NetlistBuilder, input: &str, output: &str) -> Circuit {
+    let netlist = b.finish().expect("generator produced an invalid netlist");
+    let input = netlist.node_by_name(input).expect("input exists");
+    let output = netlist.node_by_name(output).expect("output exists");
+    Circuit {
+        netlist,
+        input,
+        output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_netlist::validate;
+
+    fn tech() -> Tech {
+        Tech::nmos4um()
+    }
+
+    #[test]
+    fn inverter_chain_counts() {
+        let c = inverter_chain(tech(), 5, 1);
+        assert_eq!(c.netlist.device_count(), 10);
+        let c3 = inverter_chain(tech(), 5, 3);
+        // Each of 5 stages adds 2 dummy inverters of 2 devices.
+        assert_eq!(c3.netlist.device_count(), 10 + 5 * 2 * 2);
+    }
+
+    #[test]
+    fn chains_validate_cleanly() {
+        for c in [
+            inverter_chain(tech(), 4, 2),
+            nand_chain(tech(), 3, 3),
+            nor_chain(tech(), 3, 2),
+            pass_chain(tech(), 5),
+            buffered_pass_chain(tech(), 9, 3),
+            loaded_inverter(tech(), 0.2),
+            super_buffer_drive(tech(), 0.5, 4.0),
+            precharged_bus(tech(), 4),
+        ] {
+            let issues = validate::check(&c.netlist);
+            assert!(issues.is_empty(), "issues: {issues:?}");
+        }
+    }
+
+    #[test]
+    fn nand_chain_has_series_structure() {
+        let c = nand_chain(tech(), 2, 3);
+        // Per gate: 1 load + 3 pull-downs.
+        assert_eq!(c.netlist.device_count(), 8);
+        // Interior series nodes exist.
+        assert!(c.netlist.node_by_name("nand0_s0").is_some());
+    }
+
+    #[test]
+    fn pass_chain_node_count_scales() {
+        let c = pass_chain(tech(), 7);
+        // s0..s7 plus in/out plus en plus rails.
+        assert_eq!(c.netlist.device_count(), 2 + 7 + 2);
+        assert!(c.netlist.node_by_name("s7").is_some());
+        assert!(c.netlist.node_by_name("s8").is_none());
+    }
+
+    #[test]
+    fn buffered_chain_has_more_devices_than_raw() {
+        let raw = pass_chain(tech(), 9);
+        let buf = buffered_pass_chain(tech(), 9, 3);
+        assert!(buf.netlist.device_count() > raw.netlist.device_count());
+    }
+
+    #[test]
+    fn buffered_chain_with_huge_interval_equals_raw() {
+        let raw = pass_chain(tech(), 5);
+        let buf = buffered_pass_chain(tech(), 5, 100);
+        assert_eq!(raw.netlist.device_count(), buf.netlist.device_count());
+    }
+
+    #[test]
+    fn precharged_bus_has_clock_and_bus_cap() {
+        let c = precharged_bus(tech(), 6);
+        assert_eq!(c.netlist.clocks().len(), 1);
+        let bus = c.node("bus");
+        assert!(c.netlist.node_cap(bus) > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_length_chain_panics() {
+        let _ = inverter_chain(tech(), 0, 1);
+    }
+
+    #[test]
+    fn circuit_node_lookup_panics_on_missing() {
+        let c = loaded_inverter(tech(), 0.1);
+        assert!(std::panic::catch_unwind(|| c.node("nope")).is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! A MIPS-class two-phase datapath — the workspace's stand-in for the
+//! Stanford MIPS chip that TV's evaluation analyzed.
+//!
+//! Per bit the datapath contains, exactly in the 1983 idiom:
+//!
+//! * a register file (master–slave dynamic latches) with **two read
+//!   ports** onto precharged buses A and B (precharged on φ2, read on φ1);
+//! * an **ALU**: operand inverters, a NAND leg, a NOR leg, and a
+//!   ripple-carry adder, with a one-hot pass-transistor **function mux**;
+//! * a pass-transistor **barrel shifter** on the ALU result;
+//! * a super-buffer **writeback driver** returning the shifted result to
+//!   the register file's write lines.
+//!
+//! Primary inputs are the control signals (read selects, write-qualified
+//! clocks, ALU op one-hot, shift one-hot) and an external operand port;
+//! the loop register file → buses → ALU → shifter → writeback closes on
+//! itself the way a real datapath does.
+
+use tv_netlist::{NetlistBuilder, Netlist, NodeId, Tech};
+
+use crate::adder::adder_into;
+use crate::shifter::shifter_into;
+
+/// Size parameters of the generated datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatapathConfig {
+    /// Bit width of the datapath.
+    pub width: usize,
+    /// Number of general registers.
+    pub regs: usize,
+    /// Number of one-hot shift amounts the barrel shifter supports.
+    pub shift_amounts: usize,
+}
+
+impl DatapathConfig {
+    /// A small configuration for tests: 4 bits, 2 registers, 2 shifts.
+    pub fn small() -> Self {
+        DatapathConfig {
+            width: 4,
+            regs: 2,
+            shift_amounts: 2,
+        }
+    }
+
+    /// The MIPS-class configuration: 32 bits, 8 registers, 4 shifts.
+    pub fn mips32() -> Self {
+        DatapathConfig {
+            width: 32,
+            regs: 8,
+            shift_amounts: 4,
+        }
+    }
+}
+
+impl Default for DatapathConfig {
+    fn default() -> Self {
+        Self::mips32()
+    }
+}
+
+/// The generated datapath with its interface handles.
+#[derive(Debug, Clone)]
+pub struct Datapath {
+    /// The finished netlist.
+    pub netlist: Netlist,
+    /// Configuration it was generated with.
+    pub config: DatapathConfig,
+    /// φ1 clock node.
+    pub phi1: NodeId,
+    /// φ2 clock node.
+    pub phi2: NodeId,
+    /// External operand port, one node per bit (`ext<i>`).
+    pub ext: Vec<NodeId>,
+    /// The writeback lines feeding the register file (`wb<i>`).
+    pub writeback: Vec<NodeId>,
+    /// The ALU carry out (end of the canonical critical path).
+    pub carry_out: NodeId,
+}
+
+/// Generates the datapath.
+///
+/// # Panics
+///
+/// Panics if any configuration dimension is zero.
+pub fn datapath(tech: Tech, config: DatapathConfig) -> Datapath {
+    let DatapathConfig {
+        width,
+        regs,
+        shift_amounts,
+    } = config;
+    assert!(
+        width > 0 && regs > 0 && shift_amounts > 0,
+        "datapath dimensions must be positive"
+    );
+    let mut b = NetlistBuilder::new(tech);
+    let phi1 = b.clock("phi1", 0);
+    let phi2 = b.clock("phi2", 1);
+
+    // Control inputs.
+    let rd_a: Vec<NodeId> = (0..regs).map(|r| b.input(format!("rdA{r}"))).collect();
+    let rd_b: Vec<NodeId> = (0..regs).map(|r| b.input(format!("rdB{r}"))).collect();
+    // Qualified write clocks: wq<r> = we<r> ∧ φ1, built from a NAND and an
+    // inverter the way real control logic did — this is what the clock
+    // qualification analysis must recognize.
+    let wq: Vec<NodeId> = (0..regs)
+        .map(|r| {
+            let we = b.input(format!("we{r}"));
+            let nq = b.node(format!("wqbar{r}"));
+            b.nand(format!("wqgate{r}"), &[we, phi1], nq);
+            let wq = b.node(format!("wq{r}"));
+            b.inverter(format!("wqinv{r}"), nq, wq);
+            wq
+        })
+        .collect();
+    let op_add = b.input("op_add");
+    let op_nand = b.input("op_nand");
+    let op_nor = b.input("op_nor");
+    let use_ext = b.input("use_ext");
+    let sh: Vec<NodeId> = (0..shift_amounts).map(|s| b.input(format!("sh{s}"))).collect();
+    let cin = b.input("cin");
+    let ext: Vec<NodeId> = (0..width).map(|i| b.input(format!("ext{i}"))).collect();
+
+    // Writeback lines (defined up front; driven at the end).
+    let wb: Vec<NodeId> = (0..width).map(|i| b.node(format!("wb{i}"))).collect();
+
+    // Precharged operand buses.
+    let bus_a: Vec<NodeId> = (0..width).map(|i| b.node(format!("busA{i}"))).collect();
+    let bus_b: Vec<NodeId> = (0..width).map(|i| b.node(format!("busB{i}"))).collect();
+    for i in 0..width {
+        b.precharge(format!("preA{i}"), phi2, bus_a[i]);
+        b.precharge(format!("preB{i}"), phi2, bus_b[i]);
+        b.add_cap(bus_a[i], 0.01 * regs as f64).expect("cap >= 0");
+        b.add_cap(bus_b[i], 0.01 * regs as f64).expect("cap >= 0");
+    }
+
+    // Register file: master–slave per bit, two read ports.
+    for r in 0..regs {
+        for i in 0..width {
+            let cell = format!("rf_r{r}_b{i}");
+            let m_out = b.node(format!("{cell}_m"));
+            b.dynamic_latch(format!("{cell}_master"), wq[r], wb[i], m_out);
+            let q = b.node(format!("{cell}_q"));
+            b.dynamic_latch(format!("{cell}_slave"), phi2, m_out, q);
+            b.pass(format!("{cell}_rdA"), rd_a[r], q, bus_a[i]);
+            b.pass(format!("{cell}_rdB"), rd_b[r], q, bus_b[i]);
+        }
+    }
+
+    // External operand onto bus B.
+    for i in 0..width {
+        b.pass(format!("extmux{i}"), use_ext, ext[i], bus_b[i]);
+    }
+
+    // ALU operand conditioning: restore the buses.
+    let mut a_op = Vec::with_capacity(width);
+    let mut b_op = Vec::with_capacity(width);
+    for i in 0..width {
+        let an = b.node(format!("aN{i}"));
+        let ap = b.node(format!("aP{i}"));
+        b.inverter(format!("ainv{i}"), bus_a[i], an);
+        b.inverter(format!("abuf{i}"), an, ap);
+        let bn = b.node(format!("bN{i}"));
+        let bp = b.node(format!("bP{i}"));
+        b.inverter(format!("binv{i}"), bus_b[i], bn);
+        b.inverter(format!("bbuf{i}"), bn, bp);
+        a_op.push(ap);
+        b_op.push(bp);
+    }
+
+    // ALU: adder + logic legs + one-hot function mux.
+    let (sums, _carry_out) = adder_into(&mut b, "alu", &a_op, &b_op, cin);
+    let mut results = Vec::with_capacity(width);
+    for i in 0..width {
+        let nand_leg = b.node(format!("lnand{i}"));
+        b.nand(format!("gnand{i}"), &[a_op[i], b_op[i]], nand_leg);
+        let nor_leg = b.node(format!("lnor{i}"));
+        b.nor(format!("gnor{i}"), &[a_op[i], b_op[i]], nor_leg);
+        let res = b.node(format!("res{i}"));
+        b.pass(format!("fmux_add{i}"), op_add, sums[i], res);
+        b.pass(format!("fmux_nand{i}"), op_nand, nand_leg, res);
+        b.pass(format!("fmux_nor{i}"), op_nor, nor_leg, res);
+        // Restore the mux output before the shifter.
+        let resr = b.node(format!("resR{i}"));
+        let resrr = b.node(format!("resRR{i}"));
+        b.inverter(format!("resinv{i}"), res, resr);
+        b.inverter(format!("resbuf{i}"), resr, resrr);
+        results.push(resrr);
+    }
+
+    // Barrel shifter on the restored result.
+    let shifted = shifter_into(&mut b, "shift", &results, &sh);
+
+    // Writeback: restore and drive the write lines with super buffers.
+    for i in 0..width {
+        let sr = b.node(format!("shR{i}"));
+        b.inverter(format!("shinv{i}"), shifted[i], sr);
+        b.super_buffer(format!("wbdrv{i}"), sr, wb[i], 4.0);
+        // Observe the low bit externally.
+    }
+    let out0 = b.output("out0");
+    b.inverter("outinv", wb[0], out0);
+
+    let netlist = b.finish().expect("datapath generator is valid");
+    let lookup = |name: &str| netlist.node_by_name(name).expect("known node");
+    Datapath {
+        phi1: lookup("phi1"),
+        phi2: lookup("phi2"),
+        ext: (0..width).map(|i| lookup(&format!("ext{i}"))).collect(),
+        writeback: (0..width).map(|i| lookup(&format!("wb{i}"))).collect(),
+        carry_out: lookup(&format!("alu_fa{}_cout", width - 1)),
+        netlist,
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_flow::{analyze, RuleSet};
+    use tv_netlist::validate;
+
+    #[test]
+    fn small_datapath_elaborates() {
+        let dp = datapath(Tech::nmos4um(), DatapathConfig::small());
+        assert!(dp.netlist.device_count() > 100);
+        assert_eq!(dp.ext.len(), 4);
+        assert_eq!(dp.netlist.clocks().len(), 2);
+    }
+
+    #[test]
+    fn mips32_is_thousands_of_devices() {
+        let dp = datapath(Tech::nmos4um(), DatapathConfig::mips32());
+        let n = dp.netlist.device_count();
+        assert!(
+            (3000..40000).contains(&n),
+            "expected a MIPS-scale device count, got {n}"
+        );
+    }
+
+    #[test]
+    fn datapath_validates_cleanly() {
+        let dp = datapath(Tech::nmos4um(), DatapathConfig::small());
+        let issues = validate::check(&dp.netlist);
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn flow_resolves_nearly_everything() {
+        let dp = datapath(Tech::nmos4um(), DatapathConfig::small());
+        let flow = analyze(&dp.netlist, &RuleSet::all());
+        let report = flow.report(&dp.netlist);
+        assert!(
+            report.coverage() > 0.95,
+            "coverage {:.3} too low: {report}",
+            report.coverage()
+        );
+    }
+
+    #[test]
+    fn device_count_scales_with_width() {
+        let d4 = datapath(Tech::nmos4um(), DatapathConfig::small());
+        let d8 = datapath(
+            Tech::nmos4um(),
+            DatapathConfig {
+                width: 8,
+                ..DatapathConfig::small()
+            },
+        );
+        let ratio = d8.netlist.device_count() as f64 / d4.netlist.device_count() as f64;
+        assert!(ratio > 1.8 && ratio < 2.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn carry_out_is_last_adder_stage() {
+        let dp = datapath(Tech::nmos4um(), DatapathConfig::small());
+        let name = dp.netlist.node(dp.carry_out).name().to_owned();
+        assert_eq!(name, "alu_fa3_cout");
+    }
+}

@@ -1,0 +1,77 @@
+//! Generators of nMOS benchmark circuits.
+//!
+//! TV's evaluation ran on the Stanford MIPS processor and on extracted test
+//! structures; neither artifact survives, so this crate *generates* the
+//! equivalent workloads at the transistor level:
+//!
+//! * [`chains`] — the calibration structures of every delay-model table:
+//!   inverter/NAND/NOR chains with parameterized fanout, loaded inverters,
+//!   super-buffer drivers, pass-transistor chains (raw and buffered), and
+//!   precharged buses;
+//! * [`adder`] — ripple-carry adders built from NAND gates (the ALU core);
+//! * [`manchester`] — the Manchester precharged carry chain, nMOS's fast
+//!   adder (a precharged pass chain with optional buffer insertion);
+//! * [`pla`] — NOR-NOR programmable logic arrays, the control-logic idiom;
+//! * [`shifter`] — a pass-transistor barrel shifter, the structure that
+//!   forces signal-flow analysis;
+//! * [`regfile`] — two-phase master–slave register files with pass-gate
+//!   read/write ports;
+//! * [`datapath`] — a MIPS-class n-bit two-phase datapath combining all of
+//!   the above (experiments T3/T4);
+//! * [`random`] — seeded random logic of arbitrary size for the runtime
+//!   scaling experiment (T5).
+//!
+//! Every generator returns a [`Circuit`]: the finished netlist plus the
+//! handles harness code needs (primary input, primary output, clocks).
+//!
+//! # Example
+//!
+//! ```
+//! use tv_gen::chains;
+//! use tv_netlist::Tech;
+//!
+//! let c = chains::inverter_chain(Tech::nmos4um(), 8, 2);
+//! assert_eq!(c.netlist.inputs().len(), 1);
+//! assert!(c.netlist.device_count() >= 16); // 8 stages × 2 devices + fanout
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod chains;
+pub mod datapath;
+pub mod manchester;
+pub mod pla;
+pub mod random;
+pub mod regfile;
+pub mod shifter;
+pub mod workload;
+
+use tv_netlist::{Netlist, NodeId};
+
+/// A generated benchmark circuit: the netlist plus the handles experiments
+/// need.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    /// The finished netlist.
+    pub netlist: Netlist,
+    /// The primary signal input the experiment toggles.
+    pub input: NodeId,
+    /// The observed output.
+    pub output: NodeId,
+}
+
+impl Circuit {
+    /// Convenience: the netlist node with the given name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name does not exist — generator names are part of
+    /// their documented interface, so a miss is a bug.
+    pub fn node(&self, name: &str) -> NodeId {
+        self.netlist
+            .node_by_name(name)
+            .unwrap_or_else(|| panic!("generated circuit has no node named {name:?}"))
+    }
+}

@@ -1,0 +1,249 @@
+//! Manchester carry-chain adder — the classic nMOS fast-adder structure,
+//! and a showcase for everything a transistor-level analyzer must handle
+//! at once: a **precharged** carry chain evaluated through **pass
+//! transistors**, clock-qualified by the two-phase scheme.
+//!
+//! Per bit `i` the carry chain has:
+//!
+//! * a precharge device (φ2) pulling chain node `c<i>` high;
+//! * a *propagate* pass transistor gated by `p<i> = a⊕b` connecting
+//!   `c<i−1>` to `c<i>` (carries ripple through open pass gates);
+//! * a *generate* pull-down gated by `g̅<i>`… in this active-low
+//!   formulation the chain carries "no-carry" high: a generate condition
+//!   discharges the node through an enhancement leg gated by `g<i> = a·b`
+//!   qualified with the evaluate clock.
+//!
+//! The structural point (and what the F1/T3 experiments probe): carry
+//! propagation through `k` consecutive propagate bits is a pass chain of
+//! length `k`, quadratic in `k` — which is why real Manchester designs
+//! break the chain with buffers every few bits, exactly like
+//! [`crate::chains::buffered_pass_chain`].
+
+use tv_netlist::{NetlistBuilder, Netlist, NodeId, Tech};
+
+use crate::Circuit;
+
+/// The generated Manchester adder with its handles.
+#[derive(Debug, Clone)]
+pub struct ManchesterAdder {
+    /// The netlist.
+    pub netlist: Netlist,
+    /// Carry-chain nodes `c0..` (active-low carry, precharged high).
+    pub chain: Vec<NodeId>,
+    /// Sum outputs `s0..`.
+    pub sums: Vec<NodeId>,
+    /// The evaluate clock (φ1).
+    pub phi1: NodeId,
+    /// The precharge clock (φ2).
+    pub phi2: NodeId,
+}
+
+/// Builds a `width`-bit Manchester carry-chain adder with a restoring
+/// buffer on the chain every `buffer_every` bits (`0` = never, the
+/// textbook-naive version).
+///
+/// Inputs `a0..`, `b0..`, `cin`; outputs `s0..`; clocks `phi1`
+/// (evaluate), `phi2` (precharge).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn manchester_adder(tech: Tech, width: usize, buffer_every: usize) -> ManchesterAdder {
+    assert!(width > 0, "adder needs at least one bit");
+    let s = tech.min_size();
+    let mut b = NetlistBuilder::new(tech);
+    let phi1 = b.clock("phi1", 0);
+    let phi2 = b.clock("phi2", 1);
+    let cin = b.input("cin");
+
+    // Per-bit propagate / generate logic (static, computed during φ2 so
+    // they are stable when evaluation opens).
+    let mut p = Vec::with_capacity(width);
+    let mut g = Vec::with_capacity(width);
+    let mut a_bits = Vec::with_capacity(width);
+    for i in 0..width {
+        let a = b.input(format!("a{i}"));
+        let bb = b.input(format!("b{i}"));
+        a_bits.push(a);
+        // p = a ⊕ b via four NANDs.
+        let n1 = b.node(format!("px{i}_n1"));
+        b.nand(format!("px{i}_g1"), &[a, bb], n1);
+        let n2 = b.node(format!("px{i}_n2"));
+        b.nand(format!("px{i}_g2"), &[a, n1], n2);
+        let n3 = b.node(format!("px{i}_n3"));
+        b.nand(format!("px{i}_g3"), &[bb, n1], n3);
+        let pi = b.node(format!("p{i}"));
+        b.nand(format!("px{i}_g4"), &[n2, n3], pi);
+        p.push(pi);
+        // g = a·b: the XOR's first NAND inverted.
+        let gi = b.node(format!("g{i}"));
+        b.inverter(format!("gi{i}"), n1, gi);
+        g.push(gi);
+    }
+
+    // Carry chain: precharged nodes linked by propagate pass devices,
+    // discharged by generate legs qualified with φ1.
+    let mut chain = Vec::with_capacity(width + 1);
+    // Chain entry: the (restored) carry-in, injected through a φ1 pass.
+    let c_entry = b.node("c_in_chain");
+    b.pass("cin_inject", phi1, cin, c_entry);
+    chain.push(c_entry);
+    let mut prev = c_entry;
+    for i in 0..width {
+        let ci = b.node(format!("c{i}"));
+        b.precharge(format!("pre{i}"), phi2, ci);
+        // The chain runs the full width of the ALU: real wiring load.
+        b.add_cap(ci, 0.05).expect("cap >= 0");
+        // Propagate: pass device linking the chain.
+        b.pass(format!("prop{i}"), p[i], prev, ci);
+        // Generate: discharge leg (g AND φ1 in series).
+        let mid = b.node(format!("gen{i}_mid"));
+        let gnd = b.gnd();
+        b.enhancement(format!("gen{i}_a"), g[i], gnd, mid, 2.0 * s, s);
+        b.enhancement(format!("gen{i}_b"), phi1, mid, ci, 2.0 * s, s);
+
+        // Optional chain buffer: restore and continue.
+        prev = if buffer_every > 0 && (i + 1) % buffer_every == 0 && i + 1 < width {
+            let inv = b.node(format!("cb{i}_n"));
+            b.inverter(format!("cbuf{i}_a"), ci, inv);
+            let restored = b.node(format!("cb{i}_r"));
+            b.inverter(format!("cbuf{i}_b"), inv, restored);
+            restored
+        } else {
+            ci
+        };
+        chain.push(ci);
+    }
+
+    // Sums: s = p ⊕ c_{i-1}, built from NANDs on the restored chain taps.
+    let mut sums = Vec::with_capacity(width);
+    for i in 0..width {
+        let c_prev = chain[i];
+        // Restore the (dynamic) chain tap before using it in logic.
+        let ct = b.node(format!("ct{i}"));
+        b.inverter(format!("ctinv{i}"), c_prev, ct);
+        let n1 = b.node(format!("sx{i}_n1"));
+        b.nand(format!("sx{i}_g1"), &[p[i], ct], n1);
+        let n2 = b.node(format!("sx{i}_n2"));
+        b.nand(format!("sx{i}_g2"), &[p[i], n1], n2);
+        let n3 = b.node(format!("sx{i}_n3"));
+        b.nand(format!("sx{i}_g3"), &[ct, n1], n3);
+        let si = b.output(format!("s{i}"));
+        b.nand(format!("sx{i}_g4"), &[n2, n3], si);
+        sums.push(si);
+    }
+
+    let netlist = b.finish().expect("manchester generator is valid");
+    let lookup = |name: &str| netlist.node_by_name(name).expect("known node");
+    ManchesterAdder {
+        chain: (0..width)
+            .map(|i| lookup(&format!("c{i}")))
+            .collect(),
+        sums: (0..width).map(|i| lookup(&format!("s{i}"))).collect(),
+        phi1: lookup("phi1"),
+        phi2: lookup("phi2"),
+        netlist,
+    }
+}
+
+/// Convenience wrapper as a [`Circuit`]: input `cin`, output the top sum.
+pub fn manchester_circuit(tech: Tech, width: usize, buffer_every: usize) -> Circuit {
+    let m = manchester_adder(tech, width, buffer_every);
+    let input = m.netlist.node_by_name("cin").expect("cin");
+    let output = *m.sums.last().expect("width > 0");
+    Circuit {
+        netlist: m.netlist,
+        input,
+        output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_core::{AnalysisOptions, Analyzer};
+    use tv_flow::{analyze, NodeClass, RuleSet};
+    use tv_netlist::validate;
+
+    #[test]
+    fn structure_elaborates_and_validates() {
+        let m = manchester_adder(Tech::nmos4um(), 8, 0);
+        assert_eq!(m.chain.len(), 8);
+        assert_eq!(m.sums.len(), 8);
+        let issues = validate::check(&m.netlist);
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn chain_nodes_are_precharged_class() {
+        let m = manchester_adder(Tech::nmos4um(), 4, 0);
+        let flow = analyze(&m.netlist, &RuleSet::all());
+        for &c in &m.chain {
+            assert_eq!(flow.node_class(c), NodeClass::Precharged);
+        }
+    }
+
+    #[test]
+    fn analyzer_runs_both_phases_without_cycles() {
+        let m = manchester_adder(Tech::nmos4um(), 8, 0);
+        let report = Analyzer::new(&m.netlist).run(&AnalysisOptions::default());
+        assert_eq!(report.phases.len(), 2);
+        for p in &report.phases {
+            assert!(!p.result.cyclic, "phase {} cyclic", p.phase);
+        }
+        // Sums are reachable in the evaluate phase.
+        let p1 = report.phase(0).unwrap();
+        assert!(p1.result.arrival(*m.sums.last().unwrap()).is_some());
+    }
+
+    #[test]
+    fn carry_delay_grows_superlinearly_without_buffers() {
+        let opts = AnalysisOptions::default();
+        let delay_at = |width: usize| {
+            let m = manchester_adder(Tech::nmos4um(), width, 0);
+            let report = Analyzer::new(&m.netlist).run(&opts);
+            report
+                .phase(0)
+                .unwrap()
+                .result
+                .arrival(*m.chain.last().unwrap())
+                .expect("chain end reachable")
+        };
+        let d4 = delay_at(4);
+        let d8 = delay_at(8);
+        let d16 = delay_at(16);
+        assert!(d8 - d4 > 0.0);
+        assert!(
+            d16 - d8 > 1.5 * (d8 - d4),
+            "chain must accelerate: {d4} {d8} {d16}"
+        );
+    }
+
+    #[test]
+    fn buffers_tame_the_chain() {
+        let opts = AnalysisOptions::default();
+        let end_delay = |buffer_every: usize| {
+            let m = manchester_adder(Tech::nmos4um(), 16, buffer_every);
+            let report = Analyzer::new(&m.netlist).run(&opts);
+            report
+                .phase(0)
+                .unwrap()
+                .result
+                .arrival(*m.chain.last().unwrap())
+                .expect("reachable")
+        };
+        let raw = end_delay(0);
+        let buffered = end_delay(4);
+        assert!(
+            buffered < raw,
+            "buffered chain {buffered} must beat raw {raw}"
+        );
+    }
+
+    #[test]
+    fn circuit_wrapper_exposes_cin_to_top_sum() {
+        let c = manchester_circuit(Tech::nmos4um(), 4, 0);
+        assert_eq!(c.netlist.node(c.input).name(), "cin");
+        assert_eq!(c.netlist.node(c.output).name(), "s3");
+    }
+}

@@ -1,0 +1,171 @@
+//! Seeded random logic for the runtime-scaling experiment (T5).
+//!
+//! Real chips are not random graphs, but for measuring how the analyzer's
+//! runtime grows with device count all that matters is realistic *local*
+//! structure: a mix of inverters, NAND/NOR gates, pass muxes, and latches
+//! whose fan-ins point at earlier signals (a DAG, like synthesized logic).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tv_netlist::{NetlistBuilder, NodeId, Tech};
+
+use crate::Circuit;
+
+/// Mix of generated structures, as relative weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomMix {
+    /// Weight of plain inverters.
+    pub inverter: f64,
+    /// Weight of 2–3 input NAND gates.
+    pub nand: f64,
+    /// Weight of 2–3 input NOR gates.
+    pub nor: f64,
+    /// Weight of 2-way pass-transistor muxes into a restored node.
+    pub pass_mux: f64,
+    /// Weight of φ1-clocked dynamic latches.
+    pub latch: f64,
+}
+
+impl Default for RandomMix {
+    /// Roughly the composition of an early-80s datapath-plus-control chip.
+    fn default() -> Self {
+        RandomMix {
+            inverter: 0.35,
+            nand: 0.25,
+            nor: 0.15,
+            pass_mux: 0.15,
+            latch: 0.10,
+        }
+    }
+}
+
+/// Generates a random-logic circuit of approximately `target_devices`
+/// transistors, deterministically from `seed`.
+///
+/// The circuit always has 8 primary inputs, a φ1 clock, and one output
+/// (`out`) fed by the last generated signal.
+///
+/// # Panics
+///
+/// Panics if `target_devices` is zero.
+pub fn random_logic(tech: Tech, target_devices: usize, seed: u64, mix: RandomMix) -> Circuit {
+    assert!(target_devices > 0, "need a positive size target");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new(tech);
+    let phi = b.clock("phi1", 0);
+
+    // Signal pool: every restored node generated so far.
+    let mut pool: Vec<NodeId> = (0..8).map(|i| b.input(format!("in{i}"))).collect();
+
+    let total_weight = mix.inverter + mix.nand + mix.nor + mix.pass_mux + mix.latch;
+    assert!(total_weight > 0.0, "mix weights must not all be zero");
+
+    let mut gate_idx = 0usize;
+    while b.device_count() < target_devices {
+        let pick = rng.gen_range(0.0..total_weight);
+        let name = format!("g{gate_idx}");
+        gate_idx += 1;
+        let out = b.node(format!("{name}_o"));
+        let sig = |rng: &mut StdRng, pool: &Vec<NodeId>| pool[rng.gen_range(0..pool.len())];
+        if pick < mix.inverter {
+            let a = sig(&mut rng, &pool);
+            b.inverter(&name, a, out);
+        } else if pick < mix.inverter + mix.nand {
+            let k = rng.gen_range(2..=3);
+            let ins: Vec<NodeId> = (0..k).map(|_| sig(&mut rng, &pool)).collect();
+            b.nand(&name, &ins, out);
+        } else if pick < mix.inverter + mix.nand + mix.nor {
+            let k = rng.gen_range(2..=3);
+            let ins: Vec<NodeId> = (0..k).map(|_| sig(&mut rng, &pool)).collect();
+            b.nor(&name, &ins, out);
+        } else if pick < mix.inverter + mix.nand + mix.nor + mix.pass_mux {
+            // Two sources pass-muxed onto a shared node, restored by an
+            // inverter into `out`.
+            let s0 = sig(&mut rng, &pool);
+            let s1 = sig(&mut rng, &pool);
+            let c0 = sig(&mut rng, &pool);
+            let c1 = sig(&mut rng, &pool);
+            let m = b.node(format!("{name}_m"));
+            b.pass(format!("{name}_p0"), c0, s0, m);
+            b.pass(format!("{name}_p1"), c1, s1, m);
+            b.inverter(format!("{name}_r"), m, out);
+        } else {
+            let d = sig(&mut rng, &pool);
+            b.dynamic_latch(&name, phi, d, out);
+        }
+        pool.push(out);
+    }
+
+    let last = *pool.last().expect("pool is never empty");
+    let out = b.output("out");
+    b.inverter("final", last, out);
+    let netlist = b.finish().expect("random generator is valid");
+    let input = netlist.node_by_name("in0").expect("in0 exists");
+    let output = netlist.node_by_name("out").expect("out exists");
+    Circuit {
+        netlist,
+        input,
+        output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_flow::{analyze, RuleSet};
+
+    #[test]
+    fn size_target_is_respected() {
+        let c = random_logic(Tech::nmos4um(), 500, 7, RandomMix::default());
+        let n = c.netlist.device_count();
+        assert!((500..520).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_logic(Tech::nmos4um(), 300, 42, RandomMix::default());
+        let b = random_logic(Tech::nmos4um(), 300, 42, RandomMix::default());
+        assert_eq!(a.netlist.device_count(), b.netlist.device_count());
+        assert_eq!(a.netlist.node_count(), b.netlist.node_count());
+        // Spot-check some structure, not just counts.
+        for name in ["g0_o", "g10_o", "out"] {
+            assert_eq!(
+                a.netlist.node_by_name(name).map(|n| n.index()),
+                b.netlist.node_by_name(name).map(|n| n.index())
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_logic(Tech::nmos4um(), 300, 1, RandomMix::default());
+        let b = random_logic(Tech::nmos4um(), 300, 2, RandomMix::default());
+        // Device counts may coincide; adjacency will not. Compare the cap
+        // of the output's driver region as a cheap structural fingerprint.
+        let fa = a.netlist.total_capacitance();
+        let fb = b.netlist.total_capacitance();
+        assert!((fa - fb).abs() > 1e-9);
+    }
+
+    #[test]
+    fn flow_analysis_handles_random_logic() {
+        let c = random_logic(Tech::nmos4um(), 400, 11, RandomMix::default());
+        let flow = analyze(&c.netlist, &RuleSet::all());
+        let r = flow.report(&c.netlist);
+        assert!(r.coverage() > 0.9, "coverage {:.3}: {r}", r.coverage());
+    }
+
+    #[test]
+    fn pure_inverter_mix_works() {
+        let mix = RandomMix {
+            inverter: 1.0,
+            nand: 0.0,
+            nor: 0.0,
+            pass_mux: 0.0,
+            latch: 0.0,
+        };
+        let c = random_logic(Tech::nmos4um(), 100, 3, mix);
+        // Target plus the final output buffer.
+        assert_eq!(c.netlist.device_count(), 102);
+    }
+}

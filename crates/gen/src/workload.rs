@@ -1,0 +1,139 @@
+//! Named workload presets shared by the benchmark harness, the report
+//! binary, and the integration tests, so every experiment sees the same
+//! circuits.
+
+use tv_netlist::Tech;
+
+use crate::{chains, shifter, Circuit};
+
+/// A circuit with the name used in report tables.
+#[derive(Debug, Clone)]
+pub struct NamedCircuit {
+    /// Row label in the tables.
+    pub name: &'static str,
+    /// The circuit itself.
+    pub circuit: Circuit,
+    /// Whether the observed output falls (true) or rises when the input
+    /// rises — needed to pick measurement edges.
+    pub output_falls_on_input_rise: bool,
+}
+
+/// The T1 calibration suite: the representative stage structures whose
+/// static estimates are compared against transient simulation.
+///
+/// Kept deliberately small-signal (every circuit is simulable in well
+/// under a second) while covering every stage species the classifier
+/// knows: restoring chains, series pull-downs, parallel pull-downs,
+/// loaded and super-buffered drivers, and pass chains.
+pub fn t1_suite(tech: &Tech) -> Vec<NamedCircuit> {
+    vec![
+        NamedCircuit {
+            name: "inv-chain-4/fo1",
+            circuit: chains::inverter_chain(tech.clone(), 4, 1),
+            output_falls_on_input_rise: false, // even number of inversions
+        },
+        NamedCircuit {
+            name: "inv-chain-8/fo1",
+            circuit: chains::inverter_chain(tech.clone(), 8, 1),
+            output_falls_on_input_rise: false,
+        },
+        NamedCircuit {
+            name: "inv-chain-4/fo4",
+            circuit: chains::inverter_chain(tech.clone(), 4, 4),
+            output_falls_on_input_rise: false,
+        },
+        NamedCircuit {
+            name: "nand3-chain-4",
+            circuit: chains::nand_chain(tech.clone(), 4, 3),
+            output_falls_on_input_rise: false,
+        },
+        NamedCircuit {
+            name: "nor2-chain-4",
+            circuit: chains::nor_chain(tech.clone(), 4, 2),
+            output_falls_on_input_rise: false,
+        },
+        NamedCircuit {
+            name: "inv-loaded-0.2pF",
+            circuit: chains::loaded_inverter(tech.clone(), 0.2),
+            output_falls_on_input_rise: true,
+        },
+        NamedCircuit {
+            name: "superbuf-0.5pF",
+            circuit: chains::super_buffer_drive(tech.clone(), 0.5, 4.0),
+            output_falls_on_input_rise: true,
+        },
+        NamedCircuit {
+            name: "pass-chain-2",
+            circuit: chains::pass_chain(tech.clone(), 2),
+            output_falls_on_input_rise: false, // drv inverts, rcv inverts
+        },
+        NamedCircuit {
+            name: "pass-chain-6",
+            circuit: chains::pass_chain(tech.clone(), 6),
+            output_falls_on_input_rise: false,
+        },
+    ]
+}
+
+/// The T2/A2 flow-resolution suite: structures rich in pass transistors.
+pub fn t2_suite(tech: &Tech) -> Vec<NamedCircuit> {
+    vec![
+        NamedCircuit {
+            name: "barrel-8x4",
+            circuit: shifter::barrel_shifter(tech.clone(), 8, 4),
+            output_falls_on_input_rise: false,
+        },
+        NamedCircuit {
+            name: "barrel-16x4",
+            circuit: shifter::barrel_shifter(tech.clone(), 16, 4),
+            output_falls_on_input_rise: false,
+        },
+        NamedCircuit {
+            name: "regfile-4x8",
+            circuit: crate::regfile::register_file(tech.clone(), 4, 8),
+            output_falls_on_input_rise: false,
+        },
+        NamedCircuit {
+            name: "datapath-4x2",
+            circuit: {
+                let dp = crate::datapath::datapath(tech.clone(), crate::datapath::DatapathConfig::small());
+                let input = dp.ext[0];
+                let output = dp.netlist.node_by_name("out0").expect("out0");
+                crate::Circuit { netlist: dp.netlist, input, output }
+            },
+            output_falls_on_input_rise: false,
+        },
+        NamedCircuit {
+            name: "pass-chain-8",
+            circuit: chains::pass_chain(tech.clone(), 8),
+            output_falls_on_input_rise: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_suite_names_are_unique_and_circuits_nonempty() {
+        let suite = t1_suite(&Tech::nmos4um());
+        let mut names: Vec<&str> = suite.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+        for c in &suite {
+            assert!(c.circuit.netlist.device_count() > 0, "{} empty", c.name);
+        }
+    }
+
+    #[test]
+    fn t2_suite_has_pass_devices() {
+        use tv_flow::{analyze, RuleSet};
+        for c in t2_suite(&Tech::nmos4um()) {
+            let flow = analyze(&c.circuit.netlist, &RuleSet::all());
+            let r = flow.report(&c.circuit.netlist);
+            assert!(r.pass_devices > 0, "{} has no pass devices", c.name);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Node capacitance extraction from device geometry.
+
+use crate::{Device, Node, Tech};
+
+/// Computes per-node capacitance the way a 1983 extractor did: each node's
+/// total load is its explicit wiring capacitance, plus the gate-oxide
+/// capacitance of every transistor it gates, plus one diffusion
+/// contribution per channel terminal sitting on it.
+///
+/// # Example
+///
+/// ```
+/// use tv_netlist::{CapModel, Tech};
+///
+/// let tech = Tech::nmos4um();
+/// let model = CapModel::new(&tech);
+/// // A minimum gate (4 µm × 4 µm) presents 6.4 fF of oxide:
+/// let c = model.gate_contribution(4.0, 4.0);
+/// assert!((c - 0.0064).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CapModel {
+    c_gate_per_um2: f64,
+    c_diff_per_um: f64,
+}
+
+impl CapModel {
+    /// Builds a capacitance model from a technology's parameters.
+    pub fn new(tech: &Tech) -> Self {
+        CapModel {
+            c_gate_per_um2: tech.c_gate_per_um2,
+            c_diff_per_um: tech.c_diff_per_um,
+        }
+    }
+
+    /// Gate-oxide capacitance of one device of the given geometry, pF.
+    #[inline]
+    pub fn gate_contribution(&self, w_um: f64, l_um: f64) -> f64 {
+        self.c_gate_per_um2 * w_um * l_um
+    }
+
+    /// Diffusion capacitance of one channel terminal of the given width, pF.
+    #[inline]
+    pub fn diffusion_contribution(&self, w_um: f64) -> f64 {
+        self.c_diff_per_um * w_um
+    }
+
+    /// Computes the total capacitance of every node.
+    ///
+    /// Returns a vector indexed by node id: wiring + Σ gate + Σ diffusion.
+    pub fn node_caps(&self, nodes: &[Node], devices: &[Device]) -> Vec<f64> {
+        let mut caps: Vec<f64> = nodes.iter().map(|n| n.extra_cap()).collect();
+        for d in devices {
+            caps[d.gate().index()] += self.gate_contribution(d.width(), d.length());
+            caps[d.source().index()] += self.diffusion_contribution(d.width());
+            caps[d.drain().index()] += self.diffusion_contribution(d.width());
+        }
+        caps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetlistBuilder, Tech};
+
+    #[test]
+    fn gate_cap_dominates_min_device() {
+        let t = Tech::nmos4um();
+        let m = CapModel::new(&t);
+        // For a minimum 4×4 µm device, gate (6.4 fF) > one diffusion (0.8 fF).
+        assert!(m.gate_contribution(4.0, 4.0) > m.diffusion_contribution(4.0));
+    }
+
+    #[test]
+    fn fanout_multiplies_gate_load() {
+        let t = Tech::nmos4um();
+        let mut b = NetlistBuilder::new(t.clone());
+        let a = b.input("a");
+        // Three inverters all gated by `a`.
+        for i in 0..3 {
+            let out = b.node(format!("o{i}"));
+            b.inverter(format!("inv{i}"), a, out);
+        }
+        let nl = b.finish().unwrap();
+        let per_gate = t.gate_capacitance(8.0, 4.0); // builder's pull-down: W=2·min, L=min
+        // `a` has no channel contacts, so its cap is exactly 3 gate loads.
+        assert!((nl.node_cap(a) - 3.0 * per_gate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_cap_adds_on_top() {
+        let t = Tech::nmos4um();
+        let mut b = NetlistBuilder::new(t);
+        let a = b.input("a");
+        let out = b.output("out");
+        b.inverter("inv0", a, out);
+        let base = {
+            let nl = b.clone().finish().unwrap();
+            nl.node_cap(out)
+        };
+        b.add_cap(out, 1.25).unwrap();
+        let nl = b.finish().unwrap();
+        assert!((nl.node_cap(out) - (base + 1.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_netlist_has_zero_caps() {
+        let nl = NetlistBuilder::new(Tech::nmos4um()).finish().unwrap();
+        assert_eq!(nl.node_cap(nl.vdd()), 0.0);
+        assert_eq!(nl.node_cap(nl.gnd()), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! The crate-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, validating, or parsing a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// Two nodes were declared with the same name.
+    DuplicateNode(String),
+    /// A name was looked up that no node carries.
+    UnknownNode(String),
+    /// A device's source and drain are the same node (shorted channel).
+    ShortedChannel {
+        /// Name of the offending device.
+        device: String,
+    },
+    /// A device geometry was non-positive.
+    BadGeometry {
+        /// Name of the offending device.
+        device: String,
+        /// Drawn width, µm.
+        w_um: f64,
+        /// Drawn length, µm.
+        l_um: f64,
+    },
+    /// An explicit capacitance was negative or non-finite.
+    BadCapacitance {
+        /// Name of the node the capacitance was attached to.
+        node: String,
+        /// The rejected value, pF.
+        cap_pf: f64,
+    },
+    /// A `.sim` file line could not be parsed.
+    SimParse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The netlist failed structural validation.
+    Invalid(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateNode(name) => {
+                write!(f, "duplicate node name {name:?}")
+            }
+            NetlistError::UnknownNode(name) => {
+                write!(f, "unknown node name {name:?}")
+            }
+            NetlistError::ShortedChannel { device } => {
+                write!(f, "device {device:?} has source and drain on the same node")
+            }
+            NetlistError::BadGeometry { device, w_um, l_um } => {
+                write!(
+                    f,
+                    "device {device:?} has non-positive geometry W={w_um} µm, L={l_um} µm"
+                )
+            }
+            NetlistError::BadCapacitance { node, cap_pf } => {
+                write!(f, "node {node:?} given invalid capacitance {cap_pf} pF")
+            }
+            NetlistError::SimParse { line, message } => {
+                write!(f, "sim format parse error at line {line}: {message}")
+            }
+            NetlistError::Invalid(msg) => write!(f, "invalid netlist: {msg}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::DuplicateNode("out".into());
+        assert!(e.to_string().contains("duplicate node"));
+        let e = NetlistError::SimParse {
+            line: 12,
+            message: "expected 6 fields".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<NetlistError>();
+    }
+}

@@ -1,0 +1,109 @@
+//! Typed identifiers for nodes and devices.
+//!
+//! Raw `usize` indices invite mixing up "node 3" and "device 3"; these
+//! newtypes make that a compile error while staying `Copy` and free.
+
+use std::fmt;
+
+/// Identifier of an electrical node (net) within a [`crate::Netlist`].
+///
+/// Node ids are dense indices assigned in creation order; `NodeId(0)` and
+/// `NodeId(1)` are always the power rails VDD and GND respectively (see
+/// [`crate::Netlist::vdd`] / [`crate::Netlist::gnd`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifier of a transistor within a [`crate::Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the dense index of this node, suitable for indexing
+    /// per-node side tables (`Vec`s of length [`crate::Netlist::node_count`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `NodeId` from a dense index.
+    ///
+    /// Intended for iterating side tables; the caller is responsible for the
+    /// index having come from the same netlist.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl DeviceId {
+    /// Returns the dense index of this device, suitable for indexing
+    /// per-device side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `DeviceId` from a dense index.
+    ///
+    /// Intended for iterating side tables; the caller is responsible for the
+    /// index having come from the same netlist.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        DeviceId(index as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_through_index() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, NodeId(42));
+    }
+
+    #[test]
+    fn device_id_round_trips_through_index() {
+        let id = DeviceId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id, DeviceId(7));
+    }
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", DeviceId(9)), "t9");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(DeviceId(0) < DeviceId(10));
+    }
+}

@@ -1,0 +1,68 @@
+//! Transistor-level netlist model for nMOS VLSI timing analysis.
+//!
+//! This crate is the substrate every other `tv-*` crate builds on. It models
+//! an nMOS chip the way a 1983 layout extractor would hand it to a timing
+//! analyzer such as Jouppi's *TV* (DAC 1983): a flat list of **nodes**
+//! (electrical nets with capacitance) and **transistors** (enhancement or
+//! depletion devices with gate/source/drain terminals and W/L geometry),
+//! plus the **technology parameters** needed to turn geometry into
+//! resistance and capacitance.
+//!
+//! # Unit system
+//!
+//! All quantities use a coherent system chosen so that products need no
+//! scale factors:
+//!
+//! | quantity | unit |
+//! |---|---|
+//! | resistance | kΩ |
+//! | capacitance | pF |
+//! | time | ns (= kΩ · pF) |
+//! | voltage | V |
+//! | current | mA (= V / kΩ) |
+//! | length | µm |
+//!
+//! # Example
+//!
+//! Build a depletion-load inverter and query its extracted capacitance:
+//!
+//! ```
+//! use tv_netlist::{NetlistBuilder, Tech};
+//!
+//! # fn main() -> Result<(), tv_netlist::NetlistError> {
+//! let tech = Tech::nmos4um();
+//! let mut b = NetlistBuilder::new(tech);
+//! let a = b.input("a");
+//! let out = b.output("out");
+//! b.depletion_load(out, 2.0, 8.0);          // pull-up: W=2, L=8 (4 squares)
+//! b.enhancement("m1", a, b.gnd(), out, 4.0, 2.0); // pull-down: W=4, L=2
+//! let netlist = b.finish()?;
+//! assert_eq!(netlist.device_count(), 2);
+//! assert!(netlist.node_cap(out) > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod cap;
+mod device;
+mod error;
+mod ids;
+mod netlist;
+mod node;
+pub mod sim_format;
+pub mod spice;
+mod tech;
+pub mod validate;
+
+pub use builder::NetlistBuilder;
+pub use cap::CapModel;
+pub use device::{Device, DeviceKind, Terminal};
+pub use error::NetlistError;
+pub use ids::{DeviceId, NodeId};
+pub use netlist::{DeviceRef, Netlist, NodeDevices};
+pub use node::{Node, NodeRole};
+pub use tech::Tech;

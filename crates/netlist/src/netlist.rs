@@ -1,0 +1,280 @@
+//! The immutable, fully-indexed netlist produced by [`crate::NetlistBuilder`].
+
+use std::collections::HashMap;
+
+use crate::cap::CapModel;
+use crate::{Device, DeviceId, Node, NodeId, NodeRole, Tech};
+
+/// A device together with its id, as yielded by [`Netlist::devices`].
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceRef<'a> {
+    /// The device's identifier.
+    pub id: DeviceId,
+    /// The device itself.
+    pub device: &'a Device,
+}
+
+/// The devices incident on one node, split by how they touch it.
+///
+/// Returned by [`Netlist::node_devices`]; both slices are sorted by id.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeDevices<'a> {
+    /// Devices whose **gate** is this node (the node drives them).
+    pub gated: &'a [DeviceId],
+    /// Devices whose **channel** (source or drain) touches this node.
+    pub channel: &'a [DeviceId],
+}
+
+/// An immutable transistor-level netlist with full connectivity indexes.
+///
+/// Construct one with [`crate::NetlistBuilder`] or by parsing the `.sim`
+/// interchange format ([`crate::sim_format::parse`]). Node ids 0 and 1 are
+/// always VDD and GND.
+///
+/// # Example
+///
+/// ```
+/// use tv_netlist::{NetlistBuilder, Tech};
+///
+/// # fn main() -> Result<(), tv_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new(Tech::nmos4um());
+/// let a = b.input("a");
+/// let out = b.output("out");
+/// b.inverter("inv0", a, out);
+/// let nl = b.finish()?;
+/// assert_eq!(nl.node_by_name("out"), Some(out));
+/// // The input node sees one transistor gate:
+/// assert_eq!(nl.node_devices(a).gated.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    pub(crate) tech: Tech,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) devices: Vec<Device>,
+    pub(crate) by_name: HashMap<String, NodeId>,
+    /// Per node: devices whose gate is that node.
+    pub(crate) gates_at: Vec<Vec<DeviceId>>,
+    /// Per node: devices whose source or drain is that node.
+    pub(crate) channel_at: Vec<Vec<DeviceId>>,
+    /// Per node: total capacitance (extra + gate + diffusion), pF.
+    pub(crate) total_cap: Vec<f64>,
+}
+
+impl Netlist {
+    /// The technology this netlist was extracted in.
+    #[inline]
+    pub fn tech(&self) -> &Tech {
+        &self.tech
+    }
+
+    /// The VDD rail node (always id 0).
+    #[inline]
+    pub fn vdd(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The GND rail node (always id 1).
+    #[inline]
+    pub fn gnd(&self) -> NodeId {
+        NodeId(1)
+    }
+
+    /// Number of nodes, including the two rails.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of transistors.
+    #[inline]
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this netlist.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The device with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this netlist.
+    #[inline]
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// Looks a node up by name.
+    #[inline]
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over all node ids in index order.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(|i| NodeId(i as u32))
+    }
+
+    /// Iterates over all devices with their ids.
+    pub fn devices(&self) -> impl ExactSizeIterator<Item = DeviceRef<'_>> + '_ {
+        self.devices.iter().enumerate().map(|(i, device)| DeviceRef {
+            id: DeviceId(i as u32),
+            device,
+        })
+    }
+
+    /// The devices incident on `node`, split into gate vs channel contact.
+    #[inline]
+    pub fn node_devices(&self, node: NodeId) -> NodeDevices<'_> {
+        NodeDevices {
+            gated: &self.gates_at[node.index()],
+            channel: &self.channel_at[node.index()],
+        }
+    }
+
+    /// Total capacitance on `node` (wiring + gate + diffusion), pF.
+    ///
+    /// Rails report their (physically meaningless) attached capacitance;
+    /// analysis code never charges or discharges a rail.
+    #[inline]
+    pub fn node_cap(&self, node: NodeId) -> f64 {
+        self.total_cap[node.index()]
+    }
+
+    /// Sum of capacitance over all non-rail nodes, pF — a proxy for chip
+    /// size used in reports.
+    pub fn total_capacitance(&self) -> f64 {
+        self.node_ids()
+            .filter(|&n| !self.node(n).role().is_rail())
+            .map(|n| self.node_cap(n))
+            .sum()
+    }
+
+    /// All primary input nodes, in id order.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        self.nodes_with_role(|r| r == NodeRole::Input)
+    }
+
+    /// All primary output nodes, in id order.
+    pub fn outputs(&self) -> Vec<NodeId> {
+        self.nodes_with_role(|r| r == NodeRole::Output)
+    }
+
+    /// All clock nodes with their phase index, in id order.
+    pub fn clocks(&self) -> Vec<(NodeId, u8)> {
+        self.node_ids()
+            .filter_map(|n| match self.node(n).role() {
+                NodeRole::Clock(p) => Some((n, p)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn nodes_with_role(&self, pred: impl Fn(NodeRole) -> bool) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&n| pred(self.node(n).role()))
+            .collect()
+    }
+
+    /// Recomputes the per-node total capacitance table. Called by the
+    /// builder on `finish`; exposed for callers that mutate capacitance via
+    /// a rebuilt netlist.
+    pub(crate) fn recompute_caps(&mut self) {
+        let model = CapModel::new(&self.tech);
+        self.total_cap = model.node_caps(&self.nodes, &self.devices);
+    }
+
+    /// Reopens the netlist as a builder for engineering-change-order
+    /// edits: everything (nodes, roles, devices, explicit capacitance) is
+    /// carried over, and new structure can be added before `finish`ing a
+    /// new netlist. Node and device ids of existing elements are
+    /// preserved.
+    pub fn to_builder(&self) -> crate::NetlistBuilder {
+        crate::NetlistBuilder::from_parts(
+            self.tech.clone(),
+            self.nodes.clone(),
+            self.devices.clone(),
+            self.by_name.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{NetlistBuilder, Tech};
+
+    #[test]
+    fn rails_have_fixed_ids() {
+        let b = NetlistBuilder::new(Tech::nmos4um());
+        let nl = b.finish().expect("empty netlist is valid");
+        assert_eq!(nl.vdd().index(), 0);
+        assert_eq!(nl.gnd().index(), 1);
+        assert_eq!(nl.node_count(), 2);
+        assert_eq!(nl.device_count(), 0);
+    }
+
+    #[test]
+    fn adjacency_distinguishes_gate_from_channel() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let out = b.output("out");
+        b.inverter("inv0", a, out);
+        let nl = b.finish().unwrap();
+
+        // Input `a` gates the pull-down, touches no channel.
+        let at_a = nl.node_devices(a);
+        assert_eq!(at_a.gated.len(), 1);
+        assert!(at_a.channel.is_empty());
+
+        // `out` touches both channels (pull-up and pull-down) and, being
+        // load-connected, also the depletion gate.
+        let at_out = nl.node_devices(out);
+        assert_eq!(at_out.channel.len(), 2);
+        assert_eq!(at_out.gated.len(), 1);
+    }
+
+    #[test]
+    fn name_lookup_round_trips() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let x = b.node("x");
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.node_by_name("x"), Some(x));
+        assert_eq!(nl.node_by_name("y"), None);
+        assert_eq!(nl.node(x).name(), "x");
+    }
+
+    #[test]
+    fn inputs_outputs_clocks_filters() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let q = b.output("q");
+        let phi1 = b.clock("phi1", 0);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.inputs(), vec![a]);
+        assert_eq!(nl.outputs(), vec![q]);
+        assert_eq!(nl.clocks(), vec![(phi1, 0)]);
+    }
+
+    #[test]
+    fn total_capacitance_excludes_rails() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let out = b.output("out");
+        b.inverter("inv0", a, out);
+        b.add_cap(out, 0.5).unwrap();
+        let nl = b.finish().unwrap();
+        let rail_cap = nl.node_cap(nl.vdd()) + nl.node_cap(nl.gnd());
+        let sum: f64 = nl.node_ids().map(|n| nl.node_cap(n)).sum();
+        assert!((nl.total_capacitance() - (sum - rail_cap)).abs() < 1e-12);
+        assert!(nl.node_cap(out) >= 0.5);
+    }
+}

@@ -1,0 +1,118 @@
+//! Electrical nodes (nets) and their user-declared roles.
+
+/// The role a node was declared with, as known *before* any analysis.
+///
+/// This is what a layout extractor or the designer supplies: which nets are
+/// power rails, primary inputs/outputs, or clocks. Everything finer
+/// (precharged, storage, bus, …) is *inferred* by `tv-flow` and lives there
+/// as [`tv-flow`'s classification], not here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NodeRole {
+    /// An ordinary internal net (the default).
+    #[default]
+    Internal,
+    /// The positive supply rail.
+    Vdd,
+    /// The ground rail.
+    Gnd,
+    /// A primary input: driven from off-chip, a signal-flow source.
+    Input,
+    /// A primary output: observed off-chip, a signal-flow sink.
+    Output,
+    /// A clock net, with the index of the phase that drives it
+    /// (0 = φ1, 1 = φ2 in a two-phase scheme).
+    Clock(u8),
+}
+
+impl NodeRole {
+    /// Whether this node is one of the two power rails.
+    #[inline]
+    pub fn is_rail(self) -> bool {
+        matches!(self, NodeRole::Vdd | NodeRole::Gnd)
+    }
+
+    /// Whether this node is externally driven (rail, input, or clock) and
+    /// therefore a *source* of signal flow rather than something computed
+    /// on chip.
+    #[inline]
+    pub fn is_external_source(self) -> bool {
+        matches!(
+            self,
+            NodeRole::Vdd | NodeRole::Gnd | NodeRole::Input | NodeRole::Clock(_)
+        )
+    }
+}
+
+/// An electrical node: a net with a name, a role, and extracted capacitance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) role: NodeRole,
+    /// Explicit (wiring/extra) capacitance attached to this node, pF.
+    /// Device gate and diffusion capacitance is accounted separately by
+    /// [`crate::CapModel`] so geometry edits don't double-count.
+    pub(crate) extra_cap: f64,
+}
+
+impl Node {
+    pub(crate) fn new(name: impl Into<String>, role: NodeRole) -> Self {
+        Node {
+            name: name.into(),
+            role,
+            extra_cap: 0.0,
+        }
+    }
+
+    /// The node's name as given at construction.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared role of this node.
+    #[inline]
+    pub fn role(&self) -> NodeRole {
+        self.role
+    }
+
+    /// Explicit wiring capacitance attached to this node, pF (not
+    /// including device gate/diffusion capacitance).
+    #[inline]
+    pub fn extra_cap(&self) -> f64 {
+        self.extra_cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_role_is_internal() {
+        assert_eq!(NodeRole::default(), NodeRole::Internal);
+    }
+
+    #[test]
+    fn rails_are_rails() {
+        assert!(NodeRole::Vdd.is_rail());
+        assert!(NodeRole::Gnd.is_rail());
+        assert!(!NodeRole::Input.is_rail());
+        assert!(!NodeRole::Clock(0).is_rail());
+    }
+
+    #[test]
+    fn external_sources_include_inputs_and_clocks() {
+        assert!(NodeRole::Input.is_external_source());
+        assert!(NodeRole::Clock(1).is_external_source());
+        assert!(NodeRole::Vdd.is_external_source());
+        assert!(!NodeRole::Output.is_external_source());
+        assert!(!NodeRole::Internal.is_external_source());
+    }
+
+    #[test]
+    fn node_carries_name_and_zero_initial_cap() {
+        let n = Node::new("alu.carry3", NodeRole::Internal);
+        assert_eq!(n.name(), "alu.carry3");
+        assert_eq!(n.extra_cap(), 0.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Reader/writer for a `.sim`-style transistor interchange format.
+//!
+//! The MOSIS/Berkeley `.sim` format was how 1983 layout extractors handed
+//! transistor netlists to analyzers like TV. This module implements a
+//! documented dialect of it:
+//!
+//! ```text
+//! | anything            comment
+//! e g s d L W           enhancement transistor (geometry in µm)
+//! d g s d L W           depletion transistor
+//! C n cap               explicit capacitance on node n, femtofarads
+//! i n                   declare n a primary input
+//! o n                   declare n a primary output
+//! k n p                 declare n a clock of phase p (0 = φ1, 1 = φ2)
+//! ```
+//!
+//! Node names are arbitrary whitespace-free tokens; `VDD` and `GND` are the
+//! rails. Geometry is in µm (the historical format used centimicrons; the
+//! writer emits a header comment naming the unit so files are
+//! self-describing).
+//!
+//! # Example
+//!
+//! ```
+//! use tv_netlist::{sim_format, NetlistBuilder, Tech};
+//!
+//! # fn main() -> Result<(), tv_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new(Tech::nmos4um());
+//! let a = b.input("a");
+//! let out = b.output("out");
+//! b.inverter("inv", a, out);
+//! let nl = b.finish()?;
+//!
+//! let text = sim_format::write(&nl);
+//! let back = sim_format::parse(&text, Tech::nmos4um())?;
+//! assert_eq!(back.device_count(), nl.device_count());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::{DeviceKind, Netlist, NetlistBuilder, NetlistError, NodeRole, Tech};
+
+/// Serializes a netlist to the `.sim` dialect described in the module docs.
+///
+/// Only *explicit* capacitance is emitted (`C` lines); gate and diffusion
+/// capacitance is re-derived from geometry on parse, so a round trip
+/// reproduces the same totals.
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| nmos-tv sim file, geometry in um, caps in fF");
+    let _ = writeln!(
+        out,
+        "| nodes={} devices={}",
+        netlist.node_count(),
+        netlist.device_count()
+    );
+    for id in netlist.node_ids() {
+        let node = netlist.node(id);
+        match node.role() {
+            NodeRole::Input => {
+                let _ = writeln!(out, "i {}", node.name());
+            }
+            NodeRole::Output => {
+                let _ = writeln!(out, "o {}", node.name());
+            }
+            NodeRole::Clock(p) => {
+                let _ = writeln!(out, "k {} {}", node.name(), p);
+            }
+            _ => {}
+        }
+        if node.extra_cap() > 0.0 {
+            // pF -> fF for the file.
+            let _ = writeln!(out, "C {} {}", node.name(), node.extra_cap() * 1000.0);
+        }
+    }
+    for dref in netlist.devices() {
+        let d = dref.device;
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {} {}",
+            d.kind().sim_code(),
+            netlist.node(d.gate()).name(),
+            netlist.node(d.source()).name(),
+            netlist.node(d.drain()).name(),
+            d.length(),
+            d.width(),
+        );
+    }
+    out
+}
+
+/// Parses the `.sim` dialect into a netlist under the given technology.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::SimParse`] for malformed lines (with the 1-based
+/// line number) and propagates any structural error found when finishing
+/// the netlist (e.g. a shorted channel in the file).
+pub fn parse(text: &str, tech: Tech) -> Result<Netlist, NetlistError> {
+    let mut b = NetlistBuilder::new(tech);
+    let mut dev_count = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('|') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let bad = |message: String| NetlistError::SimParse {
+            line: lineno,
+            message,
+        };
+        match fields[0] {
+            "e" | "d" => {
+                if fields.len() != 6 {
+                    return Err(bad(format!(
+                        "transistor line needs 6 fields, got {}",
+                        fields.len()
+                    )));
+                }
+                let g = b.node(fields[1]);
+                let s = b.node(fields[2]);
+                let dr = b.node(fields[3]);
+                let l: f64 = fields[4]
+                    .parse()
+                    .map_err(|_| bad(format!("bad length {:?}", fields[4])))?;
+                let w: f64 = fields[5]
+                    .parse()
+                    .map_err(|_| bad(format!("bad width {:?}", fields[5])))?;
+                let kind = if fields[0] == "e" {
+                    DeviceKind::Enhancement
+                } else {
+                    DeviceKind::Depletion
+                };
+                let name = format!("m{dev_count}");
+                dev_count += 1;
+                match kind {
+                    DeviceKind::Enhancement => b.enhancement(name, g, s, dr, w, l),
+                    DeviceKind::Depletion => b.depletion(name, g, s, dr, w, l),
+                };
+            }
+            "C" => {
+                if fields.len() != 3 {
+                    return Err(bad("capacitance line needs 3 fields".into()));
+                }
+                let n = b.node(fields[1]);
+                let ff: f64 = fields[2]
+                    .parse()
+                    .map_err(|_| bad(format!("bad capacitance {:?}", fields[2])))?;
+                b.add_cap(n, ff / 1000.0)?;
+            }
+            "i" => {
+                if fields.len() != 2 {
+                    return Err(bad("input line needs 2 fields".into()));
+                }
+                b.input(fields[1]);
+            }
+            "o" => {
+                if fields.len() != 2 {
+                    return Err(bad("output line needs 2 fields".into()));
+                }
+                b.output(fields[1]);
+            }
+            "k" => {
+                if fields.len() != 3 {
+                    return Err(bad("clock line needs 3 fields".into()));
+                }
+                let p: u8 = fields[2]
+                    .parse()
+                    .map_err(|_| bad(format!("bad phase {:?}", fields[2])))?;
+                b.clock(fields[1], p);
+            }
+            other => {
+                return Err(bad(format!("unknown record type {other:?}")));
+            }
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetlistBuilder, Tech};
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let phi = b.clock("phi1", 0);
+        let out = b.output("out");
+        let mid = b.node("mid");
+        b.inverter("i1", a, mid);
+        b.pass("p1", phi, mid, out);
+        b.add_cap(out, 0.123).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_caps() {
+        let nl = sample();
+        let text = write(&nl);
+        let back = parse(&text, Tech::nmos4um()).unwrap();
+        assert_eq!(back.device_count(), nl.device_count());
+        assert_eq!(back.node_count(), nl.node_count());
+        assert_eq!(back.inputs().len(), 1);
+        assert_eq!(back.outputs().len(), 1);
+        assert_eq!(back.clocks(), {
+            let n = back.node_by_name("phi1").unwrap();
+            vec![(n, 0)]
+        });
+        let out = back.node_by_name("out").unwrap();
+        let orig_out = nl.node_by_name("out").unwrap();
+        assert!((back.node_cap(out) - nl.node_cap(orig_out)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "| header\n\n| another comment\ni a\n";
+        let nl = parse(text, Tech::nmos4um()).unwrap();
+        assert_eq!(nl.inputs().len(), 1);
+    }
+
+    #[test]
+    fn malformed_transistor_line_reports_line_number() {
+        let text = "| ok\ne a b\n";
+        let err = parse(text, Tech::nmos4um()).unwrap_err();
+        match err {
+            NetlistError::SimParse { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_record_is_an_error() {
+        let err = parse("z foo\n", Tech::nmos4um()).unwrap_err();
+        assert!(matches!(err, NetlistError::SimParse { .. }));
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let err = parse("e a b c four 4\n", Tech::nmos4um()).unwrap_err();
+        assert!(matches!(err, NetlistError::SimParse { .. }));
+    }
+
+    #[test]
+    fn shorted_channel_in_file_is_caught() {
+        let err = parse("e g x x 2 4\n", Tech::nmos4um()).unwrap_err();
+        assert!(matches!(err, NetlistError::ShortedChannel { .. }));
+    }
+
+    #[test]
+    fn writer_emits_rails_by_name() {
+        let nl = sample();
+        let text = write(&nl);
+        assert!(text.contains("GND"));
+        assert!(text.contains("VDD"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Technology parameters for an nMOS process.
+//!
+//! The defaults model the 4 µm (λ = 2 µm) depletion-load nMOS process of
+//! Mead & Conway's *Introduction to VLSI Systems*, which is the process the
+//! Stanford MIPS chip analyzed in the TV paper was designed in.
+
+/// Electrical and geometric parameters of an nMOS process.
+///
+/// All timing in this workspace derives from four numbers here: the
+/// per-square channel resistances, the gate-oxide capacitance, and the
+/// diffusion capacitance. The remaining fields parameterize the level-1
+/// MOS model used by the transient simulator and the electrical rule
+/// checks (pull-up/pull-down ratios).
+///
+/// # Example
+///
+/// ```
+/// use tv_netlist::Tech;
+///
+/// let tech = Tech::nmos4um();
+/// // A minimum-size enhancement device (W = L = 2λ = 4 µm) is one square:
+/// assert_eq!(tech.channel_resistance(4.0, 4.0), tech.r_enh_sq);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tech {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Enhancement-device threshold voltage, volts (positive).
+    pub vt_enh: f64,
+    /// Depletion-device threshold voltage, volts (negative: conducts at
+    /// V_GS = 0, which is what makes it usable as a pull-up load).
+    pub vt_dep: f64,
+    /// Process transconductance k′ = µ·C_ox, in mA/V².
+    pub kprime: f64,
+    /// Effective switching resistance of one square (W = L) of enhancement
+    /// channel, kΩ. Multiplied by L/W for an actual device.
+    pub r_enh_sq: f64,
+    /// Effective pull-up resistance of one square of depletion channel
+    /// operated as a load (gate tied to source), kΩ.
+    pub r_dep_sq: f64,
+    /// Gate-oxide capacitance, pF/µm².
+    pub c_gate_per_um2: f64,
+    /// Source/drain diffusion capacitance per µm of device width, pF/µm.
+    pub c_diff_per_um: f64,
+    /// Minimum feature size λ, µm. Minimum drawn gate is 2λ × 2λ.
+    pub lambda: f64,
+    /// Required pull-up/pull-down resistance ratio for an inverter driven
+    /// by a restored (full-swing) signal. 4 in the standard process.
+    pub ratio_restored: f64,
+    /// Required ratio when any pull-down input arrives *through a pass
+    /// transistor* (degraded high level VDD − V_T). 8 in the standard
+    /// process.
+    pub ratio_through_pass: f64,
+    /// Logic threshold used when converting analog waveforms to switching
+    /// times, as a fraction of VDD (0.5 = the 50% crossing convention).
+    pub switch_fraction: f64,
+    /// Multiplier on a pass transistor's channel resistance for **rising**
+    /// transfers. With its gate at VDD the device starves as the output
+    /// approaches VDD − V_T, so rising edges through pass devices are
+    /// effectively slower than falling ones.
+    pub pass_rise_factor: f64,
+}
+
+impl Tech {
+    /// The canonical 4 µm (λ = 2 µm) nMOS process of the early 1980s.
+    ///
+    /// Values follow Mead & Conway: V_DD = 5 V, enhancement V_T ≈ +1 V,
+    /// depletion V_T ≈ −3 V, ≈ 0.4 fF/µm² of gate oxide. The per-square
+    /// effective resistances are *calibrated against the level-1 MOS
+    /// model* this workspace simulates with: integrating C·dv/I(v) across
+    /// the 50% crossing gives R_eff ≈ 0.48/k′ per square for both the
+    /// enhancement pull-down (V_GS = V_DD) and the depletion load
+    /// (V_GS = 0, |V_T| = 3 V) — so that `R·C·ln 2` is the simulator's
+    /// t₅₀ on a single stage. For falls (enhancement pull-downs,
+    /// discharging from V_DD) that integral gives ≈ 24 kΩ per square; for
+    /// rises (depletion loads, charging from the ratioed low ≈ 0.3 V, a
+    /// larger swing) it gives ≈ 35 kΩ per square. The shipped values carry
+    /// a few percent of margin so the analyzer errs on the late side, the
+    /// convention of every production timing verifier. Note the electrical
+    /// rise/fall asymmetry of the standard 4:1 inverter therefore comes
+    /// out near 5.5:1, matching the simulator, even though the drawn
+    /// geometry ratio is 4:1.
+    pub fn nmos4um() -> Self {
+        Tech {
+            vdd: 5.0,
+            vt_enh: 1.0,
+            vt_dep: -3.0,
+            kprime: 0.02, // 20 µA/V²
+            r_enh_sq: 26.0,
+            r_dep_sq: 36.0,
+            c_gate_per_um2: 4.0e-4, // 0.4 fF/µm²
+            c_diff_per_um: 2.0e-4,  // 0.2 fF per µm of width per terminal
+            lambda: 2.0,
+            ratio_restored: 4.0,
+            ratio_through_pass: 8.0,
+            switch_fraction: 0.5,
+            pass_rise_factor: 2.0,
+        }
+    }
+
+    /// A hypothetical scaled 2 µm process (λ = 1 µm), for scaling studies.
+    ///
+    /// First-order constant-field scaling: resistances per square stay the
+    /// same, areal capacitance doubles, diffusion capacitance per µm stays
+    /// flat, voltages unchanged (nMOS did not scale voltage in practice).
+    pub fn nmos2um() -> Self {
+        Tech {
+            lambda: 1.0,
+            c_gate_per_um2: 8.0e-4,
+            ..Self::nmos4um()
+        }
+    }
+
+    /// Effective switching resistance of an enhancement channel of the
+    /// given drawn width and length (µm): `r_enh_sq · L / W`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `w_um` is not strictly positive.
+    #[inline]
+    pub fn channel_resistance(&self, w_um: f64, l_um: f64) -> f64 {
+        debug_assert!(w_um > 0.0, "device width must be positive");
+        self.r_enh_sq * l_um / w_um
+    }
+
+    /// Effective pull-up resistance of a depletion load of the given drawn
+    /// geometry: `r_dep_sq · L / W`.
+    #[inline]
+    pub fn load_resistance(&self, w_um: f64, l_um: f64) -> f64 {
+        debug_assert!(w_um > 0.0, "device width must be positive");
+        self.r_dep_sq * l_um / w_um
+    }
+
+    /// Gate capacitance of a device of the given drawn geometry, pF.
+    #[inline]
+    pub fn gate_capacitance(&self, w_um: f64, l_um: f64) -> f64 {
+        self.c_gate_per_um2 * w_um * l_um
+    }
+
+    /// Diffusion capacitance contributed by one source/drain terminal of a
+    /// device of the given width, pF.
+    #[inline]
+    pub fn diffusion_capacitance(&self, w_um: f64) -> f64 {
+        self.c_diff_per_um * w_um
+    }
+
+    /// Minimum drawn gate dimension, µm (2λ).
+    #[inline]
+    pub fn min_size(&self) -> f64 {
+        2.0 * self.lambda
+    }
+
+    /// The voltage of the logic switching threshold, volts.
+    #[inline]
+    pub fn switch_voltage(&self) -> f64 {
+        self.vdd * self.switch_fraction
+    }
+
+    /// The degraded high level after passing through an nMOS pass
+    /// transistor: V_DD − V_T(enh), volts.
+    #[inline]
+    pub fn degraded_high(&self) -> f64 {
+        self.vdd - self.vt_enh
+    }
+}
+
+impl Default for Tech {
+    fn default() -> Self {
+        Self::nmos4um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_4um_process() {
+        assert_eq!(Tech::default(), Tech::nmos4um());
+    }
+
+    #[test]
+    fn one_square_is_the_sheet_resistance() {
+        let t = Tech::nmos4um();
+        assert_eq!(t.channel_resistance(4.0, 4.0), t.r_enh_sq);
+        assert_eq!(t.load_resistance(2.0, 2.0), t.r_dep_sq);
+        assert!(t.r_dep_sq > t.r_enh_sq, "rises are slower per square");
+    }
+
+    #[test]
+    fn resistance_scales_with_aspect_ratio() {
+        let t = Tech::nmos4um();
+        // Wider device: lower resistance.
+        assert!(t.channel_resistance(8.0, 2.0) < t.channel_resistance(4.0, 2.0));
+        // Longer device: higher resistance.
+        assert!(t.channel_resistance(4.0, 8.0) > t.channel_resistance(4.0, 2.0));
+        // A 4:1 load is four times one square.
+        let four_to_one = t.load_resistance(2.0, 8.0);
+        assert!((four_to_one - 4.0 * t.r_dep_sq).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_inverter_ratio_is_at_least_four() {
+        // Pull-down W=4 L=2 (half a square), pull-up W=2 L=4 (two squares):
+        // drawn ratio 4 (the Mead & Conway standard inverter); electrically
+        // the rise calibration makes it ~5.5.
+        let t = Tech::nmos4um();
+        let r_pd = t.channel_resistance(4.0, 2.0);
+        let r_pu = t.load_resistance(2.0, 4.0);
+        let ratio = r_pu / r_pd;
+        assert!((4.0..7.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn capacitances_are_positive_and_scale_with_area() {
+        let t = Tech::nmos4um();
+        let small = t.gate_capacitance(4.0, 4.0);
+        let big = t.gate_capacitance(8.0, 4.0);
+        assert!(small > 0.0);
+        assert!((big - 2.0 * small).abs() < 1e-15);
+        assert!(t.diffusion_capacitance(4.0) > 0.0);
+    }
+
+    #[test]
+    fn degraded_high_is_vdd_minus_vt() {
+        let t = Tech::nmos4um();
+        assert!((t.degraded_high() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_process_has_denser_oxide() {
+        let t4 = Tech::nmos4um();
+        let t2 = Tech::nmos2um();
+        assert!(t2.c_gate_per_um2 > t4.c_gate_per_um2);
+        assert!(t2.min_size() < t4.min_size());
+    }
+}

@@ -1,0 +1,253 @@
+//! Structural sanity checks on a finished netlist.
+//!
+//! These are the "is this even a plausible chip" checks an analyzer runs
+//! before attempting timing: floating gates, undriven nodes, devices
+//! bridging the rails, depletion devices not wired as loads. They return
+//! *diagnostics*, not errors — a netlist mid-assembly legitimately trips
+//! some of them, and TV-class tools printed them as warnings.
+
+use std::fmt;
+
+use crate::{DeviceKind, Netlist, NodeId, NodeRole};
+
+/// A single structural diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Issue {
+    /// A node gates a transistor but nothing can ever drive the node: it
+    /// has no channel contact, is not an input/clock, and is not a rail.
+    FloatingGate {
+        /// The floating node.
+        node: NodeId,
+        /// Its name.
+        name: String,
+    },
+    /// A non-rail node touches channels only — nothing gates anything from
+    /// it and it is not an output, so it is dead weight (often an extractor
+    /// artifact).
+    DeadEnd {
+        /// The dead node.
+        node: NodeId,
+        /// Its name.
+        name: String,
+    },
+    /// An enhancement device's channel directly bridges VDD and GND — a
+    /// short circuit whenever its gate is high.
+    RailBridge {
+        /// Name of the offending device.
+        device: String,
+    },
+    /// A depletion device that is neither load-connected nor gated by an
+    /// internal node (super-buffer style); almost always an extraction bug.
+    StrayDepletion {
+        /// Name of the offending device.
+        device: String,
+    },
+    /// A primary input also has channel contacts to internal devices'
+    /// drivers — legal but worth flagging because it complicates direction
+    /// analysis.
+    DrivenInput {
+        /// The input node.
+        node: NodeId,
+        /// Its name.
+        name: String,
+    },
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Issue::FloatingGate { name, .. } => write!(f, "floating gate node {name:?}"),
+            Issue::DeadEnd { name, .. } => write!(f, "dead-end node {name:?}"),
+            Issue::RailBridge { device } => {
+                write!(f, "device {device:?} bridges VDD and GND")
+            }
+            Issue::StrayDepletion { device } => {
+                write!(f, "depletion device {device:?} is not wired as a load or buffer")
+            }
+            Issue::DrivenInput { name, .. } => {
+                write!(f, "primary input {name:?} is also driven on-chip")
+            }
+        }
+    }
+}
+
+/// Runs all structural checks and returns every diagnostic found, in a
+/// deterministic order (by node id, then device id).
+pub fn check(netlist: &Netlist) -> Vec<Issue> {
+    let mut issues = Vec::new();
+
+    for id in netlist.node_ids() {
+        let node = netlist.node(id);
+        let role = node.role();
+        if role.is_rail() {
+            continue;
+        }
+        let at = netlist.node_devices(id);
+        let gates_something = !at.gated.is_empty();
+        let has_channel = !at.channel.is_empty();
+        if gates_something && !has_channel && !role.is_external_source() {
+            issues.push(Issue::FloatingGate {
+                node: id,
+                name: node.name().to_owned(),
+            });
+        }
+        if !gates_something
+            && has_channel
+            && role == NodeRole::Internal
+            && channel_only_endpoint(netlist, id)
+        {
+            issues.push(Issue::DeadEnd {
+                node: id,
+                name: node.name().to_owned(),
+            });
+        }
+        if role == NodeRole::Input && has_channel && is_restored_here(netlist, id) {
+            issues.push(Issue::DrivenInput {
+                node: id,
+                name: node.name().to_owned(),
+            });
+        }
+    }
+
+    for dref in netlist.devices() {
+        let d = dref.device;
+        let bridges = (d.source() == netlist.vdd() && d.drain() == netlist.gnd())
+            || (d.source() == netlist.gnd() && d.drain() == netlist.vdd());
+        if d.kind() == DeviceKind::Enhancement && bridges {
+            issues.push(Issue::RailBridge {
+                device: d.name().to_owned(),
+            });
+        }
+        if d.kind() == DeviceKind::Depletion && !d.is_load_connected() {
+            // A super-buffer pull-up is gated by another node and has one
+            // channel end on VDD; anything else is stray.
+            let buffer_like = d.source() == netlist.vdd() || d.drain() == netlist.vdd();
+            if !buffer_like {
+                issues.push(Issue::StrayDepletion {
+                    device: d.name().to_owned(),
+                });
+            }
+        }
+    }
+
+    issues
+}
+
+/// Whether a node is only ever the far end of pass channels that lead
+/// nowhere else — i.e. removing it removes no connectivity.
+fn channel_only_endpoint(netlist: &Netlist, node: NodeId) -> bool {
+    let at = netlist.node_devices(node);
+    at.channel.len() == 1
+}
+
+/// Whether some device pulls this node toward a rail through its channel
+/// (an on-chip driver), as opposed to only pass-transistor contact.
+fn is_restored_here(netlist: &Netlist, node: NodeId) -> bool {
+    netlist.node_devices(node).channel.iter().any(|&d| {
+        let dev = netlist.device(d);
+        let other = dev.other_channel_end(node);
+        other == netlist.vdd() || other == netlist.gnd()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetlistBuilder, Tech};
+
+    fn builder() -> NetlistBuilder {
+        NetlistBuilder::new(Tech::nmos4um())
+    }
+
+    #[test]
+    fn clean_inverter_has_no_issues() {
+        let mut b = builder();
+        let a = b.input("a");
+        let out = b.output("out");
+        b.inverter("i", a, out);
+        let nl = b.finish().unwrap();
+        assert!(check(&nl).is_empty(), "{:?}", check(&nl));
+    }
+
+    #[test]
+    fn floating_gate_detected() {
+        let mut b = builder();
+        let ghost = b.node("ghost"); // never driven
+        let out = b.node("out");
+        b.inverter("i", ghost, out);
+        let nl = b.finish().unwrap();
+        let issues = check(&nl);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, Issue::FloatingGate { name, .. } if name == "ghost")));
+    }
+
+    #[test]
+    fn rail_bridge_detected() {
+        let mut b = builder();
+        let a = b.input("a");
+        let (vdd, gnd) = (b.vdd(), b.gnd());
+        b.enhancement("short", a, vdd, gnd, 4.0, 2.0);
+        let nl = b.finish().unwrap();
+        let issues = check(&nl);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, Issue::RailBridge { device } if device == "short")));
+    }
+
+    #[test]
+    fn super_buffer_pullup_is_not_stray() {
+        let mut b = builder();
+        let a = b.input("a");
+        let out = b.output("out");
+        b.super_buffer("sb", a, out, 4.0);
+        let nl = b.finish().unwrap();
+        assert!(!check(&nl)
+            .iter()
+            .any(|i| matches!(i, Issue::StrayDepletion { .. })));
+    }
+
+    #[test]
+    fn stray_depletion_detected() {
+        let mut b = builder();
+        let a = b.input("a");
+        let x = b.node("x");
+        let y = b.output("y");
+        // Depletion channel between two internal nodes, gate elsewhere.
+        b.depletion("weird", a, x, y, 4.0, 2.0);
+        // Keep x driven so we only trip the depletion check.
+        b.inverter("drv", a, x);
+        let nl = b.finish().unwrap();
+        assert!(check(&nl)
+            .iter()
+            .any(|i| matches!(i, Issue::StrayDepletion { device } if device == "weird")));
+    }
+
+    #[test]
+    fn dead_end_detected() {
+        let mut b = builder();
+        let a = b.input("a");
+        let phi = b.clock("phi", 0);
+        let mid = b.node("mid");
+        let stub = b.node("stub"); // pass leads here, nothing further
+        b.inverter("i", a, mid);
+        b.pass("p", phi, mid, stub);
+        let nl = b.finish().unwrap();
+        assert!(check(&nl)
+            .iter()
+            .any(|i| matches!(i, Issue::DeadEnd { name, .. } if name == "stub")));
+    }
+
+    #[test]
+    fn driven_input_detected() {
+        let mut b = builder();
+        let a = b.input("a");
+        let x = b.input("x");
+        // Someone also drives the "input" x with an inverter.
+        b.inverter("i", a, x);
+        let nl = b.finish().unwrap();
+        assert!(check(&nl)
+            .iter()
+            .any(|i| matches!(i, Issue::DrivenInput { name, .. } if name == "x")));
+    }
+}

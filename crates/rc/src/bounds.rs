@@ -1,0 +1,167 @@
+//! Provable bounds on the true threshold-crossing time of an RC tree.
+//!
+//! Rubinstein, Penfield and Horowitz ("Signal delay in RC tree networks",
+//! 1983 — exactly contemporary with TV) showed that step responses of RC
+//! trees admit closed-form time bounds. This module implements two bounds
+//! with short self-contained proofs, both of which their tighter bounds
+//! imply:
+//!
+//! * **Upper bound** `T_D / x`: the step response `v_i(t)` is the CDF of a
+//!   non-negative random variable whose mean is the Elmore delay `T_D`
+//!   (the impulse response of an RC tree is non-negative and integrates to
+//!   one). Markov's inequality gives `1 − v_i(t) ≤ T_D / t`, so the time
+//!   at which the remaining fraction is `x` satisfies `t ≤ T_D / x`.
+//!
+//! * **Lower bound** `R_ii · C_i · ln(1/x)`: every ampere charging `C_i`
+//!   flows through the whole supply→i path (resistance `R_ii`), and path
+//!   currents can only shrink downstream, so
+//!   `1 − v_i ≥ R_ii · C_i · dv_i/dt`; integrating gives
+//!   `t(x) ≥ R_ii C_i ln(1/x)`.
+//!
+//! The invariant `lower ≤ single-pole estimate ≤ upper` holds analytically
+//! (`R_ii·C_i ≤ T_D` and `ln(1/x) ≤ 1/x`), and the integration tests check
+//! both bounds against the transient simulator.
+
+use crate::elmore::elmore_delays;
+use crate::tree::{RcNodeId, RcTree};
+
+/// Certified lower and upper bounds on a crossing time, ns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayBounds {
+    /// No crossing can happen before this time.
+    pub lower: f64,
+    /// The crossing must have happened by this time.
+    pub upper: f64,
+}
+
+impl DelayBounds {
+    /// Width of the bound interval, ns.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Whether a measured time falls within the bounds (with a small
+    /// numerical tolerance).
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.lower - 1e-9 && t <= self.upper + 1e-9
+    }
+}
+
+/// Bounds on the time for `node` to cross the point where a fraction `x`
+/// of its final swing remains.
+///
+/// # Panics
+///
+/// Panics if `x` is not in (0, 1].
+///
+/// # Example
+///
+/// ```
+/// use tv_rc::tree::RcTree;
+/// use tv_rc::bounds::crossing_bounds;
+///
+/// let mut t = RcTree::new(10.0);
+/// t.add_cap(t.root(), 0.2);
+/// let b = crossing_bounds(&t, t.root(), 0.5);
+/// // Single RC: exact t50 = RC·ln2 ≈ 1.386 ns sits inside the bounds.
+/// assert!(b.contains(10.0 * 0.2 * std::f64::consts::LN_2));
+/// ```
+pub fn crossing_bounds(tree: &RcTree, node: RcNodeId, x: f64) -> DelayBounds {
+    assert!(x > 0.0 && x <= 1.0, "fraction remaining must be in (0,1]");
+    let elmore = elmore_delays(tree)[node.index()];
+    let r_path = tree.path_r(node);
+    let c_here = tree.cap(node);
+    DelayBounds {
+        lower: r_path * c_here * (1.0 / x).ln(),
+        upper: elmore / x,
+    }
+}
+
+/// Bounds for every node at once (amortizes the Elmore pass), indexed by
+/// [`RcNodeId::index`].
+///
+/// # Panics
+///
+/// Panics if `x` is not in (0, 1].
+pub fn crossing_bounds_all(tree: &RcTree, x: f64) -> Vec<DelayBounds> {
+    assert!(x > 0.0 && x <= 1.0, "fraction remaining must be in (0,1]");
+    let elmore = elmore_delays(tree);
+    let log_term = (1.0 / x).ln();
+    tree.ids()
+        .map(|id| DelayBounds {
+            lower: tree.path_r(id) * tree.cap(id) * log_term,
+            upper: elmore[id.index()] / x,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elmore::crossing_estimate;
+
+    fn ladder(rd: f64, r: f64, c: f64, n: usize) -> RcTree {
+        let mut t = RcTree::new(rd);
+        t.add_cap(t.root(), c);
+        let mut last = t.root();
+        for _ in 1..n {
+            last = t.add_child(last, r, c);
+        }
+        t
+    }
+
+    #[test]
+    fn single_rc_bounds_bracket_exact() {
+        let mut t = RcTree::new(4.0);
+        t.add_cap(t.root(), 0.5);
+        let exact = 4.0 * 0.5 * std::f64::consts::LN_2;
+        let b = crossing_bounds(&t, t.root(), 0.5);
+        assert!(b.lower <= exact && exact <= b.upper);
+        // For a single RC the lower bound is tight.
+        assert!((b.lower - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_are_ordered_and_bracket_estimate_everywhere() {
+        let t = ladder(3.0, 2.0, 0.4, 10);
+        let elmore = crate::elmore::elmore_delays(&t);
+        for x in [0.1, 0.3, 0.5, 0.9] {
+            for (i, b) in crossing_bounds_all(&t, x).iter().enumerate() {
+                let est = crossing_estimate(elmore[i], x);
+                assert!(b.lower <= est + 1e-12, "lower > estimate at x={x}");
+                assert!(est <= b.upper + 1e-12, "estimate > upper at x={x}");
+                assert!(b.width() >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_threshold_means_later_bounds() {
+        let t = ladder(3.0, 2.0, 0.4, 5);
+        let end = t.ids().last().unwrap();
+        let loose = crossing_bounds(&t, end, 0.5);
+        let tight = crossing_bounds(&t, end, 0.1);
+        assert!(tight.lower >= loose.lower);
+        assert!(tight.upper >= loose.upper);
+    }
+
+    #[test]
+    fn contains_respects_interval() {
+        let b = DelayBounds {
+            lower: 1.0,
+            upper: 2.0,
+        };
+        assert!(b.contains(1.5));
+        assert!(b.contains(1.0));
+        assert!(!b.contains(2.5));
+        assert!(!b.contains(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction remaining")]
+    fn invalid_fraction_panics() {
+        let t = ladder(1.0, 1.0, 1.0, 2);
+        let _ = crossing_bounds(&t, t.root(), 1.5);
+    }
+}

@@ -1,0 +1,137 @@
+//! Elmore delay: the first moment of the RC tree's impulse response.
+//!
+//! For an RC tree the Elmore delay at node *i* is
+//! `T_Di = Σ_k R_ki · C_k`, where `R_ki` is the resistance shared between
+//! the supply→*i* and supply→*k* paths. Equivalently — and this is how it
+//! is computed here in O(n) — it accumulates down the tree:
+//! `T_D(child) = T_D(parent) + r_edge · C_subtree(child)`, with
+//! `T_D(root) = r_driver · C_total`.
+//!
+//! Elmore is the *mean* of the impulse response; the true 50% crossing (the
+//! median) is never later than the mean for RC trees, which is why
+//! 1983-class analyzers could use it directly as a conservative delay.
+
+use crate::tree::{RcNodeId, RcTree};
+
+/// Elmore delay at every node, ns, indexed by [`RcNodeId::index`].
+///
+/// # Example
+///
+/// ```
+/// use tv_rc::tree::RcTree;
+/// use tv_rc::elmore::elmore_delays;
+///
+/// // Classic 2-section ladder: R=1 C=1 per section.
+/// let mut t = RcTree::new(1.0);
+/// t.add_cap(t.root(), 1.0);
+/// let n2 = t.add_child(t.root(), 1.0, 1.0);
+/// let d = elmore_delays(&t);
+/// assert!((d[t.root().index()] - 2.0).abs() < 1e-12); // 1·(1+1)
+/// assert!((d[n2.index()] - 3.0).abs() < 1e-12);       // 2 + 1·1
+/// ```
+pub fn elmore_delays(tree: &RcTree) -> Vec<f64> {
+    let sub = tree.subtree_caps();
+    let mut delay = vec![0.0; tree.len()];
+    for id in tree.ids() {
+        let i = id.index();
+        let base = match tree.parent(id) {
+            Some(p) => delay[p.index()],
+            None => 0.0,
+        };
+        delay[i] = base + tree.edge_r(id) * sub[i];
+    }
+    delay
+}
+
+/// Elmore delay at one node, ns. Prefer [`elmore_delays`] when more than
+/// one node is needed (it amortizes the subtree-cap pass).
+pub fn elmore_delay(tree: &RcTree, node: RcNodeId) -> f64 {
+    elmore_delays(tree)[node.index()]
+}
+
+/// Single-pole estimate of the time to cross the fraction-`x`-remaining
+/// point, ns: `T_D · ln(1/x)`. With `x = 0.5` this is the familiar
+/// `0.69·RC` number.
+///
+/// # Panics
+///
+/// Panics if `x` is not in (0, 1].
+pub fn crossing_estimate(elmore: f64, x: f64) -> f64 {
+    assert!(x > 0.0 && x <= 1.0, "fraction remaining must be in (0,1]");
+    elmore * (1.0 / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A uniform ladder of n sections (R, C each) after a driver Rd.
+    fn ladder(rd: f64, r: f64, c: f64, n: usize) -> (RcTree, RcNodeId) {
+        let mut t = RcTree::new(rd);
+        t.add_cap(t.root(), c);
+        let mut last = t.root();
+        for _ in 1..n {
+            last = t.add_child(last, r, c);
+        }
+        (t, last)
+    }
+
+    #[test]
+    fn single_rc_is_rc() {
+        let mut t = RcTree::new(2.0);
+        t.add_cap(t.root(), 3.0);
+        assert!((elmore_delay(&t, t.root()) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ladder_matches_closed_form() {
+        // T_D(end) = Rd·nC + R·C·(n-1)n/2 for the far end of an n-section
+        // ladder (driver charges all n caps; section k charges n-k caps).
+        let (t, end) = ladder(10.0, 2.0, 0.5, 5);
+        let expect = 10.0 * 5.0 * 0.5 + 2.0 * 0.5 * (4.0 * 5.0 / 2.0);
+        assert!((elmore_delay(&t, end) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_caps_count_only_shared_path() {
+        // Root with two branches; delay in branch A must include branch B's
+        // cap only through the shared driver resistance.
+        let mut t = RcTree::new(10.0);
+        let a = t.add_child(t.root(), 5.0, 0.1);
+        let b = t.add_child(t.root(), 7.0, 0.2);
+        let d = elmore_delays(&t);
+        assert!((d[a.index()] - (10.0 * 0.3 + 5.0 * 0.1)).abs() < 1e-9);
+        assert!((d[b.index()] - (10.0 * 0.3 + 7.0 * 0.2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elmore_is_monotone_down_any_path() {
+        let (t, _) = ladder(1.0, 1.0, 1.0, 8);
+        let d = elmore_delays(&t);
+        for id in t.ids() {
+            if let Some(p) = t.parent(id) {
+                assert!(d[id.index()] >= d[p.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_estimate_at_half_is_ln2() {
+        let e = 10.0;
+        assert!((crossing_estimate(e, 0.5) - 10.0 * std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(crossing_estimate(e, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction remaining")]
+    fn crossing_estimate_rejects_zero() {
+        let _ = crossing_estimate(1.0, 0.0);
+    }
+
+    #[test]
+    fn zero_resistance_tree_has_zero_delay() {
+        let mut t = RcTree::new(0.0);
+        let a = t.add_child(t.root(), 0.0, 5.0);
+        assert_eq!(elmore_delay(&t, a), 0.0);
+    }
+}

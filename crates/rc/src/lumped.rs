@@ -1,0 +1,111 @@
+//! The lumped single-RC model: everything hangs directly off the driver.
+//!
+//! This is the model the first generation of MOS timing tools used before
+//! distributed-RC analysis: total capacitance times driver resistance.
+//! It ignores interconnect/pass resistance entirely, so it *underestimates*
+//! far ends of resistive chains but is exact for star-shaped gate loads —
+//! the A1 ablation quantifies exactly this.
+
+use crate::tree::{RcNodeId, RcTree};
+
+/// Lumped time constant of a tree: driver resistance × total capacitance,
+/// ns.
+///
+/// # Example
+///
+/// ```
+/// use tv_rc::tree::RcTree;
+/// use tv_rc::lumped::lumped_tau;
+///
+/// let mut t = RcTree::new(10.0);
+/// t.add_cap(t.root(), 0.1);
+/// t.add_child(t.root(), 5.0, 0.3); // pass R is ignored by this model
+/// assert!((lumped_tau(&t) - 4.0).abs() < 1e-12);
+/// ```
+pub fn lumped_tau(tree: &RcTree) -> f64 {
+    tree.edge_r(tree.root()) * tree.total_cap()
+}
+
+/// Lumped estimate of the fraction-`x`-remaining crossing time, ns:
+/// `τ · ln(1/x)`.
+///
+/// # Panics
+///
+/// Panics if `x` is not in (0, 1].
+pub fn lumped_crossing(tree: &RcTree, x: f64) -> f64 {
+    assert!(x > 0.0 && x <= 1.0, "fraction remaining must be in (0,1]");
+    lumped_tau(tree) * (1.0 / x).ln()
+}
+
+/// The lumped model per node is node-independent; this helper returns the
+/// same value for every node, shaped like the per-node vectors of the
+/// other models so harness code can treat models uniformly.
+pub fn lumped_crossing_all(tree: &RcTree, x: f64) -> Vec<f64> {
+    let v = lumped_crossing(tree, x);
+    tree.ids().map(|_| v).collect()
+}
+
+/// Convenience for comparing against Elmore: on a star topology (all caps
+/// directly at the root) lumped and Elmore agree; on chains Elmore is
+/// larger at the far end.
+pub fn lumped_vs_elmore_ratio(tree: &RcTree, node: RcNodeId) -> f64 {
+    let e = crate::elmore::elmore_delay(tree, node);
+    if e == 0.0 {
+        1.0
+    } else {
+        lumped_tau(tree) / e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_topology_matches_elmore() {
+        let mut t = RcTree::new(10.0);
+        t.add_cap(t.root(), 0.1);
+        t.add_child(t.root(), 0.0, 0.2);
+        t.add_child(t.root(), 0.0, 0.3);
+        let e = crate::elmore::elmore_delay(&t, t.root());
+        assert!((lumped_tau(&t) - e).abs() < 1e-12);
+        assert!((lumped_vs_elmore_ratio(&t, t.root()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_far_end_underestimated() {
+        let mut t = RcTree::new(10.0);
+        t.add_cap(t.root(), 0.1);
+        let mut last = t.root();
+        for _ in 0..5 {
+            last = t.add_child(last, 8.0, 0.1);
+        }
+        let e = crate::elmore::elmore_delay(&t, last);
+        assert!(lumped_tau(&t) < e, "lumped must underestimate chain ends");
+        assert!(lumped_vs_elmore_ratio(&t, last) < 1.0);
+    }
+
+    #[test]
+    fn crossing_uses_log() {
+        let mut t = RcTree::new(2.0);
+        t.add_cap(t.root(), 1.0);
+        assert!((lumped_crossing(&t, 0.5) - 2.0 * std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_nodes_get_same_lumped_value() {
+        let mut t = RcTree::new(2.0);
+        t.add_cap(t.root(), 1.0);
+        t.add_child(t.root(), 1.0, 1.0);
+        let v = lumped_crossing_all(&t, 0.5);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], v[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction remaining")]
+    fn bad_fraction_panics() {
+        let t = RcTree::new(1.0);
+        let _ = lumped_crossing(&t, 0.0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Higher moments of RC-tree impulse responses and the moment-matched
+//! crossing estimate built on them — the first step on the road from
+//! TV-era single-number models to AWE.
+//!
+//! The Elmore delay is the *first* moment `m1` (the mean) of the impulse
+//! response. The single-pole estimate `m1·ln 2` equals the median only
+//! when the response really is one exponential; elsewhere the median
+//! differs in a direction the *second* moment reveals:
+//!
+//! * shallow trees are nearly single-pole — median ≈ `0.69·m1`;
+//! * deep uniform chains have bell-shaped responses — the median climbs
+//!   toward the mean `m1` itself.
+//!
+//! This module computes `m1`/`m2` in two linear passes and fits the
+//! smallest model consistent with them: a **product-form two-pole**
+//! `1/((1+sτ₁)(1+sτ₂))` when the moments admit real poles, otherwise a
+//! **gamma-distribution fit** (shape `k = m1²/σ²`, scale `θ = σ²/m1`,
+//! with `σ² = 2·m2 − m1²` the response variance), whose quantiles come
+//! from the Wilson–Hilferty approximation. Both reduce exactly to the
+//! single-pole estimate when `m2 = m1²`.
+//!
+//! Moment recursion (standard for RC trees): `m2(i) = Σ_k R_ki·C_k·m1(k)`.
+
+use crate::elmore::elmore_delays;
+use crate::tree::{RcNodeId, RcTree};
+
+/// First and second moments of the impulse response at every node.
+///
+/// Conventions: `m1` is the Elmore delay (mean, ns); `m2` is the second
+/// Taylor coefficient (ns²) scaled so a single pole satisfies `m2 = m1²`.
+/// For any RC tree `m2 ≥ m1²/2` (the variance `σ² = 2·m2 − m1²` is
+/// non-negative). `m2` may exceed `m1²` — near the driver of a long line
+/// the response is heavy-tailed (small mean, long downstream tail) — or
+/// fall below it — at the far end the response is bell-shaped.
+#[derive(Debug, Clone)]
+pub struct Moments {
+    /// First moment (Elmore delay) per node, ns.
+    pub m1: Vec<f64>,
+    /// Second moment per node, ns² (single pole: `m2 = m1²`).
+    pub m2: Vec<f64>,
+}
+
+/// Computes `m1` and `m2` for every node in two passes each.
+///
+/// # Example
+///
+/// ```
+/// use tv_rc::tree::RcTree;
+/// use tv_rc::moments::moments;
+///
+/// let mut t = RcTree::new(1.0);
+/// t.add_cap(t.root(), 1.0);
+/// let m = moments(&t);
+/// // Single RC: m1 = RC, m2 = (RC)².
+/// assert!((m.m1[0] - 1.0).abs() < 1e-12);
+/// assert!((m.m2[0] - 1.0).abs() < 1e-12);
+/// ```
+pub fn moments(tree: &RcTree) -> Moments {
+    let m1 = elmore_delays(tree);
+
+    // m2(i) = Σ_k R_ki C_k m1(k): the Elmore accumulation with each cap
+    // weighted by its own m1.
+    let n = tree.len();
+    let mut weighted: Vec<f64> = (0..n)
+        .map(|i| tree.cap(RcNodeId::from_index(i)) * m1[i])
+        .collect();
+    for i in (1..n).rev() {
+        let p = tree
+            .parent(RcNodeId::from_index(i))
+            .expect("non-root has parent")
+            .index();
+        weighted[p] += weighted[i];
+    }
+    let mut m2 = vec![0.0; n];
+    for id in tree.ids() {
+        let i = id.index();
+        let base = match tree.parent(id) {
+            Some(p) => m2[p.index()],
+            None => 0.0,
+        };
+        m2[i] = base + tree.edge_r(id) * weighted[i];
+    }
+    Moments { m1, m2 }
+}
+
+/// Moment-matched estimate of the time at which a fraction `x` of the
+/// final swing remains, ns.
+///
+/// With `q = m1² − m2` (the two-pole product `τ₁τ₂`): when
+/// `m1² − 4q ≥ 0` the response is modeled as two real poles and the
+/// crossing solved by bisection; otherwise a gamma fit on
+/// (`m1`, `σ² = 2m2 − m1²`) supplies the quantile. `m2 = m1²` reduces to
+/// `m1·ln(1/x)` exactly.
+///
+/// # Panics
+///
+/// Panics if `x` is not in (0, 1).
+pub fn moment_matched_crossing(m1: f64, m2: f64, x: f64) -> f64 {
+    assert!(x > 0.0 && x < 1.0, "fraction remaining must be in (0,1)");
+    if m1 <= 0.0 {
+        return 0.0;
+    }
+    let q = m1 * m1 - m2; // τ1·τ2 of the product-form two-pole (if any)
+    let disc = m1 * m1 - 4.0 * q;
+    if (m2 - m1 * m1).abs() <= 1e-9 * m1 * m1 {
+        // Single-pole (or numerically indistinguishable from it).
+        return m1 * (1.0 / x).ln();
+    }
+    if q > 0.0 && disc >= 0.0 {
+        // Mild skew: a genuine product-form two-pole exists.
+        let root = disc.sqrt();
+        let tau1 = 0.5 * (m1 + root);
+        let tau2 = 0.5 * (m1 - root);
+        if tau2 > 1e-12 {
+            return two_real_pole_crossing(tau1, tau2, x, m1);
+        }
+        return m1 * (1.0 / x).ln();
+    }
+    // Heavy tail (q < 0, near-driver nodes of long lines) or bell shape
+    // (disc < 0, deep interior): gamma fit on mean and variance.
+    let variance = 2.0 * m2 - m1 * m1;
+    if variance <= 0.0 {
+        return m1 * (1.0 / x).ln();
+    }
+    // Wilson–Hilferty degrades for very small shapes; clamp — the model
+    // is a delay estimate, not a statistics library.
+    let k = (m1 * m1 / variance).max(0.2);
+    let theta = m1 / k;
+    theta * gamma_quantile(k, 1.0 - x)
+}
+
+/// Crossing of the two-real-pole step response by bisection. `r(t) =
+/// (τ₁e^{−t/τ₁} − τ₂e^{−t/τ₂})/(τ₁−τ₂)` decreases monotonically 1 → 0.
+fn two_real_pole_crossing(tau1: f64, tau2: f64, x: f64, m1: f64) -> f64 {
+    let remaining =
+        |t: f64| (tau1 * (-t / tau1).exp() - tau2 * (-t / tau2).exp()) / (tau1 - tau2);
+    let mut lo = 0.0;
+    let mut hi = 4.0 * m1 * (1.0 / x).ln() + 4.0 * tau1;
+    while remaining(hi) > x {
+        hi *= 2.0;
+        if hi > 1e12 {
+            return m1 * (1.0 / x).ln();
+        }
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if remaining(mid) > x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Quantile of the gamma distribution with shape `k`, scale 1, at
+/// probability `p`, via the Wilson–Hilferty cube approximation (exact in
+/// the χ² limit, a few percent for small `k` — ample for a delay model).
+fn gamma_quantile(k: f64, p: f64) -> f64 {
+    let z = normal_quantile(p);
+    let c = 1.0 - 1.0 / (9.0 * k) + z / (3.0 * k.sqrt());
+    // The cube approximation goes negative for small shapes at low
+    // probabilities; a time quantile is never negative.
+    (k * c * c * c).max(0.0)
+}
+
+/// Standard normal quantile by the Beasley–Springer–Moro rational
+/// approximation (|error| < 3e-9 over (0,1)).
+fn normal_quantile(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    const A: [f64; 4] = [
+        2.50662823884,
+        -18.61500062529,
+        41.39119773534,
+        -25.44106049637,
+    ];
+    const B: [f64; 4] = [
+        -8.47351093090,
+        23.08336743743,
+        -21.06224101826,
+        3.13082909833,
+    ];
+    const C: [f64; 9] = [
+        0.3374754822726147,
+        0.9761690190917186,
+        0.1607979714918209,
+        0.0276438810333863,
+        0.0038405729373609,
+        0.0003951896511919,
+        0.0000321767881768,
+        0.0000002888167364,
+        0.0000003960315187,
+    ];
+    let y = p - 0.5;
+    if y.abs() < 0.42 {
+        let r = y * y;
+        y * (((A[3] * r + A[2]) * r + A[1]) * r + A[0])
+            / ((((B[3] * r + B[2]) * r + B[1]) * r + B[0]) * r + 1.0)
+    } else {
+        let r = if y > 0.0 { 1.0 - p } else { p };
+        let s = (-(r.ln())).ln();
+        let mut t = C[0];
+        let mut pow = 1.0;
+        for &coef in &C[1..] {
+            pow *= s;
+            t += coef * pow;
+        }
+        if y < 0.0 {
+            -t
+        } else {
+            t
+        }
+    }
+}
+
+/// Per-node moment-matched crossing estimates for a whole tree, ns.
+///
+/// # Panics
+///
+/// Panics if `x` is not in (0, 1).
+pub fn moment_matched_crossings(tree: &RcTree, x: f64) -> Vec<f64> {
+    let m = moments(tree);
+    m.m1
+        .iter()
+        .zip(&m.m2)
+        .map(|(&m1, &m2)| moment_matched_crossing(m1, m2, x))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elmore::crossing_estimate;
+
+    fn ladder(rd: f64, r: f64, c: f64, n: usize) -> RcTree {
+        let mut t = RcTree::new(rd);
+        t.add_cap(t.root(), c);
+        let mut last = t.root();
+        for _ in 1..n {
+            last = t.add_child(last, r, c);
+        }
+        t
+    }
+
+    #[test]
+    fn single_rc_moments() {
+        let mut t = RcTree::new(2.0);
+        t.add_cap(t.root(), 3.0);
+        let m = moments(&t);
+        assert!((m.m1[0] - 6.0).abs() < 1e-12);
+        assert!((m.m2[0] - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_is_never_negative() {
+        for n in [1usize, 2, 4, 8, 16] {
+            let t = ladder(3.0, 2.0, 0.3, n);
+            let m = moments(&t);
+            for i in 0..t.len() {
+                let m1s = m.m1[i] * m.m1[i];
+                assert!(
+                    m.m2[i] >= 0.5 * m1s - 1e-9,
+                    "n={n} node {i}: negative variance"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn near_driver_nodes_are_heavy_tailed_far_nodes_bell_shaped() {
+        let t = ladder(3.0, 2.0, 0.3, 16);
+        let m = moments(&t);
+        // Root: long downstream tail, m2 > m1².
+        assert!(m.m2[0] > m.m1[0] * m.m1[0]);
+        // Far end: bell shape, m2 < m1².
+        let far = t.len() - 1;
+        assert!(m.m2[far] < m.m1[far] * m.m1[far]);
+    }
+
+    #[test]
+    fn single_pole_case_reduces_to_elmore_ln() {
+        let t = crossing_estimate(5.0, 0.5);
+        let tp = moment_matched_crossing(5.0, 25.0, 0.5);
+        assert!((t - tp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_distinct_poles_solved_exactly() {
+        // τ1 = 3, τ2 = 1: m1 = 4, m2 = m1² − τ1τ2 = 13.
+        let est = moment_matched_crossing(4.0, 13.0, 0.5);
+        // Check against direct evaluation of the two-pole response.
+        let remaining = |t: f64| (3.0 * (-t / 3.0_f64).exp() - (-t / 1.0_f64).exp()) / 2.0;
+        assert!((remaining(est) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deep_chain_median_climbs_toward_the_mean() {
+        // Bell-shaped deep-chain response: the true median lies above the
+        // single-pole 0.69·m1 and below the mean m1; the fit must agree.
+        let t = ladder(0.5, 2.0, 0.3, 16);
+        let far = t.ids().last().unwrap().index();
+        let m = moments(&t);
+        let single = crossing_estimate(m.m1[far], 0.5);
+        let matched = moment_matched_crossing(m.m1[far], m.m2[far], 0.5);
+        assert!(
+            matched > single,
+            "deep-chain median {matched} should exceed single-pole {single}"
+        );
+        assert!(matched < m.m1[far], "median stays below the mean");
+    }
+
+    #[test]
+    fn crossings_vector_matches_scalar() {
+        let t = ladder(1.0, 1.0, 0.5, 5);
+        let m = moments(&t);
+        let v = moment_matched_crossings(&t, 0.5);
+        for (i, &vi) in v.iter().enumerate() {
+            let s = moment_matched_crossing(m.m1[i], m.m2[i], 0.5);
+            assert!((vi - s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tighter_threshold_is_later() {
+        let t = ladder(1.0, 2.0, 0.4, 8);
+        let far = t.ids().last().unwrap().index();
+        let m = moments(&t);
+        let at_half = moment_matched_crossing(m.m1[far], m.m2[far], 0.5);
+        let at_tenth = moment_matched_crossing(m.m1[far], m.m2[far], 0.1);
+        assert!(at_tenth > at_half);
+    }
+
+    #[test]
+    fn normal_quantile_sanity() {
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.95996).abs() < 1e-3);
+        assert!((normal_quantile(0.025) + 1.95996).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction remaining")]
+    fn bad_fraction_panics() {
+        let _ = moment_matched_crossing(1.0, 0.9, 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Closed forms for pass-transistor chains — the structure that made
+//! transistor-level timing analysis necessary in the first place.
+//!
+//! A chain of n identical pass transistors (on-resistance `R`, node
+//! capacitance `C`) behind a driver of resistance `Rd` has Elmore delay at
+//! the far end
+//!
+//! ```text
+//! T(n) = Rd·n·C + R·C·n(n+1)/2
+//! ```
+//!
+//! — **quadratic in n**, which is why nMOS designers broke long pass
+//! chains with buffers. Inserting a restoring buffer (delay `t_buf`) every
+//! `k` stages makes the total delay `(n/k)·(T(k) + t_buf)`, linear in `n`,
+//! minimized near `k* ≈ sqrt(2·t_buf / (R·C))`. Figure F1 regenerates
+//! exactly this trade-off.
+
+/// Elmore delay at the far end of a uniform pass chain, ns.
+///
+/// `r_driver` kΩ drives `n` sections of `r_pass` kΩ and `c_node` pF each.
+/// With `n = 0` this is just the driver charging nothing (0 ns).
+///
+/// # Example
+///
+/// ```
+/// use tv_rc::passchain::chain_elmore;
+///
+/// // Doubling the chain length roughly quadruples the chain term.
+/// let t4 = chain_elmore(0.0, 10.0, 0.1, 4);
+/// let t8 = chain_elmore(0.0, 10.0, 0.1, 8);
+/// assert!(t8 / t4 > 3.0);
+/// ```
+pub fn chain_elmore(r_driver: f64, r_pass: f64, c_node: f64, n: usize) -> f64 {
+    let nf = n as f64;
+    r_driver * nf * c_node + r_pass * c_node * nf * (nf + 1.0) / 2.0
+}
+
+/// Total delay of an n-stage pass chain broken by a restoring buffer every
+/// `k` stages, ns. Each segment costs `chain_elmore(r_driver, …, k)`, and
+/// each buffer adds `t_buffer`. The final partial segment is included; the
+/// chain ends without a trailing buffer.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn buffered_chain_delay(
+    r_driver: f64,
+    r_pass: f64,
+    c_node: f64,
+    t_buffer: f64,
+    n: usize,
+    k: usize,
+) -> f64 {
+    assert!(k > 0, "buffer interval must be at least one stage");
+    if n == 0 {
+        return 0.0;
+    }
+    let full_segments = n / k;
+    let remainder = n % k;
+    let mut total = full_segments as f64 * chain_elmore(r_driver, r_pass, c_node, k);
+    // A buffer follows every full segment except when it ends the chain.
+    let buffers = if remainder == 0 {
+        full_segments.saturating_sub(1)
+    } else {
+        full_segments
+    };
+    total += buffers as f64 * t_buffer;
+    if remainder > 0 {
+        total += chain_elmore(r_driver, r_pass, c_node, remainder);
+    }
+    total
+}
+
+/// The buffer interval minimizing per-stage delay of an infinite chain:
+/// `k* = sqrt(2·t_buffer / (r_pass·c_node))`, clamped to at least 1.
+///
+/// # Panics
+///
+/// Panics if `r_pass` or `c_node` is not strictly positive.
+pub fn optimal_buffer_interval(r_pass: f64, c_node: f64, t_buffer: f64) -> usize {
+    assert!(
+        r_pass > 0.0 && c_node > 0.0,
+        "pass resistance and node capacitance must be positive"
+    );
+    let k = (2.0 * t_buffer / (r_pass * c_node)).sqrt();
+    (k.round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elmore::elmore_delay;
+    use crate::tree::RcTree;
+
+    #[test]
+    fn closed_form_matches_explicit_tree() {
+        let (rd, r, c, n) = (7.0, 9.0, 0.25, 6);
+        let mut t = RcTree::new(rd);
+        let mut last = t.root();
+        for _ in 0..n {
+            last = t.add_child(last, r, c);
+        }
+        let tree_delay = elmore_delay(&t, last);
+        let formula = chain_elmore(rd, r, c, n);
+        assert!((tree_delay - formula).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growth_is_quadratic() {
+        let d: Vec<f64> = (1..=8).map(|n| chain_elmore(0.0, 10.0, 0.1, n)).collect();
+        // Second differences of a quadratic are constant.
+        let dd: Vec<f64> = d.windows(3).map(|w| w[2] - 2.0 * w[1] + w[0]).collect();
+        for pair in dd.windows(2) {
+            assert!((pair[0] - pair[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn buffering_beats_raw_chain_for_long_chains() {
+        let (rd, r, c) = (5.0, 10.0, 0.1);
+        let t_buf = 2.0;
+        let n = 32;
+        let k = optimal_buffer_interval(r, c, t_buf);
+        let raw = chain_elmore(rd, r, c, n);
+        let buffered = buffered_chain_delay(rd, r, c, t_buf, n, k);
+        assert!(
+            buffered < raw,
+            "buffered {buffered} should beat raw {raw} at n={n}"
+        );
+    }
+
+    #[test]
+    fn buffered_equals_raw_when_interval_covers_chain() {
+        let (rd, r, c) = (5.0, 10.0, 0.1);
+        let n = 6;
+        let raw = chain_elmore(rd, r, c, n);
+        let buffered = buffered_chain_delay(rd, r, c, 99.0, n, 16);
+        assert!((buffered - raw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_multiple_has_one_fewer_buffer_than_segments() {
+        let (rd, r, c, tb) = (1.0, 1.0, 1.0, 10.0);
+        // n=4, k=2: two segments, ONE buffer between them.
+        let d = buffered_chain_delay(rd, r, c, tb, 4, 2);
+        let expect = 2.0 * chain_elmore(rd, r, c, 2) + tb;
+        assert!((d - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remainder_segment_counts() {
+        let (rd, r, c, tb) = (1.0, 1.0, 1.0, 10.0);
+        // n=5, k=2: segments 2+2+1, buffers after the two full segments.
+        let d = buffered_chain_delay(rd, r, c, tb, 5, 2);
+        let expect = 2.0 * chain_elmore(rd, r, c, 2) + 2.0 * tb + chain_elmore(rd, r, c, 1);
+        assert!((d - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_interval_scales_with_buffer_cost() {
+        let k_cheap = optimal_buffer_interval(10.0, 0.1, 0.5);
+        let k_dear = optimal_buffer_interval(10.0, 0.1, 8.0);
+        assert!(k_dear > k_cheap);
+        assert!(k_cheap >= 1);
+    }
+
+    #[test]
+    fn zero_length_chain_is_free() {
+        assert_eq!(chain_elmore(5.0, 10.0, 0.1, 0), 0.0);
+        assert_eq!(buffered_chain_delay(5.0, 10.0, 0.1, 1.0, 0, 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer interval")]
+    fn zero_interval_panics() {
+        let _ = buffered_chain_delay(1.0, 1.0, 1.0, 1.0, 4, 0);
+    }
+}

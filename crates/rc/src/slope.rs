@@ -1,0 +1,108 @@
+//! Waveform-slope handling: real inputs are not steps.
+//!
+//! TV adjusted its RC delays for the finite transition time of the driving
+//! waveform: a slowly rising gate input turns the pull-down on late, so the
+//! stage's measured delay grows with the input's transition time. The
+//! standard first-order correction (still used by every slew-aware STA) is
+//!
+//! ```text
+//! delay = intrinsic_rc_delay + k_slope · input_transition
+//! output_transition = k_transition · rc_time_constant
+//! ```
+//!
+//! with `k_slope` ≈ the fraction of the input swing between the step
+//! reference point and the device threshold, and `k_transition` = ln 9 for
+//! the 10%–90% convention.
+
+/// First-order slope model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlopeModel {
+    /// Fraction of the input transition added to the intrinsic delay.
+    /// The default 0.5 corresponds to measuring from the input's 50% point
+    /// with a device that switches near mid-swing.
+    pub k_slope: f64,
+    /// Output transition per unit RC time constant. Default `ln 9 ≈ 2.197`,
+    /// the 10%–90% swing of a single exponential.
+    pub k_transition: f64,
+}
+
+impl SlopeModel {
+    /// The standard model: `k_slope` = 0.5, 10–90% transitions.
+    pub fn standard() -> Self {
+        SlopeModel {
+            k_slope: 0.5,
+            k_transition: 9.0_f64.ln(),
+        }
+    }
+
+    /// The model calibrated against this workspace's level-1 transient
+    /// simulator on inverter/NAND/NOR chains: `k_slope` = 0.25 (a
+    /// mid-swing device responds after about a quarter of the driving
+    /// transition), 10–90% transitions.
+    pub fn calibrated() -> Self {
+        SlopeModel {
+            k_slope: 0.25,
+            k_transition: 9.0_f64.ln(),
+        }
+    }
+
+    /// No slope handling at all: delays are pure step-response numbers
+    /// (the pre-TV convention; the ablation baseline).
+    pub fn disabled() -> Self {
+        SlopeModel {
+            k_slope: 0.0,
+            k_transition: 9.0_f64.ln(),
+        }
+    }
+
+    /// Stage delay seen by a waveform with the given transition time, ns.
+    ///
+    /// `intrinsic` is the step-input RC delay; `input_transition` is the
+    /// 10–90% transition time of the driving waveform.
+    #[inline]
+    pub fn delay(&self, intrinsic: f64, input_transition: f64) -> f64 {
+        intrinsic + self.k_slope * input_transition
+    }
+
+    /// 10–90% transition time of the stage's own output, ns, given its RC
+    /// time constant.
+    #[inline]
+    pub fn output_transition(&self, tau: f64) -> f64 {
+        self.k_transition * tau
+    }
+}
+
+impl Default for SlopeModel {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_input_adds_nothing() {
+        let m = SlopeModel::standard();
+        assert_eq!(m.delay(3.0, 0.0), 3.0);
+    }
+
+    #[test]
+    fn slow_input_slows_stage() {
+        let m = SlopeModel::standard();
+        assert!(m.delay(3.0, 2.0) > m.delay(3.0, 1.0));
+        assert!((m.delay(3.0, 2.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_transition_is_ln9_tau() {
+        let m = SlopeModel::standard();
+        assert!((m.output_transition(1.0) - 9.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(SlopeModel::default(), SlopeModel::standard());
+    }
+}

@@ -1,0 +1,215 @@
+//! Extraction of an [`RcTree`] from a netlist: the pass network downstream
+//! of a driven node, with device on-resistances as edges and extracted node
+//! capacitances as loads.
+
+use std::collections::HashMap;
+
+use tv_flow::{Direction, DeviceRole, FlowAnalysis};
+use tv_netlist::{Netlist, NodeId};
+
+use crate::tree::{RcNodeId, RcTree};
+
+/// An RC tree extracted from a netlist, with the mapping back to netlist
+/// nodes.
+#[derive(Debug, Clone)]
+pub struct StageTree {
+    /// The extracted tree. The root is the driven netlist node.
+    pub tree: RcTree,
+    /// Netlist node → RC node, for every node the walk reached.
+    pub rc_of: HashMap<NodeId, RcNodeId>,
+}
+
+impl StageTree {
+    /// The RC node standing for a netlist node, if the walk reached it.
+    pub fn rc_node(&self, node: NodeId) -> Option<RcNodeId> {
+        self.rc_of.get(&node).copied()
+    }
+}
+
+/// Builds the RC tree rooted at `root` (a node driven with effective
+/// resistance `driver_r` kΩ), following pass devices whose resolved flow
+/// leaves `root`'s side.
+///
+/// Orientation handling:
+/// * `Toward(other)` — followed downstream only;
+/// * `Bidirectional` and `Unresolved` — followed conservatively (charge
+///   could flow either way, so the load counts), but never back into a
+///   node already in the tree, which keeps the result a tree even on
+///   bus structures.
+///
+/// Each reached node contributes its full extracted capacitance; each
+/// traversed device contributes its on-resistance.
+///
+/// # Example
+///
+/// ```
+/// use tv_netlist::{NetlistBuilder, Tech};
+/// use tv_flow::{analyze, RuleSet};
+/// use tv_rc::stage_tree::stage_tree;
+///
+/// # fn main() -> Result<(), tv_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new(Tech::nmos4um());
+/// let a = b.input("a");
+/// let phi = b.clock("phi", 0);
+/// let src = b.node("src");
+/// let far = b.node("far");
+/// b.inverter("i", a, src);
+/// b.pass("p", phi, src, far);
+/// let qb = b.node("qb");
+/// b.inverter("i2", far, qb);
+/// let nl = b.finish()?;
+/// let flow = analyze(&nl, &RuleSet::all());
+///
+/// let st = stage_tree(&nl, &flow, src, 20.0);
+/// assert!(st.rc_node(far).is_some());
+/// assert_eq!(st.tree.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn stage_tree(
+    netlist: &Netlist,
+    flow: &FlowAnalysis,
+    root: NodeId,
+    driver_r: f64,
+) -> StageTree {
+    let mut tree = RcTree::new(driver_r);
+    tree.add_cap(tree.root(), netlist.node_cap(root));
+    tree.set_tag(tree.root(), root);
+
+    let mut rc_of: HashMap<NodeId, RcNodeId> = HashMap::new();
+    rc_of.insert(root, tree.root());
+
+    let mut frontier = vec![root];
+    while let Some(node) = frontier.pop() {
+        let here = rc_of[&node];
+        for &did in netlist.node_devices(node).channel {
+            if flow.device_role(did) != DeviceRole::Pass {
+                continue;
+            }
+            let dev = netlist.device(did);
+            let other = dev.other_channel_end(node);
+            let downstream = match flow.direction(did) {
+                Direction::Toward(dst) => dst == other,
+                // Conservative: an unoriented channel loads the driver too.
+                Direction::Bidirectional | Direction::Unresolved => true,
+            };
+            if !downstream || rc_of.contains_key(&other) {
+                continue;
+            }
+            let r = dev.resistance(netlist.tech());
+            let child = tree.add_child(here, r, netlist.node_cap(other));
+            tree.set_tag(child, other);
+            rc_of.insert(other, child);
+            frontier.push(other);
+        }
+    }
+
+    StageTree { tree, rc_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elmore::elmore_delays;
+    use tv_flow::{analyze, RuleSet};
+    use tv_netlist::{NetlistBuilder, Tech};
+
+    fn setup_chain(n: usize) -> (Netlist, NodeId, Vec<NodeId>) {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let phi = b.clock("phi", 0);
+        let src = b.node("src");
+        b.inverter("i", a, src);
+        let mut nodes = Vec::new();
+        let mut prev = src;
+        for i in 0..n {
+            let nx = b.node(format!("n{i}"));
+            b.pass(format!("p{i}"), phi, prev, nx);
+            nodes.push(nx);
+            prev = nx;
+        }
+        let qb = b.node("qb");
+        b.inverter("fin", prev, qb);
+        let nl = b.finish().unwrap();
+        let src = nl.node_by_name("src").unwrap();
+        (nl, src, nodes)
+    }
+
+    #[test]
+    fn chain_extracts_fully_with_increasing_delay() {
+        let (nl, src, nodes) = setup_chain(4);
+        let flow = analyze(&nl, &RuleSet::all());
+        let st = stage_tree(&nl, &flow, src, 20.0);
+        assert_eq!(st.tree.len(), 5); // src + 4 chain nodes
+        let d = elmore_delays(&st.tree);
+        let mut prev_delay = d[st.rc_node(src).unwrap().index()];
+        for n in nodes {
+            let here = d[st.rc_node(n).unwrap().index()];
+            assert!(here > prev_delay);
+            prev_delay = here;
+        }
+    }
+
+    #[test]
+    fn upstream_is_not_entered() {
+        let (nl, _, nodes) = setup_chain(3);
+        let flow = analyze(&nl, &RuleSet::all());
+        // Root at the middle of the chain: walk must go only downstream.
+        let mid = nodes[0];
+        let st = stage_tree(&nl, &flow, mid, 5.0);
+        let src = nl.node_by_name("src").unwrap();
+        assert!(st.rc_node(src).is_none(), "walk leaked upstream");
+        assert!(st.rc_node(nodes[2]).is_some());
+    }
+
+    #[test]
+    fn mux_branches_both_load_driver() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let s0 = b.input("s0");
+        let s1 = b.input("s1");
+        let src = b.node("src");
+        b.inverter("i", a, src);
+        let m0 = b.node("m0");
+        let m1 = b.node("m1");
+        b.pass("p0", s0, src, m0);
+        b.pass("p1", s1, src, m1);
+        let q0 = b.node("q0");
+        let q1 = b.node("q1");
+        b.inverter("i0", m0, q0);
+        b.inverter("i1", m1, q1);
+        let nl = b.finish().unwrap();
+        let flow = analyze(&nl, &RuleSet::all());
+        let src = nl.node_by_name("src").unwrap();
+        let st = stage_tree(&nl, &flow, src, 20.0);
+        assert_eq!(st.tree.len(), 3);
+        // Total tree cap covers all three nodes.
+        let want: f64 = [src, m0, m1].iter().map(|&n| nl.node_cap(n)).sum();
+        assert!((st.tree.total_cap() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_with_no_pass_fanout_is_a_single_node_tree() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let out = b.node("out");
+        b.inverter("i", a, out);
+        let nl = b.finish().unwrap();
+        let flow = analyze(&nl, &RuleSet::all());
+        let out = nl.node_by_name("out").unwrap();
+        let st = stage_tree(&nl, &flow, out, 20.0);
+        assert_eq!(st.tree.len(), 1);
+        assert!((st.tree.cap(st.tree.root()) - nl.node_cap(out)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tags_map_back_to_netlist() {
+        let (nl, src, nodes) = setup_chain(2);
+        let flow = analyze(&nl, &RuleSet::all());
+        let st = stage_tree(&nl, &flow, src, 20.0);
+        for n in nodes.iter().chain([&src]) {
+            let rc = st.rc_node(*n).unwrap();
+            assert_eq!(st.tree.tag(rc), Some(*n));
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! The explicit transient integrator.
+//!
+//! Node voltages evolve by `C·dV/dt = −Σ I_out` with device currents from
+//! the level-1 model. Integration is forward Euler with automatic
+//! sub-stepping whenever any node would move more than
+//! [`SimOptions::dv_max`] in one step, which keeps the explicit scheme
+//! stable even around strong super-buffer drivers on tiny nodes. A small
+//! floor capacitance on every free node (real nodes always have parasitic
+//! capacitance) bounds the stiffness.
+
+use std::collections::HashMap;
+
+use tv_netlist::{Netlist, NodeId};
+
+use crate::model::device_current;
+use crate::stimulus::Stimulus;
+use crate::waveform::Trace;
+
+/// Time-integration scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// Forward Euler (first order). The default: the technology's
+    /// resistance calibration was performed against it.
+    #[default]
+    Euler,
+    /// Heun's method (explicit trapezoidal, second order): roughly the
+    /// same cost per step as two Euler steps with far smaller error —
+    /// use it to check Euler's convergence.
+    Heun,
+}
+
+/// Integrator configuration.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Nominal time step, ns.
+    pub dt: f64,
+    /// Simulation end time, ns.
+    pub t_stop: f64,
+    /// Pre-roll with stimuli frozen at t = 0 to reach a quiescent state
+    /// before the transient proper, ns.
+    pub settle: f64,
+    /// Largest voltage change allowed per (sub-)step, V; steps exceeding it
+    /// are subdivided.
+    pub dv_max: f64,
+    /// Floor capacitance added to every free node, pF.
+    pub c_floor: f64,
+    /// Record every `record_stride`-th step (1 = every step).
+    pub record_stride: usize,
+    /// Nodes to record; `None` records every node.
+    pub record: Option<Vec<NodeId>>,
+    /// Integration scheme.
+    pub method: Method,
+}
+
+impl SimOptions {
+    /// Sensible defaults for a transient of the given duration: 0.5 ps
+    /// steps, 10 ns settle, every node recorded at ≤ 4000 samples.
+    pub fn for_duration(t_stop: f64) -> Self {
+        let dt = 5e-4;
+        let steps = (t_stop / dt).ceil() as usize;
+        SimOptions {
+            dt,
+            t_stop,
+            settle: 200.0,
+            dv_max: 0.05,
+            c_floor: 1e-3,
+            record_stride: (steps / 4000).max(1),
+            record: None,
+            method: Method::Euler,
+        }
+    }
+}
+
+/// Recorded result of a transient run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    traces: HashMap<NodeId, Trace>,
+    final_v: Vec<f64>,
+}
+
+impl SimResult {
+    /// The recorded trace of a node, if it was recorded.
+    pub fn trace(&self, node: NodeId) -> Option<&Trace> {
+        self.traces.get(&node)
+    }
+
+    /// Final voltage of every node, indexed by node id.
+    pub fn final_voltages(&self) -> &[f64] {
+        &self.final_v
+    }
+}
+
+/// A transient simulation of one netlist under one stimulus.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    stimulus: Stimulus,
+    options: SimOptions,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepares a simulation. Nothing runs until [`Simulator::run`].
+    pub fn new(netlist: &'a Netlist, stimulus: Stimulus, options: SimOptions) -> Self {
+        Simulator {
+            netlist,
+            stimulus,
+            options,
+        }
+    }
+
+    /// Runs the transient and returns the recorded traces.
+    pub fn run(&self) -> SimResult {
+        let nl = self.netlist;
+        let n = nl.node_count();
+        let opts = &self.options;
+
+        let driven: Vec<bool> = {
+            let mut d = vec![false; n];
+            for node in self.stimulus.driven_nodes() {
+                d[node.index()] = true;
+            }
+            d
+        };
+
+        // Effective capacitance of free nodes.
+        let caps: Vec<f64> = nl
+            .node_ids()
+            .map(|id| nl.node_cap(id) + opts.c_floor)
+            .collect();
+
+        // Initial state: driven nodes at their t=0 value, free nodes at 0.
+        let mut v = vec![0.0; n];
+        for id in nl.node_ids() {
+            if let Some(val) = self.stimulus.value(id, 0.0) {
+                v[id.index()] = val;
+            }
+        }
+
+        let record_set: Vec<NodeId> = match &opts.record {
+            Some(nodes) => nodes.clone(),
+            None => nl.node_ids().collect(),
+        };
+        let mut traces: HashMap<NodeId, Trace> =
+            record_set.iter().map(|&id| (id, Trace::new())).collect();
+
+        let mut i_out = vec![0.0; n];
+
+        // Settle: march with stimuli frozen at t = 0. A coarser step is
+        // fine here — the sub-stepping in `step` guards stability, and
+        // only the final quiescent point matters.
+        let settle_dt = opts.dt * 10.0;
+        let settle_steps = (opts.settle / settle_dt).ceil() as usize;
+        for _ in 0..settle_steps {
+            self.step(&driven, &caps, &mut v, &mut i_out, settle_dt, None);
+        }
+
+        // Transient proper.
+        let steps = (opts.t_stop / opts.dt).ceil() as usize;
+        let mut t = 0.0;
+        for k in 0..=steps {
+            if k % opts.record_stride == 0 {
+                for &id in &record_set {
+                    traces
+                        .get_mut(&id)
+                        .expect("trace exists")
+                        .push(t, v[id.index()]);
+                }
+            }
+            if k == steps {
+                break;
+            }
+            // Update driven nodes to their value at the *end* of the step.
+            let t_next = t + opts.dt;
+            for id in nl.node_ids() {
+                if let Some(val) = self.stimulus.value(id, t_next) {
+                    v[id.index()] = val;
+                }
+            }
+            self.step(&driven, &caps, &mut v, &mut i_out, opts.dt, None);
+            t = t_next;
+        }
+
+        SimResult {
+            traces,
+            final_v: v,
+        }
+    }
+
+    /// Accumulates the net current flowing *out* of every node into
+    /// `i_out` under the voltages `v`.
+    fn currents(&self, v: &[f64], i_out: &mut [f64]) {
+        let nl = self.netlist;
+        i_out.fill(0.0);
+        for dref in nl.devices() {
+            let d = dref.device;
+            let i = device_current(
+                d,
+                v[d.gate().index()],
+                v[d.source().index()],
+                v[d.drain().index()],
+                nl.tech(),
+            );
+            // Positive i flows drain → source: out of drain, into source.
+            i_out[d.drain().index()] += i;
+            i_out[d.source().index()] -= i;
+        }
+    }
+
+    /// One integration step of length `dt` (scheme per options),
+    /// recursively subdivided while any free node would move more than
+    /// `dv_max`.
+    fn step(
+        &self,
+        driven: &[bool],
+        caps: &[f64],
+        v: &mut [f64],
+        i_out: &mut [f64],
+        dt: f64,
+        depth: Option<u32>,
+    ) {
+        let depth = depth.unwrap_or(0);
+        self.currents(v, i_out);
+
+        let mut worst_dv = 0.0_f64;
+        for idx in 0..v.len() {
+            if driven[idx] {
+                continue;
+            }
+            let dv = -dt * i_out[idx] / caps[idx];
+            worst_dv = worst_dv.max(dv.abs());
+        }
+
+        if worst_dv > self.options.dv_max && depth < 12 {
+            let half = dt / 2.0;
+            self.step(driven, caps, v, i_out, half, Some(depth + 1));
+            self.step(driven, caps, v, i_out, half, Some(depth + 1));
+            return;
+        }
+
+        match self.options.method {
+            Method::Euler => {
+                for idx in 0..v.len() {
+                    if driven[idx] {
+                        continue;
+                    }
+                    v[idx] -= dt * i_out[idx] / caps[idx];
+                }
+            }
+            Method::Heun => {
+                // Predictor (Euler), then average the slopes.
+                let k1: Vec<f64> = i_out.to_vec();
+                let mut predicted = v.to_vec();
+                for idx in 0..v.len() {
+                    if driven[idx] {
+                        continue;
+                    }
+                    predicted[idx] -= dt * k1[idx] / caps[idx];
+                }
+                self.currents(&predicted, i_out);
+                for idx in 0..v.len() {
+                    if driven[idx] {
+                        continue;
+                    }
+                    v[idx] -= dt * 0.5 * (k1[idx] + i_out[idx]) / caps[idx];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stimulus::Waveform;
+    use tv_netlist::{NetlistBuilder, Tech};
+
+    #[test]
+    fn heun_agrees_with_euler_at_fine_steps() {
+        let (nl, a, out) = inverter_netlist(0.1);
+        let delay_with = |method: Method| {
+            let mut stim = Stimulus::new(&nl);
+            stim.drive(a, Waveform::step_up(1.0, 5.0));
+            let mut opts = SimOptions::for_duration(20.0);
+            opts.method = method;
+            let r = Simulator::new(&nl, stim, opts).run();
+            r.trace(out).unwrap().crossing_down(2.5, 1.0).expect("falls")
+        };
+        let euler = delay_with(Method::Euler);
+        let heun = delay_with(Method::Heun);
+        let err = (euler - heun).abs() / heun;
+        assert!(err < 0.02, "schemes disagree: euler {euler} heun {heun}");
+    }
+
+    #[test]
+    fn heun_converges_faster_than_euler_at_coarse_steps() {
+        let (nl, a, out) = inverter_netlist(0.1);
+        let delay_with = |method: Method, dt: f64| {
+            let mut stim = Stimulus::new(&nl);
+            stim.drive(a, Waveform::step_up(1.0, 5.0));
+            let mut opts = SimOptions::for_duration(20.0);
+            opts.method = method;
+            opts.dt = dt;
+            opts.dv_max = 5.0; // disable sub-stepping: measure the scheme
+            let r = Simulator::new(&nl, stim, opts).run();
+            r.trace(out).unwrap().crossing_down(2.5, 1.0).expect("falls")
+        };
+        let reference = delay_with(Method::Heun, 1e-4);
+        let coarse = 0.02;
+        let euler_err = (delay_with(Method::Euler, coarse) - reference).abs();
+        let heun_err = (delay_with(Method::Heun, coarse) - reference).abs();
+        assert!(
+            heun_err < euler_err,
+            "heun {heun_err} should beat euler {euler_err} at dt={coarse}"
+        );
+    }
+
+    fn inverter_netlist(load_pf: f64) -> (Netlist, NodeId, NodeId) {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let out = b.output("out");
+        b.inverter("i", a, out);
+        b.add_cap(out, load_pf).unwrap();
+        let nl = b.finish().unwrap();
+        let a = nl.node_by_name("a").unwrap();
+        let out = nl.node_by_name("out").unwrap();
+        (nl, a, out)
+    }
+
+    #[test]
+    fn inverter_inverts_dc() {
+        let (nl, a, out) = inverter_netlist(0.05);
+        let mut stim = Stimulus::new(&nl);
+        stim.drive(a, Waveform::Const(0.0));
+        let r = Simulator::new(&nl, stim, SimOptions::for_duration(5.0)).run();
+        // Input low: output settles high (full VDD through depletion load).
+        let v_out = r.final_voltages()[out.index()];
+        assert!(v_out > 4.5, "output was {v_out}");
+
+        let mut stim = Stimulus::new(&nl);
+        stim.drive(a, Waveform::Const(5.0));
+        let r = Simulator::new(&nl, stim, SimOptions::for_duration(5.0)).run();
+        // Input high: ratioed low level, well under the switching threshold.
+        let v_out = r.final_voltages()[out.index()];
+        assert!(v_out < 1.5, "output was {v_out}");
+        assert!(v_out > 0.0, "ratioed logic low is not exactly zero");
+    }
+
+    #[test]
+    fn inverter_fall_faster_than_rise() {
+        let (nl, a, out) = inverter_netlist(0.1);
+        // Falling output: input steps up.
+        let mut stim = Stimulus::new(&nl);
+        stim.drive(a, Waveform::step_up(1.0, 5.0));
+        let r = Simulator::new(&nl, stim, SimOptions::for_duration(30.0)).run();
+        let fall = r
+            .trace(out)
+            .unwrap()
+            .crossing_down(2.5, 1.0)
+            .expect("output must fall")
+            - 1.0;
+
+        // Rising output: input steps down.
+        let mut stim = Stimulus::new(&nl);
+        stim.drive(a, Waveform::step_down(1.0, 5.0));
+        let r = Simulator::new(&nl, stim, SimOptions::for_duration(30.0)).run();
+        let rise = r
+            .trace(out)
+            .unwrap()
+            .crossing_up(2.5, 1.0)
+            .expect("output must rise")
+            - 1.0;
+
+        assert!(
+            rise > 2.0 * fall,
+            "ratioed nMOS rise ({rise} ns) must be much slower than fall ({fall} ns)"
+        );
+    }
+
+    #[test]
+    fn pass_transistor_charges_to_degraded_high() {
+        let tech = Tech::nmos4um();
+        let mut b = NetlistBuilder::new(tech.clone());
+        let d = b.input("d");
+        let g = b.input("g");
+        let s = b.node("s");
+        b.pass("p", g, d, s);
+        b.add_cap(s, 0.05).unwrap();
+        let nl = b.finish().unwrap();
+        let s = nl.node_by_name("s").unwrap();
+        let mut stim = Stimulus::new(&nl);
+        stim.drive(nl.node_by_name("d").unwrap(), Waveform::Const(5.0));
+        stim.drive(nl.node_by_name("g").unwrap(), Waveform::Const(5.0));
+        let r = Simulator::new(&nl, stim, SimOptions::for_duration(50.0)).run();
+        let v = r.final_voltages()[s.index()];
+        let expect = tech.degraded_high();
+        assert!(
+            (v - expect).abs() < 0.15,
+            "storage node reached {v} V, expected ≈ {expect} V"
+        );
+    }
+
+    #[test]
+    fn heavier_load_is_slower() {
+        let delays: Vec<f64> = [0.05, 0.4]
+            .iter()
+            .map(|&load| {
+                let (nl, a, out) = inverter_netlist(load);
+                let mut stim = Stimulus::new(&nl);
+                stim.drive(a, Waveform::step_up(1.0, 5.0));
+                let r = Simulator::new(&nl, stim, SimOptions::for_duration(40.0)).run();
+                r.trace(out).unwrap().crossing_down(2.5, 1.0).unwrap() - 1.0
+            })
+            .collect();
+        assert!(delays[1] > 3.0 * delays[0]);
+    }
+
+    #[test]
+    fn record_subset_limits_traces() {
+        let (nl, a, out) = inverter_netlist(0.05);
+        let mut stim = Stimulus::new(&nl);
+        stim.drive(a, Waveform::Const(0.0));
+        let mut opts = SimOptions::for_duration(2.0);
+        opts.record = Some(vec![out]);
+        let r = Simulator::new(&nl, stim, opts).run();
+        assert!(r.trace(out).is_some());
+        assert!(r.trace(a).is_none());
+    }
+
+    #[test]
+    fn traces_are_time_ordered_and_nonempty() {
+        let (nl, a, out) = inverter_netlist(0.05);
+        let mut stim = Stimulus::new(&nl);
+        stim.drive(a, Waveform::step_up(1.0, 5.0));
+        let r = Simulator::new(&nl, stim, SimOptions::for_duration(5.0)).run();
+        let tr = r.trace(out).unwrap();
+        assert!(tr.len() > 100);
+        let times = tr.times();
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Transient circuit simulation for nMOS netlists — the workspace's SPICE
+//! substitute.
+//!
+//! The TV paper validated its static delay estimates against SPICE runs of
+//! extracted critical paths. SPICE itself is unavailable here, so this
+//! crate implements the minimum honest replacement: a nonlinear transient
+//! simulator with
+//!
+//! * a **Shichman–Hodges level-1 MOS model** ([`model`]) covering both
+//!   enhancement and depletion devices with symmetric channels (so pass
+//!   transistors and their degraded-high behavior come out naturally);
+//! * an **explicit integrator** ([`engine`]) over the extracted node
+//!   capacitances, with per-step voltage-change limiting for stability;
+//! * **waveform sources** ([`stimulus`]): step, ramp, pulse, and two-phase
+//!   clock generators;
+//! * **measurement helpers** ([`measure`]): 50% crossing delays and
+//!   10–90% transition times, the quantities the paper's tables compare;
+//! * **exports** ([`export`]): CSV traces and terminal oscillograms;
+//! * a **switch-level simulator** ([`switch`]): Bryant/MOSSIM-style
+//!   ternary strength-based logic simulation with charge retention —
+//!   ~10³× faster than the analog engine for functional questions.
+//!
+//! # Example
+//!
+//! Measure the falling delay of a standard inverter driving a 0.1 pF load:
+//!
+//! ```
+//! use tv_netlist::{NetlistBuilder, Tech};
+//! use tv_sim::{measure, Simulator, SimOptions, Stimulus, Waveform};
+//!
+//! # fn main() -> Result<(), tv_netlist::NetlistError> {
+//! let tech = Tech::nmos4um();
+//! let mut b = NetlistBuilder::new(tech.clone());
+//! let a = b.input("a");
+//! let out = b.output("out");
+//! b.inverter("i", a, out);
+//! b.add_cap(out, 0.1)?;
+//! let nl = b.finish()?;
+//!
+//! let mut stim = Stimulus::new(&nl);
+//! stim.drive(a, Waveform::step_up(1.0, tech.vdd)); // rise at t = 1 ns
+//! let result = Simulator::new(&nl, stim, SimOptions::for_duration(20.0)).run();
+//! let delay = measure::delay_50(&result, a, out, &tech).expect("output fell");
+//! assert!(delay > 0.0 && delay < 5.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod export;
+pub mod measure;
+pub mod model;
+pub mod stimulus;
+pub mod switch;
+pub mod waveform;
+
+pub use engine::{Method, SimOptions, SimResult, Simulator};
+pub use stimulus::{Stimulus, Waveform};
+pub use waveform::Trace;

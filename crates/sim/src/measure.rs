@@ -1,0 +1,161 @@
+//! Delay and transition-time measurements on simulation results — the
+//! quantities TV's evaluation tables compare against SPICE.
+
+use tv_netlist::{NodeId, Tech};
+
+use crate::engine::SimResult;
+
+/// Which way an edge goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Low-to-high crossing.
+    Rising,
+    /// High-to-low crossing.
+    Falling,
+}
+
+/// 50%-to-50% delay from the first switching edge on `input` to the first
+/// subsequent switching edge on `output`, ns. Both nodes must have been
+/// recorded. Returns `None` if either never crosses the threshold.
+///
+/// This is the convention of every delay table of the era: measure from
+/// the input's crossing of VDD/2 to the output's crossing of VDD/2.
+pub fn delay_50(result: &SimResult, input: NodeId, output: NodeId, tech: &Tech) -> Option<f64> {
+    let vth = tech.switch_voltage();
+    let t_in = first_crossing(result, input, vth, 0.0)?.0;
+    let (t_out, _) = first_crossing(result, output, vth, t_in)?;
+    Some(t_out - t_in)
+}
+
+/// Like [`delay_50`] but demanding specific edge directions, which
+/// disambiguates measurements when nodes toggle more than once.
+pub fn delay_50_edges(
+    result: &SimResult,
+    input: NodeId,
+    in_edge: Edge,
+    output: NodeId,
+    out_edge: Edge,
+    tech: &Tech,
+) -> Option<f64> {
+    let vth = tech.switch_voltage();
+    let tr_in = result.trace(input)?;
+    let t_in = match in_edge {
+        Edge::Rising => tr_in.crossing_up(vth, 0.0)?,
+        Edge::Falling => tr_in.crossing_down(vth, 0.0)?,
+    };
+    let tr_out = result.trace(output)?;
+    let t_out = match out_edge {
+        Edge::Rising => tr_out.crossing_up(vth, t_in)?,
+        Edge::Falling => tr_out.crossing_down(vth, t_in)?,
+    };
+    Some(t_out - t_in)
+}
+
+/// First crossing of `threshold` on `node` at or after `after`, in either
+/// direction, returning the time and the edge direction.
+pub fn first_crossing(
+    result: &SimResult,
+    node: NodeId,
+    threshold: f64,
+    after: f64,
+) -> Option<(f64, Edge)> {
+    let tr = result.trace(node)?;
+    let up = tr.crossing_up(threshold, after);
+    let down = tr.crossing_down(threshold, after);
+    match (up, down) {
+        (Some(u), Some(d)) if u <= d => Some((u, Edge::Rising)),
+        (Some(_), Some(d)) => Some((d, Edge::Falling)),
+        (Some(u), None) => Some((u, Edge::Rising)),
+        (None, Some(d)) => Some((d, Edge::Falling)),
+        (None, None) => None,
+    }
+}
+
+/// 10–90% transition time of the first swing on `node` after `after`, ns.
+/// The swing is measured against the full rail span of the technology.
+pub fn transition_time(
+    result: &SimResult,
+    node: NodeId,
+    edge: Edge,
+    after: f64,
+    tech: &Tech,
+) -> Option<f64> {
+    result
+        .trace(node)?
+        .transition_time(0.0, tech.vdd, after, edge == Edge::Rising)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimOptions, Simulator};
+    use crate::stimulus::{Stimulus, Waveform};
+    use tv_netlist::{NetlistBuilder, Tech};
+
+    fn two_inverters() -> (tv_netlist::Netlist, NodeId, NodeId, NodeId) {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let mid = b.node("mid");
+        let out = b.output("out");
+        b.inverter("i1", a, mid);
+        b.inverter("i2", mid, out);
+        b.add_cap(out, 0.05).unwrap();
+        let nl = b.finish().unwrap();
+        let a = nl.node_by_name("a").unwrap();
+        let mid = nl.node_by_name("mid").unwrap();
+        let out = nl.node_by_name("out").unwrap();
+        (nl, a, mid, out)
+    }
+
+    #[test]
+    fn two_stage_delay_exceeds_one_stage() {
+        let tech = Tech::nmos4um();
+        let (nl, a, mid, out) = two_inverters();
+        let mut stim = Stimulus::new(&nl);
+        stim.drive(a, Waveform::step_up(1.0, tech.vdd));
+        let r = Simulator::new(&nl, stim, SimOptions::for_duration(40.0)).run();
+        let d_mid = delay_50(&r, a, mid, &tech).unwrap();
+        let d_out = delay_50(&r, a, out, &tech).unwrap();
+        assert!(d_mid > 0.0);
+        assert!(d_out > d_mid);
+    }
+
+    #[test]
+    fn edge_directed_delay_matches_physics() {
+        let tech = Tech::nmos4um();
+        let (nl, a, mid, out) = two_inverters();
+        let mut stim = Stimulus::new(&nl);
+        stim.drive(a, Waveform::step_up(1.0, tech.vdd));
+        let r = Simulator::new(&nl, stim, SimOptions::for_duration(40.0)).run();
+        // a rises → mid falls → out rises.
+        let d1 = delay_50_edges(&r, a, Edge::Rising, mid, Edge::Falling, &tech).unwrap();
+        let d2 = delay_50_edges(&r, a, Edge::Rising, out, Edge::Rising, &tech).unwrap();
+        assert!(d1 > 0.0 && d2 > d1);
+        // The wrong direction never happens.
+        assert!(delay_50_edges(&r, a, Edge::Rising, mid, Edge::Rising, &tech).is_none());
+    }
+
+    #[test]
+    fn transition_time_rise_slower_than_fall() {
+        let tech = Tech::nmos4um();
+        let (nl, a, mid, out) = two_inverters();
+        let mut stim = Stimulus::new(&nl);
+        stim.drive(a, Waveform::step_up(1.0, tech.vdd));
+        let r = Simulator::new(&nl, stim, SimOptions::for_duration(60.0)).run();
+        let fall_mid = transition_time(&r, mid, Edge::Falling, 1.0, &tech).unwrap();
+        let rise_out = transition_time(&r, out, Edge::Rising, 1.0, &tech).unwrap();
+        assert!(rise_out > fall_mid, "depletion-load rise must be slower");
+    }
+
+    #[test]
+    fn missing_trace_returns_none() {
+        let tech = Tech::nmos4um();
+        let (nl, a, _mid, out) = two_inverters();
+        let mut stim = Stimulus::new(&nl);
+        stim.drive(a, Waveform::step_up(1.0, tech.vdd));
+        let mut opts = SimOptions::for_duration(5.0);
+        opts.record = Some(vec![a]);
+        let r = Simulator::new(&nl, stim, opts).run();
+        assert_eq!(delay_50(&r, a, out, &tech), None);
+    }
+}

@@ -1,0 +1,157 @@
+//! Shichman–Hodges level-1 MOS model.
+//!
+//! The simplest model that reproduces the behaviors nMOS timing depends
+//! on: square-law saturation, the linear (triode) region, depletion
+//! devices conducting at V_GS = 0, symmetric channels, and pass
+//! transistors charging only to V_DD − V_T. Units: V, mA, kΩ
+//! (k′ in mA/V² makes the output milliamperes).
+
+use tv_netlist::{Device, DeviceKind, Tech};
+
+/// Drain–source channel current of a device, mA, given its terminal
+/// voltages. Positive means conventional current flows from the `drain`
+/// argument's node toward the `source` argument's node.
+///
+/// The channel is symmetric: the electrical source is whichever channel
+/// terminal is at the lower potential, exactly as in silicon. Subthreshold
+/// conduction is neglected (the 1983 convention).
+///
+/// # Example
+///
+/// ```
+/// use tv_netlist::{DeviceKind, Tech};
+/// use tv_sim::model::channel_current;
+///
+/// let t = Tech::nmos4um();
+/// // Enhancement device fully on, drain at VDD, source at 0:
+/// let i_on = channel_current(DeviceKind::Enhancement, 8.0, 4.0, t.vdd, 0.0, t.vdd, &t);
+/// assert!(i_on > 0.0);
+/// // Gate at 0: off.
+/// let i_off = channel_current(DeviceKind::Enhancement, 8.0, 4.0, 0.0, 0.0, t.vdd, &t);
+/// assert_eq!(i_off, 0.0);
+/// ```
+pub fn channel_current(
+    kind: DeviceKind,
+    w_um: f64,
+    l_um: f64,
+    vg: f64,
+    vs: f64,
+    vd: f64,
+    tech: &Tech,
+) -> f64 {
+    // Orient so the electrical source is the lower channel terminal.
+    let (lo, hi, sign) = if vd >= vs {
+        (vs, vd, 1.0)
+    } else {
+        (vd, vs, -1.0)
+    };
+    let vt = match kind {
+        DeviceKind::Enhancement => tech.vt_enh,
+        DeviceKind::Depletion => tech.vt_dep,
+    };
+    let vgs = vg - lo;
+    let vov = vgs - vt;
+    if vov <= 0.0 {
+        return 0.0; // cut off
+    }
+    let vds = hi - lo;
+    let beta = tech.kprime * w_um / l_um;
+    let i = if vds < vov {
+        beta * (vov * vds - 0.5 * vds * vds) // triode
+    } else {
+        0.5 * beta * vov * vov // saturation
+    };
+    sign * i
+}
+
+/// Channel current of a netlist [`Device`] given the voltages at its gate,
+/// source, and drain terminals (in that order). Positive flows from the
+/// netlist `drain` terminal toward the netlist `source` terminal.
+pub fn device_current(device: &Device, vg: f64, vs: f64, vd: f64, tech: &Tech) -> f64 {
+    channel_current(device.kind(), device.width(), device.length(), vg, vs, vd, tech)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Tech {
+        Tech::nmos4um()
+    }
+
+    #[test]
+    fn cutoff_below_threshold() {
+        let t = tech();
+        assert_eq!(
+            channel_current(DeviceKind::Enhancement, 4.0, 4.0, 0.9, 0.0, 5.0, &t),
+            0.0
+        );
+        // Just above threshold: conducts.
+        assert!(channel_current(DeviceKind::Enhancement, 4.0, 4.0, 1.1, 0.0, 5.0, &t) > 0.0);
+    }
+
+    #[test]
+    fn depletion_conducts_at_zero_vgs() {
+        let t = tech();
+        let i = channel_current(DeviceKind::Depletion, 4.0, 4.0, 0.0, 0.0, 5.0, &t);
+        assert!(i > 0.0, "depletion load must conduct with gate at source");
+    }
+
+    #[test]
+    fn symmetric_channel_flips_sign() {
+        let t = tech();
+        let fwd = channel_current(DeviceKind::Enhancement, 4.0, 4.0, 5.0, 0.0, 3.0, &t);
+        let rev = channel_current(DeviceKind::Enhancement, 4.0, 4.0, 5.0, 3.0, 0.0, &t);
+        assert!((fwd + rev).abs() < 1e-15);
+        assert!(fwd > 0.0);
+    }
+
+    #[test]
+    fn saturation_current_is_square_law() {
+        let t = tech();
+        // vgs - vt = 2 and 4: saturation currents scale by 4.
+        let i2 = channel_current(DeviceKind::Enhancement, 4.0, 4.0, 3.0, 0.0, 5.0, &t);
+        let i4 = channel_current(DeviceKind::Enhancement, 4.0, 4.0, 5.0, 0.0, 5.0, &t);
+        assert!((i4 / i2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triode_region_below_saturation() {
+        let t = tech();
+        // vov = 4, vds = 1 (triode): i = beta(4·1 − 0.5)
+        let beta = t.kprime; // W = L
+        let i = channel_current(DeviceKind::Enhancement, 4.0, 4.0, 5.0, 0.0, 1.0, &t);
+        assert!((i - beta * 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_scales_with_aspect() {
+        let t = tech();
+        let narrow = channel_current(DeviceKind::Enhancement, 4.0, 4.0, 5.0, 0.0, 5.0, &t);
+        let wide = channel_current(DeviceKind::Enhancement, 8.0, 4.0, 5.0, 0.0, 5.0, &t);
+        assert!((wide / narrow - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pass_transistor_stops_at_degraded_high() {
+        let t = tech();
+        // Gate at VDD, source charging up: once source reaches VDD − VT the
+        // device cuts off.
+        let nearly = t.vdd - t.vt_enh - 0.01;
+        let at = t.vdd - t.vt_enh;
+        assert!(channel_current(DeviceKind::Enhancement, 4.0, 4.0, t.vdd, nearly, t.vdd, &t) > 0.0);
+        assert_eq!(
+            channel_current(DeviceKind::Enhancement, 4.0, 4.0, t.vdd, at, t.vdd, &t),
+            0.0
+        );
+    }
+
+    #[test]
+    fn zero_vds_means_zero_current() {
+        let t = tech();
+        assert_eq!(
+            channel_current(DeviceKind::Enhancement, 4.0, 4.0, 5.0, 2.0, 2.0, &t),
+            0.0
+        );
+    }
+}

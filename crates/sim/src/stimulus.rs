@@ -1,0 +1,272 @@
+//! Waveform sources driving inputs and clocks.
+
+use std::collections::HashMap;
+
+use tv_netlist::{Netlist, NodeId, NodeRole};
+
+/// An analytically defined voltage waveform, volts as a function of ns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Waveform {
+    /// Constant voltage.
+    Const(f64),
+    /// Steps from `v0` to `v1` at `t0` (ideal edge).
+    Step {
+        /// Edge time, ns.
+        t0: f64,
+        /// Level before the edge, V.
+        v0: f64,
+        /// Level after the edge, V.
+        v1: f64,
+    },
+    /// Linear ramp from `v0` (before `t0`) to `v1` (after `t1`).
+    Ramp {
+        /// Ramp start, ns.
+        t0: f64,
+        /// Ramp end, ns.
+        t1: f64,
+        /// Starting level, V.
+        v0: f64,
+        /// Final level, V.
+        v1: f64,
+    },
+    /// Periodic pulse train: high `v1` for `width` ns starting at
+    /// `t0 + k·period`, otherwise `v0`. Ideal edges.
+    Pulse {
+        /// First rising edge, ns.
+        t0: f64,
+        /// Repetition period, ns.
+        period: f64,
+        /// High time per period, ns.
+        width: f64,
+        /// Low level, V.
+        v0: f64,
+        /// High level, V.
+        v1: f64,
+    },
+}
+
+impl Waveform {
+    /// A step from 0 V up to `vdd` at time `t0`.
+    pub fn step_up(t0: f64, vdd: f64) -> Self {
+        Waveform::Step { t0, v0: 0.0, v1: vdd }
+    }
+
+    /// A step from `vdd` down to 0 V at time `t0`.
+    pub fn step_down(t0: f64, vdd: f64) -> Self {
+        Waveform::Step { t0, v0: vdd, v1: 0.0 }
+    }
+
+    /// The waveform's value at time `t` ns, volts.
+    pub fn value(&self, t: f64) -> f64 {
+        match *self {
+            Waveform::Const(v) => v,
+            Waveform::Step { t0, v0, v1 } => {
+                if t < t0 {
+                    v0
+                } else {
+                    v1
+                }
+            }
+            Waveform::Ramp { t0, t1, v0, v1 } => {
+                if t <= t0 {
+                    v0
+                } else if t >= t1 {
+                    v1
+                } else {
+                    v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+                }
+            }
+            Waveform::Pulse {
+                t0,
+                period,
+                width,
+                v0,
+                v1,
+            } => {
+                if t < t0 {
+                    return v0;
+                }
+                let phase = (t - t0) % period;
+                if phase < width {
+                    v1
+                } else {
+                    v0
+                }
+            }
+        }
+    }
+}
+
+/// The set of externally driven nodes and their waveforms.
+///
+/// Rails are always driven (VDD to the supply, GND to zero); any other
+/// node can be attached to a [`Waveform`] with [`Stimulus::drive`].
+/// Undriven inputs idle at 0 V unless given a waveform.
+#[derive(Debug, Clone)]
+pub struct Stimulus {
+    waveforms: HashMap<NodeId, Waveform>,
+}
+
+impl Stimulus {
+    /// Creates a stimulus for a netlist: rails driven, everything else
+    /// free.
+    pub fn new(netlist: &Netlist) -> Self {
+        let mut waveforms = HashMap::new();
+        waveforms.insert(netlist.vdd(), Waveform::Const(netlist.tech().vdd));
+        waveforms.insert(netlist.gnd(), Waveform::Const(0.0));
+        Stimulus { waveforms }
+    }
+
+    /// Attaches a waveform to a node, replacing any previous one. The node
+    /// becomes voltage-driven for the whole simulation.
+    pub fn drive(&mut self, node: NodeId, w: Waveform) -> &mut Self {
+        self.waveforms.insert(node, w);
+        self
+    }
+
+    /// Drives both phases of a two-phase non-overlapping clock: φ1 high
+    /// during `[0, phase_width)` of each cycle, φ2 high during
+    /// `[phase_width + gap, cycle − gap)`, with `gap` of non-overlap
+    /// between them. Clock nodes are found by their [`NodeRole::Clock`]
+    /// phase index.
+    pub fn drive_two_phase(
+        &mut self,
+        netlist: &Netlist,
+        cycle: f64,
+        phase_width: f64,
+        gap: f64,
+    ) -> &mut Self {
+        let vdd = netlist.tech().vdd;
+        for (node, phase) in netlist.clocks() {
+            let w = match phase {
+                0 => Waveform::Pulse {
+                    t0: 0.0,
+                    period: cycle,
+                    width: phase_width,
+                    v0: 0.0,
+                    v1: vdd,
+                },
+                _ => Waveform::Pulse {
+                    t0: phase_width + gap,
+                    period: cycle,
+                    width: cycle - phase_width - 2.0 * gap,
+                    v0: 0.0,
+                    v1: vdd,
+                },
+            };
+            self.waveforms.insert(node, w);
+        }
+        self
+    }
+
+    /// The waveform driving `node`, if any.
+    pub fn waveform(&self, node: NodeId) -> Option<&Waveform> {
+        self.waveforms.get(&node)
+    }
+
+    /// Iterates over all driven nodes.
+    pub fn driven_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.waveforms.keys().copied()
+    }
+
+    /// Voltage of a driven node at time `t`, or `None` if the node is free.
+    pub fn value(&self, node: NodeId, t: f64) -> Option<f64> {
+        self.waveforms.get(&node).map(|w| w.value(t))
+    }
+
+    /// Verifies all primary inputs are driven, returning the names of any
+    /// that are not — running with floating inputs is usually a test bug.
+    pub fn undriven_inputs(&self, netlist: &Netlist) -> Vec<String> {
+        netlist
+            .node_ids()
+            .filter(|&n| {
+                matches!(netlist.node(n).role(), NodeRole::Input | NodeRole::Clock(_))
+                    && !self.waveforms.contains_key(&n)
+            })
+            .map(|n| netlist.node(n).name().to_owned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_netlist::{NetlistBuilder, Tech};
+
+    #[test]
+    fn step_switches_at_edge() {
+        let w = Waveform::step_up(2.0, 5.0);
+        assert_eq!(w.value(1.999), 0.0);
+        assert_eq!(w.value(2.0), 5.0);
+        assert_eq!(w.value(10.0), 5.0);
+    }
+
+    #[test]
+    fn ramp_interpolates() {
+        let w = Waveform::Ramp {
+            t0: 1.0,
+            t1: 3.0,
+            v0: 0.0,
+            v1: 4.0,
+        };
+        assert_eq!(w.value(0.0), 0.0);
+        assert!((w.value(2.0) - 2.0).abs() < 1e-12);
+        assert_eq!(w.value(5.0), 4.0);
+    }
+
+    #[test]
+    fn pulse_repeats() {
+        let w = Waveform::Pulse {
+            t0: 0.0,
+            period: 10.0,
+            width: 4.0,
+            v0: 0.0,
+            v1: 5.0,
+        };
+        assert_eq!(w.value(1.0), 5.0);
+        assert_eq!(w.value(5.0), 0.0);
+        assert_eq!(w.value(11.0), 5.0); // second cycle
+        assert_eq!(w.value(-1.0), 0.0); // before start
+    }
+
+    #[test]
+    fn rails_are_always_driven() {
+        let nl = NetlistBuilder::new(Tech::nmos4um()).finish().unwrap();
+        let s = Stimulus::new(&nl);
+        assert_eq!(s.value(nl.vdd(), 0.0), Some(5.0));
+        assert_eq!(s.value(nl.gnd(), 123.0), Some(0.0));
+    }
+
+    #[test]
+    fn two_phase_clocks_never_overlap() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let phi1 = b.clock("phi1", 0);
+        let phi2 = b.clock("phi2", 1);
+        let nl = b.finish().unwrap();
+        let mut s = Stimulus::new(&nl);
+        s.drive_two_phase(&nl, 20.0, 8.0, 1.0);
+        let mut t = 0.0;
+        while t < 60.0 {
+            let v1 = s.value(phi1, t).unwrap();
+            let v2 = s.value(phi2, t).unwrap();
+            assert!(
+                !(v1 > 2.5 && v2 > 2.5),
+                "phases overlap at t={t}: {v1} {v2}"
+            );
+            t += 0.05;
+        }
+    }
+
+    #[test]
+    fn undriven_inputs_are_reported() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        b.input("forgotten");
+        let out = b.node("out");
+        b.inverter("i", a, out);
+        let nl = b.finish().unwrap();
+        let mut s = Stimulus::new(&nl);
+        s.drive(a, Waveform::Const(0.0));
+        assert_eq!(s.undriven_inputs(&nl), vec!["forgotten".to_string()]);
+    }
+}

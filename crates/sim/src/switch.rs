@@ -1,0 +1,588 @@
+//! Switch-level logic simulation — the MOSSIM-style companion to the
+//! analog engine.
+//!
+//! Bryant's switch-level model (contemporary with TV) simulates MOS
+//! circuits as switches with **signal strengths**: a node's logic value is
+//! decided by the strongest conducting path to a source, with ternary
+//! values {0, 1, X} and *charge retention* on isolated nodes — which is
+//! exactly what dynamic nMOS needs (latches hold their sampled value when
+//! the pass gate closes; ratioed pull-downs overpower depletion loads).
+//!
+//! The strength lattice, strongest first:
+//!
+//! | strength | source |
+//! |---|---|
+//! | `Driven` | rails and externally driven nodes |
+//! | `Strong` | paths through enhancement channels |
+//! | `Weak` | paths through depletion loads |
+//! | `Charge` | an isolated node's stored state |
+//!
+//! A path's strength is the weakest device on it; a node takes the value
+//! of its strongest *definite* contribution unless an equal-or-stronger
+//! conflicting (or X-gated "maybe") path exists, in which case it is `X`.
+//! Evaluation iterates to a fixpoint (gate values feed channel
+//! conductance); a sweep cap turns oscillation into an error instead of a
+//! hang.
+//!
+//! Compared to the analog engine this is ~10³× faster and value-exact for
+//! restoring logic, at the price of no timing — the two simulators answer
+//! complementary questions (what/when), just as MOSSIM and SPICE did.
+
+use tv_netlist::{DeviceKind, Netlist, NodeId};
+
+/// A ternary logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Logic low.
+    Zero,
+    /// Logic high (degraded highs through pass gates still read as high).
+    One,
+    /// Unknown / conflict.
+    X,
+}
+
+impl Level {
+    fn invert(self) -> Level {
+        match self {
+            Level::Zero => Level::One,
+            Level::One => Level::Zero,
+            Level::X => Level::X,
+        }
+    }
+}
+
+/// Error returned when the network will not settle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OscillationError {
+    /// How many sweeps ran before giving up.
+    pub sweeps: usize,
+}
+
+impl std::fmt::Display for OscillationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "switch-level network did not settle in {} sweeps", self.sweeps)
+    }
+}
+
+impl std::error::Error for OscillationError {}
+
+/// Channel conduction state under the current gate values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Conduct {
+    Off,
+    On,
+    Maybe, // gate is X
+}
+
+/// Path strengths, ordered. `Driven` only labels sources; path strength
+/// through devices is capped at `Strong`.
+const CHARGE: u8 = 0;
+const WEAK: u8 = 1;
+const STRONG: u8 = 2;
+const DRIVEN: u8 = 3;
+
+/// A switch-level simulator over one netlist.
+///
+/// # Example
+///
+/// An inverter, exercised through its truth table:
+///
+/// ```
+/// use tv_netlist::{NetlistBuilder, Tech};
+/// use tv_sim::switch::{Level, SwitchSim};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new(Tech::nmos4um());
+/// let a = b.input("a");
+/// let out = b.output("out");
+/// b.inverter("i", a, out);
+/// let nl = b.finish()?;
+///
+/// let mut sim = SwitchSim::new(&nl);
+/// sim.set(a, Level::One);
+/// sim.settle()?;
+/// assert_eq!(sim.value(out), Level::Zero);
+/// sim.set(a, Level::Zero);
+/// sim.settle()?;
+/// assert_eq!(sim.value(out), Level::One);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SwitchSim<'a> {
+    netlist: &'a Netlist,
+    /// Current value per node.
+    values: Vec<Level>,
+    /// Whether the node is externally driven (rails + `set` nodes).
+    driven: Vec<bool>,
+    /// Sweep cap before declaring oscillation.
+    max_sweeps: usize,
+}
+
+impl<'a> SwitchSim<'a> {
+    /// Creates a simulator with every non-rail node at `X` and only the
+    /// rails driven.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let n = netlist.node_count();
+        let mut values = vec![Level::X; n];
+        let mut driven = vec![false; n];
+        values[netlist.vdd().index()] = Level::One;
+        values[netlist.gnd().index()] = Level::Zero;
+        driven[netlist.vdd().index()] = true;
+        driven[netlist.gnd().index()] = true;
+        SwitchSim {
+            netlist,
+            values,
+            driven,
+            max_sweeps: 200,
+        }
+    }
+
+    /// Drives a node to a level (stays driven until [`SwitchSim::release`]).
+    pub fn set(&mut self, node: NodeId, level: Level) {
+        self.values[node.index()] = level;
+        self.driven[node.index()] = true;
+    }
+
+    /// Stops driving a node; it keeps its value as stored charge until the
+    /// network overwrites it.
+    pub fn release(&mut self, node: NodeId) {
+        self.driven[node.index()] = false;
+    }
+
+    /// The current value of a node.
+    pub fn value(&self, node: NodeId) -> Level {
+        self.values[node.index()]
+    }
+
+    /// Iterates evaluation sweeps until the network settles, returning the
+    /// sweep count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OscillationError`] if no fixpoint is reached within the
+    /// sweep cap (a ring oscillator, or an X-fed loop).
+    pub fn settle(&mut self) -> Result<usize, OscillationError> {
+        for sweep in 1..=self.max_sweeps {
+            if !self.sweep_once() {
+                return Ok(sweep);
+            }
+        }
+        Err(OscillationError {
+            sweeps: self.max_sweeps,
+        })
+    }
+
+    /// One global evaluation: recompute every non-driven node from path
+    /// strengths under current gate values. Returns whether anything
+    /// changed.
+    fn sweep_once(&mut self) -> bool {
+        let nl = self.netlist;
+        let n = nl.node_count();
+
+        // Channel conduction per device under the current gate values.
+        let conduct: Vec<Conduct> = nl
+            .devices()
+            .map(|dref| {
+                let d = dref.device;
+                match d.kind() {
+                    DeviceKind::Depletion => Conduct::On, // always conducting
+                    DeviceKind::Enhancement => match self.values[d.gate().index()] {
+                        Level::One => Conduct::On,
+                        Level::Zero => Conduct::Off,
+                        Level::X => Conduct::Maybe,
+                    },
+                }
+            })
+            .collect();
+
+        // Best definite/maybe path strengths for value-1 and value-0
+        // contributions at every node.
+        let mut s1 = vec![CHARGE; n];
+        let mut s0 = vec![CHARGE; n];
+        let mut m1 = vec![CHARGE; n];
+        let mut m0 = vec![CHARGE; n];
+
+        // Sources: driven nodes (rails included).
+        for idx in 0..n {
+            if !self.driven[idx] {
+                continue;
+            }
+            match self.values[idx] {
+                Level::One => s1[idx] = DRIVEN,
+                Level::Zero => s0[idx] = DRIVEN,
+                Level::X => {
+                    m1[idx] = DRIVEN;
+                    m0[idx] = DRIVEN;
+                }
+            }
+        }
+
+        // Relax until stable: path strength = min(source, weakest device),
+        // maximized over paths. The lattice is tiny, so a handful of
+        // passes converges; cap at node count for safety.
+        let device_strength = |dref: tv_netlist::DeviceRef<'_>| match dref.device.kind() {
+            DeviceKind::Depletion => WEAK,
+            DeviceKind::Enhancement => STRONG,
+        };
+        let mut changed = true;
+        let mut guard = 0;
+        while changed && guard <= n + 4 {
+            changed = false;
+            guard += 1;
+            for dref in nl.devices() {
+                let c = conduct[dref.id.index()];
+                if c == Conduct::Off {
+                    continue;
+                }
+                let ds = device_strength(dref);
+                let a = dref.device.source().index();
+                let b = dref.device.drain().index();
+                // Driven nodes never import strength: an input pin is not
+                // overwritten by the network.
+                let mut relax = |from: usize, to: usize| {
+                    if self.driven[to] {
+                        return;
+                    }
+                    let def_ok = c == Conduct::On;
+                    // Definite contributions survive only through ON
+                    // devices; anything through a Maybe device is a maybe.
+                    let cand_s1 = if def_ok { s1[from].min(ds) } else { CHARGE };
+                    let cand_s0 = if def_ok { s0[from].min(ds) } else { CHARGE };
+                    let cand_m1 = (m1[from].max(if def_ok { CHARGE } else { s1[from] })).min(ds);
+                    let cand_m0 = (m0[from].max(if def_ok { CHARGE } else { s0[from] })).min(ds);
+                    if cand_s1 > s1[to] {
+                        s1[to] = cand_s1;
+                        changed = true;
+                    }
+                    if cand_s0 > s0[to] {
+                        s0[to] = cand_s0;
+                        changed = true;
+                    }
+                    if cand_m1 > m1[to] {
+                        m1[to] = cand_m1;
+                        changed = true;
+                    }
+                    if cand_m0 > m0[to] {
+                        m0[to] = cand_m0;
+                        changed = true;
+                    }
+                };
+                relax(a, b);
+                relax(b, a);
+            }
+        }
+
+        // Resolve node values.
+        let mut any_change = false;
+        for idx in 0..n {
+            if self.driven[idx] {
+                continue;
+            }
+            let best = s1[idx].max(s0[idx]).max(m1[idx]).max(m0[idx]);
+            let new = if best == CHARGE {
+                // Isolated: retain stored charge.
+                self.values[idx]
+            } else if s1[idx] >= best && s0[idx] < best && m0[idx] < best {
+                Level::One
+            } else if s0[idx] >= best && s1[idx] < best && m1[idx] < best {
+                Level::Zero
+            } else {
+                Level::X
+            };
+            if new != self.values[idx] {
+                self.values[idx] = new;
+                any_change = true;
+            }
+        }
+        any_change
+    }
+
+    /// Convenience: drive `node`, settle, and return the sweep count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OscillationError`] from [`SwitchSim::settle`].
+    pub fn apply(&mut self, node: NodeId, level: Level) -> Result<usize, OscillationError> {
+        self.set(node, level);
+        self.settle()
+    }
+}
+
+/// Truth-table helper: the inverse of a level (public for test builders).
+pub fn invert(level: Level) -> Level {
+    level.invert()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_netlist::{NetlistBuilder, Tech};
+
+    fn builder() -> NetlistBuilder {
+        NetlistBuilder::new(Tech::nmos4um())
+    }
+
+    #[test]
+    fn inverter_truth_table_with_x() {
+        let mut b = builder();
+        let a = b.input("a");
+        let out = b.output("out");
+        b.inverter("i", a, out);
+        let nl = b.finish().unwrap();
+        let mut sim = SwitchSim::new(&nl);
+        for (input, expect) in [
+            (Level::Zero, Level::One),
+            (Level::One, Level::Zero),
+            (Level::X, Level::X),
+        ] {
+            sim.apply(a, input).unwrap();
+            assert_eq!(sim.value(out), expect, "in={input:?}");
+        }
+    }
+
+    #[test]
+    fn nand_and_nor_truth_tables() {
+        let mut b = builder();
+        let x = b.input("x");
+        let y = b.input("y");
+        let nand = b.node("nand");
+        let nor = b.node("nor");
+        b.nand("g1", &[x, y], nand);
+        b.nor("g2", &[x, y], nor);
+        let nl = b.finish().unwrap();
+        let mut sim = SwitchSim::new(&nl);
+        use Level::{One, Zero};
+        for (vx, vy, e_nand, e_nor) in [
+            (Zero, Zero, One, One),
+            (Zero, One, One, Zero),
+            (One, Zero, One, Zero),
+            (One, One, Zero, Zero),
+        ] {
+            sim.set(x, vx);
+            sim.set(y, vy);
+            sim.settle().unwrap();
+            assert_eq!(sim.value(nand), e_nand, "nand({vx:?},{vy:?})");
+            assert_eq!(sim.value(nor), e_nor, "nor({vx:?},{vy:?})");
+        }
+    }
+
+    #[test]
+    fn dynamic_latch_samples_and_holds() {
+        let mut b = builder();
+        let phi = b.clock("phi1", 0);
+        let d = b.input("d");
+        let qb = b.node("qb");
+        let store = b.dynamic_latch("l", phi, d, qb);
+        let nl = b.finish().unwrap();
+        let mut sim = SwitchSim::new(&nl);
+
+        // Clock open, D = 1: storage follows, output inverts.
+        sim.set(d, Level::One);
+        sim.apply(phi, Level::One).unwrap();
+        assert_eq!(sim.value(store), Level::One);
+        assert_eq!(sim.value(qb), Level::Zero);
+
+        // Clock closes; D changes — the stored value must HOLD.
+        sim.apply(phi, Level::Zero).unwrap();
+        sim.apply(d, Level::Zero).unwrap();
+        assert_eq!(sim.value(store), Level::One, "charge retention failed");
+        assert_eq!(sim.value(qb), Level::Zero);
+
+        // Clock reopens: new value sampled.
+        sim.apply(phi, Level::One).unwrap();
+        assert_eq!(sim.value(store), Level::Zero);
+        assert_eq!(sim.value(qb), Level::One);
+    }
+
+    #[test]
+    fn pulldown_overpowers_depletion_load() {
+        // The ratioed-logic premise: with the pull-down on, the strong
+        // GND path must beat the always-on weak load.
+        let mut b = builder();
+        let a = b.input("a");
+        let out = b.output("out");
+        b.inverter("i", a, out);
+        let nl = b.finish().unwrap();
+        let mut sim = SwitchSim::new(&nl);
+        sim.apply(a, Level::One).unwrap();
+        assert_eq!(sim.value(out), Level::Zero);
+    }
+
+    #[test]
+    fn precharged_bus_cycle() {
+        let mut b = builder();
+        let phi = b.clock("phi2", 1);
+        let en = b.input("en");
+        let bus = b.node("bus");
+        b.precharge("pre", phi, bus);
+        let gnd = b.gnd();
+        b.enhancement("dis", en, gnd, bus, 8.0, 4.0);
+        let nl = b.finish().unwrap();
+        let mut sim = SwitchSim::new(&nl);
+
+        // Precharge with discharge off: bus goes high.
+        sim.set(en, Level::Zero);
+        sim.apply(phi, Level::One).unwrap();
+        assert_eq!(sim.value(bus), Level::One);
+        // Precharge ends: bus holds its charge.
+        sim.apply(phi, Level::Zero).unwrap();
+        assert_eq!(sim.value(bus), Level::One);
+        // Discharge path opens: bus falls.
+        sim.apply(en, Level::One).unwrap();
+        assert_eq!(sim.value(bus), Level::Zero);
+    }
+
+    #[test]
+    fn pass_mux_selects() {
+        let mut b = builder();
+        let s0 = b.input("s0");
+        let s1 = b.input("s1");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let an = b.node("an");
+        let bn = b.node("bn");
+        b.inverter("ia", a, an);
+        b.inverter("ib", bb, bn);
+        let m = b.node("m");
+        b.pass("p0", s0, an, m);
+        b.pass("p1", s1, bn, m);
+        let out = b.node("out");
+        b.inverter("im", m, out);
+        let nl = b.finish().unwrap();
+        let mut sim = SwitchSim::new(&nl);
+
+        sim.set(a, Level::One); // an = 0
+        sim.set(bb, Level::Zero); // bn = 1
+        sim.set(s0, Level::One);
+        sim.set(s1, Level::Zero);
+        sim.settle().unwrap();
+        assert_eq!(sim.value(m), Level::Zero);
+        assert_eq!(sim.value(out), Level::One);
+
+        sim.set(s0, Level::Zero);
+        sim.set(s1, Level::One);
+        sim.settle().unwrap();
+        assert_eq!(sim.value(m), Level::One);
+        assert_eq!(sim.value(out), Level::Zero);
+    }
+
+    #[test]
+    fn ratioed_fight_resolves_toward_the_strong_pulldown() {
+        // A weak (depletion-load) 1 against a strong (enhancement) 0
+        // through equal pass gates: the pull-down side wins — exactly the
+        // ratioed-logic premise.
+        let mut b = builder();
+        let c = b.input("c");
+        let hi = b.input("hi");
+        let lo = b.input("lo");
+        let x1 = b.node("x1");
+        let x2 = b.node("x2");
+        b.inverter("i1", lo, x1); // x1 = 1 via the weak load when lo = 0
+        b.inverter("i2", hi, x2); // x2 = 0 via the strong pull-down
+        let m = b.node("m");
+        b.pass("p1", c, x1, m);
+        b.pass("p2", c, x2, m);
+        let nl = b.finish().unwrap();
+        let mut sim = SwitchSim::new(&nl);
+        sim.set(lo, Level::Zero);
+        sim.set(hi, Level::One);
+        sim.apply(c, Level::One).unwrap();
+        assert_eq!(sim.value(m), Level::Zero);
+    }
+
+    #[test]
+    fn equal_strength_conflict_resolves_to_x() {
+        // Two *driven inputs* of opposite value shorted through equal pass
+        // gates: both contributions arrive at Strong — a genuine conflict.
+        let mut b = builder();
+        let c = b.input("c");
+        let hi = b.input("hi");
+        let lo = b.input("lo");
+        let m = b.node("m");
+        b.pass("p1", c, hi, m);
+        b.pass("p2", c, lo, m);
+        let sink = b.node("sink");
+        b.pass("p3", c, m, sink);
+        let nl = b.finish().unwrap();
+        let mut sim = SwitchSim::new(&nl);
+        sim.set(hi, Level::One);
+        sim.set(lo, Level::Zero);
+        sim.apply(c, Level::One).unwrap();
+        assert_eq!(sim.value(m), Level::X, "1-vs-0 at equal strength is X");
+    }
+
+    #[test]
+    fn x_gate_makes_maybe_conflict() {
+        // A pass gate with an X control between a driven 1 and a charged 0
+        // node: the destination becomes X (may or may not conduct).
+        let mut b = builder();
+        let c = b.input("c");
+        let a = b.input("a");
+        let src = b.node("src");
+        b.inverter("i", a, src);
+        let dst = b.node("dst");
+        b.pass("p", c, src, dst);
+        let sink = b.node("sink");
+        b.pass("p2", c, dst, sink);
+        let nl = b.finish().unwrap();
+        let mut sim = SwitchSim::new(&nl);
+        sim.set(a, Level::Zero); // src = 1
+        // Pre-store a 0 on dst by driving then releasing.
+        sim.set(dst, Level::Zero);
+        sim.settle().unwrap();
+        sim.release(dst);
+        sim.apply(c, Level::X).unwrap();
+        assert_eq!(sim.value(dst), Level::X);
+    }
+
+    #[test]
+    fn ring_oscillator_reports_oscillation() {
+        let mut b = builder();
+        let n0 = b.node("n0");
+        let n1 = b.node("n1");
+        let n2 = b.node("n2");
+        b.inverter("g0", n2, n0);
+        b.inverter("g1", n0, n1);
+        b.inverter("g2", n1, n2);
+        let nl = b.finish().unwrap();
+        let mut sim = SwitchSim::new(&nl);
+        // Kick it out of the X fixpoint by forcing a node momentarily.
+        sim.set(n0, Level::One);
+        sim.settle().unwrap();
+        sim.release(n0);
+        let err = sim.settle().unwrap_err();
+        assert!(err.sweeps > 0);
+        assert!(err.to_string().contains("did not settle"));
+    }
+
+    #[test]
+    fn master_slave_register_transfers_on_phases() {
+        let mut b = builder();
+        let phi1 = b.clock("phi1", 0);
+        let phi2 = b.clock("phi2", 1);
+        let d = b.input("d");
+        let m = b.node("m");
+        b.dynamic_latch("master", phi1, d, m);
+        let q = b.node("q");
+        b.dynamic_latch("slave", phi2, m, q);
+        let nl = b.finish().unwrap();
+        let mut sim = SwitchSim::new(&nl);
+
+        // φ1: sample D=1 into the master (m = D̅ = 0).
+        sim.set(d, Level::One);
+        sim.set(phi2, Level::Zero);
+        sim.apply(phi1, Level::One).unwrap();
+        assert_eq!(sim.value(m), Level::Zero);
+
+        // φ2: transfer into the slave (q = m̅ = 1).
+        sim.set(phi1, Level::Zero);
+        sim.apply(phi2, Level::One).unwrap();
+        assert_eq!(sim.value(q), Level::One);
+
+        // Change D mid-φ2: the master is closed, nothing moves.
+        sim.apply(d, Level::Zero).unwrap();
+        assert_eq!(sim.value(m), Level::Zero);
+        assert_eq!(sim.value(q), Level::One);
+    }
+}

@@ -1,0 +1,206 @@
+//! Recorded voltage traces and crossing-time queries.
+
+/// A sampled voltage waveform: strictly increasing times (ns) with the
+/// voltage (V) at each sample.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    t: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t` does not advance monotonically.
+    pub fn push(&mut self, t: f64, v: f64) {
+        debug_assert!(
+            self.t.last().is_none_or(|&last| t > last),
+            "trace samples must advance in time"
+        );
+        self.t.push(t);
+        self.v.push(v);
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Whether the trace holds no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Sample times, ns.
+    #[inline]
+    pub fn times(&self) -> &[f64] {
+        &self.t
+    }
+
+    /// Sample voltages, V.
+    #[inline]
+    pub fn voltages(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// The final voltage, or `None` for an empty trace.
+    pub fn final_voltage(&self) -> Option<f64> {
+        self.v.last().copied()
+    }
+
+    /// Voltage at time `t` by linear interpolation (clamped to the ends).
+    pub fn sample(&self, t: f64) -> Option<f64> {
+        if self.t.is_empty() {
+            return None;
+        }
+        if t <= self.t[0] {
+            return Some(self.v[0]);
+        }
+        if t >= *self.t.last().unwrap() {
+            return self.final_voltage();
+        }
+        let idx = self.t.partition_point(|&x| x < t);
+        let (t0, t1) = (self.t[idx - 1], self.t[idx]);
+        let (v0, v1) = (self.v[idx - 1], self.v[idx]);
+        Some(v0 + (v1 - v0) * (t - t0) / (t1 - t0))
+    }
+
+    /// First time at or after `after` when the trace crosses `threshold`
+    /// going **up**, by linear interpolation. `None` if it never does.
+    pub fn crossing_up(&self, threshold: f64, after: f64) -> Option<f64> {
+        self.crossing(threshold, after, true)
+    }
+
+    /// First time at or after `after` when the trace crosses `threshold`
+    /// going **down**.
+    pub fn crossing_down(&self, threshold: f64, after: f64) -> Option<f64> {
+        self.crossing(threshold, after, false)
+    }
+
+    fn crossing(&self, threshold: f64, after: f64, rising: bool) -> Option<f64> {
+        for i in 1..self.t.len() {
+            if self.t[i] < after {
+                continue;
+            }
+            let (v0, v1) = (self.v[i - 1], self.v[i]);
+            let crossed = if rising {
+                v0 < threshold && v1 >= threshold
+            } else {
+                v0 > threshold && v1 <= threshold
+            };
+            if crossed {
+                let (t0, t1) = (self.t[i - 1], self.t[i]);
+                let frac = (threshold - v0) / (v1 - v0);
+                let t = t0 + frac * (t1 - t0);
+                if t >= after {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// 10–90% transition time of the first monotone swing after `after`
+    /// between `v_low` and `v_high`, ns. Returns `None` if the swing never
+    /// completes. `rising` selects the direction.
+    pub fn transition_time(
+        &self,
+        v_low: f64,
+        v_high: f64,
+        after: f64,
+        rising: bool,
+    ) -> Option<f64> {
+        let swing = v_high - v_low;
+        let (p10, p90) = (v_low + 0.1 * swing, v_low + 0.9 * swing);
+        if rising {
+            let t10 = self.crossing_up(p10, after)?;
+            let t90 = self.crossing_up(p90, t10)?;
+            Some(t90 - t10)
+        } else {
+            let t90 = self.crossing_down(p90, after)?;
+            let t10 = self.crossing_down(p10, t90)?;
+            Some(t10 - t90)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_trace() -> Trace {
+        // 0 V at t=0 rising linearly to 5 V at t=5.
+        let mut tr = Trace::new();
+        for i in 0..=50 {
+            let t = i as f64 * 0.1;
+            tr.push(t, t.min(5.0));
+        }
+        tr
+    }
+
+    #[test]
+    fn sample_interpolates_and_clamps() {
+        let tr = ramp_trace();
+        assert!((tr.sample(2.55).unwrap() - 2.55).abs() < 1e-9);
+        assert_eq!(tr.sample(-1.0), Some(0.0));
+        assert_eq!(tr.sample(99.0), tr.final_voltage());
+        assert_eq!(Trace::new().sample(0.0), None);
+    }
+
+    #[test]
+    fn crossing_up_finds_interpolated_time() {
+        let tr = ramp_trace();
+        let t = tr.crossing_up(2.5, 0.0).unwrap();
+        assert!((t - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossing_down_on_falling_trace() {
+        let mut tr = Trace::new();
+        for i in 0..=50 {
+            let t = i as f64 * 0.1;
+            tr.push(t, 5.0 - t.min(5.0));
+        }
+        let t = tr.crossing_down(2.5, 0.0).unwrap();
+        assert!((t - 2.5).abs() < 1e-9);
+        assert_eq!(tr.crossing_up(2.5, 0.0), None);
+    }
+
+    #[test]
+    fn crossing_respects_after() {
+        let mut tr = Trace::new();
+        // Two rising crossings of 2.5: at t≈1 and t≈5.
+        let shape = [0.0, 5.0, 0.0, 0.0, 0.0, 5.0, 5.0];
+        for (i, &v) in shape.iter().enumerate() {
+            tr.push(i as f64, v);
+        }
+        let first = tr.crossing_up(2.5, 0.0).unwrap();
+        let second = tr.crossing_up(2.5, 2.0).unwrap();
+        assert!(first < 1.0 + 1e-9);
+        assert!(second > 4.0);
+    }
+
+    #[test]
+    fn transition_time_of_linear_ramp() {
+        let tr = ramp_trace();
+        // 10%..90% of a 0→5 V linear 5 ns ramp is 4 ns.
+        let tt = tr.transition_time(0.0, 5.0, 0.0, true).unwrap();
+        assert!((tt - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_crossing_returns_none() {
+        let tr = ramp_trace();
+        assert_eq!(tr.crossing_up(7.0, 0.0), None);
+        assert_eq!(tr.transition_time(0.0, 12.0, 0.0, true), None);
+    }
+}

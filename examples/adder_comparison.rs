@@ -1,0 +1,52 @@
+//! Design exploration with the analyzer: ripple-carry vs Manchester
+//! carry-chain adders — the decision a 1983 datapath designer made with
+//! exactly this kind of tool.
+//!
+//! Run with: `cargo run --release --example adder_comparison`
+
+use nmos_tv::core::{AnalysisOptions, Analyzer};
+use nmos_tv::gen::adder::ripple_carry_adder;
+use nmos_tv::gen::manchester::manchester_adder;
+use nmos_tv::netlist::Tech;
+
+fn main() {
+    let tech = Tech::nmos4um();
+    let opts = AnalysisOptions::default();
+    println!(
+        "{:>6} {:>12} {:>14} {:>16} {:>10}",
+        "width", "ripple (ns)", "manch. (ns)", "manch./buf4 (ns)", "winner"
+    );
+    for width in [4usize, 8, 16, 32] {
+        let ripple = ripple_carry_adder(tech.clone(), width);
+        let r = Analyzer::new(&ripple.netlist)
+            .run(&opts)
+            .arrival(ripple.output)
+            .expect("reachable");
+
+        let manch = |buffer_every: usize| {
+            let m = manchester_adder(tech.clone(), width, buffer_every);
+            Analyzer::new(&m.netlist)
+                .run(&opts)
+                .phase(0)
+                .expect("phase 0")
+                .result
+                .arrival(*m.chain.last().expect("nonempty"))
+                .expect("reachable")
+        };
+        let m0 = manch(0);
+        let m4 = manch(4);
+        let best = r.min(m0).min(m4);
+        let winner = if best == r {
+            "ripple"
+        } else if best == m0 {
+            "manchester"
+        } else {
+            "manch/buf4"
+        };
+        println!("{width:>6} {r:>12.3} {m0:>14.3} {m4:>16.3} {winner:>10}");
+    }
+    println!();
+    println!("The verifier shows the architecture story: the precharged chain is");
+    println!("fast until its own quadratic RC catches up; buffers every 4 bits");
+    println!("keep it linear.");
+}

@@ -1,0 +1,53 @@
+//! Analyze a MIPS-class 32-bit two-phase datapath — the reproduction of
+//! running TV over the Stanford MIPS chip.
+//!
+//! Run with: `cargo run --release --example mips_datapath`
+
+use std::time::Instant;
+
+use nmos_tv::core::{AnalysisOptions, Analyzer};
+use nmos_tv::gen::datapath::{datapath, DatapathConfig};
+use nmos_tv::netlist::Tech;
+
+fn main() {
+    let config = DatapathConfig::mips32();
+    let t0 = Instant::now();
+    let dp = datapath(Tech::nmos4um(), config);
+    let gen_time = t0.elapsed();
+    println!(
+        "generated {}-bit datapath: {} transistors, {} nodes in {:.1} ms",
+        config.width,
+        dp.netlist.device_count(),
+        dp.netlist.node_count(),
+        gen_time.as_secs_f64() * 1e3,
+    );
+
+    let t1 = Instant::now();
+    let report = Analyzer::new(&dp.netlist).run(&AnalysisOptions::default());
+    let analyze_time = t1.elapsed();
+    println!(
+        "analyzed in {:.1} ms ({:.0} devices/ms)",
+        analyze_time.as_secs_f64() * 1e3,
+        dp.netlist.device_count() as f64 / (analyze_time.as_secs_f64() * 1e3),
+    );
+    println!();
+    print!("{}", report.render(&dp.netlist));
+
+    // The top-5 critical paths of each phase, the way TV reported them.
+    for phase in &report.phases {
+        println!("\n=== phase {} top paths ===", phase.phase + 1);
+        for (i, path) in phase.paths.iter().take(5).enumerate() {
+            println!(
+                "#{} arrival {:.3} ns, {} steps, endpoint {}",
+                i + 1,
+                path.arrival(),
+                path.len(),
+                dp.netlist.node(path.endpoint()).name(),
+            );
+        }
+        if let Some(worst) = phase.paths.first() {
+            println!("worst path detail:");
+            print!("{}", worst.display(&dp.netlist));
+        }
+    }
+}

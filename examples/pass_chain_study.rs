@@ -1,0 +1,54 @@
+//! The pass-transistor chain study (figure F1): delay grows quadratically
+//! with chain length, and buffer insertion restores linearity.
+//!
+//! Run with: `cargo run --release --example pass_chain_study`
+
+use nmos_tv::core::{AnalysisOptions, Analyzer};
+use nmos_tv::gen::chains::{buffered_pass_chain, pass_chain, PASS_NODE_WIRE_PF};
+use nmos_tv::netlist::Tech;
+use nmos_tv::rc::passchain::{chain_elmore, optimal_buffer_interval};
+
+/// The analyzer's falling-transfer arrival at the output (the measured
+/// edge: input rises, the chain falls, the receiver restores a rise).
+fn chain_delay(c: &nmos_tv::gen::Circuit) -> f64 {
+    Analyzer::new(&c.netlist)
+        .run(&AnalysisOptions::default())
+        .combinational
+        .arrivals
+        .rise(c.output)
+        .expect("output rises")
+}
+
+fn main() {
+    let tech = Tech::nmos4um();
+
+    // Closed-form prediction for the chain section, from tv-rc: every
+    // chain node carries the generator's wire capacitance plus two
+    // diffusion junctions, and the fall is driven through the driver
+    // inverter's pull-down.
+    let s = tech.min_size();
+    let r_pass = tech.channel_resistance(s, s);
+    let c_node = PASS_NODE_WIRE_PF + 2.0 * tech.diffusion_capacitance(s);
+    let r_driver = tech.channel_resistance(2.0 * s, s);
+    println!("closed-form: T(n) = Rd·nC + R·C·n(n+1)/2");
+    println!("  with Rd = {r_driver} kΩ, R = {r_pass} kΩ, C = {c_node:.4} pF");
+    println!();
+
+    // A realistic restoring-buffer cost: one inverter pair's worth of
+    // delay at these loads.
+    let t_buf = 4.0;
+    let k = optimal_buffer_interval(r_pass, c_node, t_buf);
+    println!(
+        "{:>4} {:>14} {:>16} {:>16}",
+        "n", "raw TV (ns)", "buffered@k (ns)", "chain term (ns)"
+    );
+    for n in [1usize, 2, 3, 4, 6, 8, 10, 12] {
+        let raw = chain_delay(&pass_chain(tech.clone(), n));
+        let buffered = chain_delay(&buffered_pass_chain(tech.clone(), n, k));
+        let formula = chain_elmore(r_driver, r_pass, c_node, n);
+        println!("{n:>4} {raw:>14.3} {buffered:>16.3} {formula:>16.3}");
+    }
+    println!();
+    println!("buffer interval k* = {k} (from sqrt(2·t_buf / RC), t_buf = {t_buf} ns)");
+    println!("raw grows quadratically; the buffered chain grows linearly past k*.");
+}

@@ -1,0 +1,50 @@
+//! Quickstart: build a small nMOS circuit by hand, analyze it, and print
+//! the full TV report.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use nmos_tv::core::{AnalysisOptions, Analyzer};
+use nmos_tv::netlist::{sim_format, NetlistBuilder, NetlistError, Tech};
+
+fn main() -> Result<(), NetlistError> {
+    // A 1983-flavor circuit: an input buffered through two inverters,
+    // sampled into a φ1 dynamic latch, with the latch output driving a
+    // 3-input NAND qualified by φ1.
+    let tech = Tech::nmos4um();
+    let mut b = NetlistBuilder::new(tech);
+
+    let a = b.input("a");
+    let en = b.input("en");
+    let phi1 = b.clock("phi1", 0);
+
+    let x = b.node("x");
+    b.inverter("i1", a, x);
+    let y = b.node("y");
+    b.inverter("i2", x, y);
+
+    let qb = b.node("qb");
+    b.dynamic_latch("lat", phi1, y, qb);
+
+    let out = b.output("out");
+    b.nand("g", &[qb, en, phi1], out);
+
+    let netlist = b.finish()?;
+
+    // The netlist round-trips through the .sim interchange format, the
+    // way an extractor would hand it to TV.
+    let sim_text = sim_format::write(&netlist);
+    println!("--- .sim netlist ({} lines) ---", sim_text.lines().count());
+    print!("{sim_text}");
+
+    // Analyze: signal flow, clock recovery, per-phase timing, checks.
+    let report = Analyzer::new(&netlist).run(&AnalysisOptions::default());
+    println!("--- TV report ---");
+    print!("{}", report.render(&netlist));
+
+    // Individual results are programmatically accessible too.
+    let arrival = report
+        .arrival(netlist.node_by_name("out").expect("out exists"))
+        .expect("output is reachable");
+    println!("--- arrival at `out`: {arrival:.3} ns ---");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Validate TV's static estimates against the transient simulator, the
+//! way the paper validated against SPICE (table T1).
+//!
+//! Run with: `cargo run --release --example spice_compare`
+
+use nmos_tv::core::{AnalysisOptions, Analyzer};
+use nmos_tv::gen::workload::t1_suite;
+use nmos_tv::netlist::Tech;
+use nmos_tv::sim::{measure, SimOptions, Simulator, Stimulus, Waveform};
+
+fn main() {
+    let tech = Tech::nmos4um();
+    println!(
+        "{:<20} {:>12} {:>12} {:>8}",
+        "circuit", "static (ns)", "sim (ns)", "ratio"
+    );
+    for item in t1_suite(&tech) {
+        let nl = &item.circuit.netlist;
+        let input = item.circuit.input;
+        let output = item.circuit.output;
+
+        // Static estimate on the edge the measurement exercises.
+        let report = Analyzer::new(nl).run(&AnalysisOptions::default());
+        let est = if item.output_falls_on_input_rise {
+            report.combinational.arrivals.fall(output)
+        } else {
+            report.combinational.arrivals.rise(output)
+        }
+        .expect("output reachable");
+
+        // Transient measurement: toggle the input, watch the output.
+        let mut stim = Stimulus::new(nl);
+        stim.drive(input, Waveform::step_up(1.0, tech.vdd));
+        for name in ["en", "phi1"] {
+            if let Some(node) = nl.node_by_name(name) {
+                let level = if name == "en" && item.name.starts_with("nor") {
+                    0.0
+                } else {
+                    tech.vdd
+                };
+                stim.drive(node, Waveform::Const(level));
+            }
+        }
+        for sel in 0..8 {
+            if let Some(node) = nl.node_by_name(&format!("sel{sel}")) {
+                stim.drive(node, Waveform::Const(tech.vdd));
+            }
+        }
+        let result = Simulator::new(nl, stim, SimOptions::for_duration(100.0)).run();
+        let meas = measure::delay_50(&result, input, output, &tech);
+
+        match meas {
+            Some(m) if m > 0.0 => {
+                println!("{:<20} {:>12.3} {:>12.3} {:>8.2}", item.name, est, m, est / m);
+            }
+            _ => println!("{:<20} {:>12.3} {:>12} {:>8}", item.name, est, "-", "-"),
+        }
+    }
+    println!("\nratio > 1 means the static estimate is conservative (late).");
+}

@@ -1,0 +1,172 @@
+//! `tv` — the command-line timing verifier.
+//!
+//! The shape of the original tool: read an extracted `.sim` netlist, run
+//! the full analysis, print the report. Subcommands:
+//!
+//! ```text
+//! tv analyze <file.sim> [--cycle NS] [--no-case] [--model lumped|elmore|upper] [--top K]
+//! tv check   <file.sim>            # electrical rules only
+//! tv flow    <file.sim>            # signal-flow resolution statistics
+//! tv query   <file.sim> <from> <to># point-to-point worst path
+//! tv spice   <file.sim>            # convert to a SPICE deck on stdout
+//! tv demo                          # analyze a built-in MIPS-class datapath
+//! ```
+//!
+//! Exit status: 0 on success, 1 on usage/parse errors, 2 when the analysis
+//! finds violations (negative slack, races, or electrical issues) — so the
+//! tool drops into Makefiles the way its ancestor did.
+
+use std::process::ExitCode;
+
+use nmos_tv::clocks::TwoPhaseClock;
+use nmos_tv::core::{AnalysisOptions, Analyzer, DelayModel};
+use nmos_tv::flow::{analyze as flow_analyze, RuleSet};
+use nmos_tv::netlist::{sim_format, spice, Netlist, Tech};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            }
+        }
+        Err(msg) => {
+            eprintln!("tv: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  tv analyze <file.sim> [--cycle NS] [--no-case] [--model lumped|elmore|upper] [--top K]
+  tv check   <file.sim>
+  tv flow    <file.sim>
+  tv query   <file.sim> <from-node> <to-node>
+  tv spice   <file.sim>
+  tv demo";
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let cmd = args.first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "analyze" => {
+            let (netlist, rest) = load(&args[1..])?;
+            let options = parse_options(rest)?;
+            let report = Analyzer::new(&netlist).run(&options);
+            print!("{}", report.render(&netlist));
+            let slack_ok = report
+                .phases
+                .iter()
+                .all(|p| p.slack.is_none_or(|s| s >= 0.0));
+            let race_free = report.phases.iter().all(|p| p.races.is_empty());
+            Ok(report.checks.is_empty() && slack_ok && race_free)
+        }
+        "check" => {
+            let (netlist, _) = load(&args[1..])?;
+            let report = Analyzer::new(&netlist).run(&AnalysisOptions::default());
+            if report.checks.is_empty() {
+                println!("electrical checks: clean");
+            } else {
+                for issue in &report.checks {
+                    println!("{}", issue.display(&netlist));
+                }
+            }
+            Ok(report.checks.is_empty())
+        }
+        "flow" => {
+            let (netlist, _) = load(&args[1..])?;
+            let flow = flow_analyze(&netlist, &RuleSet::all());
+            println!("{}", flow.report(&netlist));
+            Ok(flow.unresolved(&netlist).count() == 0)
+        }
+        "query" => {
+            let (netlist, rest) = load(&args[1..])?;
+            let [from_name, to_name] = rest else {
+                return Err("query needs <from-node> <to-node>".into());
+            };
+            let from = netlist
+                .node_by_name(from_name)
+                .ok_or_else(|| format!("no node named {from_name:?}"))?;
+            let to = netlist
+                .node_by_name(to_name)
+                .ok_or_else(|| format!("no node named {to_name:?}"))?;
+            match Analyzer::new(&netlist).path_query(from, to, &AnalysisOptions::default()) {
+                Some(path) => {
+                    println!(
+                        "worst path {} -> {}: {:.3} ns, {} steps",
+                        from_name,
+                        to_name,
+                        path.arrival(),
+                        path.len()
+                    );
+                    print!("{}", path.display(&netlist));
+                    Ok(true)
+                }
+                None => {
+                    println!("{to_name} is not reachable from {from_name}");
+                    Ok(false)
+                }
+            }
+        }
+        "spice" => {
+            let (netlist, _) = load(&args[1..])?;
+            print!("{}", spice::write(&netlist));
+            Ok(true)
+        }
+        "demo" => {
+            let dp = nmos_tv::gen::datapath::datapath(
+                Tech::nmos4um(),
+                nmos_tv::gen::datapath::DatapathConfig::mips32(),
+            );
+            let report = Analyzer::new(&dp.netlist).run(&AnalysisOptions::default());
+            print!("{}", report.render(&dp.netlist));
+            Ok(true)
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// Loads the `.sim` file named by the first argument; returns the netlist
+/// and the remaining arguments.
+fn load(args: &[String]) -> Result<(Netlist, &[String]), String> {
+    let path = args.first().ok_or("missing <file.sim>")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let netlist =
+        sim_format::parse(&text, Tech::nmos4um()).map_err(|e| format!("parse {path}: {e}"))?;
+    Ok((netlist, &args[1..]))
+}
+
+fn parse_options(args: &[String]) -> Result<AnalysisOptions, String> {
+    let mut options = AnalysisOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--no-case" => options.case_analysis = false,
+            "--cycle" => {
+                let v = it.next().ok_or("--cycle needs a value")?;
+                let cycle: f64 = v.parse().map_err(|_| format!("bad cycle {v:?}"))?;
+                options.clock = TwoPhaseClock::symmetric(cycle, cycle * 0.02);
+            }
+            "--model" => {
+                let v = it.next().ok_or("--model needs a value")?;
+                options.model = match v.as_str() {
+                    "lumped" => DelayModel::Lumped,
+                    "elmore" => DelayModel::Elmore,
+                    "upper" => DelayModel::UpperBound,
+                    other => return Err(format!("unknown model {other:?}")),
+                };
+            }
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                options.top_k = v.parse().map_err(|_| format!("bad top-k {v:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(options)
+}

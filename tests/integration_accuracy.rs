@@ -1,0 +1,130 @@
+//! Static-vs-simulated accuracy: the T1 contract, verified in CI on a
+//! fast subset. The full table lives in the `report` binary.
+
+use nmos_tv::core::{AnalysisOptions, Analyzer};
+use nmos_tv::gen::chains;
+use nmos_tv::netlist::Tech;
+use nmos_tv::rc::bounds::crossing_bounds;
+use nmos_tv::rc::tree::RcTree;
+use nmos_tv::sim::{measure, SimOptions, Simulator, Stimulus, Waveform};
+
+/// Static rise-arrival at the output vs measured 50% delay on an
+/// input-rising transfer.
+fn static_vs_sim(circuit: &nmos_tv::gen::Circuit, falls: bool) -> (f64, f64) {
+    let tech = Tech::nmos4um();
+    let nl = &circuit.netlist;
+    let report = Analyzer::new(nl).run(&AnalysisOptions::default());
+    let est = if falls {
+        report.combinational.arrivals.fall(circuit.output)
+    } else {
+        report.combinational.arrivals.rise(circuit.output)
+    }
+    .expect("reachable");
+
+    let mut stim = Stimulus::new(nl);
+    stim.drive(circuit.input, Waveform::step_up(1.0, tech.vdd));
+    if let Some(en) = nl.node_by_name("en") {
+        stim.drive(en, Waveform::Const(tech.vdd));
+    }
+    let result = Simulator::new(nl, stim, SimOptions::for_duration(60.0)).run();
+    let sim = measure::delay_50(&result, circuit.input, circuit.output, &tech)
+        .expect("output switches");
+    (est, sim)
+}
+
+#[test]
+fn inverter_chain_estimate_is_conservative_and_tight() {
+    let c = chains::inverter_chain(Tech::nmos4um(), 4, 1);
+    let (est, sim) = static_vs_sim(&c, false);
+    let ratio = est / sim;
+    assert!(
+        (1.0..1.5).contains(&ratio),
+        "estimate {est} vs sim {sim} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn loaded_inverter_estimate_matches_closely() {
+    let c = chains::loaded_inverter(Tech::nmos4um(), 0.2);
+    let (est, sim) = static_vs_sim(&c, true);
+    let ratio = est / sim;
+    assert!(
+        (0.9..1.25).contains(&ratio),
+        "estimate {est} vs sim {sim} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn pass_chain_estimate_is_conservative() {
+    let c = chains::pass_chain(Tech::nmos4um(), 3);
+    let (est, sim) = static_vs_sim(&c, false);
+    assert!(
+        est >= sim,
+        "pass-chain estimate {est} must not be optimistic vs {sim}"
+    );
+    assert!(est < 4.0 * sim, "but not absurd: {est} vs {sim}");
+}
+
+#[test]
+fn certified_bounds_bracket_simulated_single_stage() {
+    // Build the RC picture of a loaded inverter's fall by hand and check
+    // the certified bounds bracket the simulated crossing.
+    let tech = Tech::nmos4um();
+    let c = chains::loaded_inverter(tech.clone(), 0.3);
+    let nl = &c.netlist;
+
+    let mut stim = Stimulus::new(nl);
+    stim.drive(c.input, Waveform::step_up(1.0, tech.vdd));
+    let result = Simulator::new(nl, stim, SimOptions::for_duration(60.0)).run();
+    let sim = measure::delay_50(&result, c.input, c.output, &tech).expect("falls");
+
+    // Fall path: pull-down R with the full node capacitance. The shipped
+    // technology resistances carry a deliberate ~8% conservatism margin
+    // (see `Tech::nmos4um`), so strip it to recover the physically
+    // calibrated resistance the bounds are certified for.
+    let margin = 26.0 / 24.0;
+    let r_pd = tech.channel_resistance(2.0 * tech.min_size(), tech.min_size()) / margin;
+    let mut t = RcTree::new(r_pd);
+    t.add_cap(t.root(), nl.node_cap(c.output));
+    let b = crossing_bounds(&t, t.root(), 0.5);
+    assert!(
+        b.contains(sim),
+        "simulated {sim} outside certified [{}, {}]",
+        b.lower,
+        b.upper
+    );
+}
+
+#[test]
+fn simulated_rise_fall_asymmetry_matches_static_prediction() {
+    let tech = Tech::nmos4um();
+    let c = chains::loaded_inverter(tech.clone(), 0.3);
+    let nl = &c.netlist;
+
+    // Static r/f prediction from arrivals.
+    let report = Analyzer::new(nl).run(&AnalysisOptions::default());
+    let static_rise = report.combinational.arrivals.rise(c.output).unwrap();
+    let static_fall = report.combinational.arrivals.fall(c.output).unwrap();
+
+    // Simulated r/f.
+    let sim_fall = {
+        let mut stim = Stimulus::new(nl);
+        stim.drive(c.input, Waveform::step_up(1.0, tech.vdd));
+        let r = Simulator::new(nl, stim, SimOptions::for_duration(60.0)).run();
+        measure::delay_50(&r, c.input, c.output, &tech).unwrap()
+    };
+    let sim_rise = {
+        let mut stim = Stimulus::new(nl);
+        stim.drive(c.input, Waveform::step_down(1.0, tech.vdd));
+        let r = Simulator::new(nl, stim, SimOptions::for_duration(60.0)).run();
+        measure::delay_50(&r, c.input, c.output, &tech).unwrap()
+    };
+
+    let static_asym = static_rise / static_fall;
+    let sim_asym = sim_rise / sim_fall;
+    let err = (static_asym - sim_asym).abs() / sim_asym;
+    assert!(
+        err < 0.2,
+        "asymmetry mismatch: static {static_asym:.2} vs sim {sim_asym:.2}"
+    );
+}

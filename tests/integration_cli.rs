@@ -1,0 +1,175 @@
+//! End-to-end tests of the `tv` command-line binary, driving it exactly
+//! as a user would: on `.sim` files from disk.
+
+use std::process::Command;
+
+fn tv() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tv"))
+}
+
+/// A small two-phase circuit with known properties: an input buffered
+/// through a φ1 latch and a φ2 latch to an output, with two (deliberate)
+/// 8:1 ratio violations.
+const LATCH_SIM: &str = "| tiny two-phase latch chain
+i d
+k phi1 0
+k phi2 1
+e d VDD x 4 8
+d x VDD x 8 4
+e phi1 x m 4 4
+e m GND qb 4 8
+d qb VDD qb 8 4
+e phi2 qb q2 4 4
+e q2 GND out 4 8
+d out VDD out 8 4
+o out
+C out 100
+";
+
+fn write_sim() -> tempfile::NamedTempPath {
+    tempfile::NamedTempPath::new(LATCH_SIM)
+}
+
+/// Minimal self-cleaning temp file (no external crate needed).
+mod tempfile {
+    pub struct NamedTempPath(std::path::PathBuf);
+    impl NamedTempPath {
+        pub fn new(contents: &str) -> Self {
+            let mut path = std::env::temp_dir();
+            path.push(format!(
+                "tv-test-{}-{}.sim",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .expect("clock")
+                    .as_nanos()
+            ));
+            std::fs::write(&path, contents).expect("write temp file");
+            NamedTempPath(path)
+        }
+        pub fn path(&self) -> &std::path::Path {
+            &self.0
+        }
+    }
+    impl Drop for NamedTempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+#[test]
+fn analyze_reports_and_exits_dirty_on_violations() {
+    let f = write_sim();
+    let out = tv().arg("analyze").arg(f.path()).output().expect("run tv");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("TV timing report"), "{text}");
+    assert!(text.contains("minimum cycle"));
+    assert!(text.contains("ratio violation"));
+    // Electrical issues => exit status 2.
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn check_lists_the_ratio_violations() {
+    let f = write_sim();
+    let out = tv().arg("check").arg(f.path()).output().expect("run tv");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.matches("ratio violation").count(), 2, "{text}");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn flow_exits_clean_when_everything_resolves() {
+    let f = write_sim();
+    let out = tv().arg("flow").arg(f.path()).output().expect("run tv");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("100.0% coverage"), "{text}");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn query_prints_a_path_with_arrivals() {
+    let f = write_sim();
+    let out = tv()
+        .args(["query"])
+        .arg(f.path())
+        .args(["d", "out"])
+        .output()
+        .expect("run tv");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("worst path d -> out"), "{text}");
+    assert!(text.lines().count() >= 4);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn query_unreachable_exits_dirty() {
+    let f = write_sim();
+    let out = tv()
+        .args(["query"])
+        .arg(f.path())
+        .args(["out", "d"])
+        .output()
+        .expect("run tv");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("not reachable"), "{text}");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn spice_emits_a_deck() {
+    let f = write_sim();
+    let out = tv().arg("spice").arg(f.path()).output().expect("run tv");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(".model ENH NMOS"));
+    assert!(text.trim_end().ends_with(".end"));
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn bad_usage_exits_one_with_usage_text() {
+    let out = tv().output().expect("run tv");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+
+    let out = tv().args(["frobnicate"]).output().expect("run tv");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn missing_file_is_a_usage_error() {
+    let out = tv()
+        .args(["analyze", "/nonexistent/definitely.sim"])
+        .output()
+        .expect("run tv");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn analyze_flags_are_honored() {
+    let f = write_sim();
+    // A 1 ns cycle cannot be met: slack goes negative, exit stays 2.
+    let out = tv()
+        .args(["analyze"])
+        .arg(f.path())
+        .args(["--cycle", "1.0", "--top", "2", "--model", "lumped"])
+        .output()
+        .expect("run tv");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("slack -"), "{text}");
+    assert_eq!(out.status.code(), Some(2));
+
+    // --no-case suppresses the per-phase sections.
+    let out = tv()
+        .args(["analyze"])
+        .arg(f.path())
+        .args(["--no-case"])
+        .output()
+        .expect("run tv");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("phase 1:"), "{text}");
+}

@@ -1,0 +1,290 @@
+//! Property-based tests over the core data structures and invariants,
+//! using `proptest` to generate random RC trees, netlists, and clock
+//! schemes.
+
+use nmos_tv::core::{AnalysisOptions, Analyzer};
+use nmos_tv::flow::{analyze, Direction, DeviceRole, RuleSet};
+use nmos_tv::gen::random::{random_logic, RandomMix};
+use nmos_tv::netlist::{sim_format, Tech};
+use nmos_tv::rc::bounds::crossing_bounds_all;
+use nmos_tv::rc::elmore::{crossing_estimate, elmore_delays};
+use nmos_tv::rc::lumped::lumped_tau;
+use nmos_tv::rc::passchain::{buffered_chain_delay, chain_elmore};
+use nmos_tv::rc::tree::RcTree;
+use proptest::prelude::*;
+
+/// A random RC tree described by (parent index into previous nodes, r, c)
+/// triples; node 0 is the root.
+fn arb_rc_tree() -> impl Strategy<Value = RcTree> {
+    let edge = (0.01f64..50.0, 0.0005f64..2.0);
+    (0.01f64..50.0, 0.0005f64..2.0, prop::collection::vec(edge, 0..24)).prop_map(
+        |(driver_r, root_c, edges)| {
+            let mut tree = RcTree::new(driver_r);
+            tree.add_cap(tree.root(), root_c);
+            let mut ids = vec![tree.root()];
+            for (i, (r, c)) in edges.into_iter().enumerate() {
+                // Deterministic, varied parent selection over existing nodes.
+                let parent = ids[(i * 7 + 3) % ids.len()];
+                ids.push(tree.add_child(parent, r, c));
+            }
+            tree
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn elmore_is_monotone_along_every_path(tree in arb_rc_tree()) {
+        let d = elmore_delays(&tree);
+        for id in tree.ids() {
+            if let Some(p) = tree.parent(id) {
+                prop_assert!(d[id.index()] >= d[p.index()] - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_bracket_single_pole_estimate(tree in arb_rc_tree(), x in 0.05f64..0.95) {
+        let elmore = elmore_delays(&tree);
+        for (i, b) in crossing_bounds_all(&tree, x).iter().enumerate() {
+            let est = crossing_estimate(elmore[i], x);
+            prop_assert!(b.lower <= est + 1e-9, "lower {} > est {}", b.lower, est);
+            prop_assert!(est <= b.upper + 1e-9, "est {} > upper {}", est, b.upper);
+        }
+    }
+
+    #[test]
+    fn moment_matched_estimate_respects_certified_bounds(
+        tree in arb_rc_tree(),
+        x in 0.1f64..0.9,
+    ) {
+        use nmos_tv::rc::moments::moment_matched_crossings;
+        let matched = moment_matched_crossings(&tree, x);
+        for (i, b) in crossing_bounds_all(&tree, x).iter().enumerate() {
+            prop_assert!(
+                matched[i] <= b.upper + 1e-6,
+                "matched {} above certified upper {}",
+                matched[i],
+                b.upper
+            );
+            prop_assert!(matched[i] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn subtree_caps_conserve_total(tree in arb_rc_tree()) {
+        let sub = tree.subtree_caps();
+        let total: f64 = tree.ids().map(|i| tree.cap(i)).sum();
+        prop_assert!((sub[0] - total).abs() < 1e-9);
+        prop_assert!((tree.total_cap() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lumped_never_exceeds_elmore_at_leaves(tree in arb_rc_tree()) {
+        // Lumped tau (driver R × total C) is a lower bound on the Elmore
+        // delay of the far end of any chain hanging off the driver.
+        let d = elmore_delays(&tree);
+        let worst = d.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(lumped_tau(&tree) <= worst + 1e-9);
+    }
+
+    #[test]
+    fn chain_formula_matches_tree_everywhere(
+        rd in 0.1f64..40.0,
+        r in 0.1f64..40.0,
+        c in 0.001f64..1.0,
+        n in 1usize..20,
+    ) {
+        let mut tree = RcTree::new(rd);
+        let mut last = tree.root();
+        for _ in 0..n {
+            last = tree.add_child(last, r, c);
+        }
+        let formula = chain_elmore(rd, r, c, n);
+        let direct = elmore_delays(&tree)[last.index()];
+        prop_assert!((formula - direct).abs() < 1e-6 * formula.max(1.0));
+    }
+
+    #[test]
+    fn buffering_never_loses_to_raw_on_long_chains(
+        r in 1.0f64..40.0,
+        c in 0.01f64..0.5,
+        t_buf in 0.1f64..5.0,
+    ) {
+        // At the optimal interval, a 64-section buffered chain never loses
+        // to the raw quadratic chain.
+        let k = nmos_tv::rc::passchain::optimal_buffer_interval(r, c, t_buf);
+        let raw = chain_elmore(0.0, r, c, 64);
+        let buffered = buffered_chain_delay(0.0, r, c, t_buf, 64, k);
+        prop_assert!(buffered <= raw + 1e-9);
+    }
+
+    #[test]
+    fn random_netlists_analyze_cleanly(seed in 0u64..500, size in 50usize..400) {
+        let circuit = random_logic(Tech::nmos4um(), size, seed, RandomMix::default());
+        let nl = &circuit.netlist;
+
+        // Flow invariants: every pass device gets exactly one disposition.
+        let flow = analyze(nl, &RuleSet::all());
+        let report = flow.report(nl);
+        prop_assert_eq!(
+            report.oriented + report.bidirectional + report.unresolved,
+            report.pass_devices
+        );
+        prop_assert_eq!(
+            report.by_external + report.by_restored + report.by_chain + report.by_sink,
+            report.oriented
+        );
+
+        // Oriented directions point at actual channel terminals.
+        for dref in nl.devices() {
+            if let Direction::Toward(dst) = flow.direction(dref.id) {
+                prop_assert!(dref.device.channel_touches(dst));
+            }
+            if flow.device_role(dref.id) != DeviceRole::Pass {
+                prop_assert!(flow.direction(dref.id) != Direction::Unresolved
+                    || flow.device_role(dref.id) == DeviceRole::Pass);
+            }
+        }
+
+        // The analyzer terminates and arrivals are non-negative.
+        let timing = Analyzer::new(nl).run(&AnalysisOptions::default());
+        for id in nl.node_ids() {
+            if let Some(t) = timing.combinational.arrival(id) {
+                prop_assert!(t >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sim_format_round_trips_random_netlists(seed in 0u64..200) {
+        let circuit = random_logic(Tech::nmos4um(), 150, seed, RandomMix::default());
+        let text = sim_format::write(&circuit.netlist);
+        let back = sim_format::parse(&text, Tech::nmos4um()).expect("parse");
+        prop_assert_eq!(back.device_count(), circuit.netlist.device_count());
+        prop_assert_eq!(back.node_count(), circuit.netlist.node_count());
+        // Capacitance totals survive (gate/diffusion re-derived, extras kept).
+        let c1 = circuit.netlist.total_capacitance();
+        let c2 = back.total_capacitance();
+        prop_assert!((c1 - c2).abs() < 1e-9 * c1.max(1.0));
+    }
+
+    #[test]
+    fn two_phase_windows_partition_the_cycle(
+        w1 in 0.5f64..50.0,
+        w2 in 0.5f64..50.0,
+        gap in 0.1f64..5.0,
+    ) {
+        let clk = nmos_tv::clocks::TwoPhaseClock::new(w1, w2, gap);
+        let (s1, e1) = clk.window(0);
+        let (s2, e2) = clk.window(1);
+        prop_assert!(s1 < e1 && e1 <= s2 && s2 < e2 && e2 <= clk.cycle());
+        prop_assert!((clk.cycle() - (w1 + w2 + 2.0 * gap)).abs() < 1e-9);
+        // Scaling to a larger cycle preserves the ratio.
+        let scaled = clk.with_cycle(clk.cycle() * 2.0);
+        prop_assert!((scaled.width(0) / scaled.width(1) - w1 / w2).abs() < 1e-6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Cross-engine validation: on random restoring logic (no pass muxes or
+    // latches, so values are strictly determined), the switch-level and
+    // analog simulators must agree at every node.
+    #[test]
+    fn switch_level_agrees_with_analog_on_random_logic(
+        seed in 0u64..100,
+        inputs_high in 0u32..256,
+    ) {
+        use nmos_tv::gen::random::{random_logic, RandomMix};
+        use nmos_tv::sim::switch::{Level, SwitchSim};
+        use nmos_tv::sim::{SimOptions, Simulator, Stimulus, Waveform};
+
+        let mix = RandomMix {
+            inverter: 0.5,
+            nand: 0.3,
+            nor: 0.2,
+            pass_mux: 0.0,
+            latch: 0.0,
+        };
+        let tech = Tech::nmos4um();
+        let c = random_logic(tech.clone(), 60, seed, mix);
+        let nl = &c.netlist;
+
+        // Switch level.
+        let mut sw = SwitchSim::new(nl);
+        let input_nodes = nl.inputs();
+        for (i, &n) in input_nodes.iter().enumerate() {
+            let high = (inputs_high >> i) & 1 == 1;
+            sw.set(n, if high { Level::One } else { Level::Zero });
+        }
+        for (clk, _) in nl.clocks() {
+            sw.set(clk, Level::Zero);
+        }
+        sw.settle().expect("restoring logic settles");
+
+        // Analog, same input vector, settled DC.
+        let mut stim = Stimulus::new(nl);
+        for (i, &n) in input_nodes.iter().enumerate() {
+            let high = (inputs_high >> i) & 1 == 1;
+            stim.drive(n, Waveform::Const(if high { tech.vdd } else { 0.0 }));
+        }
+        // Clock node exists but gates nothing in this mix; hold it low.
+        for (clk, _) in nl.clocks() {
+            stim.drive(clk, Waveform::Const(0.0));
+        }
+        let mut opts = SimOptions::for_duration(1.0);
+        opts.settle = 400.0;
+        let r = Simulator::new(nl, stim, opts).run();
+
+        let flow = analyze(nl, &RuleSet::all());
+        for id in nl.node_ids() {
+            if nl.node(id).role().is_rail() {
+                continue;
+            }
+            let v = r.final_voltages()[id.index()];
+            let analog = if v > tech.switch_voltage() { Level::One } else { Level::Zero };
+            match sw.value(id) {
+                // X is legitimate only on isolated interior nodes (e.g.
+                // the series node of a NAND whose legs are all off); a
+                // restored stage output must always resolve and agree.
+                Level::X => prop_assert_ne!(
+                    flow.node_class(id),
+                    nmos_tv::flow::NodeClass::Restored,
+                    "restored node {} is X",
+                    nl.node(id).name()
+                ),
+                switchv => prop_assert_eq!(
+                    switchv,
+                    analog,
+                    "node {} (analog {} V)",
+                    nl.node(id).name(),
+                    v
+                ),
+            }
+        }
+    }
+
+    // The simulator is expensive; a handful of random cases suffices to
+    // guard the static-conservatism contract.
+    #[test]
+    fn static_estimate_not_wildly_optimistic_on_random_inverter_trees(
+        stages in 2usize..5,
+        fanout in 1usize..3,
+    ) {
+        use nmos_tv::gen::chains::inverter_chain;
+        use nmos_tv::sim::{measure, SimOptions, Simulator, Stimulus, Waveform};
+        let tech = Tech::nmos4um();
+        let c = inverter_chain(tech.clone(), 2 * stages, fanout);
+        let report = Analyzer::new(&c.netlist).run(&AnalysisOptions::default());
+        let est = report.combinational.arrivals.rise(c.output).expect("rises");
+
+        let mut stim = Stimulus::new(&c.netlist);
+        stim.drive(c.input, Waveform::step_up(1.0, tech.vdd));
+        let r = Simulator::new(&c.netlist, stim, SimOptions::for_duration(60.0)).run();
+        let sim = measure::delay_50(&r, c.input, c.output, &tech).expect("switches");
+        prop_assert!(est >= 0.9 * sim, "estimate {} vs sim {}", est, sim);
+        prop_assert!(est <= 2.0 * sim, "estimate {} vs sim {}", est, sim);
+    }
+}

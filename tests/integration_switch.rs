@@ -1,0 +1,246 @@
+//! Functional verification of the circuit generators with the
+//! switch-level simulator: the generated netlists must *compute*, not
+//! just elaborate. (The analog engine cross-checks a subset of this in
+//! `examples/functional_sim.rs`; switch level is fast enough to be
+//! exhaustive here.)
+
+use nmos_tv::gen::manchester::manchester_adder;
+use nmos_tv::gen::regfile::register_file;
+use nmos_tv::gen::shifter::barrel_shifter;
+use nmos_tv::netlist::{Netlist, NodeId, Tech};
+use nmos_tv::sim::switch::{Level, SwitchSim};
+
+fn level(bit: bool) -> Level {
+    if bit {
+        Level::One
+    } else {
+        Level::Zero
+    }
+}
+
+fn node(nl: &Netlist, name: &str) -> NodeId {
+    nl.node_by_name(name).unwrap_or_else(|| panic!("node {name}"))
+}
+
+#[test]
+fn manchester_adder_adds_exhaustively_at_switch_level() {
+    let width = 4;
+    let m = manchester_adder(Tech::nmos4um(), width, 0);
+    let nl = &m.netlist;
+    let mut sim = SwitchSim::new(nl);
+
+    for a_val in 0..(1u32 << width) {
+        for b_val in 0..(1u32 << width) {
+            for cin in 0..2u32 {
+                for i in 0..width {
+                    sim.set(node(nl, &format!("a{i}")), level((a_val >> i) & 1 == 1));
+                    sim.set(node(nl, &format!("b{i}")), level((b_val >> i) & 1 == 1));
+                }
+                // Chain entry pin is active-low carry-in.
+                sim.set(node(nl, "cin"), level(cin == 0));
+
+                // Precharge phase.
+                sim.set(m.phi1, Level::Zero);
+                sim.set(m.phi2, Level::One);
+                sim.settle().expect("precharge settles");
+                // Evaluate phase.
+                sim.set(m.phi2, Level::Zero);
+                sim.set(m.phi1, Level::One);
+                sim.settle().expect("evaluation settles");
+
+                let mut got = 0u32;
+                for (i, &s) in m.sums.iter().enumerate() {
+                    match sim.value(s) {
+                        Level::One => got |= 1 << i,
+                        Level::Zero => {}
+                        Level::X => panic!("sum bit {i} is X for {a_val}+{b_val}+{cin}"),
+                    }
+                }
+                let expect = (a_val + b_val + cin) & ((1 << width) - 1);
+                assert_eq!(
+                    got, expect,
+                    "{a_val:04b} + {b_val:04b} + {cin} gave {got:04b}, want {expect:04b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn barrel_shifter_routes_each_amount() {
+    let (width, amounts) = (8usize, 4usize);
+    let c = barrel_shifter(Tech::nmos4um(), width, amounts);
+    let nl = &c.netlist;
+    let mut sim = SwitchSim::new(nl);
+
+    // A recognizable pattern.
+    let pattern = 0b1011_0010u32;
+    for i in 0..width {
+        sim.set(node(nl, &format!("in{i}")), level((pattern >> i) & 1 == 1));
+    }
+    for s in 0..amounts {
+        // One-hot select.
+        for k in 0..amounts {
+            sim.set(node(nl, &format!("sh{k}")), level(k == s));
+        }
+        sim.settle().expect("shifter settles");
+        for j in 0..width {
+            // The data plane is inverted once by the drivers and once by
+            // the receivers: q_j = in_{(j+s) mod width}.
+            let expect = (pattern >> ((j + s) % width)) & 1 == 1;
+            let got = sim.value(node(nl, &format!("q{j}")));
+            assert_eq!(
+                got,
+                level(expect),
+                "shift {s}, output bit {j}: got {got:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn register_file_writes_and_reads_back() {
+    let (regs, width) = (2usize, 4usize);
+    let c = register_file(Tech::nmos4um(), regs, width);
+    let nl = &c.netlist;
+    let mut sim = SwitchSim::new(nl);
+    let phi1 = node(nl, "phi1");
+    let phi2 = node(nl, "phi2");
+
+    let value = 0b1010u32;
+    // Drive write data; enable register 1; others quiet.
+    for i in 0..width {
+        sim.set(node(nl, &format!("w{i}")), level((value >> i) & 1 == 1));
+    }
+    sim.set(node(nl, "we0"), Level::Zero);
+    sim.set(node(nl, "we1"), Level::One);
+    for r in 0..regs {
+        sim.set(node(nl, &format!("rd{r}")), Level::Zero);
+    }
+
+    // φ1: the qualified write clock samples into register 1's masters.
+    sim.set(phi2, Level::Zero);
+    sim.set(phi1, Level::One);
+    sim.settle().expect("write phase settles");
+    // φ2: master → slave.
+    sim.set(phi1, Level::Zero);
+    sim.set(phi2, Level::One);
+    sim.settle().expect("transfer phase settles");
+
+    // Read register 1 onto the bus (clocks idle — reads are unclocked).
+    sim.set(phi2, Level::Zero);
+    sim.set(node(nl, "rd1"), Level::One);
+    sim.settle().expect("read settles");
+
+    for i in 0..width {
+        // Two latch inversions cancel; the bus receiver inverts once:
+        // q_i = NOT stored = NOT w_i… trace the polarity from structure:
+        // master stores w̅ on its mem, restores to w at q… each dynamic
+        // latch inverts once (pass + inverter), so after master+slave the
+        // stored q equals w; the bus receiver inverts: out = w̅.
+        let got = sim.value(node(nl, &format!("q{i}")));
+        let expect = level((value >> i) & 1 == 0);
+        assert_eq!(got, expect, "bit {i}: got {got:?}");
+    }
+}
+
+#[test]
+fn datapath_executes_a_full_register_transfer() {
+    // Drive the complete loop of the MIPS-class datapath functionally:
+    // an external operand goes through the ALU (NAND with the idle
+    // all-ones bus A), through the shifter, over the writeback bus into
+    // register 0; a later read puts the stored value back on bus A.
+    use nmos_tv::gen::datapath::{datapath, DatapathConfig};
+    let dp = datapath(Tech::nmos4um(), DatapathConfig::small());
+    let nl = &dp.netlist;
+    let width = dp.config.width;
+    let mut sim = SwitchSim::new(nl);
+
+    let ext_val = 0b0110u32;
+
+    // Control setup: external operand onto bus B, NAND op, shift by 0,
+    // write enable register 0, no reads yet.
+    for i in 0..width {
+        sim.set(dp.ext[i], level((ext_val >> i) & 1 == 1));
+    }
+    sim.set(node(nl, "use_ext"), Level::One);
+    sim.set(node(nl, "op_add"), Level::Zero);
+    sim.set(node(nl, "op_nand"), Level::One);
+    sim.set(node(nl, "op_nor"), Level::Zero);
+    sim.set(node(nl, "cin"), Level::Zero);
+    sim.set(node(nl, "sh0"), Level::One);
+    for s in 1..dp.config.shift_amounts {
+        sim.set(node(nl, &format!("sh{s}")), Level::Zero);
+    }
+    sim.set(node(nl, "we0"), Level::One);
+    for r in 1..dp.config.regs {
+        sim.set(node(nl, &format!("we{r}")), Level::Zero);
+    }
+    for r in 0..dp.config.regs {
+        sim.set(node(nl, &format!("rdA{r}")), Level::Zero);
+        sim.set(node(nl, &format!("rdB{r}")), Level::Zero);
+    }
+
+    // φ2: precharge the buses.
+    sim.set(dp.phi1, Level::Zero);
+    sim.set(dp.phi2, Level::One);
+    sim.settle().expect("precharge settles");
+
+    // φ1: evaluate and write back. Bus A idles precharged-high (all
+    // ones), so the ALU computes NAND(1, ext) = NOT ext per bit, and the
+    // writeback lines carry that result into register 0's masters.
+    sim.set(dp.phi2, Level::Zero);
+    sim.set(dp.phi1, Level::One);
+    sim.settle().expect("evaluation settles");
+    for i in 0..width {
+        let wb = sim.value(dp.writeback[i]);
+        let expect = level((ext_val >> i) & 1 == 0); // NOT ext
+        assert_eq!(wb, expect, "writeback bit {i}");
+    }
+
+    // φ2: master → slave; buses precharge again.
+    sim.set(dp.phi1, Level::Zero);
+    sim.set(dp.phi2, Level::One);
+    sim.settle().expect("transfer settles");
+
+    // Idle clocks, then read register 0 onto bus A and check the stored
+    // value (two latch inversions cancel: q equals the written value).
+    sim.set(dp.phi2, Level::Zero);
+    sim.set(node(nl, "rdA0"), Level::One);
+    sim.settle().expect("read settles");
+    for i in 0..width {
+        let bus = sim.value(node(nl, &format!("busA{i}")));
+        let expect = level((ext_val >> i) & 1 == 0); // stored NOT ext
+        assert_eq!(bus, expect, "bus A bit {i} after readback");
+    }
+}
+
+#[test]
+fn switch_and_analog_engines_agree_on_an_inverter_chain() {
+    use nmos_tv::gen::chains::inverter_chain;
+    use nmos_tv::sim::{SimOptions, Simulator, Stimulus, Waveform};
+
+    let c = inverter_chain(Tech::nmos4um(), 3, 1);
+    let nl = &c.netlist;
+
+    // Switch level.
+    let mut sw = SwitchSim::new(nl);
+    sw.set(c.input, Level::One);
+    sw.settle().unwrap();
+    let sw_out = sw.value(c.output);
+
+    // Analog.
+    let tech = Tech::nmos4um();
+    let mut stim = Stimulus::new(nl);
+    stim.drive(c.input, Waveform::Const(tech.vdd));
+    let r = Simulator::new(nl, stim, SimOptions::for_duration(10.0)).run();
+    let v = r.final_voltages()[c.output.index()];
+    let analog_out = if v > tech.switch_voltage() {
+        Level::One
+    } else {
+        Level::Zero
+    };
+
+    assert_eq!(sw_out, analog_out);
+    assert_eq!(sw_out, Level::Zero, "three inversions of 1");
+}
