@@ -1,40 +1,26 @@
 //! A3 timing side: analysis cost of the adder architectures.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use tv_bench::harness::bench;
 use tv_core::{AnalysisOptions, Analyzer};
 use tv_gen::adder::ripple_carry_adder;
 use tv_gen::manchester::manchester_adder;
 use tv_netlist::Tech;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let tech = Tech::nmos4um();
-    let mut group = c.benchmark_group("a3_adders");
-    group.sample_size(20);
     for width in [8usize, 32] {
         let ripple = ripple_carry_adder(tech.clone(), width);
-        group.bench_with_input(
-            BenchmarkId::new("ripple", width),
-            &ripple.netlist,
-            |b, nl| {
-                b.iter(|| {
-                    black_box(Analyzer::new(nl).run(&AnalysisOptions::default()).checks.len())
-                })
-            },
-        );
+        bench(&format!("a3_adders/ripple/{width}"), 20, || {
+            Analyzer::new(&ripple.netlist)
+                .run(&AnalysisOptions::default())
+                .checks
+                .len()
+        });
         let manch = manchester_adder(tech.clone(), width, 4);
-        group.bench_with_input(
-            BenchmarkId::new("manchester", width),
-            &manch.netlist,
-            |b, nl| {
-                b.iter(|| {
-                    black_box(Analyzer::new(nl).run(&AnalysisOptions::default()).min_cycle)
-                })
-            },
-        );
+        bench(&format!("a3_adders/manchester/{width}"), 20, || {
+            Analyzer::new(&manch.netlist)
+                .run(&AnalysisOptions::default())
+                .min_cycle
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

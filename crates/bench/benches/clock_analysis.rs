@@ -1,33 +1,23 @@
 //! T4: case analysis vs naive single-case analysis.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use tv_bench::harness::bench;
 use tv_core::{AnalysisOptions, Analyzer};
 use tv_gen::datapath::{datapath, DatapathConfig};
 use tv_netlist::Tech;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let tech = Tech::nmos4um();
     let dp = datapath(tech, DatapathConfig::small());
-    let mut group = c.benchmark_group("t4_clock");
-    group.bench_function("case_analysis", |b| {
-        b.iter(|| {
-            let r = Analyzer::new(&dp.netlist).run(&AnalysisOptions::default());
-            black_box(r.min_cycle)
-        })
+    bench("t4_clock/case_analysis", 20, || {
+        Analyzer::new(&dp.netlist)
+            .run(&AnalysisOptions::default())
+            .min_cycle
     });
-    group.bench_function("naive", |b| {
-        let opts = AnalysisOptions {
-            case_analysis: false,
-            ..AnalysisOptions::default()
-        };
-        b.iter(|| {
-            let r = Analyzer::new(&dp.netlist).run(&opts);
-            black_box(r.combinational.cyclic)
-        })
+    let naive = AnalysisOptions {
+        case_analysis: false,
+        ..AnalysisOptions::default()
+    };
+    bench("t4_clock/naive", 20, || {
+        Analyzer::new(&dp.netlist).run(&naive).combinational.cyclic
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,29 +1,21 @@
 //! T3: full analysis + path extraction on the MIPS-class datapath.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use tv_bench::harness::bench;
 use tv_core::{AnalysisOptions, Analyzer};
 use tv_gen::datapath::{datapath, DatapathConfig};
 use tv_netlist::Tech;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let tech = Tech::nmos4um();
-    let mut group = c.benchmark_group("t3_critical_paths");
-    group.sample_size(10);
     for (name, config) in [
         ("datapath-4", DatapathConfig::small()),
         ("datapath-32", DatapathConfig::mips32()),
     ] {
         let dp = datapath(tech.clone(), config);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &dp.netlist, |b, nl| {
-            b.iter(|| {
-                let r = Analyzer::new(nl).run(&AnalysisOptions::default());
-                black_box(r.min_cycle)
-            })
+        bench(&format!("t3_critical_paths/{name}"), 10, || {
+            Analyzer::new(&dp.netlist)
+                .run(&AnalysisOptions::default())
+                .min_cycle
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

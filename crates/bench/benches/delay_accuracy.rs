@@ -1,24 +1,22 @@
 //! T1 timing side: how long the static analysis of the calibration suite
 //! takes (the simulation reference is exercised by the report binary).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use tv_bench::harness::bench;
 use tv_core::{AnalysisOptions, Analyzer};
 use tv_gen::workload::t1_suite;
 use tv_netlist::Tech;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let tech = Tech::nmos4um();
     let suite = t1_suite(&tech);
-    c.bench_function("t1_static_suite", |b| {
-        b.iter(|| {
-            for item in &suite {
-                let r = Analyzer::new(&item.circuit.netlist).run(&AnalysisOptions::default());
-                black_box(r.arrival(item.circuit.output));
-            }
-        })
+    bench("t1_static_suite", 20, || {
+        suite
+            .iter()
+            .filter_map(|item| {
+                Analyzer::new(&item.circuit.netlist)
+                    .run(&AnalysisOptions::default())
+                    .arrival(item.circuit.output)
+            })
+            .count()
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,23 +1,15 @@
 //! T2 timing side: direction-resolution fixpoint throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use tv_bench::harness::bench;
 use tv_flow::RuleSet;
 use tv_gen::workload::t2_suite;
 use tv_netlist::Tech;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let tech = Tech::nmos4um();
-    let mut group = c.benchmark_group("t2_flow");
     for item in t2_suite(&tech) {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(item.name),
-            &item.circuit.netlist,
-            |b, nl| b.iter(|| black_box(tv_flow::analyze(nl, &RuleSet::all()).sweeps())),
-        );
+        bench(&format!("t2_flow/{}", item.name), 50, || {
+            tv_flow::analyze(&item.circuit.netlist, &RuleSet::all()).sweeps()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

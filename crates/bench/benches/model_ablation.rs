@@ -1,33 +1,24 @@
 //! A1 timing side: cost of each delay model on the datapath.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use tv_bench::harness::bench;
 use tv_core::{AnalysisOptions, Analyzer, DelayModel};
 use tv_gen::datapath::{datapath, DatapathConfig};
 use tv_netlist::Tech;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let tech = Tech::nmos4um();
     let dp = datapath(tech, DatapathConfig::small());
-    let mut group = c.benchmark_group("a1_models");
     for (name, model) in [
         ("lumped", DelayModel::Lumped),
         ("elmore", DelayModel::Elmore),
         ("upper", DelayModel::UpperBound),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, &model| {
-            let opts = AnalysisOptions {
-                model,
-                ..AnalysisOptions::default()
-            };
-            b.iter(|| {
-                let r = Analyzer::new(&dp.netlist).run(&opts);
-                black_box(r.min_cycle)
-            })
+        let opts = AnalysisOptions {
+            model,
+            ..AnalysisOptions::default()
+        };
+        bench(&format!("a1_models/{name}"), 20, || {
+            Analyzer::new(&dp.netlist).run(&opts).min_cycle
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,29 +1,18 @@
 //! F1 timing side: analysis cost across pass-chain lengths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use tv_bench::harness::bench;
 use tv_core::{AnalysisOptions, Analyzer};
 use tv_gen::chains::pass_chain;
 use tv_netlist::Tech;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let tech = Tech::nmos4um();
-    let mut group = c.benchmark_group("f1_pass_chain");
     for n in [2usize, 4, 8, 16] {
         let circuit = pass_chain(tech.clone(), n);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n),
-            &circuit,
-            |b, circuit| {
-                b.iter(|| {
-                    let r = Analyzer::new(&circuit.netlist).run(&AnalysisOptions::default());
-                    black_box(r.arrival(circuit.output))
-                })
-            },
-        );
+        bench(&format!("f1_pass_chain/{n}"), 50, || {
+            Analyzer::new(&circuit.netlist)
+                .run(&AnalysisOptions::default())
+                .arrival(circuit.output)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

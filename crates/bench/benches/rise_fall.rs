@@ -1,29 +1,18 @@
 //! F2 timing side: analysis cost across inverter loads (flat by design).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use tv_bench::harness::bench;
 use tv_core::{AnalysisOptions, Analyzer};
 use tv_gen::chains::loaded_inverter;
 use tv_netlist::Tech;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let tech = Tech::nmos4um();
-    let mut group = c.benchmark_group("f2_rise_fall");
     for load in [0.05f64, 0.5, 2.0] {
         let circuit = loaded_inverter(tech.clone(), load);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{load}pF")),
-            &circuit,
-            |b, circuit| {
-                b.iter(|| {
-                    let r = Analyzer::new(&circuit.netlist).run(&AnalysisOptions::default());
-                    black_box(r.arrival(circuit.output))
-                })
-            },
-        );
+        bench(&format!("f2_rise_fall/{load}pF"), 50, || {
+            Analyzer::new(&circuit.netlist)
+                .run(&AnalysisOptions::default())
+                .arrival(circuit.output)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

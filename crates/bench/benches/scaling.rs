@@ -1,31 +1,25 @@
 //! T5: analyzer runtime vs circuit size (the paper's practicality claim).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+use tv_bench::harness::bench;
 use tv_core::{AnalysisOptions, Analyzer};
 use tv_gen::random::{random_logic, RandomMix};
 use tv_netlist::Tech;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let tech = Tech::nmos4um();
-    let mut group = c.benchmark_group("t5_scaling");
-    group.sample_size(10);
     for target in [400usize, 1_600, 6_400, 25_600] {
         let circuit = random_logic(tech.clone(), target, 0xC0FFEE, RandomMix::default());
-        group.throughput(Throughput::Elements(circuit.netlist.device_count() as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(target),
-            &circuit.netlist,
-            |b, nl| {
-                b.iter(|| {
-                    let r = Analyzer::new(nl).run(&AnalysisOptions::default());
-                    black_box(r.flow_report.devices)
-                })
-            },
+        let devices = circuit.netlist.device_count();
+        let s = bench(&format!("t5_scaling/{target}"), 10, || {
+            Analyzer::new(&circuit.netlist)
+                .run(&AnalysisOptions::default())
+                .flow_report
+                .devices
+        });
+        println!(
+            "{:<40} throughput {:>10.1} devices/ms",
+            format!("t5_scaling/{target}"),
+            devices as f64 / s.median_ms
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Regenerates every table and figure of `EXPERIMENTS.md`.
 //!
-//! Usage: `cargo run --release -p tv-bench --bin report [t1|t2|t3|t4|t5|t6|f1|f2|f3|a1|a2|a3|all]`
+//! Usage: `cargo run --release -p tv-bench --bin report [t1|t2|t3|t4|t5|t6|f1|f2|f3|a1|a2|a3|p1|all]`
 //!
 //! With no argument, prints everything (`all`). Simulation-backed columns
 //! (T1, F1, F2, A1) take a few seconds each in release mode.
@@ -48,6 +48,30 @@ fn main() {
     }
     if all || which == "t6" {
         print_t6();
+    }
+    if all || which == "p1" {
+        print_p1(&tech);
+    }
+}
+
+fn print_p1(tech: &Tech) {
+    println!("\n== P1: parallel scaling of the levelized engine ==");
+    let rows = experiments::parallel_scaling(tech, DatapathConfig::mips32(), &[1, 2, 4, 8], 7);
+    let base = rows[0].clone();
+    println!(
+        "{:>5} {:>12} {:>14} {:>12} {:>9} {:>9}",
+        "jobs", "build (ms)", "propagate (ms)", "total (ms)", "wall", "modeled"
+    );
+    for row in &rows {
+        println!(
+            "{:>5} {:>12.3} {:>14.3} {:>12.3} {:>8.2}x {:>8.2}x",
+            row.jobs,
+            row.build_ms,
+            row.propagate_ms,
+            row.total_ms(),
+            row.speedup_over(&base),
+            row.modeled_speedup,
+        );
     }
 }
 
@@ -142,7 +166,10 @@ fn print_t4(tech: &Tech) {
             "unexpectedly acyclic"
         }
     );
-    println!("{:>10} {:>12} {:>12} {:>9}", "cycle", "slack φ1", "slack φ2", "feasible");
+    println!(
+        "{:>10} {:>12} {:>12} {:>9}",
+        "cycle", "slack φ1", "slack φ2", "feasible"
+    );
     for row in &r.rows {
         println!(
             "{:>10.1} {:>12.3} {:>12.3} {:>9}",
@@ -250,11 +277,17 @@ fn print_a1(tech: &Tech) {
 
 fn print_t6() {
     println!("\n== T6: first-order process scaling (4 µm -> 2 µm) ==");
-    println!("{:>14} {:>12} {:>12} {:>9}", "circuit", "4um (ns)", "2um (ns)", "speedup");
+    println!(
+        "{:>14} {:>12} {:>12} {:>9}",
+        "circuit", "4um (ns)", "2um (ns)", "speedup"
+    );
     for r in t6_process_scaling(DatapathConfig::small()) {
         println!(
             "{:>14} {:>12.3} {:>12.3} {:>8.2}x",
-            r.name, r.nmos4_ns, r.nmos2_ns, r.speedup()
+            r.name,
+            r.nmos4_ns,
+            r.nmos2_ns,
+            r.speedup()
         );
     }
     println!("(self-loaded logic gains ~2x; wire-loaded structures gain less)");

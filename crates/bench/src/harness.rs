@@ -1,0 +1,78 @@
+//! A minimal std-only benchmark harness.
+//!
+//! The original seed used Criterion, which cannot be resolved in an
+//! offline build; the tables in `EXPERIMENTS.md` only need stable
+//! medians, which this harness provides with zero dependencies. Each
+//! `[[bench]]` target stays `harness = false` and drives this module from
+//! its own `main`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark's timing summary, in milliseconds.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark label.
+    pub name: String,
+    /// Fastest iteration, ms.
+    pub min_ms: f64,
+    /// Median iteration, ms.
+    pub median_ms: f64,
+    /// Mean iteration, ms.
+    pub mean_ms: f64,
+    /// Number of timed iterations.
+    pub iters: usize,
+}
+
+impl Sample {
+    /// Renders the row the way the bench binaries print it.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<40} median {:>10.3} ms  (min {:>10.3}, mean {:>10.3}, n={})",
+            self.name, self.median_ms, self.min_ms, self.mean_ms, self.iters
+        )
+    }
+}
+
+/// Times `f` for `iters` iterations after one untimed warm-up run, and
+/// prints the summary row. The closure's result is passed through
+/// [`black_box`] so the measured work cannot be optimized away.
+pub fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> Sample {
+    let iters = iters.max(1);
+    black_box(f());
+    let mut times: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let sample = Sample {
+        name: name.to_owned(),
+        min_ms: times[0],
+        median_ms: times[times.len() / 2],
+        mean_ms: times.iter().sum::<f64>() / times.len() as f64,
+        iters,
+    };
+    println!("{}", sample.row());
+    sample
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_requested_iterations() {
+        let s = bench("noop", 5, || 1 + 1);
+        assert_eq!(s.iters, 5);
+        assert!(s.min_ms <= s.median_ms);
+        assert!(s.median_ms >= 0.0);
+    }
+
+    #[test]
+    fn zero_iters_is_clamped() {
+        let s = bench("clamped", 0, || ());
+        assert_eq!(s.iters, 1);
+    }
+}

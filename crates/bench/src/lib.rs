@@ -1,11 +1,12 @@
 //! Shared experiment harness: every table and figure of `EXPERIMENTS.md`
 //! is computed by a function here, used both by the `report` binary (which
-//! prints the tables) and the Criterion benches (which time the analysis
-//! side).
+//! prints the tables) and the std-only benches (which time the analysis
+//! side with [`harness`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 
 pub use experiments::*;

@@ -1,6 +1,6 @@
 //! Latch identification: the phase boundaries of the timing graph.
 
-use tv_flow::{Direction, DeviceRole, FlowAnalysis, NodeClass};
+use tv_flow::{DeviceRole, Direction, FlowAnalysis, NodeClass};
 use tv_netlist::{DeviceId, Netlist, NodeId};
 
 use crate::qualify::Qualification;

@@ -11,8 +11,8 @@
 //! data.
 
 use tv_flow::{DeviceRole, FlowAnalysis};
-use tv_netlist::{Netlist, NodeId};
 use tv_netlist::NodeRole;
+use tv_netlist::{Netlist, NodeId};
 
 /// The qualification state of one node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

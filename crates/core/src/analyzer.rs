@@ -9,9 +9,10 @@ use tv_netlist::{Netlist, NodeId, NodeRole};
 use crate::checks::{check_electrical, CheckIssue};
 use crate::graph::{PhaseCase, TimingGraph};
 use crate::hold::{race_check, RaceHazard};
+use crate::incremental::IncrementalCache;
 use crate::options::AnalysisOptions;
 use crate::paths::{critical_paths, TimingPath};
-use crate::propagate::{propagate, PhaseResult};
+use crate::propagate::{propagate, propagate_with, PhaseResult};
 
 /// Assumed driver resistance of primary inputs, kΩ (a strong pad driver).
 pub const SOURCE_RESISTANCE: f64 = 1.0;
@@ -87,115 +88,197 @@ impl<'a> Analyzer<'a> {
 
     /// Runs flow analysis, clock recovery, per-phase timing, path
     /// extraction, and electrical checks.
+    ///
+    /// With [`AnalysisOptions::jobs`] above one, graph construction and
+    /// the levelized propagation fan out across threads (bit-identical
+    /// results). With [`AnalysisOptions::incremental`] set, a transient
+    /// [`IncrementalCache`] lets later cases of this run reuse the clean
+    /// cones of earlier ones; hold a cache across runs with
+    /// [`Analyzer::run_incremental`] to also reuse work after a netlist
+    /// edit.
     pub fn run(&self, options: &AnalysisOptions) -> TimingReport {
-        let nl = self.netlist;
-        let flow = tv_flow::analyze(nl, &options.rules);
-        let qual = qualify_with_flow(nl, &flow);
-        let latches = find_latches(nl, &flow, &qual);
-        let flow_report = flow.report(nl);
-        let census = flow.census();
-
-        // Combinational view: everything active, external sources.
-        let comb_graph = TimingGraph::build(
-            nl,
-            &flow,
-            &qual,
-            PhaseCase::all_active(),
-            options.model,
-            SOURCE_RESISTANCE,
-        );
-        let comb_sources = external_sources(nl);
-        let comb_endpoints = endpoints_or_all(nl, nl.outputs());
-        let combinational = propagate(nl, &comb_graph, &comb_sources, &comb_endpoints, &options.slope);
-        let combinational_paths = critical_paths(&comb_graph, &combinational, options.top_k);
-
-        // Per-phase case analysis.
-        let mut phases = Vec::new();
-        let has_clocks = !nl.clocks().is_empty();
-        if options.case_analysis && has_clocks {
-            for p in 0..2u8 {
-                phases.push(self.run_phase(p, &flow, &qual, &latches, options));
-            }
-        }
-
-        let min_cycle = if phases.len() == 2 {
-            let a0 = phases[0].result.critical_arrival().unwrap_or(0.0);
-            let a1 = phases[1].result.critical_arrival().unwrap_or(0.0);
-            Some(ClockConstraints::new(options.clock).min_cycle(a0, a1))
+        if options.incremental {
+            let mut cache = IncrementalCache::new();
+            run_report(self.netlist, options, Some(&mut cache))
         } else {
-            None
-        };
-
-        let checks = check_electrical(nl, &flow, &qual);
-
-        TimingReport {
-            flow_report,
-            census,
-            combinational,
-            combinational_paths,
-            phases,
-            latches,
-            checks,
-            min_cycle,
+            run_report(self.netlist, options, None)
         }
     }
 
-    fn run_phase(
+    /// [`Analyzer::run`] against a caller-held [`IncrementalCache`]:
+    /// only the forward cone of whatever changed since the cache's last
+    /// run is recomputed. The report is bit-identical to a cold
+    /// [`Analyzer::run`].
+    pub fn run_incremental(
         &self,
-        phase: u8,
-        flow: &FlowAnalysis,
-        qual: &[tv_clocks::Qualification],
-        latches: &[Latch],
         options: &AnalysisOptions,
-    ) -> PhaseAnalysis {
-        let nl = self.netlist;
-        let graph = TimingGraph::build(
-            nl,
-            flow,
-            qual,
-            PhaseCase::phase(phase),
-            options.model,
-            SOURCE_RESISTANCE,
-        );
+        cache: &mut IncrementalCache,
+    ) -> TimingReport {
+        run_report(self.netlist, options, Some(cache))
+    }
+}
 
-        // Sources: primary inputs, this phase's clocks, and the storage
-        // nodes written during the *other* phase (stable now).
-        let mut sources = Vec::new();
-        for id in nl.node_ids() {
-            match nl.node(id).role() {
-                NodeRole::Input => sources.push(id),
-                NodeRole::Clock(p) if p == phase => sources.push(id),
-                _ => {}
-            }
-        }
-        for l in latches {
-            if l.phase != phase {
-                sources.push(l.storage);
-            }
-        }
+/// The shared pipeline behind [`Analyzer::run`] and
+/// [`Analyzer::run_incremental`].
+fn run_report(
+    nl: &Netlist,
+    options: &AnalysisOptions,
+    mut cache: Option<&mut IncrementalCache>,
+) -> TimingReport {
+    let jobs = options.effective_jobs();
+    if let Some(c) = cache.as_deref_mut() {
+        c.begin_run(options);
+    }
+    let flow = tv_flow::analyze(nl, &options.rules);
+    let qual = qualify_with_flow(nl, &flow);
+    let latches = find_latches(nl, &flow, &qual);
+    let flow_report = flow.report(nl);
+    let census = flow.census();
 
-        // Endpoints: storage captured this phase, plus primary outputs.
-        let mut endpoints: Vec<NodeId> = latches
-            .iter()
-            .filter(|l| l.phase == phase)
-            .map(|l| l.storage)
-            .collect();
-        endpoints.extend(nl.outputs());
+    // Combinational view: everything active, external sources.
+    let comb_graph = TimingGraph::build_par(
+        nl,
+        &flow,
+        &qual,
+        PhaseCase::all_active(),
+        options.model,
+        SOURCE_RESISTANCE,
+        jobs,
+    );
+    let comb_sources = external_sources(nl);
+    let comb_endpoints = endpoints_or_all(nl, nl.outputs());
+    let combinational = run_case(
+        nl,
+        &comb_graph,
+        &comb_sources,
+        &comb_endpoints,
+        options,
+        jobs,
+        &mut cache,
+    );
+    let combinational_paths = critical_paths(&comb_graph, &combinational, options.top_k);
 
-        let result = propagate(nl, &graph, &sources, &endpoints, &options.slope);
-        let paths = critical_paths(&graph, &result, options.top_k);
-        let slack = result
-            .critical_arrival()
-            .map(|a| options.clock.width(phase) - a);
-        let races = race_check(nl, &graph, latches, phase);
-        PhaseAnalysis {
-            phase,
-            arcs: graph.arc_count(),
-            result,
-            paths,
-            slack,
-            races,
+    // Per-phase case analysis.
+    let mut phases = Vec::new();
+    let has_clocks = !nl.clocks().is_empty();
+    if options.case_analysis && has_clocks {
+        for p in 0..2u8 {
+            phases.push(run_phase(
+                nl, p, &flow, &qual, &latches, options, jobs, &mut cache,
+            ));
         }
+    }
+
+    let min_cycle = if phases.len() == 2 {
+        let a0 = phases[0].result.critical_arrival().unwrap_or(0.0);
+        let a1 = phases[1].result.critical_arrival().unwrap_or(0.0);
+        Some(ClockConstraints::new(options.clock).min_cycle(a0, a1))
+    } else {
+        None
+    };
+
+    let checks = check_electrical(nl, &flow, &qual);
+
+    TimingReport {
+        flow_report,
+        census,
+        combinational,
+        combinational_paths,
+        phases,
+        latches,
+        checks,
+        min_cycle,
+    }
+}
+
+/// Dispatches one case's propagation to the cache (incremental) or the
+/// plain engine.
+fn run_case(
+    nl: &Netlist,
+    graph: &TimingGraph,
+    sources: &[NodeId],
+    endpoints: &[NodeId],
+    options: &AnalysisOptions,
+    jobs: usize,
+    cache: &mut Option<&mut IncrementalCache>,
+) -> PhaseResult {
+    match cache {
+        Some(c) => c.propagate_case(nl, graph, sources, endpoints, &options.slope, jobs),
+        None => propagate_with(nl, graph, sources, endpoints, &options.slope, jobs),
+    }
+}
+
+/// Sources for phase `p`: primary inputs, this phase's clocks, and the
+/// storage nodes written during the *other* phase (stable now).
+///
+/// Public so harnesses (the bench crate's `parallel_scaling` experiment)
+/// can drive the propagation engine with exactly the analyzer's case
+/// setup.
+pub fn phase_sources(nl: &Netlist, latches: &[Latch], phase: u8) -> Vec<NodeId> {
+    let mut sources = Vec::new();
+    for id in nl.node_ids() {
+        match nl.node(id).role() {
+            NodeRole::Input => sources.push(id),
+            NodeRole::Clock(p) if p == phase => sources.push(id),
+            _ => {}
+        }
+    }
+    for l in latches {
+        if l.phase != phase {
+            sources.push(l.storage);
+        }
+    }
+    sources
+}
+
+/// Endpoints for phase `p`: storage captured this phase, plus primary
+/// outputs.
+pub fn phase_endpoints(nl: &Netlist, latches: &[Latch], phase: u8) -> Vec<NodeId> {
+    let mut endpoints: Vec<NodeId> = latches
+        .iter()
+        .filter(|l| l.phase == phase)
+        .map(|l| l.storage)
+        .collect();
+    endpoints.extend(nl.outputs());
+    endpoints
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    nl: &Netlist,
+    phase: u8,
+    flow: &FlowAnalysis,
+    qual: &[tv_clocks::Qualification],
+    latches: &[Latch],
+    options: &AnalysisOptions,
+    jobs: usize,
+    cache: &mut Option<&mut IncrementalCache>,
+) -> PhaseAnalysis {
+    let graph = TimingGraph::build_par(
+        nl,
+        flow,
+        qual,
+        PhaseCase::phase(phase),
+        options.model,
+        SOURCE_RESISTANCE,
+        jobs,
+    );
+    let sources = phase_sources(nl, latches, phase);
+    let endpoints = phase_endpoints(nl, latches, phase);
+
+    let result = run_case(nl, &graph, &sources, &endpoints, options, jobs, cache);
+    let paths = critical_paths(&graph, &result, options.top_k);
+    let slack = result
+        .critical_arrival()
+        .map(|a| options.clock.width(phase) - a);
+    let races = race_check(nl, &graph, latches, phase);
+    PhaseAnalysis {
+        phase,
+        arcs: graph.arc_count(),
+        result,
+        paths,
+        slack,
+        races,
     }
 }
 
@@ -227,7 +310,9 @@ impl<'a> Analyzer<'a> {
     }
 }
 
-fn external_sources(netlist: &Netlist) -> Vec<NodeId> {
+/// Sources of the combinational (everything-active) case: primary inputs
+/// and all clock nodes. Public for the same reason as [`phase_sources`].
+pub fn external_sources(netlist: &Netlist) -> Vec<NodeId> {
     netlist
         .node_ids()
         .filter(|&id| {
@@ -334,11 +419,13 @@ mod tests {
         let analyzer = Analyzer::new(nl);
         let opts = AnalysisOptions::default();
         // From the middle to the output: a 3-stage path.
-        let p = analyzer.path_query(mid, c.output, &opts).expect("reachable");
+        let p = analyzer
+            .path_query(mid, c.output, &opts)
+            .expect("reachable");
         assert_eq!(p.steps.first().map(|s| s.node), Some(mid));
         assert_eq!(p.endpoint(), c.output);
         assert_eq!(p.len(), 4); // mid + 3 remaining stages
-        // Reverse direction: unreachable.
+                                // Reverse direction: unreachable.
         assert!(analyzer.path_query(c.output, mid, &opts).is_none());
     }
 

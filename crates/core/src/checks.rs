@@ -10,8 +10,8 @@
 
 use std::fmt;
 
-use tv_clocks::qualify::{Qualification};
-use tv_flow::{Direction, DeviceRole, FlowAnalysis, NodeClass};
+use tv_clocks::qualify::Qualification;
+use tv_flow::{DeviceRole, Direction, FlowAnalysis, NodeClass};
 use tv_netlist::{DeviceId, Netlist, NodeId};
 
 use crate::graph::{pull_down_resistance, pull_up_resistance};
@@ -87,7 +87,9 @@ impl CheckIssue {
 impl fmt::Display for CheckIssue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CheckIssue::RatioViolation { ratio, required, .. } => {
+            CheckIssue::RatioViolation {
+                ratio, required, ..
+            } => {
                 write!(f, "ratio violation ({ratio:.2} < {required})")
             }
             CheckIssue::ChargeSharing { .. } => write!(f, "charge sharing hazard"),

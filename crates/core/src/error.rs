@@ -1,0 +1,84 @@
+//! Typed errors for user-reachable operations.
+//!
+//! Everything a user can trigger from outside — bad CLI input, an
+//! unreadable or malformed `.sim` file, a query against a node that does
+//! not exist, a transformation request the netlist cannot satisfy —
+//! surfaces as a [`TvError`] so `tv` exits with a diagnostic instead of
+//! panicking. Internal invariants (worker joins, schedule bookkeeping)
+//! remain `expect`s: violating them is a bug, not an input problem.
+
+use std::fmt;
+
+/// An error from a user-reachable TV operation.
+#[derive(Debug)]
+pub enum TvError {
+    /// A file could not be read.
+    Io {
+        /// The path given by the user.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A `.sim` netlist failed to parse.
+    Parse {
+        /// The path given by the user.
+        path: String,
+        /// The parser's diagnostic.
+        message: String,
+    },
+    /// A node name that does not exist in the netlist.
+    UnknownNode(String),
+    /// A command-line usage problem (unknown flag, missing or malformed
+    /// value).
+    Usage(String),
+    /// A netlist transformation could not produce a valid netlist.
+    Netlist(String),
+    /// An argument outside the operation's domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TvError::Io { path, source } => write!(f, "cannot read {path}: {source}"),
+            TvError::Parse { path, message } => write!(f, "parse {path}: {message}"),
+            TvError::UnknownNode(name) => write!(f, "no node named {name:?}"),
+            TvError::Usage(msg) => write!(f, "{msg}"),
+            TvError::Netlist(msg) => write!(f, "netlist edit failed: {msg}"),
+            TvError::InvalidArgument(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TvError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_diagnostic() {
+        let e = TvError::UnknownNode("alu_out".into());
+        assert_eq!(e.to_string(), "no node named \"alu_out\"");
+        let e = TvError::Usage("--jobs needs a value".into());
+        assert_eq!(e.to_string(), "--jobs needs a value");
+    }
+
+    #[test]
+    fn io_error_keeps_source() {
+        use std::error::Error;
+        let e = TvError::Io {
+            path: "x.sim".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("x.sim"));
+    }
+}

@@ -19,7 +19,7 @@
 //! the lumped and certified-upper-bound models for the A1 ablation.
 
 use tv_clocks::qualify::Qualification;
-use tv_flow::{Direction, DeviceRole, FlowAnalysis};
+use tv_flow::{DeviceRole, Direction, FlowAnalysis};
 use tv_netlist::{DeviceId, Netlist, NodeId, NodeRole};
 use tv_rc::elmore::{crossing_estimate, elmore_delays};
 use tv_rc::tree::RcTree;
@@ -86,6 +86,80 @@ impl PhaseCase {
     }
 }
 
+/// Topological level schedule of a timing graph, computed once at build
+/// time and consumed by the levelized propagation engine.
+///
+/// Nodes whose every ancestor is acyclic are assigned a **level** (their
+/// longest-path depth from the in-degree-0 frontier); `order` lists them
+/// level-major, ascending node index within a level, so the schedule is a
+/// pure function of the arc set. Nodes on or downstream of a
+/// combinational cycle never drain in Kahn's algorithm and land in
+/// `residue`; the engine finishes those with the budgeted serial
+/// worklist that also provides cycle detection.
+#[derive(Debug, Clone)]
+pub struct LevelSchedule {
+    /// Leveled node indices, level-major; within a level, ascending.
+    pub order: Vec<u32>,
+    /// Level boundaries: level `l` is `order[level_starts[l] as usize ..
+    /// level_starts[l + 1] as usize]`. Always has `levels() + 1` entries.
+    pub level_starts: Vec<u32>,
+    /// Node indices that could not be leveled (on or downstream of a
+    /// cycle), ascending.
+    pub residue: Vec<u32>,
+}
+
+impl LevelSchedule {
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.level_starts.len().saturating_sub(1)
+    }
+
+    /// The node indices of level `l`.
+    pub fn level(&self, l: usize) -> &[u32] {
+        &self.order[self.level_starts[l] as usize..self.level_starts[l + 1] as usize]
+    }
+
+    fn build(node_count: usize, arcs: &[Arc], out_arcs: &[Vec<u32>]) -> Self {
+        let mut indeg = vec![0u32; node_count];
+        for a in arcs {
+            indeg[a.to.index()] += 1;
+        }
+        let mut order: Vec<u32> = Vec::with_capacity(node_count);
+        let mut level_starts = vec![0u32];
+        let mut frontier: Vec<u32> = (0..node_count as u32)
+            .filter(|&i| indeg[i as usize] == 0)
+            .collect();
+        while !frontier.is_empty() {
+            order.extend_from_slice(&frontier);
+            level_starts.push(order.len() as u32);
+            let mut next = Vec::new();
+            for &nidx in &frontier {
+                for &ai in &out_arcs[nidx as usize] {
+                    let t = arcs[ai as usize].to.index();
+                    indeg[t] -= 1;
+                    if indeg[t] == 0 {
+                        next.push(t as u32);
+                    }
+                }
+            }
+            next.sort_unstable();
+            frontier = next;
+        }
+        let mut leveled = vec![false; node_count];
+        for &i in &order {
+            leveled[i as usize] = true;
+        }
+        let residue = (0..node_count as u32)
+            .filter(|&i| !leveled[i as usize])
+            .collect();
+        LevelSchedule {
+            order,
+            level_starts,
+            residue,
+        }
+    }
+}
+
 /// The timing graph for one netlist under one phase case.
 #[derive(Debug, Clone)]
 pub struct TimingGraph {
@@ -95,10 +169,23 @@ pub struct TimingGraph {
     pub out_arcs: Vec<Vec<u32>>,
     /// The phase case the graph was built for.
     pub case: PhaseCase,
+    /// CSR offsets into [`TimingGraph::in_arc_ids`]: arcs entering node
+    /// `i` are `in_arc_ids[in_starts[i] as usize..in_starts[i+1] as
+    /// usize]`, ascending by arc id.
+    pub in_starts: Vec<u32>,
+    /// Arc indices grouped by target node (see
+    /// [`TimingGraph::in_starts`]).
+    pub in_arc_ids: Vec<u32>,
+    /// Level schedule for the parallel propagation engine.
+    pub schedule: LevelSchedule,
 }
 
+/// Minimum number of stage roots before graph construction fans out
+/// across threads; below this, thread startup dominates.
+const PAR_MIN_ROOTS: usize = 64;
+
 impl TimingGraph {
-    /// Builds the graph. `qualification` comes from
+    /// Builds the graph serially. `qualification` comes from
     /// [`tv_clocks::qualify::qualify_with_flow`]; `source_resistance` is
     /// the assumed driver resistance of primary inputs (kΩ).
     pub fn build(
@@ -109,23 +196,102 @@ impl TimingGraph {
         model: DelayModel,
         source_resistance: f64,
     ) -> Self {
-        let mut builder = GraphBuilder {
+        Self::build_par(
             netlist,
             flow,
             qualification,
             case,
             model,
-            arcs: Vec::new(),
+            source_resistance,
+            1,
+        )
+    }
+
+    /// Builds the graph with up to `jobs` worker threads. Each driving
+    /// stage is an independent RC problem, so workers build disjoint root
+    /// chunks and the per-chunk arc vectors are concatenated in root
+    /// order — the resulting arc list is **identical** to the serial
+    /// build at any thread count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_par(
+        netlist: &Netlist,
+        flow: &FlowAnalysis,
+        qualification: &[Qualification],
+        case: PhaseCase,
+        model: DelayModel,
+        source_resistance: f64,
+        jobs: usize,
+    ) -> Self {
+        let builder = GraphBuilder {
+            netlist,
+            flow,
+            qualification,
+            case,
+            model,
         };
-        builder.build_all(source_resistance);
-        let mut out_arcs: Vec<Vec<u32>> = vec![Vec::new(); netlist.node_count()];
-        for (i, a) in builder.arcs.iter().enumerate() {
+        let roots = builder.roots();
+        let threads = jobs.max(1).min(roots.len().max(1));
+        let arcs: Vec<Arc> = if threads <= 1 || roots.len() < PAR_MIN_ROOTS {
+            let mut arcs = Vec::new();
+            for r in &roots {
+                builder.build_root(r, source_resistance, &mut arcs);
+            }
+            arcs
+        } else {
+            let chunk = roots.len().div_ceil(threads);
+            let parts: Vec<Vec<Arc>> = std::thread::scope(|s| {
+                let handles: Vec<_> = roots
+                    .chunks(chunk)
+                    .map(|root_chunk| {
+                        let b = &builder;
+                        s.spawn(move || {
+                            let mut arcs = Vec::new();
+                            for r in root_chunk {
+                                b.build_root(r, source_resistance, &mut arcs);
+                            }
+                            arcs
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("graph build worker panicked"))
+                    .collect()
+            });
+            let mut arcs = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+            for p in parts {
+                arcs.extend(p);
+            }
+            arcs
+        };
+
+        let n = netlist.node_count();
+        let mut out_arcs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, a) in arcs.iter().enumerate() {
             out_arcs[a.from.index()].push(i as u32);
         }
+        let mut in_starts = vec![0u32; n + 1];
+        for a in &arcs {
+            in_starts[a.to.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_starts[i + 1] += in_starts[i];
+        }
+        let mut cursor = in_starts.clone();
+        let mut in_arc_ids = vec![0u32; arcs.len()];
+        for (i, a) in arcs.iter().enumerate() {
+            let c = &mut cursor[a.to.index()];
+            in_arc_ids[*c as usize] = i as u32;
+            *c += 1;
+        }
+        let schedule = LevelSchedule::build(n, &arcs, &out_arcs);
         TimingGraph {
-            arcs: builder.arcs,
+            arcs,
             out_arcs,
             case,
+            in_starts,
+            in_arc_ids,
+            schedule,
         }
     }
 
@@ -133,6 +299,28 @@ impl TimingGraph {
     pub fn arc_count(&self) -> usize {
         self.arcs.len()
     }
+
+    /// Number of nodes the graph was built over.
+    pub fn node_count(&self) -> usize {
+        self.out_arcs.len()
+    }
+
+    /// Arc indices entering node index `i`, ascending by arc id.
+    pub fn in_arcs_of_index(&self, i: usize) -> &[u32] {
+        &self.in_arc_ids[self.in_starts[i] as usize..self.in_starts[i + 1] as usize]
+    }
+
+    /// Arc indices entering `node`, ascending by arc id.
+    pub fn in_arcs_of(&self, node: NodeId) -> &[u32] {
+        self.in_arcs_of_index(node.index())
+    }
+}
+
+/// What a graph-build root is: a driving stage output or a primary input
+/// feeding pass devices directly.
+enum RootKind {
+    Stage,
+    Source,
 }
 
 struct GraphBuilder<'a> {
@@ -141,7 +329,6 @@ struct GraphBuilder<'a> {
     qualification: &'a [Qualification],
     case: PhaseCase,
     model: DelayModel,
-    arcs: Vec<Arc>,
 }
 
 /// One node of the case-aware downstream walk.
@@ -155,16 +342,26 @@ struct WalkNode {
 }
 
 impl<'a> GraphBuilder<'a> {
-    fn build_all(&mut self, source_resistance: f64) {
+    /// The build roots in deterministic (node id) order.
+    fn roots(&self) -> Vec<(NodeId, RootKind)> {
         let nl = self.netlist;
+        let mut roots = Vec::new();
         for id in nl.node_ids() {
             if self.is_driver_node(id) {
-                self.build_stage(id);
+                roots.push((id, RootKind::Stage));
             } else if matches!(nl.node(id).role(), NodeRole::Input)
                 && has_pass_fanout(nl, self.flow, id)
             {
-                self.build_source_tree(id, source_resistance);
+                roots.push((id, RootKind::Source));
             }
+        }
+        roots
+    }
+
+    fn build_root(&self, root: &(NodeId, RootKind), source_resistance: f64, arcs: &mut Vec<Arc>) {
+        match root.1 {
+            RootKind::Stage => self.build_stage(root.0, arcs),
+            RootKind::Source => self.build_source_tree(root.0, source_resistance, arcs),
         }
     }
 
@@ -308,7 +505,7 @@ impl<'a> GraphBuilder<'a> {
     }
 
     /// Builds arcs for one driving stage rooted at `out`.
-    fn build_stage(&mut self, out: NodeId) {
+    fn build_stage(&self, out: NodeId, arcs: &mut Vec<Arc>) {
         let nl = self.netlist;
         let r_pu = pull_up_resistance(nl, self.flow, out);
         let r_pd = pull_down_resistance(nl, self.flow, out);
@@ -332,7 +529,7 @@ impl<'a> GraphBuilder<'a> {
             };
             for inp in &inputs {
                 match inp.kind {
-                    StageInputKind::PullDownGate => self.arcs.push(Arc {
+                    StageInputKind::PullDownGate => arcs.push(Arc {
                         from: inp.node,
                         to: w.node,
                         rise_delay: rise_dly,
@@ -342,7 +539,7 @@ impl<'a> GraphBuilder<'a> {
                         inverting: true,
                         kind: ArcKind::Gate,
                     }),
-                    StageInputKind::PullUpGate => self.arcs.push(Arc {
+                    StageInputKind::PullUpGate => arcs.push(Arc {
                         from: inp.node,
                         to: w.node,
                         rise_delay: rise_dly,
@@ -357,7 +554,7 @@ impl<'a> GraphBuilder<'a> {
             // Pass controls along the path: when the latest-arriving
             // control rises, the whole path conducts.
             for &ctrl in &w.controls {
-                self.arcs.push(Arc {
+                arcs.push(Arc {
                     from: ctrl,
                     to: w.node,
                     rise_delay: rise_dly,
@@ -388,7 +585,7 @@ impl<'a> GraphBuilder<'a> {
             let r_pre = nl.device(did).resistance(nl.tech());
             let (pre_rise, _, pre_tau, _) = self.tree_delays(&walk, r_pre, f64::INFINITY);
             for (i, w) in walk.iter().enumerate() {
-                self.arcs.push(Arc {
+                arcs.push(Arc {
                     from: gate,
                     to: w.node,
                     rise_delay: pre_rise[i],
@@ -404,7 +601,7 @@ impl<'a> GraphBuilder<'a> {
 
     /// Builds pass-data arcs from a primary input that feeds pass devices
     /// directly (no on-chip driver stage).
-    fn build_source_tree(&mut self, source: NodeId, source_resistance: f64) {
+    fn build_source_tree(&self, source: NodeId, source_resistance: f64, arcs: &mut Vec<Arc>) {
         let walk = self.walk_downstream(source);
         if walk.len() <= 1 {
             return;
@@ -417,7 +614,7 @@ impl<'a> GraphBuilder<'a> {
             } else {
                 rise_d[i]
             };
-            self.arcs.push(Arc {
+            arcs.push(Arc {
                 from: source,
                 to: w.node,
                 rise_delay: rise_dly,
@@ -428,7 +625,7 @@ impl<'a> GraphBuilder<'a> {
                 kind: ArcKind::PassData,
             });
             for &ctrl in &w.controls {
-                self.arcs.push(Arc {
+                arcs.push(Arc {
                     from: ctrl,
                     to: w.node,
                     rise_delay: rise_dly,
@@ -642,8 +839,10 @@ mod tests {
         assert!(d(s1) > d(s0));
         assert!(d(s2) > d(s1));
         // Control arcs from `en` exist for downstream nodes.
-        assert!(g.arcs.iter().any(|x| x.from == en && x.to == s2
-            && x.kind == ArcKind::PassControl));
+        assert!(g
+            .arcs
+            .iter()
+            .any(|x| x.from == en && x.to == s2 && x.kind == ArcKind::PassControl));
     }
 
     #[test]
@@ -785,6 +984,109 @@ mod tests {
             .unwrap()
             .fall_delay;
         assert!((d0 - d1).abs() < 1e-12, "lumped ignores tree position");
+    }
+
+    #[test]
+    fn schedule_levels_follow_chain_topology() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let x = b.node("x");
+        let y = b.node("y");
+        let z = b.output("z");
+        b.inverter("i1", a, x);
+        b.inverter("i2", x, y);
+        b.inverter("i3", y, z);
+        let nl = b.finish().unwrap();
+        let (g, _) = graph_for(&nl, PhaseCase::all_active());
+        let s = &g.schedule;
+        assert!(s.residue.is_empty(), "chain is acyclic");
+        assert_eq!(
+            s.order.len(),
+            nl.node_count(),
+            "every node gets a level in an acyclic graph"
+        );
+        let level_of = |n: NodeId| {
+            (0..s.levels())
+                .find(|&l| s.level(l).contains(&(n.index() as u32)))
+                .expect("leveled")
+        };
+        assert!(level_of(a) < level_of(x));
+        assert!(level_of(x) < level_of(y));
+        assert!(level_of(y) < level_of(z));
+    }
+
+    #[test]
+    fn ring_lands_in_schedule_residue() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let kick = b.input("kick");
+        let n0 = b.node("n0");
+        let n1 = b.node("n1");
+        let n2 = b.node("n2");
+        b.nand("g0", &[kick, n2], n0);
+        b.inverter("g1", n0, n1);
+        b.inverter("g2", n1, n2);
+        let nl = b.finish().unwrap();
+        let (g, _) = graph_for(&nl, PhaseCase::all_active());
+        for n in [n0, n1, n2] {
+            assert!(
+                g.schedule.residue.contains(&(n.index() as u32)),
+                "ring node {n:?} must be residue"
+            );
+        }
+        assert!(!g.schedule.residue.contains(&(kick.index() as u32)));
+    }
+
+    #[test]
+    fn in_arc_csr_matches_arcs() {
+        let dp =
+            tv_gen::datapath::datapath(Tech::nmos4um(), tv_gen::datapath::DatapathConfig::small());
+        let nl = &dp.netlist;
+        let (g, _) = graph_for(nl, PhaseCase::phase(0));
+        let mut count = 0usize;
+        for i in 0..g.node_count() {
+            let mut prev = None;
+            for &ai in g.in_arcs_of_index(i) {
+                assert_eq!(g.arcs[ai as usize].to.index(), i);
+                assert!(prev.is_none_or(|p| p < ai), "ascending arc ids");
+                prev = Some(ai);
+                count += 1;
+            }
+        }
+        assert_eq!(count, g.arc_count());
+    }
+
+    #[test]
+    fn parallel_build_bit_identical_to_serial() {
+        let circuit = tv_gen::random::random_logic(
+            Tech::nmos4um(),
+            600,
+            0xDECAF,
+            tv_gen::random::RandomMix::default(),
+        );
+        let nl = &circuit.netlist;
+        let flow = analyze(nl, &RuleSet::all());
+        let q = qualify_with_flow(nl, &flow);
+        for case in [PhaseCase::all_active(), PhaseCase::phase(0)] {
+            let serial = TimingGraph::build(nl, &flow, &q, case, DelayModel::Elmore, 1.0);
+            for jobs in [2usize, 3, 8] {
+                let par =
+                    TimingGraph::build_par(nl, &flow, &q, case, DelayModel::Elmore, 1.0, jobs);
+                assert_eq!(serial.arc_count(), par.arc_count());
+                for (a, b) in serial.arcs.iter().zip(&par.arcs) {
+                    assert_eq!(a.from, b.from);
+                    assert_eq!(a.to, b.to);
+                    assert_eq!(a.rise_delay.to_bits(), b.rise_delay.to_bits());
+                    assert_eq!(a.fall_delay.to_bits(), b.fall_delay.to_bits());
+                    assert_eq!(a.rise_tau.to_bits(), b.rise_tau.to_bits());
+                    assert_eq!(a.fall_tau.to_bits(), b.fall_tau.to_bits());
+                    assert_eq!(a.inverting, b.inverting);
+                    assert_eq!(a.kind, b.kind);
+                }
+                assert_eq!(serial.schedule.order, par.schedule.order);
+                assert_eq!(serial.schedule.level_starts, par.schedule.level_starts);
+                assert_eq!(serial.schedule.residue, par.schedule.residue);
+            }
+        }
     }
 
     #[test]

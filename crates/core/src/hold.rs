@@ -129,7 +129,7 @@ pub fn race_check(
             })
         })
         .collect();
-    hazards.sort_by(|a, b| a.min_arrival.partial_cmp(&b.min_arrival).expect("finite"));
+    hazards.sort_by(|a, b| a.min_arrival.total_cmp(&b.min_arrival));
     hazards
 }
 

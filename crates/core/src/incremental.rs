@@ -1,0 +1,409 @@
+//! Incremental invalidation: arrival memoization keyed by stage
+//! fingerprints.
+//!
+//! Each node's **fingerprint** hashes everything that determines its
+//! local evaluation: whether it is a source in the analyzed case, and
+//! for every in-arc (in arc-id order) the upstream node id, the four
+//! delay/τ words, the inversion flag, and the arc kind. By induction
+//! over topological levels, if no node in a node's ancestry changed its
+//! fingerprint between two runs, its arrival is **bit-identical** — so a
+//! re-run only needs to recompute the forward cone of fingerprint
+//! changes (the *dirty cone*) and can copy everything else from the
+//! cache. This holds against *any* cached baseline, which is what lets
+//! phase φ2 seed from phase φ1's result inside a single run: shared
+//! input cones come over for free, and only clock/latch-dependent logic
+//! is re-propagated.
+//!
+//! Invalidation rules:
+//!
+//! * a node is **dirty** when its fingerprint differs from the baseline
+//!   (or the baseline has no entry for it);
+//! * the **affected set** is the forward closure of the dirty set over
+//!   out-arcs; everything outside it is copied from the cache;
+//! * a configuration change that bypasses the graph (the slope model)
+//!   or rebuilds it wholesale (the delay model) clears the cache;
+//! * graphs with a cyclic residue always recompute — the worklist
+//!   relaxation has no per-node reuse story.
+
+use std::collections::HashMap;
+
+use tv_netlist::{Netlist, NodeId};
+use tv_rc::SlopeModel;
+
+use crate::graph::{ArcKind, TimingGraph};
+use crate::options::AnalysisOptions;
+use crate::propagate::{propagate_reuse, CachedCase, PhaseResult, Reuse};
+
+/// Reuse statistics for one analysis case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaseStats {
+    /// The case: `Some(p)` for phase `p`, `None` for all-active.
+    pub case: Option<u8>,
+    /// Nodes in the graph.
+    pub nodes: usize,
+    /// Nodes actually re-evaluated (the affected cone).
+    pub recomputed: usize,
+}
+
+impl CaseStats {
+    /// Nodes whose arrivals were copied from the cache.
+    pub fn reused(&self) -> usize {
+        self.nodes - self.recomputed
+    }
+}
+
+struct CaseEntry {
+    fingerprints: Vec<u64>,
+    cached: CachedCase,
+}
+
+/// The incremental-invalidation cache. Hold one across
+/// [`crate::Analyzer::run_incremental`] calls to make re-analysis after
+/// a netlist edit proportional to the edit's cone instead of the chip.
+#[derive(Default)]
+pub struct IncrementalCache {
+    config: Option<u64>,
+    cases: HashMap<Option<u8>, CaseEntry>,
+    stats: Vec<CaseStats>,
+}
+
+impl IncrementalCache {
+    /// An empty cache: the first run is a cold run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reuse statistics of the most recent run, one entry per case in
+    /// execution order.
+    pub fn last_stats(&self) -> &[CaseStats] {
+        &self.stats
+    }
+
+    /// Starts a run: clears per-run stats and drops every cached case if
+    /// the analysis configuration changed in a way fingerprints cannot
+    /// see.
+    pub(crate) fn begin_run(&mut self, options: &AnalysisOptions) {
+        self.stats.clear();
+        let key = config_key(options);
+        if self.config != Some(key) {
+            self.cases.clear();
+            self.config = Some(key);
+        }
+    }
+
+    /// Propagates one case, reusing every clean cone the cache can
+    /// justify, and refreshes the cache with the result.
+    pub(crate) fn propagate_case(
+        &mut self,
+        netlist: &Netlist,
+        graph: &TimingGraph,
+        sources: &[NodeId],
+        endpoints: &[NodeId],
+        slope: &SlopeModel,
+        jobs: usize,
+    ) -> PhaseResult {
+        let n = netlist.node_count();
+        let key = graph.case.active;
+        let mut is_source = vec![false; n];
+        for &s in sources {
+            is_source[s.index()] = true;
+        }
+        let fps = node_fingerprints(graph, &is_source);
+
+        // Baseline: this case's own entry if present, else any finished
+        // case in a fixed preference order (correct for any baseline).
+        let baseline = if graph.schedule.residue.is_empty() {
+            [key, Some(0), Some(1), None]
+                .into_iter()
+                .find_map(|k| self.cases.get(&k))
+        } else {
+            None
+        };
+
+        let (result, recomputed) = match baseline {
+            Some(entry) => {
+                let affected = affected_cone(graph, &fps, &entry.fingerprints);
+                let recomputed = affected.iter().filter(|&&d| d).count();
+                let reuse = Reuse {
+                    affected: &affected,
+                    cached: &entry.cached,
+                };
+                let r =
+                    propagate_reuse(netlist, graph, sources, endpoints, slope, jobs, Some(reuse));
+                (r, recomputed)
+            }
+            None => {
+                let r = propagate_reuse(netlist, graph, sources, endpoints, slope, jobs, None);
+                (r, n)
+            }
+        };
+
+        self.cases.insert(
+            key,
+            CaseEntry {
+                fingerprints: fps,
+                cached: CachedCase::from_arrivals(graph, &result.arrivals),
+            },
+        );
+        self.stats.push(CaseStats {
+            case: key,
+            nodes: n,
+            recomputed,
+        });
+        result
+    }
+}
+
+/// Dirty nodes (fingerprint mismatch vs the baseline) plus their forward
+/// closure over out-arcs.
+fn affected_cone(graph: &TimingGraph, fps: &[u64], baseline: &[u64]) -> Vec<bool> {
+    let n = fps.len();
+    let mut affected: Vec<bool> = (0..n).map(|i| baseline.get(i) != Some(&fps[i])).collect();
+    let mut stack: Vec<usize> = (0..n).filter(|&i| affected[i]).collect();
+    while let Some(i) = stack.pop() {
+        for &ai in &graph.out_arcs[i] {
+            let to = graph.arcs[ai as usize].to.index();
+            if !affected[to] {
+                affected[to] = true;
+                stack.push(to);
+            }
+        }
+    }
+    affected
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+#[inline]
+fn mix(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn arc_kind_tag(kind: ArcKind) -> u64 {
+    match kind {
+        ArcKind::Gate => 0,
+        ArcKind::BufferPull => 1,
+        ArcKind::PassData => 2,
+        ArcKind::PassControl => 3,
+        ArcKind::Precharge => 4,
+    }
+}
+
+/// Per-node stage fingerprints: everything that determines the node's
+/// local evaluation given its predecessors' arrivals.
+pub(crate) fn node_fingerprints(graph: &TimingGraph, is_source: &[bool]) -> Vec<u64> {
+    (0..graph.node_count())
+        .map(|i| {
+            let mut h = mix(FNV_OFFSET, is_source[i] as u64);
+            for &ai in graph.in_arcs_of_index(i) {
+                let a = &graph.arcs[ai as usize];
+                h = mix(h, a.from.index() as u64);
+                h = mix(h, a.rise_delay.to_bits());
+                h = mix(h, a.fall_delay.to_bits());
+                h = mix(h, a.rise_tau.to_bits());
+                h = mix(h, a.fall_tau.to_bits());
+                h = mix(h, a.inverting as u64);
+                h = mix(h, arc_kind_tag(a.kind));
+            }
+            h
+        })
+        .collect()
+}
+
+/// Configuration digest for wholesale invalidation: the slope model acts
+/// at propagation time (fingerprints cannot see it), and the delay model
+/// is folded in for cheap insurance even though arc delays carry it.
+fn config_key(options: &AnalysisOptions) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = mix(h, options.model as u64);
+    h = mix(h, options.slope.k_slope.to_bits());
+    h = mix(h, options.slope.k_transition.to_bits());
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PhaseCase;
+    use crate::options::DelayModel;
+    use tv_clocks::qualify::qualify_with_flow;
+    use tv_flow::{analyze, RuleSet};
+    use tv_netlist::{NetlistBuilder, Tech};
+
+    fn chain(n: usize) -> tv_netlist::Netlist {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let mut prev = a;
+        for i in 0..n {
+            let nx = b.node(format!("s{i}"));
+            b.inverter(format!("i{i}"), prev, nx);
+            prev = nx;
+        }
+        b.finish().unwrap()
+    }
+
+    fn graph_and_sources(nl: &tv_netlist::Netlist) -> (TimingGraph, Vec<NodeId>, Vec<NodeId>) {
+        let flow = analyze(nl, &RuleSet::all());
+        let q = qualify_with_flow(nl, &flow);
+        let g = TimingGraph::build(
+            nl,
+            &flow,
+            &q,
+            PhaseCase::all_active(),
+            DelayModel::Elmore,
+            1.0,
+        );
+        let src = vec![nl.node_by_name("a").unwrap()];
+        let eps: Vec<NodeId> = nl
+            .node_ids()
+            .filter(|&i| !nl.node(i).role().is_rail())
+            .collect();
+        (g, src, eps)
+    }
+
+    #[test]
+    fn identical_rerun_recomputes_nothing() {
+        let nl = chain(6);
+        let (g, src, eps) = graph_and_sources(&nl);
+        let slope = SlopeModel::calibrated();
+        let mut cache = IncrementalCache::new();
+        cache.begin_run(&AnalysisOptions::default());
+        let cold = cache.propagate_case(&nl, &g, &src, &eps, &slope, 1);
+        cache.begin_run(&AnalysisOptions::default());
+        let warm = cache.propagate_case(&nl, &g, &src, &eps, &slope, 1);
+        let stats = cache.last_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].recomputed, 0, "nothing changed");
+        assert_eq!(stats[0].reused(), nl.node_count());
+        for i in nl.node_ids() {
+            assert_eq!(
+                cold.arrivals.rise(i).map(f64::to_bits),
+                warm.arrivals.rise(i).map(f64::to_bits)
+            );
+            assert_eq!(
+                cold.arrivals.fall(i).map(f64::to_bits),
+                warm.arrivals.fall(i).map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn config_change_clears_cache() {
+        let nl = chain(4);
+        let (g, src, eps) = graph_and_sources(&nl);
+        let slope = SlopeModel::calibrated();
+        let mut cache = IncrementalCache::new();
+        cache.begin_run(&AnalysisOptions::default());
+        cache.propagate_case(&nl, &g, &src, &eps, &slope, 1);
+        // Different slope handling: every cached arrival is invalid.
+        let opts = AnalysisOptions {
+            slope: SlopeModel::disabled(),
+            ..AnalysisOptions::default()
+        };
+        cache.begin_run(&opts);
+        cache.propagate_case(&nl, &g, &src, &eps, &SlopeModel::disabled(), 1);
+        assert_eq!(cache.last_stats()[0].recomputed, nl.node_count());
+    }
+
+    #[test]
+    fn edit_dirties_only_downstream_cone() {
+        // Two parallel chains off separate inputs; editing one leaves the
+        // other's fingerprints (hence arrivals) untouched.
+        let build = |wide: bool| {
+            let mut b = NetlistBuilder::new(Tech::nmos4um());
+            let a = b.input("a");
+            let c = b.input("c");
+            let mut prev = a;
+            for i in 0..4 {
+                let nx = b.node(format!("sa{i}"));
+                b.inverter(format!("ia{i}"), prev, nx);
+                prev = nx;
+            }
+            let mut prev = c;
+            let mut sc1 = None;
+            for i in 0..4 {
+                let nx = b.node(format!("sc{i}"));
+                b.inverter(format!("ic{i}"), prev, nx);
+                if i == 1 {
+                    sc1 = Some(nx);
+                }
+                prev = nx;
+            }
+            if wide {
+                b.add_cap(sc1.unwrap(), 0.3).unwrap();
+            }
+            b.finish().unwrap()
+        };
+        let nl1 = build(false);
+        let nl2 = build(true);
+        let slope = SlopeModel::calibrated();
+        let mut cache = IncrementalCache::new();
+        cache.begin_run(&AnalysisOptions::default());
+        {
+            let flow = analyze(&nl1, &RuleSet::all());
+            let q = qualify_with_flow(&nl1, &flow);
+            let g = TimingGraph::build(
+                &nl1,
+                &flow,
+                &q,
+                PhaseCase::all_active(),
+                DelayModel::Elmore,
+                1.0,
+            );
+            let src = vec![
+                nl1.node_by_name("a").unwrap(),
+                nl1.node_by_name("c").unwrap(),
+            ];
+            let eps: Vec<NodeId> = nl1
+                .node_ids()
+                .filter(|&i| !nl1.node(i).role().is_rail())
+                .collect();
+            cache.propagate_case(&nl1, &g, &src, &eps, &slope, 1);
+        }
+        cache.begin_run(&AnalysisOptions::default());
+        let flow = analyze(&nl2, &RuleSet::all());
+        let q = qualify_with_flow(&nl2, &flow);
+        let g = TimingGraph::build(
+            &nl2,
+            &flow,
+            &q,
+            PhaseCase::all_active(),
+            DelayModel::Elmore,
+            1.0,
+        );
+        let src = vec![
+            nl2.node_by_name("a").unwrap(),
+            nl2.node_by_name("c").unwrap(),
+        ];
+        let eps: Vec<NodeId> = nl2
+            .node_ids()
+            .filter(|&i| !nl2.node(i).role().is_rail())
+            .collect();
+        let warm = cache.propagate_case(&nl2, &g, &src, &eps, &slope, 1);
+        let stats = cache.last_stats()[0];
+        assert!(stats.recomputed > 0, "the edited cone re-runs");
+        assert!(
+            stats.recomputed < nl2.node_count(),
+            "the untouched chain is reused ({} of {})",
+            stats.recomputed,
+            stats.nodes
+        );
+        // And the warm result equals a cold run, bit for bit.
+        let cold = crate::propagate::propagate(&nl2, &g, &src, &eps, &slope);
+        for i in nl2.node_ids() {
+            assert_eq!(
+                cold.arrivals.rise(i).map(f64::to_bits),
+                warm.arrivals.rise(i).map(f64::to_bits)
+            );
+            assert_eq!(
+                cold.arrivals.fall(i).map(f64::to_bits),
+                warm.arrivals.fall(i).map(f64::to_bits)
+            );
+        }
+    }
+}

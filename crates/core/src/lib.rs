@@ -46,19 +46,25 @@
 
 pub mod analyzer;
 pub mod checks;
+pub mod error;
 pub mod graph;
 pub mod hold;
+pub mod incremental;
 pub mod optimize;
 pub mod options;
 pub mod paths;
 pub mod propagate;
 pub mod report;
 
-pub use analyzer::{Analyzer, TimingReport};
+pub use analyzer::{
+    external_sources, phase_endpoints, phase_sources, Analyzer, TimingReport, SOURCE_RESISTANCE,
+};
 pub use checks::{check_electrical, CheckIssue};
-pub use graph::{Arc, ArcKind, PhaseCase, TimingGraph};
+pub use error::TvError;
+pub use graph::{Arc, ArcKind, LevelSchedule, PhaseCase, TimingGraph};
 pub use hold::{race_check, RaceHazard};
+pub use incremental::{CaseStats, IncrementalCache};
 pub use optimize::{buffer_long_pass_runs, BufferInsertion};
 pub use options::{AnalysisOptions, DelayModel};
 pub use paths::{PathStep, TimingPath};
-pub use propagate::{Arrivals, PhaseResult};
+pub use propagate::{propagate, propagate_with, Arrivals, PhaseResult, PAR_MIN_WIDTH};

@@ -19,8 +19,10 @@
 
 use std::collections::HashMap;
 
-use tv_flow::{Direction, DeviceRole, FlowAnalysis, NodeClass, RuleSet};
+use tv_flow::{DeviceRole, Direction, FlowAnalysis, NodeClass, RuleSet};
 use tv_netlist::{DeviceId, Netlist, NodeId};
+
+use crate::error::TvError;
 
 /// The outcome of a buffer-insertion pass.
 #[derive(Debug)]
@@ -37,11 +39,20 @@ pub struct BufferInsertion {
 /// inserting a restoring inverter pair. Bidirectional and unresolved pass
 /// devices are left untouched (buffering a bus coupler would break it).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `max_run == 0`.
-pub fn buffer_long_pass_runs(netlist: &Netlist, max_run: usize) -> BufferInsertion {
-    assert!(max_run > 0, "a run limit of zero would buffer everything");
+/// [`TvError::InvalidArgument`] if `max_run == 0` (a zero run limit
+/// would buffer everything), [`TvError::Netlist`] if the rewired netlist
+/// fails structural validation.
+pub fn buffer_long_pass_runs(
+    netlist: &Netlist,
+    max_run: usize,
+) -> Result<BufferInsertion, TvError> {
+    if max_run == 0 {
+        return Err(TvError::InvalidArgument(
+            "a run limit of zero would buffer everything".into(),
+        ));
+    }
     let flow = FlowAnalysis::run(netlist, &RuleSet::all());
 
     // Depth = number of consecutive oriented pass devices from the nearest
@@ -118,14 +129,12 @@ pub fn buffer_long_pass_runs(netlist: &Netlist, max_run: usize) -> BufferInserti
     }
 
     let inserted = sites.len();
-    let netlist = b
-        .finish()
-        .expect("buffer insertion preserves structural validity");
-    BufferInsertion {
+    let netlist = b.finish().map_err(|e| TvError::Netlist(e.to_string()))?;
+    Ok(BufferInsertion {
         netlist,
         inserted,
         sites,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -138,7 +147,7 @@ mod tests {
     #[test]
     fn short_chains_are_left_alone() {
         let c = pass_chain(Tech::nmos4um(), 3);
-        let r = buffer_long_pass_runs(&c.netlist, 4);
+        let r = buffer_long_pass_runs(&c.netlist, 4).unwrap();
         assert_eq!(r.inserted, 0);
         assert_eq!(r.netlist.device_count(), c.netlist.device_count());
     }
@@ -153,7 +162,7 @@ mod tests {
             .rise(c.output)
             .expect("reachable");
 
-        let r = buffer_long_pass_runs(&c.netlist, 3);
+        let r = buffer_long_pass_runs(&c.netlist, 3).unwrap();
         assert!(r.inserted >= 2, "expected ≥2 buffers, got {}", r.inserted);
         // 4 devices per buffer.
         assert_eq!(
@@ -177,24 +186,28 @@ mod tests {
     #[test]
     fn pass_is_idempotent() {
         let c = pass_chain(Tech::nmos4um(), 9);
-        let once = buffer_long_pass_runs(&c.netlist, 3);
-        let twice = buffer_long_pass_runs(&once.netlist, 3);
+        let once = buffer_long_pass_runs(&c.netlist, 3).unwrap();
+        let twice = buffer_long_pass_runs(&once.netlist, 3).unwrap();
         assert_eq!(twice.inserted, 0, "sites: {:?}", twice.sites);
     }
 
     #[test]
     fn sites_name_real_nodes() {
         let c = pass_chain(Tech::nmos4um(), 7);
-        let r = buffer_long_pass_runs(&c.netlist, 3);
+        let r = buffer_long_pass_runs(&c.netlist, 3).unwrap();
         for site in &r.sites {
-            assert!(c.netlist.node_by_name(site).is_some(), "unknown site {site}");
+            assert!(
+                c.netlist.node_by_name(site).is_some(),
+                "unknown site {site}"
+            );
         }
     }
 
     #[test]
-    #[should_panic(expected = "run limit of zero")]
-    fn zero_limit_panics() {
+    fn zero_limit_is_a_typed_error() {
         let c = pass_chain(Tech::nmos4um(), 2);
-        let _ = buffer_long_pass_runs(&c.netlist, 0);
+        let err = buffer_long_pass_runs(&c.netlist, 0).unwrap_err();
+        assert!(matches!(err, crate::TvError::InvalidArgument(_)));
+        assert!(err.to_string().contains("run limit of zero"));
     }
 }

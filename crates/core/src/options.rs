@@ -39,6 +39,29 @@ pub struct AnalysisOptions {
     /// Waveform-slope handling ([`SlopeModel::calibrated`] by default;
     /// [`SlopeModel::disabled`] for pure step-response analysis).
     pub slope: SlopeModel,
+    /// Worker threads for graph construction and levelized propagation.
+    /// `1` (the default) runs fully serial; `0` means "use every
+    /// available core". Results are bit-identical at any setting.
+    pub jobs: usize,
+    /// Reuse clean cones between the analysis cases of one run (and, via
+    /// [`crate::incremental::IncrementalCache`], across runs): per-node
+    /// stage fingerprints mark what changed, and only the forward cone of
+    /// dirtied nodes is recomputed. Bit-identical to a cold run.
+    pub incremental: bool,
+}
+
+impl AnalysisOptions {
+    /// Resolves the `jobs` knob: `0` expands to the machine's available
+    /// parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
 }
 
 impl Default for AnalysisOptions {
@@ -52,6 +75,8 @@ impl Default for AnalysisOptions {
             clock: TwoPhaseClock::symmetric(100.0, 2.0),
             top_k: 10,
             slope: SlopeModel::calibrated(),
+            jobs: 1,
+            incremental: false,
         }
     }
 }
@@ -67,6 +92,22 @@ mod tests {
         assert!(o.case_analysis);
         assert_eq!(o.top_k, 10);
         assert!(o.clock.cycle() > 0.0);
+        assert_eq!(o.jobs, 1, "serial by default");
+        assert!(!o.incremental);
+    }
+
+    #[test]
+    fn effective_jobs_expands_zero_to_machine_width() {
+        let o = AnalysisOptions {
+            jobs: 0,
+            ..AnalysisOptions::default()
+        };
+        assert!(o.effective_jobs() >= 1);
+        let o4 = AnalysisOptions {
+            jobs: 4,
+            ..AnalysisOptions::default()
+        };
+        assert_eq!(o4.effective_jobs(), 4);
     }
 
     #[test]

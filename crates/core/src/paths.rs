@@ -116,11 +116,7 @@ pub fn backtrack(
 }
 
 /// The `k` worst endpoint paths of a phase result, latest first.
-pub fn critical_paths(
-    graph: &TimingGraph,
-    result: &PhaseResult,
-    k: usize,
-) -> Vec<TimingPath> {
+pub fn critical_paths(graph: &TimingGraph, result: &PhaseResult, k: usize) -> Vec<TimingPath> {
     result
         .endpoints
         .iter()

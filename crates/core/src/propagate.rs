@@ -1,11 +1,31 @@
 //! Worst-case arrival-time propagation over the timing graph.
+//!
+//! # The levelized engine
+//!
+//! Propagation runs in two phases over the
+//! [`crate::graph::LevelSchedule`] the graph carries:
+//!
+//! 1. **Levels.** Every node whose ancestry is acyclic has a topological
+//!    level; all its in-arcs come from strictly earlier levels. Each
+//!    level is computed *pull*-style: a node's worst rise/fall arrival is
+//!    the maximum over its in-arcs, evaluated in ascending arc-id order.
+//!    Because the computation of one node reads only finished earlier
+//!    levels and writes only its own entry, a level can be fanned out
+//!    across [`std::thread::scope`] workers in disjoint chunks — and
+//!    because per-node evaluation order is fixed by arc id, the result is
+//!    **bit-identical** to the serial walk at any thread count.
+//! 2. **Residue.** Nodes on or downstream of a combinational cycle never
+//!    level; they are finished by the original budgeted worklist
+//!    relaxation (seeded from the already-final leveled frontier), which
+//!    reports genuine cycles via [`PhaseResult::cyclic`] exactly as the
+//!    fully serial engine did.
 
 use std::collections::VecDeque;
 
 use tv_netlist::{Netlist, NodeId};
 use tv_rc::SlopeModel;
 
-use crate::graph::{ArcKind, PhaseCase, TimingGraph};
+use crate::graph::{Arc, ArcKind, PhaseCase, TimingGraph};
 
 /// A signal transition direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -125,19 +145,188 @@ impl PhaseResult {
     }
 }
 
+/// Arrivals of one finished case, node-indexed, as kept by the
+/// incremental cache. Predecessors are stored as **ordinals** into the
+/// node's in-arc list (not global arc ids): arc ids shift when an edit
+/// changes how many arcs an upstream stage emits, but a node whose stage
+/// fingerprint is unchanged keeps the same in-arc list, so its ordinal
+/// stays valid across rebuilds.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedCase {
+    pub(crate) rise: Vec<f64>,
+    pub(crate) fall: Vec<f64>,
+    pub(crate) trans_rise: Vec<f64>,
+    pub(crate) trans_fall: Vec<f64>,
+    pub(crate) pred_rise: Vec<Option<(u32, Edge)>>,
+    pub(crate) pred_fall: Vec<Option<(u32, Edge)>>,
+}
+
+impl CachedCase {
+    /// Snapshots a finished propagation for reuse, translating global
+    /// pred arc ids into in-arc ordinals.
+    pub(crate) fn from_arrivals(graph: &TimingGraph, arr: &Arrivals) -> CachedCase {
+        let ordinal = |node: usize, p: Option<Pred>| {
+            p.map(|p| {
+                let pos = graph
+                    .in_arcs_of_index(node)
+                    .binary_search(&p.arc)
+                    .expect("pred arc is an in-arc of its target");
+                (pos as u32, p.from_edge)
+            })
+        };
+        let n = arr.rise.len();
+        CachedCase {
+            rise: arr.rise.clone(),
+            fall: arr.fall.clone(),
+            trans_rise: arr.trans_rise.clone(),
+            trans_fall: arr.trans_fall.clone(),
+            pred_rise: (0..n).map(|i| ordinal(i, arr.pred_rise[i])).collect(),
+            pred_fall: (0..n).map(|i| ordinal(i, arr.pred_fall[i])).collect(),
+        }
+    }
+
+    /// Rehydrates one node's cached result against the current graph.
+    fn slot_for(&self, graph: &TimingGraph, node: usize) -> Slot {
+        let pred = |p: Option<(u32, Edge)>| {
+            p.map(|(ord, from_edge)| Pred {
+                arc: graph.in_arcs_of_index(node)[ord as usize],
+                from_edge,
+            })
+        };
+        Slot {
+            rise: self.rise[node],
+            fall: self.fall[node],
+            trans_rise: self.trans_rise[node],
+            trans_fall: self.trans_fall[node],
+            pred_rise: pred(self.pred_rise[node]),
+            pred_fall: pred(self.pred_fall[node]),
+        }
+    }
+}
+
+/// A reuse plan for one case: nodes with `affected[i] == false` are
+/// copied from the cache instead of recomputed. Only valid when the
+/// graph's schedule has no residue (cyclic cases always recompute).
+#[derive(Clone, Copy)]
+pub(crate) struct Reuse<'a> {
+    pub(crate) affected: &'a [bool],
+    pub(crate) cached: &'a CachedCase,
+}
+
+/// Per-node propagation state, kept in level (slot) order during the
+/// walk so each level is one contiguous, chunkable slice.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    rise: f64,
+    fall: f64,
+    trans_rise: f64,
+    trans_fall: f64,
+    pred_rise: Option<Pred>,
+    pred_fall: Option<Pred>,
+}
+
+impl Slot {
+    fn init(source: bool) -> Slot {
+        let t0 = if source { 0.0 } else { f64::NEG_INFINITY };
+        Slot {
+            rise: t0,
+            fall: t0,
+            trans_rise: 0.0,
+            trans_fall: 0.0,
+            pred_rise: None,
+            pred_fall: None,
+        }
+    }
+}
+
+/// Shared read-only context for node evaluation.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    graph: &'a TimingGraph,
+    slope: &'a SlopeModel,
+    /// Node index → slot index (level order, then residue).
+    slot_of: &'a [u32],
+    is_source: &'a [bool],
+    reuse: Option<Reuse<'a>>,
+}
+
+/// Candidate `(rise arrival, rise trigger, fall arrival, fall trigger)`
+/// the arc offers its target, padded with the slope penalty of the
+/// triggering waveform.
+#[inline]
+fn candidates(arc: &Arc, from: &Slot, slope: &SlopeModel) -> (f64, Edge, f64, Edge) {
+    match arc.kind {
+        ArcKind::PassControl | ArcKind::Precharge => (
+            from.rise + arc.rise_delay + slope.k_slope * from.trans_rise,
+            Edge::Rise,
+            from.rise + arc.fall_delay + slope.k_slope * from.trans_rise,
+            Edge::Rise,
+        ),
+        _ if arc.inverting => (
+            from.fall + arc.rise_delay + slope.k_slope * from.trans_fall,
+            Edge::Fall,
+            from.rise + arc.fall_delay + slope.k_slope * from.trans_rise,
+            Edge::Rise,
+        ),
+        _ => (
+            from.rise + arc.rise_delay + slope.k_slope * from.trans_rise,
+            Edge::Rise,
+            from.fall + arc.fall_delay + slope.k_slope * from.trans_fall,
+            Edge::Fall,
+        ),
+    }
+}
+
+/// Evaluates one leveled node: the max over its in-arcs in ascending
+/// arc-id order. Pure in the finished prefix, so the result does not
+/// depend on how the level was chunked across workers.
+fn compute_node(ctx: Ctx<'_>, done: &[Slot], node: u32) -> (Slot, u32) {
+    let ni = node as usize;
+    if let Some(r) = ctx.reuse {
+        if !r.affected[ni] {
+            return (r.cached.slot_for(ctx.graph, ni), 0);
+        }
+    }
+    let mut s = Slot::init(ctx.is_source[ni]);
+    let mut relaxed = 0u32;
+    for &ai in ctx.graph.in_arcs_of_index(ni) {
+        let arc = &ctx.graph.arcs[ai as usize];
+        let from = &done[ctx.slot_of[arc.from.index()] as usize];
+        let (cand_rise, rise_src, cand_fall, fall_src) = candidates(arc, from, ctx.slope);
+        if cand_rise.is_finite() && cand_rise > s.rise {
+            s.rise = cand_rise;
+            s.trans_rise = ctx.slope.output_transition(arc.rise_tau);
+            s.pred_rise = Some(Pred {
+                arc: ai,
+                from_edge: rise_src,
+            });
+        }
+        if cand_fall.is_finite() && cand_fall > s.fall {
+            s.fall = cand_fall;
+            s.trans_fall = ctx.slope.output_transition(arc.fall_tau);
+            s.pred_fall = Some(Pred {
+                arc: ai,
+                from_edge: fall_src,
+            });
+        }
+        relaxed += 1;
+    }
+    (s, relaxed)
+}
+
+/// Minimum level width before fanning a level out across threads;
+/// narrower levels are cheaper to finish inline than to dispatch.
+/// Public so the bench crate's work-span model mirrors the engine.
+pub const PAR_MIN_WIDTH: usize = 128;
+
 /// Propagates worst-case arrivals from `sources` (arrival 0 on both
-/// edges, step transitions) through the graph. `endpoints` selects which
-/// nodes are reported as capture points.
+/// edges, step transitions) through the graph, serially. `endpoints`
+/// selects which nodes are reported as capture points.
 ///
 /// Slope handling follows TV: each arc's delay is padded with
 /// `k_slope × input_transition`, and the output transition is
 /// `k_transition × τ` of the arc's RC constant. Pass
 /// [`SlopeModel::disabled`] for pure step-response analysis.
-///
-/// Relaxation is worklist-based and monotone (arrivals only grow), so on
-/// an acyclic graph it terminates exactly; a relaxation budget of
-/// `64 × (arcs + nodes)` catches combinational cycles, which are
-/// reported via [`PhaseResult::cyclic`] instead of looping forever.
 pub fn propagate(
     netlist: &Netlist,
     graph: &TimingGraph,
@@ -145,7 +334,190 @@ pub fn propagate(
     endpoints: &[NodeId],
     slope: &SlopeModel,
 ) -> PhaseResult {
+    propagate_with(netlist, graph, sources, endpoints, slope, 1)
+}
+
+/// [`propagate`] with up to `jobs` worker threads per level. The module
+/// docs explain why arrivals, transitions, and predecessors are
+/// bit-identical at every thread count; `jobs == 1` (or narrow levels)
+/// runs inline with no thread startup at all.
+///
+/// Cyclic structures (the schedule's residue) are finished by a
+/// worklist relaxation with a budget of `64 × (arcs + nodes)`; budget
+/// exhaustion reports a genuine combinational cycle via
+/// [`PhaseResult::cyclic`] instead of looping forever.
+pub fn propagate_with(
+    netlist: &Netlist,
+    graph: &TimingGraph,
+    sources: &[NodeId],
+    endpoints: &[NodeId],
+    slope: &SlopeModel,
+    jobs: usize,
+) -> PhaseResult {
+    propagate_reuse(netlist, graph, sources, endpoints, slope, jobs, None)
+}
+
+/// The full engine: levelized parallel walk, optional cache reuse,
+/// residue worklist.
+pub(crate) fn propagate_reuse(
+    netlist: &Netlist,
+    graph: &TimingGraph,
+    sources: &[NodeId],
+    endpoints: &[NodeId],
+    slope: &SlopeModel,
+    jobs: usize,
+    reuse: Option<Reuse<'_>>,
+) -> PhaseResult {
     let n = netlist.node_count();
+    let sched = &graph.schedule;
+    debug_assert_eq!(sched.order.len() + sched.residue.len(), n);
+
+    let mut is_source = vec![false; n];
+    for &s in sources {
+        is_source[s.index()] = true;
+    }
+
+    // Reuse plans are only meaningful on fully leveled graphs: the
+    // residue worklist has no per-node locality to exploit.
+    let reuse = if sched.residue.is_empty() {
+        reuse
+    } else {
+        None
+    };
+
+    // Slot permutation: leveled nodes in level order, then residue.
+    let mut slot_of = vec![0u32; n];
+    let mut slots: Vec<Slot> = Vec::with_capacity(n);
+    for (slot, &nd) in sched.order.iter().chain(sched.residue.iter()).enumerate() {
+        slot_of[nd as usize] = slot as u32;
+        slots.push(Slot::init(is_source[nd as usize]));
+    }
+
+    let ctx = Ctx {
+        graph,
+        slope,
+        slot_of: &slot_of,
+        is_source: &is_source,
+        reuse,
+    };
+
+    let mut relaxations = 0usize;
+    for l in 0..sched.levels() {
+        let lo = sched.level_starts[l] as usize;
+        let hi = sched.level_starts[l + 1] as usize;
+        let width = hi - lo;
+        let targets = &sched.order[lo..hi];
+        let (done, rest) = slots.split_at_mut(lo);
+        let level_out = &mut rest[..width];
+        let threads = if jobs <= 1 || width < PAR_MIN_WIDTH {
+            1
+        } else {
+            jobs.min(width)
+        };
+        if threads <= 1 {
+            for (out, &t) in level_out.iter_mut().zip(targets) {
+                let (s, relaxed) = compute_node(ctx, done, t);
+                *out = s;
+                relaxations += relaxed as usize;
+            }
+        } else {
+            let chunk = width.div_ceil(threads);
+            let done = &*done;
+            relaxations += std::thread::scope(|scope| {
+                let handles: Vec<_> = level_out
+                    .chunks_mut(chunk)
+                    .zip(targets.chunks(chunk))
+                    .map(|(out_chunk, t_chunk)| {
+                        scope.spawn(move || {
+                            let mut relaxed = 0usize;
+                            for (out, &t) in out_chunk.iter_mut().zip(t_chunk) {
+                                let (s, r) = compute_node(ctx, done, t);
+                                *out = s;
+                                relaxed += r as usize;
+                            }
+                            relaxed
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("propagation worker panicked"))
+                    .sum::<usize>()
+            });
+        }
+    }
+
+    // Residue: the budgeted serial worklist, seeded with residue sources
+    // and every node feeding a residue node (their slots are final).
+    let mut cyclic = false;
+    if !sched.residue.is_empty() {
+        let mut in_residue = vec![false; n];
+        for &r in &sched.residue {
+            in_residue[r as usize] = true;
+        }
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        let mut queued = vec![false; n];
+        let enqueue = |node: usize, queue: &mut VecDeque<u32>, queued: &mut [bool]| {
+            if !queued[node] {
+                queued[node] = true;
+                queue.push_back(node as u32);
+            }
+        };
+        for &r in &sched.residue {
+            if is_source[r as usize] {
+                enqueue(r as usize, &mut queue, &mut queued);
+            }
+        }
+        for a in &graph.arcs {
+            if in_residue[a.to.index()] {
+                enqueue(a.from.index(), &mut queue, &mut queued);
+            }
+        }
+
+        let budget = 64 * (graph.arcs.len() + n).max(1);
+        let mut residue_relax = 0usize;
+        while let Some(nidx) = queue.pop_front() {
+            let ni = nidx as usize;
+            queued[ni] = false;
+            if residue_relax > budget {
+                cyclic = true;
+                break;
+            }
+            let from = slots[slot_of[ni] as usize];
+            for &ai in &graph.out_arcs[ni] {
+                let arc = &graph.arcs[ai as usize];
+                let to = arc.to.index();
+                let (cand_rise, rise_src, cand_fall, fall_src) = candidates(arc, &from, slope);
+                let target = &mut slots[slot_of[to] as usize];
+                let mut improved = false;
+                if cand_rise.is_finite() && cand_rise > target.rise {
+                    target.rise = cand_rise;
+                    target.trans_rise = slope.output_transition(arc.rise_tau);
+                    target.pred_rise = Some(Pred {
+                        arc: ai,
+                        from_edge: rise_src,
+                    });
+                    improved = true;
+                }
+                if cand_fall.is_finite() && cand_fall > target.fall {
+                    target.fall = cand_fall;
+                    target.trans_fall = slope.output_transition(arc.fall_tau);
+                    target.pred_fall = Some(Pred {
+                        arc: ai,
+                        from_edge: fall_src,
+                    });
+                    improved = true;
+                }
+                residue_relax += 1;
+                if improved {
+                    enqueue(to, &mut queue, &mut queued);
+                }
+            }
+        }
+        relaxations += residue_relax;
+    }
+
+    // Back from slot order to node order.
     let mut arr = Arrivals {
         rise: vec![f64::NEG_INFINITY; n],
         fall: vec![f64::NEG_INFINITY; n],
@@ -154,91 +526,21 @@ pub fn propagate(
         pred_rise: vec![None; n],
         pred_fall: vec![None; n],
     };
-
-    let mut queue: VecDeque<NodeId> = VecDeque::new();
-    let mut queued = vec![false; n];
-    for &s in sources {
-        arr.rise[s.index()] = 0.0;
-        arr.fall[s.index()] = 0.0;
-        if !queued[s.index()] {
-            queued[s.index()] = true;
-            queue.push_back(s);
-        }
-    }
-
-    let budget = 64 * (graph.arcs.len() + n).max(1);
-    let mut relaxations = 0usize;
-    let mut cyclic = false;
-
-    while let Some(node) = queue.pop_front() {
-        queued[node.index()] = false;
-        if relaxations > budget {
-            cyclic = true;
-            break;
-        }
-        let (from_rise, from_fall) = (arr.rise[node.index()], arr.fall[node.index()]);
-        let (from_trise, from_tfall) = (
-            arr.trans_rise[node.index()],
-            arr.trans_fall[node.index()],
-        );
-        for &ai in &graph.out_arcs[node.index()] {
-            let arc = &graph.arcs[ai as usize];
-            let to = arc.to.index();
-            // Candidate (arrival, trigger edge) for the target's rise and
-            // fall, depending on arc semantics, padded with the slope
-            // penalty of the triggering waveform.
-            let (cand_rise, rise_src, cand_fall, fall_src) = match arc.kind {
-                ArcKind::PassControl | ArcKind::Precharge => (
-                    from_rise + arc.rise_delay + slope.k_slope * from_trise,
-                    Edge::Rise,
-                    from_rise + arc.fall_delay + slope.k_slope * from_trise,
-                    Edge::Rise,
-                ),
-                _ if arc.inverting => (
-                    from_fall + arc.rise_delay + slope.k_slope * from_tfall,
-                    Edge::Fall,
-                    from_rise + arc.fall_delay + slope.k_slope * from_trise,
-                    Edge::Rise,
-                ),
-                _ => (
-                    from_rise + arc.rise_delay + slope.k_slope * from_trise,
-                    Edge::Rise,
-                    from_fall + arc.fall_delay + slope.k_slope * from_tfall,
-                    Edge::Fall,
-                ),
-            };
-            let mut improved = false;
-            if cand_rise.is_finite() && cand_rise > arr.rise[to] {
-                arr.rise[to] = cand_rise;
-                arr.trans_rise[to] = slope.output_transition(arc.rise_tau);
-                arr.pred_rise[to] = Some(Pred {
-                    arc: ai,
-                    from_edge: rise_src,
-                });
-                improved = true;
-            }
-            if cand_fall.is_finite() && cand_fall > arr.fall[to] {
-                arr.fall[to] = cand_fall;
-                arr.trans_fall[to] = slope.output_transition(arc.fall_tau);
-                arr.pred_fall[to] = Some(Pred {
-                    arc: ai,
-                    from_edge: fall_src,
-                });
-                improved = true;
-            }
-            relaxations += 1;
-            if improved && !queued[to] {
-                queued[to] = true;
-                queue.push_back(arc.to);
-            }
-        }
+    for node in 0..n {
+        let s = &slots[slot_of[node] as usize];
+        arr.rise[node] = s.rise;
+        arr.fall[node] = s.fall;
+        arr.trans_rise[node] = s.trans_rise;
+        arr.trans_fall[node] = s.trans_fall;
+        arr.pred_rise[node] = s.pred_rise;
+        arr.pred_fall[node] = s.pred_fall;
     }
 
     let mut eps: Vec<(NodeId, f64)> = endpoints
         .iter()
         .filter_map(|&e| arr.arrival(e).map(|t| (e, t)))
         .collect();
-    eps.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite arrivals"));
+    eps.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     PhaseResult {
         case: graph.case,

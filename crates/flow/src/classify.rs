@@ -161,7 +161,10 @@ fn refine_pulldown_interiors(netlist: &Netlist, roles: &mut [DeviceRole]) {
         let role = roles[dref.id.index()];
         if matches!(
             role,
-            DeviceRole::PullUp | DeviceRole::ActivePullUp | DeviceRole::Precharge | DeviceRole::EnhPullUp
+            DeviceRole::PullUp
+                | DeviceRole::ActivePullUp
+                | DeviceRole::Precharge
+                | DeviceRole::EnhPullUp
         ) {
             let d = dref.device;
             for t in [d.source(), d.drain()] {
@@ -215,11 +218,7 @@ pub fn classify_nodes(netlist: &Netlist, device_roles: &[DeviceRole]) -> Vec<Nod
     classes
 }
 
-fn classify_internal_node(
-    netlist: &Netlist,
-    device_roles: &[DeviceRole],
-    id: NodeId,
-) -> NodeClass {
+fn classify_internal_node(netlist: &Netlist, device_roles: &[DeviceRole], id: NodeId) -> NodeClass {
     let at = netlist.node_devices(id);
     if at.channel.is_empty() {
         return NodeClass::GateOnly;
@@ -320,8 +319,12 @@ impl std::fmt::Display for Census {
         write!(
             f,
             "devices: pull-up {}  active-pu {}  pull-down {}  precharge {}  enh-pu {}  pass {}",
-            self.devices[0], self.devices[1], self.devices[2],
-            self.devices[3], self.devices[4], self.devices[5],
+            self.devices[0],
+            self.devices[1],
+            self.devices[2],
+            self.devices[3],
+            self.devices[4],
+            self.devices[5],
         )
     }
 }
@@ -431,10 +434,7 @@ mod tests {
         b.super_buffer("sb", a, out, 4.0);
         let nl = b.finish().unwrap();
         let c = classify(&nl);
-        let pu = nl
-            .devices()
-            .find(|dr| dr.device.name() == "sb_pu")
-            .unwrap();
+        let pu = nl.devices().find(|dr| dr.device.name() == "sb_pu").unwrap();
         assert_eq!(c.device_roles[pu.id.index()], DeviceRole::ActivePullUp);
         assert_eq!(c.node_classes[out.index()], NodeClass::Restored);
     }

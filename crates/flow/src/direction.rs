@@ -163,10 +163,7 @@ impl FlowAnalysis {
     }
 
     /// Iterates over the pass devices that remain unresolved.
-    pub fn unresolved<'a>(
-        &'a self,
-        netlist: &'a Netlist,
-    ) -> impl Iterator<Item = DeviceId> + 'a {
+    pub fn unresolved<'a>(&'a self, netlist: &'a Netlist) -> impl Iterator<Item = DeviceId> + 'a {
         netlist
             .devices()
             .filter(|dref| {
@@ -305,12 +302,8 @@ fn orient_pass_devices(
         }
     }
 
-    let is_external = |n: NodeId| {
-        matches!(
-            netlist.node(n).role(),
-            NodeRole::Input | NodeRole::Clock(_)
-        )
-    };
+    let is_external =
+        |n: NodeId| matches!(netlist.node(n).role(), NodeRole::Input | NodeRole::Clock(_));
     let is_sinklike = |n: NodeId| {
         let at = netlist.node_devices(n);
         at.channel.len() == 1
@@ -465,7 +458,10 @@ mod tests {
         assert_eq!(f.direction(find_dev(&nl, "p1")), Direction::Toward(n1));
         assert_eq!(f.direction(find_dev(&nl, "p2")), Direction::Toward(n2));
         // p1 resolves off the restored source, p2 by chaining.
-        assert_eq!(f.resolved_by(find_dev(&nl, "p1")), Some(Rule::RestoredDrive));
+        assert_eq!(
+            f.resolved_by(find_dev(&nl, "p1")),
+            Some(Rule::RestoredDrive)
+        );
         assert_eq!(f.resolved_by(find_dev(&nl, "p2")), Some(Rule::Chain));
     }
 

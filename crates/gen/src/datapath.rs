@@ -16,7 +16,7 @@
 //! the loop register file → buses → ALU → shifter → writeback closes on
 //! itself the way a real datapath does.
 
-use tv_netlist::{NetlistBuilder, Netlist, NodeId, Tech};
+use tv_netlist::{Netlist, NetlistBuilder, NodeId, Tech};
 
 use crate::adder::adder_into;
 use crate::shifter::shifter_into;
@@ -116,7 +116,9 @@ pub fn datapath(tech: Tech, config: DatapathConfig) -> Datapath {
     let op_nand = b.input("op_nand");
     let op_nor = b.input("op_nor");
     let use_ext = b.input("use_ext");
-    let sh: Vec<NodeId> = (0..shift_amounts).map(|s| b.input(format!("sh{s}"))).collect();
+    let sh: Vec<NodeId> = (0..shift_amounts)
+        .map(|s| b.input(format!("sh{s}")))
+        .collect();
     let cin = b.input("cin");
     let ext: Vec<NodeId> = (0..width).map(|i| b.input(format!("ext{i}"))).collect();
 

@@ -45,6 +45,7 @@ pub mod manchester;
 pub mod pla;
 pub mod random;
 pub mod regfile;
+pub mod rng;
 pub mod shifter;
 pub mod workload;
 

@@ -19,7 +19,7 @@
 //! break the chain with buffers every few bits, exactly like
 //! [`crate::chains::buffered_pass_chain`].
 
-use tv_netlist::{NetlistBuilder, Netlist, NodeId, Tech};
+use tv_netlist::{Netlist, NetlistBuilder, NodeId, Tech};
 
 use crate::Circuit;
 
@@ -136,9 +136,7 @@ pub fn manchester_adder(tech: Tech, width: usize, buffer_every: usize) -> Manche
     let netlist = b.finish().expect("manchester generator is valid");
     let lookup = |name: &str| netlist.node_by_name(name).expect("known node");
     ManchesterAdder {
-        chain: (0..width)
-            .map(|i| lookup(&format!("c{i}")))
-            .collect(),
+        chain: (0..width).map(|i| lookup(&format!("c{i}"))).collect(),
         sums: (0..width).map(|i| lookup(&format!("s{i}"))).collect(),
         phi1: lookup("phi1"),
         phi2: lookup("phi2"),

@@ -13,10 +13,9 @@
 //! wiring capacitance proportional to its span, which is what makes PLA
 //! timing interesting — and what the per-line `wire_pf_per_tap` models.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use tv_netlist::{NetlistBuilder, Netlist, NodeId, Tech};
+use tv_netlist::{Netlist, NetlistBuilder, NodeId, Tech};
 
+use crate::rng::Rng64;
 use crate::Circuit;
 
 /// A personality matrix: which literals appear in each product term and
@@ -45,13 +44,13 @@ impl PlaProgram {
             inputs > 0 && terms > 0 && outputs > 0,
             "PLA dimensions must be positive"
         );
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let terms_m: Vec<Vec<Option<bool>>> = (0..terms)
             .map(|_| {
                 let mut lits: Vec<Option<bool>> = (0..inputs)
                     .map(|_| {
-                        if rng.gen_bool(0.5) {
-                            Some(rng.gen_bool(0.5))
+                        if rng.bool(0.5) {
+                            Some(rng.bool(0.5))
                         } else {
                             None
                         }
@@ -59,18 +58,17 @@ impl PlaProgram {
                     .collect();
                 // Every product term must use at least one literal.
                 if lits.iter().all(|l| l.is_none()) {
-                    let i = rng.gen_range(0..inputs);
-                    lits[i] = Some(rng.gen_bool(0.5));
+                    let i = rng.usize_range(0, inputs);
+                    lits[i] = Some(rng.bool(0.5));
                 }
                 lits
             })
             .collect();
         let outputs_m: Vec<Vec<usize>> = (0..outputs)
             .map(|_| {
-                let mut used: Vec<usize> =
-                    (0..terms).filter(|_| rng.gen_bool(0.25)).collect();
+                let mut used: Vec<usize> = (0..terms).filter(|_| rng.bool(0.25)).collect();
                 if used.is_empty() {
-                    used.push(rng.gen_range(0..terms));
+                    used.push(rng.usize_range(0, terms));
                 }
                 used
             })
@@ -127,7 +125,11 @@ pub fn pla(tech: Tech, program: &PlaProgram) -> Pla {
             let Some(polarity) = lit else { continue };
             // Term is high only when every used literal is low on its
             // column: tap the column of the *opposite* polarity.
-            let col = if *polarity { comp_cols[i] } else { true_cols[i] };
+            let col = if *polarity {
+                comp_cols[i]
+            } else {
+                true_cols[i]
+            };
             let gnd = b.gnd();
             b.enhancement(format!("and{t}_{i}"), col, gnd, row, 2.0 * s, s);
             taps += 1;

@@ -5,10 +5,9 @@
 //! structure: a mix of inverters, NAND/NOR gates, pass muxes, and latches
 //! whose fan-ins point at earlier signals (a DAG, like synthesized logic).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tv_netlist::{NetlistBuilder, NodeId, Tech};
 
+use crate::rng::Rng64;
 use crate::Circuit;
 
 /// Mix of generated structures, as relative weights.
@@ -50,7 +49,7 @@ impl Default for RandomMix {
 /// Panics if `target_devices` is zero.
 pub fn random_logic(tech: Tech, target_devices: usize, seed: u64, mix: RandomMix) -> Circuit {
     assert!(target_devices > 0, "need a positive size target");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut b = NetlistBuilder::new(tech);
     let phi = b.clock("phi1", 0);
 
@@ -62,20 +61,20 @@ pub fn random_logic(tech: Tech, target_devices: usize, seed: u64, mix: RandomMix
 
     let mut gate_idx = 0usize;
     while b.device_count() < target_devices {
-        let pick = rng.gen_range(0.0..total_weight);
+        let pick = rng.f64_range(0.0, total_weight);
         let name = format!("g{gate_idx}");
         gate_idx += 1;
         let out = b.node(format!("{name}_o"));
-        let sig = |rng: &mut StdRng, pool: &Vec<NodeId>| pool[rng.gen_range(0..pool.len())];
+        let sig = |rng: &mut Rng64, pool: &Vec<NodeId>| pool[rng.usize_range(0, pool.len())];
         if pick < mix.inverter {
             let a = sig(&mut rng, &pool);
             b.inverter(&name, a, out);
         } else if pick < mix.inverter + mix.nand {
-            let k = rng.gen_range(2..=3);
+            let k = rng.usize_inclusive(2, 3);
             let ins: Vec<NodeId> = (0..k).map(|_| sig(&mut rng, &pool)).collect();
             b.nand(&name, &ins, out);
         } else if pick < mix.inverter + mix.nand + mix.nor {
-            let k = rng.gen_range(2..=3);
+            let k = rng.usize_inclusive(2, 3);
             let ins: Vec<NodeId> = (0..k).map(|_| sig(&mut rng, &pool)).collect();
             b.nor(&name, &ins, out);
         } else if pick < mix.inverter + mix.nand + mix.nor + mix.pass_mux {

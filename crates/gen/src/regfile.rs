@@ -65,7 +65,9 @@ pub fn regfile_into(
         "one qualified write clock per register"
     );
     let width = write_bits.len();
-    let bus: Vec<NodeId> = (0..width).map(|i| b.node(format!("{name}_bus{i}"))).collect();
+    let bus: Vec<NodeId> = (0..width)
+        .map(|i| b.node(format!("{name}_bus{i}")))
+        .collect();
     for (&node, _) in bus.iter().zip(0..) {
         // Bus wiring capacitance proportional to the number of taps.
         b.add_cap(node, 0.01 * regs as f64).expect("cap >= 0");
@@ -75,7 +77,12 @@ pub fn regfile_into(
             let bitname = format!("{name}_r{r}_b{i}");
             // Master gated by this register's qualified φ1; slave by φ2.
             let m_out = b.node(format!("{bitname}_m"));
-            b.dynamic_latch(format!("{bitname}_master"), write_qualified_phi1[r], w, m_out);
+            b.dynamic_latch(
+                format!("{bitname}_master"),
+                write_qualified_phi1[r],
+                w,
+                m_out,
+            );
             let q = b.node(format!("{bitname}_q"));
             b.dynamic_latch(format!("{bitname}_slave"), phi2, m_out, q);
             // Read port: pass gate from the restored q onto the bus.
@@ -97,7 +104,10 @@ pub fn regfile_into(
 ///
 /// Panics if `regs == 0` or `width == 0`.
 pub fn register_file(tech: Tech, regs: usize, width: usize) -> Circuit {
-    assert!(regs > 0 && width > 0, "register file needs registers and bits");
+    assert!(
+        regs > 0 && width > 0,
+        "register file needs registers and bits"
+    );
     let mut b = NetlistBuilder::new(tech);
     let phi1 = b.clock("phi1", 0);
     let phi2 = b.clock("phi2", 1);
@@ -114,7 +124,16 @@ pub fn register_file(tech: Tech, regs: usize, width: usize) -> Circuit {
             wqn
         })
         .collect();
-    let bus = regfile_into(&mut b, "rf", phi1, phi2, &write_bits, regs, &read_selects, &wq);
+    let bus = regfile_into(
+        &mut b,
+        "rf",
+        phi1,
+        phi2,
+        &write_bits,
+        regs,
+        &read_selects,
+        &wq,
+    );
     for (i, &line) in bus.iter().enumerate() {
         let q = b.output(format!("q{i}"));
         b.inverter(format!("rcv{i}"), line, q);

@@ -1,0 +1,116 @@
+//! A tiny seeded PRNG so the generators build with no external
+//! dependencies (and therefore offline).
+//!
+//! The generators only need *deterministic variety*, not cryptographic or
+//! statistical-suite quality: SplitMix64 (Steele, Lea & Flood, OOPSLA'14)
+//! passes BigCrush on 64-bit outputs, is two multiplies and three xors per
+//! draw, and — unlike `rand::StdRng` — its stream is guaranteed stable
+//! forever, which keeps every seeded circuit reproducible across builds.
+
+/// A seeded SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        // 53 mantissa bits of the draw.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw in `[lo, hi)`.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// A uniform draw in `[lo, hi)` (half-open, like `Rng::gen_range`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi - lo) as u64;
+        // Multiply-shift rejection-free mapping is fine here: spans are
+        // tiny (gate fan-ins, pool sizes), so modulo bias is negligible,
+        // but use widening multiply anyway — it is just as cheap.
+        let hi64 = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        lo + hi64 as usize
+    }
+
+    /// A uniform draw in the inclusive range `[lo, hi]`.
+    pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        self.usize_range(lo, hi + 1)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_stream() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut r = Rng64::new(7);
+        for _ in 0..1000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn usize_range_respects_bounds_and_hits_all_values() {
+        let mut r = Rng64::new(9);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = r.usize_range(2, 7);
+            assert!((2..7).contains(&v));
+            seen[v - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values reachable: {seen:?}");
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_respected() {
+        let mut r = Rng64::new(3);
+        let hits = (0..10_000).filter(|_| r.bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}

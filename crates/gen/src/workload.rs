@@ -96,10 +96,17 @@ pub fn t2_suite(tech: &Tech) -> Vec<NamedCircuit> {
         NamedCircuit {
             name: "datapath-4x2",
             circuit: {
-                let dp = crate::datapath::datapath(tech.clone(), crate::datapath::DatapathConfig::small());
+                let dp = crate::datapath::datapath(
+                    tech.clone(),
+                    crate::datapath::DatapathConfig::small(),
+                );
                 let input = dp.ext[0];
                 let output = dp.netlist.node_by_name("out0").expect("out0");
-                crate::Circuit { netlist: dp.netlist, input, output }
+                crate::Circuit {
+                    netlist: dp.netlist,
+                    input,
+                    output,
+                }
             },
             output_falls_on_input_rise: false,
         },

@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::{
-    Device, DeviceId, DeviceKind, Netlist, NetlistError, Node, NodeId, NodeRole, Tech,
-};
+use crate::{Device, DeviceId, DeviceKind, Netlist, NetlistError, Node, NodeId, NodeRole, Tech};
 
 /// Builds a [`Netlist`] one node and transistor at a time.
 ///
@@ -210,7 +208,15 @@ impl NetlistBuilder {
         w_um: f64,
         l_um: f64,
     ) -> DeviceId {
-        self.insert_device(name.into(), DeviceKind::Enhancement, gate, source, drain, w_um, l_um)
+        self.insert_device(
+            name.into(),
+            DeviceKind::Enhancement,
+            gate,
+            source,
+            drain,
+            w_um,
+            l_um,
+        )
     }
 
     /// Adds a depletion transistor with explicit terminals (for unusual
@@ -225,14 +231,30 @@ impl NetlistBuilder {
         w_um: f64,
         l_um: f64,
     ) -> DeviceId {
-        self.insert_device(name.into(), DeviceKind::Depletion, gate, source, drain, w_um, l_um)
+        self.insert_device(
+            name.into(),
+            DeviceKind::Depletion,
+            gate,
+            source,
+            drain,
+            w_um,
+            l_um,
+        )
     }
 
     /// Adds a classic depletion pull-up load on `node`: channel from VDD to
     /// `node`, gate tied to `node`.
     pub fn depletion_load(&mut self, node: NodeId, w_um: f64, l_um: f64) -> DeviceId {
         let name = format!("pu_{}", self.nodes[node.index()].name());
-        self.insert_device(name, DeviceKind::Depletion, node, self.vdd(), node, w_um, l_um)
+        self.insert_device(
+            name,
+            DeviceKind::Depletion,
+            node,
+            self.vdd(),
+            node,
+            w_um,
+            l_um,
+        )
     }
 
     /// Adds a minimum-size pass transistor: channel `a`–`b`, gated by `ctrl`.
@@ -304,7 +326,14 @@ impl NetlistBuilder {
         let s = self.tech.min_size();
         self.depletion_load(output, s, 2.0 * s);
         for (i, &input) in inputs.iter().enumerate() {
-            self.enhancement(format!("{name}_pd{i}"), input, self.gnd(), output, 2.0 * s, s);
+            self.enhancement(
+                format!("{name}_pd{i}"),
+                input,
+                self.gnd(),
+                output,
+                2.0 * s,
+                s,
+            );
         }
     }
 
@@ -386,10 +415,7 @@ impl NetlistBuilder {
         } else if d.drain == from {
             d.drain = to;
         } else {
-            panic!(
-                "{from} is not a channel terminal of device {}",
-                d.name
-            );
+            panic!("{from} is not a channel terminal of device {}", d.name);
         }
         if d.source == d.drain && self.pending_error.is_none() {
             self.pending_error = Some(NetlistError::ShortedChannel {

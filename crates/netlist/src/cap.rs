@@ -84,7 +84,7 @@ mod tests {
         }
         let nl = b.finish().unwrap();
         let per_gate = t.gate_capacitance(8.0, 4.0); // builder's pull-down: W=2·min, L=min
-        // `a` has no channel contacts, so its cap is exactly 3 gate loads.
+                                                     // `a` has no channel contacts, so its cap is exactly 3 gate loads.
         assert!((nl.node_cap(a) - 3.0 * per_gate).abs() < 1e-12);
     }
 

@@ -126,10 +126,13 @@ impl Netlist {
 
     /// Iterates over all devices with their ids.
     pub fn devices(&self) -> impl ExactSizeIterator<Item = DeviceRef<'_>> + '_ {
-        self.devices.iter().enumerate().map(|(i, device)| DeviceRef {
-            id: DeviceId(i as u32),
-            device,
-        })
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, device)| DeviceRef {
+                id: DeviceId(i as u32),
+                device,
+            })
     }
 
     /// The devices incident on `node`, split into gate vs channel contact.

@@ -40,13 +40,25 @@ use crate::{DeviceKind, Netlist, NodeId};
 pub fn write(netlist: &Netlist) -> String {
     let tech = netlist.tech();
     let mut out = String::new();
-    let _ = writeln!(out, "* nmos-tv export: {} devices, {} nodes",
-        netlist.device_count(), netlist.node_count());
+    let _ = writeln!(
+        out,
+        "* nmos-tv export: {} devices, {} nodes",
+        netlist.device_count(),
+        netlist.node_count()
+    );
     let _ = writeln!(out, "* units: um geometry; levels per Tech::nmos4um");
-    let _ = writeln!(out, ".model ENH NMOS (LEVEL=1 VTO={} KP={}u LAMBDA=0)",
-        tech.vt_enh, tech.kprime * 1000.0);
-    let _ = writeln!(out, ".model DEP NMOS (LEVEL=1 VTO={} KP={}u LAMBDA=0)",
-        tech.vt_dep, tech.kprime * 1000.0);
+    let _ = writeln!(
+        out,
+        ".model ENH NMOS (LEVEL=1 VTO={} KP={}u LAMBDA=0)",
+        tech.vt_enh,
+        tech.kprime * 1000.0
+    );
+    let _ = writeln!(
+        out,
+        ".model DEP NMOS (LEVEL=1 VTO={} KP={}u LAMBDA=0)",
+        tech.vt_dep,
+        tech.kprime * 1000.0
+    );
     let _ = writeln!(out, "Vdd vdd 0 DC {}", tech.vdd);
 
     let name_of = |n: NodeId| -> String {

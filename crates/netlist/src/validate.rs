@@ -62,7 +62,10 @@ impl fmt::Display for Issue {
                 write!(f, "device {device:?} bridges VDD and GND")
             }
             Issue::StrayDepletion { device } => {
-                write!(f, "depletion device {device:?} is not wired as a load or buffer")
+                write!(
+                    f,
+                    "depletion device {device:?} is not wired as a load or buffer"
+                )
             }
             Issue::DrivenInput { name, .. } => {
                 write!(f, "primary input {name:?} is also driven on-chip")

@@ -132,8 +132,7 @@ pub fn moment_matched_crossing(m1: f64, m2: f64, x: f64) -> f64 {
 /// Crossing of the two-real-pole step response by bisection. `r(t) =
 /// (τ₁e^{−t/τ₁} − τ₂e^{−t/τ₂})/(τ₁−τ₂)` decreases monotonically 1 → 0.
 fn two_real_pole_crossing(tau1: f64, tau2: f64, x: f64, m1: f64) -> f64 {
-    let remaining =
-        |t: f64| (tau1 * (-t / tau1).exp() - tau2 * (-t / tau2).exp()) / (tau1 - tau2);
+    let remaining = |t: f64| (tau1 * (-t / tau1).exp() - tau2 * (-t / tau2).exp()) / (tau1 - tau2);
     let mut lo = 0.0;
     let mut hi = 4.0 * m1 * (1.0 / x).ln() + 4.0 * tau1;
     while remaining(hi) > x {
@@ -220,8 +219,7 @@ fn normal_quantile(p: f64) -> f64 {
 /// Panics if `x` is not in (0, 1).
 pub fn moment_matched_crossings(tree: &RcTree, x: f64) -> Vec<f64> {
     let m = moments(tree);
-    m.m1
-        .iter()
+    m.m1.iter()
         .zip(&m.m2)
         .map(|(&m1, &m2)| moment_matched_crossing(m1, m2, x))
         .collect()

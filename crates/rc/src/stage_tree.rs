@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use tv_flow::{Direction, DeviceRole, FlowAnalysis};
+use tv_flow::{DeviceRole, Direction, FlowAnalysis};
 use tv_netlist::{Netlist, NodeId};
 
 use crate::tree::{RcNodeId, RcTree};

@@ -180,10 +180,7 @@ impl<'a> Simulator<'a> {
             t = t_next;
         }
 
-        SimResult {
-            traces,
-            final_v: v,
-        }
+        SimResult { traces, final_v: v }
     }
 
     /// Accumulates the net current flowing *out* of every node into
@@ -283,7 +280,10 @@ mod tests {
             let mut opts = SimOptions::for_duration(20.0);
             opts.method = method;
             let r = Simulator::new(&nl, stim, opts).run();
-            r.trace(out).unwrap().crossing_down(2.5, 1.0).expect("falls")
+            r.trace(out)
+                .unwrap()
+                .crossing_down(2.5, 1.0)
+                .expect("falls")
         };
         let euler = delay_with(Method::Euler);
         let heun = delay_with(Method::Heun);
@@ -302,7 +302,10 @@ mod tests {
             opts.dt = dt;
             opts.dv_max = 5.0; // disable sub-stepping: measure the scheme
             let r = Simulator::new(&nl, stim, opts).run();
-            r.trace(out).unwrap().crossing_down(2.5, 1.0).expect("falls")
+            r.trace(out)
+                .unwrap()
+                .crossing_down(2.5, 1.0)
+                .expect("falls")
         };
         let reference = delay_with(Method::Heun, 1e-4);
         let coarse = 0.02;

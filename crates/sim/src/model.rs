@@ -68,7 +68,15 @@ pub fn channel_current(
 /// source, and drain terminals (in that order). Positive flows from the
 /// netlist `drain` terminal toward the netlist `source` terminal.
 pub fn device_current(device: &Device, vg: f64, vs: f64, vd: f64, tech: &Tech) -> f64 {
-    channel_current(device.kind(), device.width(), device.length(), vg, vs, vd, tech)
+    channel_current(
+        device.kind(),
+        device.width(),
+        device.length(),
+        vg,
+        vs,
+        vd,
+        tech,
+    )
 }
 
 #[cfg(test)]

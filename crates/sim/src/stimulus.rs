@@ -48,12 +48,20 @@ pub enum Waveform {
 impl Waveform {
     /// A step from 0 V up to `vdd` at time `t0`.
     pub fn step_up(t0: f64, vdd: f64) -> Self {
-        Waveform::Step { t0, v0: 0.0, v1: vdd }
+        Waveform::Step {
+            t0,
+            v0: 0.0,
+            v1: vdd,
+        }
     }
 
     /// A step from `vdd` down to 0 V at time `t0`.
     pub fn step_down(t0: f64, vdd: f64) -> Self {
-        Waveform::Step { t0, v0: vdd, v1: 0.0 }
+        Waveform::Step {
+            t0,
+            v0: vdd,
+            v1: 0.0,
+        }
     }
 
     /// The waveform's value at time `t` ns, volts.

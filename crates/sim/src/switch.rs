@@ -60,7 +60,11 @@ pub struct OscillationError {
 
 impl std::fmt::Display for OscillationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "switch-level network did not settle in {} sweeps", self.sweeps)
+        write!(
+            f,
+            "switch-level network did not settle in {} sweeps",
+            self.sweeps
+        )
     }
 }
 
@@ -528,7 +532,7 @@ mod tests {
         let nl = b.finish().unwrap();
         let mut sim = SwitchSim::new(&nl);
         sim.set(a, Level::Zero); // src = 1
-        // Pre-store a 0 on dst by driving then releasing.
+                                 // Pre-store a 0 on dst by driving then releasing.
         sim.set(dst, Level::Zero);
         sim.settle().unwrap();
         sim.release(dst);

@@ -13,7 +13,10 @@ fn main() {
     let tech = Tech::nmos4um();
     let opts = AnalysisOptions::default();
 
-    println!("{:<18} {:>12} {:>12} {:>9} {:>8}", "circuit", "before (ns)", "after (ns)", "buffers", "devices");
+    println!(
+        "{:<18} {:>12} {:>12} {:>9} {:>8}",
+        "circuit", "before (ns)", "after (ns)", "buffers", "devices"
+    );
     for (name, circuit) in [
         ("pass-chain-6", pass_chain(tech.clone(), 6)),
         ("pass-chain-10", pass_chain(tech.clone(), 10)),
@@ -27,7 +30,7 @@ fn main() {
             .rise(circuit.output)
             .expect("reachable");
 
-        let result = buffer_long_pass_runs(&circuit.netlist, 3);
+        let result = buffer_long_pass_runs(&circuit.netlist, 3).expect("valid run limit");
         let out = result
             .netlist
             .node_by_name(circuit.netlist.node(circuit.output).name())

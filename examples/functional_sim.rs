@@ -35,7 +35,10 @@ fn main() {
         }
     }
     assert_eq!(failures, 0, "{failures} functional failures");
-    println!("\nall {} input combinations add correctly", (1 << width) * (1 << width) * 2);
+    println!(
+        "\nall {} input combinations add correctly",
+        (1 << width) * (1 << width) * 2
+    );
 }
 
 /// Applies one input vector, runs precharge then evaluate, and reads the
@@ -65,7 +68,10 @@ fn simulate_add(
     }
     // The chain entry is active-low: pin high means "no carry in".
     let cin_pin = nl.node_by_name("cin").expect("cin pin");
-    stim.drive(cin_pin, Waveform::Const(if cin == 1 { 0.0 } else { tech.vdd }));
+    stim.drive(
+        cin_pin,
+        Waveform::Const(if cin == 1 { 0.0 } else { tech.vdd }),
+    );
 
     // One cycle: φ2 precharge for 150 ns, 10 ns gap, φ1 evaluate 240 ns.
     let cycle = 400.0;

@@ -51,7 +51,13 @@ fn main() {
 
         match meas {
             Some(m) if m > 0.0 => {
-                println!("{:<20} {:>12.3} {:>12.3} {:>8.2}", item.name, est, m, est / m);
+                println!(
+                    "{:<20} {:>12.3} {:>12.3} {:>8.2}",
+                    item.name,
+                    est,
+                    m,
+                    est / m
+                );
             }
             _ => println!("{:<20} {:>12.3} {:>12} {:>8}", item.name, est, "-", "-"),
         }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The repo's verification gate, runnable with no network access:
+# tier-1 (ROADMAP.md) plus formatting and lints. CI runs exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The workspace has no external dependencies and commits its Cargo.lock,
+# so --offline must always work; using it here keeps the gate honest.
+export CARGO_NET_OFFLINE=true
+
+echo "== tier-1: cargo build --release =="
+cargo build --release --offline --workspace
+
+echo "== tier-1: cargo test -q =="
+cargo test -q --offline --workspace
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -4,13 +4,18 @@
 //! the full analysis, print the report. Subcommands:
 //!
 //! ```text
-//! tv analyze <file.sim> [--cycle NS] [--no-case] [--model lumped|elmore|upper] [--top K]
+//! tv analyze <file.sim> [--cycle NS] [--no-case] [--model lumped|elmore|upper]
+//!                       [--top K] [--jobs N] [--incremental]
 //! tv check   <file.sim>            # electrical rules only
 //! tv flow    <file.sim>            # signal-flow resolution statistics
 //! tv query   <file.sim> <from> <to># point-to-point worst path
 //! tv spice   <file.sim>            # convert to a SPICE deck on stdout
-//! tv demo                          # analyze a built-in MIPS-class datapath
+//! tv demo    [--jobs N]            # analyze a built-in MIPS-class datapath
 //! ```
+//!
+//! `--jobs N` fans graph construction and levelized propagation out over
+//! `N` threads (`0` = all cores) with bit-identical results;
+//! `--incremental` reuses clean cones between the run's analysis cases.
 //!
 //! Exit status: 0 on success, 1 on usage/parse errors, 2 when the analysis
 //! finds violations (negative slack, races, or electrical issues) — so the
@@ -19,7 +24,7 @@
 use std::process::ExitCode;
 
 use nmos_tv::clocks::TwoPhaseClock;
-use nmos_tv::core::{AnalysisOptions, Analyzer, DelayModel};
+use nmos_tv::core::{AnalysisOptions, Analyzer, DelayModel, TvError};
 use nmos_tv::flow::{analyze as flow_analyze, RuleSet};
 use nmos_tv::netlist::{sim_format, spice, Netlist, Tech};
 
@@ -43,15 +48,18 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  tv analyze <file.sim> [--cycle NS] [--no-case] [--model lumped|elmore|upper] [--top K]
+  tv analyze <file.sim> [--cycle NS] [--no-case] [--model lumped|elmore|upper]
+                        [--top K] [--jobs N] [--incremental]
   tv check   <file.sim>
   tv flow    <file.sim>
   tv query   <file.sim> <from-node> <to-node>
   tv spice   <file.sim>
-  tv demo";
+  tv demo    [--jobs N]";
 
-fn run(args: &[String]) -> Result<bool, String> {
-    let cmd = args.first().ok_or("missing subcommand")?;
+fn run(args: &[String]) -> Result<bool, TvError> {
+    let cmd = args
+        .first()
+        .ok_or_else(|| TvError::Usage("missing subcommand".into()))?;
     match cmd.as_str() {
         "analyze" => {
             let (netlist, rest) = load(&args[1..])?;
@@ -86,14 +94,14 @@ fn run(args: &[String]) -> Result<bool, String> {
         "query" => {
             let (netlist, rest) = load(&args[1..])?;
             let [from_name, to_name] = rest else {
-                return Err("query needs <from-node> <to-node>".into());
+                return Err(TvError::Usage("query needs <from-node> <to-node>".into()));
             };
             let from = netlist
                 .node_by_name(from_name)
-                .ok_or_else(|| format!("no node named {from_name:?}"))?;
+                .ok_or_else(|| TvError::UnknownNode(from_name.clone()))?;
             let to = netlist
                 .node_by_name(to_name)
-                .ok_or_else(|| format!("no node named {to_name:?}"))?;
+                .ok_or_else(|| TvError::UnknownNode(to_name.clone()))?;
             match Analyzer::new(&netlist).path_query(from, to, &AnalysisOptions::default()) {
                 Some(path) => {
                     println!(
@@ -118,54 +126,73 @@ fn run(args: &[String]) -> Result<bool, String> {
             Ok(true)
         }
         "demo" => {
+            let options = parse_options(&args[1..])?;
             let dp = nmos_tv::gen::datapath::datapath(
                 Tech::nmos4um(),
                 nmos_tv::gen::datapath::DatapathConfig::mips32(),
             );
-            let report = Analyzer::new(&dp.netlist).run(&AnalysisOptions::default());
+            let report = Analyzer::new(&dp.netlist).run(&options);
             print!("{}", report.render(&dp.netlist));
             Ok(true)
         }
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => Err(TvError::Usage(format!("unknown subcommand {other:?}"))),
     }
 }
 
 /// Loads the `.sim` file named by the first argument; returns the netlist
 /// and the remaining arguments.
-fn load(args: &[String]) -> Result<(Netlist, &[String]), String> {
-    let path = args.first().ok_or("missing <file.sim>")?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let netlist =
-        sim_format::parse(&text, Tech::nmos4um()).map_err(|e| format!("parse {path}: {e}"))?;
+fn load(args: &[String]) -> Result<(Netlist, &[String]), TvError> {
+    let path = args
+        .first()
+        .ok_or_else(|| TvError::Usage("missing <file.sim>".into()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| TvError::Io {
+        path: path.clone(),
+        source: e,
+    })?;
+    let netlist = sim_format::parse(&text, Tech::nmos4um()).map_err(|e| TvError::Parse {
+        path: path.clone(),
+        message: e.to_string(),
+    })?;
     Ok((netlist, &args[1..]))
 }
 
-fn parse_options(args: &[String]) -> Result<AnalysisOptions, String> {
+fn parse_options(args: &[String]) -> Result<AnalysisOptions, TvError> {
+    let usage = |msg: &str| TvError::Usage(msg.into());
     let mut options = AnalysisOptions::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--no-case" => options.case_analysis = false,
             "--cycle" => {
-                let v = it.next().ok_or("--cycle needs a value")?;
-                let cycle: f64 = v.parse().map_err(|_| format!("bad cycle {v:?}"))?;
+                let v = it.next().ok_or_else(|| usage("--cycle needs a value"))?;
+                let cycle: f64 = v
+                    .parse()
+                    .map_err(|_| TvError::Usage(format!("bad cycle {v:?}")))?;
                 options.clock = TwoPhaseClock::symmetric(cycle, cycle * 0.02);
             }
             "--model" => {
-                let v = it.next().ok_or("--model needs a value")?;
+                let v = it.next().ok_or_else(|| usage("--model needs a value"))?;
                 options.model = match v.as_str() {
                     "lumped" => DelayModel::Lumped,
                     "elmore" => DelayModel::Elmore,
                     "upper" => DelayModel::UpperBound,
-                    other => return Err(format!("unknown model {other:?}")),
+                    other => return Err(TvError::Usage(format!("unknown model {other:?}"))),
                 };
             }
             "--top" => {
-                let v = it.next().ok_or("--top needs a value")?;
-                options.top_k = v.parse().map_err(|_| format!("bad top-k {v:?}"))?;
+                let v = it.next().ok_or_else(|| usage("--top needs a value"))?;
+                options.top_k = v
+                    .parse()
+                    .map_err(|_| TvError::Usage(format!("bad top-k {v:?}")))?;
             }
-            other => return Err(format!("unknown flag {other:?}")),
+            "--jobs" => {
+                let v = it.next().ok_or_else(|| usage("--jobs needs a value"))?;
+                options.jobs = v
+                    .parse()
+                    .map_err(|_| TvError::Usage(format!("bad job count {v:?}")))?;
+            }
+            "--incremental" => options.incremental = true,
+            other => return Err(TvError::Usage(format!("unknown flag {other:?}"))),
         }
     }
     Ok(options)

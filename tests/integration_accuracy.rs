@@ -27,8 +27,8 @@ fn static_vs_sim(circuit: &nmos_tv::gen::Circuit, falls: bool) -> (f64, f64) {
         stim.drive(en, Waveform::Const(tech.vdd));
     }
     let result = Simulator::new(nl, stim, SimOptions::for_duration(60.0)).run();
-    let sim = measure::delay_50(&result, circuit.input, circuit.output, &tech)
-        .expect("output switches");
+    let sim =
+        measure::delay_50(&result, circuit.input, circuit.output, &tech).expect("output switches");
     (est, sim)
 }
 

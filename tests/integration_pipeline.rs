@@ -53,12 +53,7 @@ fn datapath_report_is_complete_and_clean_of_cycles() {
 
 #[test]
 fn analysis_is_deterministic() {
-    let c = random::random_logic(
-        Tech::nmos4um(),
-        600,
-        42,
-        random::RandomMix::default(),
-    );
+    let c = random::random_logic(Tech::nmos4um(), 600, 42, random::RandomMix::default());
     let opts = AnalysisOptions::default();
     let r1 = Analyzer::new(&c.netlist).run(&opts);
     let r2 = Analyzer::new(&c.netlist).run(&opts);

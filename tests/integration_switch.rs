@@ -19,7 +19,8 @@ fn level(bit: bool) -> Level {
 }
 
 fn node(nl: &Netlist, name: &str) -> NodeId {
-    nl.node_by_name(name).unwrap_or_else(|| panic!("node {name}"))
+    nl.node_by_name(name)
+        .unwrap_or_else(|| panic!("node {name}"))
 }
 
 #[test]
@@ -89,11 +90,7 @@ fn barrel_shifter_routes_each_amount() {
             // the receivers: q_j = in_{(j+s) mod width}.
             let expect = (pattern >> ((j + s) % width)) & 1 == 1;
             let got = sim.value(node(nl, &format!("q{j}")));
-            assert_eq!(
-                got,
-                level(expect),
-                "shift {s}, output bit {j}: got {got:?}"
-            );
+            assert_eq!(got, level(expect), "shift {s}, output bit {j}: got {got:?}");
         }
     }
 }
