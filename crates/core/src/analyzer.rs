@@ -1,18 +1,21 @@
 //! The analyzer facade: one call from netlist to full timing report.
 
+use std::time::Instant;
+
 use tv_clocks::latch::{find_latches, Latch};
 use tv_clocks::qualify::qualify_with_flow;
 use tv_clocks::ClockConstraints;
 use tv_flow::{Census, FlowAnalysis, FlowReport};
-use tv_netlist::{Netlist, NodeId, NodeRole};
+use tv_netlist::{Diagnostic, Netlist, NodeId, NodeRole};
 
 use crate::checks::{check_electrical, CheckIssue};
+use crate::error::TvError;
 use crate::graph::{PhaseCase, TimingGraph};
 use crate::hold::{race_check, RaceHazard};
 use crate::incremental::IncrementalCache;
 use crate::options::AnalysisOptions;
 use crate::paths::{critical_paths, TimingPath};
-use crate::propagate::{propagate, propagate_with, PhaseResult};
+use crate::propagate::{propagate, propagate_guarded, Completion, Guards, PhaseResult};
 
 /// Assumed driver resistance of primary inputs, kΩ (a strong pad driver).
 pub const SOURCE_RESISTANCE: f64 = 1.0;
@@ -60,6 +63,11 @@ pub struct TimingReport {
     /// arrivals (using the configured clock's non-overlap gap); `None`
     /// without case analysis.
     pub min_cycle: Option<f64>,
+    /// Every diagnostic the run produced, in pipeline order: flow
+    /// direction findings, graph-construction degradations, per-case
+    /// guard exhaustion and worker panics, then electrical check issues.
+    /// Empty on a clean run.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl TimingReport {
@@ -71,6 +79,48 @@ impl TimingReport {
     /// Worst combinational arrival at a node (convenience passthrough).
     pub fn arrival(&self, node: NodeId) -> Option<f64> {
         self.combinational.arrival(node)
+    }
+
+    /// Whether every propagation case ran to completion — no resource
+    /// guard ([`AnalysisOptions::relax_budget`] /
+    /// [`AnalysisOptions::deadline`]) tripped.
+    pub fn is_complete(&self) -> bool {
+        self.combinational.completion == Completion::Complete
+            && self
+                .phases
+                .iter()
+                .all(|p| p.result.completion == Completion::Complete)
+    }
+
+    /// Nodes left partial or unresolved by any case, deduplicated and
+    /// sorted by id. Empty exactly when [`TimingReport::is_complete`].
+    pub fn unresolved_nodes(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.combinational.unresolved.clone();
+        for p in &self.phases {
+            out.extend_from_slice(&p.result.unresolved);
+        }
+        out.sort_by_key(|id| id.index());
+        out.dedup();
+        out
+    }
+
+    /// Strict view of a possibly partial report: a complete report passes
+    /// through, a guard-exhausted one becomes
+    /// [`TvError::BudgetExhausted`] — which still carries the partial
+    /// report, so nothing computed is thrown away.
+    pub fn strict(self, netlist: &Netlist) -> Result<TimingReport, TvError> {
+        if self.is_complete() {
+            return Ok(self);
+        }
+        let unresolved = self
+            .unresolved_nodes()
+            .into_iter()
+            .map(|id| netlist.node(id).name().to_string())
+            .collect();
+        Err(TvError::BudgetExhausted {
+            unresolved,
+            partial: Box::new(self),
+        })
     }
 }
 
@@ -97,11 +147,39 @@ impl<'a> Analyzer<'a> {
     /// [`Analyzer::run_incremental`] to also reuse work after a netlist
     /// edit.
     pub fn run(&self, options: &AnalysisOptions) -> TimingReport {
+        let r = if options.incremental {
+            let mut cache = IncrementalCache::new();
+            run_report(self.netlist, options, Some(&mut cache), false)
+        } else {
+            run_report(self.netlist, options, None, false)
+        };
+        r.expect("size limits are only enforced by try_run")
+    }
+
+    /// [`Analyzer::run`] with the size guards enforced: refuses (with
+    /// [`TvError::TooLarge`]) netlists above
+    /// [`AnalysisOptions::max_nodes`] before doing any work, and timing
+    /// graphs above [`AnalysisOptions::max_arcs`] as soon as the first
+    /// graph is built. Guard exhaustion mid-run (budget, deadline) is
+    /// *not* an error here — the report comes back partial with
+    /// [`TimingReport::diagnostics`] explaining what is missing; chain
+    /// [`TimingReport::strict`] to turn that into an error too.
+    pub fn try_run(&self, options: &AnalysisOptions) -> Result<TimingReport, TvError> {
+        if let Some(limit) = options.max_nodes {
+            let count = self.netlist.node_count();
+            if count > limit {
+                return Err(TvError::TooLarge {
+                    what: "nodes",
+                    count,
+                    limit,
+                });
+            }
+        }
         if options.incremental {
             let mut cache = IncrementalCache::new();
-            run_report(self.netlist, options, Some(&mut cache))
+            run_report(self.netlist, options, Some(&mut cache), true)
         } else {
-            run_report(self.netlist, options, None)
+            run_report(self.netlist, options, None, true)
         }
     }
 
@@ -114,18 +192,25 @@ impl<'a> Analyzer<'a> {
         options: &AnalysisOptions,
         cache: &mut IncrementalCache,
     ) -> TimingReport {
-        run_report(self.netlist, options, Some(cache))
+        run_report(self.netlist, options, Some(cache), false)
+            .expect("size limits are only enforced by try_run")
     }
 }
 
-/// The shared pipeline behind [`Analyzer::run`] and
-/// [`Analyzer::run_incremental`].
+/// The shared pipeline behind [`Analyzer::run`], [`Analyzer::try_run`],
+/// and [`Analyzer::run_incremental`]. `Err` is only reachable with
+/// `enforce_limits` (the [`Analyzer::try_run`] path).
 fn run_report(
     nl: &Netlist,
     options: &AnalysisOptions,
     mut cache: Option<&mut IncrementalCache>,
-) -> TimingReport {
+    enforce_limits: bool,
+) -> Result<TimingReport, TvError> {
     let jobs = options.effective_jobs();
+    let guards = Guards {
+        relax_budget: options.relax_budget,
+        deadline: options.deadline.map(|d| Instant::now() + d),
+    };
     if let Some(c) = cache.as_deref_mut() {
         c.begin_run(options);
     }
@@ -134,6 +219,7 @@ fn run_report(
     let latches = find_latches(nl, &flow, &qual);
     let flow_report = flow.report(nl);
     let census = flow.census();
+    let mut diagnostics = flow.diagnostics(nl);
 
     // Combinational view: everything active, external sources.
     let comb_graph = TimingGraph::build_par(
@@ -145,6 +231,19 @@ fn run_report(
         SOURCE_RESISTANCE,
         jobs,
     );
+    if enforce_limits {
+        if let Some(limit) = options.max_arcs {
+            let count = comb_graph.arc_count();
+            if count > limit {
+                return Err(TvError::TooLarge {
+                    what: "arcs",
+                    count,
+                    limit,
+                });
+            }
+        }
+    }
+    diagnostics.extend(comb_graph.diagnostics.iter().cloned());
     let comb_sources = external_sources(nl);
     let comb_endpoints = endpoints_or_all(nl, nl.outputs());
     let combinational = run_case(
@@ -154,8 +253,10 @@ fn run_report(
         &comb_endpoints,
         options,
         jobs,
+        guards,
         &mut cache,
     );
+    diagnostics.extend(combinational.diagnostics.iter().cloned());
     let combinational_paths = critical_paths(&comb_graph, &combinational, options.top_k);
 
     // Per-phase case analysis.
@@ -164,7 +265,16 @@ fn run_report(
     if options.case_analysis && has_clocks {
         for p in 0..2u8 {
             phases.push(run_phase(
-                nl, p, &flow, &qual, &latches, options, jobs, &mut cache,
+                nl,
+                p,
+                &flow,
+                &qual,
+                &latches,
+                options,
+                jobs,
+                guards,
+                &mut cache,
+                &mut diagnostics,
             ));
         }
     }
@@ -178,8 +288,9 @@ fn run_report(
     };
 
     let checks = check_electrical(nl, &flow, &qual);
+    diagnostics.extend(checks.iter().map(|c| c.diagnostic(nl)));
 
-    TimingReport {
+    Ok(TimingReport {
         flow_report,
         census,
         combinational,
@@ -188,11 +299,13 @@ fn run_report(
         latches,
         checks,
         min_cycle,
-    }
+        diagnostics,
+    })
 }
 
 /// Dispatches one case's propagation to the cache (incremental) or the
 /// plain engine.
+#[allow(clippy::too_many_arguments)]
 fn run_case(
     nl: &Netlist,
     graph: &TimingGraph,
@@ -200,11 +313,12 @@ fn run_case(
     endpoints: &[NodeId],
     options: &AnalysisOptions,
     jobs: usize,
+    guards: Guards,
     cache: &mut Option<&mut IncrementalCache>,
 ) -> PhaseResult {
     match cache {
-        Some(c) => c.propagate_case(nl, graph, sources, endpoints, &options.slope, jobs),
-        None => propagate_with(nl, graph, sources, endpoints, &options.slope, jobs),
+        Some(c) => c.propagate_case(nl, graph, sources, endpoints, &options.slope, jobs, guards),
+        None => propagate_guarded(nl, graph, sources, endpoints, &options.slope, jobs, guards),
     }
 }
 
@@ -252,7 +366,9 @@ fn run_phase(
     latches: &[Latch],
     options: &AnalysisOptions,
     jobs: usize,
+    guards: Guards,
     cache: &mut Option<&mut IncrementalCache>,
+    diagnostics: &mut Vec<Diagnostic>,
 ) -> PhaseAnalysis {
     let graph = TimingGraph::build_par(
         nl,
@@ -263,10 +379,14 @@ fn run_phase(
         SOURCE_RESISTANCE,
         jobs,
     );
+    diagnostics.extend(graph.diagnostics.iter().cloned());
     let sources = phase_sources(nl, latches, phase);
     let endpoints = phase_endpoints(nl, latches, phase);
 
-    let result = run_case(nl, &graph, &sources, &endpoints, options, jobs, cache);
+    let result = run_case(
+        nl, &graph, &sources, &endpoints, options, jobs, guards, cache,
+    );
+    diagnostics.extend(result.diagnostics.iter().cloned());
     let paths = critical_paths(&graph, &result, options.top_k);
     let slack = result
         .critical_arrival()
@@ -427,6 +547,96 @@ mod tests {
         assert_eq!(p.len(), 4); // mid + 3 remaining stages
                                 // Reverse direction: unreachable.
         assert!(analyzer.path_query(c.output, mid, &opts).is_none());
+    }
+
+    #[test]
+    fn try_run_refuses_oversized_netlists() {
+        let c = chains::inverter_chain(Tech::nmos4um(), 8, 1);
+        let opts = AnalysisOptions {
+            max_nodes: Some(3),
+            ..AnalysisOptions::default()
+        };
+        match Analyzer::new(&c.netlist).try_run(&opts) {
+            Err(TvError::TooLarge { what, count, limit }) => {
+                assert_eq!(what, "nodes");
+                assert!(count > limit);
+                assert_eq!(limit, 3);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        let opts = AnalysisOptions {
+            max_arcs: Some(1),
+            ..AnalysisOptions::default()
+        };
+        match Analyzer::new(&c.netlist).try_run(&opts) {
+            Err(TvError::TooLarge { what, .. }) => assert_eq!(what, "arcs"),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // Within limits: same report as run().
+        let opts = AnalysisOptions {
+            max_nodes: Some(1_000_000),
+            max_arcs: Some(1_000_000),
+            ..AnalysisOptions::default()
+        };
+        let r = Analyzer::new(&c.netlist).try_run(&opts).expect("fits");
+        assert!(r.is_complete());
+        assert!(r.unresolved_nodes().is_empty());
+    }
+
+    #[test]
+    fn clean_report_has_no_diagnostics_and_passes_strict() {
+        let c = chains::inverter_chain(Tech::nmos4um(), 4, 1);
+        let report = Analyzer::new(&c.netlist).run(&AnalysisOptions::default());
+        assert!(report.is_complete());
+        assert!(
+            report.diagnostics.is_empty(),
+            "clean chain should be diagnostic-free: {:?}",
+            report.diagnostics
+        );
+        assert!(report.strict(&c.netlist).is_ok());
+    }
+
+    #[test]
+    fn exhausted_budget_yields_partial_report_and_strict_error() {
+        use tv_netlist::codes;
+        // A cross-coupled pair is a genuine combinational cycle: the
+        // residue worklist must relax it, so a one-relaxation budget
+        // trips the guard.
+        let mut b = tv_netlist::NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let x = b.node("x");
+        let y = b.node("y");
+        b.inverter("i1", a, x);
+        b.inverter("i2", x, y);
+        b.inverter("i3", y, x);
+        let nl = b.finish().unwrap();
+        let opts = AnalysisOptions {
+            relax_budget: Some(1),
+            ..AnalysisOptions::default()
+        };
+        let report = Analyzer::new(&nl).run(&opts);
+        assert!(!report.is_complete());
+        let unresolved = report.unresolved_nodes();
+        assert!(!unresolved.is_empty(), "cycle nodes left unresolved");
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == codes::ANALYSIS_BUDGET_EXHAUSTED),
+            "budget exhaustion is reported: {:?}",
+            report.diagnostics
+        );
+        match report.strict(&nl) {
+            Err(TvError::BudgetExhausted {
+                unresolved,
+                partial,
+            }) => {
+                assert!(!unresolved.is_empty());
+                // The partial report still carries everything computed.
+                assert!(partial.arrival(a).is_some());
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::fmt;
 
 use tv_clocks::qualify::Qualification;
 use tv_flow::{DeviceRole, Direction, FlowAnalysis, NodeClass};
-use tv_netlist::{DeviceId, Netlist, NodeId};
+use tv_netlist::{codes, DeviceId, Diagnostic, Netlist, NodeId};
 
 use crate::graph::{pull_down_resistance, pull_up_resistance};
 
@@ -81,6 +81,23 @@ impl CheckIssue {
                 netlist.node(*node).name()
             ),
         }
+    }
+
+    /// The stable diagnostic code for this check kind.
+    pub fn code(&self) -> &'static str {
+        match self {
+            CheckIssue::RatioViolation { .. } => codes::CHECK_RATIO,
+            CheckIssue::ChargeSharing { .. } => codes::CHECK_CHARGE_SHARING,
+            CheckIssue::UnresolvedDirection { .. } => codes::FLOW_UNRESOLVED,
+            CheckIssue::ClockConflict { .. } => codes::CHECK_CLOCK_CONFLICT,
+        }
+    }
+
+    /// Renders this check as a [`Diagnostic`] on the unified stream.
+    /// Electrical checks are warnings: the analysis completed, but the
+    /// circuit may not work at the reported speed.
+    pub fn diagnostic(&self, netlist: &Netlist) -> Diagnostic {
+        Diagnostic::warning(self.code(), self.display(netlist))
     }
 }
 

@@ -35,6 +35,26 @@ pub enum TvError {
     Netlist(String),
     /// An argument outside the operation's domain.
     InvalidArgument(String),
+    /// A resource guard (relaxation budget or deadline) ran out before
+    /// every node resolved. The *partial* report is attached — callers
+    /// choosing the strict path still get everything that was computed.
+    BudgetExhausted {
+        /// Names of the nodes whose timing is partial or missing.
+        unresolved: Vec<String>,
+        /// Everything the run did manage to compute.
+        partial: Box<crate::analyzer::TimingReport>,
+    },
+    /// The input exceeds a configured size guard
+    /// ([`crate::AnalysisOptions::max_nodes`] /
+    /// [`crate::AnalysisOptions::max_arcs`]).
+    TooLarge {
+        /// What was counted ("nodes" or "arcs").
+        what: &'static str,
+        /// The measured count.
+        count: usize,
+        /// The configured limit it exceeds.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for TvError {
@@ -46,6 +66,15 @@ impl fmt::Display for TvError {
             TvError::Usage(msg) => write!(f, "{msg}"),
             TvError::Netlist(msg) => write!(f, "netlist edit failed: {msg}"),
             TvError::InvalidArgument(msg) => write!(f, "{msg}"),
+            TvError::BudgetExhausted { unresolved, .. } => write!(
+                f,
+                "analysis exhausted its resource budget with {} node(s) unresolved",
+                unresolved.len()
+            ),
+            TvError::TooLarge { what, count, limit } => write!(
+                f,
+                "input too large: {count} {what} exceeds the configured limit of {limit}"
+            ),
         }
     }
 }

@@ -18,9 +18,11 @@
 //! simulator on single stages; [`crate::options::DelayModel`] switches in
 //! the lumped and certified-upper-bound models for the A1 ablation.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use tv_clocks::qualify::Qualification;
 use tv_flow::{DeviceRole, Direction, FlowAnalysis};
-use tv_netlist::{DeviceId, Netlist, NodeId, NodeRole};
+use tv_netlist::{codes, DeviceId, Diagnostic, Netlist, NodeId, NodeRole};
 use tv_rc::elmore::{crossing_estimate, elmore_delays};
 use tv_rc::tree::RcTree;
 
@@ -178,6 +180,10 @@ pub struct TimingGraph {
     pub in_arc_ids: Vec<u32>,
     /// Level schedule for the parallel propagation engine.
     pub schedule: LevelSchedule,
+    /// Diagnostics recorded during construction: stages whose build
+    /// panicked are omitted from the arc set and reported here. Empty —
+    /// and unallocated — on a clean build.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// Minimum number of stage roots before graph construction fans out
@@ -222,6 +228,38 @@ impl TimingGraph {
         source_resistance: f64,
         jobs: usize,
     ) -> Self {
+        Self::build_isolated(
+            netlist,
+            flow,
+            qualification,
+            case,
+            model,
+            source_resistance,
+            jobs,
+            None,
+        )
+    }
+
+    /// [`TimingGraph::build_par`] with a fault-injection hook called on
+    /// each root before its stage is built (tests exercise worker
+    /// isolation with a panicking hook; production callers pass `None`).
+    ///
+    /// A panic while building one stage is contained: that chunk is
+    /// rebuilt root-by-root, the panicking stage contributes no arcs, and
+    /// the omission lands in [`TimingGraph::diagnostics`]. Because a
+    /// panic on given inputs is deterministic, the surviving arc list is
+    /// still identical at any thread count.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build_isolated(
+        netlist: &Netlist,
+        flow: &FlowAnalysis,
+        qualification: &[Qualification],
+        case: PhaseCase,
+        model: DelayModel,
+        source_resistance: f64,
+        jobs: usize,
+        fault: Option<&(dyn Fn(NodeId) + Sync)>,
+    ) -> Self {
         let builder = GraphBuilder {
             netlist,
             flow,
@@ -231,36 +269,84 @@ impl TimingGraph {
         };
         let roots = builder.roots();
         let threads = jobs.max(1).min(roots.len().max(1));
-        let arcs: Vec<Arc> = if threads <= 1 || roots.len() < PAR_MIN_ROOTS {
+        let mut diagnostics: Vec<Diagnostic> = Vec::new();
+
+        // Fast path for one chunk of roots: any panic voids the whole
+        // chunk (Err), which the caller then recovers root-by-root.
+        let build_chunk = |root_chunk: &[(NodeId, RootKind)]| -> Result<Vec<Arc>, ()> {
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut arcs = Vec::new();
+                for r in root_chunk {
+                    if let Some(hook) = fault {
+                        hook(r.0);
+                    }
+                    builder.build_root(r, source_resistance, &mut arcs);
+                }
+                arcs
+            }))
+            .map_err(|_| ())
+        };
+        // Degraded path: per-root isolation. Each root builds into its
+        // own vector so a mid-stage panic discards only that stage.
+        let recover_chunk = |root_chunk: &[(NodeId, RootKind)],
+                             diagnostics: &mut Vec<Diagnostic>|
+         -> Vec<Arc> {
             let mut arcs = Vec::new();
-            for r in &roots {
-                builder.build_root(r, source_resistance, &mut arcs);
+            for r in root_chunk {
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    let mut part = Vec::new();
+                    if let Some(hook) = fault {
+                        hook(r.0);
+                    }
+                    builder.build_root(r, source_resistance, &mut part);
+                    part
+                }));
+                match attempt {
+                        Ok(part) => arcs.extend(part),
+                        Err(_) => diagnostics.push(Diagnostic::error(
+                            codes::ANALYSIS_WORKER_PANIC,
+                            format!(
+                                "graph construction panicked for the stage rooted at node {:?}; stage omitted from analysis",
+                                netlist.node(r.0).name()
+                            ),
+                        )),
+                    }
             }
             arcs
+        };
+
+        let arcs: Vec<Arc> = if threads <= 1 || roots.len() < PAR_MIN_ROOTS {
+            match build_chunk(&roots) {
+                Ok(arcs) => arcs,
+                Err(()) => {
+                    diagnostics.push(degraded_build_note());
+                    recover_chunk(&roots, &mut diagnostics)
+                }
+            }
         } else {
             let chunk = roots.len().div_ceil(threads);
-            let parts: Vec<Vec<Arc>> = std::thread::scope(|s| {
+            let parts: Vec<Result<Vec<Arc>, ()>> = std::thread::scope(|s| {
                 let handles: Vec<_> = roots
                     .chunks(chunk)
                     .map(|root_chunk| {
-                        let b = &builder;
-                        s.spawn(move || {
-                            let mut arcs = Vec::new();
-                            for r in root_chunk {
-                                b.build_root(r, source_resistance, &mut arcs);
-                            }
-                            arcs
-                        })
+                        let f = &build_chunk;
+                        s.spawn(move || f(root_chunk))
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("graph build worker panicked"))
+                    .map(|h| h.join().expect("worker panic is caught inside the closure"))
                     .collect()
             });
-            let mut arcs = Vec::with_capacity(parts.iter().map(Vec::len).sum());
-            for p in parts {
-                arcs.extend(p);
+            if parts.iter().any(Result::is_err) {
+                diagnostics.push(degraded_build_note());
+            }
+            let mut arcs = Vec::new();
+            for (root_chunk, part) in roots.chunks(chunk).zip(parts) {
+                match part {
+                    Ok(p) => arcs.extend(p),
+                    Err(()) => arcs.extend(recover_chunk(root_chunk, &mut diagnostics)),
+                }
             }
             arcs
         };
@@ -292,6 +378,7 @@ impl TimingGraph {
             in_starts,
             in_arc_ids,
             schedule,
+            diagnostics,
         }
     }
 
@@ -314,6 +401,15 @@ impl TimingGraph {
     pub fn in_arcs_of(&self, node: NodeId) -> &[u32] {
         self.in_arcs_of_index(node.index())
     }
+}
+
+/// The shared "a build worker panicked" note.
+fn degraded_build_note() -> Diagnostic {
+    Diagnostic::warning(
+        codes::ANALYSIS_WORKER_PANIC,
+        "a graph-build worker panicked; affected roots rebuilt with per-stage isolation"
+            .to_string(),
+    )
 }
 
 /// What a graph-build root is: a driving stage output or a primary input
@@ -1086,6 +1182,68 @@ mod tests {
                 assert_eq!(serial.schedule.level_starts, par.schedule.level_starts);
                 assert_eq!(serial.schedule.residue, par.schedule.residue);
             }
+        }
+    }
+
+    #[test]
+    fn panicked_stage_is_omitted_with_diagnostic_at_any_thread_count() {
+        let circuit = tv_gen::random::random_logic(
+            Tech::nmos4um(),
+            600,
+            0xDECAF,
+            tv_gen::random::RandomMix::default(),
+        );
+        let nl = &circuit.netlist;
+        let flow = analyze(nl, &RuleSet::all());
+        let q = qualify_with_flow(nl, &flow);
+        let clean = TimingGraph::build(
+            nl,
+            &flow,
+            &q,
+            PhaseCase::all_active(),
+            DelayModel::Elmore,
+            1.0,
+        );
+        assert!(clean.diagnostics.is_empty());
+        // Poison one mid-list stage root and require the rest to survive.
+        let builder = GraphBuilder {
+            netlist: nl,
+            flow: &flow,
+            qualification: &q,
+            case: PhaseCase::all_active(),
+            model: DelayModel::Elmore,
+        };
+        let roots = builder.roots();
+        let bad = roots[roots.len() / 2].0;
+        let hook = move |root: NodeId| {
+            if root == bad {
+                panic!("injected fault");
+            }
+        };
+        let build_at = |jobs: usize| {
+            TimingGraph::build_isolated(
+                nl,
+                &flow,
+                &q,
+                PhaseCase::all_active(),
+                DelayModel::Elmore,
+                1.0,
+                jobs,
+                Some(&hook),
+            )
+        };
+        let serial = build_at(1);
+        assert!(serial.arc_count() < clean.arc_count(), "stage was omitted");
+        assert!(serial
+            .diagnostics
+            .iter()
+            .any(|d| d.code == tv_netlist::codes::ANALYSIS_WORKER_PANIC));
+        let par = build_at(4);
+        assert_eq!(serial.arc_count(), par.arc_count());
+        for (a, b) in serial.arcs.iter().zip(&par.arcs) {
+            assert_eq!(a.from, b.from);
+            assert_eq!(a.to, b.to);
+            assert_eq!(a.rise_delay.to_bits(), b.rise_delay.to_bits());
         }
     }
 

@@ -32,7 +32,7 @@ use tv_rc::SlopeModel;
 
 use crate::graph::{ArcKind, TimingGraph};
 use crate::options::AnalysisOptions;
-use crate::propagate::{propagate_reuse, CachedCase, PhaseResult, Reuse};
+use crate::propagate::{propagate_reuse, CachedCase, Guards, PhaseResult, Reuse};
 
 /// Reuse statistics for one analysis case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +93,7 @@ impl IncrementalCache {
 
     /// Propagates one case, reusing every clean cone the cache can
     /// justify, and refreshes the cache with the result.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn propagate_case(
         &mut self,
         netlist: &Netlist,
@@ -101,6 +102,7 @@ impl IncrementalCache {
         endpoints: &[NodeId],
         slope: &SlopeModel,
         jobs: usize,
+        guards: Guards,
     ) -> PhaseResult {
         let n = netlist.node_count();
         let key = graph.case.active;
@@ -128,12 +130,22 @@ impl IncrementalCache {
                     affected: &affected,
                     cached: &entry.cached,
                 };
-                let r =
-                    propagate_reuse(netlist, graph, sources, endpoints, slope, jobs, Some(reuse));
+                let r = propagate_reuse(
+                    netlist,
+                    graph,
+                    sources,
+                    endpoints,
+                    slope,
+                    jobs,
+                    Some(reuse),
+                    guards,
+                );
                 (r, recomputed)
             }
             None => {
-                let r = propagate_reuse(netlist, graph, sources, endpoints, slope, jobs, None);
+                let r = propagate_reuse(
+                    netlist, graph, sources, endpoints, slope, jobs, None, guards,
+                );
                 (r, n)
             }
         };
@@ -273,9 +285,9 @@ mod tests {
         let slope = SlopeModel::calibrated();
         let mut cache = IncrementalCache::new();
         cache.begin_run(&AnalysisOptions::default());
-        let cold = cache.propagate_case(&nl, &g, &src, &eps, &slope, 1);
+        let cold = cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default());
         cache.begin_run(&AnalysisOptions::default());
-        let warm = cache.propagate_case(&nl, &g, &src, &eps, &slope, 1);
+        let warm = cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default());
         let stats = cache.last_stats();
         assert_eq!(stats.len(), 1);
         assert_eq!(stats[0].recomputed, 0, "nothing changed");
@@ -299,14 +311,22 @@ mod tests {
         let slope = SlopeModel::calibrated();
         let mut cache = IncrementalCache::new();
         cache.begin_run(&AnalysisOptions::default());
-        cache.propagate_case(&nl, &g, &src, &eps, &slope, 1);
+        cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default());
         // Different slope handling: every cached arrival is invalid.
         let opts = AnalysisOptions {
             slope: SlopeModel::disabled(),
             ..AnalysisOptions::default()
         };
         cache.begin_run(&opts);
-        cache.propagate_case(&nl, &g, &src, &eps, &SlopeModel::disabled(), 1);
+        cache.propagate_case(
+            &nl,
+            &g,
+            &src,
+            &eps,
+            &SlopeModel::disabled(),
+            1,
+            Guards::default(),
+        );
         assert_eq!(cache.last_stats()[0].recomputed, nl.node_count());
     }
 
@@ -363,7 +383,7 @@ mod tests {
                 .node_ids()
                 .filter(|&i| !nl1.node(i).role().is_rail())
                 .collect();
-            cache.propagate_case(&nl1, &g, &src, &eps, &slope, 1);
+            cache.propagate_case(&nl1, &g, &src, &eps, &slope, 1, Guards::default());
         }
         cache.begin_run(&AnalysisOptions::default());
         let flow = analyze(&nl2, &RuleSet::all());
@@ -384,7 +404,7 @@ mod tests {
             .node_ids()
             .filter(|&i| !nl2.node(i).role().is_rail())
             .collect();
-        let warm = cache.propagate_case(&nl2, &g, &src, &eps, &slope, 1);
+        let warm = cache.propagate_case(&nl2, &g, &src, &eps, &slope, 1, Guards::default());
         let stats = cache.last_stats()[0];
         assert!(stats.recomputed > 0, "the edited cone re-runs");
         assert!(

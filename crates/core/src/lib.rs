@@ -67,4 +67,8 @@ pub use incremental::{CaseStats, IncrementalCache};
 pub use optimize::{buffer_long_pass_runs, BufferInsertion};
 pub use options::{AnalysisOptions, DelayModel};
 pub use paths::{PathStep, TimingPath};
-pub use propagate::{propagate, propagate_with, Arrivals, PhaseResult, PAR_MIN_WIDTH};
+pub use propagate::{
+    propagate, propagate_guarded, propagate_with, Arrivals, Completion, Guards, PhaseResult,
+    PAR_MIN_WIDTH,
+};
+pub use tv_netlist::{codes, Diagnostic, Diagnostics, Severity};

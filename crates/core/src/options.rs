@@ -48,6 +48,21 @@ pub struct AnalysisOptions {
     /// stage fingerprints mark what changed, and only the forward cone of
     /// dirtied nodes is recomputed. Bit-identical to a cold run.
     pub incremental: bool,
+    /// Overrides the cyclic-residue relaxation budget (default
+    /// `64 × (arcs + nodes)`). Exhaustion returns *partial* results with
+    /// the unresolved nodes listed, not an error-only exit.
+    pub relax_budget: Option<usize>,
+    /// Wall-clock deadline for the whole run, measured from the moment
+    /// analysis starts. `None` (the default) never times out; setting it
+    /// makes which nodes finish machine-dependent, so leave it off where
+    /// reproducibility matters.
+    pub deadline: Option<std::time::Duration>,
+    /// Refuse (with [`crate::TvError::TooLarge`], via
+    /// [`crate::Analyzer::try_run`]) netlists above this node count.
+    pub max_nodes: Option<usize>,
+    /// Refuse (with [`crate::TvError::TooLarge`], via
+    /// [`crate::Analyzer::try_run`]) timing graphs above this arc count.
+    pub max_arcs: Option<usize>,
 }
 
 impl AnalysisOptions {
@@ -77,6 +92,10 @@ impl Default for AnalysisOptions {
             slope: SlopeModel::calibrated(),
             jobs: 1,
             incremental: false,
+            relax_budget: None,
+            deadline: None,
+            max_nodes: None,
+            max_arcs: None,
         }
     }
 }
@@ -94,6 +113,10 @@ mod tests {
         assert!(o.clock.cycle() > 0.0);
         assert_eq!(o.jobs, 1, "serial by default");
         assert!(!o.incremental);
+        assert!(o.relax_budget.is_none());
+        assert!(o.deadline.is_none());
+        assert!(o.max_nodes.is_none());
+        assert!(o.max_arcs.is_none());
     }
 
     #[test]

@@ -21,8 +21,10 @@
 //!    fully serial engine did.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
-use tv_netlist::{Netlist, NodeId};
+use tv_netlist::{codes, Diagnostic, Netlist, NodeId};
 use tv_rc::SlopeModel;
 
 use crate::graph::{Arc, ArcKind, PhaseCase, TimingGraph};
@@ -115,6 +117,36 @@ fn finite(v: f64) -> Option<f64> {
     v.is_finite().then_some(v)
 }
 
+/// Resource guards bounding one propagation run. The default guards
+/// reproduce the historical engine: a residue budget of
+/// `64 × (arcs + nodes)` and no deadline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Guards {
+    /// Overrides the residue worklist's relaxation budget. Exhaustion is
+    /// reported via [`PhaseResult::completion`], carrying partial results.
+    pub relax_budget: Option<usize>,
+    /// Wall-clock deadline for the whole walk. Checked at level
+    /// boundaries and periodically inside the residue worklist; nodes
+    /// not yet computed when it passes are left without arrivals and
+    /// listed in [`PhaseResult::unresolved`]. Note a deadline makes the
+    /// set of resolved nodes machine-dependent — leave it `None` where
+    /// reproducibility matters.
+    pub deadline: Option<Instant>,
+}
+
+/// How far a propagation run got before returning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// Every node was resolved.
+    Complete,
+    /// The residue relaxation budget ran out: arrivals on the listed
+    /// unresolved nodes are lower bounds, not converged values.
+    BudgetExhausted,
+    /// The wall-clock deadline passed: the listed unresolved nodes were
+    /// never computed and report no arrival at all.
+    DeadlineExceeded,
+}
+
 /// The outcome of propagating one phase case.
 #[derive(Debug, Clone)]
 pub struct PhaseResult {
@@ -130,6 +162,15 @@ pub struct PhaseResult {
     pub cyclic: bool,
     /// Number of arc relaxations performed (a work measure for T5).
     pub relaxations: usize,
+    /// Whether the run finished, ran out of budget, or timed out.
+    pub completion: Completion,
+    /// Nodes whose values are partial or missing: the residue set when
+    /// the budget ran out, uncomputed nodes when the deadline passed,
+    /// and any node whose evaluation panicked. Sorted by node id.
+    pub unresolved: Vec<NodeId>,
+    /// Engine diagnostics: guard exhaustion and degraded (panicked)
+    /// workers. Empty — and unallocated — on a clean run.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl PhaseResult {
@@ -248,6 +289,8 @@ struct Ctx<'a> {
     slot_of: &'a [u32],
     is_source: &'a [bool],
     reuse: Option<Reuse<'a>>,
+    /// Fault-injection hook (tests only); called before each evaluation.
+    fault: Option<&'a (dyn Fn(u32) + Sync)>,
 }
 
 /// Candidate `(rise arrival, rise trigger, fall arrival, fall trigger)`
@@ -281,6 +324,9 @@ fn candidates(arc: &Arc, from: &Slot, slope: &SlopeModel) -> (f64, Edge, f64, Ed
 /// arc-id order. Pure in the finished prefix, so the result does not
 /// depend on how the level was chunked across workers.
 fn compute_node(ctx: Ctx<'_>, done: &[Slot], node: u32) -> (Slot, u32) {
+    if let Some(hook) = ctx.fault {
+        hook(node);
+    }
     let ni = node as usize;
     if let Some(r) = ctx.reuse {
         if !r.affected[ni] {
@@ -354,11 +400,40 @@ pub fn propagate_with(
     slope: &SlopeModel,
     jobs: usize,
 ) -> PhaseResult {
-    propagate_reuse(netlist, graph, sources, endpoints, slope, jobs, None)
+    propagate_reuse(
+        netlist,
+        graph,
+        sources,
+        endpoints,
+        slope,
+        jobs,
+        None,
+        Guards::default(),
+    )
+}
+
+/// [`propagate_with`] under explicit resource [`Guards`]. Guard
+/// exhaustion is not an error: the result carries whatever was computed,
+/// with [`PhaseResult::completion`] and [`PhaseResult::unresolved`]
+/// describing what is missing.
+#[allow(clippy::too_many_arguments)]
+pub fn propagate_guarded(
+    netlist: &Netlist,
+    graph: &TimingGraph,
+    sources: &[NodeId],
+    endpoints: &[NodeId],
+    slope: &SlopeModel,
+    jobs: usize,
+    guards: Guards,
+) -> PhaseResult {
+    propagate_reuse(
+        netlist, graph, sources, endpoints, slope, jobs, None, guards,
+    )
 }
 
 /// The full engine: levelized parallel walk, optional cache reuse,
 /// residue worklist.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn propagate_reuse(
     netlist: &Netlist,
     graph: &TimingGraph,
@@ -367,6 +442,27 @@ pub(crate) fn propagate_reuse(
     slope: &SlopeModel,
     jobs: usize,
     reuse: Option<Reuse<'_>>,
+    guards: Guards,
+) -> PhaseResult {
+    propagate_full(
+        netlist, graph, sources, endpoints, slope, jobs, reuse, guards, None,
+    )
+}
+
+/// Innermost entry point, additionally taking a fault-injection hook
+/// called with each node index before evaluation. Tests use a panicking
+/// hook to exercise worker isolation; production callers pass `None`.
+#[allow(clippy::too_many_arguments)]
+fn propagate_full(
+    netlist: &Netlist,
+    graph: &TimingGraph,
+    sources: &[NodeId],
+    endpoints: &[NodeId],
+    slope: &SlopeModel,
+    jobs: usize,
+    reuse: Option<Reuse<'_>>,
+    guards: Guards,
+    fault: Option<&(dyn Fn(u32) + Sync)>,
 ) -> PhaseResult {
     let n = netlist.node_count();
     let sched = &graph.schedule;
@@ -399,12 +495,22 @@ pub(crate) fn propagate_reuse(
         slot_of: &slot_of,
         is_source: &is_source,
         reuse,
+        fault,
     };
 
     let mut relaxations = 0usize;
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut panicked: Vec<u32> = Vec::new();
+    let mut deadline_hit_at: Option<usize> = None;
     for l in 0..sched.levels() {
         let lo = sched.level_starts[l] as usize;
         let hi = sched.level_starts[l + 1] as usize;
+        if let Some(dl) = guards.deadline {
+            if Instant::now() >= dl {
+                deadline_hit_at = Some(lo);
+                break;
+            }
+        }
         let width = hi - lo;
         let targets = &sched.order[lo..hi];
         let (done, rest) = slots.split_at_mut(lo);
@@ -414,43 +520,93 @@ pub(crate) fn propagate_reuse(
         } else {
             jobs.min(width)
         };
-        if threads <= 1 {
-            for (out, &t) in level_out.iter_mut().zip(targets) {
-                let (s, relaxed) = compute_node(ctx, done, t);
-                *out = s;
-                relaxations += relaxed as usize;
-            }
+        // First attempt: the fast path, whole level serially or chunked
+        // across scoped workers. Any panic is contained to its chunk and
+        // reported as `Err`, leaving the level to the degraded pass below.
+        let attempt: Result<usize, ()> = if threads <= 1 {
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut relaxed = 0usize;
+                for (out, &t) in level_out.iter_mut().zip(targets) {
+                    let (s, r) = compute_node(ctx, done, t);
+                    *out = s;
+                    relaxed += r as usize;
+                }
+                relaxed
+            }))
+            .map_err(|_| ())
         } else {
             let chunk = width.div_ceil(threads);
             let done = &*done;
-            relaxations += std::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = level_out
                     .chunks_mut(chunk)
                     .zip(targets.chunks(chunk))
                     .map(|(out_chunk, t_chunk)| {
                         scope.spawn(move || {
-                            let mut relaxed = 0usize;
-                            for (out, &t) in out_chunk.iter_mut().zip(t_chunk) {
-                                let (s, r) = compute_node(ctx, done, t);
-                                *out = s;
-                                relaxed += r as usize;
-                            }
-                            relaxed
+                            catch_unwind(AssertUnwindSafe(move || {
+                                let mut relaxed = 0usize;
+                                for (out, &t) in out_chunk.iter_mut().zip(t_chunk) {
+                                    let (s, r) = compute_node(ctx, done, t);
+                                    *out = s;
+                                    relaxed += r as usize;
+                                }
+                                relaxed
+                            }))
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("propagation worker panicked"))
-                    .sum::<usize>()
-            });
+                let mut total = 0usize;
+                let mut clean = true;
+                for h in handles {
+                    match h.join().expect("worker panic is caught inside the closure") {
+                        Ok(r) => total += r,
+                        Err(_) => clean = false,
+                    }
+                }
+                if clean {
+                    Ok(total)
+                } else {
+                    Err(())
+                }
+            })
+        };
+        match attempt {
+            Ok(relaxed) => relaxations += relaxed,
+            Err(()) => {
+                // Degraded pass: recompute the whole level serially with
+                // per-node isolation. `compute_node` is pure in the
+                // finished prefix, so nodes that evaluate cleanly get
+                // bit-identical values to an untroubled run; nodes that
+                // panic again deterministically resolve to "no arrival".
+                diagnostics.push(Diagnostic::warning(
+                    codes::ANALYSIS_WORKER_PANIC,
+                    format!(
+                        "a propagation worker panicked on level {l}; level recomputed serially"
+                    ),
+                ));
+                let (done, rest) = slots.split_at_mut(lo);
+                let level_out = &mut rest[..width];
+                for (out, &t) in level_out.iter_mut().zip(targets) {
+                    match catch_unwind(AssertUnwindSafe(|| compute_node(ctx, done, t))) {
+                        Ok((s, r)) => {
+                            *out = s;
+                            relaxations += r as usize;
+                        }
+                        Err(_) => {
+                            *out = Slot::init(ctx.is_source[t as usize]);
+                            panicked.push(t);
+                        }
+                    }
+                }
+            }
         }
     }
 
     // Residue: the budgeted serial worklist, seeded with residue sources
     // and every node feeding a residue node (their slots are final).
     let mut cyclic = false;
-    if !sched.residue.is_empty() {
+    let mut residue_deadline_hit = false;
+    if !sched.residue.is_empty() && deadline_hit_at.is_none() {
         let mut in_residue = vec![false; n];
         for &r in &sched.residue {
             in_residue[r as usize] = true;
@@ -474,14 +630,26 @@ pub(crate) fn propagate_reuse(
             }
         }
 
-        let budget = 64 * (graph.arcs.len() + n).max(1);
+        let budget = guards
+            .relax_budget
+            .unwrap_or_else(|| 64 * (graph.arcs.len() + n).max(1));
         let mut residue_relax = 0usize;
+        let mut pops = 0usize;
         while let Some(nidx) = queue.pop_front() {
             let ni = nidx as usize;
             queued[ni] = false;
             if residue_relax > budget {
                 cyclic = true;
                 break;
+            }
+            pops += 1;
+            if pops.is_multiple_of(1024) {
+                if let Some(dl) = guards.deadline {
+                    if Instant::now() >= dl {
+                        residue_deadline_hit = true;
+                        break;
+                    }
+                }
             }
             let from = slots[slot_of[ni] as usize];
             for &ai in &graph.out_arcs[ni] {
@@ -542,12 +710,76 @@ pub(crate) fn propagate_reuse(
         .collect();
     eps.sort_by(|a, b| b.1.total_cmp(&a.1));
 
+    // Guard accounting: name what is missing and why. All of this is on
+    // exhaustion/degradation paths only — a clean run allocates nothing.
+    let ids: Vec<NodeId> =
+        if deadline_hit_at.is_some() || residue_deadline_hit || cyclic || !panicked.is_empty() {
+            netlist.node_ids().collect()
+        } else {
+            Vec::new()
+        };
+    let mut unresolved: Vec<NodeId> = Vec::new();
+    let mut completion = Completion::Complete;
+    if let Some(from_slot) = deadline_hit_at {
+        completion = Completion::DeadlineExceeded;
+        unresolved.extend(sched.order[from_slot..].iter().map(|&nd| ids[nd as usize]));
+        unresolved.extend(sched.residue.iter().map(|&nd| ids[nd as usize]));
+        diagnostics.push(Diagnostic::warning(
+            codes::ANALYSIS_DEADLINE,
+            format!(
+                "deadline passed before propagation finished; {} node(s) left uncomputed",
+                unresolved.len()
+            ),
+        ));
+    } else if residue_deadline_hit || cyclic {
+        completion = if cyclic {
+            Completion::BudgetExhausted
+        } else {
+            Completion::DeadlineExceeded
+        };
+        unresolved.extend(sched.residue.iter().map(|&nd| ids[nd as usize]));
+        let (code, what) = if cyclic {
+            (
+                codes::ANALYSIS_BUDGET_EXHAUSTED,
+                "relaxation budget exhausted (combinational cycle?)",
+            )
+        } else {
+            (
+                codes::ANALYSIS_DEADLINE,
+                "deadline passed during cycle relaxation",
+            )
+        };
+        diagnostics.push(Diagnostic::warning(
+            code,
+            format!(
+                "{what}; arrivals on {} residue node(s) are lower bounds",
+                sched.residue.len()
+            ),
+        ));
+    }
+    for &t in &panicked {
+        let id = ids[t as usize];
+        diagnostics.push(Diagnostic::error(
+            codes::ANALYSIS_WORKER_PANIC,
+            format!(
+                "evaluation of node {:?} panicked; node left unresolved",
+                netlist.node(id).name()
+            ),
+        ));
+        unresolved.push(id);
+    }
+    unresolved.sort_unstable();
+    unresolved.dedup();
+
     PhaseResult {
         case: graph.case,
         arrivals: arr,
         endpoints: eps,
         cyclic,
         relaxations,
+        completion,
+        unresolved,
+        diagnostics,
     }
 }
 
@@ -688,5 +920,156 @@ mod tests {
     fn edge_flip_is_involutive() {
         assert_eq!(Edge::Rise.flipped(), Edge::Fall);
         assert_eq!(Edge::Fall.flipped().flipped(), Edge::Fall);
+    }
+
+    fn ring() -> (Netlist, NodeId, NodeId) {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let kick = b.input("kick");
+        let n0 = b.node("n0");
+        let n1 = b.node("n1");
+        let n2 = b.node("n2");
+        b.nand("g0", &[kick, n2], n0);
+        b.inverter("g1", n0, n1);
+        b.inverter("g2", n1, n2);
+        (b.finish().unwrap(), kick, n2)
+    }
+
+    #[test]
+    fn clean_run_is_complete_with_no_diagnostics() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let x = b.output("x");
+        b.inverter("i", a, x);
+        let nl = b.finish().unwrap();
+        let r = run(&nl, PhaseCase::all_active(), &[a], &[x]);
+        assert_eq!(r.completion, Completion::Complete);
+        assert!(r.unresolved.is_empty());
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn tiny_relax_budget_returns_partial_results_with_unresolved_nodes() {
+        let (nl, kick, n2) = ring();
+        let flow = analyze(&nl, &RuleSet::all());
+        let q = qualify_with_flow(&nl, &flow);
+        let g = TimingGraph::build(
+            &nl,
+            &flow,
+            &q,
+            PhaseCase::all_active(),
+            DelayModel::Elmore,
+            1.0,
+        );
+        let guards = Guards {
+            relax_budget: Some(1),
+            deadline: None,
+        };
+        let r = propagate_guarded(
+            &nl,
+            &g,
+            &[kick],
+            &[n2],
+            &SlopeModel::calibrated(),
+            1,
+            guards,
+        );
+        assert_eq!(r.completion, Completion::BudgetExhausted);
+        assert!(r.cyclic);
+        assert!(!r.unresolved.is_empty(), "residue nodes must be listed");
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.code == tv_netlist::codes::ANALYSIS_BUDGET_EXHAUSTED));
+        // The partial result still carries every finished arrival.
+        assert!(r.arrival(kick).is_some());
+    }
+
+    #[test]
+    fn panicked_evaluation_degrades_to_no_arrival_with_diagnostic() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let x = b.node("x");
+        let y = b.output("y");
+        let (u, v) = (b.input("u"), b.output("v"));
+        b.inverter("i1", a, x);
+        b.inverter("i2", x, y);
+        b.inverter("iu", u, v);
+        let nl = b.finish().unwrap();
+        let flow = analyze(&nl, &RuleSet::all());
+        let q = qualify_with_flow(&nl, &flow);
+        let g = TimingGraph::build(
+            &nl,
+            &flow,
+            &q,
+            PhaseCase::all_active(),
+            DelayModel::Elmore,
+            1.0,
+        );
+        let bad = x.index() as u32;
+        let hook = move |n: u32| {
+            if n == bad {
+                panic!("injected fault");
+            }
+        };
+        let r = propagate_full(
+            &nl,
+            &g,
+            &[a, u],
+            &[y, v],
+            &SlopeModel::calibrated(),
+            1,
+            None,
+            Guards::default(),
+            Some(&hook),
+        );
+        // The poisoned node and its downstream have no arrival, the
+        // independent path is untouched, and the event is on record.
+        assert_eq!(r.arrival(x), None);
+        assert_eq!(r.arrival(y), None);
+        assert!(r.arrival(v).is_some());
+        assert!(r.unresolved.contains(&x));
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.code == tv_netlist::codes::ANALYSIS_WORKER_PANIC));
+    }
+
+    #[test]
+    fn degraded_run_is_bit_identical_across_thread_counts() {
+        let (nl, kick, n2) = ring();
+        let flow = analyze(&nl, &RuleSet::all());
+        let q = qualify_with_flow(&nl, &flow);
+        let g = TimingGraph::build(
+            &nl,
+            &flow,
+            &q,
+            PhaseCase::all_active(),
+            DelayModel::Elmore,
+            1.0,
+        );
+        let bad = kick.index() as u32;
+        let hook = move |n: u32| {
+            if n == bad {
+                panic!("injected fault");
+            }
+        };
+        let run_at = |jobs: usize| {
+            propagate_full(
+                &nl,
+                &g,
+                &[kick],
+                &[n2],
+                &SlopeModel::calibrated(),
+                jobs,
+                None,
+                Guards::default(),
+                Some(&hook),
+            )
+        };
+        let serial = run_at(1);
+        let parallel = run_at(4);
+        assert_eq!(serial.arrivals.rise, parallel.arrivals.rise);
+        assert_eq!(serial.arrivals.fall, parallel.arrivals.fall);
+        assert_eq!(serial.unresolved, parallel.unresolved);
     }
 }

@@ -18,6 +18,25 @@ impl TimingReport {
             netlist.device_count(),
             netlist.node_count()
         );
+        if !self.is_complete() {
+            let unresolved = self.unresolved_nodes();
+            let _ = writeln!(
+                s,
+                "*** PARTIAL RESULTS: a resource guard (relaxation budget or \
+                 deadline) stopped the analysis early ***"
+            );
+            let _ = writeln!(
+                s,
+                "*** {} node(s) unresolved; arrivals below are lower bounds ***",
+                unresolved.len()
+            );
+            for &id in unresolved.iter().take(10) {
+                let _ = writeln!(s, "***   unresolved: {}", netlist.node(id).name());
+            }
+            if unresolved.len() > 10 {
+                let _ = writeln!(s, "***   ... and {} more", unresolved.len() - 10);
+            }
+        }
         let _ = writeln!(s, "flow: {}", self.flow_report);
         let _ = writeln!(s, "{}", self.census);
         let _ = writeln!(s, "latches: {}", self.latches.len());
@@ -69,6 +88,13 @@ impl TimingReport {
                 let _ = writeln!(s, "  {}", c.display(netlist));
             }
         }
+
+        if !self.diagnostics.is_empty() {
+            let _ = writeln!(s, "diagnostics: {} finding(s)", self.diagnostics.len());
+            for d in &self.diagnostics {
+                let _ = writeln!(s, "  {}", d.render_text(None));
+            }
+        }
         s
     }
 }
@@ -98,5 +124,30 @@ mod tests {
         let report = Analyzer::new(&c.netlist).run(&AnalysisOptions::default());
         let text = report.render(&c.netlist);
         assert!(text.contains("electrical checks: clean"), "{text}");
+        assert!(!text.contains("PARTIAL RESULTS"), "{text}");
+        assert!(!text.contains("diagnostics:"), "{text}");
+    }
+
+    #[test]
+    fn partial_report_renders_prominent_warning() {
+        use tv_netlist::{NetlistBuilder, Tech};
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let x = b.node("x");
+        let y = b.node("y");
+        b.inverter("i1", a, x);
+        b.inverter("i2", x, y);
+        b.inverter("i3", y, x);
+        let nl = b.finish().unwrap();
+        let opts = AnalysisOptions {
+            relax_budget: Some(1),
+            ..AnalysisOptions::default()
+        };
+        let report = Analyzer::new(&nl).run(&opts);
+        let text = report.render(&nl);
+        assert!(text.contains("PARTIAL RESULTS"), "{text}");
+        assert!(text.contains("unresolved"), "{text}");
+        assert!(text.contains("diagnostics:"), "{text}");
+        assert!(text.contains("TV0301"), "{text}");
     }
 }

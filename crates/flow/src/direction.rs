@@ -1,6 +1,6 @@
 //! The signal-flow direction fixpoint.
 
-use tv_netlist::{DeviceId, Netlist, NodeId, NodeRole};
+use tv_netlist::{codes, DeviceId, Diagnostic, Netlist, NodeId, NodeRole};
 
 use crate::classify::{classify, DeviceRole, NodeClass};
 use crate::rules::{Rule, RuleSet};
@@ -171,6 +171,41 @@ impl FlowAnalysis {
                     && self.directions[dref.id.index()] == Direction::Unresolved
             })
             .map(|dref| dref.id)
+    }
+
+    /// Direction-resolution findings as shared [`Diagnostic`]s: a
+    /// [`codes::FLOW_UNRESOLVED`] warning per pass device no rule could
+    /// orient (the analyzer falls back to treating it bidirectionally),
+    /// and a [`codes::FLOW_BIDIRECTIONAL`] note per device the rules
+    /// deliberately left two-way (bus couplers and the like). Empty — and
+    /// allocation-free — on a fully oriented netlist.
+    pub fn diagnostics(&self, netlist: &Netlist) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for dref in netlist.devices() {
+            let i = dref.id.index();
+            if self.device_roles[i] != DeviceRole::Pass {
+                continue;
+            }
+            match self.directions[i] {
+                Direction::Unresolved => out.push(Diagnostic::warning(
+                    codes::FLOW_UNRESOLVED,
+                    format!(
+                        "pass transistor {} could not be oriented; \
+                         both directions will be analyzed",
+                        dref.device.name()
+                    ),
+                )),
+                Direction::Bidirectional => out.push(Diagnostic::info(
+                    codes::FLOW_BIDIRECTIONAL,
+                    format!(
+                        "pass transistor {} is genuinely bidirectional",
+                        dref.device.name()
+                    ),
+                )),
+                Direction::Toward(_) => {}
+            }
+        }
+        out
     }
 }
 

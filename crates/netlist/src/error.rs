@@ -35,7 +35,9 @@ pub enum NetlistError {
     SimParse {
         /// 1-based line number in the input.
         line: usize,
-        /// What was wrong.
+        /// 1-based column of the offending token in that line.
+        col: usize,
+        /// What was wrong (names the offending token where one exists).
         message: String,
     },
     /// The netlist failed structural validation.
@@ -63,8 +65,11 @@ impl fmt::Display for NetlistError {
             NetlistError::BadCapacitance { node, cap_pf } => {
                 write!(f, "node {node:?} given invalid capacitance {cap_pf} pF")
             }
-            NetlistError::SimParse { line, message } => {
-                write!(f, "sim format parse error at line {line}: {message}")
+            NetlistError::SimParse { line, col, message } => {
+                write!(
+                    f,
+                    "sim format parse error at line {line}, column {col}: {message}"
+                )
             }
             NetlistError::Invalid(msg) => write!(f, "invalid netlist: {msg}"),
         }
@@ -83,9 +88,11 @@ mod tests {
         assert!(e.to_string().contains("duplicate node"));
         let e = NetlistError::SimParse {
             line: 12,
+            col: 3,
             message: "expected 6 fields".into(),
         };
         assert!(e.to_string().contains("line 12"));
+        assert!(e.to_string().contains("column 3"));
     }
 
     #[test]

@@ -49,6 +49,7 @@
 mod builder;
 mod cap;
 mod device;
+pub mod diag;
 mod error;
 mod ids;
 mod netlist;
@@ -61,6 +62,7 @@ pub mod validate;
 pub use builder::NetlistBuilder;
 pub use cap::CapModel;
 pub use device::{Device, DeviceKind, Terminal};
+pub use diag::{codes, Diagnostic, Diagnostics, Severity};
 pub use error::NetlistError;
 pub use ids::{DeviceId, NodeId};
 pub use netlist::{DeviceRef, Netlist, NodeDevices};

@@ -40,7 +40,8 @@
 
 use std::fmt::Write as _;
 
-use crate::{DeviceKind, Netlist, NetlistBuilder, NetlistError, NodeRole, Tech};
+use crate::diag::{codes, Diagnostic, Diagnostics};
+use crate::{Netlist, NetlistBuilder, NetlistError, NodeRole, Tech};
 
 /// Serializes a netlist to the `.sim` dialect described in the module docs.
 ///
@@ -91,93 +92,297 @@ pub fn write(netlist: &Netlist) -> String {
     out
 }
 
+/// One whitespace-separated field of a `.sim` line, with its 1-based
+/// character column in the raw line.
+struct Field<'a> {
+    col: usize,
+    text: &'a str,
+}
+
+/// Splits a raw line into fields, tracking 1-based character columns so
+/// diagnostics can point at the offending token, not just the line.
+fn fields_with_cols(raw: &str) -> Vec<Field<'_>> {
+    let mut out = Vec::new();
+    let mut start: Option<(usize, usize)> = None; // (1-based col, byte offset)
+    let mut col = 0usize;
+    for (byte, c) in raw.char_indices() {
+        col += 1;
+        if c.is_whitespace() {
+            if let Some((s_col, s_byte)) = start.take() {
+                out.push(Field {
+                    col: s_col,
+                    text: &raw[s_byte..byte],
+                });
+            }
+        } else if start.is_none() {
+            start = Some((col, byte));
+        }
+    }
+    if let Some((s_col, s_byte)) = start {
+        out.push(Field {
+            col: s_col,
+            text: &raw[s_byte..],
+        });
+    }
+    out
+}
+
+/// A problem found on one line, located at a token.
+struct LineProblem {
+    code: &'static str,
+    col: usize,
+    message: String,
+    /// The strict-mode error this maps to (structural problems keep
+    /// their historical [`NetlistError`] variants).
+    strict: Option<NetlistError>,
+}
+
+impl LineProblem {
+    fn at(code: &'static str, col: usize, message: String) -> Self {
+        LineProblem {
+            code,
+            col,
+            message,
+            strict: None,
+        }
+    }
+}
+
 /// Parses the `.sim` dialect into a netlist under the given technology.
+///
+/// This is the **strict** entry point: the first malformed line aborts
+/// the parse. Use [`parse_recovering`] to collect every problem in one
+/// pass instead.
 ///
 /// # Errors
 ///
-/// Returns [`NetlistError::SimParse`] for malformed lines (with the 1-based
-/// line number) and propagates any structural error found when finishing
-/// the netlist (e.g. a shorted channel in the file).
+/// Returns [`NetlistError::SimParse`] for malformed lines (with the
+/// 1-based line number and column of the offending token) and the
+/// matching structural error ([`NetlistError::ShortedChannel`],
+/// [`NetlistError::BadGeometry`], [`NetlistError::BadCapacitance`]) for
+/// degenerate devices in the file.
 pub fn parse(text: &str, tech: Tech) -> Result<Netlist, NetlistError> {
+    let mut sink = Diagnostics::with_max_errors(1);
+    parse_inner(text, tech, &mut sink, true)
+}
+
+/// Parses the `.sim` dialect with **error recovery**: every malformed
+/// line is reported into `diags` (severity `Error`, with line/column)
+/// and skipped, and the netlist is built from the remaining good lines.
+/// Degenerate devices (shorted channel, bad geometry, bad capacitance)
+/// are likewise reported and dropped instead of poisoning the build.
+///
+/// A UTF-8 BOM is tolerated (and reported as an info diagnostic), as are
+/// CRLF line endings. Once the sink's error cap is reached further error
+/// diagnostics are counted but dropped; parsing continues so every valid
+/// line still contributes to the netlist.
+///
+/// Returns the (possibly partial) netlist; inspect
+/// [`Diagnostics::has_errors`] to learn whether the input was clean.
+///
+/// # Errors
+///
+/// Only a failure to finalize the recovered netlist — which recovery
+/// prevents by construction — is returned as `Err`.
+pub fn parse_recovering(
+    text: &str,
+    tech: Tech,
+    diags: &mut Diagnostics,
+) -> Result<Netlist, NetlistError> {
+    parse_inner(text, tech, diags, false)
+}
+
+fn parse_inner(
+    text: &str,
+    tech: Tech,
+    diags: &mut Diagnostics,
+    strict: bool,
+) -> Result<Netlist, NetlistError> {
     let mut b = NetlistBuilder::new(tech);
     let mut dev_count = 0usize;
-    for (i, raw) in text.lines().enumerate() {
+    // Tolerate a UTF-8 byte-order mark from Windows-side extractors.
+    let body = if let Some(stripped) = text.strip_prefix('\u{feff}') {
+        if !strict {
+            diags.push(Diagnostic::info(
+                codes::PARSE_SUPPRESSED,
+                "input begins with a UTF-8 byte-order mark (stripped)".to_string(),
+            ));
+        }
+        stripped
+    } else {
+        text
+    };
+    for (i, raw) in body.lines().enumerate() {
         let lineno = i + 1;
+        // `str::lines` strips a trailing `\r`; handle stray interior ones
+        // (classic Mac line endings concatenated into one "line") by
+        // trimming, matching the historical whitespace-tolerant readers.
         let line = raw.trim();
         if line.is_empty() || line.starts_with('|') {
             continue;
         }
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        let bad = |message: String| NetlistError::SimParse {
-            line: lineno,
-            message,
-        };
-        match fields[0] {
-            "e" | "d" => {
-                if fields.len() != 6 {
-                    return Err(bad(format!(
-                        "transistor line needs 6 fields, got {}",
-                        fields.len()
-                    )));
+        match parse_line(&mut b, raw, &mut dev_count) {
+            Ok(()) => {}
+            Err(p) => {
+                if strict {
+                    return Err(p.strict.unwrap_or(NetlistError::SimParse {
+                        line: lineno,
+                        col: p.col,
+                        message: p.message,
+                    }));
                 }
-                let g = b.node(fields[1]);
-                let s = b.node(fields[2]);
-                let dr = b.node(fields[3]);
-                let l: f64 = fields[4]
-                    .parse()
-                    .map_err(|_| bad(format!("bad length {:?}", fields[4])))?;
-                let w: f64 = fields[5]
-                    .parse()
-                    .map_err(|_| bad(format!("bad width {:?}", fields[5])))?;
-                let kind = if fields[0] == "e" {
-                    DeviceKind::Enhancement
-                } else {
-                    DeviceKind::Depletion
-                };
-                let name = format!("m{dev_count}");
-                dev_count += 1;
-                match kind {
-                    DeviceKind::Enhancement => b.enhancement(name, g, s, dr, w, l),
-                    DeviceKind::Depletion => b.depletion(name, g, s, dr, w, l),
-                };
-            }
-            "C" => {
-                if fields.len() != 3 {
-                    return Err(bad("capacitance line needs 3 fields".into()));
-                }
-                let n = b.node(fields[1]);
-                let ff: f64 = fields[2]
-                    .parse()
-                    .map_err(|_| bad(format!("bad capacitance {:?}", fields[2])))?;
-                b.add_cap(n, ff / 1000.0)?;
-            }
-            "i" => {
-                if fields.len() != 2 {
-                    return Err(bad("input line needs 2 fields".into()));
-                }
-                b.input(fields[1]);
-            }
-            "o" => {
-                if fields.len() != 2 {
-                    return Err(bad("output line needs 2 fields".into()));
-                }
-                b.output(fields[1]);
-            }
-            "k" => {
-                if fields.len() != 3 {
-                    return Err(bad("clock line needs 3 fields".into()));
-                }
-                let p: u8 = fields[2]
-                    .parse()
-                    .map_err(|_| bad(format!("bad phase {:?}", fields[2])))?;
-                b.clock(fields[1], p);
-            }
-            other => {
-                return Err(bad(format!("unknown record type {other:?}")));
+                // Past the error cap the sink drops and counts; parsing
+                // continues so every valid line still reaches the netlist.
+                diags.push(Diagnostic::error(p.code, p.message).at(lineno, p.col));
             }
         }
     }
     b.finish()
+}
+
+/// Parses one non-comment line into the builder, or reports its problem.
+/// On `Err`, nothing was added to the builder (degenerate devices are
+/// validated *before* insertion so a recovered netlist always finishes).
+fn parse_line(b: &mut NetlistBuilder, raw: &str, dev_count: &mut usize) -> Result<(), LineProblem> {
+    let fields = fields_with_cols(raw);
+    let f0 = &fields[0];
+    let num = |f: &Field<'_>, what: &str| -> Result<f64, LineProblem> {
+        f.text.parse::<f64>().map_err(|_| {
+            LineProblem::at(
+                codes::PARSE_BAD_NUMBER,
+                f.col,
+                format!("bad {what} {:?}", f.text),
+            )
+        })
+    };
+    match f0.text {
+        "e" | "d" => {
+            if fields.len() != 6 {
+                return Err(LineProblem::at(
+                    codes::PARSE_FIELD_COUNT,
+                    f0.col,
+                    format!("transistor line needs 6 fields, got {}", fields.len()),
+                ));
+            }
+            let l = num(&fields[4], "length")?;
+            let w = num(&fields[5], "width")?;
+            let name = format!("m{dev_count}");
+            // Validate the device *before* creating any node or device so
+            // a rejected line leaves the builder untouched.
+            if fields[2].text == fields[3].text {
+                return Err(LineProblem {
+                    code: codes::PARSE_SHORTED_CHANNEL,
+                    col: fields[3].col,
+                    message: format!(
+                        "device {name:?} has source and drain on the same node {:?}",
+                        fields[2].text
+                    ),
+                    strict: Some(NetlistError::ShortedChannel { device: name }),
+                });
+            }
+            if !w.is_finite() || !l.is_finite() || w <= 0.0 || l <= 0.0 {
+                return Err(LineProblem {
+                    code: codes::PARSE_BAD_GEOMETRY,
+                    col: fields[4].col,
+                    message: format!(
+                        "device {name:?} has non-positive geometry W={w} µm, L={l} µm"
+                    ),
+                    strict: Some(NetlistError::BadGeometry {
+                        device: name,
+                        w_um: w,
+                        l_um: l,
+                    }),
+                });
+            }
+            let g = b.node(fields[1].text);
+            let s = b.node(fields[2].text);
+            let dr = b.node(fields[3].text);
+            *dev_count += 1;
+            if f0.text == "e" {
+                b.enhancement(name, g, s, dr, w, l);
+            } else {
+                b.depletion(name, g, s, dr, w, l);
+            }
+        }
+        "C" => {
+            if fields.len() != 3 {
+                return Err(LineProblem::at(
+                    codes::PARSE_FIELD_COUNT,
+                    f0.col,
+                    "capacitance line needs 3 fields".into(),
+                ));
+            }
+            let ff = fields[2].text.parse::<f64>().map_err(|_| {
+                LineProblem::at(
+                    codes::PARSE_BAD_NUMBER,
+                    fields[2].col,
+                    format!("bad capacitance {:?}", fields[2].text),
+                )
+            })?;
+            let pf = ff / 1000.0;
+            if !pf.is_finite() || pf < 0.0 {
+                return Err(LineProblem {
+                    code: codes::PARSE_BAD_CAP,
+                    col: fields[2].col,
+                    message: format!(
+                        "node {:?} given invalid capacitance {pf} pF",
+                        fields[1].text
+                    ),
+                    strict: Some(NetlistError::BadCapacitance {
+                        node: fields[1].text.to_string(),
+                        cap_pf: pf,
+                    }),
+                });
+            }
+            let n = b.node(fields[1].text);
+            b.add_cap(n, pf).expect("validated above");
+        }
+        "i" => {
+            if fields.len() != 2 {
+                return Err(LineProblem::at(
+                    codes::PARSE_FIELD_COUNT,
+                    f0.col,
+                    "input line needs 2 fields".into(),
+                ));
+            }
+            b.input(fields[1].text);
+        }
+        "o" => {
+            if fields.len() != 2 {
+                return Err(LineProblem::at(
+                    codes::PARSE_FIELD_COUNT,
+                    f0.col,
+                    "output line needs 2 fields".into(),
+                ));
+            }
+            b.output(fields[1].text);
+        }
+        "k" => {
+            if fields.len() != 3 {
+                return Err(LineProblem::at(
+                    codes::PARSE_FIELD_COUNT,
+                    f0.col,
+                    "clock line needs 3 fields".into(),
+                ));
+            }
+            let p = fields[2].text.parse::<u8>().map_err(|_| {
+                LineProblem::at(
+                    codes::PARSE_BAD_NUMBER,
+                    fields[2].col,
+                    format!("bad phase {:?}", fields[2].text),
+                )
+            })?;
+            b.clock(fields[1].text, p);
+        }
+        other => {
+            return Err(LineProblem::at(
+                codes::PARSE_UNKNOWN_RECORD,
+                f0.col,
+                format!("unknown record type {other:?}"),
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -256,5 +461,101 @@ mod tests {
         let text = write(&nl);
         assert!(text.contains("GND"));
         assert!(text.contains("VDD"));
+    }
+
+    #[test]
+    fn parse_error_reports_offending_column() {
+        // "four" starts at column 9 of "e a b c four 4".
+        let err = parse("e a b c four 4\n", Tech::nmos4um()).unwrap_err();
+        match err {
+            NetlistError::SimParse { line, col, message } => {
+                assert_eq!(line, 1);
+                assert_eq!(col, 9);
+                assert!(message.contains("four"), "message was {message:?}");
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovering_parse_collects_all_errors_in_one_pass() {
+        // Three distinct problems: unknown record, bad field count, bad number.
+        let text = "i a\nz what\ne a b\nC out nope\no out\n";
+        let mut diags = Diagnostics::new();
+        let nl = parse_recovering(text, Tech::nmos4um(), &mut diags).unwrap();
+        assert_eq!(diags.error_count(), 3);
+        let seen: Vec<&str> = diags.items().iter().map(|d| d.code).collect();
+        assert!(seen.contains(&codes::PARSE_UNKNOWN_RECORD));
+        assert!(seen.contains(&codes::PARSE_FIELD_COUNT));
+        assert!(seen.contains(&codes::PARSE_BAD_NUMBER));
+        // The good lines still built a netlist.
+        assert_eq!(nl.inputs().len(), 1);
+        assert_eq!(nl.outputs().len(), 1);
+    }
+
+    #[test]
+    fn recovering_parse_drops_degenerate_devices_but_keeps_the_rest() {
+        let text = "i a\ne a x x 2 4\ne a GND out 2 4\no out\n";
+        let mut diags = Diagnostics::new();
+        let nl = parse_recovering(text, Tech::nmos4um(), &mut diags).unwrap();
+        assert_eq!(diags.error_count(), 1);
+        assert_eq!(diags.items()[0].code, codes::PARSE_SHORTED_CHANNEL);
+        assert_eq!(nl.device_count(), 1);
+    }
+
+    #[test]
+    fn recovering_parse_respects_error_cap() {
+        let mut text = String::new();
+        for _ in 0..10 {
+            text.push_str("z junk\n");
+        }
+        let mut diags = Diagnostics::with_max_errors(3);
+        parse_recovering(&text, Tech::nmos4um(), &mut diags).unwrap();
+        assert_eq!(diags.error_count(), 3);
+        assert_eq!(diags.suppressed(), 7, "the rest are counted, not kept");
+        assert!(diags.render_text(None).contains("suppressed"));
+    }
+
+    #[test]
+    fn empty_input_parses_to_empty_netlist() {
+        let mut diags = Diagnostics::new();
+        let nl = parse_recovering("", Tech::nmos4um(), &mut diags).unwrap();
+        assert!(!diags.has_errors());
+        assert_eq!(nl.device_count(), 0);
+    }
+
+    #[test]
+    fn bom_prefixed_input_is_tolerated() {
+        let text = "\u{feff}| header\ni a\n";
+        let mut diags = Diagnostics::new();
+        let nl = parse_recovering(text, Tech::nmos4um(), &mut diags).unwrap();
+        assert!(!diags.has_errors());
+        assert_eq!(nl.inputs().len(), 1);
+        // The BOM is surfaced as an informational note, not an error.
+        assert!(diags
+            .items()
+            .iter()
+            .any(|d| d.message.contains("byte-order")));
+    }
+
+    #[test]
+    fn crlf_input_parses_cleanly() {
+        let text = "| header\r\ni a\r\no out\r\ne a GND out 2 4\r\n";
+        let mut diags = Diagnostics::new();
+        let nl = parse_recovering(text, Tech::nmos4um(), &mut diags).unwrap();
+        assert!(!diags.has_errors(), "diags: {:?}", diags.items());
+        assert_eq!(nl.device_count(), 1);
+    }
+
+    #[test]
+    fn truncated_input_reports_the_partial_last_line() {
+        // A transistor line cut off mid-record, as from a truncated copy.
+        let nl = sample();
+        let full = write(&nl);
+        let cut = &full[..full.len() - 8];
+        let mut diags = Diagnostics::new();
+        let back = parse_recovering(cut, Tech::nmos4um(), &mut diags).unwrap();
+        assert!(diags.has_errors());
+        assert!(back.device_count() < nl.device_count());
     }
 }

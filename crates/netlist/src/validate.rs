@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use crate::diag::{codes, Diagnostic};
 use crate::{DeviceKind, Netlist, NodeId, NodeRole};
 
 /// A single structural diagnostic.
@@ -51,6 +52,27 @@ pub enum Issue {
         /// Its name.
         name: String,
     },
+}
+
+impl Issue {
+    /// The stable diagnostic code for this issue kind (`TV01xx` range).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Issue::FloatingGate { .. } => codes::LINT_FLOATING_GATE,
+            Issue::DeadEnd { .. } => codes::LINT_DEAD_END,
+            Issue::RailBridge { .. } => codes::LINT_RAIL_BRIDGE,
+            Issue::StrayDepletion { .. } => codes::LINT_STRAY_DEPLETION,
+            Issue::DrivenInput { .. } => codes::LINT_DRIVEN_INPUT,
+        }
+    }
+
+    /// Renders this issue as a [`Diagnostic`] on the unified stream.
+    ///
+    /// Structural lints are warnings: a netlist that trips them is still
+    /// analyzable, just suspicious (matching how TV printed them).
+    pub fn diagnostic(&self) -> Diagnostic {
+        Diagnostic::warning(self.code(), self.to_string())
+    }
 }
 
 impl fmt::Display for Issue {
@@ -252,5 +274,38 @@ mod tests {
         assert!(check(&nl)
             .iter()
             .any(|i| matches!(i, Issue::DrivenInput { name, .. } if name == "x")));
+    }
+
+    #[test]
+    fn every_issue_variant_maps_to_a_distinct_warning_diagnostic() {
+        use crate::NodeId;
+        let issues = [
+            Issue::FloatingGate {
+                node: NodeId(7),
+                name: "ghost".into(),
+            },
+            Issue::DeadEnd {
+                node: NodeId(8),
+                name: "stub".into(),
+            },
+            Issue::RailBridge {
+                device: "short".into(),
+            },
+            Issue::StrayDepletion {
+                device: "weird".into(),
+            },
+            Issue::DrivenInput {
+                node: NodeId(9),
+                name: "x".into(),
+            },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for issue in &issues {
+            let d = issue.diagnostic();
+            assert_eq!(d.severity, crate::diag::Severity::Warning);
+            assert!(d.code.starts_with("TV01"), "code {} out of range", d.code);
+            assert_eq!(d.message, issue.to_string());
+            assert!(seen.insert(d.code), "duplicate code {}", d.code);
+        }
     }
 }

@@ -20,4 +20,9 @@ cargo fmt --all --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== fuzz smoke: tv fuzz --iters 500 =="
+# Deterministic mutation fuzzing of the ingest pipeline: zero panics,
+# a diagnostic on every rejection. Offline, seeded, finishes in seconds.
+cargo run --release --offline --bin tv -- fuzz --iters 500
+
 echo "verify: OK"

@@ -5,77 +5,139 @@
 //!
 //! ```text
 //! tv analyze <file.sim> [--cycle NS] [--no-case] [--model lumped|elmore|upper]
-//!                       [--top K] [--jobs N] [--incremental]
+//!                       [--top K] [--jobs N] [--incremental] [--check]
+//!                       [--relax-budget N] [--deadline SECS]
+//!                       [--max-nodes N] [--max-arcs N]
 //! tv check   <file.sim>            # electrical rules only
 //! tv flow    <file.sim>            # signal-flow resolution statistics
 //! tv query   <file.sim> <from> <to># point-to-point worst path
 //! tv spice   <file.sim>            # convert to a SPICE deck on stdout
 //! tv demo    [--jobs N]            # analyze a built-in MIPS-class datapath
+//! tv fuzz    [--iters N] [--seed S]# deterministic ingest fuzzing
 //! ```
 //!
-//! `--jobs N` fans graph construction and levelized propagation out over
-//! `N` threads (`0` = all cores) with bit-identical results;
-//! `--incremental` reuses clean cones between the run's analysis cases.
+//! Malformed `.sim` input no longer stops at the first bad line: the
+//! recovering parser reports *every* problem (`--max-errors` caps the
+//! count, `--diag-format json` switches to machine-readable output) and
+//! analyzes whatever parsed. `--jobs N` fans graph construction and
+//! levelized propagation out over `N` threads (`0` = all cores) with
+//! bit-identical results; `--incremental` reuses clean cones between the
+//! run's analysis cases; `--relax-budget` / `--deadline` bound the work a
+//! pathological netlist can consume, returning partial results.
 //!
-//! Exit status: 0 on success, 1 on usage/parse errors, 2 when the analysis
-//! finds violations (negative slack, races, or electrical issues) — so the
-//! tool drops into Makefiles the way its ancestor did.
+//! Exit status: `0` clean, `1` analysis failure (unreadable or
+//! unrecoverable input, parse errors, exhausted resource guards), `2`
+//! usage error, `3` timing/electrical violations — for `analyze` only
+//! when `--check` asks for violation gating.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use nmos_tv::clocks::TwoPhaseClock;
 use nmos_tv::core::{AnalysisOptions, Analyzer, DelayModel, TvError};
 use nmos_tv::flow::{analyze as flow_analyze, RuleSet};
-use nmos_tv::netlist::{sim_format, spice, Netlist, Tech};
+use nmos_tv::netlist::{sim_format, spice, Diagnostics, Netlist, Tech};
+
+const EXIT_CLEAN: u8 = 0;
+const EXIT_FAILURE: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_VIOLATIONS: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(clean) => {
-            if clean {
-                ExitCode::SUCCESS
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("tv: {e}");
+            if matches!(e, TvError::Usage(_)) {
+                eprintln!();
+                eprintln!("{USAGE}");
+                ExitCode::from(EXIT_USAGE)
             } else {
-                ExitCode::from(2)
+                ExitCode::from(EXIT_FAILURE)
             }
-        }
-        Err(msg) => {
-            eprintln!("tv: {msg}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
         }
     }
 }
 
 const USAGE: &str = "usage:
   tv analyze <file.sim> [--cycle NS] [--no-case] [--model lumped|elmore|upper]
-                        [--top K] [--jobs N] [--incremental]
+                        [--top K] [--jobs N] [--incremental] [--check]
+                        [--relax-budget N] [--deadline SECS]
+                        [--max-nodes N] [--max-arcs N]
   tv check   <file.sim>
   tv flow    <file.sim>
   tv query   <file.sim> <from-node> <to-node>
   tv spice   <file.sim>
-  tv demo    [--jobs N]";
+  tv demo    [--jobs N]
+  tv fuzz    [--iters N] [--seed S]
 
-fn run(args: &[String]) -> Result<bool, TvError> {
+diagnostics (all netlist-reading subcommands):
+  --max-errors N        stop reporting parse errors after N (default 20)
+  --diag-format FMT     text (default) or json
+
+exit status:
+  0  clean
+  1  analysis failure: unreadable/unrecoverable input, parse errors,
+     exhausted resource guards (--relax-budget / --deadline), fuzz findings
+  2  usage error (unknown subcommand or flag, missing argument)
+  3  violations found (negative slack, races, electrical issues,
+     unresolved pass directions); for `analyze` only with --check";
+
+/// Everything the flag parser produces: engine options plus CLI-only
+/// ingest and gating knobs.
+struct Cli {
+    options: AnalysisOptions,
+    max_errors: usize,
+    json: bool,
+    check: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            options: AnalysisOptions::default(),
+            max_errors: 20,
+            json: false,
+            check: false,
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<u8, TvError> {
     let cmd = args
         .first()
         .ok_or_else(|| TvError::Usage("missing subcommand".into()))?;
     match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(EXIT_CLEAN)
+        }
         "analyze" => {
-            let (netlist, rest) = load(&args[1..])?;
-            let options = parse_options(rest)?;
-            let report = Analyzer::new(&netlist).run(&options);
+            let cli = parse_cli(&args[2..])?;
+            let (netlist, diags) = load(&args[1..], &cli)?;
+            let dirty_parse = emit_diags(&diags, args.get(1), &cli);
+            let report = Analyzer::new(&netlist).try_run(&cli.options)?;
             print!("{}", report.render(&netlist));
             let slack_ok = report
                 .phases
                 .iter()
                 .all(|p| p.slack.is_none_or(|s| s >= 0.0));
             let race_free = report.phases.iter().all(|p| p.races.is_empty());
-            Ok(report.checks.is_empty() && slack_ok && race_free)
+            let violations = !(report.checks.is_empty() && slack_ok && race_free);
+            if dirty_parse || !report.is_complete() {
+                Ok(EXIT_FAILURE)
+            } else if cli.check && violations {
+                Ok(EXIT_VIOLATIONS)
+            } else {
+                Ok(EXIT_CLEAN)
+            }
         }
         "check" => {
-            let (netlist, _) = load(&args[1..])?;
-            let report = Analyzer::new(&netlist).run(&AnalysisOptions::default());
+            let cli = parse_cli(&args[2..])?;
+            let (netlist, diags) = load(&args[1..], &cli)?;
+            let dirty_parse = emit_diags(&diags, args.get(1), &cli);
+            let report = Analyzer::new(&netlist).run(&cli.options);
             if report.checks.is_empty() {
                 println!("electrical checks: clean");
             } else {
@@ -83,26 +145,45 @@ fn run(args: &[String]) -> Result<bool, TvError> {
                     println!("{}", issue.display(&netlist));
                 }
             }
-            Ok(report.checks.is_empty())
+            if dirty_parse {
+                Ok(EXIT_FAILURE)
+            } else if report.checks.is_empty() {
+                Ok(EXIT_CLEAN)
+            } else {
+                Ok(EXIT_VIOLATIONS)
+            }
         }
         "flow" => {
-            let (netlist, _) = load(&args[1..])?;
+            let cli = parse_cli(&args[2..])?;
+            let (netlist, diags) = load(&args[1..], &cli)?;
+            let dirty_parse = emit_diags(&diags, args.get(1), &cli);
             let flow = flow_analyze(&netlist, &RuleSet::all());
             println!("{}", flow.report(&netlist));
-            Ok(flow.unresolved(&netlist).count() == 0)
+            if dirty_parse {
+                Ok(EXIT_FAILURE)
+            } else if flow.unresolved(&netlist).count() == 0 {
+                Ok(EXIT_CLEAN)
+            } else {
+                Ok(EXIT_VIOLATIONS)
+            }
         }
         "query" => {
-            let (netlist, rest) = load(&args[1..])?;
-            let [from_name, to_name] = rest else {
-                return Err(TvError::Usage("query needs <from-node> <to-node>".into()));
+            let (flags, rest) = split_flags(&args[1..]);
+            let cli = parse_cli(&flags)?;
+            let [path, from_name, to_name] = rest.as_slice() else {
+                return Err(TvError::Usage(
+                    "query needs <file.sim> <from-node> <to-node>".into(),
+                ));
             };
+            let (netlist, diags) = load(std::slice::from_ref(path), &cli)?;
+            let dirty_parse = emit_diags(&diags, Some(path), &cli);
             let from = netlist
                 .node_by_name(from_name)
                 .ok_or_else(|| TvError::UnknownNode(from_name.clone()))?;
             let to = netlist
                 .node_by_name(to_name)
                 .ok_or_else(|| TvError::UnknownNode(to_name.clone()))?;
-            match Analyzer::new(&netlist).path_query(from, to, &AnalysisOptions::default()) {
+            match Analyzer::new(&netlist).path_query(from, to, &cli.options) {
                 Some(path) => {
                     println!(
                         "worst path {} -> {}: {:.3} ns, {} steps",
@@ -112,36 +193,57 @@ fn run(args: &[String]) -> Result<bool, TvError> {
                         path.len()
                     );
                     print!("{}", path.display(&netlist));
-                    Ok(true)
+                    Ok(if dirty_parse {
+                        EXIT_FAILURE
+                    } else {
+                        EXIT_CLEAN
+                    })
                 }
                 None => {
                     println!("{to_name} is not reachable from {from_name}");
-                    Ok(false)
+                    Ok(EXIT_FAILURE)
                 }
             }
         }
         "spice" => {
-            let (netlist, _) = load(&args[1..])?;
+            let cli = parse_cli(&args[2..])?;
+            let (netlist, diags) = load(&args[1..], &cli)?;
+            let dirty_parse = emit_diags(&diags, args.get(1), &cli);
             print!("{}", spice::write(&netlist));
-            Ok(true)
+            Ok(if dirty_parse {
+                EXIT_FAILURE
+            } else {
+                EXIT_CLEAN
+            })
         }
         "demo" => {
-            let options = parse_options(&args[1..])?;
+            let cli = parse_cli(&args[1..])?;
             let dp = nmos_tv::gen::datapath::datapath(
                 Tech::nmos4um(),
                 nmos_tv::gen::datapath::DatapathConfig::mips32(),
             );
-            let report = Analyzer::new(&dp.netlist).run(&options);
+            let report = Analyzer::new(&dp.netlist).run(&cli.options);
             print!("{}", report.render(&dp.netlist));
-            Ok(true)
+            Ok(EXIT_CLEAN)
+        }
+        "fuzz" => {
+            let (iters, seed) = parse_fuzz(&args[1..])?;
+            let report = nmos_tv::fuzz::run(iters, seed);
+            println!("{report}");
+            Ok(if report.is_clean() {
+                EXIT_CLEAN
+            } else {
+                EXIT_FAILURE
+            })
         }
         other => Err(TvError::Usage(format!("unknown subcommand {other:?}"))),
     }
 }
 
-/// Loads the `.sim` file named by the first argument; returns the netlist
-/// and the remaining arguments.
-fn load(args: &[String]) -> Result<(Netlist, &[String]), TvError> {
+/// Loads the `.sim` file named by the first argument with the recovering
+/// parser; returns the (possibly partial) netlist and the diagnostics the
+/// parse accumulated.
+fn load(args: &[String], cli: &Cli) -> Result<(Netlist, Diagnostics), TvError> {
     let path = args
         .first()
         .ok_or_else(|| TvError::Usage("missing <file.sim>".into()))?;
@@ -149,30 +251,89 @@ fn load(args: &[String]) -> Result<(Netlist, &[String]), TvError> {
         path: path.clone(),
         source: e,
     })?;
-    let netlist = sim_format::parse(&text, Tech::nmos4um()).map_err(|e| TvError::Parse {
-        path: path.clone(),
-        message: e.to_string(),
-    })?;
-    Ok((netlist, &args[1..]))
+    let mut diags = Diagnostics::with_max_errors(cli.max_errors);
+    let netlist =
+        sim_format::parse_recovering(&text, Tech::nmos4um(), &mut diags).map_err(|e| {
+            TvError::Parse {
+                path: path.clone(),
+                message: e.to_string(),
+            }
+        })?;
+    Ok((netlist, diags))
 }
 
-fn parse_options(args: &[String]) -> Result<AnalysisOptions, TvError> {
+/// Prints accumulated diagnostics to stderr in the requested format.
+/// Returns whether any were errors (the input was not clean).
+fn emit_diags(diags: &Diagnostics, path: Option<&String>, cli: &Cli) -> bool {
+    let path = path.map(|p| p.as_str());
+    if !diags.is_empty() {
+        if cli.json {
+            eprintln!("{}", diags.render_json(path));
+        } else {
+            eprint!("{}", diags.render_text(path));
+        }
+    }
+    diags.has_errors()
+}
+
+/// Splits `args` into (flags-with-values, positional operands) so
+/// `query <file> <from> <to> --jobs 2` parses in any order.
+fn split_flags(args: &[String]) -> (Vec<String>, Vec<String>) {
+    let mut flags = Vec::new();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a.starts_with("--") {
+            flags.push(a.clone());
+            if takes_value(a) {
+                if let Some(v) = it.next() {
+                    flags.push(v.clone());
+                }
+            }
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (flags, rest)
+}
+
+fn takes_value(flag: &str) -> bool {
+    matches!(
+        flag,
+        "--cycle"
+            | "--model"
+            | "--top"
+            | "--jobs"
+            | "--max-errors"
+            | "--diag-format"
+            | "--relax-budget"
+            | "--deadline"
+            | "--max-nodes"
+            | "--max-arcs"
+            | "--iters"
+            | "--seed"
+    )
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, TvError> {
     let usage = |msg: &str| TvError::Usage(msg.into());
-    let mut options = AnalysisOptions::default();
+    let mut cli = Cli::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--no-case" => options.case_analysis = false,
+            "--no-case" => cli.options.case_analysis = false,
+            "--check" => cli.check = true,
+            "--incremental" => cli.options.incremental = true,
             "--cycle" => {
                 let v = it.next().ok_or_else(|| usage("--cycle needs a value"))?;
                 let cycle: f64 = v
                     .parse()
                     .map_err(|_| TvError::Usage(format!("bad cycle {v:?}")))?;
-                options.clock = TwoPhaseClock::symmetric(cycle, cycle * 0.02);
+                cli.options.clock = TwoPhaseClock::symmetric(cycle, cycle * 0.02);
             }
             "--model" => {
                 let v = it.next().ok_or_else(|| usage("--model needs a value"))?;
-                options.model = match v.as_str() {
+                cli.options.model = match v.as_str() {
                     "lumped" => DelayModel::Lumped,
                     "elmore" => DelayModel::Elmore,
                     "upper" => DelayModel::UpperBound,
@@ -181,19 +342,98 @@ fn parse_options(args: &[String]) -> Result<AnalysisOptions, TvError> {
             }
             "--top" => {
                 let v = it.next().ok_or_else(|| usage("--top needs a value"))?;
-                options.top_k = v
+                cli.options.top_k = v
                     .parse()
                     .map_err(|_| TvError::Usage(format!("bad top-k {v:?}")))?;
             }
             "--jobs" => {
                 let v = it.next().ok_or_else(|| usage("--jobs needs a value"))?;
-                options.jobs = v
+                cli.options.jobs = v
                     .parse()
                     .map_err(|_| TvError::Usage(format!("bad job count {v:?}")))?;
             }
-            "--incremental" => options.incremental = true,
+            "--max-errors" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--max-errors needs a value"))?;
+                cli.max_errors = v
+                    .parse()
+                    .map_err(|_| TvError::Usage(format!("bad error cap {v:?}")))?;
+            }
+            "--diag-format" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--diag-format needs a value"))?;
+                cli.json = match v.as_str() {
+                    "text" => false,
+                    "json" => true,
+                    other => return Err(TvError::Usage(format!("unknown diag format {other:?}"))),
+                };
+            }
+            "--relax-budget" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--relax-budget needs a value"))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| TvError::Usage(format!("bad relaxation budget {v:?}")))?;
+                cli.options.relax_budget = Some(n);
+            }
+            "--deadline" => {
+                let v = it.next().ok_or_else(|| usage("--deadline needs a value"))?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| TvError::Usage(format!("bad deadline {v:?}")))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(TvError::Usage(format!(
+                        "deadline must be positive, got {v:?}"
+                    )));
+                }
+                cli.options.deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--max-nodes" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--max-nodes needs a value"))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| TvError::Usage(format!("bad node limit {v:?}")))?;
+                cli.options.max_nodes = Some(n);
+            }
+            "--max-arcs" => {
+                let v = it.next().ok_or_else(|| usage("--max-arcs needs a value"))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| TvError::Usage(format!("bad arc limit {v:?}")))?;
+                cli.options.max_arcs = Some(n);
+            }
             other => return Err(TvError::Usage(format!("unknown flag {other:?}"))),
         }
     }
-    Ok(options)
+    Ok(cli)
+}
+
+fn parse_fuzz(args: &[String]) -> Result<(usize, u64), TvError> {
+    let usage = |msg: &str| TvError::Usage(msg.into());
+    let mut iters = 500usize;
+    let mut seed = 0x7001u64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--iters" => {
+                let v = it.next().ok_or_else(|| usage("--iters needs a value"))?;
+                iters = v
+                    .parse()
+                    .map_err(|_| TvError::Usage(format!("bad iteration count {v:?}")))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or_else(|| usage("--seed needs a value"))?;
+                seed = v
+                    .parse()
+                    .map_err(|_| TvError::Usage(format!("bad seed {v:?}")))?;
+            }
+            other => return Err(TvError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    Ok((iters, seed))
 }

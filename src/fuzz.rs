@@ -1,0 +1,337 @@
+//! Deterministic mutation fuzzing of the `.sim` ingest-and-analysis
+//! pipeline.
+//!
+//! The fuzzer takes a small corpus of *valid* netlists (a handwritten
+//! two-phase latch chain plus generated circuits from [`tv_gen`]),
+//! applies a seeded sequence of byte- and line-level mutations —
+//! truncation, line deletion/duplication, character swaps, garbage
+//! tokens, BOM injection, CRLF conversion, digit corruption — and feeds
+//! each mutant through [`tv_netlist::sim_format::parse_recovering`] and,
+//! when a netlist comes out, the full [`tv_core::Analyzer`] under a small
+//! relaxation budget.
+//!
+//! Two properties are checked on every iteration:
+//!
+//! 1. **No panics.** The pipeline must reject arbitrary garbage with
+//!    diagnostics, never by unwinding.
+//! 2. **No silent rejections.** When parsing fails to produce a netlist,
+//!    at least one diagnostic must explain why.
+//!
+//! Everything is driven by one [`tv_gen::rng::Rng64`] stream, so a given
+//! `(seed, iterations)` pair replays bit-identically — a failing
+//! iteration number is a reproducer.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tv_core::{AnalysisOptions, Analyzer};
+use tv_gen::rng::Rng64;
+use tv_gen::{chains, random};
+use tv_netlist::{sim_format, Diagnostics, Tech};
+
+/// A pipeline failure the fuzzer found.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Which iteration (0-based) produced the failing input.
+    pub iteration: usize,
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// The mutated input, for reproduction.
+    pub input: String,
+}
+
+/// The property a fuzz iteration violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The parse or analysis panicked; carries the panic payload when it
+    /// was a string.
+    Panic(String),
+    /// Parsing rejected the input without emitting a single diagnostic.
+    SilentRejection,
+}
+
+/// Aggregate outcome of a fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Mutants that still parsed to a netlist (possibly with recovered
+    /// errors) and were analyzed.
+    pub analyzed: usize,
+    /// Mutants the parser rejected — each must have carried diagnostics.
+    pub rejected: usize,
+    /// Total diagnostics emitted across all iterations.
+    pub diagnostics: usize,
+    /// Property violations. An empty list is a passing run.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// Whether every iteration upheld both fuzz properties.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for FuzzReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fuzz: {} iterations, {} analyzed, {} rejected, {} diagnostics",
+            self.iterations, self.analyzed, self.rejected, self.diagnostics
+        )?;
+        if self.is_clean() {
+            write!(f, "fuzz: no panics, no silent rejections")
+        } else {
+            for fail in &self.failures {
+                match &fail.kind {
+                    FailureKind::Panic(msg) => {
+                        writeln!(f, "fuzz: PANIC at iteration {}: {}", fail.iteration, msg)?
+                    }
+                    FailureKind::SilentRejection => {
+                        writeln!(f, "fuzz: SILENT REJECTION at iteration {}", fail.iteration)?
+                    }
+                }
+            }
+            write!(f, "fuzz: {} failure(s)", self.failures.len())
+        }
+    }
+}
+
+/// The valid seed corpus the mutator perturbs.
+fn corpus() -> Vec<String> {
+    let latch = "\
+| tiny two-phase latch chain
+i d
+k phi1 0
+k phi2 1
+e d VDD x 4 8
+d x VDD x 8 4
+e phi1 x m 4 4
+e m GND qb 4 8
+d qb VDD qb 8 4
+e phi2 qb q2 4 4
+e q2 GND out 4 8
+d out VDD out 8 4
+o out
+C out 100
+"
+    .to_string();
+    let logic = sim_format::write(
+        &random::random_logic(Tech::nmos4um(), 120, 0x5EED, random::RandomMix::default()).netlist,
+    );
+    let inv = sim_format::write(&chains::inverter_chain(Tech::nmos4um(), 8, 2).netlist);
+    let pass = sim_format::write(&chains::pass_chain(Tech::nmos4um(), 6).netlist);
+    vec![latch, logic, inv, pass]
+}
+
+/// Applies one random mutation to `text`. Operates on `char` boundaries
+/// so every mutant stays valid UTF-8 (the parser's input type).
+fn mutate(text: &mut String, rng: &mut Rng64) {
+    const GARBAGE: &[char] = &[
+        'x', 'q', '0', '9', '|', '.', '-', '+', 'e', 'C', '\t', '\u{1}', '\u{7f}', '~', '#',
+    ];
+    match rng.usize_range(0, 9) {
+        // Truncate mid-stream: exercises partial final lines.
+        0 => {
+            let chars: Vec<char> = text.chars().collect();
+            if chars.len() > 2 {
+                let cut = rng.usize_range(1, chars.len());
+                *text = chars[..cut].iter().collect();
+            }
+        }
+        // Delete a random line.
+        1 => {
+            let lines: Vec<&str> = text.lines().collect();
+            if lines.len() > 1 {
+                let victim = rng.usize_range(0, lines.len());
+                let mut kept: Vec<&str> = Vec::with_capacity(lines.len());
+                for (i, l) in lines.iter().enumerate() {
+                    if i != victim {
+                        kept.push(l);
+                    }
+                }
+                *text = kept.join("\n");
+                text.push('\n');
+            }
+        }
+        // Duplicate a random line (duplicate records must not crash).
+        2 => {
+            let lines: Vec<&str> = text.lines().collect();
+            if !lines.is_empty() {
+                let pick = rng.usize_range(0, lines.len());
+                let dup = lines[pick].to_string();
+                let mut out = lines.join("\n");
+                out.push('\n');
+                out.push_str(&dup);
+                out.push('\n');
+                *text = out;
+            }
+        }
+        // Swap two characters.
+        3 => {
+            let mut chars: Vec<char> = text.chars().collect();
+            if chars.len() > 3 {
+                let a = rng.usize_range(0, chars.len());
+                let b = rng.usize_range(0, chars.len());
+                chars.swap(a, b);
+                *text = chars.into_iter().collect();
+            }
+        }
+        // Overwrite a character with garbage.
+        4 => {
+            let mut chars: Vec<char> = text.chars().collect();
+            if !chars.is_empty() {
+                let at = rng.usize_range(0, chars.len());
+                chars[at] = GARBAGE[rng.usize_range(0, GARBAGE.len())];
+                *text = chars.into_iter().collect();
+            }
+        }
+        // Insert a garbage token at the start of a random line.
+        5 => {
+            let lines: Vec<&str> = text.lines().collect();
+            if !lines.is_empty() {
+                let at = rng.usize_range(0, lines.len());
+                let mut out = String::new();
+                for (i, l) in lines.iter().enumerate() {
+                    if i == at {
+                        out.push_str("zzz ");
+                    }
+                    out.push_str(l);
+                    out.push('\n');
+                }
+                *text = out;
+            }
+        }
+        // Prepend a UTF-8 BOM.
+        6 => {
+            if !text.starts_with('\u{feff}') {
+                text.insert(0, '\u{feff}');
+            }
+        }
+        // Convert to CRLF line endings.
+        7 => {
+            *text = text.replace('\n', "\r\n");
+        }
+        // Corrupt the first digit found after a random offset.
+        _ => {
+            let mut chars: Vec<char> = text.chars().collect();
+            if !chars.is_empty() {
+                let start = rng.usize_range(0, chars.len());
+                if let Some(at) = (start..chars.len()).find(|&i| chars[i].is_ascii_digit()) {
+                    chars[at] = if rng.bool(0.5) { 'x' } else { '-' };
+                    *text = chars.into_iter().collect();
+                }
+            }
+        }
+    }
+}
+
+/// Runs `iterations` deterministic fuzz iterations from `seed`.
+///
+/// Each iteration picks a corpus entry, applies 1–4 mutations, parses it
+/// with recovery, and — when a netlist survives — runs the full analyzer
+/// with a small relaxation budget (mutation can create cycles; the guard
+/// keeps pathological mutants from dominating the run). No deadline is
+/// used, so the run is machine-independent.
+pub fn run(iterations: usize, seed: u64) -> FuzzReport {
+    let corpus = corpus();
+    let mut rng = Rng64::new(seed);
+    let mut report = FuzzReport {
+        iterations,
+        analyzed: 0,
+        rejected: 0,
+        diagnostics: 0,
+        failures: Vec::new(),
+    };
+
+    for iteration in 0..iterations {
+        let mut input = corpus[rng.usize_range(0, corpus.len())].clone();
+        for _ in 0..rng.usize_inclusive(1, 4) {
+            mutate(&mut input, &mut rng);
+        }
+
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            let mut diags = Diagnostics::with_max_errors(64);
+            let parsed = sim_format::parse_recovering(&input, Tech::nmos4um(), &mut diags);
+            let analyzed = match &parsed {
+                Ok(nl) => {
+                    let opts = AnalysisOptions {
+                        relax_budget: Some(50_000),
+                        ..AnalysisOptions::default()
+                    };
+                    let _ = Analyzer::new(nl).run(&opts);
+                    true
+                }
+                Err(_) => false,
+            };
+            (analyzed, parsed.is_err(), diags.len())
+        }));
+
+        match attempt {
+            Ok((analyzed, rejected, ndiags)) => {
+                report.diagnostics += ndiags;
+                if analyzed {
+                    report.analyzed += 1;
+                }
+                if rejected {
+                    report.rejected += 1;
+                    if ndiags == 0 {
+                        report.failures.push(FuzzFailure {
+                            iteration,
+                            kind: FailureKind::SilentRejection,
+                            input: input.clone(),
+                        });
+                    }
+                }
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                report.failures.push(FuzzFailure {
+                    iteration,
+                    kind: FailureKind::Panic(msg),
+                    input: input.clone(),
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzz_run_is_deterministic() {
+        let a = run(40, 7);
+        let b = run(40, 7);
+        assert_eq!(a.analyzed, b.analyzed);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.diagnostics, b.diagnostics);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+
+    #[test]
+    fn short_fuzz_run_is_clean() {
+        let r = run(60, 0xF00D);
+        assert!(r.is_clean(), "{r}");
+        assert!(r.analyzed + r.rejected == r.iterations);
+        assert!(r.diagnostics > 0, "mutations should trip diagnostics");
+    }
+
+    #[test]
+    fn corpus_parses_cleanly_unmutated() {
+        for (i, text) in corpus().iter().enumerate() {
+            let mut diags = Diagnostics::new();
+            let nl = sim_format::parse_recovering(text, Tech::nmos4um(), &mut diags)
+                .unwrap_or_else(|e| panic!("corpus {i} failed: {e}"));
+            assert!(nl.device_count() > 0, "corpus {i} is empty");
+            assert!(!diags.has_errors(), "corpus {i} has errors");
+        }
+    }
+}

@@ -47,6 +47,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fuzz;
+
 pub use tv_clocks as clocks;
 pub use tv_core as core;
 pub use tv_flow as flow;

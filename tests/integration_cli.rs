@@ -59,15 +59,29 @@ mod tempfile {
 }
 
 #[test]
-fn analyze_reports_and_exits_dirty_on_violations() {
+fn analyze_reports_violations_but_exits_clean_without_check() {
     let f = write_sim();
     let out = tv().arg("analyze").arg(f.path()).output().expect("run tv");
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("TV timing report"), "{text}");
     assert!(text.contains("minimum cycle"));
     assert!(text.contains("ratio violation"));
-    // Electrical issues => exit status 2.
-    assert_eq!(out.status.code(), Some(2));
+    // Violations are reported but not gated without --check.
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn analyze_with_check_exits_three_on_violations() {
+    let f = write_sim();
+    let out = tv()
+        .args(["analyze"])
+        .arg(f.path())
+        .args(["--check"])
+        .output()
+        .expect("run tv");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ratio violation"), "{text}");
+    assert_eq!(out.status.code(), Some(3));
 }
 
 #[test]
@@ -76,7 +90,7 @@ fn check_lists_the_ratio_violations() {
     let out = tv().arg("check").arg(f.path()).output().expect("run tv");
     let text = String::from_utf8_lossy(&out.stdout);
     assert_eq!(text.matches("ratio violation").count(), 2, "{text}");
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(3));
 }
 
 #[test]
@@ -114,7 +128,7 @@ fn query_unreachable_exits_dirty() {
         .expect("run tv");
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("not reachable"), "{text}");
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(1));
 }
 
 #[test]
@@ -128,18 +142,38 @@ fn spice_emits_a_deck() {
 }
 
 #[test]
-fn bad_usage_exits_one_with_usage_text() {
+fn bad_usage_exits_two_with_usage_text() {
     let out = tv().output().expect("run tv");
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("usage:"), "{err}");
 
     let out = tv().args(["frobnicate"]).output().expect("run tv");
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
+
+    let f = write_sim();
+    let out = tv()
+        .args(["analyze"])
+        .arg(f.path())
+        .args(["--frob"])
+        .output()
+        .expect("run tv");
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]
-fn missing_file_is_a_usage_error() {
+fn help_documents_exit_codes() {
+    let out = tv().arg("--help").output().expect("run tv");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("exit status"), "{text}");
+    assert!(text.contains("usage error"), "{text}");
+    assert!(text.contains("--max-errors"), "{text}");
+    assert!(text.contains("fuzz"), "{text}");
+}
+
+#[test]
+fn missing_file_is_an_analysis_failure() {
     let out = tv()
         .args(["analyze", "/nonexistent/definitely.sim"])
         .output()
@@ -152,16 +186,18 @@ fn missing_file_is_a_usage_error() {
 #[test]
 fn analyze_flags_are_honored() {
     let f = write_sim();
-    // A 1 ns cycle cannot be met: slack goes negative, exit stays 2.
+    // A 1 ns cycle cannot be met: slack goes negative; --check gates it.
     let out = tv()
         .args(["analyze"])
         .arg(f.path())
-        .args(["--cycle", "1.0", "--top", "2", "--model", "lumped"])
+        .args([
+            "--cycle", "1.0", "--top", "2", "--model", "lumped", "--check",
+        ])
         .output()
         .expect("run tv");
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("slack -"), "{text}");
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(3));
 
     // --no-case suppresses the per-phase sections.
     let out = tv()
@@ -172,4 +208,98 @@ fn analyze_flags_are_honored() {
         .expect("run tv");
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(!text.contains("phase 1:"), "{text}");
+}
+
+/// The latch corpus with three injected faults: an unknown record, a
+/// transistor line with a malformed width, and a shorted channel.
+const BROKEN_SIM: &str = "| corpus with three injected errors
+i d
+k phi1 0
+k phi2 1
+frob x y
+e d VDD x 4 eight
+e phi1 x x 4 4
+e d VDD x 4 8
+d x VDD x 8 4
+o x
+C x 100
+";
+
+#[test]
+fn recovering_parse_reports_all_errors_in_one_run() {
+    let f = tempfile::NamedTempPath::new(BROKEN_SIM);
+    let out = tv().arg("analyze").arg(f.path()).output().expect("run tv");
+    let err = String::from_utf8_lossy(&out.stderr);
+    // All three faults in a single invocation, each with line:col and code.
+    assert!(err.contains("TV0001"), "unknown record: {err}");
+    assert!(err.contains("TV0003"), "bad number: {err}");
+    assert!(err.contains("TV0005"), "shorted channel: {err}");
+    assert!(err.matches("error").count() >= 3, "{err}");
+    assert!(err.contains(":5:"), "line of first fault: {err}");
+    // Parse errors present => analysis failure exit, but the surviving
+    // netlist is still analyzed and reported.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("TV timing report"), "{text}");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn diag_format_json_emits_machine_readable_diagnostics() {
+    let f = tempfile::NamedTempPath::new(BROKEN_SIM);
+    let out = tv()
+        .args(["analyze"])
+        .arg(f.path())
+        .args(["--diag-format", "json"])
+        .output()
+        .expect("run tv");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("\"code\":\"TV0001\""), "{err}");
+    assert!(err.contains("\"code\":\"TV0003\""), "{err}");
+    assert!(err.contains("\"code\":\"TV0005\""), "{err}");
+    assert!(err.contains("\"severity\":\"error\""), "{err}");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn max_errors_caps_the_report_and_counts_the_rest() {
+    let f = tempfile::NamedTempPath::new(BROKEN_SIM);
+    let out = tv()
+        .args(["analyze"])
+        .arg(f.path())
+        .args(["--max-errors", "1"])
+        .output()
+        .expect("run tv");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("TV0001"), "{err}");
+    assert!(!err.contains("TV0005"), "capped: {err}");
+    assert!(err.contains("suppressed"), "{err}");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn deadline_and_relax_budget_flags_parse() {
+    let f = write_sim();
+    let out = tv()
+        .args(["analyze"])
+        .arg(f.path())
+        .args(["--relax-budget", "100000", "--deadline", "30"])
+        .output()
+        .expect("run tv");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("TV timing report"), "{text}");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn oversized_input_is_refused_with_max_nodes() {
+    let f = write_sim();
+    let out = tv()
+        .args(["analyze"])
+        .arg(f.path())
+        .args(["--max-nodes", "2"])
+        .output()
+        .expect("run tv");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("too large"), "{err}");
 }

@@ -1,0 +1,41 @@
+//! The offline fuzz gate: 500 deterministic mutation iterations through
+//! the full ingest-and-analysis pipeline must complete with zero panics
+//! and zero silent rejections.
+
+use std::process::Command;
+
+#[test]
+fn fuzz_500_iterations_is_clean_and_deterministic() {
+    let r = nmos_tv::fuzz::run(500, 0x7001);
+    assert!(r.is_clean(), "{r}");
+    assert_eq!(r.iterations, 500);
+    assert_eq!(r.analyzed + r.rejected, 500);
+    assert!(r.diagnostics > 0, "mutation should produce diagnostics");
+
+    // Replaying the same seed reproduces the same counters exactly.
+    let again = nmos_tv::fuzz::run(500, 0x7001);
+    assert_eq!(r.analyzed, again.analyzed);
+    assert_eq!(r.rejected, again.rejected);
+    assert_eq!(r.diagnostics, again.diagnostics);
+}
+
+#[test]
+fn fuzz_subcommand_reports_and_exits_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_tv"))
+        .args(["fuzz", "--iters", "50", "--seed", "42"])
+        .output()
+        .expect("run tv fuzz");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("50 iterations"), "{text}");
+    assert!(text.contains("no panics"), "{text}");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn fuzz_subcommand_rejects_bad_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_tv"))
+        .args(["fuzz", "--iters", "many"])
+        .output()
+        .expect("run tv fuzz");
+    assert_eq!(out.status.code(), Some(2));
+}
