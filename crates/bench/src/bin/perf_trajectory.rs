@@ -1,0 +1,256 @@
+//! Machine-readable perf trajectory: a fixed smoke suite over the three
+//! acceptance benchmarks (analyzer scaling, flow resolution, parallel
+//! propagation), emitted as `BENCH_3.json` so CI and future PRs can
+//! compare against a committed baseline instead of eyeballing tables.
+//!
+//! Usage:
+//!   perf_trajectory --out BENCH_3.json          # run suite, write baseline
+//!   perf_trajectory --check BENCH_3.json        # run suite, fail on >2x regression
+//!   perf_trajectory --check BENCH_3.json --threshold 3.0
+//!
+//! The JSON is flat and hand-rolled (the workspace is dependency-free):
+//! one object per benchmark with `name`, `input_size` (devices),
+//! `ns_per_op` (median) and `min_ns` (fastest iteration). The checker
+//! parses only those keys, line by line, so the file stays trivially
+//! greppable and diffable.
+
+use std::process::ExitCode;
+
+use tv_bench::experiments::parallel_scaling;
+use tv_bench::harness::bench;
+use tv_core::{AnalysisOptions, Analyzer};
+use tv_flow::RuleSet;
+use tv_gen::datapath::DatapathConfig;
+use tv_gen::random::{random_logic, RandomMix};
+use tv_gen::workload::t2_suite;
+use tv_netlist::Tech;
+
+/// One measured benchmark: label, workload size in devices, median and
+/// fastest ns/op. The median is the reported figure; the min is what the
+/// regression gate compares, because on microsecond-scale benches the
+/// median of a noisy run can swing 2x while the min stays put — gating
+/// `current min > threshold × baseline median` can only produce false
+/// passes, never false failures.
+struct Entry {
+    name: String,
+    input_size: usize,
+    ns_per_op: f64,
+    min_ns: f64,
+    iters: usize,
+}
+
+/// Runs the fixed smoke suite. Sizes are chosen so the whole suite
+/// finishes in a few seconds in release mode — this runs inside
+/// `scripts/verify.sh`, so it has to stay cheap.
+fn run_suite() -> Vec<Entry> {
+    let tech = Tech::nmos4um();
+    let mut out = Vec::new();
+
+    // Analyzer scaling (the T5 bench, smoke sizes).
+    for target in [1_600usize, 6_400] {
+        let circuit = random_logic(tech.clone(), target, 0xC0FFEE, RandomMix::default());
+        let devices = circuit.netlist.device_count();
+        let s = bench(&format!("scaling/random-{target}"), 10, || {
+            Analyzer::new(&circuit.netlist)
+                .run(&AnalysisOptions::default())
+                .flow_report
+                .devices
+        });
+        out.push(Entry {
+            name: s.name,
+            input_size: devices,
+            ns_per_op: s.median_ms * 1e6,
+            min_ns: s.min_ms * 1e6,
+            iters: s.iters,
+        });
+    }
+
+    // Flow direction-resolution fixpoint (the T2 bench, full suite —
+    // each item is microseconds).
+    for item in t2_suite(&tech) {
+        let devices = item.circuit.netlist.device_count();
+        let s = bench(&format!("flow/{}", item.name), 50, || {
+            tv_flow::analyze(&item.circuit.netlist, &RuleSet::all()).sweeps()
+        });
+        out.push(Entry {
+            name: s.name,
+            input_size: devices,
+            ns_per_op: s.median_ms * 1e6,
+            min_ns: s.min_ms * 1e6,
+            iters: s.iters,
+        });
+    }
+
+    // Serial graph build + propagation on the MIPS-class datapath (the
+    // P1 bench at jobs=1: the single-thread cost the parallel speedups
+    // are measured against).
+    let cfg = DatapathConfig::mips32();
+    let devices = tv_gen::datapath::datapath(tech.clone(), cfg)
+        .netlist
+        .device_count();
+    let rows = parallel_scaling(&tech, cfg, &[1], 5);
+    out.push(Entry {
+        name: "propagate/mips32-jobs1".to_string(),
+        input_size: devices,
+        ns_per_op: rows[0].total_ms() * 1e6,
+        min_ns: rows[0].total_ms() * 1e6,
+        iters: 5,
+    });
+
+    out
+}
+
+fn write_json(entries: &[Entry]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tv-bench-trajectory/1\",\n");
+    s.push_str("  \"unit\": \"ns_per_op is the median of `iters` timed runs\",\n");
+    s.push_str("  \"benches\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"input_size\": {}, \"ns_per_op\": {:.1}, \"min_ns\": {:.1}, \"iters\": {} }}{}\n",
+            e.name,
+            e.input_size,
+            e.ns_per_op,
+            e.min_ns,
+            e.iters,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts `(name, ns_per_op)` pairs from a baseline file. The writer
+/// puts one bench object per line, so a line scan is exact for our own
+/// output and tolerant of hand-edits that keep that shape.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name) = field_str(line, "name") else {
+            continue;
+        };
+        let Some(ns) = field_num(line, "ns_per_op") else {
+            continue;
+        };
+        out.push((name, ns));
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let open = rest.find('"')?;
+    let rest = &rest[open + 1..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = line[line.find(&pat)? + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn check(entries: &[Entry], baseline_path: &str, threshold: f64) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_trajectory: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = parse_baseline(&text);
+    if baseline.is_empty() {
+        eprintln!("perf_trajectory: no bench entries found in {baseline_path}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\n{:<28} {:>14} {:>14} {:>8}  vs {}x gate",
+        "bench", "baseline ns", "current min", "ratio", threshold
+    );
+    let mut failed = false;
+    for e in entries {
+        let Some((_, base_ns)) = baseline.iter().find(|(n, _)| *n == e.name) else {
+            println!(
+                "{:<28} {:>14} {:>14.0}   (new — no baseline)",
+                e.name, "-", e.ns_per_op
+            );
+            continue;
+        };
+        // Gate on the current run's *fastest* iteration vs the baseline
+        // median (see `Entry`): immune to one-sided scheduler noise.
+        let ratio = e.min_ns / base_ns;
+        let verdict = if ratio > threshold {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<28} {:>14.0} {:>14.0} {:>7.2}x  {}",
+            e.name, base_ns, e.min_ns, ratio, verdict
+        );
+    }
+    if failed {
+        eprintln!("perf_trajectory: regression beyond {threshold}x of committed baseline");
+        ExitCode::FAILURE
+    } else {
+        println!("perf_trajectory: within {threshold}x of baseline");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut threshold = 2.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--check" => {
+                check_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--threshold" => {
+                threshold = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(threshold);
+                i += 2;
+            }
+            other => {
+                eprintln!("perf_trajectory: unknown argument {other}");
+                eprintln!("usage: perf_trajectory [--out FILE] [--check FILE] [--threshold X]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if out_path.is_none() && check_path.is_none() {
+        eprintln!("usage: perf_trajectory [--out FILE] [--check FILE] [--threshold X]");
+        return ExitCode::FAILURE;
+    }
+
+    let entries = run_suite();
+
+    if let Some(path) = &out_path {
+        let json = write_json(&entries);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("perf_trajectory: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} ({} benches)", entries.len());
+    }
+    if let Some(path) = &check_path {
+        return check(&entries, path, threshold);
+    }
+    ExitCode::SUCCESS
+}

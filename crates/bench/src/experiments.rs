@@ -137,7 +137,7 @@ pub fn t3_critical_paths(tech: &Tech, config: DatapathConfig, k: usize) -> T3Res
                 .iter()
                 .map(|path| {
                     (
-                        dp.netlist.node(path.endpoint()).name().to_owned(),
+                        dp.netlist.node_name(path.endpoint()).to_owned(),
                         path.arrival(),
                         path.len(),
                     )
@@ -721,7 +721,11 @@ pub fn parallel_scaling(
     let qual = qualify_with_flow(nl, &flow);
     let latches = find_latches(nl, &flow, &qual);
 
-    let mut cases = vec![(PhaseCase::all_active(), external_sources(nl), nl.outputs())];
+    let mut cases = vec![(
+        PhaseCase::all_active(),
+        external_sources(nl),
+        nl.outputs().to_vec(),
+    )];
     for p in 0..2u8 {
         cases.push((
             PhaseCase::phase(p),

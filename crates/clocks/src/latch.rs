@@ -147,6 +147,6 @@ mod tests {
         assert_eq!(latch_counts(&latches), (1, 1));
         // The slave's data comes from the master's restored output.
         let slave = latches.iter().find(|l| l.phase == 1).unwrap();
-        assert_eq!(nl.node(slave.data_from).name(), "m");
+        assert_eq!(nl.node_name(slave.data_from), "m");
     }
 }

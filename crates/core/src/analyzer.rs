@@ -15,7 +15,7 @@ use crate::hold::{race_check, RaceHazard};
 use crate::incremental::IncrementalCache;
 use crate::options::AnalysisOptions;
 use crate::paths::{critical_paths, TimingPath};
-use crate::propagate::{propagate, propagate_guarded, Completion, Guards, PhaseResult};
+use crate::propagate::{propagate, propagate_reuse, Completion, Guards, PhaseResult, Workspace};
 
 /// Assumed driver resistance of primary inputs, kΩ (a strong pad driver).
 pub const SOURCE_RESISTANCE: f64 = 1.0;
@@ -115,7 +115,7 @@ impl TimingReport {
         let unresolved = self
             .unresolved_nodes()
             .into_iter()
-            .map(|id| netlist.node(id).name().to_string())
+            .map(|id| netlist.node_name(id).to_string())
             .collect();
         Err(TvError::BudgetExhausted {
             unresolved,
@@ -211,6 +211,9 @@ fn run_report(
         relax_budget: options.relax_budget,
         deadline: options.deadline.map(|d| Instant::now() + d),
     };
+    // Propagation scratch shared by every case of this run; the first
+    // case warms it up, later ones run allocation-free.
+    let mut workspace = Workspace::new();
     if let Some(c) = cache.as_deref_mut() {
         c.begin_run(options);
     }
@@ -255,6 +258,7 @@ fn run_report(
         jobs,
         guards,
         &mut cache,
+        &mut workspace,
     );
     diagnostics.extend(combinational.diagnostics.iter().cloned());
     let combinational_paths = critical_paths(&comb_graph, &combinational, options.top_k);
@@ -274,6 +278,7 @@ fn run_report(
                 jobs,
                 guards,
                 &mut cache,
+                &mut workspace,
                 &mut diagnostics,
             ));
         }
@@ -315,10 +320,21 @@ fn run_case(
     jobs: usize,
     guards: Guards,
     cache: &mut Option<&mut IncrementalCache>,
+    ws: &mut Workspace,
 ) -> PhaseResult {
     match cache {
         Some(c) => c.propagate_case(nl, graph, sources, endpoints, &options.slope, jobs, guards),
-        None => propagate_guarded(nl, graph, sources, endpoints, &options.slope, jobs, guards),
+        None => propagate_reuse(
+            nl,
+            graph,
+            sources,
+            endpoints,
+            &options.slope,
+            jobs,
+            None,
+            guards,
+            ws,
+        ),
     }
 }
 
@@ -368,6 +384,7 @@ fn run_phase(
     jobs: usize,
     guards: Guards,
     cache: &mut Option<&mut IncrementalCache>,
+    ws: &mut Workspace,
     diagnostics: &mut Vec<Diagnostic>,
 ) -> PhaseAnalysis {
     let graph = TimingGraph::build_par(
@@ -384,7 +401,7 @@ fn run_phase(
     let endpoints = phase_endpoints(nl, latches, phase);
 
     let result = run_case(
-        nl, &graph, &sources, &endpoints, options, jobs, guards, cache,
+        nl, &graph, &sources, &endpoints, options, jobs, guards, cache, ws,
     );
     diagnostics.extend(result.diagnostics.iter().cloned());
     let paths = critical_paths(&graph, &result, options.top_k);
@@ -444,9 +461,9 @@ pub fn external_sources(netlist: &Netlist) -> Vec<NodeId> {
         .collect()
 }
 
-fn endpoints_or_all(netlist: &Netlist, preferred: Vec<NodeId>) -> Vec<NodeId> {
+fn endpoints_or_all(netlist: &Netlist, preferred: &[NodeId]) -> Vec<NodeId> {
     if !preferred.is_empty() {
-        return preferred;
+        return preferred.to_vec();
     }
     netlist
         .node_ids()

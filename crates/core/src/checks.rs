@@ -62,7 +62,7 @@ impl CheckIssue {
                 required,
             } => format!(
                 "ratio violation at {}: R_pu/R_pd = {ratio:.2}, need >= {required}",
-                netlist.node(*node).name()
+                netlist.node_name(*node)
             ),
             CheckIssue::ChargeSharing {
                 node,
@@ -70,7 +70,7 @@ impl CheckIssue {
                 shared_pf,
             } => format!(
                 "charge sharing at {}: {stored_pf:.4} pF stored vs {shared_pf:.4} pF shared",
-                netlist.node(*node).name()
+                netlist.node_name(*node)
             ),
             CheckIssue::UnresolvedDirection { device } => format!(
                 "unresolved pass direction: {}",
@@ -78,7 +78,7 @@ impl CheckIssue {
             ),
             CheckIssue::ClockConflict { node } => format!(
                 "clock qualification conflict at {}",
-                netlist.node(*node).name()
+                netlist.node_name(*node)
             ),
         }
     }

@@ -121,7 +121,7 @@ impl LevelSchedule {
         &self.order[self.level_starts[l] as usize..self.level_starts[l + 1] as usize]
     }
 
-    fn build(node_count: usize, arcs: &[Arc], out_arcs: &[Vec<u32>]) -> Self {
+    fn build(node_count: usize, arcs: &[Arc], out_starts: &[u32], out_arc_ids: &[u32]) -> Self {
         let mut indeg = vec![0u32; node_count];
         for a in arcs {
             indeg[a.to.index()] += 1;
@@ -136,7 +136,8 @@ impl LevelSchedule {
             level_starts.push(order.len() as u32);
             let mut next = Vec::new();
             for &nidx in &frontier {
-                for &ai in &out_arcs[nidx as usize] {
+                let n = nidx as usize;
+                for &ai in &out_arc_ids[out_starts[n] as usize..out_starts[n + 1] as usize] {
                     let t = arcs[ai as usize].to.index();
                     indeg[t] -= 1;
                     if indeg[t] == 0 {
@@ -163,12 +164,22 @@ impl LevelSchedule {
 }
 
 /// The timing graph for one netlist under one phase case.
+///
+/// Both adjacency directions are CSR (compressed sparse row): one
+/// offsets array plus one flat arc-id array each, so walking a node's
+/// fan-in or fan-out touches two cache lines instead of chasing a
+/// per-node `Vec`.
 #[derive(Debug, Clone)]
 pub struct TimingGraph {
     /// All arcs.
     pub arcs: Vec<Arc>,
-    /// Per node (by index): indices into `arcs` of arcs leaving that node.
-    pub out_arcs: Vec<Vec<u32>>,
+    /// CSR offsets into [`TimingGraph::out_arc_ids`]: arcs leaving node
+    /// `i` are `out_arc_ids[out_starts[i] as usize..out_starts[i+1] as
+    /// usize]`, ascending by arc id.
+    pub out_starts: Vec<u32>,
+    /// Arc indices grouped by source node (see
+    /// [`TimingGraph::out_starts`]).
+    pub out_arc_ids: Vec<u32>,
     /// The phase case the graph was built for.
     pub case: PhaseCase,
     /// CSR offsets into [`TimingGraph::in_arc_ids`]: arcs entering node
@@ -276,18 +287,21 @@ impl TimingGraph {
         let build_chunk = |root_chunk: &[(NodeId, RootKind)]| -> Result<Vec<Arc>, ()> {
             catch_unwind(AssertUnwindSafe(|| {
                 let mut arcs = Vec::new();
+                let mut scratch = BuildScratch::new(netlist.node_count());
                 for r in root_chunk {
                     if let Some(hook) = fault {
                         hook(r.0);
                     }
-                    builder.build_root(r, source_resistance, &mut arcs);
+                    builder.build_root(r, source_resistance, &mut arcs, &mut scratch);
                 }
                 arcs
             }))
             .map_err(|_| ())
         };
         // Degraded path: per-root isolation. Each root builds into its
-        // own vector so a mid-stage panic discards only that stage.
+        // own vector so a mid-stage panic discards only that stage. The
+        // scratch is fresh per root too — a panic can leave stale flags
+        // behind, and this path is rare enough not to optimize.
         let recover_chunk = |root_chunk: &[(NodeId, RootKind)],
                              diagnostics: &mut Vec<Diagnostic>|
          -> Vec<Arc> {
@@ -295,10 +309,11 @@ impl TimingGraph {
             for r in root_chunk {
                 let attempt = catch_unwind(AssertUnwindSafe(|| {
                     let mut part = Vec::new();
+                    let mut scratch = BuildScratch::new(netlist.node_count());
                     if let Some(hook) = fault {
                         hook(r.0);
                     }
-                    builder.build_root(r, source_resistance, &mut part);
+                    builder.build_root(r, source_resistance, &mut part, &mut scratch);
                     part
                 }));
                 match attempt {
@@ -307,7 +322,7 @@ impl TimingGraph {
                             codes::ANALYSIS_WORKER_PANIC,
                             format!(
                                 "graph construction panicked for the stage rooted at node {:?}; stage omitted from analysis",
-                                netlist.node(r.0).name()
+                                netlist.node_name(r.0)
                             ),
                         )),
                     }
@@ -352,28 +367,37 @@ impl TimingGraph {
         };
 
         let n = netlist.node_count();
-        let mut out_arcs: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (i, a) in arcs.iter().enumerate() {
-            out_arcs[a.from.index()].push(i as u32);
-        }
+        // Both adjacency directions in two counting passes each: degree
+        // counts, prefix sums into offsets, then a cursor pass. Iterating
+        // arcs in id order keeps each node's list ascending by arc id —
+        // the same order the old nested-Vec push loop produced.
+        let mut out_starts = vec![0u32; n + 1];
         let mut in_starts = vec![0u32; n + 1];
         for a in &arcs {
+            out_starts[a.from.index() + 1] += 1;
             in_starts[a.to.index() + 1] += 1;
         }
         for i in 0..n {
+            out_starts[i + 1] += out_starts[i];
             in_starts[i + 1] += in_starts[i];
         }
-        let mut cursor = in_starts.clone();
+        let mut out_cursor = out_starts.clone();
+        let mut in_cursor = in_starts.clone();
+        let mut out_arc_ids = vec![0u32; arcs.len()];
         let mut in_arc_ids = vec![0u32; arcs.len()];
         for (i, a) in arcs.iter().enumerate() {
-            let c = &mut cursor[a.to.index()];
+            let c = &mut out_cursor[a.from.index()];
+            out_arc_ids[*c as usize] = i as u32;
+            *c += 1;
+            let c = &mut in_cursor[a.to.index()];
             in_arc_ids[*c as usize] = i as u32;
             *c += 1;
         }
-        let schedule = LevelSchedule::build(n, &arcs, &out_arcs);
+        let schedule = LevelSchedule::build(n, &arcs, &out_starts, &out_arc_ids);
         TimingGraph {
             arcs,
-            out_arcs,
+            out_starts,
+            out_arc_ids,
             case,
             in_starts,
             in_arc_ids,
@@ -389,7 +413,7 @@ impl TimingGraph {
 
     /// Number of nodes the graph was built over.
     pub fn node_count(&self) -> usize {
-        self.out_arcs.len()
+        self.out_starts.len() - 1
     }
 
     /// Arc indices entering node index `i`, ascending by arc id.
@@ -400,6 +424,16 @@ impl TimingGraph {
     /// Arc indices entering `node`, ascending by arc id.
     pub fn in_arcs_of(&self, node: NodeId) -> &[u32] {
         self.in_arcs_of_index(node.index())
+    }
+
+    /// Arc indices leaving node index `i`, ascending by arc id.
+    pub fn out_arcs_of_index(&self, i: usize) -> &[u32] {
+        &self.out_arc_ids[self.out_starts[i] as usize..self.out_starts[i + 1] as usize]
+    }
+
+    /// Arc indices leaving `node`, ascending by arc id.
+    pub fn out_arcs_of(&self, node: NodeId) -> &[u32] {
+        self.out_arcs_of_index(node.index())
     }
 }
 
@@ -428,13 +462,73 @@ struct GraphBuilder<'a> {
 }
 
 /// One node of the case-aware downstream walk.
+#[derive(Clone, Copy)]
 struct WalkNode {
     node: NodeId,
     parent: Option<usize>,
     /// Pass device from the parent (None for the root).
     via: Option<DeviceId>,
-    /// Controls of every pass device on the path root → here.
+}
+
+/// Reusable per-worker buffers for stage construction. One instance
+/// serves every root a worker builds, so the steady-state build does no
+/// per-root allocation: visited sets are epoch-stamped stamps rather
+/// than hash sets, and the old per-root `vec![false; node_count]` in
+/// the pull-down scan (quadratic over the whole netlist) becomes one
+/// shared array whose flags the DFS resets on unwind.
+struct BuildScratch {
+    /// Epoch-stamped visited marks, one per node; `mark[i] == epoch`
+    /// means node `i` was seen in the current traversal.
+    mark: Vec<u32>,
+    epoch: u32,
+    /// DFS path membership for the pull-down resistance scan. Always
+    /// all-false between calls (the DFS clears flags as it backtracks).
+    on_path: Vec<bool>,
+    /// Walk nodes of the stage currently being built.
+    walk: Vec<WalkNode>,
+    /// Gate controls of one walk node, reconstructed root → leaf.
     controls: Vec<NodeId>,
+    /// Gate inputs of the stage currently being built.
+    inputs: Vec<StageInput>,
+    /// Work stack for the pull-down input scan.
+    frontier: Vec<NodeId>,
+}
+
+impl BuildScratch {
+    fn new(node_count: usize) -> Self {
+        BuildScratch {
+            mark: vec![0; node_count],
+            epoch: 0,
+            on_path: vec![false; node_count],
+            walk: Vec::new(),
+            controls: Vec::new(),
+            inputs: Vec::new(),
+            frontier: Vec::new(),
+        }
+    }
+
+    /// Starts a fresh visited set in O(1). On the (practically
+    /// unreachable) epoch wrap the marks are hard-cleared instead.
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.mark.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
+/// Rebuilds the gate controls of every pass device on the path
+/// root → `walk[i]` into `out`, in root-to-leaf order — exactly the
+/// order the old per-node `controls` vector accumulated them in.
+fn path_controls(netlist: &Netlist, walk: &[WalkNode], mut i: usize, out: &mut Vec<NodeId>) {
+    out.clear();
+    while let Some(via) = walk[i].via {
+        out.push(netlist.device(via).gate());
+        i = walk[i].parent.expect("non-root has parent");
+    }
+    out.reverse();
 }
 
 impl<'a> GraphBuilder<'a> {
@@ -454,10 +548,16 @@ impl<'a> GraphBuilder<'a> {
         roots
     }
 
-    fn build_root(&self, root: &(NodeId, RootKind), source_resistance: f64, arcs: &mut Vec<Arc>) {
+    fn build_root(
+        &self,
+        root: &(NodeId, RootKind),
+        source_resistance: f64,
+        arcs: &mut Vec<Arc>,
+        scratch: &mut BuildScratch,
+    ) {
         match root.1 {
-            RootKind::Stage => self.build_stage(root.0, arcs),
-            RootKind::Source => self.build_source_tree(root.0, source_resistance, arcs),
+            RootKind::Stage => self.build_stage(root.0, arcs, scratch),
+            RootKind::Source => self.build_source_tree(root.0, source_resistance, arcs, scratch),
         }
     }
 
@@ -499,19 +599,19 @@ impl<'a> GraphBuilder<'a> {
     /// evaluation, so the walk does continue through them — this is what
     /// lets a Manchester carry chain appear as the long series RC path it
     /// electrically is.
-    fn walk_downstream(&self, root: NodeId) -> Vec<WalkNode> {
+    fn walk_downstream(&self, root: NodeId, scratch: &mut BuildScratch) {
         let nl = self.netlist;
-        let mut nodes = vec![WalkNode {
+        let epoch = scratch.next_epoch();
+        scratch.walk.clear();
+        scratch.walk.push(WalkNode {
             node: root,
             parent: None,
             via: None,
-            controls: Vec::new(),
-        }];
-        let mut seen = std::collections::HashSet::new();
-        seen.insert(root);
+        });
+        scratch.mark[root.index()] = epoch;
         let mut i = 0;
-        while i < nodes.len() {
-            let here = nodes[i].node;
+        while i < scratch.walk.len() {
+            let here = scratch.walk[i].node;
             // Only the root expands past a driven node; reached driven
             // nodes terminate their branch.
             if i > 0 && self.flow.node_class(here) == tv_flow::NodeClass::Restored {
@@ -531,22 +631,18 @@ impl<'a> GraphBuilder<'a> {
                     Direction::Toward(dst) => dst == other,
                     Direction::Bidirectional | Direction::Unresolved => true,
                 };
-                if !downstream || seen.contains(&other) {
+                if !downstream || scratch.mark[other.index()] == epoch {
                     continue;
                 }
-                seen.insert(other);
-                let mut controls = nodes[i].controls.clone();
-                controls.push(dev.gate());
-                nodes.push(WalkNode {
+                scratch.mark[other.index()] = epoch;
+                scratch.walk.push(WalkNode {
                     node: other,
                     parent: Some(i),
                     via: Some(did),
-                    controls,
                 });
             }
             i += 1;
         }
-        nodes
     }
 
     /// Per-walk-node delay estimates and Elmore time constants for rising
@@ -601,18 +697,24 @@ impl<'a> GraphBuilder<'a> {
     }
 
     /// Builds arcs for one driving stage rooted at `out`.
-    fn build_stage(&self, out: NodeId, arcs: &mut Vec<Arc>) {
+    fn build_stage(&self, out: NodeId, arcs: &mut Vec<Arc>, scratch: &mut BuildScratch) {
         let nl = self.netlist;
         let r_pu = pull_up_resistance(nl, self.flow, out);
-        let r_pd = pull_down_resistance(nl, self.flow, out);
-        let walk = self.walk_downstream(out);
+        let r_pd = pull_down_resistance_with(nl, self.flow, out, &mut scratch.on_path);
+        self.walk_downstream(out, scratch);
+        stage_inputs_into(nl, self.flow, out, scratch);
+        let BuildScratch {
+            walk,
+            controls,
+            inputs,
+            ..
+        } = scratch;
         let (rise_d, fall_d, rise_tau, fall_tau) = self.tree_delays(
-            &walk,
+            walk,
             r_pu.unwrap_or(f64::INFINITY),
             r_pd.unwrap_or(f64::INFINITY),
         );
 
-        let inputs = stage_inputs(nl, self.flow, out);
         for (i, w) in walk.iter().enumerate() {
             // Domino discipline: a precharged node starts its evaluation
             // phase high and can only FALL until the next precharge; a
@@ -623,7 +725,7 @@ impl<'a> GraphBuilder<'a> {
             } else {
                 rise_d[i]
             };
-            for inp in &inputs {
+            for inp in inputs.iter() {
                 match inp.kind {
                     StageInputKind::PullDownGate => arcs.push(Arc {
                         from: inp.node,
@@ -649,7 +751,8 @@ impl<'a> GraphBuilder<'a> {
             }
             // Pass controls along the path: when the latest-arriving
             // control rises, the whole path conducts.
-            for &ctrl in &w.controls {
+            path_controls(nl, walk, i, controls);
+            for &ctrl in controls.iter() {
                 arcs.push(Arc {
                     from: ctrl,
                     to: w.node,
@@ -679,7 +782,7 @@ impl<'a> GraphBuilder<'a> {
                 continue;
             }
             let r_pre = nl.device(did).resistance(nl.tech());
-            let (pre_rise, _, pre_tau, _) = self.tree_delays(&walk, r_pre, f64::INFINITY);
+            let (pre_rise, _, pre_tau, _) = self.tree_delays(walk, r_pre, f64::INFINITY);
             for (i, w) in walk.iter().enumerate() {
                 arcs.push(Arc {
                     from: gate,
@@ -697,13 +800,21 @@ impl<'a> GraphBuilder<'a> {
 
     /// Builds pass-data arcs from a primary input that feeds pass devices
     /// directly (no on-chip driver stage).
-    fn build_source_tree(&self, source: NodeId, source_resistance: f64, arcs: &mut Vec<Arc>) {
-        let walk = self.walk_downstream(source);
+    fn build_source_tree(
+        &self,
+        source: NodeId,
+        source_resistance: f64,
+        arcs: &mut Vec<Arc>,
+        scratch: &mut BuildScratch,
+    ) {
+        self.walk_downstream(source, scratch);
+        let BuildScratch { walk, controls, .. } = scratch;
         if walk.len() <= 1 {
             return;
         }
         let (rise_d, fall_d, rise_tau, fall_tau) =
-            self.tree_delays(&walk, source_resistance, source_resistance);
+            self.tree_delays(walk, source_resistance, source_resistance);
+        let nl = self.netlist;
         for (i, w) in walk.iter().enumerate().skip(1) {
             let rise_dly = if self.flow.node_class(w.node) == tv_flow::NodeClass::Precharged {
                 f64::INFINITY
@@ -720,7 +831,8 @@ impl<'a> GraphBuilder<'a> {
                 inverting: false,
                 kind: ArcKind::PassData,
             });
-            for &ctrl in &w.controls {
+            path_controls(nl, walk, i, controls);
+            for &ctrl in controls.iter() {
                 arcs.push(Arc {
                     from: ctrl,
                     to: w.node,
@@ -763,9 +875,21 @@ pub fn pull_up_resistance(netlist: &Netlist, flow: &FlowAnalysis, node: NodeId) 
 /// Worst-case (maximum) series resistance of any pull-down path from
 /// `node` to GND. `None` if no pull-down path exists.
 pub fn pull_down_resistance(netlist: &Netlist, flow: &FlowAnalysis, node: NodeId) -> Option<f64> {
-    let mut best: Option<f64> = None;
     let mut on_path = vec![false; netlist.node_count()];
-    dfs_pd(netlist, flow, node, 0.0, &mut on_path, &mut best);
+    pull_down_resistance_with(netlist, flow, node, &mut on_path)
+}
+
+/// [`pull_down_resistance`] over a caller-owned path-flag array (must be
+/// all-false on entry; the DFS leaves it all-false again), so the build
+/// loop reuses one allocation across every root.
+fn pull_down_resistance_with(
+    netlist: &Netlist,
+    flow: &FlowAnalysis,
+    node: NodeId,
+    on_path: &mut [bool],
+) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    dfs_pd(netlist, flow, node, 0.0, on_path, &mut best);
     best
 }
 
@@ -811,8 +935,21 @@ struct StageInput {
 
 /// The gate inputs of the stage driving `out`: gates of the pull-down
 /// network reachable below it, plus gates of actively pulled-up devices.
-fn stage_inputs(netlist: &Netlist, flow: &FlowAnalysis, out: NodeId) -> Vec<StageInput> {
-    let mut inputs: Vec<StageInput> = Vec::new();
+/// Fills `scratch.inputs`; the visited set rides the scratch epoch marks.
+fn stage_inputs_into(
+    netlist: &Netlist,
+    flow: &FlowAnalysis,
+    out: NodeId,
+    scratch: &mut BuildScratch,
+) {
+    let epoch = scratch.next_epoch();
+    let BuildScratch {
+        mark,
+        inputs,
+        frontier,
+        ..
+    } = scratch;
+    inputs.clear();
     let push = |node: NodeId, kind: StageInputKind, inputs: &mut Vec<StageInput>| {
         if !netlist.node(node).role().is_rail()
             && !inputs.iter().any(|i| i.node == node && i.kind == kind)
@@ -827,7 +964,7 @@ fn stage_inputs(netlist: &Netlist, flow: &FlowAnalysis, out: NodeId) -> Vec<Stag
             DeviceRole::ActivePullUp | DeviceRole::EnhPullUp => {
                 let g = netlist.device(did).gate();
                 if g != out {
-                    push(g, StageInputKind::PullUpGate, &mut inputs);
+                    push(g, StageInputKind::PullUpGate, inputs);
                 }
             }
             _ => {}
@@ -835,23 +972,23 @@ fn stage_inputs(netlist: &Netlist, flow: &FlowAnalysis, out: NodeId) -> Vec<Stag
     }
 
     // Pull-down network below the output.
-    let mut frontier = vec![out];
-    let mut seen = std::collections::HashSet::new();
-    seen.insert(out);
+    frontier.clear();
+    frontier.push(out);
+    mark[out.index()] = epoch;
     while let Some(node) = frontier.pop() {
         for &did in netlist.node_devices(node).channel {
             if flow.device_role(did) != DeviceRole::PullDown {
                 continue;
             }
             let dev = netlist.device(did);
-            push(dev.gate(), StageInputKind::PullDownGate, &mut inputs);
+            push(dev.gate(), StageInputKind::PullDownGate, inputs);
             let other = dev.other_channel_end(node);
-            if other != netlist.gnd() && other != netlist.vdd() && seen.insert(other) {
+            if other != netlist.gnd() && other != netlist.vdd() && mark[other.index()] != epoch {
+                mark[other.index()] = epoch;
                 frontier.push(other);
             }
         }
     }
-    inputs
 }
 
 #[cfg(test)]

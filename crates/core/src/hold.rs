@@ -56,7 +56,7 @@ pub fn min_arrivals(netlist: &Netlist, graph: &TimingGraph, sources: &[NodeId]) 
             break;
         }
         let here = arr[node.index()];
-        for &ai in &graph.out_arcs[node.index()] {
+        for &ai in graph.out_arcs_of(node) {
             let arc = &graph.arcs[ai as usize];
             let d = arc.rise_delay.min(arc.fall_delay);
             if !d.is_finite() {

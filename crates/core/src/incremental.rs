@@ -25,14 +25,12 @@
 //! * graphs with a cyclic residue always recompute — the worklist
 //!   relaxation has no per-node reuse story.
 
-use std::collections::HashMap;
-
-use tv_netlist::{Netlist, NodeId};
+use tv_netlist::{FxHashMap, Netlist, NodeId};
 use tv_rc::SlopeModel;
 
 use crate::graph::{ArcKind, TimingGraph};
 use crate::options::AnalysisOptions;
-use crate::propagate::{propagate_reuse, CachedCase, Guards, PhaseResult, Reuse};
+use crate::propagate::{propagate_reuse, CachedCase, Guards, PhaseResult, Reuse, Workspace};
 
 /// Reuse statistics for one analysis case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,8 +61,10 @@ struct CaseEntry {
 #[derive(Default)]
 pub struct IncrementalCache {
     config: Option<u64>,
-    cases: HashMap<Option<u8>, CaseEntry>,
+    cases: FxHashMap<Option<u8>, CaseEntry>,
     stats: Vec<CaseStats>,
+    /// Propagation scratch, reused across cases and runs.
+    workspace: Workspace,
 }
 
 impl IncrementalCache {
@@ -139,12 +139,21 @@ impl IncrementalCache {
                     jobs,
                     Some(reuse),
                     guards,
+                    &mut self.workspace,
                 );
                 (r, recomputed)
             }
             None => {
                 let r = propagate_reuse(
-                    netlist, graph, sources, endpoints, slope, jobs, None, guards,
+                    netlist,
+                    graph,
+                    sources,
+                    endpoints,
+                    slope,
+                    jobs,
+                    None,
+                    guards,
+                    &mut self.workspace,
                 );
                 (r, n)
             }
@@ -173,7 +182,7 @@ fn affected_cone(graph: &TimingGraph, fps: &[u64], baseline: &[u64]) -> Vec<bool
     let mut affected: Vec<bool> = (0..n).map(|i| baseline.get(i) != Some(&fps[i])).collect();
     let mut stack: Vec<usize> = (0..n).filter(|&i| affected[i]).collect();
     while let Some(i) = stack.pop() {
-        for &ai in &graph.out_arcs[i] {
+        for &ai in graph.out_arcs_of_index(i) {
             let to = graph.arcs[ai as usize].to.index();
             if !affected[to] {
                 affected[to] = true;

@@ -113,7 +113,7 @@ pub fn buffer_long_pass_runs(
         if du >= max_run {
             // Break the run at `u`: one shared buffer per node.
             let buf_out = *buffered_at.entry(u).or_insert_with(|| {
-                let uname = netlist.node(u).name().to_owned();
+                let uname = netlist.node_name(u).to_owned();
                 let mid = b.node(format!("{uname}_abuf_n"));
                 b.inverter(format!("{uname}_abuf_a"), u, mid);
                 let out = b.node(format!("{uname}_abuf_o"));

@@ -62,7 +62,7 @@ impl TimingPath {
                 "  {:>9.3} ns  {} {}",
                 step.at,
                 dir,
-                netlist.node(step.node).name()
+                netlist.node_name(step.node)
             );
         }
         s

@@ -280,6 +280,28 @@ impl Slot {
     }
 }
 
+/// Reusable scratch buffers for repeated propagation runs: the slot
+/// permutation, the per-node slot array, and the residue worklist. One
+/// instance serves every case of a report, so after the first case at a
+/// given netlist size a propagation run allocates only the [`Arrivals`]
+/// it returns (which the caller keeps) — everything transient is reused.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    is_source: Vec<bool>,
+    slot_of: Vec<u32>,
+    slots: Vec<Slot>,
+    in_residue: Vec<bool>,
+    queued: Vec<bool>,
+    queue: VecDeque<u32>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow to the netlist size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Shared read-only context for node evaluation.
 #[derive(Clone, Copy)]
 struct Ctx<'a> {
@@ -360,6 +382,137 @@ fn compute_node(ctx: Ctx<'_>, done: &[Slot], node: u32) -> (Slot, u32) {
     (s, relaxed)
 }
 
+/// The waveform-state transitions an arc can carry, mirroring
+/// [`candidates`]: `(from_edge, to_edge)` index pairs (0 = rise,
+/// 1 = fall) such that a finite arrival on `from_edge` of `arc.from`
+/// yields a finite candidate on `to_edge` of `arc.to`. An infinite
+/// delay carries nothing on its edge.
+#[inline]
+fn arc_transitions(arc: &Arc) -> [Option<(usize, usize)>; 2] {
+    const RISE: usize = 0;
+    const FALL: usize = 1;
+    let (rise_from, fall_from) = match arc.kind {
+        ArcKind::PassControl | ArcKind::Precharge => (RISE, RISE),
+        _ if arc.inverting => (FALL, RISE),
+        _ => (RISE, FALL),
+    };
+    [
+        arc.rise_delay.is_finite().then_some((rise_from, RISE)),
+        arc.fall_delay.is_finite().then_some((fall_from, FALL)),
+    ]
+}
+
+/// Decides whether the budgeted residue relaxation can terminate at all.
+///
+/// The residue is relaxed by monotone max-propagation, so it diverges
+/// exactly when a finite arrival reaches a cycle of the *waveform state
+/// graph* (states are `(node, edge)` pairs, transitions follow
+/// [`arc_transitions`]): every lap around such a cycle adds its strictly
+/// positive delay sum, so no fixpoint exists and the old behaviour was
+/// to grind through the entire relaxation budget producing unbounded,
+/// physically meaningless arrivals. Conversely, if the finite-reachable
+/// state subgraph is acyclic the relaxation below converges and runs
+/// exactly as it always has, value for value.
+///
+/// Three linear passes: mark states finite-reachable from the residue
+/// seeds (initial slot values plus arcs entering from the finished
+/// prefix), then Kahn-peel the subgraph they induce; a leftover state
+/// proves a reachable cycle.
+fn residue_diverges(
+    graph: &TimingGraph,
+    slots: &[Slot],
+    slot_of: &[u32],
+    in_residue: &[bool],
+    residue: &[u32],
+) -> bool {
+    let n = in_residue.len();
+    let mut finite = vec![false; 2 * n];
+    let mut stack: Vec<u32> = Vec::new();
+    // Seed: residue nodes' initial slot values (sources arrive at 0).
+    for &r in residue {
+        let ri = r as usize;
+        let s = &slots[slot_of[ri] as usize];
+        for (bit, v) in [(0, s.rise), (1, s.fall)] {
+            if v.is_finite() {
+                finite[2 * ri + bit] = true;
+                stack.push((2 * ri + bit) as u32);
+            }
+        }
+    }
+    // Seed: arcs entering the residue from the finished prefix, whose
+    // slot values are final.
+    for a in &graph.arcs {
+        if in_residue[a.to.index()] && !in_residue[a.from.index()] {
+            let s = &slots[slot_of[a.from.index()] as usize];
+            for (fe, te) in arc_transitions(a).into_iter().flatten() {
+                let v = if fe == 0 { s.rise } else { s.fall };
+                let st = 2 * a.to.index() + te;
+                if v.is_finite() && !finite[st] {
+                    finite[st] = true;
+                    stack.push(st as u32);
+                }
+            }
+        }
+    }
+    // Fixpoint: a residue node's out-arcs always target residue nodes
+    // (anything a non-leveled node feeds is itself non-leveled).
+    while let Some(st) = stack.pop() {
+        let (node, bit) = (st as usize / 2, st as usize % 2);
+        for &ai in graph.out_arcs_of_index(node) {
+            let a = &graph.arcs[ai as usize];
+            for (fe, te) in arc_transitions(a).into_iter().flatten() {
+                let to_st = 2 * a.to.index() + te;
+                if fe == bit && !finite[to_st] {
+                    finite[to_st] = true;
+                    stack.push(to_st as u32);
+                }
+            }
+        }
+    }
+    // Kahn cycle check on the finite residue states.
+    let mut indeg = vec![0u32; 2 * n];
+    let mut total = 0usize;
+    for &r in residue {
+        let ri = r as usize;
+        total += finite[2 * ri] as usize + finite[2 * ri + 1] as usize;
+        for &ai in graph.out_arcs_of_index(ri) {
+            let a = &graph.arcs[ai as usize];
+            for (fe, te) in arc_transitions(a).into_iter().flatten() {
+                if finite[2 * ri + fe] && finite[2 * a.to.index() + te] {
+                    indeg[2 * a.to.index() + te] += 1;
+                }
+            }
+        }
+    }
+    let mut peel: Vec<u32> = Vec::new();
+    for &r in residue {
+        for bit in 0..2 {
+            let st = 2 * r as usize + bit;
+            if finite[st] && indeg[st] == 0 {
+                peel.push(st as u32);
+            }
+        }
+    }
+    let mut peeled = 0usize;
+    while let Some(st) = peel.pop() {
+        peeled += 1;
+        let (node, bit) = (st as usize / 2, st as usize % 2);
+        for &ai in graph.out_arcs_of_index(node) {
+            let a = &graph.arcs[ai as usize];
+            for (fe, te) in arc_transitions(a).into_iter().flatten() {
+                let to_st = 2 * a.to.index() + te;
+                if fe == bit && finite[to_st] {
+                    indeg[to_st] -= 1;
+                    if indeg[to_st] == 0 {
+                        peel.push(to_st as u32);
+                    }
+                }
+            }
+        }
+    }
+    peeled < total
+}
+
 /// Minimum level width before fanning a level out across threads;
 /// narrower levels are cheaper to finish inline than to dispatch.
 /// Public so the bench crate's work-span model mirrors the engine.
@@ -388,10 +541,13 @@ pub fn propagate(
 /// bit-identical at every thread count; `jobs == 1` (or narrow levels)
 /// runs inline with no thread startup at all.
 ///
-/// Cyclic structures (the schedule's residue) are finished by a
-/// worklist relaxation with a budget of `64 × (arcs + nodes)`; budget
-/// exhaustion reports a genuine combinational cycle via
-/// [`PhaseResult::cyclic`] instead of looping forever.
+/// Cyclic structures (the schedule's residue) are first screened for
+/// divergence: if a finite arrival reaches a positive-delay cycle of
+/// the waveform state graph the relaxation has no fixpoint, so the
+/// residue is flagged via [`PhaseResult::cyclic`] up front and left at
+/// its seed values. A converging residue is finished by a worklist
+/// relaxation with a budget of `64 × (arcs + nodes)` as a backstop;
+/// budget exhaustion also reports [`PhaseResult::cyclic`].
 pub fn propagate_with(
     netlist: &Netlist,
     graph: &TimingGraph,
@@ -409,6 +565,7 @@ pub fn propagate_with(
         jobs,
         None,
         Guards::default(),
+        &mut Workspace::new(),
     )
 }
 
@@ -427,7 +584,15 @@ pub fn propagate_guarded(
     guards: Guards,
 ) -> PhaseResult {
     propagate_reuse(
-        netlist, graph, sources, endpoints, slope, jobs, None, guards,
+        netlist,
+        graph,
+        sources,
+        endpoints,
+        slope,
+        jobs,
+        None,
+        guards,
+        &mut Workspace::new(),
     )
 }
 
@@ -443,9 +608,10 @@ pub(crate) fn propagate_reuse(
     jobs: usize,
     reuse: Option<Reuse<'_>>,
     guards: Guards,
+    ws: &mut Workspace,
 ) -> PhaseResult {
     propagate_full(
-        netlist, graph, sources, endpoints, slope, jobs, reuse, guards, None,
+        netlist, graph, sources, endpoints, slope, jobs, reuse, guards, ws, None,
     )
 }
 
@@ -462,13 +628,23 @@ fn propagate_full(
     jobs: usize,
     reuse: Option<Reuse<'_>>,
     guards: Guards,
+    ws: &mut Workspace,
     fault: Option<&(dyn Fn(u32) + Sync)>,
 ) -> PhaseResult {
     let n = netlist.node_count();
     let sched = &graph.schedule;
     debug_assert_eq!(sched.order.len() + sched.residue.len(), n);
 
-    let mut is_source = vec![false; n];
+    let Workspace {
+        is_source,
+        slot_of,
+        slots,
+        in_residue,
+        queued,
+        queue,
+    } = ws;
+    is_source.clear();
+    is_source.resize(n, false);
     for &s in sources {
         is_source[s.index()] = true;
     }
@@ -482,8 +658,10 @@ fn propagate_full(
     };
 
     // Slot permutation: leveled nodes in level order, then residue.
-    let mut slot_of = vec![0u32; n];
-    let mut slots: Vec<Slot> = Vec::with_capacity(n);
+    slot_of.clear();
+    slot_of.resize(n, 0);
+    slots.clear();
+    slots.reserve(n);
     for (slot, &nd) in sched.order.iter().chain(sched.residue.iter()).enumerate() {
         slot_of[nd as usize] = slot as u32;
         slots.push(Slot::init(is_source[nd as usize]));
@@ -492,8 +670,8 @@ fn propagate_full(
     let ctx = Ctx {
         graph,
         slope,
-        slot_of: &slot_of,
-        is_source: &is_source,
+        slot_of: slot_of.as_slice(),
+        is_source: is_source.as_slice(),
         reuse,
         fault,
     };
@@ -607,82 +785,94 @@ fn propagate_full(
     let mut cyclic = false;
     let mut residue_deadline_hit = false;
     if !sched.residue.is_empty() && deadline_hit_at.is_none() {
-        let mut in_residue = vec![false; n];
+        in_residue.clear();
+        in_residue.resize(n, false);
         for &r in &sched.residue {
             in_residue[r as usize] = true;
         }
-        let mut queue: VecDeque<u32> = VecDeque::new();
-        let mut queued = vec![false; n];
-        let enqueue = |node: usize, queue: &mut VecDeque<u32>, queued: &mut [bool]| {
-            if !queued[node] {
-                queued[node] = true;
-                queue.push_back(node as u32);
+        if residue_diverges(graph, slots, slot_of, in_residue, &sched.residue) {
+            // A finite arrival reaches a positive-delay cycle: max-
+            // relaxation has no fixpoint, every lap raises the cycle's
+            // arrivals further. Flag the cycle immediately instead of
+            // grinding through the relaxation budget accumulating
+            // unbounded arrivals; residue nodes keep their seed values
+            // (sources at 0, everything else "no arrival").
+            cyclic = true;
+        } else {
+            queue.clear();
+            queued.clear();
+            queued.resize(n, false);
+            let enqueue = |node: usize, queue: &mut VecDeque<u32>, queued: &mut [bool]| {
+                if !queued[node] {
+                    queued[node] = true;
+                    queue.push_back(node as u32);
+                }
+            };
+            for &r in &sched.residue {
+                if is_source[r as usize] {
+                    enqueue(r as usize, queue, queued);
+                }
             }
-        };
-        for &r in &sched.residue {
-            if is_source[r as usize] {
-                enqueue(r as usize, &mut queue, &mut queued);
+            for a in &graph.arcs {
+                if in_residue[a.to.index()] {
+                    enqueue(a.from.index(), queue, queued);
+                }
             }
-        }
-        for a in &graph.arcs {
-            if in_residue[a.to.index()] {
-                enqueue(a.from.index(), &mut queue, &mut queued);
-            }
-        }
 
-        let budget = guards
-            .relax_budget
-            .unwrap_or_else(|| 64 * (graph.arcs.len() + n).max(1));
-        let mut residue_relax = 0usize;
-        let mut pops = 0usize;
-        while let Some(nidx) = queue.pop_front() {
-            let ni = nidx as usize;
-            queued[ni] = false;
-            if residue_relax > budget {
-                cyclic = true;
-                break;
-            }
-            pops += 1;
-            if pops.is_multiple_of(1024) {
-                if let Some(dl) = guards.deadline {
-                    if Instant::now() >= dl {
-                        residue_deadline_hit = true;
-                        break;
+            let budget = guards
+                .relax_budget
+                .unwrap_or_else(|| 64 * (graph.arcs.len() + n).max(1));
+            let mut residue_relax = 0usize;
+            let mut pops = 0usize;
+            while let Some(nidx) = queue.pop_front() {
+                let ni = nidx as usize;
+                queued[ni] = false;
+                if residue_relax > budget {
+                    cyclic = true;
+                    break;
+                }
+                pops += 1;
+                if pops.is_multiple_of(1024) {
+                    if let Some(dl) = guards.deadline {
+                        if Instant::now() >= dl {
+                            residue_deadline_hit = true;
+                            break;
+                        }
+                    }
+                }
+                let from = slots[slot_of[ni] as usize];
+                for &ai in graph.out_arcs_of_index(ni) {
+                    let arc = &graph.arcs[ai as usize];
+                    let to = arc.to.index();
+                    let (cand_rise, rise_src, cand_fall, fall_src) = candidates(arc, &from, slope);
+                    let target = &mut slots[slot_of[to] as usize];
+                    let mut improved = false;
+                    if cand_rise.is_finite() && cand_rise > target.rise {
+                        target.rise = cand_rise;
+                        target.trans_rise = slope.output_transition(arc.rise_tau);
+                        target.pred_rise = Some(Pred {
+                            arc: ai,
+                            from_edge: rise_src,
+                        });
+                        improved = true;
+                    }
+                    if cand_fall.is_finite() && cand_fall > target.fall {
+                        target.fall = cand_fall;
+                        target.trans_fall = slope.output_transition(arc.fall_tau);
+                        target.pred_fall = Some(Pred {
+                            arc: ai,
+                            from_edge: fall_src,
+                        });
+                        improved = true;
+                    }
+                    residue_relax += 1;
+                    if improved {
+                        enqueue(to, queue, queued);
                     }
                 }
             }
-            let from = slots[slot_of[ni] as usize];
-            for &ai in &graph.out_arcs[ni] {
-                let arc = &graph.arcs[ai as usize];
-                let to = arc.to.index();
-                let (cand_rise, rise_src, cand_fall, fall_src) = candidates(arc, &from, slope);
-                let target = &mut slots[slot_of[to] as usize];
-                let mut improved = false;
-                if cand_rise.is_finite() && cand_rise > target.rise {
-                    target.rise = cand_rise;
-                    target.trans_rise = slope.output_transition(arc.rise_tau);
-                    target.pred_rise = Some(Pred {
-                        arc: ai,
-                        from_edge: rise_src,
-                    });
-                    improved = true;
-                }
-                if cand_fall.is_finite() && cand_fall > target.fall {
-                    target.fall = cand_fall;
-                    target.trans_fall = slope.output_transition(arc.fall_tau);
-                    target.pred_fall = Some(Pred {
-                        arc: ai,
-                        from_edge: fall_src,
-                    });
-                    improved = true;
-                }
-                residue_relax += 1;
-                if improved {
-                    enqueue(to, &mut queue, &mut queued);
-                }
-            }
+            relaxations += residue_relax;
         }
-        relaxations += residue_relax;
     }
 
     // Back from slot order to node order.
@@ -763,7 +953,7 @@ fn propagate_full(
             codes::ANALYSIS_WORKER_PANIC,
             format!(
                 "evaluation of node {:?} panicked; node left unresolved",
-                netlist.node(id).name()
+                netlist.node_name(id)
             ),
         ));
         unresolved.push(id);
@@ -1020,6 +1210,7 @@ mod tests {
             1,
             None,
             Guards::default(),
+            &mut Workspace::new(),
             Some(&hook),
         );
         // The poisoned node and its downstream have no arrival, the
@@ -1063,6 +1254,7 @@ mod tests {
                 jobs,
                 None,
                 Guards::default(),
+                &mut Workspace::new(),
                 Some(&hook),
             )
         };

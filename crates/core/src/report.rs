@@ -31,7 +31,7 @@ impl TimingReport {
                 unresolved.len()
             );
             for &id in unresolved.iter().take(10) {
-                let _ = writeln!(s, "***   unresolved: {}", netlist.node(id).name());
+                let _ = writeln!(s, "***   unresolved: {}", netlist.node_name(id));
             }
             if unresolved.len() > 10 {
                 let _ = writeln!(s, "***   ... and {} more", unresolved.len() - 10);
@@ -66,7 +66,7 @@ impl TimingReport {
                 let _ = writeln!(
                     s,
                     "  RACE: same-phase path reaches latch {} after only {:.3} ns",
-                    netlist.node(race.capture).name(),
+                    netlist.node_name(race.capture),
                     race.min_arrival
                 );
             }

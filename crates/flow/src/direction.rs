@@ -310,6 +310,22 @@ enum Drive {
 /// Direction goes from the stronger end to the weaker; two `Strong` ends
 /// make the device [`Direction::Bidirectional`]; two merely-`Arrived` ends
 /// stay [`Direction::Unresolved`] (flagged for the designer).
+///
+/// Implemented as a worklist rather than repeated whole-netlist sweeps:
+/// each "round" holds only the devices whose terminal drive changed since
+/// they were last examined, marked in a boolean membership array that an
+/// ascending cursor walks — so they are examined in ascending device
+/// order, the order the sweep engine used, for the cost of one flag test
+/// per device instead of a rule evaluation. Because the rules are *not*
+/// monotone in drive (the sink rule fires only while a terminal is still
+/// [`Drive::None`], the external rule only below [`Drive::Strong`]), that
+/// ordering is semantic, not cosmetic: a drive upgrade made while
+/// examining device `cur` is visible to device `e` in the same round only
+/// if `e > cur` — exactly the devices a sweep had not yet reached, and
+/// exactly the flags still ahead of the cursor — otherwise `e` waits for
+/// the next round. The returned sweep count likewise reproduces the sweep
+/// engine's: rounds map 1:1 to sweeps, plus the final no-change sweep
+/// that proved the fixpoint.
 fn orient_pass_devices(
     netlist: &Netlist,
     roles: &[DeviceRole],
@@ -355,78 +371,111 @@ fn orient_pass_devices(
         }
     };
 
-    let pass_ids: Vec<DeviceId> = netlist
-        .devices()
-        .filter(|dref| roles[dref.id.index()] == DeviceRole::Pass)
-        .map(|dref| dref.id)
-        .collect();
+    let n_dev = netlist.device_count();
+    let mut in_current = vec![false; n_dev];
+    let mut in_next = vec![false; n_dev];
+    let mut pending = 0usize;
+    // The first round is the first sweep: every unresolved pass device.
+    for i in 0..n_dev {
+        if roles[i] == DeviceRole::Pass && directions[i] == Direction::Unresolved {
+            in_current[i] = true;
+            pending += 1;
+        }
+    }
+    let mut next: Vec<DeviceId> = Vec::new();
 
     let mut sweeps = 0;
     loop {
         sweeps += 1;
+        if pending == 0 {
+            // A sweep over devices with unchanged terminals cannot
+            // resolve anything: this is the engine's final quiet sweep.
+            break;
+        }
         let mut changed = false;
-        for &id in &pass_ids {
-            let i = id.index();
+        let mut cursor = 0usize;
+        while cursor < n_dev {
+            if !in_current[cursor] {
+                cursor += 1;
+                continue;
+            }
+            let i = cursor;
+            cursor += 1;
+            in_current[i] = false;
+            pending -= 1;
             if directions[i] != Direction::Unresolved {
                 continue;
             }
+            let id = DeviceId::from_index(i);
             let d = netlist.device(id);
             let (a, b) = (d.source(), d.drain());
             let (da, db) = (drive[a.index()], drive[b.index()]);
 
-            let mut resolve = |dir: Direction, rule: Rule| {
-                directions[i] = dir;
-                resolved_by[i] = Some(rule);
-                if let Direction::Toward(dst) = dir {
-                    if drive[dst.index()] == Drive::None {
-                        drive[dst.index()] = Drive::Arrived;
-                    }
-                }
-                changed = true;
+            // The rule cascade, in the sweep engine's exact order.
+            let decision = if da == Drive::Strong && db == Drive::Strong {
+                // Two static drivers facing each other: genuine coupler.
+                Some((Direction::Bidirectional, Rule::RestoredDrive))
+            } else if rules.external && is_external(a) && db < Drive::Strong {
+                Some((Direction::Toward(b), Rule::External))
+            } else if rules.external && is_external(b) && da < Drive::Strong {
+                Some((Direction::Toward(a), Rule::External))
+            } else if da > db
+                && ((upstream_rule(a) == Rule::RestoredDrive && rules.restored)
+                    || (upstream_rule(a) == Rule::Chain && rules.chain))
+            {
+                Some((Direction::Toward(b), upstream_rule(a)))
+            } else if db > da
+                && ((upstream_rule(b) == Rule::RestoredDrive && rules.restored)
+                    || (upstream_rule(b) == Rule::Chain && rules.chain))
+            {
+                Some((Direction::Toward(a), upstream_rule(b)))
+            } else if rules.sink && db == Drive::None && is_sinklike(b) {
+                Some((Direction::Toward(b), Rule::Sink))
+            } else if rules.sink && da == Drive::None && is_sinklike(a) {
+                Some((Direction::Toward(a), Rule::Sink))
+            } else {
+                None
             };
 
-            // Two static drivers facing each other: genuine coupler.
-            if da == Drive::Strong && db == Drive::Strong {
-                resolve(Direction::Bidirectional, Rule::RestoredDrive);
+            let Some((dir, rule)) = decision else {
                 continue;
-            }
-            if rules.external && is_external(a) && db < Drive::Strong {
-                resolve(Direction::Toward(b), Rule::External);
-                continue;
-            }
-            if rules.external && is_external(b) && da < Drive::Strong {
-                resolve(Direction::Toward(a), Rule::External);
-                continue;
-            }
-            if da > db {
-                let rule = upstream_rule(a);
-                if (rule == Rule::RestoredDrive && rules.restored)
-                    || (rule == Rule::Chain && rules.chain)
-                {
-                    resolve(Direction::Toward(b), rule);
-                    continue;
+            };
+            directions[i] = dir;
+            resolved_by[i] = Some(rule);
+            changed = true;
+            if let Direction::Toward(dst) = dir {
+                if drive[dst.index()] == Drive::None {
+                    drive[dst.index()] = Drive::Arrived;
+                    // Re-examine unresolved pass devices touching the
+                    // upgraded node: still-ahead devices join this round
+                    // (the sweep had not reached them yet), already-passed
+                    // ones wait for the next.
+                    for &e in netlist.node_devices(dst).channel {
+                        let ei = e.index();
+                        if roles[ei] != DeviceRole::Pass || directions[ei] != Direction::Unresolved
+                        {
+                            continue;
+                        }
+                        if ei > i {
+                            if !in_current[ei] {
+                                in_current[ei] = true;
+                                pending += 1;
+                            }
+                        } else if !in_next[ei] {
+                            in_next[ei] = true;
+                            next.push(e);
+                        }
+                    }
                 }
-            }
-            if db > da {
-                let rule = upstream_rule(b);
-                if (rule == Rule::RestoredDrive && rules.restored)
-                    || (rule == Rule::Chain && rules.chain)
-                {
-                    resolve(Direction::Toward(a), rule);
-                    continue;
-                }
-            }
-            if rules.sink && db == Drive::None && is_sinklike(b) {
-                resolve(Direction::Toward(b), Rule::Sink);
-                continue;
-            }
-            if rules.sink && da == Drive::None && is_sinklike(a) {
-                resolve(Direction::Toward(a), Rule::Sink);
-                continue;
             }
         }
         if !changed {
             break;
+        }
+        for e in next.drain(..) {
+            in_next[e.index()] = false;
+            in_current[e.index()] = true;
+            pending += 1;
         }
     }
     sweeps

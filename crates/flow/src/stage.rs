@@ -19,21 +19,22 @@ impl StageId {
     }
 }
 
-/// One channel-connected component.
-#[derive(Debug, Clone)]
-pub struct Stage {
+/// One channel-connected component, borrowed out of the [`Stages`]
+/// partition's flat CSR arrays.
+#[derive(Debug, Clone, Copy)]
+pub struct Stage<'a> {
     /// Non-rail nodes in this stage, sorted by id.
-    pub nodes: Vec<NodeId>,
+    pub nodes: &'a [NodeId],
     /// Devices whose channel lies inside this stage (touching at least one
     /// of its nodes), sorted by id.
-    pub devices: Vec<DeviceId>,
+    pub devices: &'a [DeviceId],
     /// Whether some device in the stage has a channel terminal on VDD.
     pub touches_vdd: bool,
     /// Whether some device in the stage has a channel terminal on GND.
     pub touches_gnd: bool,
 }
 
-impl Stage {
+impl Stage<'_> {
     /// Number of non-rail nodes in the stage.
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -71,14 +72,27 @@ impl Stage {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Stages {
-    stages: Vec<Stage>,
+    /// CSR offsets into [`Stages::stage_nodes`]: stage `s` owns
+    /// `stage_nodes[node_starts[s] as usize..node_starts[s + 1] as usize]`.
+    node_starts: Vec<u32>,
+    /// All stage members, grouped by stage, sorted by id within a stage.
+    stage_nodes: Vec<NodeId>,
+    /// CSR offsets into [`Stages::stage_devs`], same scheme.
+    dev_starts: Vec<u32>,
+    /// All stage devices, grouped by stage, sorted by id within a stage.
+    stage_devs: Vec<DeviceId>,
+    /// Per stage: (touches VDD, touches GND).
+    rails: Vec<(bool, bool)>,
     /// Per node: its stage, or `None` for rails and isolated nodes.
     stage_of: Vec<Option<StageId>>,
 }
 
 impl Stages {
     /// Computes the channel-connected components of a netlist by union-find
-    /// over channel edges, skipping the rails.
+    /// over channel edges, skipping the rails. The partition is stored in
+    /// CSR form — one flat member array plus offsets each for nodes and
+    /// devices — built with the usual two counting passes instead of one
+    /// pair of growing `Vec`s per stage.
     pub fn build(netlist: &Netlist) -> Self {
         let n = netlist.node_count();
         let mut uf = UnionFind::new(n);
@@ -93,11 +107,11 @@ impl Stages {
             }
         }
 
-        // Collect components over nodes that touch at least one channel.
+        // Pass 1 over nodes: assign stage ids in first-encounter order
+        // (iterating nodes by ascending id) and count members per stage.
         let mut root_to_stage: Vec<Option<StageId>> = vec![None; n];
-        let mut stages: Vec<Stage> = Vec::new();
         let mut stage_of: Vec<Option<StageId>> = vec![None; n];
-
+        let mut node_counts: Vec<u32> = Vec::new();
         for id in netlist.node_ids() {
             if id == vdd || id == gnd {
                 continue;
@@ -109,25 +123,20 @@ impl Stages {
             let sid = match root_to_stage[root] {
                 Some(sid) => sid,
                 None => {
-                    let sid = StageId(stages.len() as u32);
-                    stages.push(Stage {
-                        nodes: Vec::new(),
-                        devices: Vec::new(),
-                        touches_vdd: false,
-                        touches_gnd: false,
-                    });
+                    let sid = StageId(node_counts.len() as u32);
+                    node_counts.push(0);
                     root_to_stage[root] = Some(sid);
                     sid
                 }
             };
-            stages[sid.index()].nodes.push(id);
+            node_counts[sid.index()] += 1;
             stage_of[id.index()] = Some(sid);
         }
+        let n_stages = node_counts.len();
 
-        // Attach devices: a device belongs to the stage of its non-rail
-        // channel terminal(s).
-        for dref in netlist.devices() {
-            let d = dref.device;
+        // Pass 1 over devices: owner stage, per-stage device counts, and
+        // rail contact flags.
+        let owner_of = |d: &tv_netlist::Device| {
             let mut owner: Option<StageId> = None;
             for t in [d.source(), d.drain()] {
                 if t == vdd || t == gnd {
@@ -138,31 +147,67 @@ impl Stages {
                     break;
                 }
             }
-            if let Some(sid) = owner {
-                let st = &mut stages[sid.index()];
-                st.devices.push(dref.id);
-                if d.source() == vdd || d.drain() == vdd {
-                    st.touches_vdd = true;
-                }
-                if d.source() == gnd || d.drain() == gnd {
-                    st.touches_gnd = true;
-                }
+            owner
+        };
+        let mut dev_counts: Vec<u32> = vec![0; n_stages];
+        let mut rails: Vec<(bool, bool)> = vec![(false, false); n_stages];
+        for dref in netlist.devices() {
+            let d = dref.device;
+            if let Some(sid) = owner_of(d) {
+                dev_counts[sid.index()] += 1;
+                let r = &mut rails[sid.index()];
+                r.0 |= d.source() == vdd || d.drain() == vdd;
+                r.1 |= d.source() == gnd || d.drain() == gnd;
             }
         }
 
-        Stages { stages, stage_of }
+        // Prefix sums, then the cursor passes. Filling in ascending
+        // node/device id keeps every per-stage slice sorted by id.
+        let mut node_starts = vec![0u32; n_stages + 1];
+        let mut dev_starts = vec![0u32; n_stages + 1];
+        for s in 0..n_stages {
+            node_starts[s + 1] = node_starts[s] + node_counts[s];
+            dev_starts[s + 1] = dev_starts[s] + dev_counts[s];
+        }
+        let mut stage_nodes = vec![NodeId::from_index(0); node_starts[n_stages] as usize];
+        let mut stage_devs = vec![DeviceId::from_index(0); dev_starts[n_stages] as usize];
+        let mut node_cursor = node_starts.clone();
+        for id in netlist.node_ids() {
+            if let Some(sid) = stage_of[id.index()] {
+                let c = &mut node_cursor[sid.index()];
+                stage_nodes[*c as usize] = id;
+                *c += 1;
+            }
+        }
+        let mut dev_cursor = dev_starts.clone();
+        for dref in netlist.devices() {
+            if let Some(sid) = owner_of(dref.device) {
+                let c = &mut dev_cursor[sid.index()];
+                stage_devs[*c as usize] = dref.id;
+                *c += 1;
+            }
+        }
+
+        Stages {
+            node_starts,
+            stage_nodes,
+            dev_starts,
+            stage_devs,
+            rails,
+            stage_of,
+        }
     }
 
     /// Number of stages.
     #[inline]
     pub fn len(&self) -> usize {
-        self.stages.len()
+        self.rails.len()
     }
 
     /// Whether the netlist has no stages at all.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.stages.is_empty()
+        self.rails.is_empty()
     }
 
     /// The stage containing `node`, if any (rails and gate-only nodes have
@@ -178,16 +223,20 @@ impl Stages {
     ///
     /// Panics if `id` did not come from this partition.
     #[inline]
-    pub fn stage(&self, id: StageId) -> &Stage {
-        &self.stages[id.index()]
+    pub fn stage(&self, id: StageId) -> Stage<'_> {
+        let s = id.index();
+        Stage {
+            nodes: &self.stage_nodes
+                [self.node_starts[s] as usize..self.node_starts[s + 1] as usize],
+            devices: &self.stage_devs[self.dev_starts[s] as usize..self.dev_starts[s + 1] as usize],
+            touches_vdd: self.rails[s].0,
+            touches_gnd: self.rails[s].1,
+        }
     }
 
     /// Iterates over all stages with their ids.
-    pub fn iter(&self) -> impl ExactSizeIterator<Item = (StageId, &Stage)> + '_ {
-        self.stages
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (StageId(i as u32), s))
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (StageId, Stage<'_>)> + '_ {
+        (0..self.len()).map(|i| (StageId(i as u32), self.stage(StageId(i as u32))))
     }
 }
 

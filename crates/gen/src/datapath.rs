@@ -275,7 +275,7 @@ mod tests {
     #[test]
     fn carry_out_is_last_adder_stage() {
         let dp = datapath(Tech::nmos4um(), DatapathConfig::small());
-        let name = dp.netlist.node(dp.carry_out).name().to_owned();
+        let name = dp.netlist.node_name(dp.carry_out).to_owned();
         assert_eq!(name, "alu_fa3_cout");
     }
 }

@@ -241,7 +241,7 @@ mod tests {
     #[test]
     fn circuit_wrapper_exposes_cin_to_top_sum() {
         let c = manchester_circuit(Tech::nmos4um(), 4, 0);
-        assert_eq!(c.netlist.node(c.input).name(), "cin");
-        assert_eq!(c.netlist.node(c.output).name(), "s3");
+        assert_eq!(c.netlist.node_name(c.input), "cin");
+        assert_eq!(c.netlist.node_name(c.output), "s3");
     }
 }

@@ -164,7 +164,7 @@ mod tests {
         let nl = b.finish().unwrap();
         // 2 latches × (pass + inverter) = 6 devices.
         assert_eq!(nl.device_count(), 6);
-        assert_eq!(nl.node(q).name(), "r_q");
+        assert_eq!(nl.node_name(q), "r_q");
     }
 
     #[test]

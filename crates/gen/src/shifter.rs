@@ -99,7 +99,7 @@ mod tests {
         for d in c.netlist.devices() {
             if let Direction::Toward(dst) = flow.direction(d.id) {
                 if c.netlist.device(d.id).name().starts_with("bs_p") {
-                    let name = c.netlist.node(dst).name();
+                    let name = c.netlist.node_name(dst);
                     assert!(name.starts_with("bs_o"), "flows into {name}");
                 }
             }

@@ -1,7 +1,6 @@
 //! Incremental construction of [`Netlist`]s, with gate-level conveniences.
 
-use std::collections::HashMap;
-
+use crate::intern::Interner;
 use crate::{Device, DeviceId, DeviceKind, Netlist, NetlistError, Node, NodeId, NodeRole, Tech};
 
 /// Builds a [`Netlist`] one node and transistor at a time.
@@ -39,7 +38,10 @@ pub struct NetlistBuilder {
     tech: Tech,
     nodes: Vec<Node>,
     devices: Vec<Device>,
-    by_name: HashMap<String, NodeId>,
+    names: Interner,
+    /// Symbol index → node id; parallel to `names` (names and nodes are
+    /// 1:1, so this is the whole name-lookup table).
+    node_of_symbol: Vec<NodeId>,
     pending_error: Option<NetlistError>,
 }
 
@@ -51,7 +53,8 @@ impl NetlistBuilder {
             tech,
             nodes: Vec::new(),
             devices: Vec::new(),
-            by_name: HashMap::new(),
+            names: Interner::new(),
+            node_of_symbol: Vec::new(),
             pending_error: None,
         };
         b.insert_node("VDD", NodeRole::Vdd);
@@ -65,13 +68,15 @@ impl NetlistBuilder {
         tech: Tech,
         nodes: Vec<Node>,
         devices: Vec<Device>,
-        by_name: HashMap<String, NodeId>,
+        names: Interner,
+        node_of_symbol: Vec<NodeId>,
     ) -> Self {
         NetlistBuilder {
             tech,
             nodes,
             devices,
-            by_name,
+            names,
+            node_of_symbol,
             pending_error: None,
         }
     }
@@ -106,40 +111,46 @@ impl NetlistBuilder {
         self.devices.len()
     }
 
-    fn insert_node(&mut self, name: impl Into<String>, role: NodeRole) -> NodeId {
-        let name = name.into();
-        if let Some(&id) = self.by_name.get(&name) {
+    fn insert_node(&mut self, name: impl AsRef<str>, role: NodeRole) -> NodeId {
+        let sym = self.names.intern(name.as_ref());
+        if sym.index() < self.node_of_symbol.len() {
             // Get-or-create semantics; upgrading Internal to a stronger role
             // is allowed so `input("a")` after `node("a")` does what it says.
+            let id = self.node_of_symbol[sym.index()];
             if role != NodeRole::Internal {
                 self.nodes[id.index()].role = role;
             }
             return id;
         }
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node::new(name.clone(), role));
-        self.by_name.insert(name, id);
+        self.nodes.push(Node::new(sym, role));
+        self.node_of_symbol.push(id);
         id
     }
 
+    /// The name of an already-created node.
+    fn node_name(&self, id: NodeId) -> &str {
+        self.names.resolve(self.nodes[id.index()].name)
+    }
+
     /// Gets or creates an internal node by name.
-    pub fn node(&mut self, name: impl Into<String>) -> NodeId {
+    pub fn node(&mut self, name: impl AsRef<str>) -> NodeId {
         self.insert_node(name, NodeRole::Internal)
     }
 
     /// Gets or creates a node and marks it a primary input.
-    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+    pub fn input(&mut self, name: impl AsRef<str>) -> NodeId {
         self.insert_node(name, NodeRole::Input)
     }
 
     /// Gets or creates a node and marks it a primary output.
-    pub fn output(&mut self, name: impl Into<String>) -> NodeId {
+    pub fn output(&mut self, name: impl AsRef<str>) -> NodeId {
         self.insert_node(name, NodeRole::Output)
     }
 
     /// Gets or creates a node and marks it a clock of the given phase
     /// (0 = φ1, 1 = φ2).
-    pub fn clock(&mut self, name: impl Into<String>, phase: u8) -> NodeId {
+    pub fn clock(&mut self, name: impl AsRef<str>, phase: u8) -> NodeId {
         self.insert_node(name, NodeRole::Clock(phase))
     }
 
@@ -152,7 +163,7 @@ impl NetlistBuilder {
     pub fn add_cap(&mut self, node: NodeId, cap_pf: f64) -> Result<(), NetlistError> {
         if !cap_pf.is_finite() || cap_pf < 0.0 {
             return Err(NetlistError::BadCapacitance {
-                node: self.nodes[node.index()].name().to_owned(),
+                node: self.node_name(node).to_owned(),
                 cap_pf,
             });
         }
@@ -245,7 +256,7 @@ impl NetlistBuilder {
     /// Adds a classic depletion pull-up load on `node`: channel from VDD to
     /// `node`, gate tied to `node`.
     pub fn depletion_load(&mut self, node: NodeId, w_um: f64, l_um: f64) -> DeviceId {
-        let name = format!("pu_{}", self.nodes[node.index()].name());
+        let name = format!("pu_{}", self.node_name(node));
         self.insert_device(
             name,
             DeviceKind::Depletion,
@@ -436,22 +447,66 @@ impl NetlistBuilder {
             return Err(e);
         }
         let n = self.nodes.len();
-        let mut gates_at: Vec<Vec<DeviceId>> = vec![Vec::new(); n];
-        let mut channel_at: Vec<Vec<DeviceId>> = vec![Vec::new(); n];
+
+        // CSR adjacency in two counting passes: per-node degrees first,
+        // prefix sums into offsets, then a cursor pass drops each device
+        // into its slot. Device order within a node matches the old
+        // nested-Vec push order (ascending device id) by construction.
+        let mut gate_starts = vec![0u32; n + 1];
+        let mut channel_starts = vec![0u32; n + 1];
+        for d in &self.devices {
+            gate_starts[d.gate().index() + 1] += 1;
+            channel_starts[d.source().index() + 1] += 1;
+            channel_starts[d.drain().index() + 1] += 1;
+        }
+        for i in 0..n {
+            gate_starts[i + 1] += gate_starts[i];
+            channel_starts[i + 1] += channel_starts[i];
+        }
+        let mut gate_devs = vec![DeviceId(0); gate_starts[n] as usize];
+        let mut channel_devs = vec![DeviceId(0); channel_starts[n] as usize];
+        let mut gate_cursor = gate_starts.clone();
+        let mut channel_cursor = channel_starts.clone();
         for (i, d) in self.devices.iter().enumerate() {
             let id = DeviceId(i as u32);
-            gates_at[d.gate().index()].push(id);
-            channel_at[d.source().index()].push(id);
-            channel_at[d.drain().index()].push(id);
+            let g = &mut gate_cursor[d.gate().index()];
+            gate_devs[*g as usize] = id;
+            *g += 1;
+            let s = &mut channel_cursor[d.source().index()];
+            channel_devs[*s as usize] = id;
+            *s += 1;
+            let t = &mut channel_cursor[d.drain().index()];
+            channel_devs[*t as usize] = id;
+            *t += 1;
         }
+
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        let mut clocks = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            match node.role() {
+                NodeRole::Input => inputs.push(id),
+                NodeRole::Output => outputs.push(id),
+                NodeRole::Clock(p) => clocks.push((id, p)),
+                _ => {}
+            }
+        }
+
         let mut nl = Netlist {
             tech: self.tech,
             nodes: self.nodes,
             devices: self.devices,
-            by_name: self.by_name,
-            gates_at,
-            channel_at,
+            names: self.names,
+            node_of_symbol: self.node_of_symbol,
+            gate_starts,
+            gate_devs,
+            channel_starts,
+            channel_devs,
             total_cap: Vec::new(),
+            inputs,
+            outputs,
+            clocks,
         };
         nl.recompute_caps();
         Ok(nl)

@@ -1,0 +1,341 @@
+//! String interning and fast integer hashing.
+//!
+//! Node names are hot in two ways that fight each other: parsing wants
+//! cheap get-or-create lookups, and analysis wants the per-node storage
+//! to be small and contiguous. The [`Interner`] answers both with one
+//! structure — every distinct name becomes a [`Symbol`] (a dense `u32`),
+//! the characters live back-to-back in a single byte arena, and lookup
+//! goes through an open-addressing table keyed by an FxHash of the
+//! string. No per-name heap allocation survives.
+//!
+//! The same multiply-rotate hash backs [`FxHashMap`] / [`FxHashSet`],
+//! drop-in aliases for `std` maps keyed by small integers (ids,
+//! fingerprints) where SipHash's DoS resistance buys nothing.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Identifier of an interned string: a dense index assigned in first-seen
+/// order. Two symbols from the same [`Interner`] are equal iff their
+/// strings are equal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// The dense index of this symbol, suitable for indexing side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `Symbol` from a dense index. The caller is
+    /// responsible for the index having come from the same interner.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Symbol(index as u32)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The multiplier from Firefox's FxHash: a single multiply-rotate per
+/// word, the fastest known hash that still spreads dense integers.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[inline]
+fn fx_mix(h: u64, w: u64) -> u64 {
+    (h.rotate_left(5) ^ w).wrapping_mul(FX_SEED)
+}
+
+/// FxHash of a byte string (length-mixed, so prefixes differ).
+#[inline]
+fn fx_hash_bytes(s: &[u8]) -> u64 {
+    let mut h = 0u64;
+    let mut chunks = s.chunks_exact(8);
+    for c in &mut chunks {
+        h = fx_mix(h, u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        h = fx_mix(h, u64::from_le_bytes(buf));
+    }
+    fx_mix(h, s.len() as u64)
+}
+
+/// Folds a 64-bit hash down to a table index. FxHash pushes its entropy
+/// toward the high bits (it ends on a multiply), so mix the halves
+/// before masking.
+#[inline]
+fn fold(hash: u64, mask: usize) -> usize {
+    ((hash >> 32) ^ hash) as usize & mask
+}
+
+/// A string interner: arena + open-addressing symbol table.
+///
+/// ```
+/// use tv_netlist::intern::Interner;
+///
+/// let mut i = Interner::new();
+/// let a = i.intern("alu.carry3");
+/// assert_eq!(i.intern("alu.carry3"), a); // get-or-create
+/// assert_eq!(i.resolve(a), "alu.carry3");
+/// assert_eq!(i.get("nonesuch"), None);
+/// ```
+#[derive(Clone, Default)]
+pub struct Interner {
+    /// Every interned string's bytes, back to back.
+    bytes: Vec<u8>,
+    /// Per symbol: start offset into `bytes`; entry `len()` is the arena
+    /// length, so `starts[s]..starts[s + 1]` spans symbol `s`.
+    starts: Vec<u32>,
+    /// Open-addressing table of `symbol + 1` (0 = empty slot).
+    table: Vec<u32>,
+    /// `table.len() - 1`; the table length is a power of two.
+    mask: usize,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::with_capacity(0)
+    }
+
+    /// An empty interner pre-sized for about `n` symbols.
+    pub fn with_capacity(n: usize) -> Self {
+        let cap = (n * 2).next_power_of_two().max(16);
+        Interner {
+            bytes: Vec::with_capacity(n * 8),
+            starts: vec![0],
+            table: vec![0; cap],
+            mask: cap - 1,
+        }
+    }
+
+    /// Number of distinct strings interned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Whether nothing has been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn span(&self, sym: usize) -> &[u8] {
+        &self.bytes[self.starts[sym] as usize..self.starts[sym + 1] as usize]
+    }
+
+    /// The string a symbol stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` did not come from this interner.
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        std::str::from_utf8(self.span(sym.index())).expect("interned strings are UTF-8")
+    }
+
+    /// Looks a string up without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        let mut i = fold(fx_hash_bytes(s.as_bytes()), self.mask);
+        loop {
+            match self.table[i] {
+                0 => return None,
+                e => {
+                    let sym = (e - 1) as usize;
+                    if self.span(sym) == s.as_bytes() {
+                        return Some(Symbol(e - 1));
+                    }
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Interns a string, returning its (new or existing) symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        let hash = fx_hash_bytes(s.as_bytes());
+        let mut i = fold(hash, self.mask);
+        loop {
+            match self.table[i] {
+                0 => break,
+                e => {
+                    let sym = (e - 1) as usize;
+                    if self.span(sym) == s.as_bytes() {
+                        return Symbol(e - 1);
+                    }
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+        let sym = self.len() as u32;
+        self.bytes.extend_from_slice(s.as_bytes());
+        self.starts.push(self.bytes.len() as u32);
+        self.table[i] = sym + 1;
+        // Keep the load factor under 3/4.
+        if (self.len() + 1) * 4 > self.table.len() * 3 {
+            self.grow();
+        }
+        Symbol(sym)
+    }
+
+    fn grow(&mut self) {
+        let cap = self.table.len() * 2;
+        self.mask = cap - 1;
+        self.table.clear();
+        self.table.resize(cap, 0);
+        for sym in 0..self.len() {
+            let mut i = fold(fx_hash_bytes(self.span(sym)), self.mask);
+            while self.table[i] != 0 {
+                i = (i + 1) & self.mask;
+            }
+            self.table[i] = sym as u32 + 1;
+        }
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner")
+            .field("len", &self.len())
+            .field("bytes", &self.bytes.len())
+            .finish()
+    }
+}
+
+/// A [`Hasher`] running FxHash — for maps keyed by dense integers where
+/// hashing speed dominates (SipHash's flood resistance is pointless for
+/// ids we assigned ourselves).
+#[derive(Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Spread entropy back into the low bits the table indexes by.
+        (self.hash >> 32) ^ self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.hash = fx_mix(self.hash, fx_hash_bytes(bytes));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.hash = fx_mix(self.hash, n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.hash = fx_mix(self.hash, n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.hash = fx_mix(self.hash, n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.hash = fx_mix(self.hash, n as u64);
+    }
+}
+
+/// `HashMap` with FxHash — for integer keys (ids, fingerprints).
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with FxHash — for integer keys.
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_get_or_create() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("a"), a);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn symbols_are_dense_in_first_seen_order() {
+        let mut i = Interner::new();
+        for (n, name) in ["x", "y", "z"].into_iter().enumerate() {
+            assert_eq!(i.intern(name).index(), n);
+        }
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let names: Vec<String> = (0..100).map(|n| format!("node.{n}.q")).collect();
+        let syms: Vec<Symbol> = names.iter().map(|n| i.intern(n)).collect();
+        for (name, &sym) in names.iter().zip(&syms) {
+            assert_eq!(i.resolve(sym), name);
+            assert_eq!(i.get(name), Some(sym));
+        }
+    }
+
+    #[test]
+    fn get_misses_without_interning() {
+        let mut i = Interner::new();
+        i.intern("present");
+        assert_eq!(i.get("absent"), None);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_symbol() {
+        let mut i = Interner::new();
+        let e = i.intern("");
+        assert_eq!(i.resolve(e), "");
+        assert_eq!(i.intern(""), e);
+    }
+
+    #[test]
+    fn survives_growth_past_initial_capacity() {
+        let mut i = Interner::with_capacity(4);
+        let syms: Vec<Symbol> = (0..10_000).map(|n| i.intern(&format!("s{n}"))).collect();
+        assert_eq!(i.len(), 10_000);
+        for (n, &sym) in syms.iter().enumerate() {
+            assert_eq!(i.resolve(sym), format!("s{n}"));
+        }
+    }
+
+    #[test]
+    fn prefix_strings_do_not_collide() {
+        let mut i = Interner::new();
+        let a = i.intern("abc");
+        let b = i.intern("abcd");
+        let c = i.intern("ab");
+        assert!(a != b && b != c && a != c);
+        assert_eq!(i.resolve(b), "abcd");
+    }
+
+    #[test]
+    fn fx_map_works_with_id_keys() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        for k in 0..1000u32 {
+            m.insert(k, "v");
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&500), Some(&"v"));
+    }
+}

@@ -52,6 +52,7 @@ mod device;
 pub mod diag;
 mod error;
 mod ids;
+pub mod intern;
 mod netlist;
 mod node;
 pub mod sim_format;
@@ -65,6 +66,7 @@ pub use device::{Device, DeviceKind, Terminal};
 pub use diag::{codes, Diagnostic, Diagnostics, Severity};
 pub use error::NetlistError;
 pub use ids::{DeviceId, NodeId};
+pub use intern::{FxHashMap, FxHashSet, FxHasher, Interner, Symbol};
 pub use netlist::{DeviceRef, Netlist, NodeDevices};
 pub use node::{Node, NodeRole};
 pub use tech::Tech;

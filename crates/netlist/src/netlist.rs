@@ -1,9 +1,8 @@
 //! The immutable, fully-indexed netlist produced by [`crate::NetlistBuilder`].
 
-use std::collections::HashMap;
-
 use crate::cap::CapModel;
-use crate::{Device, DeviceId, Node, NodeId, NodeRole, Tech};
+use crate::intern::Interner;
+use crate::{Device, DeviceId, Node, NodeId, Tech};
 
 /// A device together with its id, as yielded by [`Netlist::devices`].
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +30,11 @@ pub struct NodeDevices<'a> {
 /// interchange format ([`crate::sim_format::parse`]). Node ids 0 and 1 are
 /// always VDD and GND.
 ///
+/// Node names live in a string [`Interner`]; the gate and channel
+/// adjacency are compressed-sparse-row (one offsets array plus one flat
+/// payload array each), so a whole netlist is a handful of flat
+/// allocations regardless of node count.
+///
 /// # Example
 ///
 /// ```
@@ -53,13 +57,25 @@ pub struct Netlist {
     pub(crate) tech: Tech,
     pub(crate) nodes: Vec<Node>,
     pub(crate) devices: Vec<Device>,
-    pub(crate) by_name: HashMap<String, NodeId>,
-    /// Per node: devices whose gate is that node.
-    pub(crate) gates_at: Vec<Vec<DeviceId>>,
-    /// Per node: devices whose source or drain is that node.
-    pub(crate) channel_at: Vec<Vec<DeviceId>>,
+    /// Node names. Symbols and node ids are 1:1 (the builder's
+    /// get-or-create keeps them dense and parallel), so `node_of_symbol`
+    /// doubles as the name→node lookup table.
+    pub(crate) names: Interner,
+    pub(crate) node_of_symbol: Vec<NodeId>,
+    /// CSR offsets/payload: devices whose gate is node `n` occupy
+    /// `gate_devs[gate_starts[n] as usize..gate_starts[n + 1] as usize]`.
+    pub(crate) gate_starts: Vec<u32>,
+    pub(crate) gate_devs: Vec<DeviceId>,
+    /// CSR offsets/payload: devices whose source or drain is node `n`.
+    pub(crate) channel_starts: Vec<u32>,
+    pub(crate) channel_devs: Vec<DeviceId>,
     /// Per node: total capacitance (extra + gate + diffusion), pF.
     pub(crate) total_cap: Vec<f64>,
+    /// Role indexes, in id order — cached so per-phase analysis can read
+    /// them without allocating.
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) outputs: Vec<NodeId>,
+    pub(crate) clocks: Vec<(NodeId, u8)>,
 }
 
 impl Netlist {
@@ -103,6 +119,16 @@ impl Netlist {
         &self.nodes[id.index()]
     }
 
+    /// The name of the node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this netlist.
+    #[inline]
+    pub fn node_name(&self, id: NodeId) -> &str {
+        self.names.resolve(self.nodes[id.index()].name)
+    }
+
     /// The device with the given id.
     ///
     /// # Panics
@@ -116,7 +142,7 @@ impl Netlist {
     /// Looks a node up by name.
     #[inline]
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.by_name.get(name).copied()
+        self.names.get(name).map(|s| self.node_of_symbol[s.index()])
     }
 
     /// Iterates over all node ids in index order.
@@ -138,9 +164,11 @@ impl Netlist {
     /// The devices incident on `node`, split into gate vs channel contact.
     #[inline]
     pub fn node_devices(&self, node: NodeId) -> NodeDevices<'_> {
+        let i = node.index();
         NodeDevices {
-            gated: &self.gates_at[node.index()],
-            channel: &self.channel_at[node.index()],
+            gated: &self.gate_devs[self.gate_starts[i] as usize..self.gate_starts[i + 1] as usize],
+            channel: &self.channel_devs
+                [self.channel_starts[i] as usize..self.channel_starts[i + 1] as usize],
         }
     }
 
@@ -163,29 +191,21 @@ impl Netlist {
     }
 
     /// All primary input nodes, in id order.
-    pub fn inputs(&self) -> Vec<NodeId> {
-        self.nodes_with_role(|r| r == NodeRole::Input)
+    #[inline]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
     }
 
     /// All primary output nodes, in id order.
-    pub fn outputs(&self) -> Vec<NodeId> {
-        self.nodes_with_role(|r| r == NodeRole::Output)
+    #[inline]
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
     }
 
     /// All clock nodes with their phase index, in id order.
-    pub fn clocks(&self) -> Vec<(NodeId, u8)> {
-        self.node_ids()
-            .filter_map(|n| match self.node(n).role() {
-                NodeRole::Clock(p) => Some((n, p)),
-                _ => None,
-            })
-            .collect()
-    }
-
-    fn nodes_with_role(&self, pred: impl Fn(NodeRole) -> bool) -> Vec<NodeId> {
-        self.node_ids()
-            .filter(|&n| pred(self.node(n).role()))
-            .collect()
+    #[inline]
+    pub fn clocks(&self) -> &[(NodeId, u8)] {
+        &self.clocks
     }
 
     /// Recomputes the per-node total capacitance table. Called by the
@@ -206,7 +226,8 @@ impl Netlist {
             self.tech.clone(),
             self.nodes.clone(),
             self.devices.clone(),
-            self.by_name.clone(),
+            self.names.clone(),
+            self.node_of_symbol.clone(),
         )
     }
 }
@@ -252,7 +273,7 @@ mod tests {
         let nl = b.finish().unwrap();
         assert_eq!(nl.node_by_name("x"), Some(x));
         assert_eq!(nl.node_by_name("y"), None);
-        assert_eq!(nl.node(x).name(), "x");
+        assert_eq!(nl.node_name(x), "x");
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Electrical nodes (nets) and their user-declared roles.
 
+use crate::intern::Symbol;
+
 /// The role a node was declared with, as known *before* any analysis.
 ///
 /// This is what a layout extractor or the designer supplies: which nets are
@@ -44,9 +46,12 @@ impl NodeRole {
 }
 
 /// An electrical node: a net with a name, a role, and extracted capacitance.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The name is an interned [`Symbol`]; resolve it to text through the
+/// netlist that owns the node ([`crate::Netlist::node_name`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Node {
-    pub(crate) name: String,
+    pub(crate) name: Symbol,
     pub(crate) role: NodeRole,
     /// Explicit (wiring/extra) capacitance attached to this node, pF.
     /// Device gate and diffusion capacitance is accounted separately by
@@ -55,18 +60,19 @@ pub struct Node {
 }
 
 impl Node {
-    pub(crate) fn new(name: impl Into<String>, role: NodeRole) -> Self {
+    pub(crate) fn new(name: Symbol, role: NodeRole) -> Self {
         Node {
-            name: name.into(),
+            name,
             role,
             extra_cap: 0.0,
         }
     }
 
-    /// The node's name as given at construction.
+    /// The node's interned name. Resolve it to a string with
+    /// [`crate::Netlist::node_name`] (or the owning interner).
     #[inline]
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn symbol(&self) -> Symbol {
+        self.name
     }
 
     /// The declared role of this node.
@@ -110,9 +116,9 @@ mod tests {
     }
 
     #[test]
-    fn node_carries_name_and_zero_initial_cap() {
-        let n = Node::new("alu.carry3", NodeRole::Internal);
-        assert_eq!(n.name(), "alu.carry3");
+    fn node_carries_symbol_and_zero_initial_cap() {
+        let n = Node::new(Symbol::from_index(7), NodeRole::Internal);
+        assert_eq!(n.symbol().index(), 7);
         assert_eq!(n.extra_cap(), 0.0);
     }
 }

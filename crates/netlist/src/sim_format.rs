@@ -61,19 +61,24 @@ pub fn write(netlist: &Netlist) -> String {
         let node = netlist.node(id);
         match node.role() {
             NodeRole::Input => {
-                let _ = writeln!(out, "i {}", node.name());
+                let _ = writeln!(out, "i {}", netlist.node_name(id));
             }
             NodeRole::Output => {
-                let _ = writeln!(out, "o {}", node.name());
+                let _ = writeln!(out, "o {}", netlist.node_name(id));
             }
             NodeRole::Clock(p) => {
-                let _ = writeln!(out, "k {} {}", node.name(), p);
+                let _ = writeln!(out, "k {} {}", netlist.node_name(id), p);
             }
             _ => {}
         }
         if node.extra_cap() > 0.0 {
             // pF -> fF for the file.
-            let _ = writeln!(out, "C {} {}", node.name(), node.extra_cap() * 1000.0);
+            let _ = writeln!(
+                out,
+                "C {} {}",
+                netlist.node_name(id),
+                node.extra_cap() * 1000.0
+            );
         }
     }
     for dref in netlist.devices() {
@@ -82,9 +87,9 @@ pub fn write(netlist: &Netlist) -> String {
             out,
             "{} {} {} {} {} {}",
             d.kind().sim_code(),
-            netlist.node(d.gate()).name(),
-            netlist.node(d.source()).name(),
-            netlist.node(d.drain()).name(),
+            netlist.node_name(d.gate()),
+            netlist.node_name(d.source()),
+            netlist.node_name(d.drain()),
             d.length(),
             d.width(),
         );

@@ -67,7 +67,7 @@ pub fn write(netlist: &Netlist) -> String {
         } else if n == netlist.gnd() {
             "0".to_string()
         } else {
-            sanitize(netlist.node(n).name())
+            sanitize(netlist.node_name(n))
         }
     };
 
@@ -98,21 +98,21 @@ pub fn write(netlist: &Netlist) -> String {
             let _ = writeln!(
                 out,
                 "C{} {} 0 {}p",
-                sanitize(node.name()),
+                sanitize(netlist.node_name(id)),
                 name_of(id),
                 node.extra_cap()
             );
         }
     }
 
-    for id in netlist.inputs() {
+    for &id in netlist.inputs() {
         let _ = writeln!(
             out,
             "* Vin_{0} {0} 0 PULSE(...)   <- supply your stimulus",
             name_of(id)
         );
     }
-    for (id, phase) in netlist.clocks() {
+    for &(id, phase) in netlist.clocks() {
         let _ = writeln!(
             out,
             "* Vclk_{0} {0} 0 PULSE(...)  <- phase {1} clock",

@@ -113,7 +113,7 @@ pub fn check(netlist: &Netlist) -> Vec<Issue> {
         if gates_something && !has_channel && !role.is_external_source() {
             issues.push(Issue::FloatingGate {
                 node: id,
-                name: node.name().to_owned(),
+                name: netlist.node_name(id).to_owned(),
             });
         }
         if !gates_something
@@ -123,13 +123,13 @@ pub fn check(netlist: &Netlist) -> Vec<Issue> {
         {
             issues.push(Issue::DeadEnd {
                 node: id,
-                name: node.name().to_owned(),
+                name: netlist.node_name(id).to_owned(),
             });
         }
         if role == NodeRole::Input && has_channel && is_restored_here(netlist, id) {
             issues.push(Issue::DrivenInput {
                 node: id,
-                name: node.name().to_owned(),
+                name: netlist.node_name(id).to_owned(),
             });
         }
     }

@@ -24,7 +24,7 @@ pub fn to_csv(result: &SimResult, netlist: &Netlist, nodes: &[NodeId]) -> Option
     let mut out = String::new();
     let _ = write!(out, "time_ns");
     for &n in &recorded {
-        let _ = write!(out, ",{}", netlist.node(n).name());
+        let _ = write!(out, ",{}", netlist.node_name(n));
     }
     let _ = writeln!(out);
     for &t in base.times() {
@@ -82,7 +82,7 @@ pub fn ascii_plot(
     let _ = writeln!(
         out,
         "{} [{:.2}..{:.2} V, {:.2}..{:.2} ns]",
-        netlist.node(node).name(),
+        netlist.node_name(node),
         v_lo,
         v_hi,
         t0,

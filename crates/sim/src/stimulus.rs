@@ -145,7 +145,7 @@ impl Stimulus {
         gap: f64,
     ) -> &mut Self {
         let vdd = netlist.tech().vdd;
-        for (node, phase) in netlist.clocks() {
+        for &(node, phase) in netlist.clocks() {
             let w = match phase {
                 0 => Waveform::Pulse {
                     t0: 0.0,
@@ -191,7 +191,7 @@ impl Stimulus {
                 matches!(netlist.node(n).role(), NodeRole::Input | NodeRole::Clock(_))
                     && !self.waveforms.contains_key(&n)
             })
-            .map(|n| netlist.node(n).name().to_owned())
+            .map(|n| netlist.node_name(n).to_owned())
             .collect()
     }
 }

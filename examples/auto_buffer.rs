@@ -33,7 +33,7 @@ fn main() {
         let result = buffer_long_pass_runs(&circuit.netlist, 3).expect("valid run limit");
         let out = result
             .netlist
-            .node_by_name(circuit.netlist.node(circuit.output).name())
+            .node_by_name(circuit.netlist.node_name(circuit.output))
             .expect("output survives the edit");
         let after = Analyzer::new(&result.netlist)
             .run(&opts)

@@ -42,7 +42,7 @@ fn main() {
                 i + 1,
                 path.arrival(),
                 path.len(),
-                dp.netlist.node(path.endpoint()).name(),
+                dp.netlist.node_name(path.endpoint()),
             );
         }
         if let Some(worst) = phase.paths.first() {

@@ -20,6 +20,14 @@ cargo fmt --all --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== bench smoke: perf trajectory vs BENCH_3.json =="
+# Fixed smoke suite over the acceptance benchmarks, gated at 2x against
+# the committed baseline (current-run min vs baseline median, so noisy
+# hosts can only produce false passes). Regenerate the baseline after an
+# intentional perf change with:
+#   cargo run --release --offline -p tv-bench --bin perf_trajectory -- --out BENCH_3.json
+cargo run --release --offline -p tv-bench --bin perf_trajectory -- --check BENCH_3.json --threshold 2.0
+
 echo "== fuzz smoke: tv fuzz --iters 500 =="
 # Deterministic mutation fuzzing of the ingest pipeline: zero panics,
 # a diagnostic on every rejection. Offline, seeded, finishes in seconds.

@@ -1,0 +1,290 @@
+//! Layout-refactor equivalence suite.
+//!
+//! The interner/CSR/workspace rewrite must be *observationally invisible*:
+//! every `TimingReport` bit, every flow resolution, and every adjacency
+//! list must come out exactly as the nested-Vec/String layout produced
+//! them. These tests pin that down with FNV fingerprints of full reports
+//! on the `gen` workloads, captured from the pre-refactor engine and
+//! hard-coded as goldens.
+
+use nmos_tv::core::{AnalysisOptions, Analyzer, Completion, TimingReport};
+use nmos_tv::flow::RuleSet;
+use nmos_tv::gen::{adder, random, regfile, shifter};
+use nmos_tv::netlist::{Netlist, Tech};
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.u64(1);
+                self.f64(x);
+            }
+            None => self.u64(0),
+        }
+    }
+    fn bytes(&mut self, s: &[u8]) {
+        self.u64(s.len() as u64);
+        for &b in s {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+fn hash_phase_result(h: &mut Fnv, nl: &Netlist, r: &nmos_tv::core::PhaseResult) {
+    for id in nl.node_ids() {
+        h.opt_f64(r.arrivals.rise(id));
+        h.opt_f64(r.arrivals.fall(id));
+        h.opt_f64(
+            r.arrivals
+                .transition(id, nmos_tv::core::propagate::Edge::Rise),
+        );
+        h.opt_f64(
+            r.arrivals
+                .transition(id, nmos_tv::core::propagate::Edge::Fall),
+        );
+    }
+    h.u64(r.endpoints.len() as u64);
+    for &(id, at) in &r.endpoints {
+        h.u64(id.index() as u64);
+        h.f64(at);
+    }
+    h.u64(r.cyclic as u64);
+    h.u64(r.relaxations as u64);
+    h.u64(matches!(r.completion, Completion::Complete) as u64);
+    h.u64(r.unresolved.len() as u64);
+}
+
+fn hash_paths(h: &mut Fnv, paths: &[nmos_tv::core::TimingPath]) {
+    h.u64(paths.len() as u64);
+    for p in paths {
+        h.u64(p.len() as u64);
+        for s in &p.steps {
+            h.u64(s.node.index() as u64);
+            h.bytes(format!("{:?}", s.edge).as_bytes());
+            h.f64(s.at);
+        }
+    }
+}
+
+/// Hashes everything a [`TimingReport`] observably contains, bit-exact
+/// on every floating-point value. Node *names* are hashed too, so the
+/// interner migration is covered, not bypassed.
+fn report_fingerprint(nl: &Netlist, report: &TimingReport) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(nl.node_count() as u64);
+    h.u64(nl.device_count() as u64);
+    for id in nl.node_ids() {
+        h.bytes(nl.node_name(id).as_bytes());
+        h.f64(nl.node_cap(id));
+    }
+    hash_phase_result(&mut h, nl, &report.combinational);
+    hash_paths(&mut h, &report.combinational_paths);
+    h.u64(report.phases.len() as u64);
+    for p in &report.phases {
+        h.u64(p.phase as u64);
+        h.u64(p.arcs as u64);
+        h.opt_f64(p.slack);
+        hash_phase_result(&mut h, nl, &p.result);
+        hash_paths(&mut h, &p.paths);
+        h.u64(p.races.len() as u64);
+        for race in &p.races {
+            h.u64(race.capture.index() as u64);
+            h.f64(race.min_arrival);
+        }
+    }
+    h.u64(report.latches.len() as u64);
+    h.u64(report.checks.len() as u64);
+    h.u64(report.diagnostics.len() as u64);
+    h.opt_f64(report.min_cycle);
+    h.0
+}
+
+/// Hashes a full flow analysis: per-device direction, resolving rule,
+/// per-node class, and the sweep count. Pins the worklist fixpoint to
+/// the sweep engine's exact classifications.
+fn flow_fingerprint(nl: &Netlist) -> u64 {
+    let flow = nmos_tv::flow::analyze(nl, &RuleSet::all());
+    let mut h = Fnv::new();
+    h.u64(flow.sweeps() as u64);
+    for d in nl.devices() {
+        h.bytes(format!("{:?}", flow.direction(d.id)).as_bytes());
+        h.bytes(format!("{:?}", flow.resolved_by(d.id)).as_bytes());
+    }
+    for id in nl.node_ids() {
+        h.bytes(format!("{:?}", flow.node_class(id)).as_bytes());
+    }
+    h.0
+}
+
+fn workloads() -> Vec<(&'static str, Netlist)> {
+    let t = Tech::nmos4um();
+    vec![
+        ("adder-16", adder::ripple_carry_adder(t.clone(), 16).netlist),
+        (
+            "barrel-8x4",
+            shifter::barrel_shifter(t.clone(), 8, 4).netlist,
+        ),
+        (
+            "regfile-4x8",
+            regfile::register_file(t.clone(), 4, 8).netlist,
+        ),
+        (
+            "random-800",
+            random::random_logic(t, 800, 0xA11CE, random::RandomMix::default()).netlist,
+        ),
+    ]
+}
+
+/// Golden (report, flow) fingerprints captured from the nested-Vec /
+/// String-name layout. The layout refactor must reproduce these exactly.
+const GOLDENS: [(&str, u64, u64); 4] = [
+    ("adder-16", 0xd81f4d67fd462d9e, 0xf19cea6b0e689915),
+    ("barrel-8x4", 0x2c40b3fdbb1e99bd, 0x9665b05ab6c7a427),
+    ("regfile-4x8", 0xd86d6780ad0e82a5, 0x13a72841390d883d),
+    ("random-800", 0x443d83214401d559, 0xa1dd0f0fba92b578),
+];
+
+#[test]
+fn reports_bit_identical_to_pre_layout_goldens() {
+    for (name, nl) in workloads() {
+        let report = Analyzer::new(&nl).run(&AnalysisOptions::default());
+        let rf = report_fingerprint(&nl, &report);
+        let ff = flow_fingerprint(&nl);
+        let golden = GOLDENS.iter().find(|g| g.0 == name).expect("golden");
+        assert_eq!(
+            rf, golden.1,
+            "{name}: report fingerprint drifted (got {rf:#x})"
+        );
+        assert_eq!(
+            ff, golden.2,
+            "{name}: flow fingerprint drifted (got {ff:#x})"
+        );
+    }
+}
+
+#[test]
+fn reports_bit_identical_at_every_job_count() {
+    for (name, nl) in workloads() {
+        let base = report_fingerprint(
+            &nl,
+            &Analyzer::new(&nl).run(&AnalysisOptions {
+                jobs: 1,
+                ..AnalysisOptions::default()
+            }),
+        );
+        for jobs in [2, 4, 8] {
+            let r = Analyzer::new(&nl).run(&AnalysisOptions {
+                jobs,
+                ..AnalysisOptions::default()
+            });
+            assert_eq!(
+                base,
+                report_fingerprint(&nl, &r),
+                "{name}: report differs at jobs={jobs}"
+            );
+        }
+    }
+}
+
+/// The CSR adjacency (netlist gate/channel incidence and timing-graph
+/// in/out arc lists) must match, element for element, a nested-Vec
+/// reference rebuilt here from first principles with the old push-per-
+/// edge scheme. Order matters: downstream walks and input collection
+/// depend on ascending-id iteration, so a permutation would silently
+/// change report contents even if the edge *sets* were equal.
+#[test]
+fn csr_adjacency_matches_nested_vec_reference() {
+    use nmos_tv::core::analyzer::SOURCE_RESISTANCE;
+    use nmos_tv::core::{DelayModel, PhaseCase, TimingGraph};
+
+    for (name, nl) in workloads() {
+        // Netlist incidence: one scan over devices in id order, exactly
+        // how the pre-CSR builder populated its per-node Vecs.
+        let n = nl.node_count();
+        let mut gated = vec![Vec::new(); n];
+        let mut channel = vec![Vec::new(); n];
+        for d in nl.devices() {
+            gated[d.device.gate().index()].push(d.id);
+            channel[d.device.source().index()].push(d.id);
+            channel[d.device.drain().index()].push(d.id);
+        }
+        for id in nl.node_ids() {
+            let nd = nl.node_devices(id);
+            assert_eq!(
+                nd.gated,
+                &gated[id.index()][..],
+                "{name}: gate devices of node {id:?} differ"
+            );
+            assert_eq!(
+                nd.channel,
+                &channel[id.index()][..],
+                "{name}: channel devices of node {id:?} differ"
+            );
+        }
+
+        // Timing graph: rebuild nested out/in arc lists from the flat
+        // arc array (push in arc-id order), compare against the CSR.
+        let flow = nmos_tv::flow::analyze(&nl, &RuleSet::all());
+        let qual = nmos_tv::clocks::qualify::qualify_with_flow(&nl, &flow);
+        let g = TimingGraph::build(
+            &nl,
+            &flow,
+            &qual,
+            PhaseCase::all_active(),
+            DelayModel::Elmore,
+            SOURCE_RESISTANCE,
+        );
+        let gn = g.node_count();
+        let mut outs = vec![Vec::new(); gn];
+        let mut ins = vec![Vec::new(); gn];
+        for (ai, a) in g.arcs.iter().enumerate() {
+            outs[a.from.index()].push(ai as u32);
+            ins[a.to.index()].push(ai as u32);
+        }
+        for i in 0..gn {
+            assert_eq!(
+                g.out_arcs_of_index(i),
+                &outs[i][..],
+                "{name}: out arcs of node {i} differ"
+            );
+            assert_eq!(
+                g.in_arcs_of_index(i),
+                &ins[i][..],
+                "{name}: in arcs of node {i} differ"
+            );
+        }
+    }
+}
+
+/// Prints current fingerprints; run with `--ignored --nocapture` to
+/// regenerate `GOLDENS` after an *intentional* semantic change.
+#[test]
+#[ignore]
+fn print_fingerprints() {
+    for (name, nl) in workloads() {
+        let report = Analyzer::new(&nl).run(&AnalysisOptions::default());
+        println!(
+            "(\"{name}\", {:#x}, {:#x}),",
+            report_fingerprint(&nl, &report),
+            flow_fingerprint(&nl)
+        );
+    }
+}

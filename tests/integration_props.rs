@@ -279,7 +279,7 @@ fn switch_level_agrees_with_analog_on_random_logic() {
             let high = (inputs_high >> i) & 1 == 1;
             sw.set(n, if high { Level::One } else { Level::Zero });
         }
-        for (clk, _) in nl.clocks() {
+        for &(clk, _) in nl.clocks() {
             sw.set(clk, Level::Zero);
         }
         sw.settle().expect("restoring logic settles");
@@ -291,7 +291,7 @@ fn switch_level_agrees_with_analog_on_random_logic() {
             stim.drive(n, Waveform::Const(if high { tech.vdd } else { 0.0 }));
         }
         // Clock node exists but gates nothing in this mix; hold it low.
-        for (clk, _) in nl.clocks() {
+        for &(clk, _) in nl.clocks() {
             stim.drive(clk, Waveform::Const(0.0));
         }
         let mut opts = SimOptions::for_duration(1.0);
@@ -317,13 +317,13 @@ fn switch_level_agrees_with_analog_on_random_logic() {
                     flow.node_class(id),
                     nmos_tv::flow::NodeClass::Restored,
                     "seed={seed}: restored node {} is X",
-                    nl.node(id).name()
+                    nl.node_name(id)
                 ),
                 switchv => assert_eq!(
                     switchv,
                     analog,
                     "seed={seed}: node {} (analog {} V)",
-                    nl.node(id).name(),
+                    nl.node_name(id),
                     v
                 ),
             }
