@@ -1,12 +1,13 @@
-//! Machine-readable perf trajectory: a fixed smoke suite over the three
+//! Machine-readable perf trajectory: a fixed smoke suite over the
 //! acceptance benchmarks (analyzer scaling, flow resolution, parallel
-//! propagation), emitted as `BENCH_3.json` so CI and future PRs can
-//! compare against a committed baseline instead of eyeballing tables.
+//! propagation, and the P4 session suite), emitted as `BENCH_4.json` so
+//! CI and future PRs can compare against a committed baseline instead of
+//! eyeballing tables.
 //!
 //! Usage:
-//!   perf_trajectory --out BENCH_3.json          # run suite, write baseline
-//!   perf_trajectory --check BENCH_3.json        # run suite, fail on >2x regression
-//!   perf_trajectory --check BENCH_3.json --threshold 3.0
+//!   perf_trajectory --out BENCH_4.json          # run suite, write baseline
+//!   perf_trajectory --check BENCH_4.json        # run suite, fail on >2x regression
+//!   perf_trajectory --check BENCH_4.json --threshold 3.0
 //!
 //! The JSON is flat and hand-rolled (the workspace is dependency-free):
 //! one object per benchmark with `name`, `input_size` (devices),
@@ -96,6 +97,146 @@ fn run_suite() -> Vec<Entry> {
         min_ns: rows[0].total_ms() * 1e6,
         iters: 5,
     });
+
+    out.extend(session_suite(&tech));
+
+    out
+}
+
+/// The P4 session suite: cold one-shot analysis vs warm pass-pipeline
+/// re-analysis after each edit kind, plus the 100-edit session loop,
+/// all on the MIPS-class datapath. The cold figure does what one `tv
+/// analyze` invocation does — parse the `.sim` text, analyze, render
+/// the report — and the warm figures include the edit itself and the
+/// full re-analysis (splice or rebuild, propagation, paths, checks) —
+/// exactly what one `analyze` reply costs a session.
+fn session_suite(tech: &Tech) -> Vec<Entry> {
+    use tv_core::PassManager;
+    use tv_netlist::{sim_format, Design, DeviceKind};
+
+    let mut out = Vec::new();
+    let dp = tv_gen::datapath::datapath(tech.clone(), DatapathConfig::mips32());
+    let devices = dp.netlist.device_count();
+    let opts = AnalysisOptions::default();
+    let entry = |s: tv_bench::harness::Sample| Entry {
+        name: s.name,
+        input_size: devices,
+        ns_per_op: s.median_ms * 1e6,
+        min_ns: s.min_ms * 1e6,
+        iters: s.iters,
+    };
+
+    let sim_text = sim_format::write(&dp.netlist);
+    out.push(entry(bench("session/mips32-cold", 10, || {
+        let parsed = sim_format::parse(&sim_text, tech.clone()).expect("round-trip");
+        let report = Analyzer::new(&parsed).run(&opts);
+        report.render(&parsed).len()
+    })));
+
+    out.push(entry(bench("session/mips32-cold-analyze-only", 10, || {
+        Analyzer::new(&dp.netlist)
+            .run(&opts)
+            .combinational
+            .relaxations
+    })));
+
+    let mut design = Design::new(dp.netlist.clone());
+    let mut pm = PassManager::new();
+    pm.analyze(&design, &opts);
+
+    let probe = design
+        .netlist()
+        .devices()
+        .nth(devices / 2)
+        .expect("mid-array device");
+    let dev = probe.id;
+    let (gate, src, drain) = (
+        probe.device.gate(),
+        probe.device.source(),
+        probe.device.drain(),
+    );
+    let cap_node = *design.netlist().outputs().first().expect("an output");
+
+    let mut flip = false;
+    out.push(entry(bench("session/mips32-warm-resize", 20, || {
+        flip = !flip;
+        let w = if flip { 6.0 } else { 4.0 };
+        design.resize_device(dev, w, 2.0).expect("resize");
+        pm.analyze(&design, &opts).combinational.relaxations
+    })));
+
+    out.push(entry(bench("session/mips32-warm-setcap", 20, || {
+        flip = !flip;
+        let pf = if flip { 0.08 } else { 0.05 };
+        design.set_node_cap(cap_node, pf).expect("setcap");
+        pm.analyze(&design, &opts).combinational.relaxations
+    })));
+
+    out.push(entry(bench("session/mips32-warm-adddev", 5, || {
+        let (id, _) = design
+            .add_device(
+                "bench_dev",
+                DeviceKind::Enhancement,
+                gate,
+                src,
+                drain,
+                4.0,
+                2.0,
+            )
+            .expect("adddev");
+        design.remove_device(id);
+        pm.analyze(&design, &opts).combinational.relaxations
+    })));
+
+    out.push(entry(bench("session/mips32-warm-retech", 5, || {
+        flip = !flip;
+        let t = if flip {
+            Tech::nmos2um()
+        } else {
+            Tech::nmos4um()
+        };
+        design.retech(t);
+        pm.analyze(&design, &opts).combinational.relaxations
+    })));
+
+    // Leave the design back on its home technology before the loop.
+    design.retech(tech.clone());
+    pm.analyze(&design, &opts);
+
+    let all_devs: Vec<_> = design.netlist().devices().map(|d| d.id).collect();
+    let cap_nodes: Vec<_> = design.netlist().outputs().to_vec();
+    out.push(entry(bench("session/edit-loop-100", 3, || {
+        let mut acc = 0usize;
+        for i in 0..100usize {
+            if i % 20 == 19 {
+                // Structural: a parallel transistor appears and goes away.
+                let (id, _) = design
+                    .add_device(
+                        "bench_dev",
+                        DeviceKind::Enhancement,
+                        gate,
+                        src,
+                        drain,
+                        4.0,
+                        2.0,
+                    )
+                    .expect("adddev");
+                design.remove_device(id);
+            } else if i % 2 == 0 {
+                let d = all_devs[(i * 37) % all_devs.len()];
+                design
+                    .resize_device(d, 4.0 + (i % 3) as f64, 2.0)
+                    .expect("resize");
+            } else {
+                let n = cap_nodes[(i * 13) % cap_nodes.len()];
+                design
+                    .set_node_cap(n, 0.05 + (i % 5) as f64 * 0.01)
+                    .expect("setcap");
+            }
+            acc += pm.analyze(&design, &opts).combinational.relaxations;
+        }
+        acc
+    })));
 
     out
 }

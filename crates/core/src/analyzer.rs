@@ -1,21 +1,24 @@
 //! The analyzer facade: one call from netlist to full timing report.
+//!
+//! Since the pass-pipeline refactor this type is a thin shim over
+//! [`crate::pipeline`]: each call runs a throwaway
+//! [`crate::pipeline::PassManager`] whose every pass computes cold, which
+//! is byte-for-byte the pre-pipeline behavior. Hold a `PassManager` over
+//! a [`tv_netlist::Design`] instead when you re-analyze after edits.
 
-use std::time::Instant;
-
-use tv_clocks::latch::{find_latches, Latch};
+use tv_clocks::latch::Latch;
 use tv_clocks::qualify::qualify_with_flow;
-use tv_clocks::ClockConstraints;
-use tv_flow::{Census, FlowAnalysis, FlowReport};
+use tv_flow::{Census, FlowReport};
 use tv_netlist::{Diagnostic, Netlist, NodeId, NodeRole};
 
-use crate::checks::{check_electrical, CheckIssue};
+use crate::checks::CheckIssue;
 use crate::error::TvError;
 use crate::graph::{PhaseCase, TimingGraph};
-use crate::hold::{race_check, RaceHazard};
+use crate::hold::RaceHazard;
 use crate::incremental::IncrementalCache;
 use crate::options::AnalysisOptions;
-use crate::paths::{critical_paths, TimingPath};
-use crate::propagate::{propagate, propagate_reuse, Completion, Guards, PhaseResult, Workspace};
+use crate::paths::TimingPath;
+use crate::propagate::{propagate, Completion, PhaseResult};
 
 /// Assumed driver resistance of primary inputs, kΩ (a strong pad driver).
 pub const SOURCE_RESISTANCE: f64 = 1.0;
@@ -149,9 +152,9 @@ impl<'a> Analyzer<'a> {
     pub fn run(&self, options: &AnalysisOptions) -> TimingReport {
         let r = if options.incremental {
             let mut cache = IncrementalCache::new();
-            run_report(self.netlist, options, Some(&mut cache), false)
+            crate::pipeline::oneshot(self.netlist, options, Some(&mut cache), false)
         } else {
-            run_report(self.netlist, options, None, false)
+            crate::pipeline::oneshot(self.netlist, options, None, false)
         };
         r.expect("size limits are only enforced by try_run")
     }
@@ -165,21 +168,11 @@ impl<'a> Analyzer<'a> {
     /// [`TimingReport::diagnostics`] explaining what is missing; chain
     /// [`TimingReport::strict`] to turn that into an error too.
     pub fn try_run(&self, options: &AnalysisOptions) -> Result<TimingReport, TvError> {
-        if let Some(limit) = options.max_nodes {
-            let count = self.netlist.node_count();
-            if count > limit {
-                return Err(TvError::TooLarge {
-                    what: "nodes",
-                    count,
-                    limit,
-                });
-            }
-        }
         if options.incremental {
             let mut cache = IncrementalCache::new();
-            run_report(self.netlist, options, Some(&mut cache), true)
+            crate::pipeline::oneshot(self.netlist, options, Some(&mut cache), true)
         } else {
-            run_report(self.netlist, options, None, true)
+            crate::pipeline::oneshot(self.netlist, options, None, true)
         }
     }
 
@@ -192,149 +185,8 @@ impl<'a> Analyzer<'a> {
         options: &AnalysisOptions,
         cache: &mut IncrementalCache,
     ) -> TimingReport {
-        run_report(self.netlist, options, Some(cache), false)
+        crate::pipeline::oneshot(self.netlist, options, Some(cache), false)
             .expect("size limits are only enforced by try_run")
-    }
-}
-
-/// The shared pipeline behind [`Analyzer::run`], [`Analyzer::try_run`],
-/// and [`Analyzer::run_incremental`]. `Err` is only reachable with
-/// `enforce_limits` (the [`Analyzer::try_run`] path).
-fn run_report(
-    nl: &Netlist,
-    options: &AnalysisOptions,
-    mut cache: Option<&mut IncrementalCache>,
-    enforce_limits: bool,
-) -> Result<TimingReport, TvError> {
-    let jobs = options.effective_jobs();
-    let guards = Guards {
-        relax_budget: options.relax_budget,
-        deadline: options.deadline.map(|d| Instant::now() + d),
-    };
-    // Propagation scratch shared by every case of this run; the first
-    // case warms it up, later ones run allocation-free.
-    let mut workspace = Workspace::new();
-    if let Some(c) = cache.as_deref_mut() {
-        c.begin_run(options);
-    }
-    let flow = tv_flow::analyze(nl, &options.rules);
-    let qual = qualify_with_flow(nl, &flow);
-    let latches = find_latches(nl, &flow, &qual);
-    let flow_report = flow.report(nl);
-    let census = flow.census();
-    let mut diagnostics = flow.diagnostics(nl);
-
-    // Combinational view: everything active, external sources.
-    let comb_graph = TimingGraph::build_par(
-        nl,
-        &flow,
-        &qual,
-        PhaseCase::all_active(),
-        options.model,
-        SOURCE_RESISTANCE,
-        jobs,
-    );
-    if enforce_limits {
-        if let Some(limit) = options.max_arcs {
-            let count = comb_graph.arc_count();
-            if count > limit {
-                return Err(TvError::TooLarge {
-                    what: "arcs",
-                    count,
-                    limit,
-                });
-            }
-        }
-    }
-    diagnostics.extend(comb_graph.diagnostics.iter().cloned());
-    let comb_sources = external_sources(nl);
-    let comb_endpoints = endpoints_or_all(nl, nl.outputs());
-    let combinational = run_case(
-        nl,
-        &comb_graph,
-        &comb_sources,
-        &comb_endpoints,
-        options,
-        jobs,
-        guards,
-        &mut cache,
-        &mut workspace,
-    );
-    diagnostics.extend(combinational.diagnostics.iter().cloned());
-    let combinational_paths = critical_paths(&comb_graph, &combinational, options.top_k);
-
-    // Per-phase case analysis.
-    let mut phases = Vec::new();
-    let has_clocks = !nl.clocks().is_empty();
-    if options.case_analysis && has_clocks {
-        for p in 0..2u8 {
-            phases.push(run_phase(
-                nl,
-                p,
-                &flow,
-                &qual,
-                &latches,
-                options,
-                jobs,
-                guards,
-                &mut cache,
-                &mut workspace,
-                &mut diagnostics,
-            ));
-        }
-    }
-
-    let min_cycle = if phases.len() == 2 {
-        let a0 = phases[0].result.critical_arrival().unwrap_or(0.0);
-        let a1 = phases[1].result.critical_arrival().unwrap_or(0.0);
-        Some(ClockConstraints::new(options.clock).min_cycle(a0, a1))
-    } else {
-        None
-    };
-
-    let checks = check_electrical(nl, &flow, &qual);
-    diagnostics.extend(checks.iter().map(|c| c.diagnostic(nl)));
-
-    Ok(TimingReport {
-        flow_report,
-        census,
-        combinational,
-        combinational_paths,
-        phases,
-        latches,
-        checks,
-        min_cycle,
-        diagnostics,
-    })
-}
-
-/// Dispatches one case's propagation to the cache (incremental) or the
-/// plain engine.
-#[allow(clippy::too_many_arguments)]
-fn run_case(
-    nl: &Netlist,
-    graph: &TimingGraph,
-    sources: &[NodeId],
-    endpoints: &[NodeId],
-    options: &AnalysisOptions,
-    jobs: usize,
-    guards: Guards,
-    cache: &mut Option<&mut IncrementalCache>,
-    ws: &mut Workspace,
-) -> PhaseResult {
-    match cache {
-        Some(c) => c.propagate_case(nl, graph, sources, endpoints, &options.slope, jobs, guards),
-        None => propagate_reuse(
-            nl,
-            graph,
-            sources,
-            endpoints,
-            &options.slope,
-            jobs,
-            None,
-            guards,
-            ws,
-        ),
     }
 }
 
@@ -371,52 +223,6 @@ pub fn phase_endpoints(nl: &Netlist, latches: &[Latch], phase: u8) -> Vec<NodeId
         .collect();
     endpoints.extend(nl.outputs());
     endpoints
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_phase(
-    nl: &Netlist,
-    phase: u8,
-    flow: &FlowAnalysis,
-    qual: &[tv_clocks::Qualification],
-    latches: &[Latch],
-    options: &AnalysisOptions,
-    jobs: usize,
-    guards: Guards,
-    cache: &mut Option<&mut IncrementalCache>,
-    ws: &mut Workspace,
-    diagnostics: &mut Vec<Diagnostic>,
-) -> PhaseAnalysis {
-    let graph = TimingGraph::build_par(
-        nl,
-        flow,
-        qual,
-        PhaseCase::phase(phase),
-        options.model,
-        SOURCE_RESISTANCE,
-        jobs,
-    );
-    diagnostics.extend(graph.diagnostics.iter().cloned());
-    let sources = phase_sources(nl, latches, phase);
-    let endpoints = phase_endpoints(nl, latches, phase);
-
-    let result = run_case(
-        nl, &graph, &sources, &endpoints, options, jobs, guards, cache, ws,
-    );
-    diagnostics.extend(result.diagnostics.iter().cloned());
-    let paths = critical_paths(&graph, &result, options.top_k);
-    let slack = result
-        .critical_arrival()
-        .map(|a| options.clock.width(phase) - a);
-    let races = race_check(nl, &graph, latches, phase);
-    PhaseAnalysis {
-        phase,
-        arcs: graph.arc_count(),
-        result,
-        paths,
-        slack,
-        races,
-    }
 }
 
 impl<'a> Analyzer<'a> {
@@ -461,7 +267,7 @@ pub fn external_sources(netlist: &Netlist) -> Vec<NodeId> {
         .collect()
 }
 
-fn endpoints_or_all(netlist: &Netlist, preferred: &[NodeId]) -> Vec<NodeId> {
+pub(crate) fn endpoints_or_all(netlist: &Netlist, preferred: &[NodeId]) -> Vec<NodeId> {
     if !preferred.is_empty() {
         return preferred.to_vec();
     }

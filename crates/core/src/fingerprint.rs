@@ -1,0 +1,210 @@
+//! Report and flow fingerprints: the bit-identity contract, as code.
+//!
+//! Two hash families live here and must not be confused:
+//!
+//! * The **golden FNV** ([`Fnv`], [`report_fingerprint`],
+//!   [`flow_fingerprint`]) — a byte-wise FNV-1a over every observable
+//!   field of a [`TimingReport`] / flow analysis. The committed golden
+//!   values in `tests/integration_layout.rs` were captured with exactly
+//!   this function, so its traversal order and byte-level mixing are
+//!   frozen: any change here *is* a semantic change to the equivalence
+//!   contract. The session protocol also reports these fingerprints, so
+//!   a session transcript pins the full report bit-for-bit.
+//! * The **internal mixer** ([`mix64`], [`hash_words`]) — a fast
+//!   word-wise splitmix64-style finalizer used for pass input/output
+//!   fingerprints and the incremental cache's node fingerprints. These
+//!   are compared only within one process and never committed, so they
+//!   can favor speed (one multiply chain per word instead of per byte).
+
+use tv_flow::FlowAnalysis;
+use tv_netlist::Netlist;
+
+use crate::analyzer::TimingReport;
+use crate::propagate::{Completion, Edge};
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Byte-wise FNV-1a accumulator (the golden-fingerprint hash).
+#[derive(Debug, Clone)]
+pub struct Fnv(pub u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv {
+    /// A fresh accumulator at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    /// Mixes one `u64`, little-endian byte by byte.
+    pub fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Mixes an `f64` by its exact bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Mixes an `Option<f64>` with a presence tag.
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.u64(1);
+                self.f64(x);
+            }
+            None => self.u64(0),
+        }
+    }
+
+    /// Mixes a length-prefixed byte string.
+    pub fn bytes(&mut self, s: &[u8]) {
+        self.u64(s.len() as u64);
+        for &b in s {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+fn hash_phase_result(h: &mut Fnv, nl: &Netlist, r: &crate::propagate::PhaseResult) {
+    for id in nl.node_ids() {
+        h.opt_f64(r.arrivals.rise(id));
+        h.opt_f64(r.arrivals.fall(id));
+        h.opt_f64(r.arrivals.transition(id, Edge::Rise));
+        h.opt_f64(r.arrivals.transition(id, Edge::Fall));
+    }
+    h.u64(r.endpoints.len() as u64);
+    for &(id, at) in &r.endpoints {
+        h.u64(id.index() as u64);
+        h.f64(at);
+    }
+    h.u64(r.cyclic as u64);
+    h.u64(r.relaxations as u64);
+    h.u64(matches!(r.completion, Completion::Complete) as u64);
+    h.u64(r.unresolved.len() as u64);
+}
+
+fn hash_paths(h: &mut Fnv, paths: &[crate::paths::TimingPath]) {
+    h.u64(paths.len() as u64);
+    for p in paths {
+        h.u64(p.len() as u64);
+        for s in &p.steps {
+            h.u64(s.node.index() as u64);
+            h.bytes(format!("{:?}", s.edge).as_bytes());
+            h.f64(s.at);
+        }
+    }
+}
+
+/// Hashes everything a [`TimingReport`] observably contains, bit-exact on
+/// every floating-point value. Node *names* are hashed too, so identity
+/// covers naming, not just values. This is the function behind the golden
+/// fingerprints in `tests/integration_layout.rs` and the `fingerprint`
+/// field of session `analyze` replies.
+pub fn report_fingerprint(nl: &Netlist, report: &TimingReport) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(nl.node_count() as u64);
+    h.u64(nl.device_count() as u64);
+    for id in nl.node_ids() {
+        h.bytes(nl.node_name(id).as_bytes());
+        h.f64(nl.node_cap(id));
+    }
+    hash_phase_result(&mut h, nl, &report.combinational);
+    hash_paths(&mut h, &report.combinational_paths);
+    h.u64(report.phases.len() as u64);
+    for p in &report.phases {
+        h.u64(p.phase as u64);
+        h.u64(p.arcs as u64);
+        h.opt_f64(p.slack);
+        hash_phase_result(&mut h, nl, &p.result);
+        hash_paths(&mut h, &p.paths);
+        h.u64(p.races.len() as u64);
+        for race in &p.races {
+            h.u64(race.capture.index() as u64);
+            h.f64(race.min_arrival);
+        }
+    }
+    h.u64(report.latches.len() as u64);
+    h.u64(report.checks.len() as u64);
+    h.u64(report.diagnostics.len() as u64);
+    h.opt_f64(report.min_cycle);
+    h.0
+}
+
+/// Hashes a full flow analysis: per-device direction, resolving rule,
+/// per-node class, and the sweep count. Pins the direction fixpoint to
+/// its exact classifications.
+pub fn flow_fingerprint(nl: &Netlist, flow: &FlowAnalysis) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(flow.sweeps() as u64);
+    for d in nl.devices() {
+        h.bytes(format!("{:?}", flow.direction(d.id)).as_bytes());
+        h.bytes(format!("{:?}", flow.resolved_by(d.id)).as_bytes());
+    }
+    for id in nl.node_ids() {
+        h.bytes(format!("{:?}", flow.node_class(id)).as_bytes());
+    }
+    h.0
+}
+
+// ----- internal word mixer --------------------------------------------
+
+/// One round of a splitmix64-style finalizer: strong per-word avalanche
+/// at a handful of ALU ops, an order of magnitude cheaper than byte-wise
+/// FNV on `u64` streams. Internal fingerprints only — never golden.
+#[inline]
+pub(crate) fn mix64(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes a word sequence with [`mix64`], seeded off the FNV basis.
+#[inline]
+pub(crate) fn hash_words(words: &[u64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &w in words {
+        h = mix64(h, w);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_bytes() {
+        // FNV-1a of the empty input is the offset basis; of one zero byte
+        // it is basis * prime (xor with 0 is identity).
+        let h = Fnv::new();
+        assert_eq!(h.0, FNV_OFFSET);
+        let mut h = Fnv::new();
+        h.0 ^= 0;
+        h.0 = h.0.wrapping_mul(FNV_PRIME);
+        assert_eq!(h.0, FNV_OFFSET.wrapping_mul(FNV_PRIME));
+    }
+
+    #[test]
+    fn mix64_is_order_sensitive_and_spreads() {
+        assert_ne!(hash_words(&[1, 2]), hash_words(&[2, 1]));
+        assert_ne!(hash_words(&[0]), hash_words(&[]));
+        // Single-bit input changes flip roughly half the output bits.
+        let a = hash_words(&[0x1]);
+        let b = hash_words(&[0x3]);
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "weak avalanche: {flipped}");
+    }
+}

@@ -366,44 +366,7 @@ impl TimingGraph {
             arcs
         };
 
-        let n = netlist.node_count();
-        // Both adjacency directions in two counting passes each: degree
-        // counts, prefix sums into offsets, then a cursor pass. Iterating
-        // arcs in id order keeps each node's list ascending by arc id —
-        // the same order the old nested-Vec push loop produced.
-        let mut out_starts = vec![0u32; n + 1];
-        let mut in_starts = vec![0u32; n + 1];
-        for a in &arcs {
-            out_starts[a.from.index() + 1] += 1;
-            in_starts[a.to.index() + 1] += 1;
-        }
-        for i in 0..n {
-            out_starts[i + 1] += out_starts[i];
-            in_starts[i + 1] += in_starts[i];
-        }
-        let mut out_cursor = out_starts.clone();
-        let mut in_cursor = in_starts.clone();
-        let mut out_arc_ids = vec![0u32; arcs.len()];
-        let mut in_arc_ids = vec![0u32; arcs.len()];
-        for (i, a) in arcs.iter().enumerate() {
-            let c = &mut out_cursor[a.from.index()];
-            out_arc_ids[*c as usize] = i as u32;
-            *c += 1;
-            let c = &mut in_cursor[a.to.index()];
-            in_arc_ids[*c as usize] = i as u32;
-            *c += 1;
-        }
-        let schedule = LevelSchedule::build(n, &arcs, &out_starts, &out_arc_ids);
-        TimingGraph {
-            arcs,
-            out_starts,
-            out_arc_ids,
-            case,
-            in_starts,
-            in_arc_ids,
-            schedule,
-            diagnostics,
-        }
+        finish_graph(netlist.node_count(), arcs, case, diagnostics)
     }
 
     /// Number of arcs.
@@ -437,6 +400,286 @@ impl TimingGraph {
     }
 }
 
+/// Finishes a graph from its flat arc list: both CSR adjacency
+/// directions in two counting passes each (degree counts, prefix sums
+/// into offsets, then a cursor pass — iterating arcs in id order keeps
+/// each node's list ascending by arc id, the same order the old
+/// nested-Vec push loop produced), then the level schedule. Every build
+/// path — serial, parallel, isolated, spanned — funnels through here so
+/// the CSR layout is defined in exactly one place.
+pub(crate) fn finish_graph(
+    node_count: usize,
+    arcs: Vec<Arc>,
+    case: PhaseCase,
+    diagnostics: Vec<Diagnostic>,
+) -> TimingGraph {
+    let n = node_count;
+    let mut out_starts = vec![0u32; n + 1];
+    let mut in_starts = vec![0u32; n + 1];
+    for a in &arcs {
+        out_starts[a.from.index() + 1] += 1;
+        in_starts[a.to.index() + 1] += 1;
+    }
+    for i in 0..n {
+        out_starts[i + 1] += out_starts[i];
+        in_starts[i + 1] += in_starts[i];
+    }
+    let mut out_cursor = out_starts.clone();
+    let mut in_cursor = in_starts.clone();
+    let mut out_arc_ids = vec![0u32; arcs.len()];
+    let mut in_arc_ids = vec![0u32; arcs.len()];
+    for (i, a) in arcs.iter().enumerate() {
+        let c = &mut out_cursor[a.from.index()];
+        out_arc_ids[*c as usize] = i as u32;
+        *c += 1;
+        let c = &mut in_cursor[a.to.index()];
+        in_arc_ids[*c as usize] = i as u32;
+        *c += 1;
+    }
+    let schedule = LevelSchedule::build(n, &arcs, &out_starts, &out_arc_ids);
+    TimingGraph {
+        arcs,
+        out_starts,
+        out_arc_ids,
+        case,
+        in_starts,
+        in_arc_ids,
+        schedule,
+        diagnostics,
+    }
+}
+
+/// A graph built with its root list and per-root arc spans recorded —
+/// the substrate for the pass pipeline's stage-granular splicing.
+pub(crate) struct SpannedBuild {
+    /// The finished graph, arc-identical to [`TimingGraph::build_par`].
+    pub(crate) graph: TimingGraph,
+    /// Build roots in deterministic (node id) order.
+    pub(crate) roots: Vec<(NodeId, RootKind)>,
+    /// Prefix offsets, `roots.len() + 1` entries: root `k` owns arcs
+    /// `spans[k] as usize .. spans[k + 1] as usize`. `None` when a build
+    /// worker panicked — the degraded per-stage recovery path omits
+    /// stages, so spans would lie; callers then fall back to full
+    /// rebuilds, which is exactly the conservative behavior wanted for a
+    /// netlist that crashes the builder.
+    pub(crate) spans: Option<Vec<u32>>,
+}
+
+/// [`TimingGraph::build_par`], but recording per-root arc counts so the
+/// caller can later resynthesize any single stage in place. The arc list
+/// is byte-identical to `build_par` at any thread count: workers build
+/// disjoint root chunks, per-chunk counts are concatenated in root order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_with_spans(
+    netlist: &Netlist,
+    flow: &FlowAnalysis,
+    qualification: &[Qualification],
+    case: PhaseCase,
+    model: DelayModel,
+    source_resistance: f64,
+    jobs: usize,
+) -> SpannedBuild {
+    let builder = GraphBuilder {
+        netlist,
+        flow,
+        qualification,
+        case,
+        model,
+    };
+    let roots = builder.roots();
+    let threads = jobs.max(1).min(roots.len().max(1));
+
+    // One chunk of roots → (arcs, per-root counts); a panic voids the
+    // whole build's span tracking.
+    let build_chunk = |root_chunk: &[(NodeId, RootKind)]| -> Result<(Vec<Arc>, Vec<u32>), ()> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut arcs = Vec::new();
+            let mut counts = Vec::with_capacity(root_chunk.len());
+            let mut scratch = BuildScratch::new(netlist.node_count());
+            for r in root_chunk {
+                let before = arcs.len();
+                builder.build_root(r, source_resistance, &mut arcs, &mut scratch);
+                counts.push((arcs.len() - before) as u32);
+            }
+            (arcs, counts)
+        }))
+        .map_err(|_| ())
+    };
+
+    type ChunkResult = Result<(Vec<Arc>, Vec<u32>), ()>;
+    let parts: Vec<ChunkResult> = if threads <= 1 || roots.len() < PAR_MIN_ROOTS {
+        vec![build_chunk(&roots)]
+    } else {
+        let chunk = roots.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = roots
+                .chunks(chunk)
+                .map(|root_chunk| {
+                    let f = &build_chunk;
+                    s.spawn(move || f(root_chunk))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panic is caught inside the closure"))
+                .collect()
+        })
+    };
+
+    if parts.iter().any(Result::is_err) {
+        // Some stage panics: delegate to the isolated builder, which
+        // contains the fault per stage and records diagnostics. No spans.
+        let graph = TimingGraph::build_isolated(
+            netlist,
+            flow,
+            qualification,
+            case,
+            model,
+            source_resistance,
+            jobs,
+            None,
+        );
+        return SpannedBuild {
+            graph,
+            roots,
+            spans: None,
+        };
+    }
+
+    let mut arcs = Vec::new();
+    let mut spans = Vec::with_capacity(roots.len() + 1);
+    spans.push(0u32);
+    for part in parts {
+        let (part_arcs, counts) = part.expect("errors handled above");
+        for c in counts {
+            spans.push(spans.last().unwrap() + c);
+        }
+        arcs.extend(part_arcs);
+    }
+    debug_assert_eq!(*spans.last().unwrap() as usize, arcs.len());
+    SpannedBuild {
+        graph: finish_graph(netlist.node_count(), arcs, case, Vec::new()),
+        roots,
+        spans: Some(spans),
+    }
+}
+
+/// Splices freshly rebuilt arcs for `affected` root ordinals into an
+/// existing graph in place, leaving delays/taus updated and everything
+/// else untouched. Valid only after **parametric** edits (geometry or
+/// capacitance): those cannot change which arcs a stage produces, only
+/// their delay values, so each root's new arcs must match its recorded
+/// span in count, endpoints, kind, and inversion — all of which this
+/// function verifies arc by arc before overwriting anything within the
+/// span. On any mismatch (or a panic inside a stage build) it returns
+/// `Err` and the caller must discard the graph and rebuild from scratch:
+/// earlier affected roots may already have been overwritten, so an `Err`
+/// graph is *not* restored to its prior state.
+pub(crate) fn splice_roots(
+    graph: &mut TimingGraph,
+    builder: &GraphBuilder<'_>,
+    source_resistance: f64,
+    roots: &[(NodeId, RootKind)],
+    spans: &[u32],
+    affected: &[u32],
+    scratch: &mut BuildScratch,
+) -> Result<(), ()> {
+    let mut fresh: Vec<Arc> = Vec::new();
+    for &k in affected {
+        let k = k as usize;
+        let span = spans[k] as usize..spans[k + 1] as usize;
+        fresh.clear();
+        catch_unwind(AssertUnwindSafe(|| {
+            builder.build_root(&roots[k], source_resistance, &mut fresh, scratch)
+        }))
+        .map_err(|_| ())?;
+        if fresh.len() != span.len() {
+            return Err(());
+        }
+        let old = &mut graph.arcs[span];
+        for (o, f) in old.iter_mut().zip(fresh.drain(..)) {
+            if o.from != f.from || o.to != f.to || o.kind != f.kind || o.inverting != f.inverting {
+                return Err(());
+            }
+            *o = f;
+        }
+    }
+    Ok(())
+}
+
+impl<'a> GraphBuilder<'a> {
+    /// The **extent** of each root: every node whose capacitance — or
+    /// whose adjacent device geometry — the root's arc delays read. That
+    /// is the stage's downstream walk (RC tree caps and pass-device
+    /// resistances live on walk nodes and their connecting devices) plus,
+    /// for stages, the pull-down network interior (series path
+    /// resistances) — the same frontier [`stage_inputs_into`] traverses.
+    /// Soundness relies on edits dirtying *all* terminals of a resized
+    /// device: a device read by a root always has a channel terminal in
+    /// this set.
+    ///
+    /// Returned as an inverted CSR index `(starts, root_ordinals)` over
+    /// node indices: the roots reading node `i` are
+    /// `root_ordinals[starts[i] as usize..starts[i + 1] as usize]`.
+    pub(crate) fn extents(
+        &self,
+        roots: &[(NodeId, RootKind)],
+        scratch: &mut BuildScratch,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let nl = self.netlist;
+        let mut pairs: Vec<(u32, u32)> = Vec::new(); // (node index, root ordinal)
+        let mut ext: Vec<NodeId> = Vec::new();
+        let mut pd_frontier: Vec<NodeId> = Vec::new();
+        for (ordinal, root) in roots.iter().enumerate() {
+            ext.clear();
+            self.walk_downstream(root.0, scratch);
+            ext.extend(scratch.walk.iter().map(|w| w.node));
+            if root.1 == RootKind::Stage {
+                // Pull-down interior, same traversal as stage_inputs_into.
+                let epoch = scratch.next_epoch();
+                pd_frontier.clear();
+                pd_frontier.push(root.0);
+                scratch.mark[root.0.index()] = epoch;
+                while let Some(node) = pd_frontier.pop() {
+                    for &did in nl.node_devices(node).channel {
+                        if self.flow.device_role(did) != DeviceRole::PullDown {
+                            continue;
+                        }
+                        let other = nl.device(did).other_channel_end(node);
+                        if other != nl.gnd()
+                            && other != nl.vdd()
+                            && scratch.mark[other.index()] != epoch
+                        {
+                            scratch.mark[other.index()] = epoch;
+                            ext.push(other);
+                            pd_frontier.push(other);
+                        }
+                    }
+                }
+            }
+            ext.sort_unstable();
+            ext.dedup();
+            pairs.extend(ext.iter().map(|n| (n.index() as u32, ordinal as u32)));
+        }
+        let n = nl.node_count();
+        let mut starts = vec![0u32; n + 1];
+        for &(node, _) in &pairs {
+            starts[node as usize + 1] += 1;
+        }
+        for i in 0..n {
+            starts[i + 1] += starts[i];
+        }
+        let mut cursor = starts.clone();
+        let mut ordinals = vec![0u32; pairs.len()];
+        for &(node, ordinal) in &pairs {
+            let c = &mut cursor[node as usize];
+            ordinals[*c as usize] = ordinal;
+            *c += 1;
+        }
+        (starts, ordinals)
+    }
+}
+
 /// The shared "a build worker panicked" note.
 fn degraded_build_note() -> Diagnostic {
     Diagnostic::warning(
@@ -448,17 +691,23 @@ fn degraded_build_note() -> Diagnostic {
 
 /// What a graph-build root is: a driving stage output or a primary input
 /// feeding pass devices directly.
-enum RootKind {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RootKind {
+    /// A restored/precharged stage output with its downstream RC tree.
     Stage,
+    /// A primary input feeding pass devices with no on-chip driver.
     Source,
 }
 
-struct GraphBuilder<'a> {
-    netlist: &'a Netlist,
-    flow: &'a FlowAnalysis,
-    qualification: &'a [Qualification],
-    case: PhaseCase,
-    model: DelayModel,
+/// Per-root arc builder. `pub(crate)` so the pass pipeline can reuse the
+/// exact per-stage construction for root-granular splicing; external
+/// callers go through [`TimingGraph::build_par`].
+pub(crate) struct GraphBuilder<'a> {
+    pub(crate) netlist: &'a Netlist,
+    pub(crate) flow: &'a FlowAnalysis,
+    pub(crate) qualification: &'a [Qualification],
+    pub(crate) case: PhaseCase,
+    pub(crate) model: DelayModel,
 }
 
 /// One node of the case-aware downstream walk.
@@ -476,7 +725,7 @@ struct WalkNode {
 /// than hash sets, and the old per-root `vec![false; node_count]` in
 /// the pull-down scan (quadratic over the whole netlist) becomes one
 /// shared array whose flags the DFS resets on unwind.
-struct BuildScratch {
+pub(crate) struct BuildScratch {
     /// Epoch-stamped visited marks, one per node; `mark[i] == epoch`
     /// means node `i` was seen in the current traversal.
     mark: Vec<u32>,
@@ -495,7 +744,7 @@ struct BuildScratch {
 }
 
 impl BuildScratch {
-    fn new(node_count: usize) -> Self {
+    pub(crate) fn new(node_count: usize) -> Self {
         BuildScratch {
             mark: vec![0; node_count],
             epoch: 0,
@@ -533,7 +782,7 @@ fn path_controls(netlist: &Netlist, walk: &[WalkNode], mut i: usize, out: &mut V
 
 impl<'a> GraphBuilder<'a> {
     /// The build roots in deterministic (node id) order.
-    fn roots(&self) -> Vec<(NodeId, RootKind)> {
+    pub(crate) fn roots(&self) -> Vec<(NodeId, RootKind)> {
         let nl = self.netlist;
         let mut roots = Vec::new();
         for id in nl.node_ids() {
@@ -548,7 +797,7 @@ impl<'a> GraphBuilder<'a> {
         roots
     }
 
-    fn build_root(
+    pub(crate) fn build_root(
         &self,
         root: &(NodeId, RootKind),
         source_resistance: f64,

@@ -21,7 +21,14 @@
 //! * the **affected set** is the forward closure of the dirty set over
 //!   out-arcs; everything outside it is copied from the cache;
 //! * a configuration change that bypasses the graph (the slope model)
-//!   or rebuilds it wholesale (the delay model) clears the cache;
+//!   or rebuilds it wholesale (the delay model) clears the cached
+//!   arrivals — but the two are tracked as **separate keys**, because
+//!   they invalidate different amounts of the surrounding pipeline: a
+//!   slope change leaves every graph-shaped stage (flow, latches, the
+//!   timing graphs themselves) valid, while a delay-model change
+//!   invalidates the graphs too. [`IncrementalCache::begin_run`] reports
+//!   which happened as a [`ConfigEffect`] so callers holding
+//!   graph-granular state (the pass pipeline) keep what they may;
 //! * graphs with a cyclic residue always recompute — the worklist
 //!   relaxation has no per-node reuse story.
 
@@ -51,8 +58,46 @@ impl CaseStats {
 }
 
 struct CaseEntry {
+    /// Graph-pass input fingerprint the snapshot was taken under. A
+    /// later run whose graph fingerprint still equals this one has, by
+    /// the stamp counters' monotonicity, an arc-for-arc identical graph
+    /// and source set — so the whole fingerprint/snapshot cycle can be
+    /// skipped, not just the propagation.
+    graph_fp: u64,
     fingerprints: Vec<u64>,
     cached: CachedCase,
+}
+
+/// What the graph pass certifies about a case's arcs, handed to
+/// [`IncrementalCache::propagate_case`] so the warm path can skip
+/// re-hashing arcs it is told did not change.
+pub(crate) struct CaseDelta {
+    /// Graph-pass input fingerprint the arcs currently reflect.
+    pub(crate) graph_fp: u64,
+    /// When known: the fingerprint the arcs previously reflected, and
+    /// exactly which node indices may hold different in-arc words now
+    /// (the splice's touched span targets; empty after a reuse or
+    /// revalidation). The certifying pass also guarantees the case's
+    /// source and endpoint sets are unchanged across that step. `None`
+    /// means a full rebuild — nothing is certified.
+    pub(crate) since: Option<(u64, Vec<u32>)>,
+}
+
+/// What a configuration change at the start of a run invalidated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigEffect {
+    /// Same slope and delay model as the previous run: every cached case
+    /// is a usable baseline.
+    Unchanged,
+    /// The slope model changed. Cached **arrivals** are stale — slope
+    /// handling acts at propagation time, so arc fingerprints cannot see
+    /// it — but nothing graph-shaped is: arc delays, and therefore the
+    /// flow/latch/graph stages a pipeline keys off them, remain valid.
+    SlopeChanged,
+    /// The delay model changed: arc delays themselves are stale, so both
+    /// the cached arrivals *and* any graph built under the old model are
+    /// invalid.
+    ModelChanged,
 }
 
 /// The incremental-invalidation cache. Hold one across
@@ -60,7 +105,8 @@ struct CaseEntry {
 /// a netlist edit proportional to the edit's cone instead of the chip.
 #[derive(Default)]
 pub struct IncrementalCache {
-    config: Option<u64>,
+    slope_key: Option<u64>,
+    model_key: Option<u64>,
     cases: FxHashMap<Option<u8>, CaseEntry>,
     stats: Vec<CaseStats>,
     /// Propagation scratch, reused across cases and runs.
@@ -79,20 +125,56 @@ impl IncrementalCache {
         &self.stats
     }
 
-    /// Starts a run: clears per-run stats and drops every cached case if
-    /// the analysis configuration changed in a way fingerprints cannot
-    /// see.
-    pub(crate) fn begin_run(&mut self, options: &AnalysisOptions) {
+    /// Starts a run: clears per-run stats, and drops the cached arrivals
+    /// if either the slope or the delay model changed since the previous
+    /// run. The two keys are tracked separately and the distinction is
+    /// returned: a slope-only change clears just the arrivals, while a
+    /// model change additionally tells the caller that graphs built
+    /// under the old model are stale.
+    pub(crate) fn begin_run(&mut self, options: &AnalysisOptions) -> ConfigEffect {
         self.stats.clear();
-        let key = config_key(options);
-        if self.config != Some(key) {
+        let slope = slope_key(options);
+        let model = options.model as u64;
+        let effect = if self.model_key != Some(model) && self.model_key.is_some() {
+            ConfigEffect::ModelChanged
+        } else if self.slope_key != Some(slope) && self.slope_key.is_some() {
+            ConfigEffect::SlopeChanged
+        } else {
+            ConfigEffect::Unchanged
+        };
+        if self.slope_key != Some(slope) || self.model_key != Some(model) {
             self.cases.clear();
-            self.config = Some(key);
+            self.slope_key = Some(slope);
+            self.model_key = Some(model);
         }
+        effect
+    }
+
+    /// Drops every cached case (and both configuration keys), forcing
+    /// the next run cold. The propagation workspace survives — it holds
+    /// no results, only capacity.
+    pub fn clear(&mut self) {
+        self.cases.clear();
+        self.slope_key = None;
+        self.model_key = None;
+        self.stats.clear();
     }
 
     /// Propagates one case, reusing every clean cone the cache can
     /// justify, and refreshes the cache with the result.
+    ///
+    /// `delta` is the graph pass's certificate about what changed since
+    /// the previous run; it gates two warm fast paths (both bit-identical
+    /// to the full path by construction):
+    ///
+    /// * the cached entry carries the *current* graph fingerprint — no
+    ///   edit touched this case at all, so the stored fingerprints and
+    ///   snapshot are already exact: run the pure copy walk without
+    ///   hashing an arc or re-snapshotting a node;
+    /// * the entry carries the fingerprint the delta says the arcs
+    ///   *previously* reflected — only the delta's listed nodes can have
+    ///   changed, so only they are re-hashed, and the entry is patched in
+    ///   place instead of rebuilt.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn propagate_case(
         &mut self,
@@ -103,18 +185,108 @@ impl IncrementalCache {
         slope: &SlopeModel,
         jobs: usize,
         guards: Guards,
+        delta: &CaseDelta,
     ) -> PhaseResult {
         let n = netlist.node_count();
         let key = graph.case.active;
+        let clean = graph.schedule.residue.is_empty();
+
+        if clean {
+            if let Some(entry) = self.cases.get(&key) {
+                if entry.graph_fp == delta.graph_fp && entry.fingerprints.len() == n {
+                    let affected = vec![false; n];
+                    let reuse = Reuse {
+                        affected: &affected,
+                        cached: &entry.cached,
+                    };
+                    let result = propagate_reuse(
+                        netlist,
+                        graph,
+                        sources,
+                        endpoints,
+                        slope,
+                        jobs,
+                        Some(reuse),
+                        guards,
+                        &mut self.workspace,
+                    );
+                    self.stats.push(CaseStats {
+                        case: key,
+                        nodes: n,
+                        recomputed: 0,
+                    });
+                    return result;
+                }
+            }
+        }
+
         let mut is_source = vec![false; n];
         for &s in sources {
             is_source[s.index()] = true;
         }
+
+        if clean {
+            if let Some((prev_fp, dirty)) = delta.since.as_ref() {
+                let hit = self
+                    .cases
+                    .get(&key)
+                    .is_some_and(|e| e.graph_fp == *prev_fp && e.fingerprints.len() == n);
+                if hit {
+                    let entry = self.cases.get(&key).unwrap();
+                    let fresh: Vec<(usize, u64)> = dirty
+                        .iter()
+                        .map(|&i| i as usize)
+                        .map(|i| (i, node_fingerprint(graph, &is_source, i)))
+                        .collect();
+                    let seeds: Vec<usize> = fresh
+                        .iter()
+                        .filter(|&&(i, fp)| entry.fingerprints[i] != fp)
+                        .map(|&(i, _)| i)
+                        .collect();
+                    let mut affected = vec![false; n];
+                    for &i in &seeds {
+                        affected[i] = true;
+                    }
+                    forward_close(graph, &mut affected, seeds);
+                    let recomputed = affected.iter().filter(|&&d| d).count();
+                    let reuse = Reuse {
+                        affected: &affected,
+                        cached: &entry.cached,
+                    };
+                    let result = propagate_reuse(
+                        netlist,
+                        graph,
+                        sources,
+                        endpoints,
+                        slope,
+                        jobs,
+                        Some(reuse),
+                        guards,
+                        &mut self.workspace,
+                    );
+                    let entry = self.cases.get_mut(&key).unwrap();
+                    entry.graph_fp = delta.graph_fp;
+                    for &(i, fp) in &fresh {
+                        entry.fingerprints[i] = fp;
+                    }
+                    entry
+                        .cached
+                        .update_from_arrivals(graph, &result.arrivals, &affected);
+                    self.stats.push(CaseStats {
+                        case: key,
+                        nodes: n,
+                        recomputed,
+                    });
+                    return result;
+                }
+            }
+        }
+
         let fps = node_fingerprints(graph, &is_source);
 
         // Baseline: this case's own entry if present, else any finished
         // case in a fixed preference order (correct for any baseline).
-        let baseline = if graph.schedule.residue.is_empty() {
+        let baseline = if clean {
             [key, Some(0), Some(1), None]
                 .into_iter()
                 .find_map(|k| self.cases.get(&k))
@@ -162,6 +334,7 @@ impl IncrementalCache {
         self.cases.insert(
             key,
             CaseEntry {
+                graph_fp: delta.graph_fp,
                 fingerprints: fps,
                 cached: CachedCase::from_arrivals(graph, &result.arrivals),
             },
@@ -180,7 +353,13 @@ impl IncrementalCache {
 fn affected_cone(graph: &TimingGraph, fps: &[u64], baseline: &[u64]) -> Vec<bool> {
     let n = fps.len();
     let mut affected: Vec<bool> = (0..n).map(|i| baseline.get(i) != Some(&fps[i])).collect();
-    let mut stack: Vec<usize> = (0..n).filter(|&i| affected[i]).collect();
+    let stack: Vec<usize> = (0..n).filter(|&i| affected[i]).collect();
+    forward_close(graph, &mut affected, stack);
+    affected
+}
+
+/// Extends `affected` to the forward closure of `stack` over out-arcs.
+fn forward_close(graph: &TimingGraph, affected: &mut [bool], mut stack: Vec<usize>) {
     while let Some(i) = stack.pop() {
         for &ai in graph.out_arcs_of_index(i) {
             let to = graph.arcs[ai as usize].to.index();
@@ -190,20 +369,15 @@ fn affected_cone(graph: &TimingGraph, fps: &[u64], baseline: &[u64]) -> Vec<bool
             }
         }
     }
-    affected
 }
 
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
-const FNV_PRIME: u64 = 0x100000001b3;
 
-#[inline]
-fn mix(mut h: u64, v: u64) -> u64 {
-    for b in v.to_le_bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
+/// Word-wise mixer shared with the pass pipeline. These fingerprints
+/// are compared only within one process, never persisted, so the cheap
+/// splitmix64 round replaces the old byte-wise FNV loop — node
+/// fingerprinting is on the warm-path of every incremental run.
+use crate::fingerprint::mix64 as mix;
 
 fn arc_kind_tag(kind: ArcKind) -> u64 {
     match kind {
@@ -219,29 +393,31 @@ fn arc_kind_tag(kind: ArcKind) -> u64 {
 /// local evaluation given its predecessors' arrivals.
 pub(crate) fn node_fingerprints(graph: &TimingGraph, is_source: &[bool]) -> Vec<u64> {
     (0..graph.node_count())
-        .map(|i| {
-            let mut h = mix(FNV_OFFSET, is_source[i] as u64);
-            for &ai in graph.in_arcs_of_index(i) {
-                let a = &graph.arcs[ai as usize];
-                h = mix(h, a.from.index() as u64);
-                h = mix(h, a.rise_delay.to_bits());
-                h = mix(h, a.fall_delay.to_bits());
-                h = mix(h, a.rise_tau.to_bits());
-                h = mix(h, a.fall_tau.to_bits());
-                h = mix(h, a.inverting as u64);
-                h = mix(h, arc_kind_tag(a.kind));
-            }
-            h
-        })
+        .map(|i| node_fingerprint(graph, is_source, i))
         .collect()
 }
 
-/// Configuration digest for wholesale invalidation: the slope model acts
-/// at propagation time (fingerprints cannot see it), and the delay model
-/// is folded in for cheap insurance even though arc delays carry it.
-fn config_key(options: &AnalysisOptions) -> u64 {
+fn node_fingerprint(graph: &TimingGraph, is_source: &[bool], i: usize) -> u64 {
+    let mut h = mix(FNV_OFFSET, is_source[i] as u64);
+    for &ai in graph.in_arcs_of_index(i) {
+        let a = &graph.arcs[ai as usize];
+        h = mix(h, a.from.index() as u64);
+        h = mix(h, a.rise_delay.to_bits());
+        h = mix(h, a.fall_delay.to_bits());
+        h = mix(h, a.rise_tau.to_bits());
+        h = mix(h, a.fall_tau.to_bits());
+        h = mix(h, a.inverting as u64);
+        h = mix(h, arc_kind_tag(a.kind));
+    }
+    h
+}
+
+/// Slope-model digest: the part of the configuration that acts at
+/// propagation time, where arc fingerprints cannot see it. Kept separate
+/// from the delay-model key so a slope change does not masquerade as a
+/// graph change.
+fn slope_key(options: &AnalysisOptions) -> u64 {
     let mut h = FNV_OFFSET;
-    h = mix(h, options.model as u64);
     h = mix(h, options.slope.k_slope.to_bits());
     h = mix(h, options.slope.k_transition.to_bits());
     h
@@ -266,6 +442,15 @@ mod tests {
             prev = nx;
         }
         b.finish().unwrap()
+    }
+
+    /// An uncertified delta: forces the full fingerprint path when `fp`
+    /// differs from the cached entry's.
+    fn full(fp: u64) -> CaseDelta {
+        CaseDelta {
+            graph_fp: fp,
+            since: None,
+        }
     }
 
     fn graph_and_sources(nl: &tv_netlist::Netlist) -> (TimingGraph, Vec<NodeId>, Vec<NodeId>) {
@@ -294,9 +479,11 @@ mod tests {
         let slope = SlopeModel::calibrated();
         let mut cache = IncrementalCache::new();
         cache.begin_run(&AnalysisOptions::default());
-        let cold = cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default());
+        let cold =
+            cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default(), &full(1));
         cache.begin_run(&AnalysisOptions::default());
-        let warm = cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default());
+        let warm =
+            cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default(), &full(2));
         let stats = cache.last_stats();
         assert_eq!(stats.len(), 1);
         assert_eq!(stats[0].recomputed, 0, "nothing changed");
@@ -314,13 +501,100 @@ mod tests {
     }
 
     #[test]
+    fn matching_graph_fp_takes_snapshot_fast_path() {
+        // Same certified graph fingerprint on the warm run: no arc is
+        // re-hashed, nothing recomputes, and the result is bit-identical.
+        let nl = chain(6);
+        let (g, src, eps) = graph_and_sources(&nl);
+        let slope = SlopeModel::calibrated();
+        let mut cache = IncrementalCache::new();
+        cache.begin_run(&AnalysisOptions::default());
+        let cold =
+            cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default(), &full(7));
+        cache.begin_run(&AnalysisOptions::default());
+        let warm =
+            cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default(), &full(7));
+        assert_eq!(cache.last_stats()[0].recomputed, 0);
+        assert_eq!(cold.relaxations, warm.relaxations);
+        assert_eq!(cold.endpoints, warm.endpoints);
+        for i in nl.node_ids() {
+            assert_eq!(
+                cold.arrivals.rise(i).map(f64::to_bits),
+                warm.arrivals.rise(i).map(f64::to_bits)
+            );
+            assert_eq!(
+                cold.arrivals.fall(i).map(f64::to_bits),
+                warm.arrivals.fall(i).map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn certified_empty_delta_skips_rehash() {
+        // A `since` certificate naming the cached fingerprint with an
+        // empty dirty list: the incremental path runs (new graph_fp is
+        // adopted) without recomputing anything.
+        let nl = chain(5);
+        let (g, src, eps) = graph_and_sources(&nl);
+        let slope = SlopeModel::calibrated();
+        let mut cache = IncrementalCache::new();
+        cache.begin_run(&AnalysisOptions::default());
+        let cold =
+            cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default(), &full(7));
+        cache.begin_run(&AnalysisOptions::default());
+        let step = CaseDelta {
+            graph_fp: 8,
+            since: Some((7, Vec::new())),
+        };
+        let warm = cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default(), &step);
+        assert_eq!(cache.last_stats()[0].recomputed, 0);
+        for i in nl.node_ids() {
+            assert_eq!(
+                cold.arrivals.rise(i).map(f64::to_bits),
+                warm.arrivals.rise(i).map(f64::to_bits)
+            );
+        }
+        // The adopted fingerprint chains: a third run certified against
+        // fp 8 still reuses everything.
+        cache.begin_run(&AnalysisOptions::default());
+        cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default(), &full(8));
+        assert_eq!(cache.last_stats()[0].recomputed, 0);
+    }
+
+    #[test]
+    fn stale_certificate_falls_back_to_full_hash() {
+        // A `since` certificate naming a fingerprint the cache never
+        // stored must be ignored — the full fingerprint path still
+        // produces a correct (here: fully reused, identical) result.
+        let nl = chain(5);
+        let (g, src, eps) = graph_and_sources(&nl);
+        let slope = SlopeModel::calibrated();
+        let mut cache = IncrementalCache::new();
+        cache.begin_run(&AnalysisOptions::default());
+        let cold =
+            cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default(), &full(7));
+        cache.begin_run(&AnalysisOptions::default());
+        let step = CaseDelta {
+            graph_fp: 9,
+            since: Some((8, Vec::new())),
+        };
+        let warm = cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default(), &step);
+        for i in nl.node_ids() {
+            assert_eq!(
+                cold.arrivals.rise(i).map(f64::to_bits),
+                warm.arrivals.rise(i).map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
     fn config_change_clears_cache() {
         let nl = chain(4);
         let (g, src, eps) = graph_and_sources(&nl);
         let slope = SlopeModel::calibrated();
         let mut cache = IncrementalCache::new();
         cache.begin_run(&AnalysisOptions::default());
-        cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default());
+        cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default(), &full(1));
         // Different slope handling: every cached arrival is invalid.
         let opts = AnalysisOptions {
             slope: SlopeModel::disabled(),
@@ -335,8 +609,32 @@ mod tests {
             &SlopeModel::disabled(),
             1,
             Guards::default(),
+            &full(2),
         );
         assert_eq!(cache.last_stats()[0].recomputed, nl.node_count());
+    }
+
+    #[test]
+    fn slope_and_model_changes_are_distinguished() {
+        let mut cache = IncrementalCache::new();
+        let base = AnalysisOptions::default();
+        assert_eq!(cache.begin_run(&base), ConfigEffect::Unchanged);
+        assert_eq!(cache.begin_run(&base), ConfigEffect::Unchanged);
+        let slope_only = AnalysisOptions {
+            slope: SlopeModel::disabled(),
+            ..AnalysisOptions::default()
+        };
+        assert_eq!(cache.begin_run(&slope_only), ConfigEffect::SlopeChanged);
+        let model_too = AnalysisOptions {
+            model: DelayModel::Lumped,
+            slope: SlopeModel::disabled(),
+            ..AnalysisOptions::default()
+        };
+        assert_eq!(cache.begin_run(&model_too), ConfigEffect::ModelChanged);
+        assert_eq!(cache.begin_run(&model_too), ConfigEffect::Unchanged);
+        cache.clear();
+        // After a clear there is no previous configuration to differ from.
+        assert_eq!(cache.begin_run(&model_too), ConfigEffect::Unchanged);
     }
 
     #[test]
@@ -392,7 +690,7 @@ mod tests {
                 .node_ids()
                 .filter(|&i| !nl1.node(i).role().is_rail())
                 .collect();
-            cache.propagate_case(&nl1, &g, &src, &eps, &slope, 1, Guards::default());
+            cache.propagate_case(&nl1, &g, &src, &eps, &slope, 1, Guards::default(), &full(1));
         }
         cache.begin_run(&AnalysisOptions::default());
         let flow = analyze(&nl2, &RuleSet::all());
@@ -413,7 +711,8 @@ mod tests {
             .node_ids()
             .filter(|&i| !nl2.node(i).role().is_rail())
             .collect();
-        let warm = cache.propagate_case(&nl2, &g, &src, &eps, &slope, 1, Guards::default());
+        let warm =
+            cache.propagate_case(&nl2, &g, &src, &eps, &slope, 1, Guards::default(), &full(2));
         let stats = cache.last_stats()[0];
         assert!(stats.recomputed > 0, "the edited cone re-runs");
         assert!(

@@ -25,6 +25,13 @@
 //! 7. [`analyzer`] ties it together behind one call and [`report`]
 //!    renders the result tables.
 //!
+//! For long-lived use — an editor, the `tv session` REPL — the stages
+//! are also exposed as a demand-driven [`pipeline::PassManager`] over a
+//! revisioned [`tv_netlist::Design`]: each pass re-runs only when the
+//! design counters it declares as inputs moved, parametric edits splice
+//! delays into cached graphs in place, and results stay bit-identical
+//! to the one-shot [`Analyzer`].
+//!
 //! # Example
 //!
 //! ```
@@ -47,12 +54,14 @@
 pub mod analyzer;
 pub mod checks;
 pub mod error;
+pub mod fingerprint;
 pub mod graph;
 pub mod hold;
 pub mod incremental;
 pub mod optimize;
 pub mod options;
 pub mod paths;
+pub mod pipeline;
 pub mod propagate;
 pub mod report;
 
@@ -61,12 +70,14 @@ pub use analyzer::{
 };
 pub use checks::{check_electrical, CheckIssue};
 pub use error::TvError;
+pub use fingerprint::{flow_fingerprint, report_fingerprint, Fnv};
 pub use graph::{Arc, ArcKind, LevelSchedule, PhaseCase, TimingGraph};
 pub use hold::{race_check, RaceHazard};
-pub use incremental::{CaseStats, IncrementalCache};
+pub use incremental::{CaseStats, ConfigEffect, IncrementalCache};
 pub use optimize::{buffer_long_pass_runs, BufferInsertion};
 pub use options::{AnalysisOptions, DelayModel};
 pub use paths::{PathStep, TimingPath};
+pub use pipeline::{PassEvent, PassId, PassManager, PassOutcome, PASS_TABLE};
 pub use propagate::{
     propagate, propagate_guarded, propagate_with, Arrivals, Completion, Guards, PhaseResult,
     PAR_MIN_WIDTH,

@@ -1,0 +1,1058 @@
+//! The pass pipeline: demand-driven analysis over a revisioned design.
+//!
+//! Each analysis stage — flow resolution, clock qualification, latch
+//! finding, per-case timing-graph construction, arrival propagation,
+//! electrical checks — is a named **pass** with a declared input
+//! fingerprint and a content-based output fingerprint. A
+//! [`PassManager`] holds the last result of every pass; an `analyze`
+//! call recomputes a pass only when its input fingerprint changed, and
+//! because downstream passes key off the upstream pass's *output*
+//! fingerprint, an upstream rerun that reproduces the same content
+//! revalidates the whole chain below it without recompute (the
+//! salsa-style early-exit).
+//!
+//! Input fingerprints are built from the [`Design`]'s revision stamp,
+//! which splits edits into independent counters — topology, geometry,
+//! capacitance, technology — matching what each pass actually reads:
+//!
+//! | pass | reads |
+//! |---|---|
+//! | `flow` | topology, rules |
+//! | `qualify` | flow, topology |
+//! | `latches` | flow, qualify, topology |
+//! | `graph(case)` | topology, geometry, caps, tech, delay model, flow, qualify |
+//! | `arrivals(case)` | graph(case), slope model |
+//! | `checks` | topology, geometry, caps, tech, flow, qualify |
+//!
+//! So a capacitance edit cannot re-run flow (flow's inputs don't
+//! include the cap counter), and a W/L resize cannot re-find latches.
+//!
+//! The graph passes go one step further than all-or-nothing: a
+//! session-grade manager records per-root arc **spans** and a per-node
+//! **extent index** (which roots read which node's caps/geometry) at
+//! build time. A parametric edit then resynthesizes only the affected
+//! roots and splices their delays into the existing graph in place —
+//! CSR adjacency and level schedule are untouched because parametric
+//! edits cannot change arc structure. The incremental arrival cache
+//! sees the spliced delay words as dirty fingerprints and re-propagates
+//! exactly the affected cone. Every reuse path is bit-identical to a
+//! cold run; the golden fingerprints in `tests/integration_layout.rs`
+//! and the session-vs-oneshot tests in `tests/integration_session.rs`
+//! enforce it.
+
+use std::time::Instant;
+
+use tv_clocks::latch::{find_latches, Latch};
+use tv_clocks::qualify::{qualify_with_flow, Qualification};
+use tv_clocks::ClockConstraints;
+use tv_flow::FlowAnalysis;
+use tv_netlist::{Design, DesignStamp, DirtySince, Netlist, Revision};
+
+use crate::analyzer::{
+    endpoints_or_all, external_sources, phase_endpoints, phase_sources, PhaseAnalysis,
+    TimingReport, SOURCE_RESISTANCE,
+};
+use crate::checks::{check_electrical, CheckIssue};
+use crate::error::TvError;
+use crate::fingerprint::{flow_fingerprint, hash_words, mix64};
+use crate::graph::{
+    build_with_spans, splice_roots, BuildScratch, GraphBuilder, PhaseCase, RootKind, TimingGraph,
+};
+use crate::incremental::{CaseDelta, IncrementalCache};
+use crate::options::AnalysisOptions;
+use crate::paths::critical_paths;
+use crate::propagate::{propagate_reuse, Guards, Workspace};
+
+/// Names a pass instance. Graph and arrival passes are per case:
+/// `None` is the all-active (combinational) view, `Some(p)` phase `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassId {
+    /// Signal-flow direction resolution.
+    Flow,
+    /// Clock qualification of every node.
+    Qualify,
+    /// Latch finding.
+    Latches,
+    /// Timing-graph construction for one case.
+    Graph(Option<u8>),
+    /// Arrival propagation for one case.
+    Arrivals(Option<u8>),
+    /// Electrical rule checks.
+    Checks,
+}
+
+impl PassId {
+    /// Stable dotted name, e.g. `graph.phi1` (used by the session
+    /// protocol's pass trace).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PassId::Flow => "flow",
+            PassId::Qualify => "qualify",
+            PassId::Latches => "latches",
+            PassId::Graph(None) => "graph.comb",
+            PassId::Graph(Some(0)) => "graph.phi1",
+            PassId::Graph(Some(_)) => "graph.phi2",
+            PassId::Arrivals(None) => "arrivals.comb",
+            PassId::Arrivals(Some(0)) => "arrivals.phi1",
+            PassId::Arrivals(Some(_)) => "arrivals.phi2",
+            PassId::Checks => "checks",
+        }
+    }
+}
+
+/// Static description of one pass kind for docs and tooling.
+pub struct PassInfo {
+    /// Pass family name (case-instantiated passes drop the suffix).
+    pub name: &'static str,
+    /// The declared inputs, as stamp-counter / upstream-pass names.
+    pub inputs: &'static [&'static str],
+}
+
+/// The declared pass graph: which inputs each pass reads. This table is
+/// documentation-grade truth — the fingerprint construction in this
+/// module is the executable version.
+pub const PASS_TABLE: &[PassInfo] = &[
+    PassInfo {
+        name: "flow",
+        inputs: &["topology", "rules"],
+    },
+    PassInfo {
+        name: "qualify",
+        inputs: &["flow", "topology"],
+    },
+    PassInfo {
+        name: "latches",
+        inputs: &["flow", "qualify", "topology"],
+    },
+    PassInfo {
+        name: "graph",
+        inputs: &[
+            "flow", "qualify", "topology", "geometry", "caps", "tech", "model",
+        ],
+    },
+    PassInfo {
+        name: "arrivals",
+        inputs: &["graph", "slope"],
+    },
+    PassInfo {
+        name: "checks",
+        inputs: &["flow", "qualify", "topology", "geometry", "caps", "tech"],
+    },
+];
+
+/// How one pass was satisfied during an `analyze` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassOutcome {
+    /// Input fingerprint matched: the cached result was used untouched.
+    Reused,
+    /// The pass ran from scratch.
+    Computed,
+    /// Graph pass only: the affected roots were rebuilt and their delays
+    /// spliced into the existing graph in place.
+    Spliced {
+        /// Number of roots resynthesized.
+        roots: usize,
+    },
+    /// Graph pass only: the edit dirtied nodes outside every root's
+    /// extent, so the cached graph was revalidated without touching an
+    /// arc.
+    Revalidated,
+}
+
+/// One entry of [`PassManager::last_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassEvent {
+    /// Which pass.
+    pub pass: PassId,
+    /// How it was satisfied.
+    pub outcome: PassOutcome,
+}
+
+impl PassEvent {
+    /// Whether the pass did any real work (everything except `Reused`).
+    pub fn reran(&self) -> bool {
+        self.outcome != PassOutcome::Reused
+    }
+}
+
+/// A cached pass result with its input and output fingerprints.
+struct Slot<T> {
+    input_fp: u64,
+    output_fp: u64,
+    value: T,
+}
+
+/// Per-root splice support recorded at graph build time.
+struct SpliceIndex {
+    /// Prefix offsets: root `k` owns arcs `spans[k]..spans[k + 1]`.
+    spans: Vec<u32>,
+    /// CSR offsets into `extent_roots` by node index.
+    extent_starts: Vec<u32>,
+    /// Root ordinals whose arc delays read the node's caps or adjacent
+    /// geometry, grouped by node.
+    extent_roots: Vec<u32>,
+}
+
+/// A cached timing graph for one case.
+struct GraphSlot {
+    input_fp: u64,
+    /// Like `input_fp` but excluding the geometry and capacitance
+    /// counters: matching shape under a mismatching input means only
+    /// delay *values* moved — the precondition for splicing.
+    shape_fp: u64,
+    /// Design revision the arcs currently reflect; `dirty_since` from
+    /// here yields exactly the edits the graph has not absorbed.
+    built_revision: Revision,
+    graph: TimingGraph,
+    roots: Vec<(tv_netlist::NodeId, RootKind)>,
+    /// `None` when spans were not recorded (one-shot mode, or a build
+    /// worker panicked) — such a slot always rebuilds in full.
+    splice: Option<SpliceIndex>,
+}
+
+/// Demand-driven pass manager over a [`Design`].
+///
+/// Hold one per long-lived design (the `tv session` REPL holds one per
+/// loaded design) and call [`PassManager::analyze`] after each batch of
+/// edits; only the passes whose declared inputs changed re-run, and the
+/// graph passes splice rather than rebuild when the edit was
+/// parametric. Reports are bit-identical to a fresh
+/// [`crate::Analyzer::run`] on the same netlist.
+#[derive(Default)]
+pub struct PassManager {
+    /// Whether graph builds record spans/extents for splicing. Costs a
+    /// little build time and memory; the throwaway one-shot path skips
+    /// it.
+    record_spans: bool,
+    flow: Option<Slot<FlowAnalysis>>,
+    qual: Option<Slot<Vec<Qualification>>>,
+    latches: Option<Slot<Vec<Latch>>>,
+    /// Graph slots: `[comb, phase 0, phase 1]`.
+    graphs: [Option<GraphSlot>; 3],
+    checks: Option<Slot<Vec<CheckIssue>>>,
+    /// Arrival memoization (stage-fingerprint granular), shared across
+    /// all cases.
+    cache: IncrementalCache,
+    /// Propagation scratch for the uncached path.
+    workspace: Workspace,
+    trace: Vec<PassEvent>,
+}
+
+impl PassManager {
+    /// A session-grade manager: graph builds record per-root spans and
+    /// extents so parametric edits splice instead of rebuilding.
+    pub fn new() -> Self {
+        PassManager {
+            record_spans: true,
+            ..Default::default()
+        }
+    }
+
+    /// A throwaway manager for the one-shot `Analyzer` path: no span
+    /// recording, byte-for-byte the pre-pipeline build behavior.
+    pub(crate) fn one_shot() -> Self {
+        PassManager::default()
+    }
+
+    /// Runs (or revalidates) the full pipeline against the design's
+    /// current state. Panics on size-limit errors like
+    /// [`crate::Analyzer::run`]; use [`PassManager::try_analyze`] to
+    /// enforce limits.
+    pub fn analyze(&mut self, design: &Design, options: &AnalysisOptions) -> TimingReport {
+        self.analyze_design(design, options, false)
+            .expect("size limits are only enforced by try_analyze")
+    }
+
+    /// [`PassManager::analyze`] with [`AnalysisOptions::max_nodes`] and
+    /// [`AnalysisOptions::max_arcs`] enforced (refusing with
+    /// [`TvError::TooLarge`]).
+    pub fn try_analyze(
+        &mut self,
+        design: &Design,
+        options: &AnalysisOptions,
+    ) -> Result<TimingReport, TvError> {
+        self.analyze_design(design, options, true)
+    }
+
+    /// The pass trace of the most recent `analyze`, in execution order.
+    pub fn last_trace(&self) -> &[PassEvent] {
+        &self.trace
+    }
+
+    /// The current fingerprint of a pass: output (content) fingerprints
+    /// for the interned analyses (flow, qualify, latches), input
+    /// fingerprints for the graph and check passes, `None` for a pass
+    /// that has not run or for arrivals (memoized per node, not per
+    /// pass).
+    pub fn pass_fingerprint(&self, pass: PassId) -> Option<u64> {
+        match pass {
+            PassId::Flow => self.flow.as_ref().map(|s| s.output_fp),
+            PassId::Qualify => self.qual.as_ref().map(|s| s.output_fp),
+            PassId::Latches => self.latches.as_ref().map(|s| s.output_fp),
+            PassId::Graph(c) => self.graphs[case_slot(c)].as_ref().map(|s| s.input_fp),
+            PassId::Arrivals(_) => None,
+            PassId::Checks => self.checks.as_ref().map(|s| s.input_fp),
+        }
+    }
+
+    /// Arrival-reuse statistics of the most recent `analyze`, one entry
+    /// per propagated case.
+    pub fn cache_stats(&self) -> &[crate::incremental::CaseStats] {
+        self.cache.last_stats()
+    }
+
+    fn analyze_design(
+        &mut self,
+        design: &Design,
+        options: &AnalysisOptions,
+        enforce_limits: bool,
+    ) -> Result<TimingReport, TvError> {
+        // The arrival cache is a field, but `analyze_inner` needs it as
+        // an independent borrow alongside the slot fields: lift it out
+        // for the duration of the run.
+        let mut cache = std::mem::take(&mut self.cache);
+        let r = self.analyze_inner(
+            design.netlist(),
+            design.stamp(),
+            Some(design),
+            options,
+            Some(&mut cache),
+            enforce_limits,
+        );
+        self.cache = cache;
+        r
+    }
+
+    /// The pipeline body shared by the session path and the one-shot
+    /// `Analyzer` facade. `stamp` is the design's counter snapshot (a
+    /// [`DesignStamp::unique`] snapshot on the one-shot path, so nothing
+    /// ever falsely matches); `design` enables dirty-set queries for
+    /// splicing; `cache` is the arrival memo (`None` = plain
+    /// propagation).
+    pub(crate) fn analyze_inner(
+        &mut self,
+        nl: &Netlist,
+        stamp: DesignStamp,
+        design: Option<&Design>,
+        options: &AnalysisOptions,
+        mut cache: Option<&mut IncrementalCache>,
+        enforce_limits: bool,
+    ) -> Result<TimingReport, TvError> {
+        self.trace.clear();
+        if enforce_limits {
+            if let Some(limit) = options.max_nodes {
+                let count = nl.node_count();
+                if count > limit {
+                    return Err(TvError::TooLarge {
+                        what: "nodes",
+                        count,
+                        limit,
+                    });
+                }
+            }
+        }
+        let jobs = options.effective_jobs();
+        let guards = Guards {
+            relax_budget: options.relax_budget,
+            deadline: options.deadline.map(|d| Instant::now() + d),
+        };
+        if let Some(c) = cache.as_deref_mut() {
+            c.begin_run(options);
+        }
+
+        // --- flow ---
+        let flow_in = hash_words(&[stamp.design, stamp.topo, rules_fp(options)]);
+        let flow_reran = match &self.flow {
+            Some(s) if s.input_fp == flow_in => false,
+            _ => {
+                let value = tv_flow::analyze(nl, &options.rules);
+                let output_fp = flow_fingerprint(nl, &value);
+                self.flow = Some(Slot {
+                    input_fp: flow_in,
+                    output_fp,
+                    value,
+                });
+                true
+            }
+        };
+        push(&mut self.trace, PassId::Flow, flow_reran);
+        let flow_fp = self.flow.as_ref().unwrap().output_fp;
+        let flow = &self.flow.as_ref().unwrap().value;
+
+        // --- qualify ---
+        let qual_in = hash_words(&[stamp.design, stamp.topo, flow_fp]);
+        let qual_reran = match &self.qual {
+            Some(s) if s.input_fp == qual_in => false,
+            _ => {
+                let value = qualify_with_flow(nl, flow);
+                let output_fp = qual_content_fp(&value);
+                self.qual = Some(Slot {
+                    input_fp: qual_in,
+                    output_fp,
+                    value,
+                });
+                true
+            }
+        };
+        push(&mut self.trace, PassId::Qualify, qual_reran);
+        let qual_fp = self.qual.as_ref().unwrap().output_fp;
+        let qual = self.qual.as_ref().unwrap().value.as_slice();
+
+        // --- latches ---
+        let latch_in = hash_words(&[stamp.design, stamp.topo, flow_fp, qual_fp]);
+        let latch_reran = match &self.latches {
+            Some(s) if s.input_fp == latch_in => false,
+            _ => {
+                let value = find_latches(nl, flow, qual);
+                let output_fp = latch_content_fp(&value);
+                self.latches = Some(Slot {
+                    input_fp: latch_in,
+                    output_fp,
+                    value,
+                });
+                true
+            }
+        };
+        push(&mut self.trace, PassId::Latches, latch_reran);
+        let latches = self.latches.as_ref().unwrap().value.as_slice();
+
+        // Derived views are recomputed every run — they are cheap
+        // projections of the cached analyses, and keeping them out of
+        // the slots keeps the invalidation story small.
+        let flow_report = flow.report(nl);
+        let census = flow.census();
+        let mut diagnostics = flow.diagnostics(nl);
+
+        // --- combinational case ---
+        let comb_delta = graph_pass(
+            &mut self.graphs[0],
+            &mut self.trace,
+            self.record_spans,
+            nl,
+            flow,
+            qual,
+            PhaseCase::all_active(),
+            stamp,
+            design,
+            options,
+            flow_fp,
+            qual_fp,
+            jobs,
+        );
+        let comb_slot = self.graphs[0].as_ref().unwrap();
+        if enforce_limits {
+            if let Some(limit) = options.max_arcs {
+                let count = comb_slot.graph.arc_count();
+                if count > limit {
+                    return Err(TvError::TooLarge {
+                        what: "arcs",
+                        count,
+                        limit,
+                    });
+                }
+            }
+        }
+        diagnostics.extend(comb_slot.graph.diagnostics.iter().cloned());
+        let comb_sources = external_sources(nl);
+        let comb_endpoints = endpoints_or_all(nl, nl.outputs());
+        let combinational = match cache.as_deref_mut() {
+            Some(c) => c.propagate_case(
+                nl,
+                &comb_slot.graph,
+                &comb_sources,
+                &comb_endpoints,
+                &options.slope,
+                jobs,
+                guards,
+                &comb_delta,
+            ),
+            None => propagate_reuse(
+                nl,
+                &comb_slot.graph,
+                &comb_sources,
+                &comb_endpoints,
+                &options.slope,
+                jobs,
+                None,
+                guards,
+                &mut self.workspace,
+            ),
+        };
+        self.trace.push(PassEvent {
+            pass: PassId::Arrivals(None),
+            outcome: arrivals_outcome(&cache),
+        });
+        diagnostics.extend(combinational.diagnostics.iter().cloned());
+        let combinational_paths = critical_paths(&comb_slot.graph, &combinational, options.top_k);
+
+        // --- per-phase cases ---
+        let mut phases = Vec::new();
+        if options.case_analysis && !nl.clocks().is_empty() {
+            for p in 0..2u8 {
+                let delta = graph_pass(
+                    &mut self.graphs[1 + p as usize],
+                    &mut self.trace,
+                    self.record_spans,
+                    nl,
+                    flow,
+                    qual,
+                    PhaseCase::phase(p),
+                    stamp,
+                    design,
+                    options,
+                    flow_fp,
+                    qual_fp,
+                    jobs,
+                );
+                let slot = self.graphs[1 + p as usize].as_ref().unwrap();
+                diagnostics.extend(slot.graph.diagnostics.iter().cloned());
+                let sources = phase_sources(nl, latches, p);
+                let endpoints = phase_endpoints(nl, latches, p);
+                let result = match cache.as_deref_mut() {
+                    Some(c) => c.propagate_case(
+                        nl,
+                        &slot.graph,
+                        &sources,
+                        &endpoints,
+                        &options.slope,
+                        jobs,
+                        guards,
+                        &delta,
+                    ),
+                    None => propagate_reuse(
+                        nl,
+                        &slot.graph,
+                        &sources,
+                        &endpoints,
+                        &options.slope,
+                        jobs,
+                        None,
+                        guards,
+                        &mut self.workspace,
+                    ),
+                };
+                self.trace.push(PassEvent {
+                    pass: PassId::Arrivals(Some(p)),
+                    outcome: arrivals_outcome(&cache),
+                });
+                diagnostics.extend(result.diagnostics.iter().cloned());
+                let paths = critical_paths(&slot.graph, &result, options.top_k);
+                let slack = result
+                    .critical_arrival()
+                    .map(|a| options.clock.width(p) - a);
+                let races = crate::hold::race_check(nl, &slot.graph, latches, p);
+                phases.push(PhaseAnalysis {
+                    phase: p,
+                    arcs: slot.graph.arc_count(),
+                    result,
+                    paths,
+                    slack,
+                    races,
+                });
+            }
+        }
+
+        let min_cycle = if phases.len() == 2 {
+            let a0 = phases[0].result.critical_arrival().unwrap_or(0.0);
+            let a1 = phases[1].result.critical_arrival().unwrap_or(0.0);
+            Some(ClockConstraints::new(options.clock).min_cycle(a0, a1))
+        } else {
+            None
+        };
+
+        // --- checks ---
+        let checks_in = hash_words(&[
+            stamp.design,
+            stamp.topo,
+            stamp.geom,
+            stamp.cap,
+            stamp.tech,
+            flow_fp,
+            qual_fp,
+        ]);
+        let checks_reran = match &self.checks {
+            Some(s) if s.input_fp == checks_in => false,
+            _ => {
+                let value = check_electrical(nl, flow, qual);
+                self.checks = Some(Slot {
+                    input_fp: checks_in,
+                    output_fp: 0,
+                    value,
+                });
+                true
+            }
+        };
+        push(&mut self.trace, PassId::Checks, checks_reran);
+        let checks = self.checks.as_ref().unwrap().value.clone();
+        diagnostics.extend(checks.iter().map(|c| c.diagnostic(nl)));
+
+        Ok(TimingReport {
+            flow_report,
+            census,
+            combinational,
+            combinational_paths,
+            phases,
+            latches: latches.to_vec(),
+            checks,
+            min_cycle,
+            diagnostics,
+        })
+    }
+}
+
+/// One-shot entry for the `Analyzer` facade: a throwaway manager with a
+/// unique stamp, so every pass computes exactly as the pre-pipeline
+/// code did (including `build_par` graphs without span recording).
+pub(crate) fn oneshot(
+    nl: &Netlist,
+    options: &AnalysisOptions,
+    cache: Option<&mut IncrementalCache>,
+    enforce_limits: bool,
+) -> Result<TimingReport, TvError> {
+    PassManager::one_shot().analyze_inner(
+        nl,
+        DesignStamp::unique(),
+        None,
+        options,
+        cache,
+        enforce_limits,
+    )
+}
+
+/// The graph pass for one case: reuse on a clean input fingerprint,
+/// splice on a parametric-only delta (matching shape, recorded spans,
+/// clean diagnostics, node-granular dirty set), full rebuild otherwise.
+///
+/// Returns the [`CaseDelta`] certificate for the arrival cache: the
+/// graph fingerprint the arcs now reflect, and — when the pass reused,
+/// revalidated, or spliced — exactly which node indices may hold
+/// different in-arc words than under the previous fingerprint. The
+/// certificate's "sources and endpoints unchanged" clause holds because
+/// every non-rebuild outcome pins topology, flow, and qualification
+/// (via `shape_fp`), which determine the latch set and hence every
+/// case's source/endpoint lists.
+#[allow(clippy::too_many_arguments)]
+fn graph_pass(
+    slot_opt: &mut Option<GraphSlot>,
+    trace: &mut Vec<PassEvent>,
+    record_spans: bool,
+    nl: &Netlist,
+    flow: &FlowAnalysis,
+    qual: &[Qualification],
+    case: PhaseCase,
+    stamp: DesignStamp,
+    design: Option<&Design>,
+    options: &AnalysisOptions,
+    flow_fp: u64,
+    qual_fp: u64,
+    jobs: usize,
+) -> CaseDelta {
+    let pass = PassId::Graph(case.active);
+    let case_tag = case.active.map_or(0, |p| 1 + p as u64);
+    let model_tag = options.model as u64;
+    let input_fp = hash_words(&[
+        stamp.design,
+        stamp.topo,
+        stamp.geom,
+        stamp.cap,
+        stamp.tech,
+        model_tag,
+        case_tag,
+        flow_fp,
+        qual_fp,
+    ]);
+    if let Some(s) = slot_opt.as_ref() {
+        if s.input_fp == input_fp {
+            trace.push(PassEvent {
+                pass,
+                outcome: PassOutcome::Reused,
+            });
+            return CaseDelta {
+                graph_fp: input_fp,
+                since: Some((input_fp, Vec::new())),
+            };
+        }
+    }
+    let shape_fp = hash_words(&[
+        stamp.design,
+        stamp.topo,
+        stamp.tech,
+        model_tag,
+        case_tag,
+        flow_fp,
+        qual_fp,
+    ]);
+
+    // Splice attempt. Sound because (a) parametric edits cannot change
+    // walk topology, stage membership, or the root set — those depend
+    // only on topology, flow, and qualification, all pinned by
+    // `shape_fp`; and (b) every edit dirties all terminals of the
+    // touched device (or the node whose cap changed), and every device
+    // or cap a root's delays read has a node in that root's extent — so
+    // `dirty ∩ extent` covers every stale root. `splice_roots` still
+    // verifies arc shape per root and falls back on any surprise.
+    'splice: {
+        let Some(d) = design else { break 'splice };
+        let Some(s) = slot_opt.as_mut() else {
+            break 'splice;
+        };
+        if s.shape_fp != shape_fp || !s.graph.diagnostics.is_empty() {
+            break 'splice;
+        }
+        let GraphSlot {
+            input_fp: slot_in,
+            built_revision,
+            graph,
+            roots,
+            splice,
+            ..
+        } = s;
+        let Some(idx) = splice.as_ref() else {
+            break 'splice;
+        };
+        let DirtySince::Nodes(dirty) = d.dirty_since(*built_revision) else {
+            break 'splice;
+        };
+        let mut affected: Vec<u32> = Vec::new();
+        for n in &dirty {
+            let i = n.index();
+            affected.extend_from_slice(
+                &idx.extent_roots[idx.extent_starts[i] as usize..idx.extent_starts[i + 1] as usize],
+            );
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        if affected.is_empty() {
+            // The edit landed entirely outside this graph's read set
+            // (e.g. a cap tweak on a node no stage's tree reaches):
+            // revalidate without touching an arc.
+            let prev_fp = *slot_in;
+            *slot_in = input_fp;
+            *built_revision = d.revision();
+            trace.push(PassEvent {
+                pass,
+                outcome: PassOutcome::Revalidated,
+            });
+            return CaseDelta {
+                graph_fp: input_fp,
+                since: Some((prev_fp, Vec::new())),
+            };
+        }
+        let builder = GraphBuilder {
+            netlist: nl,
+            flow,
+            qualification: qual,
+            case,
+            model: options.model,
+        };
+        let mut scratch = BuildScratch::new(nl.node_count());
+        if splice_roots(
+            graph,
+            &builder,
+            SOURCE_RESISTANCE,
+            roots,
+            &idx.spans,
+            &affected,
+            &mut scratch,
+        )
+        .is_ok()
+        {
+            // The splice overwrote exactly the affected roots' arc
+            // spans, so only the targets of those arcs can carry
+            // different in-arc words: that list is the certificate.
+            let mut dirty: Vec<u32> = Vec::new();
+            for &k in &affected {
+                let lo = idx.spans[k as usize] as usize;
+                let hi = idx.spans[k as usize + 1] as usize;
+                dirty.extend(graph.arcs[lo..hi].iter().map(|a| a.to.index() as u32));
+            }
+            dirty.sort_unstable();
+            dirty.dedup();
+            let prev_fp = *slot_in;
+            *slot_in = input_fp;
+            *built_revision = d.revision();
+            trace.push(PassEvent {
+                pass,
+                outcome: PassOutcome::Spliced {
+                    roots: affected.len(),
+                },
+            });
+            return CaseDelta {
+                graph_fp: input_fp,
+                since: Some((prev_fp, dirty)),
+            };
+        }
+        // Shape mismatch mid-splice: the graph is partially overwritten
+        // and must be discarded. Fall through to the full rebuild,
+        // which replaces the slot wholesale.
+    }
+
+    let slot = if record_spans {
+        let sb = build_with_spans(nl, flow, qual, case, options.model, SOURCE_RESISTANCE, jobs);
+        let splice = sb.spans.map(|spans| {
+            let builder = GraphBuilder {
+                netlist: nl,
+                flow,
+                qualification: qual,
+                case,
+                model: options.model,
+            };
+            let mut scratch = BuildScratch::new(nl.node_count());
+            let (extent_starts, extent_roots) = builder.extents(&sb.roots, &mut scratch);
+            SpliceIndex {
+                spans,
+                extent_starts,
+                extent_roots,
+            }
+        });
+        GraphSlot {
+            input_fp,
+            shape_fp,
+            built_revision: design.map_or(Revision(0), |d| d.revision()),
+            graph: sb.graph,
+            roots: sb.roots,
+            splice,
+        }
+    } else {
+        let graph =
+            TimingGraph::build_par(nl, flow, qual, case, options.model, SOURCE_RESISTANCE, jobs);
+        GraphSlot {
+            input_fp,
+            shape_fp,
+            built_revision: Revision(0),
+            graph,
+            roots: Vec::new(),
+            splice: None,
+        }
+    };
+    *slot_opt = Some(slot);
+    trace.push(PassEvent {
+        pass,
+        outcome: PassOutcome::Computed,
+    });
+    CaseDelta {
+        graph_fp: input_fp,
+        since: None,
+    }
+}
+
+fn case_slot(case: Option<u8>) -> usize {
+    match case {
+        None => 0,
+        Some(p) => 1 + (p as usize).min(1),
+    }
+}
+
+fn push(trace: &mut Vec<PassEvent>, pass: PassId, reran: bool) {
+    trace.push(PassEvent {
+        pass,
+        outcome: if reran {
+            PassOutcome::Computed
+        } else {
+            PassOutcome::Reused
+        },
+    });
+}
+
+/// Arrival passes are memoized per node inside the cache, not per pass:
+/// "reused" here means the whole case copied over (zero recomputed).
+fn arrivals_outcome(cache: &Option<&mut IncrementalCache>) -> PassOutcome {
+    match cache {
+        Some(c) => match c.last_stats().last() {
+            Some(s) if s.recomputed == 0 => PassOutcome::Reused,
+            _ => PassOutcome::Computed,
+        },
+        None => PassOutcome::Computed,
+    }
+}
+
+const SEED: u64 = 0xcbf29ce484222325;
+
+fn rules_fp(options: &AnalysisOptions) -> u64 {
+    format!("{:?}", options.rules)
+        .bytes()
+        .fold(SEED, |h, b| mix64(h, b as u64))
+}
+
+fn qual_content_fp(qual: &[Qualification]) -> u64 {
+    qual.iter().fold(SEED, |h, q| {
+        mix64(
+            h,
+            match q {
+                Qualification::Unclocked => 0,
+                Qualification::Phase(p) => 1 + *p as u64,
+                Qualification::Conflict => u64::MAX,
+            },
+        )
+    })
+}
+
+fn latch_content_fp(latches: &[Latch]) -> u64 {
+    latches.iter().fold(SEED, |h, l| {
+        let h = mix64(h, l.storage.index() as u64);
+        let h = mix64(h, l.pass.index() as u64);
+        let h = mix64(h, l.phase as u64);
+        mix64(h, l.data_from.index() as u64)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_gen::{chains, datapath};
+    use tv_netlist::Tech;
+
+    fn trace_outcome(pm: &PassManager, pass: PassId) -> Option<PassOutcome> {
+        pm.last_trace()
+            .iter()
+            .find(|e| e.pass == pass)
+            .map(|e| e.outcome)
+    }
+
+    #[test]
+    fn unchanged_reanalysis_reuses_every_pass() {
+        let c = chains::inverter_chain(Tech::nmos4um(), 6, 1);
+        let design = Design::new(c.netlist);
+        let mut pm = PassManager::new();
+        let opts = AnalysisOptions::default();
+        let r1 = pm.analyze(&design, &opts);
+        assert!(pm.last_trace().iter().all(|e| e.reran()), "cold run");
+        let r2 = pm.analyze(&design, &opts);
+        for e in pm.last_trace() {
+            assert_eq!(e.outcome, PassOutcome::Reused, "{:?}", e.pass);
+        }
+        let nl = design.netlist();
+        assert_eq!(
+            crate::fingerprint::report_fingerprint(nl, &r1),
+            crate::fingerprint::report_fingerprint(nl, &r2)
+        );
+    }
+
+    #[test]
+    fn cap_edit_skips_flow_and_splices_graph() {
+        let c = chains::inverter_chain(Tech::nmos4um(), 8, 1);
+        let mut design = Design::new(c.netlist);
+        let mut pm = PassManager::new();
+        let opts = AnalysisOptions::default();
+        pm.analyze(&design, &opts);
+        let flow_fp = pm.pass_fingerprint(PassId::Flow).unwrap();
+        let latch_fp = pm.pass_fingerprint(PassId::Latches).unwrap();
+        let mid = design.netlist().node_by_name("s3").unwrap();
+        design.set_node_cap(mid, 0.4).unwrap();
+        let r = pm.analyze(&design, &opts);
+        assert_eq!(trace_outcome(&pm, PassId::Flow), Some(PassOutcome::Reused));
+        assert_eq!(
+            trace_outcome(&pm, PassId::Qualify),
+            Some(PassOutcome::Reused)
+        );
+        assert_eq!(
+            trace_outcome(&pm, PassId::Latches),
+            Some(PassOutcome::Reused)
+        );
+        assert!(
+            matches!(
+                trace_outcome(&pm, PassId::Graph(None)),
+                Some(PassOutcome::Spliced { .. })
+            ),
+            "cap edit should splice, got {:?}",
+            trace_outcome(&pm, PassId::Graph(None))
+        );
+        assert_eq!(pm.pass_fingerprint(PassId::Flow), Some(flow_fp));
+        assert_eq!(pm.pass_fingerprint(PassId::Latches), Some(latch_fp));
+        // And the spliced result matches a cold analysis bit for bit.
+        let cold = crate::Analyzer::new(design.netlist()).run(&opts);
+        assert_eq!(
+            crate::fingerprint::report_fingerprint(design.netlist(), &r),
+            crate::fingerprint::report_fingerprint(design.netlist(), &cold)
+        );
+    }
+
+    #[test]
+    fn resize_edit_splices_without_relatching() {
+        let dp = datapath::datapath(Tech::nmos4um(), datapath::DatapathConfig::small());
+        let mut design = Design::new(dp.netlist);
+        let mut pm = PassManager::new();
+        let opts = AnalysisOptions::default();
+        pm.analyze(&design, &opts);
+        let latch_fp = pm.pass_fingerprint(PassId::Latches).unwrap();
+        let dev = design.netlist().devices().next().unwrap().id;
+        let (w, l) = {
+            let d = design.netlist().device(dev);
+            (d.width(), d.length())
+        };
+        design.resize_device(dev, w * 2.0, l).unwrap();
+        let r = pm.analyze(&design, &opts);
+        assert_eq!(
+            trace_outcome(&pm, PassId::Latches),
+            Some(PassOutcome::Reused)
+        );
+        assert_eq!(pm.pass_fingerprint(PassId::Latches), Some(latch_fp));
+        for case in [None, Some(0), Some(1)] {
+            assert!(
+                matches!(
+                    trace_outcome(&pm, PassId::Graph(case)),
+                    Some(PassOutcome::Spliced { .. } | PassOutcome::Revalidated)
+                ),
+                "graph {case:?}: {:?}",
+                trace_outcome(&pm, PassId::Graph(case))
+            );
+        }
+        let cold = crate::Analyzer::new(design.netlist()).run(&opts);
+        assert_eq!(
+            crate::fingerprint::report_fingerprint(design.netlist(), &r),
+            crate::fingerprint::report_fingerprint(design.netlist(), &cold)
+        );
+    }
+
+    #[test]
+    fn structural_edit_reruns_flow_and_rebuilds() {
+        let c = chains::inverter_chain(Tech::nmos4um(), 5, 1);
+        let mut design = Design::new(c.netlist);
+        let mut pm = PassManager::new();
+        let opts = AnalysisOptions::default();
+        pm.analyze(&design, &opts);
+        let (tap, _) = design.add_node("tap", tv_netlist::NodeRole::Internal);
+        let s2 = design.netlist().node_by_name("s2").unwrap();
+        design
+            .add_device(
+                "mtap",
+                tv_netlist::DeviceKind::Enhancement,
+                s2,
+                design.netlist().gnd(),
+                tap,
+                4.0,
+                2.0,
+            )
+            .unwrap();
+        let r = pm.analyze(&design, &opts);
+        assert_eq!(
+            trace_outcome(&pm, PassId::Flow),
+            Some(PassOutcome::Computed)
+        );
+        assert_eq!(
+            trace_outcome(&pm, PassId::Graph(None)),
+            Some(PassOutcome::Computed)
+        );
+        let cold = crate::Analyzer::new(design.netlist()).run(&opts);
+        assert_eq!(
+            crate::fingerprint::report_fingerprint(design.netlist(), &r),
+            crate::fingerprint::report_fingerprint(design.netlist(), &cold)
+        );
+    }
+
+    #[test]
+    fn pass_table_covers_every_pass_name() {
+        let names: Vec<&str> = PASS_TABLE.iter().map(|p| p.name).collect();
+        for pass in [
+            PassId::Flow,
+            PassId::Qualify,
+            PassId::Latches,
+            PassId::Graph(None),
+            PassId::Arrivals(Some(1)),
+            PassId::Checks,
+        ] {
+            let family = pass.name().split('.').next().unwrap();
+            assert!(names.contains(&family), "{family} missing from PASS_TABLE");
+        }
+    }
+}

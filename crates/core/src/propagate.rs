@@ -226,6 +226,35 @@ impl CachedCase {
         }
     }
 
+    /// Overwrites the affected rows of an existing snapshot with a fresh
+    /// result, leaving clean rows untouched — by the reuse invariant
+    /// they are bit-identical to what the snapshot already holds. Saves
+    /// the full O(nodes) re-snapshot on warm runs.
+    pub(crate) fn update_from_arrivals(
+        &mut self,
+        graph: &TimingGraph,
+        arr: &Arrivals,
+        affected: &[bool],
+    ) {
+        let ordinal = |node: usize, p: Option<Pred>| {
+            p.map(|p| {
+                let pos = graph
+                    .in_arcs_of_index(node)
+                    .binary_search(&p.arc)
+                    .expect("pred arc is an in-arc of its target");
+                (pos as u32, p.from_edge)
+            })
+        };
+        for i in (0..arr.rise.len()).filter(|&i| affected[i]) {
+            self.rise[i] = arr.rise[i];
+            self.fall[i] = arr.fall[i];
+            self.trans_rise[i] = arr.trans_rise[i];
+            self.trans_fall[i] = arr.trans_fall[i];
+            self.pred_rise[i] = ordinal(i, arr.pred_rise[i]);
+            self.pred_fall[i] = ordinal(i, arr.pred_fall[i]);
+        }
+    }
+
     /// Rehydrates one node's cached result against the current graph.
     fn slot_for(&self, graph: &TimingGraph, node: usize) -> Slot {
         let pred = |p: Option<(u32, Edge)>| {
@@ -352,7 +381,11 @@ fn compute_node(ctx: Ctx<'_>, done: &[Slot], node: u32) -> (Slot, u32) {
     let ni = node as usize;
     if let Some(r) = ctx.reuse {
         if !r.affected[ni] {
-            return (r.cached.slot_for(ctx.graph, ni), 0);
+            // Report the relax count a recomputation would have charged
+            // (one per in-arc, unconditionally) so `PhaseResult::relaxations`
+            // stays bit-identical between warm and cold runs.
+            let would_relax = ctx.graph.in_arcs_of_index(ni).len() as u32;
+            return (r.cached.slot_for(ctx.graph, ni), would_relax);
         }
     }
     let mut s = Slot::init(ctx.is_source[ni]);

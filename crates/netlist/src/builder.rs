@@ -446,69 +446,22 @@ impl NetlistBuilder {
         if let Some(e) = self.pending_error {
             return Err(e);
         }
-        let n = self.nodes.len();
-
-        // CSR adjacency in two counting passes: per-node degrees first,
-        // prefix sums into offsets, then a cursor pass drops each device
-        // into its slot. Device order within a node matches the old
-        // nested-Vec push order (ascending device id) by construction.
-        let mut gate_starts = vec![0u32; n + 1];
-        let mut channel_starts = vec![0u32; n + 1];
-        for d in &self.devices {
-            gate_starts[d.gate().index() + 1] += 1;
-            channel_starts[d.source().index() + 1] += 1;
-            channel_starts[d.drain().index() + 1] += 1;
-        }
-        for i in 0..n {
-            gate_starts[i + 1] += gate_starts[i];
-            channel_starts[i + 1] += channel_starts[i];
-        }
-        let mut gate_devs = vec![DeviceId(0); gate_starts[n] as usize];
-        let mut channel_devs = vec![DeviceId(0); channel_starts[n] as usize];
-        let mut gate_cursor = gate_starts.clone();
-        let mut channel_cursor = channel_starts.clone();
-        for (i, d) in self.devices.iter().enumerate() {
-            let id = DeviceId(i as u32);
-            let g = &mut gate_cursor[d.gate().index()];
-            gate_devs[*g as usize] = id;
-            *g += 1;
-            let s = &mut channel_cursor[d.source().index()];
-            channel_devs[*s as usize] = id;
-            *s += 1;
-            let t = &mut channel_cursor[d.drain().index()];
-            channel_devs[*t as usize] = id;
-            *t += 1;
-        }
-
-        let mut inputs = Vec::new();
-        let mut outputs = Vec::new();
-        let mut clocks = Vec::new();
-        for (i, node) in self.nodes.iter().enumerate() {
-            let id = NodeId(i as u32);
-            match node.role() {
-                NodeRole::Input => inputs.push(id),
-                NodeRole::Output => outputs.push(id),
-                NodeRole::Clock(p) => clocks.push((id, p)),
-                _ => {}
-            }
-        }
-
         let mut nl = Netlist {
             tech: self.tech,
             nodes: self.nodes,
             devices: self.devices,
             names: self.names,
             node_of_symbol: self.node_of_symbol,
-            gate_starts,
-            gate_devs,
-            channel_starts,
-            channel_devs,
+            gate_starts: Vec::new(),
+            gate_devs: Vec::new(),
+            channel_starts: Vec::new(),
+            channel_devs: Vec::new(),
             total_cap: Vec::new(),
-            inputs,
-            outputs,
-            clocks,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            clocks: Vec::new(),
         };
-        nl.recompute_caps();
+        nl.rebuild_indexes();
         Ok(nl)
     }
 }

@@ -48,6 +48,7 @@
 
 mod builder;
 mod cap;
+mod design;
 mod device;
 pub mod diag;
 mod error;
@@ -62,6 +63,7 @@ pub mod validate;
 
 pub use builder::NetlistBuilder;
 pub use cap::CapModel;
+pub use design::{Design, DesignStamp, DirtySince, EditClass, EditReceipt, Revision};
 pub use device::{Device, DeviceKind, Terminal};
 pub use diag::{codes, Diagnostic, Diagnostics, Severity};
 pub use error::NetlistError;

@@ -2,7 +2,7 @@
 
 use crate::cap::CapModel;
 use crate::intern::Interner;
-use crate::{Device, DeviceId, Node, NodeId, Tech};
+use crate::{Device, DeviceId, Node, NodeId, NodeRole, Tech};
 
 /// A device together with its id, as yielded by [`Netlist::devices`].
 #[derive(Debug, Clone, Copy)]
@@ -208,12 +208,81 @@ impl Netlist {
         &self.clocks
     }
 
+    /// Looks a device up by name. Linear scan — device names are not
+    /// indexed (they are only needed for reports and interactive edits),
+    /// so callers on a hot path should hold on to the [`DeviceId`].
+    pub fn device_by_name(&self, name: &str) -> Option<DeviceId> {
+        self.devices
+            .iter()
+            .position(|d| d.name() == name)
+            .map(|i| DeviceId(i as u32))
+    }
+
     /// Recomputes the per-node total capacitance table. Called by the
     /// builder on `finish`; exposed for callers that mutate capacitance via
     /// a rebuilt netlist.
     pub(crate) fn recompute_caps(&mut self) {
         let model = CapModel::new(&self.tech);
         self.total_cap = model.node_caps(&self.nodes, &self.devices);
+    }
+
+    /// Rebuilds every derived index — the gate/channel CSR adjacency, the
+    /// role vectors, and the capacitance table — from `nodes` and
+    /// `devices`. The builder's `finish` and the [`crate::Design`] edit
+    /// API both funnel through here so a structurally edited netlist is
+    /// indistinguishable from a freshly built one.
+    pub(crate) fn rebuild_indexes(&mut self) {
+        let n = self.nodes.len();
+
+        // CSR adjacency in two counting passes: per-node degrees first,
+        // prefix sums into offsets, then a cursor pass drops each device
+        // into its slot. Device order within a node matches the old
+        // nested-Vec push order (ascending device id) by construction.
+        let mut gate_starts = vec![0u32; n + 1];
+        let mut channel_starts = vec![0u32; n + 1];
+        for d in &self.devices {
+            gate_starts[d.gate().index() + 1] += 1;
+            channel_starts[d.source().index() + 1] += 1;
+            channel_starts[d.drain().index() + 1] += 1;
+        }
+        for i in 0..n {
+            gate_starts[i + 1] += gate_starts[i];
+            channel_starts[i + 1] += channel_starts[i];
+        }
+        let mut gate_devs = vec![DeviceId(0); gate_starts[n] as usize];
+        let mut channel_devs = vec![DeviceId(0); channel_starts[n] as usize];
+        let mut gate_cursor = gate_starts.clone();
+        let mut channel_cursor = channel_starts.clone();
+        for (i, d) in self.devices.iter().enumerate() {
+            let id = DeviceId(i as u32);
+            let g = &mut gate_cursor[d.gate().index()];
+            gate_devs[*g as usize] = id;
+            *g += 1;
+            let s = &mut channel_cursor[d.source().index()];
+            channel_devs[*s as usize] = id;
+            *s += 1;
+            let t = &mut channel_cursor[d.drain().index()];
+            channel_devs[*t as usize] = id;
+            *t += 1;
+        }
+        self.gate_starts = gate_starts;
+        self.gate_devs = gate_devs;
+        self.channel_starts = channel_starts;
+        self.channel_devs = channel_devs;
+
+        self.inputs.clear();
+        self.outputs.clear();
+        self.clocks.clear();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            match node.role() {
+                NodeRole::Input => self.inputs.push(id),
+                NodeRole::Output => self.outputs.push(id),
+                NodeRole::Clock(p) => self.clocks.push((id, p)),
+                _ => {}
+            }
+        }
+        self.recompute_caps();
     }
 
     /// Reopens the netlist as a builder for engineering-change-order

@@ -20,13 +20,20 @@ cargo fmt --all --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== bench smoke: perf trajectory vs BENCH_3.json =="
+echo "== bench smoke: perf trajectory vs BENCH_4.json =="
 # Fixed smoke suite over the acceptance benchmarks, gated at 2x against
 # the committed baseline (current-run min vs baseline median, so noisy
 # hosts can only produce false passes). Regenerate the baseline after an
 # intentional perf change with:
-#   cargo run --release --offline -p tv-bench --bin perf_trajectory -- --out BENCH_3.json
-cargo run --release --offline -p tv-bench --bin perf_trajectory -- --check BENCH_3.json --threshold 2.0
+#   cargo run --release --offline -p tv-bench --bin perf_trajectory -- --out BENCH_4.json
+cargo run --release --offline -p tv-bench --bin perf_trajectory -- --check BENCH_4.json --threshold 2.0
+
+echo "== batch smoke: tv batch vs golden transcript =="
+# The committed session script must replay to its committed transcript
+# byte for byte: pins the session protocol, the report fingerprints, and
+# the pass-pipeline invalidation trace in one diff.
+cargo run --release --offline --bin tv -- batch tests/data/session_smoke.txt \
+  | diff -u tests/data/session_smoke.golden -
 
 echo "== fuzz smoke: tv fuzz --iters 500 =="
 # Deterministic mutation fuzzing of the ingest pipeline: zero panics,

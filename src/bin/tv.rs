@@ -13,8 +13,17 @@
 //! tv query   <file.sim> <from> <to># point-to-point worst path
 //! tv spice   <file.sim>            # convert to a SPICE deck on stdout
 //! tv demo    [--jobs N]            # analyze a built-in MIPS-class datapath
+//! tv session                       # long-lived REPL: commands on stdin, JSON replies
+//! tv batch   <script>              # replay a session script deterministically
 //! tv fuzz    [--iters N] [--seed S]# deterministic ingest fuzzing
 //! ```
+//!
+//! `session` holds one design resident behind the pass pipeline: edits
+//! (`edit resize|setcap|adddev|rmdev|retech ...`) bump its revision, and
+//! each `analyze` re-runs only the passes whose inputs changed, replying
+//! with the pass trace and the report's golden fingerprint. `batch` runs
+//! the same loop over a script file, so a committed script plus its
+//! transcript pin the protocol bit-for-bit (see `nmos_tv::session`).
 //!
 //! Malformed `.sim` input no longer stops at the first bad line: the
 //! recovering parser reports *every* problem (`--max-errors` caps the
@@ -70,6 +79,8 @@ const USAGE: &str = "usage:
   tv query   <file.sim> <from-node> <to-node>
   tv spice   <file.sim>
   tv demo    [--jobs N]
+  tv session [engine flags]          commands on stdin, one JSON reply per line
+  tv batch   <script> [engine flags] replay a session script from a file
   tv fuzz    [--iters N] [--seed S]
 
 diagnostics (all netlist-reading subcommands):
@@ -226,6 +237,41 @@ fn run(args: &[String]) -> Result<u8, TvError> {
             print!("{}", report.render(&dp.netlist));
             Ok(EXIT_CLEAN)
         }
+        "session" => {
+            let cli = parse_cli(&args[1..])?;
+            let stdin = std::io::stdin();
+            let mut out = std::io::stdout();
+            let code =
+                nmos_tv::session::run_session(stdin.lock(), &mut out, cli.options, cli.max_errors)
+                    .map_err(|e| TvError::Io {
+                        path: "<stdin>".into(),
+                        source: e,
+                    })?;
+            Ok(code)
+        }
+        "batch" => {
+            let (flags, rest) = split_flags(&args[1..]);
+            let cli = parse_cli(&flags)?;
+            let [script] = rest.as_slice() else {
+                return Err(TvError::Usage("batch needs <script>".into()));
+            };
+            let text = std::fs::read_to_string(script).map_err(|e| TvError::Io {
+                path: script.clone(),
+                source: e,
+            })?;
+            let mut out = std::io::stdout();
+            let code = nmos_tv::session::run_session(
+                std::io::Cursor::new(text),
+                &mut out,
+                cli.options,
+                cli.max_errors,
+            )
+            .map_err(|e| TvError::Io {
+                path: script.clone(),
+                source: e,
+            })?;
+            Ok(code)
+        }
         "fuzz" => {
             let (iters, seed) = parse_fuzz(&args[1..])?;
             let report = nmos_tv::fuzz::run(iters, seed);
@@ -315,98 +361,86 @@ fn takes_value(flag: &str) -> bool {
     )
 }
 
+/// The one shared option parser: walks a `--flag [value]` list with
+/// uniform "needs a value" / "bad value" errors. Every subcommand's flag
+/// set — the engine flags, the fuzzer's, and the session grammar on top
+/// of them — goes through this walker instead of hand-rolling its own
+/// `it.next()` boilerplate.
+struct Flags<'a> {
+    it: std::slice::Iter<'a, String>,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Flags { it: args.iter() }
+    }
+
+    /// The next flag token, if any.
+    fn next_flag(&mut self) -> Option<&'a str> {
+        self.it.next().map(|s| s.as_str())
+    }
+
+    /// The value operand of `flag`, or a usage error naming it.
+    fn value(&mut self, flag: &str) -> Result<&'a str, TvError> {
+        self.it
+            .next()
+            .map(|s| s.as_str())
+            .ok_or_else(|| TvError::Usage(format!("{flag} needs a value")))
+    }
+
+    /// The value operand of `flag`, parsed; a parse failure reports
+    /// `bad <what> <value>`.
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str, what: &str) -> Result<T, TvError> {
+        let v = self.value(flag)?;
+        v.parse()
+            .map_err(|_| TvError::Usage(format!("bad {what} {v:?}")))
+    }
+}
+
 fn parse_cli(args: &[String]) -> Result<Cli, TvError> {
-    let usage = |msg: &str| TvError::Usage(msg.into());
     let mut cli = Cli::default();
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        match flag.as_str() {
+    let mut fl = Flags::new(args);
+    while let Some(flag) = fl.next_flag() {
+        match flag {
             "--no-case" => cli.options.case_analysis = false,
             "--check" => cli.check = true,
             "--incremental" => cli.options.incremental = true,
             "--cycle" => {
-                let v = it.next().ok_or_else(|| usage("--cycle needs a value"))?;
-                let cycle: f64 = v
-                    .parse()
-                    .map_err(|_| TvError::Usage(format!("bad cycle {v:?}")))?;
+                let cycle: f64 = fl.parsed(flag, "cycle")?;
                 cli.options.clock = TwoPhaseClock::symmetric(cycle, cycle * 0.02);
             }
             "--model" => {
-                let v = it.next().ok_or_else(|| usage("--model needs a value"))?;
-                cli.options.model = match v.as_str() {
+                cli.options.model = match fl.value(flag)? {
                     "lumped" => DelayModel::Lumped,
                     "elmore" => DelayModel::Elmore,
                     "upper" => DelayModel::UpperBound,
                     other => return Err(TvError::Usage(format!("unknown model {other:?}"))),
                 };
             }
-            "--top" => {
-                let v = it.next().ok_or_else(|| usage("--top needs a value"))?;
-                cli.options.top_k = v
-                    .parse()
-                    .map_err(|_| TvError::Usage(format!("bad top-k {v:?}")))?;
-            }
-            "--jobs" => {
-                let v = it.next().ok_or_else(|| usage("--jobs needs a value"))?;
-                cli.options.jobs = v
-                    .parse()
-                    .map_err(|_| TvError::Usage(format!("bad job count {v:?}")))?;
-            }
-            "--max-errors" => {
-                let v = it
-                    .next()
-                    .ok_or_else(|| usage("--max-errors needs a value"))?;
-                cli.max_errors = v
-                    .parse()
-                    .map_err(|_| TvError::Usage(format!("bad error cap {v:?}")))?;
-            }
+            "--top" => cli.options.top_k = fl.parsed(flag, "top-k")?,
+            "--jobs" => cli.options.jobs = fl.parsed(flag, "job count")?,
+            "--max-errors" => cli.max_errors = fl.parsed(flag, "error cap")?,
             "--diag-format" => {
-                let v = it
-                    .next()
-                    .ok_or_else(|| usage("--diag-format needs a value"))?;
-                cli.json = match v.as_str() {
+                cli.json = match fl.value(flag)? {
                     "text" => false,
                     "json" => true,
                     other => return Err(TvError::Usage(format!("unknown diag format {other:?}"))),
                 };
             }
             "--relax-budget" => {
-                let v = it
-                    .next()
-                    .ok_or_else(|| usage("--relax-budget needs a value"))?;
-                let n: usize = v
-                    .parse()
-                    .map_err(|_| TvError::Usage(format!("bad relaxation budget {v:?}")))?;
-                cli.options.relax_budget = Some(n);
+                cli.options.relax_budget = Some(fl.parsed(flag, "relaxation budget")?)
             }
             "--deadline" => {
-                let v = it.next().ok_or_else(|| usage("--deadline needs a value"))?;
-                let secs: f64 = v
-                    .parse()
-                    .map_err(|_| TvError::Usage(format!("bad deadline {v:?}")))?;
+                let secs: f64 = fl.parsed(flag, "deadline")?;
                 if !secs.is_finite() || secs <= 0.0 {
                     return Err(TvError::Usage(format!(
-                        "deadline must be positive, got {v:?}"
+                        "deadline must be positive, got {secs:?}"
                     )));
                 }
                 cli.options.deadline = Some(Duration::from_secs_f64(secs));
             }
-            "--max-nodes" => {
-                let v = it
-                    .next()
-                    .ok_or_else(|| usage("--max-nodes needs a value"))?;
-                let n: usize = v
-                    .parse()
-                    .map_err(|_| TvError::Usage(format!("bad node limit {v:?}")))?;
-                cli.options.max_nodes = Some(n);
-            }
-            "--max-arcs" => {
-                let v = it.next().ok_or_else(|| usage("--max-arcs needs a value"))?;
-                let n: usize = v
-                    .parse()
-                    .map_err(|_| TvError::Usage(format!("bad arc limit {v:?}")))?;
-                cli.options.max_arcs = Some(n);
-            }
+            "--max-nodes" => cli.options.max_nodes = Some(fl.parsed(flag, "node limit")?),
+            "--max-arcs" => cli.options.max_arcs = Some(fl.parsed(flag, "arc limit")?),
             other => return Err(TvError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -414,24 +448,13 @@ fn parse_cli(args: &[String]) -> Result<Cli, TvError> {
 }
 
 fn parse_fuzz(args: &[String]) -> Result<(usize, u64), TvError> {
-    let usage = |msg: &str| TvError::Usage(msg.into());
     let mut iters = 500usize;
     let mut seed = 0x7001u64;
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        match flag.as_str() {
-            "--iters" => {
-                let v = it.next().ok_or_else(|| usage("--iters needs a value"))?;
-                iters = v
-                    .parse()
-                    .map_err(|_| TvError::Usage(format!("bad iteration count {v:?}")))?;
-            }
-            "--seed" => {
-                let v = it.next().ok_or_else(|| usage("--seed needs a value"))?;
-                seed = v
-                    .parse()
-                    .map_err(|_| TvError::Usage(format!("bad seed {v:?}")))?;
-            }
+    let mut fl = Flags::new(args);
+    while let Some(flag) = fl.next_flag() {
+        match flag {
+            "--iters" => iters = fl.parsed(flag, "iteration count")?,
+            "--seed" => seed = fl.parsed(flag, "seed")?,
             other => return Err(TvError::Usage(format!("unknown flag {other:?}"))),
         }
     }

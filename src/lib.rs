@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub mod fuzz;
+pub mod session;
 
 pub use tv_clocks as clocks;
 pub use tv_core as core;

@@ -1,0 +1,442 @@
+//! The long-lived session protocol behind `tv session` and `tv batch`.
+//!
+//! One resident [`Design`] plus a [`PassManager`] serve a stream of
+//! newline-delimited commands; every command gets exactly one JSON reply
+//! line. The same loop drives the interactive REPL (`tv session`, stdin
+//! to stdout) and deterministic replay (`tv batch <script>`), so a
+//! committed script plus its golden transcript pin the whole protocol —
+//! replies carry revisions, pass traces, and report fingerprints, never
+//! wall-clock times.
+//!
+//! # Command grammar
+//!
+//! ```text
+//! load <file.sim>                      # parse a netlist into the session
+//! demo [small|mips32]                  # load a generated datapath
+//! edit resize <dev> <w> <l>            # device W/L, microns
+//! edit setcap <node> <pf>              # explicit node capacitance
+//! edit addnode <name> <in|out|int>     # new node with a role
+//! edit adddev <name> <e|d> <gate> <source> <drain> <w> <l>
+//! edit rmdev <dev>                     # remove a device
+//! edit retech <nmos4um|nmos2um>        # swap the technology file
+//! analyze                              # run the pass pipeline
+//! paths <from> <to>                    # point-to-point worst path
+//! flow                                 # flow resolution statistics
+//! revision                             # current design revision
+//! quit                                 # end the session
+//! ```
+//!
+//! Blank lines and lines starting with `#` are ignored (batch scripts
+//! use them for comments). An unknown or failing command replies
+//! `{"ok":false,...}` and the session continues; the exit code of the
+//! whole run is 1 if any command failed, 0 otherwise.
+//!
+//! The `analyze` reply's `fingerprint` is [`report_fingerprint`] — the
+//! same golden FNV the equivalence suite pins — and `passes` lists every
+//! pass with how it was satisfied (`computed`, `reused`, `revalidated`,
+//! or `spliced` with a root count), so a transcript documents both the
+//! result bits and how little work the pipeline did to get them.
+
+use std::io::{BufRead, Write};
+
+use tv_core::{
+    flow_fingerprint, report_fingerprint, AnalysisOptions, Analyzer, PassManager, PassOutcome,
+};
+use tv_flow::analyze as flow_analyze;
+use tv_gen::datapath::{datapath, DatapathConfig};
+use tv_netlist::{sim_format, Design, DeviceKind, Diagnostics, EditClass, NodeRole, Tech};
+
+/// One resident design and the demand-driven pipeline serving it.
+pub struct Session {
+    design: Option<Design>,
+    passes: PassManager,
+    options: AnalysisOptions,
+    max_errors: usize,
+}
+
+/// The reply to one command line.
+enum Reply {
+    /// Nothing to say (blank line or comment).
+    Silent,
+    /// One JSON line; `ok` mirrors the `"ok"` field.
+    Line { json: String, ok: bool },
+    /// A successful `quit`.
+    Quit(String),
+}
+
+impl Session {
+    /// A fresh session with no design loaded. `options` applies to every
+    /// `analyze`; `max_errors` caps reported parse errors per `load`.
+    pub fn new(options: AnalysisOptions, max_errors: usize) -> Self {
+        Session {
+            design: None,
+            passes: PassManager::new(),
+            options,
+            max_errors,
+        }
+    }
+
+    /// The loaded design, if any (tests inspect it).
+    pub fn design(&self) -> Option<&Design> {
+        self.design.as_ref()
+    }
+
+    /// The pipeline serving this session (tests inspect pass state).
+    pub fn passes(&self) -> &PassManager {
+        &self.passes
+    }
+
+    /// Evaluates one command line and returns its JSON reply, or `None`
+    /// for blank/comment lines. `quit` returns its reply via the run
+    /// loop; calling `eval` again afterwards is allowed.
+    pub fn eval(&mut self, line: &str) -> Option<(String, bool)> {
+        match self.dispatch(line) {
+            Reply::Silent => None,
+            Reply::Line { json, ok } => Some((json, ok)),
+            Reply::Quit(json) => Some((json, true)),
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) -> Reply {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Reply::Silent;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let result = match tokens[0] {
+            "load" => self.cmd_load(&tokens[1..]),
+            "demo" => self.cmd_demo(&tokens[1..]),
+            "edit" => self.cmd_edit(&tokens[1..]),
+            "analyze" => self.cmd_analyze(&tokens[1..]),
+            "paths" => self.cmd_paths(&tokens[1..]),
+            "flow" => self.cmd_flow(&tokens[1..]),
+            "revision" => self.cmd_revision(&tokens[1..]),
+            "quit" => return Reply::Quit(r#"{"ok":true,"cmd":"quit"}"#.into()),
+            other => Err(format!("unknown command {other:?}")),
+        };
+        match result {
+            Ok(json) => Reply::Line { json, ok: true },
+            Err(msg) => Reply::Line {
+                json: format!(r#"{{"ok":false,"error":"{}"}}"#, json_escape(&msg)),
+                ok: false,
+            },
+        }
+    }
+
+    fn cmd_load(&mut self, args: &[&str]) -> Result<String, String> {
+        let [path] = args else {
+            return Err("load needs <file.sim>".into());
+        };
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut diags = Diagnostics::with_max_errors(self.max_errors);
+        let netlist = sim_format::parse_recovering(&text, Tech::nmos4um(), &mut diags)
+            .map_err(|e| format!("unrecoverable parse failure in {path}: {e}"))?;
+        let errors = diags.error_count();
+        self.install(Design::new(netlist));
+        let d = self.design.as_ref().expect("just installed");
+        Ok(format!(
+            r#"{{"ok":true,"cmd":"load","path":"{}","nodes":{},"devices":{},"parse_errors":{},"revision":{}}}"#,
+            json_escape(path),
+            d.netlist().node_count(),
+            d.netlist().device_count(),
+            errors,
+            d.revision().0
+        ))
+    }
+
+    fn cmd_demo(&mut self, args: &[&str]) -> Result<String, String> {
+        let config = match args {
+            [] | ["mips32"] => DatapathConfig::mips32(),
+            ["small"] => DatapathConfig::small(),
+            [other, ..] => return Err(format!("unknown demo config {other:?}")),
+        };
+        let which = if args == ["small"] { "small" } else { "mips32" };
+        let dp = datapath(Tech::nmos4um(), config);
+        self.install(Design::new(dp.netlist));
+        let d = self.design.as_ref().expect("just installed");
+        Ok(format!(
+            r#"{{"ok":true,"cmd":"demo","config":"{}","nodes":{},"devices":{},"revision":{}}}"#,
+            which,
+            d.netlist().node_count(),
+            d.netlist().device_count(),
+            d.revision().0
+        ))
+    }
+
+    /// Installs a new design, dropping all pass state from the previous
+    /// one (a fresh manager: slot fingerprints must not carry across
+    /// designs).
+    fn install(&mut self, design: Design) {
+        self.design = Some(design);
+        self.passes = PassManager::new();
+    }
+
+    fn cmd_edit(&mut self, args: &[&str]) -> Result<String, String> {
+        let design = self.design.as_mut().ok_or("no design loaded")?;
+        let (kind, receipt) = match args {
+            ["resize", dev, w, l] => {
+                let id = device_named(design, dev)?;
+                let (w, l) = (num(w, "width")?, num(l, "length")?);
+                (
+                    "resize",
+                    design.resize_device(id, w, l).map_err(|e| e.to_string())?,
+                )
+            }
+            ["setcap", node, pf] => {
+                let id = node_named(design, node)?;
+                let pf = num(pf, "capacitance")?;
+                (
+                    "setcap",
+                    design.set_node_cap(id, pf).map_err(|e| e.to_string())?,
+                )
+            }
+            ["addnode", name, role] => {
+                let role = match *role {
+                    "in" => NodeRole::Input,
+                    "out" => NodeRole::Output,
+                    "int" => NodeRole::Internal,
+                    other => return Err(format!("unknown node role {other:?} (in|out|int)")),
+                };
+                ("addnode", design.add_node(name, role).1)
+            }
+            ["adddev", name, kind, gate, source, drain, w, l] => {
+                let kind = match *kind {
+                    "e" => DeviceKind::Enhancement,
+                    "d" => DeviceKind::Depletion,
+                    other => return Err(format!("unknown device kind {other:?} (e|d)")),
+                };
+                let (g, s, dr) = (
+                    node_named(design, gate)?,
+                    node_named(design, source)?,
+                    node_named(design, drain)?,
+                );
+                let (w, l) = (num(w, "width")?, num(l, "length")?);
+                (
+                    "adddev",
+                    design
+                        .add_device(name, kind, g, s, dr, w, l)
+                        .map_err(|e| e.to_string())?
+                        .1,
+                )
+            }
+            ["rmdev", dev] => {
+                let id = device_named(design, dev)?;
+                ("rmdev", design.remove_device(id))
+            }
+            ["retech", tech] => {
+                let tech = match *tech {
+                    "nmos4um" => Tech::nmos4um(),
+                    "nmos2um" => Tech::nmos2um(),
+                    other => return Err(format!("unknown tech {other:?} (nmos4um|nmos2um)")),
+                };
+                ("retech", design.retech(tech))
+            }
+            _ => {
+                return Err(
+                    "edit needs resize|setcap|addnode|adddev|rmdev|retech with its operands".into(),
+                )
+            }
+        };
+        let class = match receipt.class {
+            EditClass::Parametric => "parametric",
+            EditClass::Structural => "structural",
+            EditClass::Tech => "tech",
+        };
+        Ok(format!(
+            r#"{{"ok":true,"cmd":"edit","kind":"{}","class":"{}","dirty_nodes":{},"revision":{}}}"#,
+            kind,
+            class,
+            receipt.dirty.len(),
+            receipt.revision.0
+        ))
+    }
+
+    fn cmd_analyze(&mut self, args: &[&str]) -> Result<String, String> {
+        if !args.is_empty() {
+            return Err("analyze takes no operands".into());
+        }
+        let design = self.design.as_ref().ok_or("no design loaded")?;
+        let report = self
+            .passes
+            .try_analyze(design, &self.options)
+            .map_err(|e| e.to_string())?;
+        let fp = report_fingerprint(design.netlist(), &report);
+        let mut passes = String::new();
+        for (i, ev) in self.passes.last_trace().iter().enumerate() {
+            if i > 0 {
+                passes.push(',');
+            }
+            let outcome = match ev.outcome {
+                PassOutcome::Reused => r#""reused""#.to_string(),
+                PassOutcome::Computed => r#""computed""#.to_string(),
+                PassOutcome::Revalidated => r#""revalidated""#.to_string(),
+                PassOutcome::Spliced { roots } => format!(r#""spliced","roots":{roots}"#),
+            };
+            passes.push_str(&format!(
+                r#"{{"pass":"{}","outcome":{}}}"#,
+                ev.pass.name(),
+                outcome
+            ));
+        }
+        Ok(format!(
+            r#"{{"ok":true,"cmd":"analyze","revision":{},"fingerprint":"{:#018x}","complete":{},"latches":{},"checks":{},"min_cycle":{},"critical":{},"passes":[{}]}}"#,
+            design.revision().0,
+            fp,
+            report.is_complete(),
+            report.latches.len(),
+            report.checks.len(),
+            json_opt_f64(report.min_cycle),
+            json_opt_f64(report.combinational.critical_arrival()),
+            passes
+        ))
+    }
+
+    fn cmd_paths(&mut self, args: &[&str]) -> Result<String, String> {
+        let [from, to] = args else {
+            return Err("paths needs <from-node> <to-node>".into());
+        };
+        let design = self.design.as_ref().ok_or("no design loaded")?;
+        let f = node_named(design, from)?;
+        let t = node_named(design, to)?;
+        let nl = design.netlist();
+        match Analyzer::new(nl).path_query(f, t, &self.options) {
+            Some(path) => {
+                let mut steps = String::new();
+                for (i, s) in path.steps.iter().enumerate() {
+                    if i > 0 {
+                        steps.push(',');
+                    }
+                    steps.push_str(&format!(
+                        r#"{{"node":"{}","edge":"{}","at":{}}}"#,
+                        json_escape(nl.node_name(s.node)),
+                        match s.edge {
+                            tv_core::propagate::Edge::Rise => "rise",
+                            tv_core::propagate::Edge::Fall => "fall",
+                        },
+                        json_f64(s.at)
+                    ));
+                }
+                Ok(format!(
+                    r#"{{"ok":true,"cmd":"paths","from":"{}","to":"{}","arrival":{},"steps":[{}]}}"#,
+                    json_escape(from),
+                    json_escape(to),
+                    json_f64(path.arrival()),
+                    steps
+                ))
+            }
+            None => Err(format!("{to} is not reachable from {from}")),
+        }
+    }
+
+    fn cmd_flow(&mut self, args: &[&str]) -> Result<String, String> {
+        if !args.is_empty() {
+            return Err("flow takes no operands".into());
+        }
+        let design = self.design.as_ref().ok_or("no design loaded")?;
+        let nl = design.netlist();
+        let flow = flow_analyze(nl, &self.options.rules);
+        let r = flow.report(nl);
+        Ok(format!(
+            r#"{{"ok":true,"cmd":"flow","devices":{},"pass_devices":{},"oriented":{},"bidirectional":{},"unresolved":{},"stages":{},"fingerprint":"{:#018x}"}}"#,
+            r.devices,
+            r.pass_devices,
+            r.oriented,
+            r.bidirectional,
+            r.unresolved,
+            r.stages,
+            flow_fingerprint(nl, &flow)
+        ))
+    }
+
+    fn cmd_revision(&mut self, args: &[&str]) -> Result<String, String> {
+        if !args.is_empty() {
+            return Err("revision takes no operands".into());
+        }
+        let design = self.design.as_ref().ok_or("no design loaded")?;
+        Ok(format!(
+            r#"{{"ok":true,"cmd":"revision","revision":{}}}"#,
+            design.revision().0
+        ))
+    }
+}
+
+fn node_named(design: &Design, name: &str) -> Result<tv_netlist::NodeId, String> {
+    design
+        .netlist()
+        .node_by_name(name)
+        .ok_or_else(|| format!("unknown node {name:?}"))
+}
+
+fn device_named(design: &Design, name: &str) -> Result<tv_netlist::DeviceId, String> {
+    design
+        .netlist()
+        .device_by_name(name)
+        .ok_or_else(|| format!("unknown device {name:?}"))
+}
+
+fn num(s: &str, what: &str) -> Result<f64, String> {
+    let v: f64 = s.parse().map_err(|_| format!("bad {what} {s:?}"))?;
+    if !v.is_finite() {
+        return Err(format!("bad {what} {s:?}"));
+    }
+    Ok(v)
+}
+
+/// Finite floats render with Rust's shortest round-trip `Display`;
+/// that representation is platform-independent, so golden transcripts
+/// are stable.
+fn json_f64(v: f64) -> String {
+    debug_assert!(v.is_finite());
+    // Bare integers are still valid JSON numbers, no fixup needed.
+    format!("{v}")
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => json_f64(x),
+        _ => "null".into(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs a whole session: reads commands from `input` line by line,
+/// writes one JSON reply line per command to `out`, stops at `quit` or
+/// end of input. Returns the session exit code: 0 when every command
+/// succeeded, 1 if any failed.
+pub fn run_session<R: BufRead, W: Write>(
+    input: R,
+    out: &mut W,
+    options: AnalysisOptions,
+    max_errors: usize,
+) -> std::io::Result<u8> {
+    let mut session = Session::new(options, max_errors);
+    let mut failed = false;
+    for line in input.lines() {
+        let line = line?;
+        let quit = line.trim() == "quit";
+        if let Some((json, ok)) = session.eval(&line) {
+            writeln!(out, "{json}")?;
+            out.flush()?;
+            failed |= !ok;
+        }
+        if quit {
+            break;
+        }
+    }
+    Ok(if failed { 1 } else { 0 })
+}

@@ -3,135 +3,22 @@
 //! The interner/CSR/workspace rewrite must be *observationally invisible*:
 //! every `TimingReport` bit, every flow resolution, and every adjacency
 //! list must come out exactly as the nested-Vec/String layout produced
-//! them. These tests pin that down with FNV fingerprints of full reports
-//! on the `gen` workloads, captured from the pre-refactor engine and
-//! hard-coded as goldens.
+//! them. These tests pin that down with the frozen FNV fingerprints from
+//! [`nmos_tv::core::fingerprint`] on the `gen` workloads, captured from
+//! the pre-refactor engine and hard-coded as goldens. (This suite used
+//! to carry its own copy of the hash; the library version is the same
+//! byte-for-byte definition, promoted so the session protocol and these
+//! goldens can never drift apart.)
 
-use nmos_tv::core::{AnalysisOptions, Analyzer, Completion, TimingReport};
+use nmos_tv::core::{report_fingerprint, AnalysisOptions, Analyzer};
 use nmos_tv::flow::RuleSet;
 use nmos_tv::gen::{adder, random, regfile, shifter};
 use nmos_tv::netlist::{Netlist, Tech};
 
-const FNV_OFFSET: u64 = 0xcbf29ce484222325;
-const FNV_PRIME: u64 = 0x100000001b3;
-
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(FNV_OFFSET)
-    }
-    fn u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-    }
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-    fn opt_f64(&mut self, v: Option<f64>) {
-        match v {
-            Some(x) => {
-                self.u64(1);
-                self.f64(x);
-            }
-            None => self.u64(0),
-        }
-    }
-    fn bytes(&mut self, s: &[u8]) {
-        self.u64(s.len() as u64);
-        for &b in s {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-    }
-}
-
-fn hash_phase_result(h: &mut Fnv, nl: &Netlist, r: &nmos_tv::core::PhaseResult) {
-    for id in nl.node_ids() {
-        h.opt_f64(r.arrivals.rise(id));
-        h.opt_f64(r.arrivals.fall(id));
-        h.opt_f64(
-            r.arrivals
-                .transition(id, nmos_tv::core::propagate::Edge::Rise),
-        );
-        h.opt_f64(
-            r.arrivals
-                .transition(id, nmos_tv::core::propagate::Edge::Fall),
-        );
-    }
-    h.u64(r.endpoints.len() as u64);
-    for &(id, at) in &r.endpoints {
-        h.u64(id.index() as u64);
-        h.f64(at);
-    }
-    h.u64(r.cyclic as u64);
-    h.u64(r.relaxations as u64);
-    h.u64(matches!(r.completion, Completion::Complete) as u64);
-    h.u64(r.unresolved.len() as u64);
-}
-
-fn hash_paths(h: &mut Fnv, paths: &[nmos_tv::core::TimingPath]) {
-    h.u64(paths.len() as u64);
-    for p in paths {
-        h.u64(p.len() as u64);
-        for s in &p.steps {
-            h.u64(s.node.index() as u64);
-            h.bytes(format!("{:?}", s.edge).as_bytes());
-            h.f64(s.at);
-        }
-    }
-}
-
-/// Hashes everything a [`TimingReport`] observably contains, bit-exact
-/// on every floating-point value. Node *names* are hashed too, so the
-/// interner migration is covered, not bypassed.
-fn report_fingerprint(nl: &Netlist, report: &TimingReport) -> u64 {
-    let mut h = Fnv::new();
-    h.u64(nl.node_count() as u64);
-    h.u64(nl.device_count() as u64);
-    for id in nl.node_ids() {
-        h.bytes(nl.node_name(id).as_bytes());
-        h.f64(nl.node_cap(id));
-    }
-    hash_phase_result(&mut h, nl, &report.combinational);
-    hash_paths(&mut h, &report.combinational_paths);
-    h.u64(report.phases.len() as u64);
-    for p in &report.phases {
-        h.u64(p.phase as u64);
-        h.u64(p.arcs as u64);
-        h.opt_f64(p.slack);
-        hash_phase_result(&mut h, nl, &p.result);
-        hash_paths(&mut h, &p.paths);
-        h.u64(p.races.len() as u64);
-        for race in &p.races {
-            h.u64(race.capture.index() as u64);
-            h.f64(race.min_arrival);
-        }
-    }
-    h.u64(report.latches.len() as u64);
-    h.u64(report.checks.len() as u64);
-    h.u64(report.diagnostics.len() as u64);
-    h.opt_f64(report.min_cycle);
-    h.0
-}
-
-/// Hashes a full flow analysis: per-device direction, resolving rule,
-/// per-node class, and the sweep count. Pins the worklist fixpoint to
-/// the sweep engine's exact classifications.
+/// The frozen flow fingerprint over a fresh flow analysis.
 fn flow_fingerprint(nl: &Netlist) -> u64 {
     let flow = nmos_tv::flow::analyze(nl, &RuleSet::all());
-    let mut h = Fnv::new();
-    h.u64(flow.sweeps() as u64);
-    for d in nl.devices() {
-        h.bytes(format!("{:?}", flow.direction(d.id)).as_bytes());
-        h.bytes(format!("{:?}", flow.resolved_by(d.id)).as_bytes());
-    }
-    for id in nl.node_ids() {
-        h.bytes(format!("{:?}", flow.node_class(id)).as_bytes());
-    }
-    h.0
+    nmos_tv::core::flow_fingerprint(nl, &flow)
 }
 
 fn workloads() -> Vec<(&'static str, Netlist)> {
