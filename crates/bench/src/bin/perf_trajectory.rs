@@ -1,19 +1,27 @@
 //! Machine-readable perf trajectory: a fixed smoke suite over the
 //! acceptance benchmarks (analyzer scaling, flow resolution, parallel
-//! propagation, and the P4 session suite), emitted as `BENCH_4.json` so
-//! CI and future PRs can compare against a committed baseline instead of
-//! eyeballing tables.
+//! propagation, and the P4 session suite), appended as a labeled run to
+//! `BENCH_TRAJECTORY.json` so CI and future PRs can compare against a
+//! committed baseline instead of eyeballing tables — and so the history
+//! of runs accumulates instead of each PR's file silently superseding
+//! the last (BENCH_4.json replaced BENCH_3.json; never again).
 //!
 //! Usage:
-//!   perf_trajectory --out BENCH_4.json          # run suite, write baseline
-//!   perf_trajectory --check BENCH_4.json        # run suite, fail on >2x regression
-//!   perf_trajectory --check BENCH_4.json --threshold 3.0
+//!   perf_trajectory --out BENCH_TRAJECTORY.json --label pr5-obs
+//!                                               # run suite, append a run
+//!   perf_trajectory --check BENCH_TRAJECTORY.json
+//!                                               # fail on >2x regression
+//!                                               # vs the *latest* run
+//!   perf_trajectory --check BENCH_TRAJECTORY.json --threshold 3.0
 //!
-//! The JSON is flat and hand-rolled (the workspace is dependency-free):
-//! one object per benchmark with `name`, `input_size` (devices),
-//! `ns_per_op` (median) and `min_ns` (fastest iteration). The checker
-//! parses only those keys, line by line, so the file stays trivially
-//! greppable and diffable.
+//! Each bench entry carries `name`, `input_size` (devices), `ns_per_op`
+//! (median), `min_ns` (fastest iteration), and `counters` — the
+//! deterministic `tv_obs` work counters from **one instrumented run**
+//! performed after the timed loop, so the timing numbers are always
+//! measured with instrumentation disabled. The JSON is hand-rolled (the
+//! workspace is dependency-free) with one bench object per line, and
+//! read back with `tv_obs::json`, so the file stays both greppable and
+//! strictly parseable.
 
 use std::process::ExitCode;
 
@@ -25,19 +33,60 @@ use tv_gen::datapath::DatapathConfig;
 use tv_gen::random::{random_logic, RandomMix};
 use tv_gen::workload::t2_suite;
 use tv_netlist::Tech;
+use tv_obs::json::Value;
+use tv_obs::Counter;
 
 /// One measured benchmark: label, workload size in devices, median and
-/// fastest ns/op. The median is the reported figure; the min is what the
-/// regression gate compares, because on microsecond-scale benches the
-/// median of a noisy run can swing 2x while the min stays put — gating
-/// `current min > threshold × baseline median` can only produce false
-/// passes, never false failures.
+/// fastest ns/op, plus the deterministic work counters from a single
+/// instrumented (untimed) run. The median is the reported figure; the
+/// min is what the regression gate compares, because on
+/// microsecond-scale benches the median of a noisy run can swing 2x
+/// while the min stays put — gating `current min > threshold × baseline
+/// median` can only produce false passes, never false failures.
 struct Entry {
     name: String,
     input_size: usize,
     ns_per_op: f64,
     min_ns: f64,
     iters: usize,
+    counters: Vec<(String, u64)>,
+}
+
+/// One labeled suite execution: the unit the trajectory file appends.
+struct Run {
+    label: String,
+    benches: Vec<Entry>,
+}
+
+/// The deterministic counters worth recording per bench entry: the work
+/// plane (workload-intrinsic, jobs- and warm/cold-invariant) plus the
+/// flow fixpoint and graph-size telemetry, which are equally
+/// deterministic for a fixed input. Timing-plane spans never appear
+/// here.
+const KEPT_COUNTERS: [Counter; 7] = [
+    Counter::PropagateRelaxations,
+    Counter::PropagateResiduePops,
+    Counter::PropagateNodes,
+    Counter::PropagateCases,
+    Counter::FlowSweeps,
+    Counter::FlowWorklistPops,
+    Counter::GraphArcs,
+];
+
+/// Runs `f` once with the counter plane enabled and returns the nonzero
+/// kept counters it incremented. Called *after* the timed loop so
+/// instrumentation cost never contaminates `ns_per_op`.
+fn counted<R>(mut f: impl FnMut() -> R) -> Vec<(String, u64)> {
+    tv_obs::counters::set_enabled(true);
+    let before = tv_obs::snapshot();
+    std::hint::black_box(f());
+    let delta = tv_obs::snapshot().since(&before);
+    tv_obs::counters::set_enabled(false);
+    KEPT_COUNTERS
+        .iter()
+        .map(|&c| (c.name().to_string(), delta.get(c)))
+        .filter(|&(_, v)| v != 0)
+        .collect()
 }
 
 /// Runs the fixed smoke suite. Sizes are chosen so the whole suite
@@ -51,18 +100,20 @@ fn run_suite() -> Vec<Entry> {
     for target in [1_600usize, 6_400] {
         let circuit = random_logic(tech.clone(), target, 0xC0FFEE, RandomMix::default());
         let devices = circuit.netlist.device_count();
-        let s = bench(&format!("scaling/random-{target}"), 10, || {
+        let mut work = || {
             Analyzer::new(&circuit.netlist)
                 .run(&AnalysisOptions::default())
                 .flow_report
                 .devices
-        });
+        };
+        let s = bench(&format!("scaling/random-{target}"), 10, &mut work);
         out.push(Entry {
             name: s.name,
             input_size: devices,
             ns_per_op: s.median_ms * 1e6,
             min_ns: s.min_ms * 1e6,
             iters: s.iters,
+            counters: counted(&mut work),
         });
     }
 
@@ -70,25 +121,26 @@ fn run_suite() -> Vec<Entry> {
     // each item is microseconds).
     for item in t2_suite(&tech) {
         let devices = item.circuit.netlist.device_count();
-        let s = bench(&format!("flow/{}", item.name), 50, || {
-            tv_flow::analyze(&item.circuit.netlist, &RuleSet::all()).sweeps()
-        });
+        let mut work = || tv_flow::analyze(&item.circuit.netlist, &RuleSet::all()).sweeps();
+        let s = bench(&format!("flow/{}", item.name), 50, &mut work);
         out.push(Entry {
             name: s.name,
             input_size: devices,
             ns_per_op: s.median_ms * 1e6,
             min_ns: s.min_ms * 1e6,
             iters: s.iters,
+            counters: counted(&mut work),
         });
     }
 
     // Serial graph build + propagation on the MIPS-class datapath (the
     // P1 bench at jobs=1: the single-thread cost the parallel speedups
-    // are measured against).
+    // are measured against). The timed figure comes from the scaling
+    // harness; the counters from one instrumented single-thread analyze
+    // of the same netlist.
     let cfg = DatapathConfig::mips32();
-    let devices = tv_gen::datapath::datapath(tech.clone(), cfg)
-        .netlist
-        .device_count();
+    let dp_netlist = tv_gen::datapath::datapath(tech.clone(), cfg).netlist;
+    let devices = dp_netlist.device_count();
     let rows = parallel_scaling(&tech, cfg, &[1], 5);
     out.push(Entry {
         name: "propagate/mips32-jobs1".to_string(),
@@ -96,6 +148,12 @@ fn run_suite() -> Vec<Entry> {
         ns_per_op: rows[0].total_ms() * 1e6,
         min_ns: rows[0].total_ms() * 1e6,
         iters: 5,
+        counters: counted(|| {
+            Analyzer::new(&dp_netlist)
+                .run(&AnalysisOptions::default())
+                .combinational
+                .relaxations
+        }),
     });
 
     out.extend(session_suite(&tech));
@@ -118,27 +176,32 @@ fn session_suite(tech: &Tech) -> Vec<Entry> {
     let dp = tv_gen::datapath::datapath(tech.clone(), DatapathConfig::mips32());
     let devices = dp.netlist.device_count();
     let opts = AnalysisOptions::default();
-    let entry = |s: tv_bench::harness::Sample| Entry {
+    let entry = |s: tv_bench::harness::Sample, counters: Vec<(String, u64)>| Entry {
         name: s.name,
         input_size: devices,
         ns_per_op: s.median_ms * 1e6,
         min_ns: s.min_ms * 1e6,
         iters: s.iters,
+        counters,
     };
 
     let sim_text = sim_format::write(&dp.netlist);
-    out.push(entry(bench("session/mips32-cold", 10, || {
+    let mut cold = || {
         let parsed = sim_format::parse(&sim_text, tech.clone()).expect("round-trip");
         let report = Analyzer::new(&parsed).run(&opts);
         report.render(&parsed).len()
-    })));
+    };
+    let s = bench("session/mips32-cold", 10, &mut cold);
+    out.push(entry(s, counted(&mut cold)));
 
-    out.push(entry(bench("session/mips32-cold-analyze-only", 10, || {
+    let mut cold_analyze = || {
         Analyzer::new(&dp.netlist)
             .run(&opts)
             .combinational
             .relaxations
-    })));
+    };
+    let s = bench("session/mips32-cold-analyze-only", 10, &mut cold_analyze);
+    out.push(entry(s, counted(&mut cold_analyze)));
 
     let mut design = Design::new(dp.netlist.clone());
     let mut pm = PassManager::new();
@@ -158,21 +221,30 @@ fn session_suite(tech: &Tech) -> Vec<Entry> {
     let cap_node = *design.netlist().outputs().first().expect("an output");
 
     let mut flip = false;
-    out.push(entry(bench("session/mips32-warm-resize", 20, || {
+    let mut resize = |design: &mut Design, pm: &mut PassManager| {
         flip = !flip;
         let w = if flip { 6.0 } else { 4.0 };
         design.resize_device(dev, w, 2.0).expect("resize");
-        pm.analyze(&design, &opts).combinational.relaxations
-    })));
+        pm.analyze(design, &opts).combinational.relaxations
+    };
+    let s = bench("session/mips32-warm-resize", 20, || {
+        resize(&mut design, &mut pm)
+    });
+    out.push(entry(s, counted(|| resize(&mut design, &mut pm))));
 
-    out.push(entry(bench("session/mips32-warm-setcap", 20, || {
+    let mut flip = false;
+    let mut setcap = |design: &mut Design, pm: &mut PassManager| {
         flip = !flip;
         let pf = if flip { 0.08 } else { 0.05 };
         design.set_node_cap(cap_node, pf).expect("setcap");
-        pm.analyze(&design, &opts).combinational.relaxations
-    })));
+        pm.analyze(design, &opts).combinational.relaxations
+    };
+    let s = bench("session/mips32-warm-setcap", 20, || {
+        setcap(&mut design, &mut pm)
+    });
+    out.push(entry(s, counted(|| setcap(&mut design, &mut pm))));
 
-    out.push(entry(bench("session/mips32-warm-adddev", 5, || {
+    let adddev = |design: &mut Design, pm: &mut PassManager| {
         let (id, _) = design
             .add_device(
                 "bench_dev",
@@ -185,10 +257,15 @@ fn session_suite(tech: &Tech) -> Vec<Entry> {
             )
             .expect("adddev");
         design.remove_device(id);
-        pm.analyze(&design, &opts).combinational.relaxations
-    })));
+        pm.analyze(design, &opts).combinational.relaxations
+    };
+    let s = bench("session/mips32-warm-adddev", 5, || {
+        adddev(&mut design, &mut pm)
+    });
+    out.push(entry(s, counted(|| adddev(&mut design, &mut pm))));
 
-    out.push(entry(bench("session/mips32-warm-retech", 5, || {
+    let mut flip = false;
+    let mut retech = |design: &mut Design, pm: &mut PassManager| {
         flip = !flip;
         let t = if flip {
             Tech::nmos2um()
@@ -196,8 +273,12 @@ fn session_suite(tech: &Tech) -> Vec<Entry> {
             Tech::nmos4um()
         };
         design.retech(t);
-        pm.analyze(&design, &opts).combinational.relaxations
-    })));
+        pm.analyze(design, &opts).combinational.relaxations
+    };
+    let s = bench("session/mips32-warm-retech", 5, || {
+        retech(&mut design, &mut pm)
+    });
+    out.push(entry(s, counted(|| retech(&mut design, &mut pm))));
 
     // Leave the design back on its home technology before the loop.
     design.retech(tech.clone());
@@ -205,7 +286,7 @@ fn session_suite(tech: &Tech) -> Vec<Entry> {
 
     let all_devs: Vec<_> = design.netlist().devices().map(|d| d.id).collect();
     let cap_nodes: Vec<_> = design.netlist().outputs().to_vec();
-    out.push(entry(bench("session/edit-loop-100", 3, || {
+    let edit_loop = |design: &mut Design, pm: &mut PassManager| {
         let mut acc = 0usize;
         for i in 0..100usize {
             if i % 20 == 19 {
@@ -233,67 +314,126 @@ fn session_suite(tech: &Tech) -> Vec<Entry> {
                     .set_node_cap(n, 0.05 + (i % 5) as f64 * 0.01)
                     .expect("setcap");
             }
-            acc += pm.analyze(&design, &opts).combinational.relaxations;
+            acc += pm.analyze(design, &opts).combinational.relaxations;
         }
         acc
-    })));
+    };
+    let s = bench("session/edit-loop-100", 3, || {
+        edit_loop(&mut design, &mut pm)
+    });
+    out.push(entry(s, counted(|| edit_loop(&mut design, &mut pm))));
 
     out
 }
 
-fn write_json(entries: &[Entry]) -> String {
+fn write_json(runs: &[Run]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"tv-bench-trajectory/1\",\n");
-    s.push_str("  \"unit\": \"ns_per_op is the median of `iters` timed runs\",\n");
-    s.push_str("  \"benches\": [\n");
-    for (i, e) in entries.iter().enumerate() {
+    s.push_str("  \"schema\": \"tv-bench-trajectory/2\",\n");
+    s.push_str(
+        "  \"unit\": \"ns_per_op is the median of `iters` timed runs; counters are \
+         deterministic tv_obs work from one instrumented run\",\n",
+    );
+    s.push_str("  \"runs\": [\n");
+    for (r, run) in runs.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"label\": \"{}\",\n", run.label));
+        s.push_str("      \"benches\": [\n");
+        for (i, e) in run.benches.iter().enumerate() {
+            let counters = if e.counters.is_empty() {
+                String::new()
+            } else {
+                let body: Vec<String> = e
+                    .counters
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\": {v}"))
+                    .collect();
+                format!(", \"counters\": {{ {} }}", body.join(", "))
+            };
+            s.push_str(&format!(
+                "        {{ \"name\": \"{}\", \"input_size\": {}, \"ns_per_op\": {:.1}, \"min_ns\": {:.1}, \"iters\": {}{} }}{}\n",
+                e.name,
+                e.input_size,
+                e.ns_per_op,
+                e.min_ns,
+                e.iters,
+                counters,
+                if i + 1 < run.benches.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("      ]\n");
         s.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"input_size\": {}, \"ns_per_op\": {:.1}, \"min_ns\": {:.1}, \"iters\": {} }}{}\n",
-            e.name,
-            e.input_size,
-            e.ns_per_op,
-            e.min_ns,
-            e.iters,
-            if i + 1 < entries.len() { "," } else { "" }
+            "    }}{}\n",
+            if r + 1 < runs.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");
     s
 }
 
-/// Extracts `(name, ns_per_op)` pairs from a baseline file. The writer
-/// puts one bench object per line, so a line scan is exact for our own
-/// output and tolerant of hand-edits that keep that shape.
-fn parse_baseline(text: &str) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    for line in text.lines() {
-        let Some(name) = field_str(line, "name") else {
-            continue;
-        };
-        let Some(ns) = field_num(line, "ns_per_op") else {
-            continue;
-        };
-        out.push((name, ns));
+/// Reads a trajectory file back into runs, via the strict `tv_obs`
+/// JSON parser. Accepts both the current `runs` schema and the flat v1
+/// `benches` shape (a single unlabeled run), so a v1 baseline can be
+/// appended to in place.
+fn load_runs(text: &str) -> Result<Vec<Run>, String> {
+    let root = tv_obs::json::parse(text)?;
+    let runs_of = |v: &Value| -> Result<Vec<Entry>, String> {
+        let arr = v.as_arr().ok_or("\"benches\" is not an array")?;
+        arr.iter().map(load_entry).collect()
+    };
+    if let Some(runs) = root.get("runs") {
+        let arr = runs.as_arr().ok_or("\"runs\" is not an array")?;
+        arr.iter()
+            .map(|r| {
+                let label = r
+                    .get("label")
+                    .and_then(Value::as_str)
+                    .ok_or("run without a string \"label\"")?
+                    .to_string();
+                let benches = runs_of(r.get("benches").ok_or("run without \"benches\"")?)?;
+                Ok(Run { label, benches })
+            })
+            .collect()
+    } else if let Some(benches) = root.get("benches") {
+        Ok(vec![Run {
+            label: "pre-trajectory".to_string(),
+            benches: runs_of(benches)?,
+        }])
+    } else {
+        Err("neither \"runs\" nor \"benches\" at top level".to_string())
     }
-    out
 }
 
-fn field_str(line: &str, key: &str) -> Option<String> {
-    let pat = format!("\"{key}\":");
-    let rest = &line[line.find(&pat)? + pat.len()..];
-    let open = rest.find('"')?;
-    let rest = &rest[open + 1..];
-    Some(rest[..rest.find('"')?].to_string())
-}
-
-fn field_num(line: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\":");
-    let rest = line[line.find(&pat)? + pat.len()..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
+fn load_entry(v: &Value) -> Result<Entry, String> {
+    let s = |k: &str| {
+        v.get(k)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or(format!("bench without string \"{k}\""))
+    };
+    let n = |k: &str| {
+        v.get(k)
+            .and_then(Value::as_num)
+            .ok_or(format!("bench without numeric \"{k}\""))
+    };
+    // Keep counters in registry order so a re-rendered file diffs
+    // cleanly against a freshly written one.
+    let mut counters = Vec::new();
+    if let Some(Value::Obj(map)) = v.get("counters") {
+        for c in tv_obs::counters::ALL {
+            if let Some(x) = map.get(c.name()).and_then(Value::as_num) {
+                counters.push((c.name().to_string(), x as u64));
+            }
+        }
+    }
+    Ok(Entry {
+        name: s("name")?,
+        input_size: n("input_size")? as usize,
+        ns_per_op: n("ns_per_op")?,
+        min_ns: n("min_ns")?,
+        iters: n("iters")? as usize,
+        counters,
+    })
 }
 
 fn check(entries: &[Entry], baseline_path: &str, threshold: f64) -> ExitCode {
@@ -304,18 +444,26 @@ fn check(entries: &[Entry], baseline_path: &str, threshold: f64) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let baseline = parse_baseline(&text);
-    if baseline.is_empty() {
-        eprintln!("perf_trajectory: no bench entries found in {baseline_path}");
+    let runs = match load_runs(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf_trajectory: bad baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The gate compares against the *latest* appended run; earlier runs
+    // are history, kept for the trajectory tables in EXPERIMENTS.md.
+    let Some(baseline) = runs.last() else {
+        eprintln!("perf_trajectory: no runs found in {baseline_path}");
         return ExitCode::FAILURE;
-    }
+    };
     println!(
-        "\n{:<28} {:>14} {:>14} {:>8}  vs {}x gate",
-        "bench", "baseline ns", "current min", "ratio", threshold
+        "\n{:<28} {:>14} {:>14} {:>8}  vs {}x gate (baseline run \"{}\")",
+        "bench", "baseline ns", "current min", "ratio", threshold, baseline.label
     );
     let mut failed = false;
     for e in entries {
-        let Some((_, base_ns)) = baseline.iter().find(|(n, _)| *n == e.name) else {
+        let Some(base) = baseline.benches.iter().find(|b| b.name == e.name) else {
             println!(
                 "{:<28} {:>14} {:>14.0}   (new — no baseline)",
                 e.name, "-", e.ns_per_op
@@ -324,7 +472,7 @@ fn check(entries: &[Entry], baseline_path: &str, threshold: f64) -> ExitCode {
         };
         // Gate on the current run's *fastest* iteration vs the baseline
         // median (see `Entry`): immune to one-sided scheduler noise.
-        let ratio = e.min_ns / base_ns;
+        let ratio = e.min_ns / base.ns_per_op;
         let verdict = if ratio > threshold {
             failed = true;
             "REGRESSED"
@@ -333,7 +481,7 @@ fn check(entries: &[Entry], baseline_path: &str, threshold: f64) -> ExitCode {
         };
         println!(
             "{:<28} {:>14.0} {:>14.0} {:>7.2}x  {}",
-            e.name, base_ns, e.min_ns, ratio, verdict
+            e.name, base.ns_per_op, e.min_ns, ratio, verdict
         );
     }
     if failed {
@@ -349,6 +497,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut label: Option<String> = None;
     let mut threshold = 2.0f64;
     let mut i = 0;
     while i < args.len() {
@@ -361,6 +510,10 @@ fn main() -> ExitCode {
                 check_path = args.get(i + 1).cloned();
                 i += 2;
             }
+            "--label" => {
+                label = args.get(i + 1).cloned();
+                i += 2;
+            }
             "--threshold" => {
                 threshold = args
                     .get(i + 1)
@@ -370,27 +523,49 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!("perf_trajectory: unknown argument {other}");
-                eprintln!("usage: perf_trajectory [--out FILE] [--check FILE] [--threshold X]");
+                eprintln!(
+                    "usage: perf_trajectory [--out FILE --label NAME] [--check FILE] [--threshold X]"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
     if out_path.is_none() && check_path.is_none() {
-        eprintln!("usage: perf_trajectory [--out FILE] [--check FILE] [--threshold X]");
+        eprintln!(
+            "usage: perf_trajectory [--out FILE --label NAME] [--check FILE] [--threshold X]"
+        );
         return ExitCode::FAILURE;
     }
 
     let entries = run_suite();
 
     if let Some(path) = &out_path {
-        let json = write_json(&entries);
+        // Append, never supersede: keep every prior run in the file.
+        let mut runs = match std::fs::read_to_string(path) {
+            Ok(text) => match load_runs(&text) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("perf_trajectory: refusing to overwrite {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(_) => Vec::new(),
+        };
+        runs.push(Run {
+            label: label.unwrap_or_else(|| "dev".to_string()),
+            benches: entries,
+        });
+        let json = write_json(&runs);
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("perf_trajectory: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
-        println!("wrote {path} ({} benches)", entries.len());
-    }
-    if let Some(path) = &check_path {
+        println!(
+            "wrote {path} ({} runs, latest \"{}\")",
+            runs.len(),
+            runs.last().expect("just pushed").label
+        );
+    } else if let Some(path) = &check_path {
         return check(&entries, path, threshold);
     }
     ExitCode::SUCCESS

@@ -413,6 +413,8 @@ pub(crate) fn finish_graph(
     case: PhaseCase,
     diagnostics: Vec<Diagnostic>,
 ) -> TimingGraph {
+    tv_obs::incr(tv_obs::Counter::GraphBuilds);
+    tv_obs::add(tv_obs::Counter::GraphArcs, arcs.len() as u64);
     let n = node_count;
     let mut out_starts = vec![0u32; n + 1];
     let mut in_starts = vec![0u32; n + 1];

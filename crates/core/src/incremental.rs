@@ -210,6 +210,8 @@ impl IncrementalCache {
                         guards,
                         &mut self.workspace,
                     );
+                    tv_obs::incr(tv_obs::Counter::CacheCaseHits);
+                    tv_obs::add(tv_obs::Counter::CacheNodesReused, n as u64);
                     self.stats.push(CaseStats {
                         case: key,
                         nodes: n,
@@ -272,6 +274,9 @@ impl IncrementalCache {
                     entry
                         .cached
                         .update_from_arrivals(graph, &result.arrivals, &affected);
+                    tv_obs::incr(tv_obs::Counter::CacheCaseMisses);
+                    tv_obs::add(tv_obs::Counter::CacheNodesReused, (n - recomputed) as u64);
+                    tv_obs::add(tv_obs::Counter::CacheNodesRecomputed, recomputed as u64);
                     self.stats.push(CaseStats {
                         case: key,
                         nodes: n,
@@ -339,6 +344,9 @@ impl IncrementalCache {
                 cached: CachedCase::from_arrivals(graph, &result.arrivals),
             },
         );
+        tv_obs::incr(tv_obs::Counter::CacheCaseMisses);
+        tv_obs::add(tv_obs::Counter::CacheNodesReused, (n - recomputed) as u64);
+        tv_obs::add(tv_obs::Counter::CacheNodesRecomputed, recomputed as u64);
         self.stats.push(CaseStats {
             case: key,
             nodes: n,

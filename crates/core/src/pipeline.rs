@@ -338,6 +338,7 @@ impl PassManager {
         mut cache: Option<&mut IncrementalCache>,
         enforce_limits: bool,
     ) -> Result<TimingReport, TvError> {
+        let _span = tv_obs::span("analyze");
         self.trace.clear();
         if enforce_limits {
             if let Some(limit) = options.max_nodes {
@@ -365,6 +366,7 @@ impl PassManager {
         let flow_reran = match &self.flow {
             Some(s) if s.input_fp == flow_in => false,
             _ => {
+                let _s = tv_obs::span("pass.flow");
                 let value = tv_flow::analyze(nl, &options.rules);
                 let output_fp = flow_fingerprint(nl, &value);
                 self.flow = Some(Slot {
@@ -384,6 +386,7 @@ impl PassManager {
         let qual_reran = match &self.qual {
             Some(s) if s.input_fp == qual_in => false,
             _ => {
+                let _s = tv_obs::span("pass.qualify");
                 let value = qualify_with_flow(nl, flow);
                 let output_fp = qual_content_fp(&value);
                 self.qual = Some(Slot {
@@ -403,6 +406,7 @@ impl PassManager {
         let latch_reran = match &self.latches {
             Some(s) if s.input_fp == latch_in => false,
             _ => {
+                let _s = tv_obs::span("pass.latches");
                 let value = find_latches(nl, flow, qual);
                 let output_fp = latch_content_fp(&value);
                 self.latches = Some(Slot {
@@ -573,7 +577,9 @@ impl PassManager {
         let checks_reran = match &self.checks {
             Some(s) if s.input_fp == checks_in => false,
             _ => {
+                let _s = tv_obs::span("pass.checks");
                 let value = check_electrical(nl, flow, qual);
+                tv_obs::add(tv_obs::Counter::CheckIssues, value.len() as u64);
                 self.checks = Some(Slot {
                     input_fp: checks_in,
                     output_fp: 0,
@@ -585,6 +591,27 @@ impl PassManager {
         push(&mut self.trace, PassId::Checks, checks_reran);
         let checks = self.checks.as_ref().unwrap().value.clone();
         diagnostics.extend(checks.iter().map(|c| c.diagnostic(nl)));
+
+        // Pass outcomes into the observability counters (the trace is
+        // the single source; `add` is a no-op when the plane is off).
+        let (mut computed, mut reused, mut spliced, mut revalidated, mut roots) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        for e in &self.trace {
+            match e.outcome {
+                PassOutcome::Computed => computed += 1,
+                PassOutcome::Reused => reused += 1,
+                PassOutcome::Spliced { roots: r } => {
+                    spliced += 1;
+                    roots += r as u64;
+                }
+                PassOutcome::Revalidated => revalidated += 1,
+            }
+        }
+        tv_obs::add(tv_obs::Counter::PassComputed, computed);
+        tv_obs::add(tv_obs::Counter::PassReused, reused);
+        tv_obs::add(tv_obs::Counter::PassSpliced, spliced);
+        tv_obs::add(tv_obs::Counter::PassRevalidated, revalidated);
+        tv_obs::add(tv_obs::Counter::GraphRootsSpliced, roots);
 
         Ok(TimingReport {
             flow_report,
@@ -647,6 +674,7 @@ fn graph_pass(
     qual_fp: u64,
     jobs: usize,
 ) -> CaseDelta {
+    let _span = tv_obs::span("pass.graph");
     let pass = PassId::Graph(case.active);
     let case_tag = case.active.map_or(0, |p| 1 + p as u64);
     let model_tag = options.model as u64;

@@ -664,6 +664,7 @@ fn propagate_full(
     ws: &mut Workspace,
     fault: Option<&(dyn Fn(u32) + Sync)>,
 ) -> PhaseResult {
+    let _span = tv_obs::span("propagate");
     let n = netlist.node_count();
     let sched = &graph.schedule;
     debug_assert_eq!(sched.order.len() + sched.residue.len(), n);
@@ -856,7 +857,7 @@ fn propagate_full(
                 .relax_budget
                 .unwrap_or_else(|| 64 * (graph.arcs.len() + n).max(1));
             let mut residue_relax = 0usize;
-            let mut pops = 0usize;
+            let mut pops = 0u64;
             while let Some(nidx) = queue.pop_front() {
                 let ni = nidx as usize;
                 queued[ni] = false;
@@ -905,8 +906,12 @@ fn propagate_full(
                 }
             }
             relaxations += residue_relax;
+            tv_obs::add(tv_obs::Counter::PropagateResiduePops, pops);
         }
     }
+    tv_obs::add(tv_obs::Counter::PropagateRelaxations, relaxations as u64);
+    tv_obs::add(tv_obs::Counter::PropagateNodes, n as u64);
+    tv_obs::incr(tv_obs::Counter::PropagateCases);
 
     // Back from slot order to node order.
     let mut arr = Arrivals {

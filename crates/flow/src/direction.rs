@@ -65,6 +65,7 @@ impl FlowAnalysis {
         rules: &RuleSet,
         seeds: &[(DeviceId, NodeId)],
     ) -> Self {
+        let _span = tv_obs::span("flow.analyze");
         let stages = Stages::build(netlist);
         let c = classify(netlist);
         let n_dev = netlist.device_count();
@@ -91,6 +92,19 @@ impl FlowAnalysis {
             &mut directions,
             &mut resolved_by,
         );
+
+        let pass_devices = c
+            .device_roles
+            .iter()
+            .filter(|r| **r == DeviceRole::Pass)
+            .count();
+        let oriented = directions
+            .iter()
+            .zip(c.device_roles.iter())
+            .filter(|(d, r)| **r == DeviceRole::Pass && d.is_oriented())
+            .count();
+        tv_obs::add(tv_obs::Counter::FlowPassDevices, pass_devices as u64);
+        tv_obs::add(tv_obs::Counter::FlowOriented, oriented as u64);
 
         FlowAnalysis {
             stages,
@@ -385,6 +399,7 @@ fn orient_pass_devices(
     let mut next: Vec<DeviceId> = Vec::new();
 
     let mut sweeps = 0;
+    let mut pops = 0u64;
     loop {
         sweeps += 1;
         if pending == 0 {
@@ -403,6 +418,7 @@ fn orient_pass_devices(
             cursor += 1;
             in_current[i] = false;
             pending -= 1;
+            pops += 1;
             if directions[i] != Direction::Unresolved {
                 continue;
             }
@@ -478,6 +494,8 @@ fn orient_pass_devices(
             pending += 1;
         }
     }
+    tv_obs::add(tv_obs::Counter::FlowSweeps, sweeps as u64);
+    tv_obs::add(tv_obs::Counter::FlowWorklistPops, pops);
     sweeps
 }
 

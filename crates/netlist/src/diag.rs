@@ -257,6 +257,7 @@ impl Diagnostics {
     /// reached — producers should stop generating more errors (further
     /// pushes of error diagnostics are counted but dropped).
     pub fn push(&mut self, d: Diagnostic) -> bool {
+        tv_obs::incr(tv_obs::Counter::DiagnosticsEmitted);
         if d.severity == Severity::Error && self.error_count() >= self.max_errors {
             self.suppressed += 1;
             return false;

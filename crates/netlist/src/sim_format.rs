@@ -203,8 +203,10 @@ fn parse_inner(
     diags: &mut Diagnostics,
     strict: bool,
 ) -> Result<Netlist, NetlistError> {
+    let _span = tv_obs::span("parse.sim");
     let mut b = NetlistBuilder::new(tech);
     let mut dev_count = 0usize;
+    let mut line_count = 0u64;
     // Tolerate a UTF-8 byte-order mark from Windows-side extractors.
     let body = if let Some(stripped) = text.strip_prefix('\u{feff}') {
         if !strict {
@@ -219,6 +221,7 @@ fn parse_inner(
     };
     for (i, raw) in body.lines().enumerate() {
         let lineno = i + 1;
+        line_count += 1;
         // `str::lines` strips a trailing `\r`; handle stray interior ones
         // (classic Mac line endings concatenated into one "line") by
         // trimming, matching the historical whitespace-tolerant readers.
@@ -242,6 +245,8 @@ fn parse_inner(
             }
         }
     }
+    tv_obs::add(tv_obs::Counter::ParseLines, line_count);
+    tv_obs::add(tv_obs::Counter::ParseDevices, dev_count as u64);
     b.finish()
 }
 

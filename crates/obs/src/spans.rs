@@ -1,0 +1,299 @@
+//! The wall-clock span plane.
+//!
+//! Scoped timers forming a tree per thread: [`span`] returns a guard
+//! that records a [`SpanEvent`] when dropped. While the plane is
+//! disabled (the default) a guard is a no-op and the only cost at an
+//! instrumented site is one relaxed atomic load — hot paths stay
+//! unperturbed, which the bench-smoke gate enforces.
+//!
+//! Spans record *where the nanoseconds went*; they never feed the
+//! deterministic counter plane, never appear in goldens, and never
+//! influence analysis results. Events carry microsecond timestamps
+//! relative to the first enablement of the plane, plus a small dense
+//! thread ordinal (not the OS thread id), so a trace is stable in
+//! shape across runs even though durations vary.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One finished span: a node of the profile tree.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Static label, e.g. `pass.flow` or `session.analyze`.
+    pub name: &'static str,
+    /// Dense per-process thread ordinal (0 = first thread that ever
+    /// opened a span, usually the main thread).
+    pub tid: u32,
+    /// Nesting depth on its thread at open time (0 = top level).
+    pub depth: u32,
+    /// Start, microseconds since the span clock's epoch.
+    pub start_us: u64,
+    /// Duration, microseconds. Both endpoints are truncated offsets
+    /// from the same epoch, so nesting survives integer truncation
+    /// (a child's end never exceeds its parent's); sub-microsecond
+    /// spans legitimately collapse to zero width.
+    pub dur_us: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static EVENTS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+static NEXT_TID: Mutex<u32> = Mutex::new(0);
+
+thread_local! {
+    static TID: Cell<Option<u32>> = const { Cell::new(None) };
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Whether the span plane is recording.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the span plane on or off. The first enablement pins the trace
+/// epoch; recorded events persist across toggles until [`take_events`].
+pub fn set_enabled(on: bool) {
+    if on {
+        EPOCH.get_or_init(Instant::now);
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn thread_ordinal() -> u32 {
+    TID.with(|t| match t.get() {
+        Some(id) => id,
+        None => {
+            let mut next = NEXT_TID.lock().unwrap_or_else(|e| e.into_inner());
+            let id = *next;
+            *next += 1;
+            t.set(Some(id));
+            id
+        }
+    })
+}
+
+/// An open span; records its event when dropped. Obtain via [`span`].
+pub struct SpanGuard {
+    live: Option<(&'static str, u32, u32, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((name, tid, depth, start)) = self.live.take() else {
+            return;
+        };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let epoch = epoch();
+        let start_us = start.duration_since(epoch).as_micros() as u64;
+        let end_us = epoch.elapsed().as_micros() as u64;
+        let dur_us = end_us.saturating_sub(start_us);
+        let mut events = EVENTS.lock().unwrap_or_else(|e| e.into_inner());
+        events.push(SpanEvent {
+            name,
+            tid,
+            depth,
+            start_us,
+            dur_us,
+        });
+    }
+}
+
+/// Opens a span named `name` on the current thread. While the plane is
+/// disabled this returns an inert guard without touching a clock.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { live: None };
+    }
+    let tid = thread_ordinal();
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    SpanGuard {
+        live: Some((name, tid, depth, Instant::now())),
+    }
+}
+
+/// Drains every recorded event, in completion order.
+pub fn take_events() -> Vec<SpanEvent> {
+    std::mem::take(&mut EVENTS.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// A by-name aggregate of recorded spans for the text profile table.
+#[derive(Debug, Clone)]
+pub struct SpanStat {
+    /// Span label.
+    pub name: &'static str,
+    /// Number of completed spans with this label.
+    pub count: usize,
+    /// Sum of their durations, microseconds.
+    pub total_us: u64,
+    /// Minimum nesting depth the label was seen at (for tree-ish
+    /// indentation in the summary table).
+    pub min_depth: u32,
+}
+
+/// Aggregates events by name, ordered by first appearance.
+pub fn aggregate(events: &[SpanEvent]) -> Vec<SpanStat> {
+    let mut stats: Vec<SpanStat> = Vec::new();
+    let mut sorted: Vec<&SpanEvent> = events.iter().collect();
+    // Outer-first on start ties: at microsecond resolution a parent and
+    // its first child often share a start, and the parent should lead.
+    sorted.sort_by_key(|e| (e.start_us, e.depth));
+    for e in sorted {
+        match stats.iter_mut().find(|s| s.name == e.name) {
+            Some(s) => {
+                s.count += 1;
+                s.total_us += e.dur_us;
+                s.min_depth = s.min_depth.min(e.depth);
+            }
+            None => stats.push(SpanStat {
+                name: e.name,
+                count: 1,
+                total_us: e.dur_us,
+                min_depth: e.depth,
+            }),
+        }
+    }
+    stats
+}
+
+/// Renders the profile summary: an indented span table (by label, in
+/// first-start order) over the aggregate durations.
+pub fn render_summary(events: &[SpanEvent]) -> String {
+    let stats = aggregate(events);
+    if stats.is_empty() {
+        return "profile: no spans recorded\n".to_string();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:>7} {:>12} {:>10}\n",
+        "span", "count", "total ms", "mean us"
+    ));
+    for s in &stats {
+        let label = format!("{}{}", "  ".repeat(s.min_depth as usize), s.name);
+        out.push_str(&format!(
+            "{:<34} {:>7} {:>12.3} {:>10.1}\n",
+            label,
+            s.count,
+            s.total_us as f64 / 1e3,
+            s.total_us as f64 / s.count as f64
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span tests share the global event buffer; serialize and drain.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static M: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        M.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = lock();
+        set_enabled(false);
+        let _ = take_events();
+        {
+            let _s = span("should-not-exist");
+        }
+        assert!(take_events().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_carry_depth_and_contain_each_other() {
+        let _g = lock();
+        set_enabled(true);
+        let _ = take_events();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                std::hint::black_box(0);
+            }
+        }
+        set_enabled(false);
+        let events = take_events();
+        assert_eq!(events.len(), 2);
+        // Inner completes first.
+        let inner = &events[0];
+        let outer = &events[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.tid, outer.tid);
+        assert!(inner.start_us >= outer.start_us);
+        assert!(inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us);
+    }
+
+    #[test]
+    fn threads_get_distinct_ordinals() {
+        let _g = lock();
+        set_enabled(true);
+        let _ = take_events();
+        {
+            let _a = span("main-side");
+        }
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _b = span("worker-side");
+            });
+        });
+        set_enabled(false);
+        let events = take_events();
+        assert_eq!(events.len(), 2);
+        let main_tid = events.iter().find(|e| e.name == "main-side").unwrap().tid;
+        let worker_tid = events.iter().find(|e| e.name == "worker-side").unwrap().tid;
+        assert_ne!(main_tid, worker_tid);
+    }
+
+    #[test]
+    fn aggregate_groups_by_name() {
+        let events = vec![
+            SpanEvent {
+                name: "a",
+                tid: 0,
+                depth: 0,
+                start_us: 0,
+                dur_us: 10,
+            },
+            SpanEvent {
+                name: "b",
+                tid: 0,
+                depth: 1,
+                start_us: 2,
+                dur_us: 3,
+            },
+            SpanEvent {
+                name: "a",
+                tid: 0,
+                depth: 0,
+                start_us: 20,
+                dur_us: 30,
+            },
+        ];
+        let stats = aggregate(&events);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "a");
+        assert_eq!(stats[0].count, 2);
+        assert_eq!(stats[0].total_us, 40);
+        assert_eq!(stats[1].name, "b");
+        assert_eq!(stats[1].min_depth, 1);
+        let table = render_summary(&events);
+        assert!(table.contains('a') && table.contains("  b"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Chrome trace-event rendering and validation.
+//!
+//! [`render_chrome`] serializes recorded spans as a JSON object with a
+//! `traceEvents` array of `"ph": "X"` (complete) events — the format
+//! consumed by `chrome://tracing` and Perfetto. [`validate`] is the
+//! inverse gate used by `tv trace-check` and CI: it re-parses a trace
+//! file with the built-in [`crate::json`] reader and checks that every
+//! event is well-formed and that spans nest properly per thread.
+
+use crate::json::{self, Value};
+use crate::spans::SpanEvent;
+
+/// Renders spans as a Chrome trace-event JSON document.
+///
+/// Events are emitted in start order as `"X"` complete events with
+/// microsecond `ts`/`dur`, a fixed `pid` of 1, and the span plane's
+/// dense thread ordinal as `tid`.
+pub fn render_chrome(events: &[SpanEvent]) -> String {
+    let mut sorted: Vec<&SpanEvent> = events.iter().collect();
+    // Parents share a start microsecond with their first child often
+    // enough that ties must break outer-first for viewers to nest them.
+    sorted.sort_by_key(|e| (e.start_us, e.depth));
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, e) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+            json::escape(e.name),
+            e.start_us,
+            e.dur_us,
+            e.tid
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Validates a Chrome trace-event document produced by
+/// [`render_chrome`] (or anything structurally equivalent).
+///
+/// Checks, in order: the text parses as JSON; `traceEvents` exists and
+/// is a non-empty array; every event has a string `name`, `"ph": "X"`,
+/// and non-negative numeric `ts`/`dur`/`tid`; and per `tid`, events
+/// nest strictly — any two either are disjoint in time or one encloses
+/// the other. Returns the event count on success.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("trace has no traceEvents array")?;
+    if events.is_empty() {
+        return Err("trace has zero events".to_string());
+    }
+    // (tid, start, end) per event, for the nesting check.
+    let mut intervals: Vec<(u64, u64, u64)> = Vec::with_capacity(events.len());
+    for (i, e) in events.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or(format!("event {i} has no string name"))?;
+        let ph = e.get("ph").and_then(Value::as_str).unwrap_or("");
+        if ph != "X" {
+            return Err(format!("event {i} ({name}) has ph {ph:?}, expected \"X\""));
+        }
+        let num = |key: &str| -> Result<u64, String> {
+            let n = e
+                .get(key)
+                .and_then(Value::as_num)
+                .ok_or(format!("event {i} ({name}) has no numeric {key}"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!("event {i} ({name}) has bad {key} {n}"));
+            }
+            Ok(n as u64)
+        };
+        let ts = num("ts")?;
+        let dur = num("dur")?;
+        let tid = num("tid")?;
+        intervals.push((tid, ts, ts + dur));
+    }
+    // Per thread, sort by (start, -length) and walk with an enclosing
+    // stack: each event must fit inside the innermost open interval.
+    intervals.sort_by_key(|&(tid, start, end)| (tid, start, std::cmp::Reverse(end)));
+    let mut stack: Vec<(u64, u64, u64)> = Vec::new();
+    for &(tid, start, end) in &intervals {
+        while let Some(&(top_tid, _, top_end)) = stack.last() {
+            if top_tid != tid || top_end <= start {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&(_, _, top_end)) = stack.last() {
+            if end > top_end {
+                return Err(format!(
+                    "spans overlap without nesting on tid {tid}: \
+                     [{start}, {end}) crosses an enclosing end at {top_end}"
+                ));
+            }
+        }
+        stack.push((tid, start, end));
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, tid: u32, depth: u32, start_us: u64, dur_us: u64) -> SpanEvent {
+        SpanEvent {
+            name,
+            tid,
+            depth,
+            start_us,
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn render_then_validate_round_trips() {
+        let events = vec![
+            ev("analyze", 0, 0, 0, 100),
+            ev("pass.flow", 0, 1, 0, 40),
+            ev("pass.graph", 0, 1, 40, 60),
+            ev("worker", 1, 0, 45, 10),
+        ];
+        let text = render_chrome(&events);
+        assert_eq!(validate(&text).expect("valid"), 4);
+    }
+
+    #[test]
+    fn validate_rejects_overlap_without_nesting() {
+        let events = vec![ev("a", 0, 0, 0, 50), ev("b", 0, 0, 25, 50)];
+        let text = render_chrome(&events);
+        let err = validate(&text).expect_err("overlap must fail");
+        assert!(err.contains("overlap"), "got: {err}");
+    }
+
+    #[test]
+    fn overlap_on_distinct_threads_is_fine() {
+        let events = vec![ev("a", 0, 0, 0, 50), ev("b", 1, 0, 25, 50)];
+        let text = render_chrome(&events);
+        assert_eq!(validate(&text).expect("valid"), 2);
+    }
+
+    #[test]
+    fn validate_rejects_garbage_and_empty() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{\"traceEvents\": []}").is_err());
+        assert!(validate("{\"traceEvents\": [{\"ph\": \"B\"}]}").is_err());
+        assert!(
+            validate("{\"traceEvents\": [{\"name\":\"x\",\"ph\":\"X\",\"ts\":0}]}").is_err(),
+            "missing dur must fail"
+        );
+    }
+
+    #[test]
+    fn escaped_names_survive() {
+        let events = vec![ev("weird \"name\"\n", 0, 0, 0, 5)];
+        let text = render_chrome(&events);
+        assert_eq!(validate(&text).expect("valid"), 1);
+    }
+}

@@ -14,19 +14,27 @@ cargo build --release --offline --workspace
 echo "== tier-1: cargo test -q =="
 cargo test -q --offline --workspace
 
+echo "== examples build =="
+# The examples are documentation that compiles; tier-1 alone never
+# builds them, so an API drift can silently rot them without this.
+cargo build --offline --examples
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
 echo "== cargo clippy -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== bench smoke: perf trajectory vs BENCH_4.json =="
+echo "== bench smoke: perf trajectory vs BENCH_TRAJECTORY.json =="
 # Fixed smoke suite over the acceptance benchmarks, gated at 2x against
-# the committed baseline (current-run min vs baseline median, so noisy
-# hosts can only produce false passes). Regenerate the baseline after an
-# intentional perf change with:
-#   cargo run --release --offline -p tv-bench --bin perf_trajectory -- --out BENCH_4.json
-cargo run --release --offline -p tv-bench --bin perf_trajectory -- --check BENCH_4.json --threshold 2.0
+# the latest run appended to the committed trajectory (current-run min
+# vs baseline median, so noisy hosts can only produce false passes).
+# The suite runs with instrumentation disabled, so this gate is also
+# the proof that the tv_obs hot-path checks cost nothing measurable.
+# Append a new labeled run after an intentional perf change with:
+#   cargo run --release --offline -p tv-bench --bin perf_trajectory -- \
+#     --out BENCH_TRAJECTORY.json --label prN-short-description
+cargo run --release --offline -p tv-bench --bin perf_trajectory -- --check BENCH_TRAJECTORY.json --threshold 2.0
 
 echo "== batch smoke: tv batch vs golden transcript =="
 # The committed session script must replay to its committed transcript
@@ -34,6 +42,22 @@ echo "== batch smoke: tv batch vs golden transcript =="
 # the pass-pipeline invalidation trace in one diff.
 cargo run --release --offline --bin tv -- batch tests/data/session_smoke.txt \
   | diff -u tests/data/session_smoke.golden -
+
+echo "== metrics smoke: deterministic counter golden =="
+# The committed metrics script replays to its committed transcript byte
+# for byte: pins the `metrics` reply shape and the counter values for a
+# fixed edit sequence — including the warm == cold work-plane
+# invariant, visible as three identical "work" blocks in the golden.
+cargo run --release --offline --bin tv -- batch tests/data/metrics_smoke.txt \
+  | diff -u tests/data/metrics_smoke.golden -
+
+echo "== profile smoke: mips32 --trace round trip =="
+# A full mips32 analyze must emit a Chrome trace that parses and whose
+# spans nest; `tv trace-check` is the same validator the tests use.
+trace_file="$(mktemp /tmp/tv-trace.XXXXXX.json)"
+trap 'rm -f "$trace_file"' EXIT
+cargo run --release --offline --bin tv -- demo --trace "$trace_file" > /dev/null
+cargo run --release --offline --bin tv -- trace-check "$trace_file"
 
 echo "== fuzz smoke: tv fuzz --iters 500 =="
 # Deterministic mutation fuzzing of the ingest pipeline: zero panics,

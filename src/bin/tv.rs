@@ -16,7 +16,16 @@
 //! tv session                       # long-lived REPL: commands on stdin, JSON replies
 //! tv batch   <script>              # replay a session script deterministically
 //! tv fuzz    [--iters N] [--seed S]# deterministic ingest fuzzing
+//! tv trace-check <trace.json>      # validate a Chrome trace written by --trace
 //! ```
+//!
+//! Every subcommand additionally accepts the observability flags:
+//! `--profile` prints a wall-clock span summary and the nonzero
+//! deterministic counters to stderr; `--trace FILE` writes the span tree
+//! as a Chrome trace-event file (load in `chrome://tracing` or
+//! Perfetto); `--metrics FILE` writes the deterministic counter dump as
+//! JSON — bit-identical across `--jobs` values, which `tv trace-check`
+//! and the committed counter goldens enforce.
 //!
 //! `session` holds one design resident behind the pass pipeline: edits
 //! (`edit resize|setcap|adddev|rmdev|retech ...`) bump its revision, and
@@ -82,10 +91,16 @@ const USAGE: &str = "usage:
   tv session [engine flags]          commands on stdin, one JSON reply per line
   tv batch   <script> [engine flags] replay a session script from a file
   tv fuzz    [--iters N] [--seed S]
+  tv trace-check <trace.json>        validate a Chrome trace written by --trace
 
 diagnostics (all netlist-reading subcommands):
   --max-errors N        stop reporting parse errors after N (default 20)
   --diag-format FMT     text (default) or json
+
+observability (all subcommands):
+  --profile             span summary + nonzero counters to stderr
+  --trace FILE          Chrome trace-event JSON (chrome://tracing, Perfetto)
+  --metrics FILE        deterministic counter dump as JSON
 
 exit status:
   0  clean
@@ -115,7 +130,95 @@ impl Default for Cli {
     }
 }
 
+/// The observability surface: which planes to enable and where the
+/// outputs go. Parsed twice — once by a pre-scan in `run` (the planes
+/// must be live before any subcommand work starts) and once by each
+/// subcommand's `parse_cli` (so the flags are accepted, not rejected as
+/// unknown).
+#[derive(Default, Clone)]
+struct ObsFlags {
+    profile: bool,
+    trace: Option<String>,
+    metrics: Option<String>,
+}
+
+impl ObsFlags {
+    /// Pre-scan of the raw argument list, using the same
+    /// value-consuming rules as `split_flags` so a flag value can never
+    /// be misread as a flag.
+    fn scan(args: &[String]) -> ObsFlags {
+        let mut obs = ObsFlags::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--profile" => obs.profile = true,
+                "--trace" => obs.trace = it.next().cloned(),
+                "--metrics" => obs.metrics = it.next().cloned(),
+                f if f.starts_with("--") && takes_value(f) => {
+                    it.next();
+                }
+                _ => {}
+            }
+        }
+        obs
+    }
+
+    /// Turns on the planes the requested outputs need.
+    fn activate(&self) {
+        if self.profile || self.trace.is_some() {
+            nmos_tv::obs::spans::set_enabled(true);
+        }
+        if self.profile || self.metrics.is_some() {
+            nmos_tv::obs::counters::set_enabled(true);
+        }
+    }
+
+    /// Writes the requested outputs after the subcommand ran. The
+    /// profile summary goes to stderr so it composes with report output
+    /// on stdout.
+    fn finish(&self) -> Result<(), TvError> {
+        let write = |path: &String, text: String| {
+            std::fs::write(path, text).map_err(|e| TvError::Io {
+                path: path.clone(),
+                source: e,
+            })
+        };
+        if self.profile || self.trace.is_some() {
+            let events = nmos_tv::obs::spans::take_events();
+            if let Some(path) = &self.trace {
+                write(path, nmos_tv::obs::trace::render_chrome(&events))?;
+            }
+            if self.profile {
+                eprint!("{}", nmos_tv::obs::spans::render_summary(&events));
+            }
+        }
+        if self.profile || self.metrics.is_some() {
+            let snap = nmos_tv::obs::counters::snapshot();
+            if let Some(path) = &self.metrics {
+                write(path, format!("{}\n", snap.render_json()))?;
+            }
+            if self.profile {
+                eprint!("{}", snap.render_table());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Activates the observability planes before dispatch and flushes their
+/// outputs after, so `--profile`/`--trace`/`--metrics` compose with any
+/// subcommand. Outputs are written even when the subcommand exits
+/// nonzero (a failing run is exactly when a profile is wanted), but a
+/// dispatch error suppresses them — nothing ran.
 fn run(args: &[String]) -> Result<u8, TvError> {
+    let obs = ObsFlags::scan(args);
+    obs.activate();
+    let code = run_inner(args)?;
+    obs.finish()?;
+    Ok(code)
+}
+
+fn run_inner(args: &[String]) -> Result<u8, TvError> {
     let cmd = args
         .first()
         .ok_or_else(|| TvError::Usage("missing subcommand".into()))?;
@@ -272,6 +375,27 @@ fn run(args: &[String]) -> Result<u8, TvError> {
             })?;
             Ok(code)
         }
+        "trace-check" => {
+            let (flags, rest) = split_flags(&args[1..]);
+            parse_cli(&flags)?;
+            let [path] = rest.as_slice() else {
+                return Err(TvError::Usage("trace-check needs <trace.json>".into()));
+            };
+            let text = std::fs::read_to_string(path).map_err(|e| TvError::Io {
+                path: path.clone(),
+                source: e,
+            })?;
+            match nmos_tv::obs::trace::validate(&text) {
+                Ok(n) => {
+                    println!("trace ok: {n} event(s), spans nest");
+                    Ok(EXIT_CLEAN)
+                }
+                Err(msg) => {
+                    eprintln!("tv: invalid trace {path}: {msg}");
+                    Ok(EXIT_FAILURE)
+                }
+            }
+        }
         "fuzz" => {
             let (iters, seed) = parse_fuzz(&args[1..])?;
             let report = nmos_tv::fuzz::run(iters, seed);
@@ -358,6 +482,8 @@ fn takes_value(flag: &str) -> bool {
             | "--max-arcs"
             | "--iters"
             | "--seed"
+            | "--trace"
+            | "--metrics"
     )
 }
 
@@ -441,6 +567,13 @@ fn parse_cli(args: &[String]) -> Result<Cli, TvError> {
             }
             "--max-nodes" => cli.options.max_nodes = Some(fl.parsed(flag, "node limit")?),
             "--max-arcs" => cli.options.max_arcs = Some(fl.parsed(flag, "arc limit")?),
+            // The observability flags were already consumed by the
+            // `ObsFlags::scan` pre-pass in `run`; accept them here so
+            // subcommand parsers don't reject them as unknown.
+            "--profile" => {}
+            "--trace" | "--metrics" => {
+                fl.value(flag)?;
+            }
             other => return Err(TvError::Usage(format!("unknown flag {other:?}"))),
         }
     }

@@ -55,5 +55,6 @@ pub use tv_core as core;
 pub use tv_flow as flow;
 pub use tv_gen as gen;
 pub use tv_netlist as netlist;
+pub use tv_obs as obs;
 pub use tv_rc as rc;
 pub use tv_sim as sim;

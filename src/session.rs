@@ -23,6 +23,7 @@
 //! paths <from> <to>                    # point-to-point worst path
 //! flow                                 # flow resolution statistics
 //! revision                             # current design revision
+//! metrics                              # deterministic counters since the last metrics
 //! quit                                 # end the session
 //! ```
 //!
@@ -52,6 +53,9 @@ pub struct Session {
     passes: PassManager,
     options: AnalysisOptions,
     max_errors: usize,
+    /// Counter baseline for the `metrics` command: each reply reports
+    /// the delta since the previous `metrics` (or session start).
+    metrics_mark: tv_obs::Snapshot,
 }
 
 /// The reply to one command line.
@@ -68,11 +72,17 @@ impl Session {
     /// A fresh session with no design loaded. `options` applies to every
     /// `analyze`; `max_errors` caps reported parse errors per `load`.
     pub fn new(options: AnalysisOptions, max_errors: usize) -> Self {
+        // Sessions always keep the deterministic counter plane on: the
+        // `metrics` command reports work done since its last baseline,
+        // and the counters are interleaving-independent so this cannot
+        // perturb any golden transcript.
+        tv_obs::counters::set_enabled(true);
         Session {
             design: None,
             passes: PassManager::new(),
             options,
             max_errors,
+            metrics_mark: tv_obs::snapshot(),
         }
     }
 
@@ -103,6 +113,8 @@ impl Session {
             return Reply::Silent;
         }
         let tokens: Vec<&str> = line.split_whitespace().collect();
+        tv_obs::incr(tv_obs::Counter::SessionCommands);
+        let _span = tv_obs::span(command_span_label(tokens[0]));
         let result = match tokens[0] {
             "load" => self.cmd_load(&tokens[1..]),
             "demo" => self.cmd_demo(&tokens[1..]),
@@ -111,6 +123,7 @@ impl Session {
             "paths" => self.cmd_paths(&tokens[1..]),
             "flow" => self.cmd_flow(&tokens[1..]),
             "revision" => self.cmd_revision(&tokens[1..]),
+            "metrics" => self.cmd_metrics(&tokens[1..]),
             "quit" => return Reply::Quit(r#"{"ok":true,"cmd":"quit"}"#.into()),
             other => Err(format!("unknown command {other:?}")),
         };
@@ -348,6 +361,19 @@ impl Session {
         ))
     }
 
+    fn cmd_metrics(&mut self, args: &[&str]) -> Result<String, String> {
+        if !args.is_empty() {
+            return Err("metrics takes no operands".into());
+        }
+        let now = tv_obs::snapshot();
+        let delta = now.since(&self.metrics_mark);
+        self.metrics_mark = now;
+        Ok(format!(
+            r#"{{"ok":true,"cmd":"metrics","counters":{}}}"#,
+            delta.render_json()
+        ))
+    }
+
     fn cmd_revision(&mut self, args: &[&str]) -> Result<String, String> {
         if !args.is_empty() {
             return Err("revision takes no operands".into());
@@ -357,6 +383,22 @@ impl Session {
             r#"{{"ok":true,"cmd":"revision","revision":{}}}"#,
             design.revision().0
         ))
+    }
+}
+
+/// Static span label for a session command (span names must be
+/// `&'static str`; unknown commands share one bucket).
+fn command_span_label(cmd: &str) -> &'static str {
+    match cmd {
+        "load" => "session.load",
+        "demo" => "session.demo",
+        "edit" => "session.edit",
+        "analyze" => "session.analyze",
+        "paths" => "session.paths",
+        "flow" => "session.flow",
+        "revision" => "session.revision",
+        "metrics" => "session.metrics",
+        _ => "session.other",
     }
 }
 
