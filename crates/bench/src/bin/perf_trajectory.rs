@@ -59,15 +59,19 @@ struct Run {
 }
 
 /// The deterministic counters worth recording per bench entry: the work
-/// plane (workload-intrinsic, jobs- and warm/cold-invariant) plus the
-/// flow fixpoint and graph-size telemetry, which are equally
+/// plane (workload-intrinsic and jobs-invariant — warm runs taking the
+/// demand-driven cone path legitimately record less than cold ones)
+/// plus the flow fixpoint and graph-size telemetry, which are equally
 /// deterministic for a fixed input. Timing-plane spans never appear
 /// here.
-const KEPT_COUNTERS: [Counter; 7] = [
+const KEPT_COUNTERS: [Counter; 10] = [
     Counter::PropagateRelaxations,
     Counter::PropagateResiduePops,
     Counter::PropagateNodes,
     Counter::PropagateCases,
+    Counter::ConeSeeds,
+    Counter::ConeNodes,
+    Counter::ConeFallbacks,
     Counter::FlowSweeps,
     Counter::FlowWorklistPops,
     Counter::GraphArcs,
@@ -484,6 +488,10 @@ fn check(entries: &[Entry], baseline_path: &str, threshold: f64) -> ExitCode {
             e.name, base.ns_per_op, e.min_ns, ratio, verdict
         );
     }
+    if let Err(msg) = check_cone_work(entries) {
+        eprintln!("perf_trajectory: {msg}");
+        failed = true;
+    }
     if failed {
         eprintln!("perf_trajectory: regression beyond {threshold}x of committed baseline");
         ExitCode::FAILURE
@@ -491,6 +499,44 @@ fn check(entries: &[Entry], baseline_path: &str, threshold: f64) -> ExitCode {
         println!("perf_trajectory: within {threshold}x of baseline");
         ExitCode::SUCCESS
     }
+}
+
+/// Counter gate on the current run: the demand-driven cone must keep
+/// the warm mips32 resize's relaxation work well clear of the cold
+/// analyze count. The counters are deterministic, so this gate has no
+/// noise margin — a warm count within 2x of cold means the cone engine
+/// stopped engaging (fell back to the full walk) and is a regression.
+fn check_cone_work(entries: &[Entry]) -> Result<(), String> {
+    let relax_of = |name: &str| -> Option<u64> {
+        entries
+            .iter()
+            .find(|e| e.name == name)?
+            .counters
+            .iter()
+            .find(|(k, _)| k == Counter::PropagateRelaxations.name())
+            .map(|&(_, v)| v)
+    };
+    let (Some(cold), Some(warm)) = (
+        relax_of("session/mips32-cold-analyze-only"),
+        relax_of("session/mips32-warm-resize"),
+    ) else {
+        // Counter-less entries (an old-format file) can't be gated.
+        return Ok(());
+    };
+    println!(
+        "{:<28} {:>14} {:>14} {:>7.2}x  cone work gate (must stay under 0.50x)",
+        "warm-resize relaxations",
+        cold,
+        warm,
+        warm as f64 / cold as f64
+    );
+    if warm * 2 >= cold {
+        return Err(format!(
+            "warm mips32 resize does {warm} relaxations, within 2x of the cold count {cold}: \
+             the cone engine is not engaging"
+        ));
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {

@@ -4,8 +4,12 @@
 //! unreadable or malformed `.sim` file, a query against a node that does
 //! not exist, a transformation request the netlist cannot satisfy —
 //! surfaces as a [`TvError`] so `tv` exits with a diagnostic instead of
-//! panicking. Internal invariants (worker joins, schedule bookkeeping)
-//! remain `expect`s: violating them is a bug, not an input problem.
+//! panicking. Most internal invariants (worker joins, schedule
+//! bookkeeping) remain `expect`s: violating them is a bug, not an input
+//! problem. The exception is the pass pipeline's slot ordering, which a
+//! long-lived `tv session` must survive: a violated pipeline invariant
+//! surfaces as [`TvError::Internal`] so the offending command degrades
+//! to an error reply instead of killing the whole process.
 
 use std::fmt;
 
@@ -44,6 +48,13 @@ pub enum TvError {
         /// Everything the run did manage to compute.
         partial: Box<crate::analyzer::TimingReport>,
     },
+    /// An internal invariant was violated — a bug in the pipeline, not
+    /// an input problem. Reported instead of panicking so a long-lived
+    /// session degrades one command rather than the whole process.
+    Internal {
+        /// Which invariant failed.
+        what: &'static str,
+    },
     /// The input exceeds a configured size guard
     /// ([`crate::AnalysisOptions::max_nodes`] /
     /// [`crate::AnalysisOptions::max_arcs`]).
@@ -70,6 +81,10 @@ impl fmt::Display for TvError {
                 f,
                 "analysis exhausted its resource budget with {} node(s) unresolved",
                 unresolved.len()
+            ),
+            TvError::Internal { what } => write!(
+                f,
+                "internal invariant violated: {what} (this is a bug, please report it)"
             ),
             TvError::TooLarge { what, count, limit } => write!(
                 f,
@@ -98,6 +113,16 @@ mod tests {
         assert_eq!(e.to_string(), "no node named \"alu_out\"");
         let e = TvError::Usage("--jobs needs a value".into());
         assert_eq!(e.to_string(), "--jobs needs a value");
+    }
+
+    #[test]
+    fn internal_error_names_the_invariant() {
+        let e = TvError::Internal {
+            what: "flow pass left no result",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("internal invariant violated"));
+        assert!(msg.contains("flow pass left no result"));
     }
 
     #[test]

@@ -398,6 +398,49 @@ impl TimingGraph {
     pub fn out_arcs_of(&self, node: NodeId) -> &[u32] {
         self.out_arcs_of_index(node.index())
     }
+
+    /// Extends `marked` to the forward closure of `seeds` over out-arcs:
+    /// the fanout cone a change to the seed nodes can influence. Nodes
+    /// already marked act as seeds too (their fanout is included); the
+    /// incremental cache uses exactly this to turn a dirty node list
+    /// into the affected set the cone engine re-relaxes.
+    pub fn fanout_closure(&self, marked: &mut [bool], mut seeds: Vec<usize>) {
+        while let Some(i) = seeds.pop() {
+            for &ai in self.out_arcs_of_index(i) {
+                let to = self.arcs[ai as usize].to.index();
+                if !marked[to] {
+                    marked[to] = true;
+                    seeds.push(to);
+                }
+            }
+        }
+    }
+
+    /// Reverse reachability: every node from which some node in
+    /// `targets` can be reached over arcs (the targets themselves
+    /// included). The dual of [`TimingGraph::fanout_closure`], walking
+    /// in-arcs instead of out-arcs — the fan-in cone that determines a
+    /// target's arrival.
+    pub fn fanin_cone(&self, targets: &[usize]) -> Vec<bool> {
+        let mut marked = vec![false; self.node_count()];
+        let mut stack: Vec<usize> = Vec::new();
+        for &t in targets {
+            if !marked[t] {
+                marked[t] = true;
+                stack.push(t);
+            }
+        }
+        while let Some(i) = stack.pop() {
+            for &ai in self.in_arcs_of_index(i) {
+                let from = self.arcs[ai as usize].from.index();
+                if !marked[from] {
+                    marked[from] = true;
+                    stack.push(from);
+                }
+            }
+        }
+        marked
+    }
 }
 
 /// Finishes a graph from its flat arc list: both CSR adjacency
@@ -1295,6 +1338,78 @@ mod tests {
         for a in to_out {
             assert!(a.inverting);
             assert!(a.fall_delay.is_finite());
+        }
+    }
+
+    #[test]
+    fn fanout_closure_marks_exactly_the_downstream_cone() {
+        // a -> s0 -> s1 -> s2, plus an independent c -> t0.
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let c = b.input("c");
+        let s0 = b.node("s0");
+        let s1 = b.node("s1");
+        let s2 = b.node("s2");
+        let t0 = b.node("t0");
+        b.inverter("i0", a, s0);
+        b.inverter("i1", s0, s1);
+        b.inverter("i2", s1, s2);
+        b.inverter("j0", c, t0);
+        let nl = b.finish().unwrap();
+        let (g, _) = graph_for(&nl, PhaseCase::all_active());
+
+        let mut marked = vec![false; g.node_count()];
+        marked[s0.index()] = true;
+        g.fanout_closure(&mut marked, vec![s0.index()]);
+        for i in nl.node_ids() {
+            let expect = i == s0 || i == s1 || i == s2;
+            assert_eq!(
+                marked[i.index()],
+                expect,
+                "fanout of s0 mismarked {:?}",
+                nl.node_name(i)
+            );
+        }
+    }
+
+    #[test]
+    fn fanin_cone_is_the_dual_of_fanout_closure() {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let c = b.input("c");
+        let s0 = b.node("s0");
+        let s1 = b.node("s1");
+        let t0 = b.node("t0");
+        b.inverter("i0", a, s0);
+        b.inverter("i1", s0, s1);
+        b.inverter("j0", c, t0);
+        let nl = b.finish().unwrap();
+        let (g, _) = graph_for(&nl, PhaseCase::all_active());
+
+        let cone = g.fanin_cone(&[s1.index()]);
+        for i in nl.node_ids() {
+            let expect = i == a || i == s0 || i == s1;
+            assert_eq!(
+                cone[i.index()],
+                expect,
+                "fanin of s1 mismarked {:?}",
+                nl.node_name(i)
+            );
+        }
+        // Duality: j is in fanin_cone(t) iff t is in fanout_closure(j).
+        for j in nl.node_ids() {
+            let mut fwd = vec![false; g.node_count()];
+            fwd[j.index()] = true;
+            g.fanout_closure(&mut fwd, vec![j.index()]);
+            for t in nl.node_ids() {
+                assert_eq!(
+                    g.fanin_cone(&[t.index()])[j.index()],
+                    fwd[t.index()],
+                    "duality broke for j={:?} t={:?}",
+                    nl.node_name(j),
+                    nl.node_name(t)
+                );
+            }
         }
     }
 

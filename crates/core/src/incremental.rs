@@ -37,7 +37,20 @@ use tv_rc::SlopeModel;
 
 use crate::graph::{ArcKind, TimingGraph};
 use crate::options::AnalysisOptions;
-use crate::propagate::{propagate_reuse, CachedCase, Guards, PhaseResult, Reuse, Workspace};
+use crate::propagate::{
+    propagate_cone, propagate_reuse, CachedCase, Guards, PhaseResult, Reuse, Workspace,
+};
+
+/// Which propagation engine served one analysis case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseEngine {
+    /// The demand-driven cone engine: only the affected fanout cone was
+    /// re-relaxed over a cached snapshot.
+    Cone,
+    /// The full levelized walk — cold, residue present, an oversized
+    /// cone, or a deadline guard armed.
+    Full,
+}
 
 /// Reuse statistics for one analysis case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +61,8 @@ pub struct CaseStats {
     pub nodes: usize,
     /// Nodes actually re-evaluated (the affected cone).
     pub recomputed: usize,
+    /// Which engine produced the arrivals.
+    pub engine: CaseEngine,
 }
 
 impl CaseStats {
@@ -169,11 +184,15 @@ impl IncrementalCache {
     ///
     /// * the cached entry carries the *current* graph fingerprint — no
     ///   edit touched this case at all, so the stored fingerprints and
-    ///   snapshot are already exact: run the pure copy walk without
-    ///   hashing an arc or re-snapshotting a node;
+    ///   snapshot are already exact: materialize the snapshot through
+    ///   the zero-seed cone engine without hashing an arc or
+    ///   re-snapshotting a node;
     /// * the entry carries the fingerprint the delta says the arcs
     ///   *previously* reflected — only the delta's listed nodes can have
-    ///   changed, so only they are re-hashed, and the entry is patched in
+    ///   changed, so only they are re-hashed, their fanout closure is
+    ///   re-relaxed by [`crate::propagate`]'s demand-driven cone engine
+    ///   (falling back to the full walk when the cone passes half the
+    ///   graph or a deadline is armed), and the entry is patched in
     ///   place instead of rebuilt.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn propagate_case(
@@ -195,27 +214,46 @@ impl IncrementalCache {
             if let Some(entry) = self.cases.get(&key) {
                 if entry.graph_fp == delta.graph_fp && entry.fingerprints.len() == n {
                     let affected = vec![false; n];
-                    let reuse = Reuse {
-                        affected: &affected,
-                        cached: &entry.cached,
+                    // Zero-seed cone: the snapshot is served as-is.
+                    // Only an armed deadline forces the full walk (the
+                    // set of resolved nodes must stay the walk's).
+                    let (result, engine) = if guards.deadline.is_none() {
+                        let r = propagate_cone(
+                            graph,
+                            sources,
+                            endpoints,
+                            slope,
+                            &affected,
+                            &entry.cached,
+                            &mut self.workspace,
+                        );
+                        (r, CaseEngine::Cone)
+                    } else {
+                        tv_obs::incr(tv_obs::Counter::ConeFallbacks);
+                        let reuse = Reuse {
+                            affected: &affected,
+                            cached: &entry.cached,
+                        };
+                        let r = propagate_reuse(
+                            netlist,
+                            graph,
+                            sources,
+                            endpoints,
+                            slope,
+                            jobs,
+                            Some(reuse),
+                            guards,
+                            &mut self.workspace,
+                        );
+                        (r, CaseEngine::Full)
                     };
-                    let result = propagate_reuse(
-                        netlist,
-                        graph,
-                        sources,
-                        endpoints,
-                        slope,
-                        jobs,
-                        Some(reuse),
-                        guards,
-                        &mut self.workspace,
-                    );
                     tv_obs::incr(tv_obs::Counter::CacheCaseHits);
                     tv_obs::add(tv_obs::Counter::CacheNodesReused, n as u64);
                     self.stats.push(CaseStats {
                         case: key,
                         nodes: n,
                         recomputed: 0,
+                        engine,
                     });
                     return result;
                 }
@@ -245,27 +283,52 @@ impl IncrementalCache {
                         .filter(|&&(i, fp)| entry.fingerprints[i] != fp)
                         .map(|&(i, _)| i)
                         .collect();
+                    let seed_count = seeds.len();
                     let mut affected = vec![false; n];
                     for &i in &seeds {
                         affected[i] = true;
                     }
-                    forward_close(graph, &mut affected, seeds);
+                    graph.fanout_closure(&mut affected, seeds);
                     let recomputed = affected.iter().filter(|&&d| d).count();
-                    let reuse = Reuse {
-                        affected: &affected,
-                        cached: &entry.cached,
+                    // The cone engine wins while the affected cone is a
+                    // minority of the graph; past half the nodes the
+                    // chunkable full walk is at least as good, and an
+                    // armed deadline always needs the walk's level-
+                    // boundary checks. Both cut-offs depend only on the
+                    // certified edit, never on `jobs` — the work
+                    // counters stay schedule-independent.
+                    let use_cone = guards.deadline.is_none() && recomputed * 2 <= n;
+                    let (result, engine) = if use_cone {
+                        tv_obs::add(tv_obs::Counter::ConeSeeds, seed_count as u64);
+                        let r = propagate_cone(
+                            graph,
+                            sources,
+                            endpoints,
+                            slope,
+                            &affected,
+                            &entry.cached,
+                            &mut self.workspace,
+                        );
+                        (r, CaseEngine::Cone)
+                    } else {
+                        tv_obs::incr(tv_obs::Counter::ConeFallbacks);
+                        let reuse = Reuse {
+                            affected: &affected,
+                            cached: &entry.cached,
+                        };
+                        let r = propagate_reuse(
+                            netlist,
+                            graph,
+                            sources,
+                            endpoints,
+                            slope,
+                            jobs,
+                            Some(reuse),
+                            guards,
+                            &mut self.workspace,
+                        );
+                        (r, CaseEngine::Full)
                     };
-                    let result = propagate_reuse(
-                        netlist,
-                        graph,
-                        sources,
-                        endpoints,
-                        slope,
-                        jobs,
-                        Some(reuse),
-                        guards,
-                        &mut self.workspace,
-                    );
                     let entry = self.cases.get_mut(&key).unwrap();
                     entry.graph_fp = delta.graph_fp;
                     for &(i, fp) in &fresh {
@@ -281,6 +344,7 @@ impl IncrementalCache {
                         case: key,
                         nodes: n,
                         recomputed,
+                        engine,
                     });
                     return result;
                 }
@@ -351,6 +415,7 @@ impl IncrementalCache {
             case: key,
             nodes: n,
             recomputed,
+            engine: CaseEngine::Full,
         });
         result
     }
@@ -362,21 +427,8 @@ fn affected_cone(graph: &TimingGraph, fps: &[u64], baseline: &[u64]) -> Vec<bool
     let n = fps.len();
     let mut affected: Vec<bool> = (0..n).map(|i| baseline.get(i) != Some(&fps[i])).collect();
     let stack: Vec<usize> = (0..n).filter(|&i| affected[i]).collect();
-    forward_close(graph, &mut affected, stack);
+    graph.fanout_closure(&mut affected, stack);
     affected
-}
-
-/// Extends `affected` to the forward closure of `stack` over out-arcs.
-fn forward_close(graph: &TimingGraph, affected: &mut [bool], mut stack: Vec<usize>) {
-    while let Some(i) = stack.pop() {
-        for &ai in graph.out_arcs_of_index(i) {
-            let to = graph.arcs[ai as usize].to.index();
-            if !affected[to] {
-                affected[to] = true;
-                stack.push(to);
-            }
-        }
-    }
 }
 
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
@@ -741,5 +793,159 @@ mod tests {
                 warm.arrivals.fall(i).map(f64::to_bits)
             );
         }
+    }
+
+    /// An inverter chain with an optional extra wiring cap on `s0`, so
+    /// two builds differ by one physical edit near the chain's head.
+    fn chain_with_cap(n: usize, cap_on_s0: bool) -> tv_netlist::Netlist {
+        let mut b = NetlistBuilder::new(Tech::nmos4um());
+        let a = b.input("a");
+        let mut prev = a;
+        for i in 0..n {
+            let nx = b.node(format!("s{i}"));
+            b.inverter(format!("i{i}"), prev, nx);
+            if i == 0 && cap_on_s0 {
+                b.add_cap(nx, 0.3).unwrap();
+            }
+            prev = nx;
+        }
+        b.finish().unwrap()
+    }
+
+    /// Asserts two phase results agree bit-for-bit: arrivals, transition
+    /// times, predecessor records, endpoints, and the charged relaxation
+    /// count (the figure the golden fingerprint hashes).
+    fn assert_bit_identical(nl: &tv_netlist::Netlist, a: &PhaseResult, b: &PhaseResult) {
+        for i in nl.node_ids() {
+            let i = i.index();
+            assert_eq!(a.arrivals.rise[i].to_bits(), b.arrivals.rise[i].to_bits());
+            assert_eq!(a.arrivals.fall[i].to_bits(), b.arrivals.fall[i].to_bits());
+            assert_eq!(
+                a.arrivals.trans_rise[i].to_bits(),
+                b.arrivals.trans_rise[i].to_bits()
+            );
+            assert_eq!(
+                a.arrivals.trans_fall[i].to_bits(),
+                b.arrivals.trans_fall[i].to_bits()
+            );
+            let pred = |p: &Option<crate::propagate::Pred>| p.map(|p| (p.arc, p.from_edge));
+            assert_eq!(
+                pred(&a.arrivals.pred_rise[i]),
+                pred(&b.arrivals.pred_rise[i]),
+                "rise pred diverged at node {i}"
+            );
+            assert_eq!(
+                pred(&a.arrivals.pred_fall[i]),
+                pred(&b.arrivals.pred_fall[i]),
+                "fall pred diverged at node {i}"
+            );
+        }
+        assert_eq!(a.relaxations, b.relaxations, "charged relaxations differ");
+        assert_eq!(a.endpoints.len(), b.endpoints.len());
+        for (x, y) in a.endpoints.iter().zip(&b.endpoints) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1.to_bits(), y.1.to_bits());
+        }
+    }
+
+    /// A certificate naming the cached fingerprint with *every* node
+    /// dirty — a valid (if lazy) superset: seeds are re-derived from
+    /// actual fingerprint mismatches.
+    fn certify_all(prev_fp: u64, new_fp: u64, n: usize) -> CaseDelta {
+        CaseDelta {
+            graph_fp: new_fp,
+            since: Some((prev_fp, (0..n as u32).collect())),
+        }
+    }
+
+    #[test]
+    fn certified_cone_is_bit_identical_to_full_walk() {
+        // A cap edit near the tail of a deep chain: the affected cone is
+        // a strict minority, so the demand-driven cone engine runs — and
+        // must reproduce the full walk bit for bit, preds included.
+        let build = |cap: bool| {
+            let mut b = NetlistBuilder::new(Tech::nmos4um());
+            let a = b.input("a");
+            let mut prev = a;
+            for i in 0..8 {
+                let nx = b.node(format!("s{i}"));
+                b.inverter(format!("i{i}"), prev, nx);
+                if i == 6 && cap {
+                    b.add_cap(nx, 0.3).unwrap();
+                }
+                prev = nx;
+            }
+            b.finish().unwrap()
+        };
+        let nl1 = build(false);
+        let nl2 = build(true);
+        let slope = SlopeModel::calibrated();
+        let mut cache = IncrementalCache::new();
+        cache.begin_run(&AnalysisOptions::default());
+        {
+            let (g, src, eps) = graph_and_sources(&nl1);
+            cache.propagate_case(&nl1, &g, &src, &eps, &slope, 1, Guards::default(), &full(1));
+        }
+        cache.begin_run(&AnalysisOptions::default());
+        let (g, src, eps) = graph_and_sources(&nl2);
+        let delta = certify_all(1, 2, nl2.node_count());
+        let warm = cache.propagate_case(&nl2, &g, &src, &eps, &slope, 1, Guards::default(), &delta);
+        let stats = cache.last_stats()[0];
+        assert_eq!(stats.engine, CaseEngine::Cone, "cone engine should run");
+        assert!(stats.recomputed > 0 && stats.recomputed * 2 <= stats.nodes);
+        let cold = crate::propagate::propagate(&nl2, &g, &src, &eps, &slope);
+        assert_bit_identical(&nl2, &cold, &warm);
+        assert_eq!(warm.relaxations, g.arcs.len(), "charge-equivalence");
+    }
+
+    #[test]
+    fn oversized_cone_falls_back_to_full_walk() {
+        // The same edit at the chain's head: the cone covers a majority
+        // of the graph, so the engine falls back to the full walk — and
+        // the result is still bit-identical.
+        let nl1 = chain_with_cap(6, false);
+        let nl2 = chain_with_cap(6, true);
+        let slope = SlopeModel::calibrated();
+        let mut cache = IncrementalCache::new();
+        cache.begin_run(&AnalysisOptions::default());
+        {
+            let (g, src, eps) = graph_and_sources(&nl1);
+            cache.propagate_case(&nl1, &g, &src, &eps, &slope, 1, Guards::default(), &full(1));
+        }
+        cache.begin_run(&AnalysisOptions::default());
+        let (g, src, eps) = graph_and_sources(&nl2);
+        let delta = certify_all(1, 2, nl2.node_count());
+        let warm = cache.propagate_case(&nl2, &g, &src, &eps, &slope, 1, Guards::default(), &delta);
+        let stats = cache.last_stats()[0];
+        assert_eq!(
+            stats.engine,
+            CaseEngine::Full,
+            "majority cone must fall back"
+        );
+        let cold = crate::propagate::propagate(&nl2, &g, &src, &eps, &slope);
+        assert_bit_identical(&nl2, &cold, &warm);
+    }
+
+    #[test]
+    fn armed_deadline_forces_full_walk() {
+        // A deadline needs the full walk's level-boundary checks, so the
+        // cone engine must not run even on a snapshot-served fast path.
+        let nl = chain_with_cap(5, false);
+        let slope = SlopeModel::calibrated();
+        let mut cache = IncrementalCache::new();
+        cache.begin_run(&AnalysisOptions::default());
+        let (g, src, eps) = graph_and_sources(&nl);
+        cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, Guards::default(), &full(1));
+        cache.begin_run(&AnalysisOptions::default());
+        let far_off = Guards {
+            deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(3600)),
+            ..Guards::default()
+        };
+        let warm = cache.propagate_case(&nl, &g, &src, &eps, &slope, 1, far_off, &full(1));
+        let stats = cache.last_stats()[0];
+        assert_eq!(stats.engine, CaseEngine::Full);
+        assert_eq!(stats.recomputed, 0, "the snapshot still serves the values");
+        let cold = crate::propagate::propagate(&nl, &g, &src, &eps, &slope);
+        assert_bit_identical(&nl, &cold, &warm);
     }
 }

@@ -73,7 +73,7 @@ pub use error::TvError;
 pub use fingerprint::{flow_fingerprint, report_fingerprint, Fnv};
 pub use graph::{Arc, ArcKind, LevelSchedule, PhaseCase, TimingGraph};
 pub use hold::{race_check, RaceHazard};
-pub use incremental::{CaseStats, ConfigEffect, IncrementalCache};
+pub use incremental::{CaseEngine, CaseStats, ConfigEffect, IncrementalCache};
 pub use optimize::{buffer_long_pass_runs, BufferInsertion};
 pub use options::{AnalysisOptions, DelayModel};
 pub use paths::{PathStep, TimingPath};

@@ -58,7 +58,7 @@ use crate::fingerprint::{flow_fingerprint, hash_words, mix64};
 use crate::graph::{
     build_with_spans, splice_roots, BuildScratch, GraphBuilder, PhaseCase, RootKind, TimingGraph,
 };
-use crate::incremental::{CaseDelta, IncrementalCache};
+use crate::incremental::{CaseDelta, CaseEngine, IncrementalCache};
 use crate::options::AnalysisOptions;
 use crate::paths::critical_paths;
 use crate::propagate::{propagate_reuse, Guards, Workspace};
@@ -157,6 +157,13 @@ pub enum PassOutcome {
     /// extent, so the cached graph was revalidated without touching an
     /// arc.
     Revalidated,
+    /// Arrival pass only: the demand-driven cone engine re-relaxed just
+    /// the affected fanout cone over a cached snapshot (bit-identical to
+    /// the full walk).
+    Cone {
+        /// Number of nodes the cone re-relaxed.
+        recomputed: usize,
+    },
 }
 
 /// One entry of [`PassManager::last_trace`].
@@ -257,10 +264,11 @@ impl PassManager {
     /// Runs (or revalidates) the full pipeline against the design's
     /// current state. Panics on size-limit errors like
     /// [`crate::Analyzer::run`]; use [`PassManager::try_analyze`] to
-    /// enforce limits.
+    /// enforce limits (and to receive a violated pipeline invariant as
+    /// [`TvError::Internal`] instead of a panic).
     pub fn analyze(&mut self, design: &Design, options: &AnalysisOptions) -> TimingReport {
         self.analyze_design(design, options, false)
-            .expect("size limits are only enforced by try_analyze")
+            .expect("unguarded analyze: limits are off and pipeline invariants hold")
     }
 
     /// [`PassManager::analyze`] with [`AnalysisOptions::max_nodes`] and
@@ -378,8 +386,12 @@ impl PassManager {
             }
         };
         push(&mut self.trace, PassId::Flow, flow_reran);
-        let flow_fp = self.flow.as_ref().unwrap().output_fp;
-        let flow = &self.flow.as_ref().unwrap().value;
+        let flow_slot = self
+            .flow
+            .as_ref()
+            .ok_or(internal("flow pass left no result"))?;
+        let flow_fp = flow_slot.output_fp;
+        let flow = &flow_slot.value;
 
         // --- qualify ---
         let qual_in = hash_words(&[stamp.design, stamp.topo, flow_fp]);
@@ -398,8 +410,12 @@ impl PassManager {
             }
         };
         push(&mut self.trace, PassId::Qualify, qual_reran);
-        let qual_fp = self.qual.as_ref().unwrap().output_fp;
-        let qual = self.qual.as_ref().unwrap().value.as_slice();
+        let qual_slot = self
+            .qual
+            .as_ref()
+            .ok_or(internal("qualify pass left no result"))?;
+        let qual_fp = qual_slot.output_fp;
+        let qual = qual_slot.value.as_slice();
 
         // --- latches ---
         let latch_in = hash_words(&[stamp.design, stamp.topo, flow_fp, qual_fp]);
@@ -418,7 +434,12 @@ impl PassManager {
             }
         };
         push(&mut self.trace, PassId::Latches, latch_reran);
-        let latches = self.latches.as_ref().unwrap().value.as_slice();
+        let latches = self
+            .latches
+            .as_ref()
+            .ok_or(internal("latch pass left no result"))?
+            .value
+            .as_slice();
 
         // Derived views are recomputed every run — they are cheap
         // projections of the cached analyses, and keeping them out of
@@ -443,7 +464,9 @@ impl PassManager {
             qual_fp,
             jobs,
         );
-        let comb_slot = self.graphs[0].as_ref().unwrap();
+        let comb_slot = self.graphs[0]
+            .as_ref()
+            .ok_or(internal("graph pass left no combinational slot"))?;
         if enforce_limits {
             if let Some(limit) = options.max_arcs {
                 let count = comb_slot.graph.arc_count();
@@ -508,7 +531,9 @@ impl PassManager {
                     qual_fp,
                     jobs,
                 );
-                let slot = self.graphs[1 + p as usize].as_ref().unwrap();
+                let slot = self.graphs[1 + p as usize]
+                    .as_ref()
+                    .ok_or(internal("graph pass left no phase slot"))?;
                 diagnostics.extend(slot.graph.diagnostics.iter().cloned());
                 let sources = phase_sources(nl, latches, p);
                 let endpoints = phase_endpoints(nl, latches, p);
@@ -589,7 +614,12 @@ impl PassManager {
             }
         };
         push(&mut self.trace, PassId::Checks, checks_reran);
-        let checks = self.checks.as_ref().unwrap().value.clone();
+        let checks = self
+            .checks
+            .as_ref()
+            .ok_or(internal("checks pass left no result"))?
+            .value
+            .clone();
         diagnostics.extend(checks.iter().map(|c| c.diagnostic(nl)));
 
         // Pass outcomes into the observability counters (the trace is
@@ -598,7 +628,10 @@ impl PassManager {
             (0u64, 0u64, 0u64, 0u64, 0u64);
         for e in &self.trace {
             match e.outcome {
-                PassOutcome::Computed => computed += 1,
+                // A cone pass did real (if little) work: it counts as
+                // computed in the pass-level telemetry; the cone.*
+                // counters carry the finer story.
+                PassOutcome::Computed | PassOutcome::Cone { .. } => computed += 1,
                 PassOutcome::Reused => reused += 1,
                 PassOutcome::Spliced { roots: r } => {
                     spliced += 1;
@@ -882,12 +915,24 @@ fn push(trace: &mut Vec<PassEvent>, pass: PassId, reran: bool) {
     });
 }
 
+/// A violated pipeline invariant, as a typed error: one session command
+/// degrades to an error reply instead of the whole `tv session` process
+/// dying on an `unwrap`.
+fn internal(what: &'static str) -> TvError {
+    TvError::Internal { what }
+}
+
 /// Arrival passes are memoized per node inside the cache, not per pass:
-/// "reused" here means the whole case copied over (zero recomputed).
+/// "reused" here means the whole case copied over (zero recomputed),
+/// and "cone" means the demand-driven engine re-relaxed only the
+/// affected cone.
 fn arrivals_outcome(cache: &Option<&mut IncrementalCache>) -> PassOutcome {
     match cache {
         Some(c) => match c.last_stats().last() {
             Some(s) if s.recomputed == 0 => PassOutcome::Reused,
+            Some(s) if s.engine == CaseEngine::Cone => PassOutcome::Cone {
+                recomputed: s.recomputed,
+            },
             _ => PassOutcome::Computed,
         },
         None => PassOutcome::Computed,

@@ -15,12 +15,14 @@
 //!
 //! Counters come in two planes (see [`Counter::is_work`]):
 //!
-//! * **work** — measures of the analyzed circuit's intrinsic workload
-//!   (arc relaxations, residue pops, nodes finished). The engine
-//!   guarantees these are bit-identical across `--jobs` counts *and*
-//!   across warm/cold runs: a cache-served node still charges the
-//!   relaxations a recomputation would have performed (the reuse
-//!   invariant the incremental cache already maintains).
+//! * **work** — measures of the algorithmic work actually performed
+//!   (arc relaxations, residue pops, nodes finished, cone seeds). The
+//!   engine guarantees these are bit-identical across `--jobs` counts
+//!   for a fixed command sequence. A warm run taking the demand-driven
+//!   cone path legitimately records *less* work than the cold run —
+//!   that shrinkage is the whole point of incremental propagation —
+//!   but for a given sequence of edits the totals never depend on the
+//!   worker schedule.
 //! * **telemetry** — measures of how the run was satisfied (cache
 //!   hits, pass skips, parse statistics). Deterministic for a fixed
 //!   command sequence, but a warm run legitimately differs from a cold
@@ -43,6 +45,13 @@ pub enum Counter {
     PropagateNodes,
     /// Propagation cases finished (combinational + per-phase).
     PropagateCases,
+    /// Dirty seed nodes handed to the demand-driven cone engine.
+    ConeSeeds,
+    /// Nodes re-relaxed by the cone engine (the affected fanout cone).
+    ConeNodes,
+    /// Warm passes that fell back from the cone engine to a full walk
+    /// (cone too large, residue present, or a deadline guard armed).
+    ConeFallbacks,
     /// Sweeps the flow fixpoint took to stabilize.
     FlowSweeps,
     /// Worklist examinations inside the flow fixpoint.
@@ -94,6 +103,9 @@ pub const ALL: [Counter; COUNT] = [
     Counter::PropagateResiduePops,
     Counter::PropagateNodes,
     Counter::PropagateCases,
+    Counter::ConeSeeds,
+    Counter::ConeNodes,
+    Counter::ConeFallbacks,
     Counter::FlowSweeps,
     Counter::FlowWorklistPops,
     Counter::FlowPassDevices,
@@ -124,6 +136,9 @@ impl Counter {
             Counter::PropagateResiduePops => "propagate.residue_pops",
             Counter::PropagateNodes => "propagate.nodes",
             Counter::PropagateCases => "propagate.cases",
+            Counter::ConeSeeds => "cone.seeds",
+            Counter::ConeNodes => "cone.nodes",
+            Counter::ConeFallbacks => "cone.fallbacks",
             Counter::FlowSweeps => "flow.sweeps",
             Counter::FlowWorklistPops => "flow.worklist_pops",
             Counter::FlowPassDevices => "flow.pass_devices",
@@ -148,9 +163,11 @@ impl Counter {
     }
 
     /// Whether the counter belongs to the **work** plane: bit-identical
-    /// across `--jobs` counts and across warm/cold runs of the same
-    /// analysis. Everything else is **telemetry**: still deterministic
-    /// for a fixed command sequence, but reuse-dependent by design.
+    /// across `--jobs` counts for a fixed command sequence. A warm run
+    /// served by the cone engine records less work than a cold one —
+    /// legitimately — but never a schedule-dependent amount. Everything
+    /// else is **telemetry**: still deterministic for a fixed command
+    /// sequence, but reuse-dependent by design.
     pub fn is_work(self) -> bool {
         matches!(
             self,
@@ -158,6 +175,9 @@ impl Counter {
                 | Counter::PropagateResiduePops
                 | Counter::PropagateNodes
                 | Counter::PropagateCases
+                | Counter::ConeSeeds
+                | Counter::ConeNodes
+                | Counter::ConeFallbacks
         )
     }
 }
@@ -249,7 +269,7 @@ impl Snapshot {
     }
 
     /// Whether the work-plane counters equal `other`'s — the invariant
-    /// the determinism tests assert across jobs and warm/cold runs.
+    /// the determinism tests assert across `--jobs` counts.
     pub fn work_eq(&self, other: &Snapshot) -> bool {
         ALL.iter()
             .filter(|c| c.is_work())

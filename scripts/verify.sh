@@ -31,6 +31,9 @@ echo "== bench smoke: perf trajectory vs BENCH_TRAJECTORY.json =="
 # vs baseline median, so noisy hosts can only produce false passes).
 # The suite runs with instrumentation disabled, so this gate is also
 # the proof that the tv_obs hot-path checks cost nothing measurable.
+# It additionally gates the noise-free counter plane: the warm mips32
+# resize's propagate.relaxations must stay under half the cold analyze
+# count, or the demand-driven cone engine has stopped engaging.
 # Append a new labeled run after an intentional perf change with:
 #   cargo run --release --offline -p tv-bench --bin perf_trajectory -- \
 #     --out BENCH_TRAJECTORY.json --label prN-short-description
@@ -46,10 +49,19 @@ cargo run --release --offline --bin tv -- batch tests/data/session_smoke.txt \
 echo "== metrics smoke: deterministic counter golden =="
 # The committed metrics script replays to its committed transcript byte
 # for byte: pins the `metrics` reply shape and the counter values for a
-# fixed edit sequence — including the warm == cold work-plane
-# invariant, visible as three identical "work" blocks in the golden.
+# fixed edit sequence — including that the warm marks' work plane
+# shrinks against the cold one once the demand-driven cone engine
+# engages (the cone.* counters in the golden record by how much).
 cargo run --release --offline --bin tv -- batch tests/data/metrics_smoke.txt \
   | diff -u tests/data/metrics_smoke.golden -
+
+echo "== cone smoke: warm edits are O(affected cone) =="
+# The committed MIPS-class transcript is the acceptance evidence for
+# demand-driven cone propagation: the warm single-resize re-analysis
+# records under 10% of the cold run's propagate.relaxations, with every
+# report fingerprint bit-identical to the full walk's.
+cargo run --release --offline --bin tv -- batch tests/data/cone_smoke.txt \
+  | diff -u tests/data/cone_smoke.golden -
 
 echo "== profile smoke: mips32 --trace round trip =="
 # A full mips32 analyze must emit a Chrome trace that parses and whose

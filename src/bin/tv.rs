@@ -145,22 +145,25 @@ struct ObsFlags {
 impl ObsFlags {
     /// Pre-scan of the raw argument list, using the same
     /// value-consuming rules as `split_flags` so a flag value can never
-    /// be misread as a flag.
-    fn scan(args: &[String]) -> ObsFlags {
+    /// be misread as a flag. `--trace`/`--metrics` need a filename
+    /// operand: a missing one, or a following token that is itself a
+    /// flag (`tv analyze --trace --profile x.sim` would otherwise write
+    /// a file literally named `--profile`), is a usage error.
+    fn scan(args: &[String]) -> Result<ObsFlags, TvError> {
         let mut obs = ObsFlags::default();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--profile" => obs.profile = true,
-                "--trace" => obs.trace = it.next().cloned(),
-                "--metrics" => obs.metrics = it.next().cloned(),
+                "--trace" => obs.trace = Some(file_operand(a, it.next())?),
+                "--metrics" => obs.metrics = Some(file_operand(a, it.next())?),
                 f if f.starts_with("--") && takes_value(f) => {
                     it.next();
                 }
                 _ => {}
             }
         }
-        obs
+        Ok(obs)
     }
 
     /// Turns on the planes the requested outputs need.
@@ -211,7 +214,7 @@ impl ObsFlags {
 /// nonzero (a failing run is exactly when a profile is wanted), but a
 /// dispatch error suppresses them — nothing ran.
 fn run(args: &[String]) -> Result<u8, TvError> {
-    let obs = ObsFlags::scan(args);
+    let obs = ObsFlags::scan(args)?;
     obs.activate();
     let code = run_inner(args)?;
     obs.finish()?;
@@ -467,6 +470,18 @@ fn split_flags(args: &[String]) -> (Vec<String>, Vec<String>) {
     (flags, rest)
 }
 
+/// Validates the filename operand of an output flag (`--trace`,
+/// `--metrics`): it must exist and must not look like another flag.
+fn file_operand(flag: &str, v: Option<&String>) -> Result<String, TvError> {
+    match v {
+        None => Err(TvError::Usage(format!("{flag} needs a filename"))),
+        Some(v) if v.starts_with("--") => Err(TvError::Usage(format!(
+            "{flag} needs a filename, got flag {v:?}"
+        ))),
+        Some(v) => Ok(v.clone()),
+    }
+}
+
 fn takes_value(flag: &str) -> bool {
     matches!(
         flag,
@@ -569,10 +584,12 @@ fn parse_cli(args: &[String]) -> Result<Cli, TvError> {
             "--max-arcs" => cli.options.max_arcs = Some(fl.parsed(flag, "arc limit")?),
             // The observability flags were already consumed by the
             // `ObsFlags::scan` pre-pass in `run`; accept them here so
-            // subcommand parsers don't reject them as unknown.
+            // subcommand parsers don't reject them as unknown, with the
+            // same filename-operand validation as the pre-scan.
             "--profile" => {}
             "--trace" | "--metrics" => {
-                fl.value(flag)?;
+                let v = fl.value(flag)?.to_string();
+                file_operand(flag, Some(&v))?;
             }
             other => return Err(TvError::Usage(format!("unknown flag {other:?}"))),
         }

@@ -35,8 +35,9 @@
 //! The `analyze` reply's `fingerprint` is [`report_fingerprint`] — the
 //! same golden FNV the equivalence suite pins — and `passes` lists every
 //! pass with how it was satisfied (`computed`, `reused`, `revalidated`,
-//! or `spliced` with a root count), so a transcript documents both the
-//! result bits and how little work the pipeline did to get them.
+//! `spliced` with a root count, or `cone` with the recomputed-node
+//! count), so a transcript documents both the result bits and how
+//! little work the pipeline did to get them.
 
 use std::io::{BufRead, Write};
 
@@ -284,6 +285,9 @@ impl Session {
                 PassOutcome::Computed => r#""computed""#.to_string(),
                 PassOutcome::Revalidated => r#""revalidated""#.to_string(),
                 PassOutcome::Spliced { roots } => format!(r#""spliced","roots":{roots}"#),
+                PassOutcome::Cone { recomputed } => {
+                    format!(r#""cone","recomputed":{recomputed}"#)
+                }
             };
             passes.push_str(&format!(
                 r#"{{"pass":"{}","outcome":{}}}"#,

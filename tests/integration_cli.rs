@@ -162,6 +162,57 @@ fn bad_usage_exits_two_with_usage_text() {
 }
 
 #[test]
+fn trace_flag_rejects_missing_or_flaglike_operand() {
+    let f = write_sim();
+    // `--trace` followed by another flag used to silently write a file
+    // literally named `--profile`; it must be a usage error instead.
+    let out = tv()
+        .args(["analyze", "--trace", "--profile"])
+        .arg(f.path())
+        .output()
+        .expect("run tv");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--trace needs a filename"), "{err}");
+    assert!(
+        !std::path::Path::new("--profile").exists(),
+        "flag-named file was created"
+    );
+
+    // Trailing `--trace` with no operand at all.
+    let out = tv()
+        .args(["analyze"])
+        .arg(f.path())
+        .args(["--trace"])
+        .output()
+        .expect("run tv");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--trace needs a filename"), "{err}");
+}
+
+#[test]
+fn metrics_flag_rejects_missing_or_flaglike_operand() {
+    let f = write_sim();
+    let out = tv()
+        .args(["analyze", "--metrics", "--jobs"])
+        .arg(f.path())
+        .output()
+        .expect("run tv");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--metrics needs a filename"), "{err}");
+
+    let out = tv()
+        .args(["analyze"])
+        .arg(f.path())
+        .args(["--metrics"])
+        .output()
+        .expect("run tv");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn help_documents_exit_codes() {
     let out = tv().arg("--help").output().expect("run tv");
     assert_eq!(out.status.code(), Some(0));
