@@ -292,6 +292,7 @@ impl TimingGraph {
                     if let Some(hook) = fault {
                         hook(r.0);
                     }
+                    graph_build_fault_point();
                     builder.build_root(r, source_resistance, &mut arcs, &mut scratch);
                 }
                 arcs
@@ -543,6 +544,7 @@ pub(crate) fn build_with_spans(
             let mut scratch = BuildScratch::new(netlist.node_count());
             for r in root_chunk {
                 let before = arcs.len();
+                graph_build_fault_point();
                 builder.build_root(r, source_resistance, &mut arcs, &mut scratch);
                 counts.push((arcs.len() - before) as u32);
             }
@@ -574,6 +576,7 @@ pub(crate) fn build_with_spans(
     if parts.iter().any(Result::is_err) {
         // Some stage panics: delegate to the isolated builder, which
         // contains the fault per stage and records diagnostics. No spans.
+        tv_obs::incr(tv_obs::Counter::FaultDegraded);
         let graph = TimingGraph::build_isolated(
             netlist,
             flow,
@@ -635,6 +638,7 @@ pub(crate) fn splice_roots(
         let span = spans[k] as usize..spans[k + 1] as usize;
         fresh.clear();
         catch_unwind(AssertUnwindSafe(|| {
+            graph_build_fault_point();
             builder.build_root(&roots[k], source_resistance, &mut fresh, scratch)
         }))
         .map_err(|_| ())?;
@@ -725,8 +729,20 @@ impl<'a> GraphBuilder<'a> {
     }
 }
 
-/// The shared "a build worker panicked" note.
+/// Fault plane: a forced build-worker panic, caught by the same
+/// per-chunk/per-stage isolation that contains a genuine one (every
+/// per-root build loop sits under `catch_unwind`).
+fn graph_build_fault_point() {
+    if tv_fault::fault_point!(tv_fault::Site::GraphBuild) {
+        tv_obs::incr(tv_obs::Counter::FaultInjected);
+        panic!("{}", tv_fault::panic_message(tv_fault::Site::GraphBuild));
+    }
+}
+
+/// The shared "a build worker panicked" note (also the telemetry point
+/// recording that a build degraded to per-stage isolation).
 fn degraded_build_note() -> Diagnostic {
+    tv_obs::incr(tv_obs::Counter::FaultDegraded);
     Diagnostic::warning(
         codes::ANALYSIS_WORKER_PANIC,
         "a graph-build worker panicked; affected roots rebuilt with per-stage isolation"

@@ -210,6 +210,16 @@ impl IncrementalCache {
         let key = graph.case.active;
         let clean = graph.schedule.residue.is_empty();
 
+        // Fault plane: a forced certificate corruption. Dropping the
+        // cached entry forces every path below onto the cold recompute,
+        // whose result is bit-identical by the cache's own contract —
+        // corruption degrades cost, never answers.
+        if tv_fault::fault_point!(tv_fault::Site::CertLookup) {
+            tv_obs::incr(tv_obs::Counter::FaultInjected);
+            tv_obs::incr(tv_obs::Counter::FaultDegraded);
+            self.cases.remove(&key);
+        }
+
         if clean {
             if let Some(entry) = self.cases.get(&key) {
                 if entry.graph_fp == delta.graph_fp && entry.fingerprints.len() == n {

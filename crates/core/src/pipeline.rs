@@ -348,6 +348,13 @@ impl PassManager {
     ) -> Result<TimingReport, TvError> {
         let _span = tv_obs::span("analyze");
         self.trace.clear();
+        // Fault plane: pipeline entry is a trust boundary — a forced
+        // internal error here must surface as a typed `TvError`, which
+        // the session supervisor retries once against a reset pipeline.
+        if tv_fault::fault_point!(tv_fault::Site::PassEntry) {
+            tv_obs::incr(tv_obs::Counter::FaultInjected);
+            return Err(internal("injected fault at pass_entry (tv_fault)"));
+        }
         if enforce_limits {
             if let Some(limit) = options.max_nodes {
                 let count = nl.node_count();

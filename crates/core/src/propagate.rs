@@ -385,6 +385,15 @@ fn compute_node(ctx: Ctx<'_>, done: &[Slot], node: u32) -> (Slot, u32) {
     if let Some(hook) = ctx.fault {
         hook(node);
     }
+    // Fault plane: a forced worker panic, caught by the same isolation
+    // that contains a genuine one (every caller is under catch_unwind).
+    if tv_fault::fault_point!(tv_fault::Site::PropagateWorker) {
+        tv_obs::incr(tv_obs::Counter::FaultInjected);
+        panic!(
+            "{}",
+            tv_fault::panic_message(tv_fault::Site::PropagateWorker)
+        );
+    }
     let ni = node as usize;
     if let Some(r) = ctx.reuse {
         if !r.affected[ni] {
@@ -866,7 +875,17 @@ fn propagate_full(
     let mut diagnostics: Vec<Diagnostic> = Vec::new();
     let mut panicked: Vec<u32> = Vec::new();
     let mut deadline_hit_at: Option<usize> = None;
+    // Fault plane: forced early exhaustion of the deadline clock,
+    // expressed deterministically (slot 0, never a wall-clock read) so
+    // the PARTIAL RESULTS path it exercises is golden-able.
+    if tv_fault::fault_point!(tv_fault::Site::ExhaustClock) {
+        tv_obs::incr(tv_obs::Counter::FaultInjected);
+        deadline_hit_at = Some(0);
+    }
     for l in 0..sched.levels() {
+        if deadline_hit_at.is_some() {
+            break;
+        }
         let lo = sched.level_starts[l] as usize;
         let hi = sched.level_starts[l + 1] as usize;
         if let Some(dl) = guards.deadline {
@@ -942,6 +961,7 @@ fn propagate_full(
                 // finished prefix, so nodes that evaluate cleanly get
                 // bit-identical values to an untroubled run; nodes that
                 // panic again deterministically resolve to "no arrival".
+                tv_obs::incr(tv_obs::Counter::FaultDegraded);
                 diagnostics.push(Diagnostic::warning(
                     codes::ANALYSIS_WORKER_PANIC,
                     format!(

@@ -18,6 +18,7 @@
 //! | `TV02xx` | signal-flow resolution |
 //! | `TV03xx` | timing engine resource guards and worker isolation |
 //! | `TV04xx` | electrical rule checks |
+//! | `TV05xx` | session journal recovery and observability readers |
 
 use std::fmt;
 
@@ -93,6 +94,22 @@ pub mod codes {
     pub const CHECK_CHARGE_SHARING: &str = "TV0402";
     /// A node derived from both clock phases.
     pub const CHECK_CLOCK_CONFLICT: &str = "TV0403";
+
+    /// A session journal whose header or interior is malformed; the
+    /// file cannot be trusted and resume is refused.
+    pub const JOURNAL_MALFORMED: &str = "TV0501";
+    /// A session journal with a torn final entry (a crash mid-append);
+    /// the tail is dropped and replay proceeds from the valid prefix.
+    pub const JOURNAL_TRUNCATED: &str = "TV0502";
+    /// A replayed journal entry whose revision or fingerprint does not
+    /// match what the journal recorded; resume is refused.
+    pub const JOURNAL_DIVERGED: &str = "TV0503";
+    /// The journal file could not be read or appended.
+    pub const JOURNAL_IO: &str = "TV0504";
+    /// A `--trace` file `tv trace-check` could not parse.
+    pub const OBS_BAD_TRACE: &str = "TV0505";
+    /// A `--metrics` dump a reader could not parse.
+    pub const OBS_BAD_METRICS: &str = "TV0506";
 }
 
 /// One reportable condition, with a stable code and an optional source

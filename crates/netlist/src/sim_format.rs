@@ -222,6 +222,17 @@ fn parse_inner(
     for (i, raw) in body.lines().enumerate() {
         let lineno = i + 1;
         line_count += 1;
+        // Fault plane: a chunk boundary every 64 lines is a trust
+        // boundary — a mid-read failure must surface as a loud parse
+        // error, never a half-ingested netlist.
+        if lineno % 64 == 0 && tv_fault::fault_point!(tv_fault::Site::ParseChunk) {
+            tv_obs::incr(tv_obs::Counter::FaultInjected);
+            return Err(NetlistError::SimParse {
+                line: lineno,
+                col: 1,
+                message: "injected fault at parse_chunk (tv_fault)".to_string(),
+            });
+        }
         // `str::lines` strips a trailing `\r`; handle stray interior ones
         // (classic Mac line endings concatenated into one "line") by
         // trimming, matching the historical whitespace-tolerant readers.

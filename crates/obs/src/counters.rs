@@ -92,10 +92,20 @@ pub enum Counter {
     CheckIssues,
     /// Session commands evaluated.
     SessionCommands,
+    /// Faults injected by an armed `tv_fault` plan.
+    FaultInjected,
+    /// Commands the session supervisor retried after a recoverable
+    /// failure (transient I/O, worker panic, internal error).
+    FaultRetries,
+    /// Degraded recoveries: parallel work recomputed serially after a
+    /// worker panic, or a corrupt certificate recomputed cold.
+    FaultDegraded,
+    /// Journal entries replayed through the edit API on `--resume`.
+    FaultJournalReplays,
 }
 
 /// Number of counters in the registry.
-pub const COUNT: usize = Counter::SessionCommands as usize + 1;
+pub const COUNT: usize = Counter::FaultJournalReplays as usize + 1;
 
 /// All counters, in dump order.
 pub const ALL: [Counter; COUNT] = [
@@ -126,6 +136,10 @@ pub const ALL: [Counter; COUNT] = [
     Counter::CacheCaseMisses,
     Counter::CheckIssues,
     Counter::SessionCommands,
+    Counter::FaultInjected,
+    Counter::FaultRetries,
+    Counter::FaultDegraded,
+    Counter::FaultJournalReplays,
 ];
 
 impl Counter {
@@ -159,6 +173,10 @@ impl Counter {
             Counter::CacheCaseMisses => "cache.case_misses",
             Counter::CheckIssues => "checks.issues",
             Counter::SessionCommands => "session.commands",
+            Counter::FaultInjected => "fault.injected",
+            Counter::FaultRetries => "fault.retries",
+            Counter::FaultDegraded => "fault.degraded",
+            Counter::FaultJournalReplays => "fault.journal_replays",
         }
     }
 

@@ -65,7 +65,11 @@ impl Value {
 /// input.
 pub fn parse(text: &str) -> Result<Value, String> {
     let bytes = text.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
+    let mut p = Parser {
+        bytes,
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -75,9 +79,17 @@ pub fn parse(text: &str) -> Result<Value, String> {
     Ok(v)
 }
 
+/// Maximum container nesting [`parse`] accepts. The parser is
+/// recursive-descent, so without a cap a hostile `[[[[…` document
+/// overflows the stack and aborts the process instead of returning
+/// `Err`; no machine-written trace or metrics dump comes anywhere near
+/// this depth.
+const MAX_DEPTH: usize = 200;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -106,8 +118,8 @@ impl Parser<'_> {
 
     fn value(&mut self) -> Result<Value, String> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Parser::object),
+            Some(b'[') => self.nested(Parser::array),
             Some(b'"') => Ok(Value::Str(self.string()?)),
             Some(b't') => self.literal("true", Value::Bool(true)),
             Some(b'f') => self.literal("false", Value::Bool(false)),
@@ -115,6 +127,19 @@ impl Parser<'_> {
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => self.err("expected a JSON value"),
         }
+    }
+
+    fn nested(
+        &mut self,
+        container: fn(&mut Self) -> Result<Value, String>,
+    ) -> Result<Value, String> {
+        if self.depth >= MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        self.depth += 1;
+        let v = container(self);
+        self.depth -= 1;
+        v
     }
 
     fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
@@ -304,6 +329,20 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("{\"a\":1} trailing").is_err());
         assert!(parse("'single'").is_err());
+    }
+
+    #[test]
+    fn rejects_hostile_nesting_instead_of_overflowing() {
+        // Without the depth cap this recursed once per byte and blew
+        // the stack (an abort, not an Err) — the `tv trace-check` panic.
+        let deep = "[".repeat(100_000);
+        let err = parse(&deep).expect_err("must reject");
+        assert!(err.contains("nesting too deep"), "{err}");
+        let mixed = "{\"a\":".repeat(50_000) + "1" + &"}".repeat(50_000);
+        assert!(parse(&mixed).is_err());
+        // Depth just under the cap still parses.
+        let ok = "[".repeat(150) + "1" + &"]".repeat(150);
+        assert!(parse(&ok).is_ok());
     }
 
     #[test]

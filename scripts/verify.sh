@@ -76,4 +76,18 @@ echo "== fuzz smoke: tv fuzz --iters 500 =="
 # a diagnostic on every rejection. Offline, seeded, finishes in seconds.
 cargo run --release --offline --bin tv -- fuzz --iters 500
 
+echo "== chaos smoke: tv chaos --seeds 64 vs golden =="
+# The fault-injection sweep: one seeded fault plan per seed against the
+# fixed session workload, plus a journal cut-and-resume per seed. The
+# committed golden pins the per-site outcome tally — any escaped panic,
+# silent result divergence, or phantom recovery fails the diff and the
+# sweep's own exit code.
+cargo run --release --offline --bin tv -- chaos --seeds 64 \
+  | diff -u tests/data/chaos_smoke.golden -
+
+echo "== fault fuzz smoke: tv fuzz --faults =="
+# Randomized session scripts under seeded fault plans: every triggered
+# fault must be absorbed, recovered, or loud — never a quiet corruption.
+cargo run --release --offline --bin tv -- fuzz --faults
+
 echo "verify: OK"

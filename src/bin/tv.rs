@@ -13,9 +13,10 @@
 //! tv query   <file.sim> <from> <to># point-to-point worst path
 //! tv spice   <file.sim>            # convert to a SPICE deck on stdout
 //! tv demo    [--jobs N]            # analyze a built-in MIPS-class datapath
-//! tv session                       # long-lived REPL: commands on stdin, JSON replies
-//! tv batch   <script>              # replay a session script deterministically
-//! tv fuzz    [--iters N] [--seed S]# deterministic ingest fuzzing
+//! tv session [--journal F | --resume F] # long-lived REPL, crash-safe with a journal
+//! tv batch   <script> [--resume F] # replay a session script deterministically
+//! tv fuzz    [--iters N] [--seed S] [--faults] # deterministic ingest/fault fuzzing
+//! tv chaos   [--seeds N]           # seeded fault sweeps over a golden workload
 //! tv trace-check <trace.json>      # validate a Chrome trace written by --trace
 //! ```
 //!
@@ -89,8 +90,15 @@ const USAGE: &str = "usage:
   tv spice   <file.sim>
   tv demo    [--jobs N]
   tv session [engine flags]          commands on stdin, one JSON reply per line
+             [--journal FILE]        append each accepted command to a crash-safe journal
+             [--resume FILE]         replay a journal to its exact state, then continue
   tv batch   <script> [engine flags] replay a session script from a file
-  tv fuzz    [--iters N] [--seed S]
+             [--resume FILE]         resume a journal before running the script
+  tv fuzz    [--iters N] [--seed S] [--faults]
+                                     --faults drives seeded fault plans through
+                                     random session scripts
+  tv chaos   [--seeds N] [--jobs N]  sweep N seeded fault plans over a golden
+                                     workload, asserting the recovery contract
   tv trace-check <trace.json>        validate a Chrome trace written by --trace
 
 diagnostics (all netlist-reading subcommands):
@@ -117,6 +125,8 @@ struct Cli {
     max_errors: usize,
     json: bool,
     check: bool,
+    journal: Option<String>,
+    resume: Option<String>,
 }
 
 impl Default for Cli {
@@ -126,6 +136,8 @@ impl Default for Cli {
             max_errors: 20,
             json: false,
             check: false,
+            journal: None,
+            resume: None,
         }
     }
 }
@@ -178,18 +190,36 @@ impl ObsFlags {
 
     /// Writes the requested outputs after the subcommand ran. The
     /// profile summary goes to stderr so it composes with report output
-    /// on stdout.
+    /// on stdout. Each file write crosses a fault site (`trace_write`,
+    /// `metrics_write`); an injected — or genuinely transient — failure
+    /// is retried once before it surfaces as the run's error.
     fn finish(&self) -> Result<(), TvError> {
-        let write = |path: &String, text: String| {
-            std::fs::write(path, text).map_err(|e| TvError::Io {
-                path: path.clone(),
-                source: e,
-            })
+        let write = |path: &String, text: String, site: nmos_tv::fault::Site| {
+            let first = match nmos_tv::fault::io_error(site) {
+                Some(e) => {
+                    nmos_tv::obs::incr(nmos_tv::obs::Counter::FaultInjected);
+                    Err(e)
+                }
+                None => std::fs::write(path, &text),
+            };
+            first
+                .or_else(|_| {
+                    nmos_tv::obs::incr(nmos_tv::obs::Counter::FaultRetries);
+                    std::fs::write(path, &text)
+                })
+                .map_err(|e| TvError::Io {
+                    path: path.clone(),
+                    source: e,
+                })
         };
         if self.profile || self.trace.is_some() {
             let events = nmos_tv::obs::spans::take_events();
             if let Some(path) = &self.trace {
-                write(path, nmos_tv::obs::trace::render_chrome(&events))?;
+                write(
+                    path,
+                    nmos_tv::obs::trace::render_chrome(&events),
+                    nmos_tv::fault::Site::TraceWrite,
+                )?;
             }
             if self.profile {
                 eprint!("{}", nmos_tv::obs::spans::render_summary(&events));
@@ -198,7 +228,11 @@ impl ObsFlags {
         if self.profile || self.metrics.is_some() {
             let snap = nmos_tv::obs::counters::snapshot();
             if let Some(path) = &self.metrics {
-                write(path, format!("{}\n", snap.render_json()))?;
+                write(
+                    path,
+                    format!("{}\n", snap.render_json()),
+                    nmos_tv::fault::Site::MetricsWrite,
+                )?;
             }
             if self.profile {
                 eprint!("{}", snap.render_table());
@@ -216,6 +250,27 @@ impl ObsFlags {
 fn run(args: &[String]) -> Result<u8, TvError> {
     let obs = ObsFlags::scan(args)?;
     obs.activate();
+    // `--fault-seed N` arms one seeded fault plan for this whole
+    // invocation — the binary-level hook the fault-injection integration
+    // tests drive (`tv chaos` sweeps seeds in-process instead).
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fault-seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| TvError::Usage("--fault-seed needs a value".into()))?;
+                let seed: u64 = v
+                    .parse()
+                    .map_err(|_| TvError::Usage(format!("bad fault seed {v:?}")))?;
+                nmos_tv::fault::arm(nmos_tv::fault::FaultPlan::from_seed(seed));
+            }
+            f if f.starts_with("--") && takes_value(f) => {
+                it.next();
+            }
+            _ => {}
+        }
+    }
     let code = run_inner(args)?;
     obs.finish()?;
     Ok(code)
@@ -345,14 +400,27 @@ fn run_inner(args: &[String]) -> Result<u8, TvError> {
         }
         "session" => {
             let cli = parse_cli(&args[1..])?;
+            if cli.journal.is_some() && cli.resume.is_some() {
+                return Err(TvError::Usage(
+                    "--journal and --resume are mutually exclusive (resume keeps \
+                     appending to the journal it replays)"
+                        .into(),
+                ));
+            }
             let stdin = std::io::stdin();
             let mut out = std::io::stdout();
-            let code =
-                nmos_tv::session::run_session(stdin.lock(), &mut out, cli.options, cli.max_errors)
-                    .map_err(|e| TvError::Io {
-                        path: "<stdin>".into(),
-                        source: e,
-                    })?;
+            let code = nmos_tv::session::run_session_with(
+                stdin.lock(),
+                &mut out,
+                cli.options,
+                cli.max_errors,
+                cli.journal.as_deref(),
+                cli.resume.as_deref(),
+            )
+            .map_err(|e| TvError::Io {
+                path: "<stdin>".into(),
+                source: e,
+            })?;
             Ok(code)
         }
         "batch" => {
@@ -366,17 +434,32 @@ fn run_inner(args: &[String]) -> Result<u8, TvError> {
                 source: e,
             })?;
             let mut out = std::io::stdout();
-            let code = nmos_tv::session::run_session(
+            let code = nmos_tv::session::run_session_with(
                 std::io::Cursor::new(text),
                 &mut out,
                 cli.options,
                 cli.max_errors,
+                cli.journal.as_deref(),
+                cli.resume.as_deref(),
             )
             .map_err(|e| TvError::Io {
                 path: script.clone(),
                 source: e,
             })?;
             Ok(code)
+        }
+        "chaos" => {
+            let (seeds, options) = parse_chaos(&args[1..])?;
+            let report = nmos_tv::chaos::run_chaos(seeds, &options).map_err(|e| TvError::Io {
+                path: "<chaos temp files>".into(),
+                source: e,
+            })?;
+            println!("{report}");
+            Ok(if report.is_clean() {
+                EXIT_CLEAN
+            } else {
+                EXIT_FAILURE
+            })
         }
         "trace-check" => {
             let (flags, rest) = split_flags(&args[1..]);
@@ -394,14 +477,34 @@ fn run_inner(args: &[String]) -> Result<u8, TvError> {
                     Ok(EXIT_CLEAN)
                 }
                 Err(msg) => {
-                    eprintln!("tv: invalid trace {path}: {msg}");
+                    // A truncated or garbage trace is a coded diagnostic
+                    // and exit 1, never a panic (TV0505).
+                    let d = nmos_tv::netlist::Diagnostic::error(
+                        nmos_tv::netlist::codes::OBS_BAD_TRACE,
+                        format!("invalid trace: {msg}"),
+                    );
+                    eprintln!("{}", d.render_text(Some(path)));
                     Ok(EXIT_FAILURE)
                 }
             }
         }
         "fuzz" => {
-            let (iters, seed) = parse_fuzz(&args[1..])?;
-            let report = nmos_tv::fuzz::run(iters, seed);
+            let (iters, seed, faults) = parse_fuzz(&args[1..])?;
+            if faults {
+                let report = nmos_tv::fuzz::run_faults(iters.unwrap_or(60), seed).map_err(|e| {
+                    TvError::Io {
+                        path: "<fuzz session>".into(),
+                        source: e,
+                    }
+                })?;
+                println!("{report}");
+                return Ok(if report.is_clean() {
+                    EXIT_CLEAN
+                } else {
+                    EXIT_FAILURE
+                });
+            }
+            let report = nmos_tv::fuzz::run(iters.unwrap_or(500), seed);
             println!("{report}");
             Ok(if report.is_clean() {
                 EXIT_CLEAN
@@ -420,7 +523,14 @@ fn load(args: &[String], cli: &Cli) -> Result<(Netlist, Diagnostics), TvError> {
     let path = args
         .first()
         .ok_or_else(|| TvError::Usage("missing <file.sim>".into()))?;
-    let text = std::fs::read_to_string(path).map_err(|e| TvError::Io {
+    let text = match nmos_tv::fault::io_error(nmos_tv::fault::Site::SimRead) {
+        Some(e) => {
+            nmos_tv::obs::incr(nmos_tv::obs::Counter::FaultInjected);
+            Err(e)
+        }
+        None => std::fs::read_to_string(path),
+    }
+    .map_err(|e| TvError::Io {
         path: path.clone(),
         source: e,
     })?;
@@ -497,8 +607,12 @@ fn takes_value(flag: &str) -> bool {
             | "--max-arcs"
             | "--iters"
             | "--seed"
+            | "--seeds"
             | "--trace"
             | "--metrics"
+            | "--journal"
+            | "--resume"
+            | "--fault-seed"
     )
 }
 
@@ -582,6 +696,14 @@ fn parse_cli(args: &[String]) -> Result<Cli, TvError> {
             }
             "--max-nodes" => cli.options.max_nodes = Some(fl.parsed(flag, "node limit")?),
             "--max-arcs" => cli.options.max_arcs = Some(fl.parsed(flag, "arc limit")?),
+            "--journal" => {
+                let v = fl.value(flag)?.to_string();
+                cli.journal = Some(file_operand(flag, Some(&v))?);
+            }
+            "--resume" => {
+                let v = fl.value(flag)?.to_string();
+                cli.resume = Some(file_operand(flag, Some(&v))?);
+            }
             // The observability flags were already consumed by the
             // `ObsFlags::scan` pre-pass in `run`; accept them here so
             // subcommand parsers don't reject them as unknown, with the
@@ -591,22 +713,57 @@ fn parse_cli(args: &[String]) -> Result<Cli, TvError> {
                 let v = fl.value(flag)?.to_string();
                 file_operand(flag, Some(&v))?;
             }
+            // Consumed by the fault-plane pre-scan in `run`.
+            "--fault-seed" => {
+                fl.value(flag)?;
+            }
             other => return Err(TvError::Usage(format!("unknown flag {other:?}"))),
         }
     }
     Ok(cli)
 }
 
-fn parse_fuzz(args: &[String]) -> Result<(usize, u64), TvError> {
-    let mut iters = 500usize;
+/// Fuzz flags. `iters` stays `None` when unset so each mode picks its
+/// own default (500 parse-fuzz iterations, 60 fault-fuzz iterations —
+/// the latter runs two full sessions per iteration).
+fn parse_fuzz(args: &[String]) -> Result<(Option<usize>, u64, bool), TvError> {
+    let mut iters = None;
     let mut seed = 0x7001u64;
+    let mut faults = false;
     let mut fl = Flags::new(args);
     while let Some(flag) = fl.next_flag() {
         match flag {
-            "--iters" => iters = fl.parsed(flag, "iteration count")?,
+            "--iters" => iters = Some(fl.parsed(flag, "iteration count")?),
             "--seed" => seed = fl.parsed(flag, "seed")?,
+            "--faults" => faults = true,
+            "--profile" => {}
+            "--trace" | "--metrics" => {
+                let v = fl.value(flag)?.to_string();
+                file_operand(flag, Some(&v))?;
+            }
             other => return Err(TvError::Usage(format!("unknown flag {other:?}"))),
         }
     }
-    Ok((iters, seed))
+    Ok((iters, seed, faults))
+}
+
+/// Chaos flags: the sweep size and the engine's worker count (the one
+/// engine knob that changes which recovery paths a sweep crosses).
+fn parse_chaos(args: &[String]) -> Result<(u64, AnalysisOptions), TvError> {
+    let mut seeds = 64u64;
+    let mut options = AnalysisOptions::default();
+    let mut fl = Flags::new(args);
+    while let Some(flag) = fl.next_flag() {
+        match flag {
+            "--seeds" => seeds = fl.parsed(flag, "seed count")?,
+            "--jobs" => options.jobs = fl.parsed(flag, "job count")?,
+            "--profile" => {}
+            "--trace" | "--metrics" => {
+                let v = fl.value(flag)?.to_string();
+                file_operand(flag, Some(&v))?;
+            }
+            other => return Err(TvError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    Ok((seeds, options))
 }

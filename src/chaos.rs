@@ -1,0 +1,423 @@
+//! The `tv chaos` harness: seeded fault sweeps over a golden workload.
+//!
+//! Recovery code that only runs when hardware misbehaves is recovery
+//! code that has never run. `tv chaos --seeds N` arms [`tv_fault`] with
+//! each of `N` seeded [`FaultPlan`]s in turn, replays a fixed session
+//! workload under every plan, and holds the process to the recovery
+//! contract:
+//!
+//! * **No panic escapes.** Worker panics degrade; everything else is
+//!   contained by the session supervisor. A panic that unwinds past the
+//!   session loop is a violation.
+//! * **No silent divergence.** Every reply either carries the exact
+//!   fault-free result bits (revision, fingerprint, counts — the pass
+//!   *trace* may honestly differ, and a `"recovered"` annotation may be
+//!   attached) or fails loudly with `"ok":false` and a non-zero session
+//!   exit code. PARTIAL RESULTS never masquerade as clean.
+//! * **Resume restores bits.** For every seed the baseline journal is
+//!   cut after a seed-dependent prefix (odd seeds also get a torn
+//!   garbage tail), resumed, and fed the rest of the workload; every
+//!   subsequent reply must be byte-identical to the uninterrupted run.
+//!
+//! The summary is deterministic — per-site outcome tallies, no paths,
+//! no times — so `tests/data/chaos_smoke.golden` pins it in CI.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Cursor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tv_core::AnalysisOptions;
+use tv_fault::FaultPlan;
+use tv_gen::datapath::{datapath, DatapathConfig};
+use tv_netlist::{sim_format, Tech};
+
+use crate::session::{reply_fingerprint, run_session_with};
+
+/// How one armed seed's run related to the fault-free baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The plan's site was never crossed often enough to fire.
+    NotTriggered,
+    /// The fault fired and every reply is byte-identical anyway (the
+    /// hosting subsystem absorbed it below the protocol surface).
+    Absorbed,
+    /// The fault fired; result bits match the baseline but the work
+    /// trace differs (a retry, a cold recompute, or a `"recovered"`
+    /// annotation documents the repair).
+    Recovered,
+    /// The fault fired and a command failed with `"ok":false` and a
+    /// non-zero session exit code — loud, documented failure.
+    Loud,
+    /// The contract broke; the string says how.
+    Violation(String),
+}
+
+/// Per-site outcome tallies for the summary table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SiteTally {
+    /// Plans that never reached their trigger count.
+    pub not_triggered: u64,
+    /// Byte-identical runs.
+    pub absorbed: u64,
+    /// Bit-identical results via a documented repair.
+    pub recovered: u64,
+    /// Loud, honest failures.
+    pub loud: u64,
+}
+
+/// The deterministic result of one chaos sweep.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Seeds swept.
+    pub seeds: u64,
+    /// Commands in the workload (excluding `quit`).
+    pub commands: usize,
+    /// Outcomes per fault site, keyed by [`tv_fault::Site::name`].
+    pub by_site: BTreeMap<&'static str, SiteTally>,
+    /// Crash/resume checks executed (one per seed).
+    pub resume_checked: u64,
+    /// Resume checks that also exercised a torn journal tail.
+    pub resume_torn: u64,
+    /// Contract violations; an empty list is a passing sweep.
+    pub violations: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Whether the sweep upheld the whole recovery contract.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "chaos: seeds={} commands={} resume_checked={} resume_torn={}",
+            self.seeds, self.commands, self.resume_checked, self.resume_torn
+        )?;
+        for (site, t) in &self.by_site {
+            writeln!(
+                f,
+                "site {site}: absorbed={} recovered={} loud={} not_triggered={}",
+                t.absorbed, t.recovered, t.loud, t.not_triggered
+            )?;
+        }
+        if self.is_clean() {
+            write!(f, "chaos: no panics, no silent divergence")
+        } else {
+            for v in &self.violations {
+                writeln!(f, "chaos: VIOLATION {v}")?;
+            }
+            write!(f, "chaos: {} violation(s)", self.violations.len())
+        }
+    }
+}
+
+/// The fixed golden workload: a session over the small demo datapath
+/// exercising load, warm and cold analyzes, edits of both classes,
+/// flow, and revision queries. `metrics` is deliberately absent (its
+/// counters legitimately differ under injection) and `sim_path` is a
+/// `.sim` rendering of the same demo, long enough (312 devices) to
+/// cross the parser's 64-line fault chunks.
+pub fn workload(sim_path: &str) -> Vec<String> {
+    vec![
+        "demo small".into(),
+        "analyze".into(),
+        "edit resize pu_wq0 6 2".into(),
+        "analyze".into(),
+        "edit setcap out0 0.08".into(),
+        "analyze".into(),
+        "flow".into(),
+        "revision".into(),
+        format!("load {sim_path}"),
+        "analyze".into(),
+        // `.sim` files carry no device names; the parser assigns m0...
+        "edit resize m0 6 2".into(),
+        "analyze".into(),
+    ]
+}
+
+/// Runs `commands` (plus a trailing `quit`) through one session and
+/// returns its reply lines and exit code.
+pub(crate) fn run_script(
+    commands: &[String],
+    options: &AnalysisOptions,
+    journal: Option<&str>,
+    resume: Option<&str>,
+) -> std::io::Result<(Vec<String>, u8)> {
+    let mut input = commands.join("\n");
+    input.push_str("\nquit\n");
+    let mut out = Vec::new();
+    let code = run_session_with(
+        Cursor::new(input),
+        &mut out,
+        options.clone(),
+        64,
+        journal,
+        resume,
+    )?;
+    let text = String::from_utf8(out).expect("session replies are UTF-8");
+    Ok((text.lines().map(str::to_string).collect(), code))
+}
+
+/// Strips the fields that may honestly differ on a recovered run — the
+/// `"recovered"` annotation and the pass trace — leaving exactly the
+/// result bits (revision, fingerprint, counts, values) for comparison.
+/// Both fields are tail fields of the replies that carry them, so
+/// truncation is exact.
+fn result_bits(reply: &str) -> String {
+    let mut r = reply.to_string();
+    for tail in [r#","recovered":{"#, r#","passes":["#] {
+        if let Some(pos) = r.find(tail) {
+            r.truncate(pos);
+            r.push('}');
+        }
+    }
+    r
+}
+
+/// Compares one armed run against the fault-free baseline and names the
+/// outcome per the recovery contract.
+pub(crate) fn classify(
+    baseline: &[String],
+    base_code: u8,
+    got: &[String],
+    got_code: u8,
+    fired: bool,
+) -> Outcome {
+    let mut repaired = false;
+    let mut loud = false;
+    for (i, want) in baseline.iter().enumerate() {
+        let Some(g) = got.get(i) else {
+            return Outcome::Violation(format!("session ended early at reply {i}"));
+        };
+        if g == want {
+            continue;
+        }
+        if result_bits(g) == result_bits(want) {
+            repaired = true;
+            continue;
+        }
+        if g.contains(r#""ok":false"#) {
+            // After the first loud failure the session's state honestly
+            // diverges from the baseline; later replies are not
+            // comparable. The exit code still must say "failed".
+            loud = true;
+            break;
+        }
+        return Outcome::Violation(format!(
+            "silent divergence at reply {i}: got {g}, want {want}"
+        ));
+    }
+    if loud {
+        if got_code == 0 {
+            return Outcome::Violation("loud failure but session exit code is 0".into());
+        }
+        return Outcome::Loud;
+    }
+    if got.len() != baseline.len() {
+        return Outcome::Violation(format!(
+            "reply count diverged: got {}, want {}",
+            got.len(),
+            baseline.len()
+        ));
+    }
+    if got_code != base_code {
+        return Outcome::Violation(format!(
+            "exit code diverged: got {got_code}, want {base_code}"
+        ));
+    }
+    if !fired {
+        if repaired {
+            return Outcome::Violation("replies diverged but no fault fired".into());
+        }
+        return Outcome::NotTriggered;
+    }
+    if repaired {
+        Outcome::Recovered
+    } else {
+        Outcome::Absorbed
+    }
+}
+
+/// Runs `f` with panic output suppressed: injected worker panics are
+/// *expected* here, and their default-hook backtraces would bury the
+/// summary (and make CI logs useless).
+pub(crate) fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = f();
+    drop(std::panic::take_hook());
+    std::panic::set_hook(prev);
+    result
+}
+
+/// Sweeps `seeds` fault plans (and `seeds` crash/resume cuts) over the
+/// golden workload. Temp files live under the system temp dir and are
+/// removed on the way out; nothing about them reaches the report.
+pub fn run_chaos(seeds: u64, options: &AnalysisOptions) -> std::io::Result<ChaosReport> {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let path_of = |stem: &str| {
+        dir.join(format!("tv-chaos-{pid}-{stem}"))
+            .to_str()
+            .expect("temp paths are UTF-8")
+            .to_string()
+    };
+    let sim_path = path_of("demo.sim");
+    let base_journal = path_of("base.journal");
+    let run_journal = path_of("run.journal");
+    let resume_journal = path_of("resume.journal");
+
+    let demo = datapath(Tech::nmos4um(), DatapathConfig::small());
+    std::fs::write(&sim_path, sim_format::write(&demo.netlist))?;
+    let script = workload(&sim_path);
+
+    let mut report = ChaosReport {
+        seeds,
+        commands: script.len(),
+        by_site: tv_fault::SITES
+            .iter()
+            .map(|s| (s.name(), SiteTally::default()))
+            .collect(),
+        resume_checked: 0,
+        resume_torn: 0,
+        violations: Vec::new(),
+    };
+
+    tv_fault::disarm();
+    let (baseline, base_code) = run_script(&script, options, Some(&base_journal), None)?;
+    if base_code != 0 {
+        report.violations.push(format!(
+            "fault-free baseline failed with exit code {base_code}"
+        ));
+        return Ok(report);
+    }
+    let base_journal_text = std::fs::read_to_string(&base_journal)?;
+
+    with_quiet_panics(|| -> std::io::Result<()> {
+        // Phase 1: one armed run per seed.
+        for seed in 0..seeds {
+            let plan = FaultPlan::from_seed(seed);
+            let site = plan.site.name();
+            tv_fault::arm(plan);
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                run_script(&script, options, Some(&run_journal), None)
+            }));
+            let fired = tv_fault::fired();
+            tv_fault::disarm();
+            let outcome = match attempt {
+                Err(_) => Outcome::Violation("panic escaped the session loop".into()),
+                Ok(Err(e)) => Outcome::Violation(format!("session loop I/O error: {e}")),
+                Ok(Ok((replies, code))) => classify(&baseline, base_code, &replies, code, fired),
+            };
+            let tally = report.by_site.get_mut(site).expect("all sites tallied");
+            match outcome {
+                Outcome::NotTriggered => tally.not_triggered += 1,
+                Outcome::Absorbed => tally.absorbed += 1,
+                Outcome::Recovered => tally.recovered += 1,
+                Outcome::Loud => tally.loud += 1,
+                Outcome::Violation(v) => report
+                    .violations
+                    .push(format!("seed {seed} site {site}: {v}")),
+            }
+        }
+
+        // Phase 2: crash/resume. The baseline journal has one entry per
+        // workload command (all succeeded); cut it after a seed-chosen
+        // prefix, resume, feed the rest, and demand byte-identical
+        // replies from there on.
+        let journal_lines: Vec<&str> = base_journal_text.lines().collect();
+        let entries = journal_lines.len().saturating_sub(1);
+        if entries != script.len() {
+            report.violations.push(format!(
+                "baseline journal has {entries} entries for {} commands",
+                script.len()
+            ));
+            return Ok(());
+        }
+        for seed in 0..seeds {
+            let k = (seed as usize) % (entries + 1);
+            let mut prefix = journal_lines[..=k].join("\n");
+            prefix.push('\n');
+            let torn = seed % 2 == 1;
+            if torn {
+                // A crash mid-append: garbage with no trailing newline.
+                prefix.push_str("deadbeef torn tail");
+            }
+            std::fs::write(&resume_journal, &prefix)?;
+            let rest: Vec<String> = script[k..].to_vec();
+            let (replies, code) = run_script(&rest, options, None, Some(&resume_journal))?;
+            report.resume_checked += 1;
+            if torn {
+                report.resume_torn += 1;
+            }
+            // replies[0] is the resume summary; everything after must
+            // match the uninterrupted run from command k on (including
+            // the final analyze fingerprint and the quit reply).
+            let resumed_ok = replies
+                .first()
+                .is_some_and(|r| r.contains(r#""ok":true,"cmd":"resume""#));
+            let tail_matches = replies.get(1..).is_some_and(|tail| tail == &baseline[k..]);
+            if code != 0 || !resumed_ok || !tail_matches {
+                let fp = replies.iter().rev().find_map(|r| reply_fingerprint(r));
+                report.violations.push(format!(
+                    "resume seed {seed} cut {k} torn {torn}: exit {code}, final fingerprint {fp:?}"
+                ));
+            }
+        }
+        Ok(())
+    })?;
+
+    for p in [&sim_path, &base_journal, &run_journal, &resume_journal] {
+        let _ = std::fs::remove_file(p);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_bits_strips_trace_and_annotation() {
+        let clean = r#"{"ok":true,"cmd":"analyze","revision":2,"fingerprint":"0xabc","passes":[{"pass":"graph","outcome":"computed"}]}"#;
+        let warm = r#"{"ok":true,"cmd":"analyze","revision":2,"fingerprint":"0xabc","passes":[{"pass":"graph","outcome":"cone","recomputed":7}],"recovered":{"kind":"deadline","retries":1}}"#;
+        assert_eq!(result_bits(clean), result_bits(warm));
+        let other = r#"{"ok":true,"cmd":"analyze","revision":2,"fingerprint":"0xdef","passes":[]}"#;
+        assert_ne!(result_bits(clean), result_bits(other));
+    }
+
+    #[test]
+    fn classify_names_the_contract_outcomes() {
+        let base = vec![
+            r#"{"ok":true,"cmd":"revision","revision":1}"#.to_string(),
+            r#"{"ok":true,"cmd":"quit"}"#.to_string(),
+        ];
+        assert_eq!(classify(&base, 0, &base, 0, false), Outcome::NotTriggered);
+        assert_eq!(classify(&base, 0, &base, 0, true), Outcome::Absorbed);
+        let loud = vec![
+            r#"{"ok":false,"error":"injected"}"#.to_string(),
+            r#"{"ok":true,"cmd":"quit"}"#.to_string(),
+        ];
+        assert_eq!(classify(&base, 0, &loud, 1, true), Outcome::Loud);
+        assert!(matches!(
+            classify(&base, 0, &loud, 0, true),
+            Outcome::Violation(_)
+        ));
+        let silent = vec![
+            r#"{"ok":true,"cmd":"revision","revision":9}"#.to_string(),
+            r#"{"ok":true,"cmd":"quit"}"#.to_string(),
+        ];
+        assert!(matches!(
+            classify(&base, 0, &silent, 0, true),
+            Outcome::Violation(_)
+        ));
+    }
+
+    // Sweeps that actually arm the (process-global) fault plane live in
+    // `tests/integration_chaos.rs`, a process of their own, so they can
+    // never inject into an unrelated concurrently-running unit test.
+}

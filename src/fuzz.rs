@@ -302,6 +302,120 @@ pub fn run(iterations: usize, seed: u64) -> FuzzReport {
     report
 }
 
+/// Aggregate outcome of a `--faults` fuzz run ([`run_faults`]).
+#[derive(Debug, Clone)]
+pub struct FaultFuzzReport {
+    /// Iterations executed (one random session script each).
+    pub iterations: usize,
+    /// Iterations whose armed plan actually fired.
+    pub triggered: usize,
+    /// Fired iterations whose result bits matched the fault-free run
+    /// (byte-identical or via a documented repair).
+    pub recovered: usize,
+    /// Fired iterations that failed loudly with a non-zero exit code.
+    pub loud: usize,
+    /// Contract violations (escaped panics, silent divergence). An
+    /// empty list is a passing run.
+    pub failures: Vec<String>,
+}
+
+impl FaultFuzzReport {
+    /// Whether every iteration upheld the recovery contract.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for FaultFuzzReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fuzz-faults: {} iterations, {} triggered, {} recovered, {} loud",
+            self.iterations, self.triggered, self.recovered, self.loud
+        )?;
+        if self.is_clean() {
+            write!(f, "fuzz-faults: no panics, no silent divergence")
+        } else {
+            for fail in &self.failures {
+                writeln!(f, "fuzz-faults: FAILURE {fail}")?;
+            }
+            write!(f, "fuzz-faults: {} failure(s)", self.failures.len())
+        }
+    }
+}
+
+/// One random session script over the small demo: a seeded mix of
+/// analyzes, edits of every class, and queries, always ending in an
+/// `analyze` so every iteration compares a final fingerprint.
+fn random_session_script(rng: &mut Rng64) -> Vec<String> {
+    let mut script = vec!["demo small".to_string()];
+    for _ in 0..rng.usize_inclusive(3, 10) {
+        script.push(match rng.usize_range(0, 6) {
+            0 => "analyze".to_string(),
+            1 => "flow".to_string(),
+            2 => "revision".to_string(),
+            3 => format!("edit resize pu_wq0 {} 2", [4, 6, 8][rng.usize_range(0, 3)]),
+            4 => format!("edit setcap out0 0.0{}", rng.usize_inclusive(1, 9)),
+            _ => "edit retech nmos2um".to_string(),
+        });
+    }
+    script.push("analyze".to_string());
+    script
+}
+
+/// The `--faults` fuzz mode: `iterations` seeded random session scripts,
+/// each run fault-free and then under a seeded [`tv_fault::FaultPlan`],
+/// holding the pair to the same recovery contract `tv chaos` enforces —
+/// no panic escapes the session loop, and every reply either matches
+/// the fault-free result bits or fails loudly.
+pub fn run_faults(iterations: usize, seed: u64) -> std::io::Result<FaultFuzzReport> {
+    use crate::chaos::{classify, run_script, with_quiet_panics, Outcome};
+
+    let options = AnalysisOptions::default();
+    let mut rng = Rng64::new(seed);
+    let mut report = FaultFuzzReport {
+        iterations,
+        triggered: 0,
+        recovered: 0,
+        loud: 0,
+        failures: Vec::new(),
+    };
+    with_quiet_panics(|| -> std::io::Result<()> {
+        for iteration in 0..iterations {
+            let script = random_session_script(&mut rng);
+            let plan = tv_fault::FaultPlan::from_seed(rng.next_u64());
+            tv_fault::disarm();
+            let (baseline, base_code) = run_script(&script, &options, None, None)?;
+            tv_fault::arm(plan);
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                run_script(&script, &options, None, None)
+            }));
+            let fired = tv_fault::fired();
+            tv_fault::disarm();
+            let outcome = match attempt {
+                Err(_) => Outcome::Violation("panic escaped the session loop".into()),
+                Ok(Err(e)) => Outcome::Violation(format!("session loop I/O error: {e}")),
+                Ok(Ok((replies, code))) => classify(&baseline, base_code, &replies, code, fired),
+            };
+            if fired {
+                report.triggered += 1;
+            }
+            match outcome {
+                Outcome::NotTriggered => {}
+                Outcome::Absorbed | Outcome::Recovered => report.recovered += 1,
+                Outcome::Loud => report.loud += 1,
+                Outcome::Violation(v) => report.failures.push(format!(
+                    "iteration {iteration} site {} after {}: {v}",
+                    plan.site.name(),
+                    plan.after
+                )),
+            }
+        }
+        Ok(())
+    })?;
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,332 @@
+//! The append-only session journal behind `--journal` / `--resume`.
+//!
+//! A killed `tv session` used to take its accumulated edits with it.
+//! The journal makes the session crash-safe: every accepted command is
+//! appended as one self-checking line *after* it executes, so a journal
+//! is always a exact prefix of the command stream the session ran, and
+//! `--resume` replays that prefix through the ordinary command API —
+//! landing on a bit-identical design (same revision, same report
+//! fingerprint) before any new command is accepted.
+//!
+//! # Format
+//!
+//! ```text
+//! #tvj1
+//! <fnv64:016x> <revision|-> <fingerprint|-> <command line>
+//! ```
+//!
+//! The first field is an FNV-1a 64 checksum of the rest of the line
+//! (everything after the single separating space, excluding the
+//! newline). `revision` is the design revision after the command and
+//! `fingerprint` the reply's report fingerprint, when the reply carried
+//! them (`-` otherwise); both are re-checked during replay, so a resume
+//! can never silently land on different bits than the journaled run.
+//!
+//! # Failure model
+//!
+//! A crash can only tear the *last* line (appends are sequential and
+//! flushed per command). Loading therefore distinguishes:
+//!
+//! * a torn tail — the final line is incomplete or fails its checksum:
+//!   reported as `TV0502`, the tail is dropped, and the valid prefix
+//!   replays (the caller truncates the file before appending again);
+//! * interior damage — a bad header, a checksum mismatch, or garbage
+//!   *before* the last line: the file cannot be trusted as a prefix of
+//!   anything, so loading refuses with `TV0501` and the session exits
+//!   with the documented failure code instead of guessing.
+
+use std::io::Write;
+
+/// First line of every journal file; bumped if the format changes.
+pub const HEADER: &str = "#tvj1";
+
+/// One journaled command with the state stamps its reply carried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Design revision in the command's reply, if it reported one.
+    pub revision: Option<u64>,
+    /// Report fingerprint in the command's reply, if it reported one
+    /// (the `"0x..."` string, kept verbatim for bit-exact comparison).
+    pub fingerprint: Option<String>,
+    /// The command line exactly as the session accepted it.
+    pub command: String,
+}
+
+/// Why a journal could not be loaded.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The header or an interior line is damaged; the file is not a
+    /// trustworthy prefix and resume must refuse (`TV0501`).
+    Malformed { line: usize, what: String },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "cannot read journal: {e}"),
+            JournalError::Malformed { line, what } => {
+                write!(f, "malformed journal at line {line}: {what}")
+            }
+        }
+    }
+}
+
+/// A successfully loaded journal.
+#[derive(Debug)]
+pub struct Loaded {
+    /// The validated entries, oldest first.
+    pub entries: Vec<Entry>,
+    /// Whether a torn final line was dropped (`TV0502`).
+    pub torn: bool,
+    /// Byte length of the valid prefix (header plus intact entries);
+    /// truncating the file here removes the torn tail.
+    pub valid_len: u64,
+}
+
+/// FNV-1a 64 over `bytes` — the same hash family the fingerprint suite
+/// uses, good enough to catch a torn or bit-rotted line.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Renders one journal line (with trailing newline) for `entry`.
+pub fn render_entry(entry: &Entry) -> String {
+    let body = format!(
+        "{} {} {}",
+        entry
+            .revision
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "-".into()),
+        entry.fingerprint.as_deref().unwrap_or("-"),
+        entry.command
+    );
+    format!("{:016x} {}\n", fnv64(body.as_bytes()), body)
+}
+
+/// Parses one complete journal line (no newline) into an entry.
+fn parse_entry(line: &str) -> Result<Entry, String> {
+    let (sum, body) = line
+        .split_once(' ')
+        .ok_or_else(|| "missing checksum field".to_string())?;
+    let sum = u64::from_str_radix(sum, 16).map_err(|_| format!("bad checksum field {sum:?}"))?;
+    if sum != fnv64(body.as_bytes()) {
+        return Err("checksum mismatch".into());
+    }
+    let (rev, rest) = body
+        .split_once(' ')
+        .ok_or_else(|| "missing revision field".to_string())?;
+    let (fp, command) = rest
+        .split_once(' ')
+        .ok_or_else(|| "missing fingerprint field".to_string())?;
+    let revision = if rev == "-" {
+        None
+    } else {
+        Some(
+            rev.parse::<u64>()
+                .map_err(|_| format!("bad revision field {rev:?}"))?,
+        )
+    };
+    let fingerprint = if fp == "-" {
+        None
+    } else {
+        Some(fp.to_string())
+    };
+    if command.is_empty() {
+        return Err("empty command field".into());
+    }
+    Ok(Entry {
+        revision,
+        fingerprint,
+        command: command.to_string(),
+    })
+}
+
+/// Parses journal `text` (the whole file). Only the final line may be
+/// damaged (a torn append); anything wrong earlier refuses the file.
+pub fn parse(text: &str) -> Result<Loaded, JournalError> {
+    // Split keeping track of which segments are newline-terminated: a
+    // final segment without its newline is a torn append even if its
+    // checksum happens to verify (the crash may have clipped the
+    // command mid-token in a way the checksum of the clipped bytes
+    // cannot witness — only the missing newline can).
+    let mut lines: Vec<&str> = text.split('\n').collect();
+    let complete_last = text.ends_with('\n');
+    if complete_last {
+        lines.pop(); // the empty segment after the final newline
+    }
+    // The header must be present AND newline-terminated: a file torn
+    // during creation has no trustworthy prefix to keep.
+    if lines.is_empty() || lines[0] != HEADER || (lines.len() == 1 && !complete_last) {
+        return Err(JournalError::Malformed {
+            line: 1,
+            what: format!("expected header {HEADER:?}"),
+        });
+    }
+    let mut entries = Vec::new();
+    let mut torn = false;
+    let mut valid_len = (HEADER.len() + 1) as u64;
+    let last = lines.len() - 1;
+    for (i, line) in lines.iter().enumerate().skip(1) {
+        let is_last = i == last;
+        match parse_entry(line) {
+            Ok(e) if !is_last || complete_last => {
+                valid_len += (line.len() + 1) as u64;
+                entries.push(e);
+            }
+            // A damaged or unterminated final line is the torn tail a
+            // crash mid-append leaves; drop it and keep the prefix.
+            Ok(_) => torn = true,
+            Err(_) if is_last => torn = true,
+            Err(what) => {
+                return Err(JournalError::Malformed { line: i + 1, what });
+            }
+        }
+    }
+    Ok(Loaded {
+        entries,
+        torn,
+        valid_len,
+    })
+}
+
+/// Loads and validates the journal file at `path`.
+pub fn load(path: &str) -> Result<Loaded, JournalError> {
+    let text = std::fs::read_to_string(path).map_err(JournalError::Io)?;
+    parse(&text)
+}
+
+/// Truncates the journal at `path` to its valid prefix, removing a torn
+/// tail so subsequent appends produce a clean file again.
+pub fn truncate_to(path: &str, valid_len: u64) -> std::io::Result<()> {
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(valid_len)
+}
+
+/// The append handle a journaling session holds open.
+pub struct Journal {
+    file: std::fs::File,
+}
+
+impl Journal {
+    /// Creates (or truncates) a fresh journal at `path` with its header.
+    pub fn create(path: &str) -> std::io::Result<Journal> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(HEADER.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.flush()?;
+        Ok(Journal { file })
+    }
+
+    /// Opens an existing journal at `path` for appending (after a
+    /// successful resume; the caller has already validated the prefix).
+    pub fn open_append(path: &str) -> std::io::Result<Journal> {
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        Ok(Journal { file })
+    }
+
+    /// Appends one entry, flushed so a crash can tear at most this line.
+    /// A transient write failure (the `journal_write` fault site) is
+    /// retried once; a second failure is the caller's to surface.
+    pub fn append(&mut self, entry: &Entry) -> std::io::Result<()> {
+        let line = render_entry(entry);
+        let first = match tv_fault::io_error(tv_fault::Site::JournalWrite) {
+            Some(e) => {
+                tv_obs::incr(tv_obs::Counter::FaultInjected);
+                Err(e)
+            }
+            None => self.write_line(&line),
+        };
+        first.or_else(|_| {
+            tv_obs::incr(tv_obs::Counter::FaultRetries);
+            self.write_line(&line)
+        })
+    }
+
+    fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(rev: u64, fp: &str, cmd: &str) -> Entry {
+        Entry {
+            revision: Some(rev),
+            fingerprint: Some(fp.to_string()),
+            command: cmd.to_string(),
+        }
+    }
+
+    #[test]
+    fn entries_round_trip_through_render_and_parse() {
+        let e = entry(7, "0xd3698a57bd0b66cb", "edit resize pu_wq0 6 2");
+        let text = format!("{HEADER}\n{}", render_entry(&e));
+        let loaded = parse(&text).expect("clean journal");
+        assert_eq!(loaded.entries, vec![e]);
+        assert!(!loaded.torn);
+        assert_eq!(loaded.valid_len, text.len() as u64);
+    }
+
+    #[test]
+    fn stampless_commands_round_trip() {
+        let e = Entry {
+            revision: None,
+            fingerprint: None,
+            command: "flow".into(),
+        };
+        let text = format!("{HEADER}\n{}", render_entry(&e));
+        assert_eq!(parse(&text).expect("clean").entries, vec![e]);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_with_prefix_kept() {
+        let keep = entry(3, "0xface", "analyze");
+        let full = format!("{HEADER}\n{}", render_entry(&keep));
+        // A crash mid-append: the last line has no newline.
+        let torn = format!("{full}abcd0123 4 - edit resize");
+        let loaded = parse(&torn).expect("torn tail is recoverable");
+        assert!(loaded.torn);
+        assert_eq!(loaded.entries, vec![keep]);
+        assert_eq!(loaded.valid_len, full.len() as u64);
+        // Even a checksum-valid final line without its newline is torn.
+        let almost = full.trim_end_matches('\n').to_string();
+        let loaded = parse(&almost).expect("unterminated final line");
+        assert!(loaded.torn);
+        assert!(loaded.entries.is_empty());
+    }
+
+    #[test]
+    fn interior_damage_refuses_the_file() {
+        let good = render_entry(&entry(1, "-", "demo small"));
+        let text = format!("{HEADER}\ngarbage line\n{good}");
+        assert!(matches!(
+            parse(&text),
+            Err(JournalError::Malformed { line: 2, .. })
+        ));
+        // A wrong header refuses too, whatever follows.
+        assert!(parse("#tvj9\n").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn checksum_catches_bit_rot() {
+        let line = render_entry(&entry(2, "0xabcd", "analyze"));
+        // Flip one byte of the body.
+        let flip = line.len() - 3;
+        let mut bytes = line.into_bytes();
+        bytes[flip] ^= 1;
+        let line = String::from_utf8(bytes).expect("ascii");
+        let text = format!("{HEADER}\n{line}{}", render_entry(&entry(3, "-", "flow")));
+        assert!(matches!(parse(&text), Err(JournalError::Malformed { .. })));
+    }
+}

@@ -19,6 +19,8 @@
 //! | [`core`] | `tv-core` | the analyzer: arcs, arrivals, paths, checks |
 //! | [`sim`] | `tv-sim` | level-1 MOS transient simulation |
 //! | [`gen`] | `tv-gen` | benchmark circuit generators |
+//! | [`obs`] | `tv-obs` | deterministic counters, spans, trace profiler |
+//! | [`fault`] | `tv-fault` | seeded fault-injection plane for chaos testing |
 //!
 //! # Quickstart
 //!
@@ -47,11 +49,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod fuzz;
+pub mod journal;
 pub mod session;
 
 pub use tv_clocks as clocks;
 pub use tv_core as core;
+pub use tv_fault as fault;
 pub use tv_flow as flow;
 pub use tv_gen as gen;
 pub use tv_netlist as netlist;

@@ -40,13 +40,18 @@
 //! little work the pipeline did to get them.
 
 use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use tv_core::propagate::Completion;
 use tv_core::{
     flow_fingerprint, report_fingerprint, AnalysisOptions, Analyzer, PassManager, PassOutcome,
+    TvError,
 };
 use tv_flow::analyze as flow_analyze;
 use tv_gen::datapath::{datapath, DatapathConfig};
-use tv_netlist::{sim_format, Design, DeviceKind, Diagnostics, EditClass, NodeRole, Tech};
+use tv_netlist::{codes, sim_format, Design, DeviceKind, Diagnostics, EditClass, NodeRole, Tech};
+
+use crate::journal;
 
 /// One resident design and the demand-driven pipeline serving it.
 pub struct Session {
@@ -57,6 +62,10 @@ pub struct Session {
     /// Counter baseline for the `metrics` command: each reply reports
     /// the delta since the previous `metrics` (or session start).
     metrics_mark: tv_obs::Snapshot,
+    /// Set by a command that failed (or degraded) in a way one bounded
+    /// retry can repair; the supervisor consumes it. The value is the
+    /// recovery kind reported in the reply's `"recovered"` object.
+    retry_hint: Option<&'static str>,
 }
 
 /// The reply to one command line.
@@ -84,6 +93,7 @@ impl Session {
             options,
             max_errors,
             metrics_mark: tv_obs::snapshot(),
+            retry_hint: None,
         }
     }
 
@@ -116,19 +126,10 @@ impl Session {
         let tokens: Vec<&str> = line.split_whitespace().collect();
         tv_obs::incr(tv_obs::Counter::SessionCommands);
         let _span = tv_obs::span(command_span_label(tokens[0]));
-        let result = match tokens[0] {
-            "load" => self.cmd_load(&tokens[1..]),
-            "demo" => self.cmd_demo(&tokens[1..]),
-            "edit" => self.cmd_edit(&tokens[1..]),
-            "analyze" => self.cmd_analyze(&tokens[1..]),
-            "paths" => self.cmd_paths(&tokens[1..]),
-            "flow" => self.cmd_flow(&tokens[1..]),
-            "revision" => self.cmd_revision(&tokens[1..]),
-            "metrics" => self.cmd_metrics(&tokens[1..]),
-            "quit" => return Reply::Quit(r#"{"ok":true,"cmd":"quit"}"#.into()),
-            other => Err(format!("unknown command {other:?}")),
-        };
-        match result {
+        if tokens[0] == "quit" {
+            return Reply::Quit(r#"{"ok":true,"cmd":"quit"}"#.into());
+        }
+        match self.supervised(&tokens) {
             Ok(json) => Reply::Line { json, ok: true },
             Err(msg) => Reply::Line {
                 json: format!(r#"{{"ok":false,"error":"{}"}}"#, json_escape(&msg)),
@@ -137,14 +138,103 @@ impl Session {
         }
     }
 
+    /// The per-command supervisor: runs the command with panic
+    /// containment, then applies the bounded per-kind retry policy.
+    ///
+    /// A command may set [`Session::retry_hint`] when it failed — or
+    /// succeeded degraded — in a way one retry against reset pipeline
+    /// state can repair: a transient read failure (`io`), a typed
+    /// internal error (`internal`), a worker-panic degradation
+    /// (`worker_panic`), or an exhausted deadline clock (`deadline`).
+    /// Engine-level kinds reset the [`PassManager`] first, because
+    /// degradation diagnostics live inside cached pass slots and shift
+    /// the report fingerprint; only a cold pipeline reproduces the
+    /// fault-free reply bits. A retry that comes back clean replaces
+    /// the degraded reply and is annotated
+    /// `"recovered":{"kind":...,"retries":1}`; a retry that is still
+    /// symptomatic is returned as-is — degraded but honest. Exactly one
+    /// retry, ever: recovery must never turn a persistent fault into a
+    /// loop.
+    fn supervised(&mut self, tokens: &[&str]) -> Result<String, String> {
+        self.retry_hint = None;
+        let first = match catch_unwind(AssertUnwindSafe(|| self.run_cmd(tokens))) {
+            Ok(r) => r,
+            Err(payload) => {
+                // An escaped panic must fail loudly, never kill the
+                // session; the pipeline may be mid-update, so drop its
+                // state wholesale. Not retried: the command may have
+                // partially applied, and a blind re-run could double it.
+                self.passes = PassManager::new();
+                return Err(format!("command panicked: {}", panic_text(&payload)));
+            }
+        };
+        let Some(kind) = self.retry_hint.take() else {
+            return first;
+        };
+        tv_obs::incr(tv_obs::Counter::FaultRetries);
+        if kind != "io" {
+            self.passes = PassManager::new();
+        }
+        match catch_unwind(AssertUnwindSafe(|| self.run_cmd(tokens))) {
+            Ok(second) => {
+                if self.retry_hint.take().is_none() {
+                    second.map(|json| annotate_recovered(&json, kind))
+                } else {
+                    second
+                }
+            }
+            Err(payload) => {
+                self.passes = PassManager::new();
+                Err(format!(
+                    "command panicked during retry: {}",
+                    panic_text(&payload)
+                ))
+            }
+        }
+    }
+
+    /// Dispatches one tokenized command (everything but `quit`, which
+    /// the caller handles — it must bypass the retry machinery).
+    fn run_cmd(&mut self, tokens: &[&str]) -> Result<String, String> {
+        match tokens[0] {
+            "load" => self.cmd_load(&tokens[1..]),
+            "demo" => self.cmd_demo(&tokens[1..]),
+            "edit" => self.cmd_edit(&tokens[1..]),
+            "analyze" => self.cmd_analyze(&tokens[1..]),
+            "paths" => self.cmd_paths(&tokens[1..]),
+            "flow" => self.cmd_flow(&tokens[1..]),
+            "revision" => self.cmd_revision(&tokens[1..]),
+            "metrics" => self.cmd_metrics(&tokens[1..]),
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+
     fn cmd_load(&mut self, args: &[&str]) -> Result<String, String> {
         let [path] = args else {
             return Err("load needs <file.sim>".into());
         };
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = match tv_fault::io_error(tv_fault::Site::SimRead) {
+            Some(e) => {
+                tv_obs::incr(tv_obs::Counter::FaultInjected);
+                Err(e)
+            }
+            None => std::fs::read_to_string(path),
+        }
+        .map_err(|e| {
+            // A failed read leaves no partial state behind, so it is
+            // always safe to retry once before giving up.
+            self.retry_hint = Some("io");
+            format!("cannot read {path}: {e}")
+        })?;
         let mut diags = Diagnostics::with_max_errors(self.max_errors);
-        let netlist = sim_format::parse_recovering(&text, Tech::nmos4um(), &mut diags)
-            .map_err(|e| format!("unrecoverable parse failure in {path}: {e}"))?;
+        let netlist =
+            sim_format::parse_recovering(&text, Tech::nmos4um(), &mut diags).map_err(|e| {
+                // Nothing was installed, so a re-read-and-re-parse is
+                // safe; on a genuinely bad file the retry fails the
+                // same way and the error stands.
+                self.retry_hint = Some("parse");
+                format!("unrecoverable parse failure in {path}: {e}")
+            })?;
         let errors = diags.error_count();
         self.install(Design::new(netlist));
         let d = self.design.as_ref().expect("just installed");
@@ -270,10 +360,32 @@ impl Session {
             return Err("analyze takes no operands".into());
         }
         let design = self.design.as_ref().ok_or("no design loaded")?;
-        let report = self
-            .passes
-            .try_analyze(design, &self.options)
-            .map_err(|e| e.to_string())?;
+        let report = match self.passes.try_analyze(design, &self.options) {
+            Ok(report) => report,
+            Err(e) => {
+                if matches!(e, TvError::Internal { .. }) {
+                    self.retry_hint = Some("internal");
+                }
+                return Err(e.to_string());
+            }
+        };
+        // A report can also come back *degraded*: a worker panic forced
+        // a serial fallback (and left a TV0303 diagnostic that shifts
+        // the fingerprint), or the deadline clock fired early and the
+        // propagation is incomplete. Both are one-shot conditions worth
+        // a single retry against a cold pipeline.
+        if report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::ANALYSIS_WORKER_PANIC)
+        {
+            self.retry_hint = Some("worker_panic");
+        } else if std::iter::once(&report.combinational)
+            .chain(report.phases.iter().map(|p| &p.result))
+            .any(|r| r.completion == Completion::DeadlineExceeded)
+        {
+            self.retry_hint = Some("deadline");
+        }
         let fp = report_fingerprint(design.netlist(), &report);
         let mut passes = String::new();
         for (i, ev) in self.passes.last_trace().iter().enumerate() {
@@ -390,6 +502,45 @@ impl Session {
     }
 }
 
+/// Best-effort text of a caught panic payload (panics raised with
+/// `panic!("{}", ...)` carry a `String`; literals carry `&str`).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Appends `"recovered":{"kind":...,"retries":1}` to a reply object, so
+/// transcripts show both that the command succeeded and that it took
+/// the supervisor to get there.
+fn annotate_recovered(json: &str, kind: &str) -> String {
+    match json.strip_suffix('}') {
+        Some(body) => format!(r#"{body},"recovered":{{"kind":"{kind}","retries":1}}}}"#),
+        None => json.to_string(),
+    }
+}
+
+/// Extracts the `"revision":<n>` stamp from a reply line, if present
+/// (replies are generated by this module, so plain text scanning is
+/// exact — no reply nests another object with a `revision` key first).
+pub(crate) fn reply_revision(json: &str) -> Option<u64> {
+    let rest = &json[json.find(r#""revision":"#)? + r#""revision":"#.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the `"fingerprint":"0x..."` stamp from a reply line.
+pub(crate) fn reply_fingerprint(json: &str) -> Option<String> {
+    let rest = &json[json.find(r#""fingerprint":""#)? + r#""fingerprint":""#.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
 /// Static span label for a session command (span names must be
 /// `&'static str`; unknown commands share one bucket).
 fn command_span_label(cmd: &str) -> &'static str {
@@ -470,8 +621,101 @@ pub fn run_session<R: BufRead, W: Write>(
     options: AnalysisOptions,
     max_errors: usize,
 ) -> std::io::Result<u8> {
+    run_session_with(input, out, options, max_errors, None, None)
+}
+
+/// [`run_session`] with the crash-safety plane attached.
+///
+/// With `journal`, every accepted (non-quit, `ok:true`) command is
+/// appended to the file after it executes, stamped with the revision
+/// and fingerprint its reply carried. With `resume`, the journal at
+/// that path is validated and replayed through the ordinary command
+/// API *before* any input is read; replay must land on the recorded
+/// stamps exactly (else `TV0503` refuses), a torn tail is dropped and
+/// truncated with a `TV0502` note, and interior damage refuses with
+/// `TV0501`. After a successful resume, the same file continues to
+/// receive appends, so resume composes with itself.
+pub fn run_session_with<R: BufRead, W: Write>(
+    input: R,
+    out: &mut W,
+    options: AnalysisOptions,
+    max_errors: usize,
+    journal: Option<&str>,
+    resume: Option<&str>,
+) -> std::io::Result<u8> {
     let mut session = Session::new(options, max_errors);
     let mut failed = false;
+    let journal_path = resume.or(journal);
+    let mut sink = None;
+    if let Some(path) = resume {
+        let loaded = match journal::load(path) {
+            Ok(l) => l,
+            Err(e) => {
+                let code = match e {
+                    journal::JournalError::Io(_) => codes::JOURNAL_IO,
+                    journal::JournalError::Malformed { .. } => codes::JOURNAL_MALFORMED,
+                };
+                writeln!(
+                    out,
+                    r#"{{"ok":false,"cmd":"resume","code":"{}","error":"{}"}}"#,
+                    code,
+                    json_escape(&e.to_string())
+                )?;
+                return Ok(1);
+            }
+        };
+        if loaded.torn {
+            // Drop the torn tail on disk too, so the file we go on
+            // appending to is exactly the prefix we replayed.
+            journal::truncate_to(path, loaded.valid_len)?;
+        }
+        let mut last_revision = None;
+        let mut last_fingerprint = None;
+        for (i, entry) in loaded.entries.iter().enumerate() {
+            tv_obs::incr(tv_obs::Counter::FaultJournalReplays);
+            let reply = session.eval(&entry.command);
+            let (json, ok) = match reply {
+                Some(r) => r,
+                None => (String::new(), true),
+            };
+            let diverged = !ok
+                || entry
+                    .revision
+                    .is_some_and(|want| reply_revision(&json) != Some(want))
+                || entry
+                    .fingerprint
+                    .as_deref()
+                    .is_some_and(|want| reply_fingerprint(&json).as_deref() != Some(want));
+            if diverged {
+                writeln!(
+                    out,
+                    r#"{{"ok":false,"cmd":"resume","code":"{}","error":"replay diverged at entry {} ({})"}}"#,
+                    codes::JOURNAL_DIVERGED,
+                    i + 1,
+                    json_escape(&entry.command)
+                )?;
+                return Ok(1);
+            }
+            last_revision = reply_revision(&json).or(last_revision);
+            last_fingerprint = reply_fingerprint(&json).or(last_fingerprint);
+        }
+        writeln!(
+            out,
+            r#"{{"ok":true,"cmd":"resume","replayed":{},"torn":{},"revision":{},"fingerprint":{}}}"#,
+            loaded.entries.len(),
+            loaded.torn,
+            last_revision
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "null".into()),
+            last_fingerprint
+                .map(|f| format!("\"{f}\""))
+                .unwrap_or_else(|| "null".into()),
+        )?;
+        out.flush()?;
+        sink = Some(journal::Journal::open_append(path)?);
+    } else if let Some(path) = journal_path {
+        sink = Some(journal::Journal::create(path)?);
+    }
     for line in input.lines() {
         let line = line?;
         let quit = line.trim() == "quit";
@@ -479,6 +723,15 @@ pub fn run_session<R: BufRead, W: Write>(
             writeln!(out, "{json}")?;
             out.flush()?;
             failed |= !ok;
+            if ok && !quit {
+                if let Some(j) = sink.as_mut() {
+                    j.append(&journal::Entry {
+                        revision: reply_revision(&json),
+                        fingerprint: reply_fingerprint(&json),
+                        command: line.trim().to_string(),
+                    })?;
+                }
+            }
         }
         if quit {
             break;

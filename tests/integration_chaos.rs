@@ -1,0 +1,175 @@
+//! Fault-injection and recovery suite.
+//!
+//! Exercises the `tv_fault` plane end to end: the in-process `tv chaos`
+//! sweep against its committed golden, the `--faults` fuzz mode, and the
+//! binary-level `--fault-seed` hook for the two sites only the CLI
+//! crosses (`trace_write`, `metrics_write`).
+//!
+//! The fault plane is process-global, so every in-process test that
+//! arms it serializes on [`plane_lock`]. Binary-level tests spawn their
+//! own process and need no lock.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+use std::sync::{Mutex, MutexGuard};
+
+use nmos_tv::chaos::run_chaos;
+use nmos_tv::core::AnalysisOptions;
+use nmos_tv::fault::{FaultPlan, Site};
+
+fn plane_lock() -> MutexGuard<'static, ()> {
+    static M: Mutex<()> = Mutex::new(());
+    M.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tv() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tv"))
+}
+
+fn temp_path(stem: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "tv-chaos-test-{}-{}-{stem}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos()
+    ));
+    p
+}
+
+/// The committed chaos golden is exactly what `tv chaos --seeds 64`
+/// prints (scripts/verify.sh pins the release binary to the same file).
+#[test]
+fn chaos_sweep_matches_committed_golden() {
+    let _g = plane_lock();
+    let report = run_chaos(64, &AnalysisOptions::default()).expect("sweep runs");
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/data/chaos_smoke.golden"
+    ))
+    .expect("read chaos golden");
+    assert_eq!(format!("{report}\n"), golden);
+    assert!(report.is_clean(), "{report}");
+}
+
+/// Two sweeps of the same seed range must render identically — the
+/// whole report is a pure function of (seeds, options).
+#[test]
+fn chaos_sweep_is_deterministic() {
+    let _g = plane_lock();
+    let a = run_chaos(8, &AnalysisOptions::default()).expect("sweep runs");
+    let b = run_chaos(8, &AnalysisOptions::default()).expect("sweep runs");
+    assert_eq!(a.to_string(), b.to_string());
+}
+
+/// The sweep's recovery paths hold at a parallel jobs setting too (the
+/// worker-panic sites degrade chunked scoped threads, not just the
+/// serial fast path).
+#[test]
+fn chaos_sweep_is_clean_with_parallel_workers() {
+    let _g = plane_lock();
+    let options = AnalysisOptions {
+        jobs: 2,
+        ..AnalysisOptions::default()
+    };
+    let report = run_chaos(12, &options).expect("sweep runs");
+    assert!(report.is_clean(), "{report}");
+}
+
+/// `tv fuzz --faults` — random session scripts under seeded plans obey
+/// the same contract.
+#[test]
+fn fault_fuzz_is_clean() {
+    let _g = plane_lock();
+    let report = nmos_tv::fuzz::run_faults(25, 0xFA17).expect("fuzz runs");
+    assert!(report.is_clean(), "{report}");
+    assert!(report.triggered > 0, "no plan ever fired: {report}");
+}
+
+/// Finds a seed whose plan is `site` on the first crossing.
+fn seed_for(site: Site) -> u64 {
+    (0..10_000u64)
+        .find(|&s| FaultPlan::from_seed(s) == FaultPlan { site, after: 0 })
+        .expect("10k seeds cover every (site, after=0) plan")
+}
+
+/// A session driven through the real binary with `--fault-seed` aimed at
+/// the trace writer: the injected write failure is retried once, the
+/// run stays clean, and the written trace still validates.
+#[test]
+fn binary_fault_seed_trace_write_recovers() {
+    let trace = temp_path("trace.json");
+    let seed = seed_for(Site::TraceWrite);
+    let mut child = tv()
+        .arg("session")
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--fault-seed")
+        .arg(seed.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tv");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(b"demo small\nanalyze\nquit\n")
+        .expect("feed session");
+    let out = child.wait_with_output().expect("run tv");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let check = tv()
+        .arg("trace-check")
+        .arg(&trace)
+        .output()
+        .expect("run tv");
+    assert_eq!(check.status.code(), Some(0));
+    let _ = std::fs::remove_file(&trace);
+}
+
+/// Same at the metrics writer: the dump is written on the retry and is
+/// valid JSON with the fault counters recording the injection.
+#[test]
+fn binary_fault_seed_metrics_write_recovers() {
+    let metrics = temp_path("metrics.json");
+    let seed = seed_for(Site::MetricsWrite);
+    let mut child = tv()
+        .arg("session")
+        .arg("--metrics")
+        .arg(&metrics)
+        .arg("--fault-seed")
+        .arg(seed.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tv");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(b"demo small\nanalyze\nquit\n")
+        .expect("feed session");
+    let out = child.wait_with_output().expect("run tv");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics).expect("metrics written on retry");
+    nmos_tv::obs::json::parse(&text).expect("metrics dump is valid JSON");
+    assert!(
+        text.contains("\"fault.injected\""),
+        "fault counters missing from dump: {text}"
+    );
+    let _ = std::fs::remove_file(&metrics);
+}

@@ -1,0 +1,227 @@
+//! Crash/replay property suite for the session journal.
+//!
+//! The crash-safety contract: killing a journaled session after *any*
+//! prefix of a command stream and resuming from the journal lands on a
+//! state bit-identical to the uninterrupted run — same replies, same
+//! revisions, same report fingerprints — at every worker count. A
+//! journal whose tail was torn mid-append recovers the same way after
+//! dropping the tail; interior damage refuses loudly.
+
+use std::io::Cursor;
+
+use nmos_tv::core::AnalysisOptions;
+use nmos_tv::session::run_session_with;
+
+/// Splitmix-style deterministic generator (no rand dependency).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A 50-command random session script over the small demo datapath.
+/// Every command always succeeds (the journal then has one entry per
+/// command) and the script ends with `analyze` so the final reply
+/// carries a fingerprint.
+fn random_script(seed: u64) -> Vec<String> {
+    let mut rng = Lcg(seed);
+    let mut script = vec!["demo small".to_string()];
+    while script.len() < 49 {
+        script.push(match rng.pick(8) {
+            0 | 1 => "analyze".to_string(),
+            2 => "flow".to_string(),
+            3 => "revision".to_string(),
+            4 => format!("edit resize pu_wq0 {} 2", [4, 6, 8][rng.pick(3)]),
+            5 => format!("edit resize wqinv0_pd {} 2", [4, 6, 8][rng.pick(3)]),
+            6 => format!("edit setcap out0 0.0{}", 1 + rng.pick(9)),
+            _ => format!("edit setcap wb0 0.0{}", 1 + rng.pick(9)),
+        });
+    }
+    script.push("analyze".to_string());
+    script
+}
+
+fn temp_path(stem: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "tv-journal-test-{}-{}-{stem}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos()
+    ));
+    p.to_str().expect("temp path is UTF-8").to_string()
+}
+
+/// Runs `commands` (plus `quit`) through one in-process session.
+fn run(
+    commands: &[String],
+    jobs: usize,
+    journal: Option<&str>,
+    resume: Option<&str>,
+) -> (Vec<String>, u8) {
+    let mut input = commands.join("\n");
+    input.push_str("\nquit\n");
+    let mut out = Vec::new();
+    let options = AnalysisOptions {
+        jobs,
+        ..AnalysisOptions::default()
+    };
+    let code = run_session_with(Cursor::new(input), &mut out, options, 20, journal, resume)
+        .expect("session runs");
+    let text = String::from_utf8(out).expect("replies are UTF-8");
+    (text.lines().map(str::to_string).collect(), code)
+}
+
+/// The property itself, for one worker count: for every prefix length
+/// `k` of the script, "crash" after `k` journaled commands (simulated
+/// by cutting the journal file there — appends are per-command and
+/// flushed, so this is exactly the on-disk state a kill leaves), resume
+/// from the cut journal, feed the remaining commands, and require every
+/// reply from `k` on to be byte-identical to the uninterrupted run.
+/// Every third cut also gets a torn garbage tail, which resume must
+/// drop (`"torn":true`) without changing any state.
+fn crash_replay_holds_at(jobs: usize) {
+    let script = random_script(0x5EED_0000 + jobs as u64);
+    let (baseline, base_code) = run(&script, jobs, None, None);
+    assert_eq!(base_code, 0, "baseline must be clean: {baseline:?}");
+    assert_eq!(
+        baseline.len(),
+        script.len() + 1,
+        "one reply per command plus quit"
+    );
+
+    let journal_path = temp_path(&format!("j{jobs}.log"));
+    let (journaled, code) = run(&script, jobs, Some(&journal_path), None);
+    assert_eq!(code, 0);
+    assert_eq!(journaled, baseline, "journaling must not change replies");
+    let journal_text = std::fs::read_to_string(&journal_path).expect("journal written");
+    let lines: Vec<&str> = journal_text.lines().collect();
+    assert_eq!(
+        lines.len(),
+        script.len() + 1,
+        "header + one entry per command"
+    );
+
+    let resume_path = temp_path(&format!("r{jobs}.log"));
+    for k in 0..=script.len() {
+        let mut prefix = lines[..=k].join("\n");
+        prefix.push('\n');
+        let torn = k % 3 == 2;
+        if torn {
+            prefix.push_str("fe3d bad torn tail");
+        }
+        std::fs::write(&resume_path, &prefix).expect("write cut journal");
+        let (replies, code) = run(&script[k..], jobs, None, Some(&resume_path));
+        assert_eq!(code, 0, "cut {k} (torn {torn}) failed: {replies:?}");
+        let summary = &replies[0];
+        assert!(
+            summary.contains(r#""ok":true,"cmd":"resume""#)
+                && summary.contains(&format!(r#""replayed":{k},"torn":{torn}"#)),
+            "cut {k}: unexpected resume summary {summary}"
+        );
+        assert_eq!(
+            replies[1..],
+            baseline[k..],
+            "cut {k} (torn {torn}): resumed replies diverge from the uninterrupted run"
+        );
+    }
+
+    let _ = std::fs::remove_file(&journal_path);
+    let _ = std::fs::remove_file(&resume_path);
+}
+
+#[test]
+fn crash_replay_is_bit_identical_serial() {
+    crash_replay_holds_at(1);
+}
+
+#[test]
+fn crash_replay_is_bit_identical_two_workers() {
+    crash_replay_holds_at(2);
+}
+
+#[test]
+fn crash_replay_is_bit_identical_eight_workers() {
+    crash_replay_holds_at(8);
+}
+
+/// Interior damage — a bit flip before the final line — must refuse the
+/// whole journal with `TV0501` and exit 1, never replay a guess.
+#[test]
+fn interior_damage_refuses_resume() {
+    let script = random_script(0xBAD);
+    let journal_path = temp_path("interior.log");
+    let (_, code) = run(&script, 1, Some(&journal_path), None);
+    assert_eq!(code, 0);
+    let mut text = std::fs::read_to_string(&journal_path).expect("journal written");
+    // Corrupt a byte in the middle of line 3's command field.
+    let at = text
+        .match_indices('\n')
+        .nth(2)
+        .map(|(i, _)| i - 2)
+        .expect("journal has entries");
+    text.replace_range(at..at + 1, "?");
+    std::fs::write(&journal_path, &text).expect("write damaged journal");
+    let (replies, code) = run(&script, 1, None, Some(&journal_path));
+    assert_eq!(code, 1);
+    assert_eq!(replies.len(), 1, "refusal is the only reply: {replies:?}");
+    assert!(
+        replies[0].contains(r#""code":"TV0501""#),
+        "expected TV0501 refusal, got {}",
+        replies[0]
+    );
+    let _ = std::fs::remove_file(&journal_path);
+}
+
+/// A journal that records state the current engine cannot reproduce
+/// (here: a tampered fingerprint with a valid checksum) must refuse
+/// with `TV0503` rather than continue from silently different bits.
+#[test]
+fn divergent_replay_refuses_resume() {
+    let journal_path = temp_path("diverged.log");
+    let script: Vec<String> = ["demo small", "analyze"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let (_, code) = run(&script, 1, Some(&journal_path), None);
+    assert_eq!(code, 0);
+    let text = std::fs::read_to_string(&journal_path).expect("journal written");
+    // Rewrite the analyze entry's fingerprint, keeping the checksum
+    // valid, via the journal's own renderer.
+    let rewritten: String = {
+        use nmos_tv::journal::{parse, render_entry, HEADER};
+        let mut loaded = parse(&text).expect("clean journal");
+        let e = loaded
+            .entries
+            .iter_mut()
+            .find(|e| e.fingerprint.is_some())
+            .expect("analyze entry");
+        e.fingerprint = Some("0x0123456789abcdef".to_string());
+        let mut s = format!("{HEADER}\n");
+        for e in &loaded.entries {
+            s.push_str(&render_entry(e));
+        }
+        s
+    };
+    std::fs::write(&journal_path, rewritten).expect("write tampered journal");
+    let (replies, code) = run(&[], 1, None, Some(&journal_path));
+    assert_eq!(code, 1);
+    assert!(
+        replies[0].contains(r#""code":"TV0503""#),
+        "expected TV0503 refusal, got {}",
+        replies[0]
+    );
+    let _ = std::fs::remove_file(&journal_path);
+}

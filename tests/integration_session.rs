@@ -290,6 +290,69 @@ fn batch_script_replays_to_golden_transcript() {
     );
 }
 
+/// Writes `contents` to a self-cleaning temp script file.
+struct TempScript(std::path::PathBuf);
+
+impl TempScript {
+    fn new(contents: &str) -> Self {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "tv-batch-test-{}-{}.txt",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .as_nanos()
+        ));
+        std::fs::write(&path, contents).expect("write temp script");
+        TempScript(path)
+    }
+}
+
+impl Drop for TempScript {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// An empty batch script is a successful no-op: no replies, exit 0.
+#[test]
+fn batch_empty_script_exits_clean_with_no_output() {
+    let script = TempScript::new("");
+    let out = Command::new(env!("CARGO_BIN_EXE_tv"))
+        .arg("batch")
+        .arg(&script.0)
+        .output()
+        .expect("tv batch runs");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        out.stdout.is_empty(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+/// A script whose final line has no trailing newline still executes
+/// that line — a truncated-by-one-byte script must not silently drop
+/// its last command.
+#[test]
+fn batch_missing_trailing_newline_runs_final_command() {
+    let script = TempScript::new("demo small\nrevision");
+    let out = Command::new(env!("CARGO_BIN_EXE_tv"))
+        .arg("batch")
+        .arg(&script.0)
+        .output()
+        .expect("tv batch runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    assert!(
+        lines[1].contains(r#""cmd":"revision""#),
+        "final unterminated command was dropped: {text}"
+    );
+}
+
 fn trace_outcome(pm: &PassManager, pass: PassId) -> Option<PassOutcome> {
     pm.last_trace()
         .iter()
