@@ -7,7 +7,7 @@
 //! the last (BENCH_4.json replaced BENCH_3.json; never again).
 //!
 //! Usage:
-//!   perf_trajectory --out BENCH_TRAJECTORY.json --label pr5-obs
+//!   perf_trajectory --out BENCH_TRAJECTORY.json --label pr5-obs [--at-scale]
 //!                                               # run suite, append a run
 //!   perf_trajectory --check BENCH_TRAJECTORY.json
 //!                                               # fail on >2x regression
@@ -64,7 +64,7 @@ struct Run {
 /// plus the flow fixpoint and graph-size telemetry, which are equally
 /// deterministic for a fixed input. Timing-plane spans never appear
 /// here.
-const KEPT_COUNTERS: [Counter; 10] = [
+const KEPT_COUNTERS: [Counter; 14] = [
     Counter::PropagateRelaxations,
     Counter::PropagateResiduePops,
     Counter::PropagateNodes,
@@ -75,6 +75,10 @@ const KEPT_COUNTERS: [Counter; 10] = [
     Counter::FlowSweeps,
     Counter::FlowWorklistPops,
     Counter::GraphArcs,
+    Counter::IngestChunks,
+    Counter::IngestBytes,
+    Counter::IngestPrescanSyms,
+    Counter::IngestReallocs,
 ];
 
 /// Runs `f` once with the counter plane enabled and returns the nonzero
@@ -95,8 +99,10 @@ fn counted<R>(mut f: impl FnMut() -> R) -> Vec<(String, u64)> {
 
 /// Runs the fixed smoke suite. Sizes are chosen so the whole suite
 /// finishes in a few seconds in release mode — this runs inside
-/// `scripts/verify.sh`, so it has to stay cheap.
-fn run_suite() -> Vec<Entry> {
+/// `scripts/verify.sh`, so it has to stay cheap. `at_scale` adds the
+/// million-device T6 ingest benches (tens of seconds; run manually when
+/// appending a trajectory run, never inside the verify gate).
+fn run_suite(at_scale: bool) -> Vec<Entry> {
     let tech = Tech::nmos4um();
     let mut out = Vec::new();
 
@@ -161,6 +167,90 @@ fn run_suite() -> Vec<Entry> {
     });
 
     out.extend(session_suite(&tech));
+    out.extend(ingest_suite(&tech, at_scale));
+
+    out
+}
+
+/// The P8 ingest suite: the serial T5-scale parse (always — it is the
+/// figure the 1.5x gate in `check` pins), plus, at scale, the
+/// million-device T6 multi-core design with the parse/build/propagate
+/// split measured separately at jobs=1.
+fn ingest_suite(tech: &Tech, at_scale: bool) -> Vec<Entry> {
+    use tv_clocks::latch::find_latches;
+    use tv_clocks::qualify::qualify_with_flow;
+    use tv_core::{external_sources, propagate_with, PhaseCase, TimingGraph, SOURCE_RESISTANCE};
+    use tv_gen::mips_mc::{t6_mips_mc, MILLION_DEVICE_CORES};
+    use tv_netlist::{sim_format, Diagnostics};
+
+    let mut out = Vec::new();
+    let entry =
+        |s: tv_bench::harness::Sample, devices: usize, counters: Vec<(String, u64)>| Entry {
+            name: s.name,
+            input_size: devices,
+            ns_per_op: s.median_ms * 1e6,
+            min_ns: s.min_ms * 1e6,
+            iters: s.iters,
+            counters,
+        };
+
+    // Serial T5-scale parse: pre-scan + zero-realloc ingest of the same
+    // 102k-device random-logic text the T5 scaling experiment uses.
+    let t5 = random_logic(tech.clone(), 102_400, 0xC0FFEE, RandomMix::default());
+    let text = sim_format::write(&t5.netlist);
+    let devices = t5.netlist.device_count();
+    let mut work = || {
+        let mut diags = Diagnostics::new();
+        sim_format::parse_recovering(&text, tech.clone(), &mut diags)
+            .expect("T5 round-trip parses")
+            .device_count()
+    };
+    let s = bench("ingest/t5-parse-serial", 5, &mut work);
+    out.push(entry(s, devices, counted(&mut work)));
+
+    if !at_scale {
+        return out;
+    }
+
+    // The million-device workload, end to end: generate T6, serialize,
+    // then time each ingest/analysis stage once (a single iteration is
+    // tens-of-milliseconds to seconds per stage — far above timer noise).
+    let mc = t6_mips_mc(tech.clone(), MILLION_DEVICE_CORES);
+    let text = sim_format::write(&mc.netlist);
+    let nl = &mc.netlist;
+    let devices = nl.device_count();
+
+    let mut parse_work = || {
+        let mut diags = Diagnostics::new();
+        sim_format::parse_recovering(&text, tech.clone(), &mut diags)
+            .expect("T6 round-trip parses")
+            .device_count()
+    };
+    let s = bench("ingest/t6-1m-parse", 1, &mut parse_work);
+    out.push(entry(s, devices, counted(&mut parse_work)));
+
+    let opts = AnalysisOptions::default();
+    let case = PhaseCase::all_active();
+    let mut build_work = || {
+        let flow = tv_flow::analyze(nl, &opts.rules);
+        let qual = qualify_with_flow(nl, &flow);
+        let _latches = find_latches(nl, &flow, &qual);
+        TimingGraph::build_par(nl, &flow, &qual, case, opts.model, SOURCE_RESISTANCE, 1)
+            .schedule
+            .levels()
+    };
+    let s = bench("ingest/t6-1m-build", 1, &mut build_work);
+    out.push(entry(s, devices, counted(&mut build_work)));
+
+    let flow = tv_flow::analyze(nl, &opts.rules);
+    let qual = qualify_with_flow(nl, &flow);
+    let graph = TimingGraph::build_par(nl, &flow, &qual, case, opts.model, SOURCE_RESISTANCE, 1);
+    let sources = external_sources(nl);
+    let endpoints = nl.outputs().to_vec();
+    let mut prop_work =
+        || propagate_with(nl, &graph, &sources, &endpoints, &opts.slope, 1).relaxations;
+    let s = bench("ingest/t6-1m-propagate", 1, &mut prop_work);
+    out.push(entry(s, devices, counted(&mut prop_work)));
 
     out
 }
@@ -476,16 +566,22 @@ fn check(entries: &[Entry], baseline_path: &str, threshold: f64) -> ExitCode {
         };
         // Gate on the current run's *fastest* iteration vs the baseline
         // median (see `Entry`): immune to one-sided scheduler noise.
+        let gate = gate_threshold(&e.name, threshold);
         let ratio = e.min_ns / base.ns_per_op;
-        let verdict = if ratio > threshold {
+        let verdict = if ratio > gate {
             failed = true;
             "REGRESSED"
         } else {
             "ok"
         };
+        let tighter = if gate < threshold {
+            format!("  ({gate}x gate)")
+        } else {
+            String::new()
+        };
         println!(
-            "{:<28} {:>14.0} {:>14.0} {:>7.2}x  {}",
-            e.name, base.ns_per_op, e.min_ns, ratio, verdict
+            "{:<28} {:>14.0} {:>14.0} {:>7.2}x  {}{}",
+            e.name, base.ns_per_op, e.min_ns, ratio, verdict, tighter
         );
     }
     if let Err(msg) = check_cone_work(entries) {
@@ -498,6 +594,18 @@ fn check(entries: &[Entry], baseline_path: &str, threshold: f64) -> ExitCode {
     } else {
         println!("perf_trajectory: within {threshold}x of baseline");
         ExitCode::SUCCESS
+    }
+}
+
+/// Per-bench gate override: the serial T5 parse is the PR 8 headline
+/// figure, pinned tighter (1.5x) than the general suite gate so the
+/// pre-scanned ingest path cannot silently drift back toward the old
+/// allocate-per-line cost.
+fn gate_threshold(name: &str, default: f64) -> f64 {
+    if name == "ingest/t5-parse-serial" {
+        default.min(1.5)
+    } else {
+        default
     }
 }
 
@@ -545,9 +653,14 @@ fn main() -> ExitCode {
     let mut check_path: Option<String> = None;
     let mut label: Option<String> = None;
     let mut threshold = 2.0f64;
+    let mut at_scale = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--at-scale" => {
+                at_scale = true;
+                i += 1;
+            }
             "--out" => {
                 out_path = args.get(i + 1).cloned();
                 i += 2;
@@ -570,7 +683,7 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("perf_trajectory: unknown argument {other}");
                 eprintln!(
-                    "usage: perf_trajectory [--out FILE --label NAME] [--check FILE] [--threshold X]"
+                    "usage: perf_trajectory [--out FILE --label NAME] [--check FILE] [--threshold X] [--at-scale]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -578,12 +691,12 @@ fn main() -> ExitCode {
     }
     if out_path.is_none() && check_path.is_none() {
         eprintln!(
-            "usage: perf_trajectory [--out FILE --label NAME] [--check FILE] [--threshold X]"
+            "usage: perf_trajectory [--out FILE --label NAME] [--check FILE] [--threshold X] [--at-scale]"
         );
         return ExitCode::FAILURE;
     }
 
-    let entries = run_suite();
+    let entries = run_suite(at_scale);
 
     if let Some(path) = &out_path {
         // Append, never supersede: keep every prior run in the file.

@@ -77,12 +77,24 @@ pub struct Datapath {
     pub carry_out: NodeId,
 }
 
-/// Generates the datapath.
+/// Instantiates one datapath into an existing builder under a name
+/// `prefix`, sharing the caller's clock nodes.
+///
+/// With an empty prefix this builds exactly the netlist [`datapath`]
+/// returns; [`crate::mips_mc`] tiles many cores into one netlist with
+/// `c<k>_` prefixes. All control inputs, the external operand port, and
+/// the observed output are created under the prefix.
 ///
 /// # Panics
 ///
 /// Panics if any configuration dimension is zero.
-pub fn datapath(tech: Tech, config: DatapathConfig) -> Datapath {
+pub fn datapath_into(
+    b: &mut NetlistBuilder,
+    prefix: &str,
+    phi1: NodeId,
+    phi2: NodeId,
+    config: DatapathConfig,
+) {
     let DatapathConfig {
         width,
         regs,
@@ -92,45 +104,43 @@ pub fn datapath(tech: Tech, config: DatapathConfig) -> Datapath {
         width > 0 && regs > 0 && shift_amounts > 0,
         "datapath dimensions must be positive"
     );
-    let mut b = NetlistBuilder::new(tech);
-    let phi1 = b.clock("phi1", 0);
-    let phi2 = b.clock("phi2", 1);
+    let p = prefix;
 
     // Control inputs.
-    let rd_a: Vec<NodeId> = (0..regs).map(|r| b.input(format!("rdA{r}"))).collect();
-    let rd_b: Vec<NodeId> = (0..regs).map(|r| b.input(format!("rdB{r}"))).collect();
+    let rd_a: Vec<NodeId> = (0..regs).map(|r| b.input(format!("{p}rdA{r}"))).collect();
+    let rd_b: Vec<NodeId> = (0..regs).map(|r| b.input(format!("{p}rdB{r}"))).collect();
     // Qualified write clocks: wq<r> = we<r> ∧ φ1, built from a NAND and an
     // inverter the way real control logic did — this is what the clock
     // qualification analysis must recognize.
     let wq: Vec<NodeId> = (0..regs)
         .map(|r| {
-            let we = b.input(format!("we{r}"));
-            let nq = b.node(format!("wqbar{r}"));
-            b.nand(format!("wqgate{r}"), &[we, phi1], nq);
-            let wq = b.node(format!("wq{r}"));
-            b.inverter(format!("wqinv{r}"), nq, wq);
+            let we = b.input(format!("{p}we{r}"));
+            let nq = b.node(format!("{p}wqbar{r}"));
+            b.nand(format!("{p}wqgate{r}"), &[we, phi1], nq);
+            let wq = b.node(format!("{p}wq{r}"));
+            b.inverter(format!("{p}wqinv{r}"), nq, wq);
             wq
         })
         .collect();
-    let op_add = b.input("op_add");
-    let op_nand = b.input("op_nand");
-    let op_nor = b.input("op_nor");
-    let use_ext = b.input("use_ext");
+    let op_add = b.input(format!("{p}op_add"));
+    let op_nand = b.input(format!("{p}op_nand"));
+    let op_nor = b.input(format!("{p}op_nor"));
+    let use_ext = b.input(format!("{p}use_ext"));
     let sh: Vec<NodeId> = (0..shift_amounts)
-        .map(|s| b.input(format!("sh{s}")))
+        .map(|s| b.input(format!("{p}sh{s}")))
         .collect();
-    let cin = b.input("cin");
-    let ext: Vec<NodeId> = (0..width).map(|i| b.input(format!("ext{i}"))).collect();
+    let cin = b.input(format!("{p}cin"));
+    let ext: Vec<NodeId> = (0..width).map(|i| b.input(format!("{p}ext{i}"))).collect();
 
     // Writeback lines (defined up front; driven at the end).
-    let wb: Vec<NodeId> = (0..width).map(|i| b.node(format!("wb{i}"))).collect();
+    let wb: Vec<NodeId> = (0..width).map(|i| b.node(format!("{p}wb{i}"))).collect();
 
     // Precharged operand buses.
-    let bus_a: Vec<NodeId> = (0..width).map(|i| b.node(format!("busA{i}"))).collect();
-    let bus_b: Vec<NodeId> = (0..width).map(|i| b.node(format!("busB{i}"))).collect();
+    let bus_a: Vec<NodeId> = (0..width).map(|i| b.node(format!("{p}busA{i}"))).collect();
+    let bus_b: Vec<NodeId> = (0..width).map(|i| b.node(format!("{p}busB{i}"))).collect();
     for i in 0..width {
-        b.precharge(format!("preA{i}"), phi2, bus_a[i]);
-        b.precharge(format!("preB{i}"), phi2, bus_b[i]);
+        b.precharge(format!("{p}preA{i}"), phi2, bus_a[i]);
+        b.precharge(format!("{p}preB{i}"), phi2, bus_b[i]);
         b.add_cap(bus_a[i], 0.01 * regs as f64).expect("cap >= 0");
         b.add_cap(bus_b[i], 0.01 * regs as f64).expect("cap >= 0");
     }
@@ -138,7 +148,7 @@ pub fn datapath(tech: Tech, config: DatapathConfig) -> Datapath {
     // Register file: master–slave per bit, two read ports.
     for r in 0..regs {
         for i in 0..width {
-            let cell = format!("rf_r{r}_b{i}");
+            let cell = format!("{p}rf_r{r}_b{i}");
             let m_out = b.node(format!("{cell}_m"));
             b.dynamic_latch(format!("{cell}_master"), wq[r], wb[i], m_out);
             let q = b.node(format!("{cell}_q"));
@@ -150,57 +160,70 @@ pub fn datapath(tech: Tech, config: DatapathConfig) -> Datapath {
 
     // External operand onto bus B.
     for i in 0..width {
-        b.pass(format!("extmux{i}"), use_ext, ext[i], bus_b[i]);
+        b.pass(format!("{p}extmux{i}"), use_ext, ext[i], bus_b[i]);
     }
 
     // ALU operand conditioning: restore the buses.
     let mut a_op = Vec::with_capacity(width);
     let mut b_op = Vec::with_capacity(width);
     for i in 0..width {
-        let an = b.node(format!("aN{i}"));
-        let ap = b.node(format!("aP{i}"));
-        b.inverter(format!("ainv{i}"), bus_a[i], an);
-        b.inverter(format!("abuf{i}"), an, ap);
-        let bn = b.node(format!("bN{i}"));
-        let bp = b.node(format!("bP{i}"));
-        b.inverter(format!("binv{i}"), bus_b[i], bn);
-        b.inverter(format!("bbuf{i}"), bn, bp);
+        let an = b.node(format!("{p}aN{i}"));
+        let ap = b.node(format!("{p}aP{i}"));
+        b.inverter(format!("{p}ainv{i}"), bus_a[i], an);
+        b.inverter(format!("{p}abuf{i}"), an, ap);
+        let bn = b.node(format!("{p}bN{i}"));
+        let bp = b.node(format!("{p}bP{i}"));
+        b.inverter(format!("{p}binv{i}"), bus_b[i], bn);
+        b.inverter(format!("{p}bbuf{i}"), bn, bp);
         a_op.push(ap);
         b_op.push(bp);
     }
 
     // ALU: adder + logic legs + one-hot function mux.
-    let (sums, _carry_out) = adder_into(&mut b, "alu", &a_op, &b_op, cin);
+    let (sums, _carry_out) = adder_into(b, &format!("{p}alu"), &a_op, &b_op, cin);
     let mut results = Vec::with_capacity(width);
     for i in 0..width {
-        let nand_leg = b.node(format!("lnand{i}"));
-        b.nand(format!("gnand{i}"), &[a_op[i], b_op[i]], nand_leg);
-        let nor_leg = b.node(format!("lnor{i}"));
-        b.nor(format!("gnor{i}"), &[a_op[i], b_op[i]], nor_leg);
-        let res = b.node(format!("res{i}"));
-        b.pass(format!("fmux_add{i}"), op_add, sums[i], res);
-        b.pass(format!("fmux_nand{i}"), op_nand, nand_leg, res);
-        b.pass(format!("fmux_nor{i}"), op_nor, nor_leg, res);
+        let nand_leg = b.node(format!("{p}lnand{i}"));
+        b.nand(format!("{p}gnand{i}"), &[a_op[i], b_op[i]], nand_leg);
+        let nor_leg = b.node(format!("{p}lnor{i}"));
+        b.nor(format!("{p}gnor{i}"), &[a_op[i], b_op[i]], nor_leg);
+        let res = b.node(format!("{p}res{i}"));
+        b.pass(format!("{p}fmux_add{i}"), op_add, sums[i], res);
+        b.pass(format!("{p}fmux_nand{i}"), op_nand, nand_leg, res);
+        b.pass(format!("{p}fmux_nor{i}"), op_nor, nor_leg, res);
         // Restore the mux output before the shifter.
-        let resr = b.node(format!("resR{i}"));
-        let resrr = b.node(format!("resRR{i}"));
-        b.inverter(format!("resinv{i}"), res, resr);
-        b.inverter(format!("resbuf{i}"), resr, resrr);
+        let resr = b.node(format!("{p}resR{i}"));
+        let resrr = b.node(format!("{p}resRR{i}"));
+        b.inverter(format!("{p}resinv{i}"), res, resr);
+        b.inverter(format!("{p}resbuf{i}"), resr, resrr);
         results.push(resrr);
     }
 
     // Barrel shifter on the restored result.
-    let shifted = shifter_into(&mut b, "shift", &results, &sh);
+    let shifted = shifter_into(b, &format!("{p}shift"), &results, &sh);
 
     // Writeback: restore and drive the write lines with super buffers.
     for i in 0..width {
-        let sr = b.node(format!("shR{i}"));
-        b.inverter(format!("shinv{i}"), shifted[i], sr);
-        b.super_buffer(format!("wbdrv{i}"), sr, wb[i], 4.0);
+        let sr = b.node(format!("{p}shR{i}"));
+        b.inverter(format!("{p}shinv{i}"), shifted[i], sr);
+        b.super_buffer(format!("{p}wbdrv{i}"), sr, wb[i], 4.0);
         // Observe the low bit externally.
     }
-    let out0 = b.output("out0");
-    b.inverter("outinv", wb[0], out0);
+    let out0 = b.output(format!("{p}out0"));
+    b.inverter(format!("{p}outinv"), wb[0], out0);
+}
+
+/// Generates the datapath.
+///
+/// # Panics
+///
+/// Panics if any configuration dimension is zero.
+pub fn datapath(tech: Tech, config: DatapathConfig) -> Datapath {
+    let width = config.width;
+    let mut b = NetlistBuilder::new(tech);
+    let phi1 = b.clock("phi1", 0);
+    let phi2 = b.clock("phi2", 1);
+    datapath_into(&mut b, "", phi1, phi2, config);
 
     let netlist = b.finish().expect("datapath generator is valid");
     let lookup = |name: &str| netlist.node_by_name(name).expect("known node");

@@ -19,7 +19,10 @@
 //! * [`datapath`] — a MIPS-class n-bit two-phase datapath combining all of
 //!   the above (experiments T3/T4);
 //! * [`random`] — seeded random logic of arbitrary size for the runtime
-//!   scaling experiment (T5).
+//!   scaling experiment (T5);
+//! * [`mips_mc`] — a multi-core tiling of the datapath with per-core
+//!   cache banks, reaching a million devices for the ingest-at-scale
+//!   experiment (T6).
 //!
 //! Every generator returns a [`Circuit`]: the finished netlist plus the
 //! handles harness code needs (primary input, primary output, clocks).
@@ -42,6 +45,7 @@ pub mod adder;
 pub mod chains;
 pub mod datapath;
 pub mod manchester;
+pub mod mips_mc;
 pub mod pla;
 pub mod random;
 pub mod regfile;

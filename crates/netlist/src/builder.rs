@@ -43,6 +43,9 @@ pub struct NetlistBuilder {
     /// 1:1, so this is the whole name-lookup table).
     node_of_symbol: Vec<NodeId>,
     pending_error: Option<NetlistError>,
+    /// Growth reallocations of the node/device Vecs since construction
+    /// (the interner tracks its own; see [`NetlistBuilder::growth_events`]).
+    growths: u64,
 }
 
 impl NetlistBuilder {
@@ -56,10 +59,38 @@ impl NetlistBuilder {
             names: Interner::new(),
             node_of_symbol: Vec::new(),
             pending_error: None,
+            growths: 0,
         };
         b.insert_node("VDD", NodeRole::Vdd);
         b.insert_node("GND", NodeRole::Gnd);
+        // The rails are constant startup cost, not growth the pre-scan
+        // could have avoided.
+        b.growths = 0;
         b
+    }
+
+    /// Pre-sizes the node and device stores (and the name interner) so
+    /// that building up to `additional_nodes` / `additional_devices`
+    /// more entries performs zero growth reallocations. `name_bytes` is
+    /// the total length of the node names still to be interned.
+    pub fn reserve(
+        &mut self,
+        additional_nodes: usize,
+        additional_devices: usize,
+        name_bytes: usize,
+    ) {
+        self.nodes.reserve(additional_nodes);
+        self.node_of_symbol.reserve(additional_nodes);
+        self.devices.reserve(additional_devices);
+        self.names.reserve(additional_nodes, name_bytes);
+    }
+
+    /// Growth reallocations since construction, interner included — the
+    /// `ingest.reallocs` counter is this, sampled after the pre-scan's
+    /// [`NetlistBuilder::reserve`].
+    #[inline]
+    pub fn growth_events(&self) -> u64 {
+        self.growths + self.names.growth_events()
     }
 
     /// Reconstructs a builder from a finished netlist's parts (used by
@@ -78,6 +109,7 @@ impl NetlistBuilder {
             names,
             node_of_symbol,
             pending_error: None,
+            growths: 0,
         }
     }
 
@@ -123,9 +155,25 @@ impl NetlistBuilder {
             return id;
         }
         let id = NodeId(self.nodes.len() as u32);
+        if self.nodes.len() == self.nodes.capacity() {
+            self.growths += 1;
+        }
+        if self.node_of_symbol.len() == self.node_of_symbol.capacity() {
+            self.growths += 1;
+        }
         self.nodes.push(Node::new(sym, role));
         self.node_of_symbol.push(id);
         id
+    }
+
+    /// Re-applies a role to an existing node, with the same
+    /// upgrade-only rule as the named get-or-create methods (`Internal`
+    /// never downgrades a stronger role). The chunk-merge path of the
+    /// `.sim` parser replays `i`/`o`/`k` records by id through this.
+    pub fn set_role(&mut self, id: NodeId, role: NodeRole) {
+        if role != NodeRole::Internal {
+            self.nodes[id.index()].role = role;
+        }
     }
 
     /// The name of an already-created node.
@@ -197,6 +245,9 @@ impl NetlistBuilder {
             });
         }
         let id = DeviceId(self.devices.len() as u32);
+        if self.devices.len() == self.devices.capacity() {
+            self.growths += 1;
+        }
         self.devices.push(Device {
             name,
             kind,

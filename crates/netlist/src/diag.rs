@@ -332,6 +332,21 @@ impl Diagnostics {
         self.suppressed
     }
 
+    /// The error cap this sink was built with.
+    pub fn max_errors(&self) -> usize {
+        self.max_errors
+    }
+
+    /// Records that `n` error diagnostics were generated but dropped
+    /// without ever being materialized. Byte-for-byte equivalent to `n`
+    /// capped [`Diagnostics::push`] calls: the suppressed tally and the
+    /// `DiagnosticsEmitted` counter advance identically — which is how
+    /// the chunk-parallel `.sim` parser merges each worker's overflow.
+    pub fn note_suppressed(&mut self, n: usize) {
+        tv_obs::add(tv_obs::Counter::DiagnosticsEmitted, n as u64);
+        self.suppressed += n;
+    }
+
     /// Consumes the sink, yielding the diagnostics (with a suppression
     /// notice appended when any were dropped).
     pub fn into_items(mut self) -> Vec<Diagnostic> {

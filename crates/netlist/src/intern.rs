@@ -99,6 +99,10 @@ pub struct Interner {
     table: Vec<u32>,
     /// `table.len() - 1`; the table length is a power of two.
     mask: usize,
+    /// Growth reallocations since construction (arena, starts, or table
+    /// rehash) — the ingest pre-scan asserts this stays zero after its
+    /// [`Interner::reserve`].
+    growths: u64,
 }
 
 impl Interner {
@@ -115,7 +119,31 @@ impl Interner {
             starts: vec![0],
             table: vec![0; cap],
             mask: cap - 1,
+            growths: 0,
         }
+    }
+
+    /// Pre-sizes for `additional_syms` more symbols spanning
+    /// `additional_bytes` more arena bytes, so that many subsequent
+    /// [`Interner::intern`] calls perform zero growth reallocations.
+    /// The table is rebuilt to at least twice the final symbol count,
+    /// which keeps the load factor under the 3/4 growth trigger.
+    pub fn reserve(&mut self, additional_syms: usize, additional_bytes: usize) {
+        self.bytes.reserve(additional_bytes);
+        self.starts.reserve(additional_syms + 1);
+        let want = ((self.len() + additional_syms + 1) * 2)
+            .next_power_of_two()
+            .max(16);
+        if want > self.table.len() {
+            self.rebuild_table(want);
+        }
+    }
+
+    /// Growth reallocations performed since construction. A reserve-led
+    /// rebuild is deliberate sizing, not growth, and is not counted.
+    #[inline]
+    pub fn growth_events(&self) -> u64 {
+        self.growths
     }
 
     /// Number of distinct strings interned.
@@ -179,18 +207,24 @@ impl Interner {
             i = (i + 1) & self.mask;
         }
         let sym = self.len() as u32;
+        if self.bytes.capacity() - self.bytes.len() < s.len() {
+            self.growths += 1;
+        }
+        if self.starts.len() == self.starts.capacity() {
+            self.growths += 1;
+        }
         self.bytes.extend_from_slice(s.as_bytes());
         self.starts.push(self.bytes.len() as u32);
         self.table[i] = sym + 1;
         // Keep the load factor under 3/4.
         if (self.len() + 1) * 4 > self.table.len() * 3 {
-            self.grow();
+            self.growths += 1;
+            self.rebuild_table(self.table.len() * 2);
         }
         Symbol(sym)
     }
 
-    fn grow(&mut self) {
-        let cap = self.table.len() * 2;
+    fn rebuild_table(&mut self, cap: usize) {
         self.mask = cap - 1;
         self.table.clear();
         self.table.resize(cap, 0);
@@ -317,6 +351,24 @@ mod tests {
         for (n, &sym) in syms.iter().enumerate() {
             assert_eq!(i.resolve(sym), format!("s{n}"));
         }
+    }
+
+    #[test]
+    fn reserve_preempts_every_growth_event() {
+        let mut i = Interner::new();
+        i.reserve(10_000, 10_000 * 8);
+        let base = i.growth_events();
+        for n in 0..10_000 {
+            i.intern(&format!("s{n}"));
+        }
+        assert_eq!(i.growth_events(), base, "pre-sized intern still grew");
+        // And an unsized interner really does report growth, so the
+        // counter is not vacuously zero.
+        let mut u = Interner::with_capacity(0);
+        for n in 0..10_000 {
+            u.intern(&format!("s{n}"));
+        }
+        assert!(u.growth_events() > 0);
     }
 
     #[test]

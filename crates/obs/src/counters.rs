@@ -102,10 +102,22 @@ pub enum Counter {
     FaultDegraded,
     /// Journal entries replayed through the edit API on `--resume`.
     FaultJournalReplays,
+    /// Chunks the `.sim` ingest path split its input into (1 = serial).
+    IngestChunks,
+    /// Bytes of `.sim` text swept by the ingest pre-scan.
+    IngestBytes,
+    /// Name-token upper bound the pre-scan sized the intern table for.
+    IngestPrescanSyms,
+    /// Growth reallocations the pre-sized ingest structures performed
+    /// after the pre-scan reserve — asserted zero by the ingest gate.
+    IngestReallocs,
+    /// Deterministic peak-allocation estimate (bytes) the pre-scan
+    /// derived for the netlist under construction.
+    IngestPeakAllocEst,
 }
 
 /// Number of counters in the registry.
-pub const COUNT: usize = Counter::FaultJournalReplays as usize + 1;
+pub const COUNT: usize = Counter::IngestPeakAllocEst as usize + 1;
 
 /// All counters, in dump order.
 pub const ALL: [Counter; COUNT] = [
@@ -140,6 +152,11 @@ pub const ALL: [Counter; COUNT] = [
     Counter::FaultRetries,
     Counter::FaultDegraded,
     Counter::FaultJournalReplays,
+    Counter::IngestChunks,
+    Counter::IngestBytes,
+    Counter::IngestPrescanSyms,
+    Counter::IngestReallocs,
+    Counter::IngestPeakAllocEst,
 ];
 
 impl Counter {
@@ -177,6 +194,11 @@ impl Counter {
             Counter::FaultRetries => "fault.retries",
             Counter::FaultDegraded => "fault.degraded",
             Counter::FaultJournalReplays => "fault.journal_replays",
+            Counter::IngestChunks => "ingest.chunks",
+            Counter::IngestBytes => "ingest.bytes",
+            Counter::IngestPrescanSyms => "ingest.prescan_syms",
+            Counter::IngestReallocs => "ingest.reallocs",
+            Counter::IngestPeakAllocEst => "ingest.peak_alloc_est",
         }
     }
 
@@ -249,9 +271,16 @@ pub fn reset() {
 
 /// A point-in-time copy of every counter: the mergeable value type the
 /// dump formats and delta arithmetic work over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Snapshot {
     values: [u64; COUNT],
+}
+
+// `[u64; N]: Default` stops at N = 32; the registry outgrew it.
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot { values: [0; COUNT] }
+    }
 }
 
 /// Captures the current counter values.

@@ -63,11 +63,35 @@ echo "== cone smoke: warm edits are O(affected cone) =="
 cargo run --release --offline --bin tv -- batch tests/data/cone_smoke.txt \
   | diff -u tests/data/cone_smoke.golden -
 
+echo "== ingest smoke: chunked parse identity + zero reallocs =="
+# Generate a ~100k-device multi-core design with `tv gen`, parse it at
+# --jobs 1/2/8, and require byte-identical reports, diagnostics, and
+# metrics dumps (DESIGN.md §15). The jobs-1 dump must also show
+# ingest.reallocs == 0: the pre-scan sized every arena exactly, so the
+# hot parse loop performed no growth reallocation.
+ingest_sim="$(mktemp /tmp/tv-ingest.XXXXXX.sim)"
+ingest_dir="$(mktemp -d /tmp/tv-ingest.XXXXXX)"
+trap 'rm -f "$ingest_sim"; rm -rf "$ingest_dir"' EXIT
+cargo run --release --offline --bin tv -- gen --cores 7 --out "$ingest_sim"
+# -q: the captured stderr must hold only tv's diagnostics, not cargo's
+# own "Running ..." lines (which embed the per-jobs command line).
+for j in 1 2 8; do
+  cargo run -q --release --offline --bin tv -- flow "$ingest_sim" --jobs "$j" \
+    --metrics "$ingest_dir/m$j.json" > "$ingest_dir/out$j.txt" 2> "$ingest_dir/err$j.txt"
+done
+for j in 2 8; do
+  diff -u "$ingest_dir/out1.txt" "$ingest_dir/out$j.txt"
+  diff -u "$ingest_dir/err1.txt" "$ingest_dir/err$j.txt"
+  diff -u "$ingest_dir/m1.json" "$ingest_dir/m$j.json"
+done
+grep -q '"ingest.reallocs":0' "$ingest_dir/m1.json" \
+  || { echo "ingest smoke: ingest.reallocs != 0"; exit 1; }
+
 echo "== profile smoke: mips32 --trace round trip =="
 # A full mips32 analyze must emit a Chrome trace that parses and whose
 # spans nest; `tv trace-check` is the same validator the tests use.
 trace_file="$(mktemp /tmp/tv-trace.XXXXXX.json)"
-trap 'rm -f "$trace_file"' EXIT
+trap 'rm -f "$trace_file" "$ingest_sim"; rm -rf "$ingest_dir"' EXIT
 cargo run --release --offline --bin tv -- demo --trace "$trace_file" > /dev/null
 cargo run --release --offline --bin tv -- trace-check "$trace_file"
 

@@ -12,6 +12,7 @@
 //! tv flow    <file.sim>            # signal-flow resolution statistics
 //! tv query   <file.sim> <from> <to># point-to-point worst path
 //! tv spice   <file.sim>            # convert to a SPICE deck on stdout
+//! tv gen     [--cores N] [--out F] # generate a multi-core MIPS-class .sim
 //! tv demo    [--jobs N]            # analyze a built-in MIPS-class datapath
 //! tv session [--journal F | --resume F] # long-lived REPL, crash-safe with a journal
 //! tv batch   <script> [--resume F] # replay a session script deterministically
@@ -88,6 +89,9 @@ const USAGE: &str = "usage:
   tv flow    <file.sim>
   tv query   <file.sim> <from-node> <to-node>
   tv spice   <file.sim>
+  tv gen     [--cores N] [--out FILE] generate a multi-core MIPS-class design
+                                     (default: the smallest core count past
+                                     one million devices; stdout without --out)
   tv demo    [--jobs N]
   tv session [engine flags]          commands on stdin, one JSON reply per line
              [--journal FILE]        append each accepted command to a crash-safe journal
@@ -388,6 +392,28 @@ fn run_inner(args: &[String]) -> Result<u8, TvError> {
                 EXIT_CLEAN
             })
         }
+        "gen" => {
+            let (cores, out) = parse_gen(&args[1..])?;
+            let mc = nmos_tv::gen::mips_mc::t6_mips_mc(Tech::nmos4um(), cores);
+            let text = sim_format::write(&mc.netlist);
+            match &out {
+                Some(path) => std::fs::write(path, &text).map_err(|e| TvError::Io {
+                    path: path.clone(),
+                    source: e,
+                })?,
+                None => print!("{text}"),
+            }
+            // The summary goes to stderr so `tv gen > file.sim` stays a
+            // clean netlist on stdout.
+            eprintln!(
+                "generated {cores}-core design: {} devices, {} nodes, {} bytes{}",
+                mc.netlist.device_count(),
+                mc.netlist.node_count(),
+                text.len(),
+                out.map(|p| format!(" -> {p}")).unwrap_or_default()
+            );
+            Ok(EXIT_CLEAN)
+        }
         "demo" => {
             let cli = parse_cli(&args[1..])?;
             let dp = nmos_tv::gen::datapath::datapath(
@@ -535,12 +561,14 @@ fn load(args: &[String], cli: &Cli) -> Result<(Netlist, Diagnostics), TvError> {
         source: e,
     })?;
     let mut diags = Diagnostics::with_max_errors(cli.max_errors);
-    let netlist =
-        sim_format::parse_recovering(&text, Tech::nmos4um(), &mut diags).map_err(|e| {
-            TvError::Parse {
-                path: path.clone(),
-                message: e.to_string(),
-            }
+    let popts = sim_format::ParseOptions {
+        jobs: cli.options.effective_jobs(),
+        ..sim_format::ParseOptions::default()
+    };
+    let netlist = sim_format::parse_recovering_with(&text, Tech::nmos4um(), &mut diags, &popts)
+        .map_err(|e| TvError::Parse {
+            path: path.clone(),
+            message: e.to_string(),
         })?;
     Ok((netlist, diags))
 }
@@ -608,6 +636,8 @@ fn takes_value(flag: &str) -> bool {
             | "--iters"
             | "--seed"
             | "--seeds"
+            | "--cores"
+            | "--out"
             | "--trace"
             | "--metrics"
             | "--journal"
@@ -745,6 +775,36 @@ fn parse_fuzz(args: &[String]) -> Result<(Option<usize>, u64, bool), TvError> {
         }
     }
     Ok((iters, seed, faults))
+}
+
+/// Gen flags: the multi-core tiling size and the output file. Defaults
+/// to the smallest core count that crosses one million devices; with no
+/// `--out` the netlist goes to stdout.
+fn parse_gen(args: &[String]) -> Result<(usize, Option<String>), TvError> {
+    let mut cores = nmos_tv::gen::mips_mc::MILLION_DEVICE_CORES;
+    let mut out = None;
+    let mut fl = Flags::new(args);
+    while let Some(flag) = fl.next_flag() {
+        match flag {
+            "--cores" => {
+                cores = fl.parsed(flag, "core count")?;
+                if cores == 0 {
+                    return Err(TvError::Usage("core count must be positive".into()));
+                }
+            }
+            "--out" => {
+                let v = fl.value(flag)?.to_string();
+                out = Some(file_operand(flag, Some(&v))?);
+            }
+            "--profile" => {}
+            "--trace" | "--metrics" => {
+                let v = fl.value(flag)?.to_string();
+                file_operand(flag, Some(&v))?;
+            }
+            other => return Err(TvError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    Ok((cores, out))
 }
 
 /// Chaos flags: the sweep size and the engine's worker count (the one

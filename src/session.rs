@@ -227,8 +227,12 @@ impl Session {
             format!("cannot read {path}: {e}")
         })?;
         let mut diags = Diagnostics::with_max_errors(self.max_errors);
-        let netlist =
-            sim_format::parse_recovering(&text, Tech::nmos4um(), &mut diags).map_err(|e| {
+        let popts = sim_format::ParseOptions {
+            jobs: self.options.effective_jobs(),
+            ..sim_format::ParseOptions::default()
+        };
+        let netlist = sim_format::parse_recovering_with(&text, Tech::nmos4um(), &mut diags, &popts)
+            .map_err(|e| {
                 // Nothing was installed, so a re-read-and-re-parse is
                 // safe; on a genuinely bad file the retry fails the
                 // same way and the error stands.
