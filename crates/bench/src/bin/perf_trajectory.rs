@@ -49,7 +49,28 @@ struct Entry {
     ns_per_op: f64,
     min_ns: f64,
     iters: usize,
+    /// Process peak resident set (VmHWM, kB) as of the end of this
+    /// bench; 0 where procfs is unavailable or in pre-P9 runs.
+    peak_rss_kb: u64,
     counters: Vec<(String, u64)>,
+}
+
+/// Peak resident set size of this process in kB, from the `VmHWM`
+/// line of `/proc/self/status` — no dependency, no syscall wrapper.
+/// The kernel figure is a lifetime high-water mark, so per-entry
+/// values are a running maximum over the suite: the jump recorded by
+/// the at-scale T6 entries is the figure this exists for (DESIGN.md
+/// §15's memory story). Returns 0 where procfs is missing (non-Linux).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|n| n.trim().parse().ok())
+        .unwrap_or(0)
 }
 
 /// One labeled suite execution: the unit the trajectory file appends.
@@ -64,7 +85,7 @@ struct Run {
 /// plus the flow fixpoint and graph-size telemetry, which are equally
 /// deterministic for a fixed input. Timing-plane spans never appear
 /// here.
-const KEPT_COUNTERS: [Counter; 14] = [
+const KEPT_COUNTERS: [Counter; 18] = [
     Counter::PropagateRelaxations,
     Counter::PropagateResiduePops,
     Counter::PropagateNodes,
@@ -79,6 +100,10 @@ const KEPT_COUNTERS: [Counter; 14] = [
     Counter::IngestBytes,
     Counter::IngestPrescanSyms,
     Counter::IngestReallocs,
+    Counter::MacroClasses,
+    Counter::MacroAnalyzed,
+    Counter::MacroInstanced,
+    Counter::MacroDesplit,
 ];
 
 /// Runs `f` once with the counter plane enabled and returns the nonzero
@@ -123,6 +148,7 @@ fn run_suite(at_scale: bool) -> Vec<Entry> {
             ns_per_op: s.median_ms * 1e6,
             min_ns: s.min_ms * 1e6,
             iters: s.iters,
+            peak_rss_kb: peak_rss_kb(),
             counters: counted(&mut work),
         });
     }
@@ -139,6 +165,7 @@ fn run_suite(at_scale: bool) -> Vec<Entry> {
             ns_per_op: s.median_ms * 1e6,
             min_ns: s.min_ms * 1e6,
             iters: s.iters,
+            peak_rss_kb: peak_rss_kb(),
             counters: counted(&mut work),
         });
     }
@@ -158,6 +185,7 @@ fn run_suite(at_scale: bool) -> Vec<Entry> {
         ns_per_op: rows[0].total_ms() * 1e6,
         min_ns: rows[0].total_ms() * 1e6,
         iters: 5,
+        peak_rss_kb: peak_rss_kb(),
         counters: counted(|| {
             Analyzer::new(&dp_netlist)
                 .run(&AnalysisOptions::default())
@@ -191,6 +219,7 @@ fn ingest_suite(tech: &Tech, at_scale: bool) -> Vec<Entry> {
             ns_per_op: s.median_ms * 1e6,
             min_ns: s.min_ms * 1e6,
             iters: s.iters,
+            peak_rss_kb: peak_rss_kb(),
             counters,
         };
 
@@ -276,6 +305,7 @@ fn session_suite(tech: &Tech) -> Vec<Entry> {
         ns_per_op: s.median_ms * 1e6,
         min_ns: s.min_ms * 1e6,
         iters: s.iters,
+        peak_rss_kb: peak_rss_kb(),
         counters,
     };
 
@@ -423,7 +453,7 @@ fn session_suite(tech: &Tech) -> Vec<Entry> {
 fn write_json(runs: &[Run]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"tv-bench-trajectory/2\",\n");
+    s.push_str("  \"schema\": \"tv-bench-trajectory/3\",\n");
     s.push_str(
         "  \"unit\": \"ns_per_op is the median of `iters` timed runs; counters are \
          deterministic tv_obs work from one instrumented run\",\n",
@@ -445,12 +475,13 @@ fn write_json(runs: &[Run]) -> String {
                 format!(", \"counters\": {{ {} }}", body.join(", "))
             };
             s.push_str(&format!(
-                "        {{ \"name\": \"{}\", \"input_size\": {}, \"ns_per_op\": {:.1}, \"min_ns\": {:.1}, \"iters\": {}{} }}{}\n",
+                "        {{ \"name\": \"{}\", \"input_size\": {}, \"ns_per_op\": {:.1}, \"min_ns\": {:.1}, \"iters\": {}, \"peak_rss_kb\": {}{} }}{}\n",
                 e.name,
                 e.input_size,
                 e.ns_per_op,
                 e.min_ns,
                 e.iters,
+                e.peak_rss_kb,
                 counters,
                 if i + 1 < run.benches.len() { "," } else { "" }
             ));
@@ -526,6 +557,7 @@ fn load_entry(v: &Value) -> Result<Entry, String> {
         ns_per_op: n("ns_per_op")?,
         min_ns: n("min_ns")?,
         iters: n("iters")? as usize,
+        peak_rss_kb: n("peak_rss_kb").unwrap_or(0.0) as u64,
         counters,
     })
 }
@@ -588,6 +620,10 @@ fn check(entries: &[Entry], baseline_path: &str, threshold: f64) -> ExitCode {
         eprintln!("perf_trajectory: {msg}");
         failed = true;
     }
+    if let Err(msg) = check_macro_sharing(&runs) {
+        eprintln!("perf_trajectory: {msg}");
+        failed = true;
+    }
     if failed {
         eprintln!("perf_trajectory: regression beyond {threshold}x of committed baseline");
         ExitCode::FAILURE
@@ -642,6 +678,55 @@ fn check_cone_work(entries: &[Entry]) -> Result<(), String> {
         return Err(format!(
             "warm mips32 resize does {warm} relaxations, within 2x of the cold count {cold}: \
              the cone engine is not engaging"
+        ));
+    }
+    Ok(())
+}
+
+/// Hierarchical-extraction gate on the committed trajectory: in the
+/// latest run carrying the at-scale T6 build bench, the macromodel
+/// extractor must have analyzed fewer than 10% of the stages it
+/// covered (`macro.analyzed` against `macro.analyzed +
+/// macro.instanced`, which together count every root once). The T6
+/// multi-core design is replication-heavy by construction, so losing
+/// the sharing there means the structural hash or canonical-trace
+/// dedup broke — a determinism bug, not a tuning matter. Runs without
+/// the at-scale bench (the verify-gate smoke suite, pre-P9 history)
+/// are not gated.
+fn check_macro_sharing(runs: &[Run]) -> Result<(), String> {
+    let Some((label, bench)) = runs.iter().rev().find_map(|r| {
+        r.benches
+            .iter()
+            .find(|b| b.name == "ingest/t6-1m-build")
+            .map(|b| (&r.label, b))
+    }) else {
+        return Ok(());
+    };
+    let get = |c: Counter| {
+        bench
+            .counters
+            .iter()
+            .find(|(k, _)| k == c.name())
+            .map(|&(_, v)| v)
+    };
+    let (Some(analyzed), Some(instanced)) =
+        (get(Counter::MacroAnalyzed), get(Counter::MacroInstanced))
+    else {
+        return Ok(());
+    };
+    let total = analyzed + instanced;
+    println!(
+        "{:<28} {:>14} {:>14} {:>7.2}%  macro sharing gate (run \"{}\", must stay under 10%)",
+        "t6 stages analyzed",
+        total,
+        analyzed,
+        100.0 * analyzed as f64 / total.max(1) as f64,
+        label
+    );
+    if analyzed * 10 >= total {
+        return Err(format!(
+            "run \"{label}\": hierarchical extraction analyzed {analyzed} of {total} T6 stages \
+             (>= 10%): stage dedup is not engaging"
         ));
     }
     Ok(())

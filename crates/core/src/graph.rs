@@ -199,7 +199,7 @@ pub struct TimingGraph {
 
 /// Minimum number of stage roots before graph construction fans out
 /// across threads; below this, thread startup dominates.
-const PAR_MIN_ROOTS: usize = 64;
+pub(crate) const PAR_MIN_ROOTS: usize = 64;
 
 impl TimingGraph {
     /// Builds the graph serially. `qualification` comes from
@@ -229,6 +229,12 @@ impl TimingGraph {
     /// chunks and the per-chunk arc vectors are concatenated in root
     /// order — the resulting arc list is **identical** to the serial
     /// build at any thread count.
+    ///
+    /// Since the hierarchical extraction pass this routes through
+    /// [`crate::macromodel::build_spanned`]: structurally identical
+    /// stages are analyzed once and instanced by pin remap, with the
+    /// flat per-root build as the verified fallback. The arc list is
+    /// bit-identical either way (DESIGN.md §16).
     #[allow(clippy::too_many_arguments)]
     pub fn build_par(
         netlist: &Netlist,
@@ -239,7 +245,7 @@ impl TimingGraph {
         source_resistance: f64,
         jobs: usize,
     ) -> Self {
-        Self::build_isolated(
+        crate::macromodel::build_spanned(
             netlist,
             flow,
             qualification,
@@ -247,8 +253,9 @@ impl TimingGraph {
             model,
             source_resistance,
             jobs,
-            None,
         )
+        .0
+        .graph
     }
 
     /// [`TimingGraph::build_par`] with a fault-injection hook called on
@@ -511,107 +518,6 @@ pub(crate) struct SpannedBuild {
     pub(crate) spans: Option<Vec<u32>>,
 }
 
-/// [`TimingGraph::build_par`], but recording per-root arc counts so the
-/// caller can later resynthesize any single stage in place. The arc list
-/// is byte-identical to `build_par` at any thread count: workers build
-/// disjoint root chunks, per-chunk counts are concatenated in root order.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn build_with_spans(
-    netlist: &Netlist,
-    flow: &FlowAnalysis,
-    qualification: &[Qualification],
-    case: PhaseCase,
-    model: DelayModel,
-    source_resistance: f64,
-    jobs: usize,
-) -> SpannedBuild {
-    let builder = GraphBuilder {
-        netlist,
-        flow,
-        qualification,
-        case,
-        model,
-    };
-    let roots = builder.roots();
-    let threads = jobs.max(1).min(roots.len().max(1));
-
-    // One chunk of roots → (arcs, per-root counts); a panic voids the
-    // whole build's span tracking.
-    let build_chunk = |root_chunk: &[(NodeId, RootKind)]| -> Result<(Vec<Arc>, Vec<u32>), ()> {
-        catch_unwind(AssertUnwindSafe(|| {
-            let mut arcs = Vec::new();
-            let mut counts = Vec::with_capacity(root_chunk.len());
-            let mut scratch = BuildScratch::new(netlist.node_count());
-            for r in root_chunk {
-                let before = arcs.len();
-                graph_build_fault_point();
-                builder.build_root(r, source_resistance, &mut arcs, &mut scratch);
-                counts.push((arcs.len() - before) as u32);
-            }
-            (arcs, counts)
-        }))
-        .map_err(|_| ())
-    };
-
-    type ChunkResult = Result<(Vec<Arc>, Vec<u32>), ()>;
-    let parts: Vec<ChunkResult> = if threads <= 1 || roots.len() < PAR_MIN_ROOTS {
-        vec![build_chunk(&roots)]
-    } else {
-        let chunk = roots.len().div_ceil(threads);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = roots
-                .chunks(chunk)
-                .map(|root_chunk| {
-                    let f = &build_chunk;
-                    s.spawn(move || f(root_chunk))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panic is caught inside the closure"))
-                .collect()
-        })
-    };
-
-    if parts.iter().any(Result::is_err) {
-        // Some stage panics: delegate to the isolated builder, which
-        // contains the fault per stage and records diagnostics. No spans.
-        tv_obs::incr(tv_obs::Counter::FaultDegraded);
-        let graph = TimingGraph::build_isolated(
-            netlist,
-            flow,
-            qualification,
-            case,
-            model,
-            source_resistance,
-            jobs,
-            None,
-        );
-        return SpannedBuild {
-            graph,
-            roots,
-            spans: None,
-        };
-    }
-
-    let mut arcs = Vec::new();
-    let mut spans = Vec::with_capacity(roots.len() + 1);
-    spans.push(0u32);
-    for part in parts {
-        let (part_arcs, counts) = part.expect("errors handled above");
-        for c in counts {
-            spans.push(spans.last().unwrap() + c);
-        }
-        arcs.extend(part_arcs);
-    }
-    debug_assert_eq!(*spans.last().unwrap() as usize, arcs.len());
-    SpannedBuild {
-        graph: finish_graph(netlist.node_count(), arcs, case, Vec::new()),
-        roots,
-        spans: Some(spans),
-    }
-}
-
 /// Splices freshly rebuilt arcs for `affected` root ordinals into an
 /// existing graph in place, leaving delays/taus updated and everything
 /// else untouched. Valid only after **parametric** edits (geometry or
@@ -732,7 +638,7 @@ impl<'a> GraphBuilder<'a> {
 /// Fault plane: a forced build-worker panic, caught by the same
 /// per-chunk/per-stage isolation that contains a genuine one (every
 /// per-root build loop sits under `catch_unwind`).
-fn graph_build_fault_point() {
+pub(crate) fn graph_build_fault_point() {
     if tv_fault::fault_point!(tv_fault::Site::GraphBuild) {
         tv_obs::incr(tv_obs::Counter::FaultInjected);
         panic!("{}", tv_fault::panic_message(tv_fault::Site::GraphBuild));
@@ -773,11 +679,11 @@ pub(crate) struct GraphBuilder<'a> {
 
 /// One node of the case-aware downstream walk.
 #[derive(Clone, Copy)]
-struct WalkNode {
-    node: NodeId,
-    parent: Option<usize>,
+pub(crate) struct WalkNode {
+    pub(crate) node: NodeId,
+    pub(crate) parent: Option<usize>,
     /// Pass device from the parent (None for the root).
-    via: Option<DeviceId>,
+    pub(crate) via: Option<DeviceId>,
 }
 
 /// Reusable per-worker buffers for stage construction. One instance
@@ -793,13 +699,13 @@ pub(crate) struct BuildScratch {
     epoch: u32,
     /// DFS path membership for the pull-down resistance scan. Always
     /// all-false between calls (the DFS clears flags as it backtracks).
-    on_path: Vec<bool>,
+    pub(crate) on_path: Vec<bool>,
     /// Walk nodes of the stage currently being built.
-    walk: Vec<WalkNode>,
+    pub(crate) walk: Vec<WalkNode>,
     /// Gate controls of one walk node, reconstructed root → leaf.
     controls: Vec<NodeId>,
     /// Gate inputs of the stage currently being built.
-    inputs: Vec<StageInput>,
+    pub(crate) inputs: Vec<StageInput>,
     /// Work stack for the pull-down input scan.
     frontier: Vec<NodeId>,
 }
@@ -909,7 +815,7 @@ impl<'a> GraphBuilder<'a> {
     /// evaluation, so the walk does continue through them — this is what
     /// lets a Manchester carry chain appear as the long series RC path it
     /// electrically is.
-    fn walk_downstream(&self, root: NodeId, scratch: &mut BuildScratch) {
+    pub(crate) fn walk_downstream(&self, root: NodeId, scratch: &mut BuildScratch) {
         let nl = self.netlist;
         let epoch = scratch.next_epoch();
         scratch.walk.clear();
@@ -1192,7 +1098,7 @@ pub fn pull_down_resistance(netlist: &Netlist, flow: &FlowAnalysis, node: NodeId
 /// [`pull_down_resistance`] over a caller-owned path-flag array (must be
 /// all-false on entry; the DFS leaves it all-false again), so the build
 /// loop reuses one allocation across every root.
-fn pull_down_resistance_with(
+pub(crate) fn pull_down_resistance_with(
     netlist: &Netlist,
     flow: &FlowAnalysis,
     node: NodeId,
@@ -1230,7 +1136,7 @@ fn dfs_pd(
 
 /// How a stage input connects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StageInputKind {
+pub(crate) enum StageInputKind {
     /// Gates a pull-down device: input rise → output fall.
     PullDownGate,
     /// Gates an active pull-up: input rise → output rise.
@@ -1238,15 +1144,15 @@ enum StageInputKind {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct StageInput {
-    node: NodeId,
-    kind: StageInputKind,
+pub(crate) struct StageInput {
+    pub(crate) node: NodeId,
+    pub(crate) kind: StageInputKind,
 }
 
 /// The gate inputs of the stage driving `out`: gates of the pull-down
 /// network reachable below it, plus gates of actively pulled-up devices.
 /// Fills `scratch.inputs`; the visited set rides the scratch epoch marks.
-fn stage_inputs_into(
+pub(crate) fn stage_inputs_into(
     netlist: &Netlist,
     flow: &FlowAnalysis,
     out: NodeId,

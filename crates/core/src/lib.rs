@@ -58,6 +58,7 @@ pub mod fingerprint;
 pub mod graph;
 pub mod hold;
 pub mod incremental;
+pub mod macromodel;
 pub mod optimize;
 pub mod options;
 pub mod paths;

@@ -55,10 +55,9 @@ use crate::analyzer::{
 use crate::checks::{check_electrical, CheckIssue};
 use crate::error::TvError;
 use crate::fingerprint::{flow_fingerprint, hash_words, mix64};
-use crate::graph::{
-    build_with_spans, splice_roots, BuildScratch, GraphBuilder, PhaseCase, RootKind, TimingGraph,
-};
+use crate::graph::{splice_roots, BuildScratch, GraphBuilder, PhaseCase, RootKind, TimingGraph};
 use crate::incremental::{CaseDelta, CaseEngine, IncrementalCache};
+use crate::macromodel::{build_spanned, Extraction};
 use crate::options::AnalysisOptions;
 use crate::paths::critical_paths;
 use crate::propagate::{propagate_reuse, Guards, Workspace};
@@ -73,6 +72,10 @@ pub enum PassId {
     Qualify,
     /// Latch finding.
     Latches,
+    /// Hierarchical macromodel extraction for one case: grouping the
+    /// build roots into structural equivalence classes ahead of graph
+    /// construction (see `crate::macromodel`).
+    Extract(Option<u8>),
     /// Timing-graph construction for one case.
     Graph(Option<u8>),
     /// Arrival propagation for one case.
@@ -89,6 +92,9 @@ impl PassId {
             PassId::Flow => "flow",
             PassId::Qualify => "qualify",
             PassId::Latches => "latches",
+            PassId::Extract(None) => "extract.comb",
+            PassId::Extract(Some(0)) => "extract.phi1",
+            PassId::Extract(Some(_)) => "extract.phi2",
             PassId::Graph(None) => "graph.comb",
             PassId::Graph(Some(0)) => "graph.phi1",
             PassId::Graph(Some(_)) => "graph.phi2",
@@ -125,9 +131,15 @@ pub const PASS_TABLE: &[PassInfo] = &[
         inputs: &["flow", "qualify", "topology"],
     },
     PassInfo {
-        name: "graph",
+        name: "extract",
         inputs: &[
             "flow", "qualify", "topology", "geometry", "caps", "tech", "model",
+        ],
+    },
+    PassInfo {
+        name: "graph",
+        inputs: &[
+            "extract", "flow", "qualify", "topology", "geometry", "caps", "tech", "model",
         ],
     },
     PassInfo {
@@ -215,6 +227,10 @@ struct GraphSlot {
     /// `None` when spans were not recorded (one-shot mode, or a build
     /// worker panicked) — such a slot always rebuilds in full.
     splice: Option<SpliceIndex>,
+    /// The macromodel class partition from the build, used to de-share
+    /// instanced stages a parametric edit touches. `None` when the
+    /// build degraded to flat isolation or spans were not recorded.
+    extraction: Option<Extraction>,
 }
 
 /// Demand-driven pass manager over a [`Design`].
@@ -297,10 +313,23 @@ impl PassManager {
             PassId::Flow => self.flow.as_ref().map(|s| s.output_fp),
             PassId::Qualify => self.qual.as_ref().map(|s| s.output_fp),
             PassId::Latches => self.latches.as_ref().map(|s| s.output_fp),
+            PassId::Extract(c) => self.graphs[case_slot(c)]
+                .as_ref()
+                .and_then(|s| s.extraction.as_ref())
+                .map(|e| e.fingerprint()),
             PassId::Graph(c) => self.graphs[case_slot(c)].as_ref().map(|s| s.input_fp),
             PassId::Arrivals(_) => None,
             PassId::Checks => self.checks.as_ref().map(|s| s.input_fp),
         }
+    }
+
+    /// The macromodel extraction for a case's cached graph, if the most
+    /// recent build extracted one (`None` in one-shot mode or after a
+    /// degraded build).
+    pub fn extraction(&self, case: Option<u8>) -> Option<&Extraction> {
+        self.graphs[case_slot(case)]
+            .as_ref()
+            .and_then(|s| s.extraction.as_ref())
     }
 
     /// Arrival-reuse statistics of the most recent `analyze`, one entry
@@ -642,7 +671,11 @@ impl PassManager {
                 PassOutcome::Reused => reused += 1,
                 PassOutcome::Spliced { roots: r } => {
                     spliced += 1;
-                    roots += r as u64;
+                    // The extract pass reports de-shared instances in
+                    // its `roots` field; only graph splices count here.
+                    if !matches!(e.pass, PassId::Extract(_)) {
+                        roots += r as u64;
+                    }
                 }
                 PassOutcome::Revalidated => revalidated += 1,
             }
@@ -716,6 +749,7 @@ fn graph_pass(
 ) -> CaseDelta {
     let _span = tv_obs::span("pass.graph");
     let pass = PassId::Graph(case.active);
+    let extract_pass = PassId::Extract(case.active);
     let case_tag = case.active.map_or(0, |p| 1 + p as u64);
     let model_tag = options.model as u64;
     let input_fp = hash_words(&[
@@ -731,6 +765,10 @@ fn graph_pass(
     ]);
     if let Some(s) = slot_opt.as_ref() {
         if s.input_fp == input_fp {
+            trace.push(PassEvent {
+                pass: extract_pass,
+                outcome: PassOutcome::Reused,
+            });
             trace.push(PassEvent {
                 pass,
                 outcome: PassOutcome::Reused,
@@ -773,6 +811,7 @@ fn graph_pass(
             graph,
             roots,
             splice,
+            extraction,
             ..
         } = s;
         let Some(idx) = splice.as_ref() else {
@@ -797,6 +836,10 @@ fn graph_pass(
             let prev_fp = *slot_in;
             *slot_in = input_fp;
             *built_revision = d.revision();
+            trace.push(PassEvent {
+                pass: extract_pass,
+                outcome: PassOutcome::Revalidated,
+            });
             trace.push(PassEvent {
                 pass,
                 outcome: PassOutcome::Revalidated,
@@ -839,6 +882,16 @@ fn graph_pass(
             let prev_fp = *slot_in;
             *slot_in = input_fp;
             *built_revision = d.revision();
+            // De-share: every affected root that was instanced from a
+            // shared macromodel is split into a singleton class before
+            // its re-analysis, so the splice never rewrites siblings.
+            let desplit = extraction.as_mut().map_or(0, |e| e.desplit(&affected));
+            trace.push(PassEvent {
+                pass: extract_pass,
+                outcome: PassOutcome::Spliced {
+                    roots: desplit as usize,
+                },
+            });
             trace.push(PassEvent {
                 pass,
                 outcome: PassOutcome::Spliced {
@@ -856,7 +909,8 @@ fn graph_pass(
     }
 
     let slot = if record_spans {
-        let sb = build_with_spans(nl, flow, qual, case, options.model, SOURCE_RESISTANCE, jobs);
+        let (sb, extraction) =
+            build_spanned(nl, flow, qual, case, options.model, SOURCE_RESISTANCE, jobs);
         let splice = sb.spans.map(|spans| {
             let builder = GraphBuilder {
                 netlist: nl,
@@ -880,6 +934,7 @@ fn graph_pass(
             graph: sb.graph,
             roots: sb.roots,
             splice,
+            extraction,
         }
     } else {
         let graph =
@@ -891,9 +946,14 @@ fn graph_pass(
             graph,
             roots: Vec::new(),
             splice: None,
+            extraction: None,
         }
     };
     *slot_opt = Some(slot);
+    trace.push(PassEvent {
+        pass: extract_pass,
+        outcome: PassOutcome::Computed,
+    });
     trace.push(PassEvent {
         pass,
         outcome: PassOutcome::Computed,
@@ -1127,6 +1187,8 @@ mod tests {
             PassId::Flow,
             PassId::Qualify,
             PassId::Latches,
+            PassId::Extract(None),
+            PassId::Extract(Some(0)),
             PassId::Graph(None),
             PassId::Arrivals(Some(1)),
             PassId::Checks,

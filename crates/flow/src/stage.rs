@@ -238,6 +238,91 @@ impl Stages {
     pub fn iter(&self) -> impl ExactSizeIterator<Item = (StageId, Stage<'_>)> + '_ {
         (0..self.len()).map(|i| (StageId(i as u32), self.stage(StageId(i as u32))))
     }
+
+    /// A canonical **structural hash** per stage: the grouping key of the
+    /// hierarchical macromodel extractor.
+    ///
+    /// The hash is a commutative (wrapping-sum) combination of
+    /// per-element hashes, so it is **order-independent**: permuting the
+    /// declaration order of a stage's devices or nodes — or instantiating
+    /// the same bit-slice N times under different interned names — yields
+    /// the same value. It covers only *local* structure, never identity:
+    ///
+    /// * the device multiset — kind, W and L bit patterns, and the
+    ///   rail-ness of each channel terminal;
+    /// * the boundary-pin signature — for every device gate, whether the
+    ///   pin is internal to the stage and its node role; node names stay
+    ///   out on purpose (interned [`tv_netlist::Symbol`]s differ between
+    ///   instances of the same slice, the structure does not);
+    /// * the node multiset — role tag and explicit extra capacitance of
+    ///   every stage node.
+    ///
+    /// Equal hashes are a *candidate* grouping only: the extractor
+    /// collision-checks candidates against a full canonical stage trace
+    /// before sharing an analysis (see `tv_core`'s `macromodel`).
+    /// Perturbing any device's W/L or any node's cap changes the hash.
+    pub fn structural_hashes(&self, netlist: &Netlist) -> Vec<u64> {
+        let vdd = netlist.vdd();
+        let gnd = netlist.gnd();
+        let rail_tag = |n: NodeId| -> u64 {
+            if n == vdd {
+                1
+            } else if n == gnd {
+                2
+            } else {
+                0
+            }
+        };
+        let mut out = Vec::with_capacity(self.len());
+        for (sid, stage) in self.iter() {
+            let mut acc: u64 = 0x5111_57a6_e5d4_c1a9 ^ (stage.devices.len() as u64);
+            for &did in stage.devices {
+                let d = netlist.device(did);
+                let kind_tag = match d.kind() {
+                    tv_netlist::DeviceKind::Enhancement => 0u64,
+                    tv_netlist::DeviceKind::Depletion => 1,
+                };
+                let mut h = sig_mix(0xd1, kind_tag);
+                h = sig_mix(h, d.width().to_bits());
+                h = sig_mix(h, d.length().to_bits());
+                h = sig_mix(h, rail_tag(d.source()) << 2 | rail_tag(d.drain()));
+                // Boundary-pin signature: the gate pin's locality and role,
+                // over structural tags rather than interned names.
+                let g = d.gate();
+                let internal = self.stage_of(g) == Some(sid);
+                h = sig_mix(h, (internal as u64) << 8 | node_role_tag(netlist, g));
+                acc = acc.wrapping_add(sig_mix(h, 0x9e));
+            }
+            for &nid in stage.nodes {
+                let mut h = sig_mix(0xb0, node_role_tag(netlist, nid));
+                h = sig_mix(h, netlist.node(nid).extra_cap().to_bits());
+                acc = acc.wrapping_add(sig_mix(h, 0x2f));
+            }
+            out.push(sig_mix(acc, stage.nodes.len() as u64));
+        }
+        out
+    }
+}
+
+/// A small 64-bit mixer (splitmix64 finalizer over `h ^ v`) for the
+/// structural hash; good diffusion, no external dependency.
+fn sig_mix(h: u64, v: u64) -> u64 {
+    let mut z = (h ^ v).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn node_role_tag(netlist: &Netlist, n: NodeId) -> u64 {
+    use tv_netlist::NodeRole;
+    match netlist.node(n).role() {
+        NodeRole::Internal => 0,
+        NodeRole::Input => 1,
+        NodeRole::Output => 2,
+        NodeRole::Clock(p) => 3 + p as u64,
+        NodeRole::Vdd => 6,
+        NodeRole::Gnd => 7,
+    }
 }
 
 /// Minimal union-find with path halving and union by size.

@@ -114,10 +114,21 @@ pub enum Counter {
     /// Deterministic peak-allocation estimate (bytes) the pre-scan
     /// derived for the netlist under construction.
     IngestPeakAllocEst,
+    /// Stage equivalence classes the hierarchical extractor found.
+    MacroClasses,
+    /// Master stages fully analyzed (one per class, plus any root the
+    /// extractor declined to instance).
+    MacroAnalyzed,
+    /// Stage instances served by copying a master's macromodel arc table
+    /// instead of re-deriving the stage graph.
+    MacroInstanced,
+    /// Instances split out of their class by an edit (de-shared and
+    /// re-analyzed individually).
+    MacroDesplit,
 }
 
 /// Number of counters in the registry.
-pub const COUNT: usize = Counter::IngestPeakAllocEst as usize + 1;
+pub const COUNT: usize = Counter::MacroDesplit as usize + 1;
 
 /// All counters, in dump order.
 pub const ALL: [Counter; COUNT] = [
@@ -157,6 +168,10 @@ pub const ALL: [Counter; COUNT] = [
     Counter::IngestPrescanSyms,
     Counter::IngestReallocs,
     Counter::IngestPeakAllocEst,
+    Counter::MacroClasses,
+    Counter::MacroAnalyzed,
+    Counter::MacroInstanced,
+    Counter::MacroDesplit,
 ];
 
 impl Counter {
@@ -199,6 +214,10 @@ impl Counter {
             Counter::IngestPrescanSyms => "ingest.prescan_syms",
             Counter::IngestReallocs => "ingest.reallocs",
             Counter::IngestPeakAllocEst => "ingest.peak_alloc_est",
+            Counter::MacroClasses => "macro.classes",
+            Counter::MacroAnalyzed => "macro.analyzed",
+            Counter::MacroInstanced => "macro.instanced",
+            Counter::MacroDesplit => "macro.desplit",
         }
     }
 
@@ -218,6 +237,10 @@ impl Counter {
                 | Counter::ConeSeeds
                 | Counter::ConeNodes
                 | Counter::ConeFallbacks
+                | Counter::MacroClasses
+                | Counter::MacroAnalyzed
+                | Counter::MacroInstanced
+                | Counter::MacroDesplit
         )
     }
 }

@@ -63,6 +63,16 @@ echo "== cone smoke: warm edits are O(affected cone) =="
 cargo run --release --offline --bin tv -- batch tests/data/cone_smoke.txt \
   | diff -u tests/data/cone_smoke.golden -
 
+echo "== extract smoke: hierarchical macromodels share and de-share =="
+# The committed transcript pins hierarchical extraction (DESIGN.md §16):
+# the cold mips32 analyze groups stages into equivalence classes and
+# analyzes one master per class (macro.analyzed well under the stage
+# count), a parametric resize de-shares exactly one instance per phase
+# graph, and the report fingerprints stay bit-identical to the flat
+# path throughout.
+cargo run --release --offline --bin tv -- batch tests/data/extract_smoke.txt \
+  | diff -u tests/data/extract_smoke.golden -
+
 echo "== ingest smoke: chunked parse identity + zero reallocs =="
 # Generate a ~100k-device multi-core design with `tv gen`, parse it at
 # --jobs 1/2/8, and require byte-identical reports, diagnostics, and

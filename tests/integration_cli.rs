@@ -162,6 +162,27 @@ fn bad_usage_exits_two_with_usage_text() {
 }
 
 #[test]
+fn gen_rejects_zero_negative_and_non_numeric_core_counts() {
+    // `tv gen` must refuse a meaningless core count as a usage error
+    // (exit 2) with a diagnostic plus the usage text — not generate an
+    // empty design, and not crash on the bad parse.
+    for bad in ["0", "-3", "x"] {
+        let out = tv()
+            .args(["gen", "--cores", bad, "--out", "/dev/null"])
+            .output()
+            .expect("run tv gen");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--cores {bad} must be a usage error"
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("core count"), "--cores {bad}: {err}");
+        assert!(err.contains("usage:"), "--cores {bad}: {err}");
+    }
+}
+
+#[test]
 fn trace_flag_rejects_missing_or_flaglike_operand() {
     let f = write_sim();
     // `--trace` followed by another flag used to silently write a file
