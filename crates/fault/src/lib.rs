@@ -61,10 +61,16 @@ pub enum Site {
     MetricsWrite,
     /// Appending to a `--journal` session journal.
     JournalWrite,
+    /// The serving plane's listener accepting a connection.
+    Accept,
+    /// Reading a protocol frame off a served connection.
+    FrameRead,
+    /// Writing a protocol frame to a served connection.
+    FrameWrite,
 }
 
 /// All sites, in registry order.
-pub const SITES: [Site; 10] = [
+pub const SITES: [Site; 13] = [
     Site::SimRead,
     Site::ParseChunk,
     Site::GraphBuild,
@@ -75,6 +81,9 @@ pub const SITES: [Site; 10] = [
     Site::TraceWrite,
     Site::MetricsWrite,
     Site::JournalWrite,
+    Site::Accept,
+    Site::FrameRead,
+    Site::FrameWrite,
 ];
 
 /// What failure a site expresses when its hook fires. Each site has
@@ -108,6 +117,9 @@ impl Site {
             Site::TraceWrite => "trace_write",
             Site::MetricsWrite => "metrics_write",
             Site::JournalWrite => "journal_write",
+            Site::Accept => "accept",
+            Site::FrameRead => "frame_read",
+            Site::FrameWrite => "frame_write",
         }
     }
 
@@ -116,6 +128,7 @@ impl Site {
         match self {
             Site::SimRead | Site::TraceWrite | Site::MetricsWrite | Site::JournalWrite => Kind::Io,
             Site::ParseChunk => Kind::Io,
+            Site::Accept | Site::FrameRead | Site::FrameWrite => Kind::Io,
             Site::GraphBuild | Site::PropagateWorker => Kind::Panic,
             Site::PassEntry => Kind::Internal,
             Site::CertLookup => Kind::Corrupt,
@@ -359,5 +372,8 @@ mod tests {
         assert_eq!(Site::ExhaustClock.kind(), Kind::Exhaust);
         assert_eq!(Site::PassEntry.kind(), Kind::Internal);
         assert_eq!(Site::SimRead.kind(), Kind::Io);
+        assert_eq!(Site::Accept.kind(), Kind::Io);
+        assert_eq!(Site::FrameRead.kind(), Kind::Io);
+        assert_eq!(Site::FrameWrite.kind(), Kind::Io);
     }
 }

@@ -19,6 +19,8 @@
 //! | `TV03xx` | timing engine resource guards and worker isolation |
 //! | `TV04xx` | electrical rule checks |
 //! | `TV05xx` | session journal recovery and observability readers |
+//! | `TV06xx` | session command dispatch (typed `ok:false` replies) |
+//! | `TV07xx` | serving-plane wire protocol (defined in `tv_proto`) |
 
 use std::fmt;
 
@@ -110,6 +112,17 @@ pub mod codes {
     pub const OBS_BAD_TRACE: &str = "TV0505";
     /// A `--metrics` dump a reader could not parse.
     pub const OBS_BAD_METRICS: &str = "TV0506";
+
+    /// A session command whose verb the dispatcher does not know. The
+    /// reply is `ok:false` with this code; the session (and any served
+    /// connection hosting it) stays alive.
+    pub const SESSION_UNKNOWN_COMMAND: &str = "TV0601";
+    /// A known session command that failed (bad arguments, analysis
+    /// error, missing file). The session stays alive.
+    pub const SESSION_COMMAND_FAILED: &str = "TV0602";
+    /// A session command that panicked past the supervisor's retry
+    /// budget; the command is abandoned but the session stays alive.
+    pub const SESSION_PANIC: &str = "TV0603";
 }
 
 /// One reportable condition, with a stable code and an optional source

@@ -65,7 +65,7 @@ pub use builder::NetlistBuilder;
 pub use cap::CapModel;
 pub use design::{Design, DesignStamp, DirtySince, EditClass, EditReceipt, Revision};
 pub use device::{Device, DeviceKind, Terminal};
-pub use diag::{codes, Diagnostic, Diagnostics, Severity};
+pub use diag::{codes, Diagnostic, Diagnostics, Severity, DEFAULT_MAX_ERRORS};
 pub use error::NetlistError;
 pub use ids::{DeviceId, NodeId};
 pub use intern::{FxHashMap, FxHashSet, FxHasher, Interner, Symbol};

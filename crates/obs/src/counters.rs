@@ -125,10 +125,22 @@ pub enum Counter {
     /// Instances split out of their class by an edit (de-shared and
     /// re-analyzed individually).
     MacroDesplit,
+    /// Connections the serving plane admitted (hello accepted).
+    ServeAccepted,
+    /// Connections admission control refused with a typed `busy` frame.
+    ServeRejected,
+    /// High-water mark of concurrently admitted sessions (via
+    /// [`set_max`], not [`add`]).
+    ServeActivePeak,
+    /// Request frames the serving plane dispatched to a session.
+    ServeRequests,
+    /// Frame reads/writes the serving plane retried after a transient
+    /// transport fault.
+    ServeRetries,
 }
 
 /// Number of counters in the registry.
-pub const COUNT: usize = Counter::MacroDesplit as usize + 1;
+pub const COUNT: usize = Counter::ServeRetries as usize + 1;
 
 /// All counters, in dump order.
 pub const ALL: [Counter; COUNT] = [
@@ -172,6 +184,11 @@ pub const ALL: [Counter; COUNT] = [
     Counter::MacroAnalyzed,
     Counter::MacroInstanced,
     Counter::MacroDesplit,
+    Counter::ServeAccepted,
+    Counter::ServeRejected,
+    Counter::ServeActivePeak,
+    Counter::ServeRequests,
+    Counter::ServeRetries,
 ];
 
 impl Counter {
@@ -218,6 +235,11 @@ impl Counter {
             Counter::MacroAnalyzed => "macro.analyzed",
             Counter::MacroInstanced => "macro.instanced",
             Counter::MacroDesplit => "macro.desplit",
+            Counter::ServeAccepted => "serve.accepted",
+            Counter::ServeRejected => "serve.rejected",
+            Counter::ServeActivePeak => "serve.active_peak",
+            Counter::ServeRequests => "serve.requests",
+            Counter::ServeRetries => "serve.retries",
         }
     }
 
@@ -282,6 +304,17 @@ pub fn add(c: Counter, n: u64) {
 pub fn incr(c: Counter) {
     if enabled() {
         VALUES[c as usize].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Raises a counter to at least `v` (a high-water mark, e.g.
+/// `serve.active_peak`). `fetch_max` commutes just like addition, so
+/// concurrent publishers still yield a schedule-independent total.
+/// No-op while the plane is disabled.
+#[inline]
+pub fn set_max(c: Counter, v: u64) {
+    if enabled() {
+        VALUES[c as usize].fetch_max(v, Ordering::Relaxed);
     }
 }
 
@@ -439,6 +472,26 @@ mod tests {
         set_enabled(false);
         let one: u64 = (0..1000u64).map(|i| i % 7).sum();
         assert_eq!(delta.get(Counter::PropagateRelaxations), 8 * one);
+    }
+
+    #[test]
+    fn set_max_is_a_high_water_mark() {
+        let _g = lock();
+        set_enabled(false);
+        let before = snapshot();
+        set_max(Counter::ServeActivePeak, 9);
+        assert_eq!(
+            snapshot().since(&before).get(Counter::ServeActivePeak),
+            0,
+            "disabled set_max must be dropped"
+        );
+        set_enabled(true);
+        set_max(Counter::ServeActivePeak, 3);
+        set_max(Counter::ServeActivePeak, 7);
+        set_max(Counter::ServeActivePeak, 5);
+        let delta = snapshot().since(&before);
+        set_enabled(false);
+        assert_eq!(delta.get(Counter::ServeActivePeak), 7);
     }
 
     #[test]

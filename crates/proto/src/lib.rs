@@ -1,0 +1,543 @@
+//! The `tv serve` wire protocol: versioned, length-delimited, typed.
+//!
+//! The session REPL (PR 4) speaks newline-delimited commands with one
+//! JSON reply per line — a fine protocol for a pipe, but not for a
+//! network: there is no version negotiation, no request/reply pairing,
+//! no way to refuse a connection with a machine-readable reason, and a
+//! torn read is indistinguishable from a clean close. This crate lifts
+//! that protocol onto a framed wire format so the serving plane
+//! (`tv_serve`) and its clients share one strictly-parsed, testable
+//! surface — the engine/protocol/platform/client split of the related
+//! STEAM/gwr system, where the protocol crate is a first-class citizen
+//! rather than format strings scattered through the server.
+//!
+//! # Frame format
+//!
+//! Every frame is a 4-byte big-endian payload length followed by that
+//! many bytes of UTF-8 JSON (one object). Payloads are capped at
+//! [`MAX_FRAME`]; an oversized length prefix is rejected *before* any
+//! allocation, so a hostile peer cannot balloon the server. The JSON is
+//! parsed with the strict in-tree reader (`tv_obs::json`) — unknown
+//! `"type"` values and missing fields are typed [`ProtoError`]s, never
+//! panics.
+//!
+//! # Conversation shape
+//!
+//! ```text
+//! client                          server
+//!   Hello{proto,tenant,limits} ->
+//!                              <- HelloOk{proto,server,resumed}
+//!                                 (or Error{TV0701 version} / Error{TV0702 busy})
+//!   Request{id,line}           ->
+//!                              <- Reply{id,ok,body}     # body = one session reply line
+//!   ...                           ...
+//!   Bye                        ->   (or just close)
+//! ```
+//!
+//! The `Reply` body is carried **verbatim** as a string — the exact
+//! bytes the session REPL would have written to stdout — so a served
+//! transcript can be diffed bit-for-bit against a `tv batch` replay of
+//! the same script. Re-encoding the body through a JSON value type
+//! would reorder keys and reformat floats; verbatim carriage is what
+//! makes the golden-transcript story survive the network hop.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use tv_obs::json::{self, Value};
+
+/// Protocol version spoken by this build. A server refuses a `Hello`
+/// carrying any other version with a typed [`codes::VERSION_MISMATCH`]
+/// error frame — there is exactly one version per build, negotiated
+/// down to "match or refuse" so old clients fail loudly, not subtly.
+pub const VERSION: u32 = 1;
+
+/// Hard cap on a frame payload, bytes. Session replies are a few KB;
+/// the cap only exists to bound what a hostile length prefix can make
+/// the reader allocate.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Typed wire-protocol error codes (`TV07xx`), following the repo-wide
+/// diagnostic code registry (`tv_netlist::codes` documents the ranges).
+pub mod codes {
+    /// The peer's protocol version is not this build's [`super::VERSION`].
+    pub const VERSION_MISMATCH: &str = "TV0701";
+    /// Admission control refused the session (global or per-tenant cap).
+    pub const BUSY: &str = "TV0702";
+    /// A frame length prefix exceeded [`super::MAX_FRAME`].
+    pub const FRAME_TOO_LARGE: &str = "TV0703";
+    /// A frame payload failed strict parsing or had a bad shape.
+    pub const MALFORMED_FRAME: &str = "TV0704";
+    /// The first frame on a connection was not `Hello`.
+    pub const HELLO_REQUIRED: &str = "TV0705";
+    /// The tenant name is empty, too long, or not `[A-Za-z0-9_.-]`.
+    pub const BAD_TENANT: &str = "TV0706";
+    /// The server could not restore the tenant's journaled session.
+    pub const RESUME_FAILED: &str = "TV0707";
+}
+
+/// Per-request resource clamps a client may ask for in its `Hello`.
+/// The server clamps each to its own configured ceiling — a tenant can
+/// always ask for *less* work than the server allows, never more.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Limits {
+    /// Requested relaxation budget (`AnalysisOptions::relax_budget`).
+    pub relax_budget: Option<u64>,
+    /// Requested per-run deadline, milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Requested node-count admission limit (`max_nodes`).
+    pub max_nodes: Option<u64>,
+}
+
+impl Limits {
+    fn is_empty(&self) -> bool {
+        self.relax_budget.is_none() && self.deadline_ms.is_none() && self.max_nodes.is_none()
+    }
+}
+
+/// One protocol frame. See the module docs for the conversation shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client's first frame: version, tenant identity, resource asks.
+    Hello {
+        /// Protocol version the client speaks.
+        proto: u32,
+        /// Tenant name for admission control and journal routing.
+        tenant: String,
+        /// Free-form client identification (diagnostics only).
+        client: String,
+        /// Requested resource clamps (server clamps to its ceilings).
+        limits: Limits,
+    },
+    /// Server's acceptance of a `Hello`.
+    HelloOk {
+        /// Protocol version the server speaks (== client's, by now).
+        proto: u32,
+        /// Free-form server identification.
+        server: String,
+        /// Journaled commands replayed to restore this tenant's session
+        /// before the connection went live (0 = a fresh session).
+        resumed: u64,
+    },
+    /// A typed refusal or connection-level failure. After an `Error`
+    /// frame the sender closes the connection.
+    Error {
+        /// One of [`codes`].
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// One session command line, tagged for reply pairing.
+    Request {
+        /// Client-assigned id, echoed by the matching `Reply`. Ids must
+        /// stay within JSON's exactly-representable integer range
+        /// (below 2^53): the wire format is JSON and the strict parser
+        /// reads numbers as `f64`, so larger ids would be silently
+        /// rounded. Sequential per-connection counters — what every
+        /// client in this workspace uses — never get close.
+        id: u64,
+        /// The command line, exactly as `tv session` would read it.
+        line: String,
+    },
+    /// The reply to `Request` `id`.
+    Reply {
+        /// The request this answers.
+        id: u64,
+        /// Mirror of the body's `"ok"` field.
+        ok: bool,
+        /// The session's JSON reply line, verbatim (empty for a
+        /// blank/comment line, which produces no reply).
+        body: String,
+    },
+    /// Clean client-initiated close.
+    Bye,
+}
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying transport failed.
+    Io(std::io::Error),
+    /// A length prefix exceeded [`MAX_FRAME`].
+    TooLarge(usize),
+    /// The payload failed strict JSON parsing or had a bad shape.
+    Malformed(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "transport error: {e}"),
+            ProtoError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+impl ProtoError {
+    /// The [`codes`] entry a server should answer this error with.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtoError::Io(_) => codes::MALFORMED_FRAME,
+            ProtoError::TooLarge(_) => codes::FRAME_TOO_LARGE,
+            ProtoError::Malformed(_) => codes::MALFORMED_FRAME,
+        }
+    }
+}
+
+/// Renders a frame's JSON payload (no length prefix).
+pub fn render(frame: &Frame) -> String {
+    match frame {
+        Frame::Hello {
+            proto,
+            tenant,
+            client,
+            limits,
+        } => {
+            let mut s = format!(
+                r#"{{"type":"hello","proto":{},"tenant":"{}","client":"{}""#,
+                proto,
+                json::escape(tenant),
+                json::escape(client)
+            );
+            if !limits.is_empty() {
+                s.push_str(r#","limits":{"#);
+                let mut first = true;
+                let mut field = |k: &str, v: Option<u64>| {
+                    if let Some(v) = v {
+                        if !first {
+                            s.push(',');
+                        }
+                        first = false;
+                        s.push_str(&format!(r#""{k}":{v}"#));
+                    }
+                };
+                field("relax_budget", limits.relax_budget);
+                field("deadline_ms", limits.deadline_ms);
+                field("max_nodes", limits.max_nodes);
+                s.push('}');
+            }
+            s.push('}');
+            s
+        }
+        Frame::HelloOk {
+            proto,
+            server,
+            resumed,
+        } => format!(
+            r#"{{"type":"hello_ok","proto":{},"server":"{}","resumed":{}}}"#,
+            proto,
+            json::escape(server),
+            resumed
+        ),
+        Frame::Error { code, message } => format!(
+            r#"{{"type":"error","code":"{}","error":"{}"}}"#,
+            json::escape(code),
+            json::escape(message)
+        ),
+        Frame::Request { id, line } => format!(
+            r#"{{"type":"request","id":{},"line":"{}"}}"#,
+            id,
+            json::escape(line)
+        ),
+        Frame::Reply { id, ok, body } => format!(
+            r#"{{"type":"reply","id":{},"ok":{},"body":"{}"}}"#,
+            id,
+            ok,
+            json::escape(body)
+        ),
+        Frame::Bye => r#"{"type":"bye"}"#.to_string(),
+    }
+}
+
+/// Decodes one frame from its JSON payload text.
+pub fn decode(payload: &str) -> Result<Frame, ProtoError> {
+    let v = json::parse(payload).map_err(ProtoError::Malformed)?;
+    let ty = v
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ProtoError::Malformed("missing \"type\"".into()))?;
+    let str_field = |k: &str| -> Result<String, ProtoError> {
+        v.get(k)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ProtoError::Malformed(format!("missing string \"{k}\"")))
+    };
+    let num_field = |k: &str| -> Result<u64, ProtoError> {
+        v.get(k)
+            .and_then(Value::as_num)
+            .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+            .map(|n| n as u64)
+            .ok_or_else(|| ProtoError::Malformed(format!("missing integer \"{k}\"")))
+    };
+    match ty {
+        "hello" => {
+            let mut limits = Limits::default();
+            if let Some(l) = v.get("limits") {
+                let opt = |k: &str| -> Result<Option<u64>, ProtoError> {
+                    match l.get(k) {
+                        None => Ok(None),
+                        Some(x) => x
+                            .as_num()
+                            .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+                            .map(|n| Some(n as u64))
+                            .ok_or_else(|| ProtoError::Malformed(format!("bad limit \"{k}\""))),
+                    }
+                };
+                limits.relax_budget = opt("relax_budget")?;
+                limits.deadline_ms = opt("deadline_ms")?;
+                limits.max_nodes = opt("max_nodes")?;
+            }
+            Ok(Frame::Hello {
+                proto: num_field("proto")? as u32,
+                tenant: str_field("tenant")?,
+                client: str_field("client")?,
+                limits,
+            })
+        }
+        "hello_ok" => Ok(Frame::HelloOk {
+            proto: num_field("proto")? as u32,
+            server: str_field("server")?,
+            resumed: num_field("resumed")?,
+        }),
+        "error" => Ok(Frame::Error {
+            code: str_field("code")?,
+            message: str_field("error")?,
+        }),
+        "request" => Ok(Frame::Request {
+            id: num_field("id")?,
+            line: str_field("line")?,
+        }),
+        "reply" => Ok(Frame::Reply {
+            id: num_field("id")?,
+            ok: v
+                .get("ok")
+                .and_then(|b| match b {
+                    Value::Bool(b) => Some(*b),
+                    _ => None,
+                })
+                .ok_or_else(|| ProtoError::Malformed("missing bool \"ok\"".into()))?,
+            body: str_field("body")?,
+        }),
+        "bye" => Ok(Frame::Bye),
+        other => Err(ProtoError::Malformed(format!(
+            "unknown frame type {other:?}"
+        ))),
+    }
+}
+
+/// Writes one frame (length prefix + payload). The caller flushes.
+///
+/// Prefix and payload go out in a **single** write: on an unbuffered
+/// TCP stream, splitting them into two small writes invites the
+/// Nagle/delayed-ACK interaction — the second segment waits ~40 ms for
+/// the peer's ACK — which turns every request/reply round trip into
+/// tens of milliseconds of idle. One write, one segment, no stall.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> std::io::Result<()> {
+    let payload = render(frame);
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let mut wire = Vec::with_capacity(4 + payload.len());
+    wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    wire.extend_from_slice(payload.as_bytes());
+    w.write_all(&wire)
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean close (EOF before any
+/// prefix byte); EOF *inside* a frame is a torn read and errors.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, ProtoError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        let n = r.read(&mut prefix[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(ProtoError::Malformed("torn length prefix".into()));
+        }
+        got += n;
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(ProtoError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => ProtoError::Malformed("torn frame payload".into()),
+        _ => ProtoError::Io(e),
+    })?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|_| ProtoError::Malformed("frame payload is not UTF-8".into()))?;
+    decode(text).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64, vendored (the same finalizer as `tv_gen::rng`) so the
+    /// property tests stay dependency-free.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A string mixing ASCII, escapes, control bytes, and non-ASCII.
+        fn string(&mut self) -> String {
+            let alphabet: Vec<char> = "abz09 _-.\"\\\n\r\t\u{1}\u{7f}µλ√".chars().collect();
+            let len = (self.next() % 24) as usize;
+            (0..len)
+                .map(|_| alphabet[(self.next() as usize) % alphabet.len()])
+                .collect()
+        }
+
+        fn opt(&mut self) -> Option<u64> {
+            self.next()
+                .is_multiple_of(2)
+                .then(|| self.next() % 1_000_000)
+        }
+
+        /// A request id within JSON's exact-integer range (< 2^53) —
+        /// the documented contract on `Frame::Request::id`.
+        fn id(&mut self) -> u64 {
+            self.next() & ((1 << 53) - 1)
+        }
+    }
+
+    fn random_frame(rng: &mut Rng) -> Frame {
+        match rng.next() % 6 {
+            0 => Frame::Hello {
+                proto: (rng.next() % 4) as u32,
+                tenant: rng.string(),
+                client: rng.string(),
+                limits: Limits {
+                    relax_budget: rng.opt(),
+                    deadline_ms: rng.opt(),
+                    max_nodes: rng.opt(),
+                },
+            },
+            1 => Frame::HelloOk {
+                proto: VERSION,
+                server: rng.string(),
+                resumed: rng.next() % 100,
+            },
+            2 => Frame::Error {
+                code: codes::BUSY.to_string(),
+                message: rng.string(),
+            },
+            3 => Frame::Request {
+                id: rng.id(),
+                line: rng.string(),
+            },
+            4 => Frame::Reply {
+                id: rng.id(),
+                ok: rng.next().is_multiple_of(2),
+                body: format!(r#"{{"ok":true,"x":"{}"}}"#, json::escape(&rng.string())),
+            },
+            _ => Frame::Bye,
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_through_render_and_decode() {
+        let mut rng = Rng(0x70_70);
+        for _ in 0..500 {
+            let f = random_frame(&mut rng);
+            let payload = render(&f);
+            let back = decode(&payload).unwrap_or_else(|e| panic!("{payload}: {e}"));
+            assert_eq!(back, f, "payload {payload}");
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_wire_format() {
+        let mut rng = Rng(0xF8A3);
+        let frames: Vec<Frame> = (0..64).map(|_| random_frame(&mut rng)).collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).expect("vec write");
+        }
+        let mut cursor = std::io::Cursor::new(&wire);
+        for want in &frames {
+            let got = read_frame(&mut cursor).expect("read").expect("frame");
+            assert_eq!(&got, want);
+        }
+        assert!(read_frame(&mut cursor).expect("eof").is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn reply_bodies_are_carried_verbatim() {
+        // The property the golden-transcript story rests on: a session
+        // reply with float formatting and ordered keys survives the hop
+        // byte for byte.
+        let body = r#"{"ok":true,"cmd":"analyze","min_cycle":120.8789417596438,"passes":[{"pass":"flow","outcome":"reused"}]}"#;
+        let f = Frame::Reply {
+            id: 7,
+            ok: true,
+            body: body.to_string(),
+        };
+        let Frame::Reply { body: got, .. } = decode(&render(&f)).expect("round trip") else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(got, body);
+    }
+
+    #[test]
+    fn torn_prefix_and_payload_are_malformed_not_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Bye).expect("vec write");
+        // Clip inside the length prefix.
+        let mut c = std::io::Cursor::new(&wire[..2]);
+        assert!(matches!(read_frame(&mut c), Err(ProtoError::Malformed(_))));
+        // Clip inside the payload.
+        let mut c = std::io::Cursor::new(&wire[..wire.len() - 3]);
+        assert!(matches!(read_frame(&mut c), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let wire = (MAX_FRAME as u32 + 1).to_be_bytes();
+        let mut c = std::io::Cursor::new(&wire[..]);
+        assert!(matches!(read_frame(&mut c), Err(ProtoError::TooLarge(_))));
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"type":"warp"}"#,
+            r#"{"type":"request","id":-1,"line":"x"}"#,
+            r#"{"type":"request","id":1.5,"line":"x"}"#,
+            r#"{"type":"reply","id":1,"ok":"yes","body":""}"#,
+            r#"{"type":"hello","proto":1,"tenant":"t","client":"c","limits":{"deadline_ms":"soon"}}"#,
+        ] {
+            assert!(
+                matches!(decode(bad), Err(ProtoError::Malformed(_))),
+                "{bad} must be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn non_utf8_payload_is_malformed() {
+        let mut wire = vec![0, 0, 0, 2, 0xff, 0xfe];
+        let mut c = std::io::Cursor::new(&mut wire);
+        assert!(matches!(read_frame(&mut c), Err(ProtoError::Malformed(_))));
+    }
+}

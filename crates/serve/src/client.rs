@@ -1,0 +1,159 @@
+//! The terminus: replay a command script over a served connection.
+//!
+//! [`run_client`] speaks the `tv_proto` conversation — `hello`,
+//! negotiate, one `request` per script line, `bye` — and writes each
+//! reply body as its own line, so a client transcript against a server
+//! is byte-identical to the `tv batch` transcript of the same script.
+//! That identity is the protocol's core promise and the
+//! `tests/integration_serve.rs` suite pins it at several `--jobs`
+//! settings.
+
+use std::io::{BufRead, Read, Write};
+
+use tv_proto::{self as proto, Frame, Limits};
+
+/// Who we say we are in `hello`.
+pub const CLIENT_NAME: &str = concat!("tv-client/", env!("CARGO_PKG_VERSION"));
+
+/// How a client run ended.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed mid-conversation.
+    Io(std::io::Error),
+    /// The server refused or the protocol broke; the code is one of
+    /// [`proto::codes`].
+    Refused { code: String, message: String },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Refused { code, message } => write!(f, "refused ({code}): {message}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<proto::ProtoError> for ClientError {
+    fn from(e: proto::ProtoError) -> Self {
+        match e {
+            proto::ProtoError::Io(io) => ClientError::Io(io),
+            other => ClientError::Refused {
+                code: other.code().to_string(),
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+/// Performs the `hello` handshake on a fresh connection. Returns the
+/// replayed-entry count from `hello_ok` (nonzero after a journal-backed
+/// reconnect).
+pub fn handshake<S: Read + Write>(
+    stream: &mut S,
+    tenant: &str,
+    limits: Limits,
+) -> Result<u64, ClientError> {
+    proto::write_frame(
+        stream,
+        &Frame::Hello {
+            proto: proto::VERSION,
+            tenant: tenant.to_string(),
+            client: CLIENT_NAME.to_string(),
+            limits,
+        },
+    )?;
+    stream.flush()?;
+    match proto::read_frame(stream)? {
+        Some(Frame::HelloOk { resumed, .. }) => Ok(resumed),
+        Some(Frame::Error { code, message }) => Err(ClientError::Refused { code, message }),
+        Some(other) => Err(ClientError::Refused {
+            code: proto::codes::MALFORMED_FRAME.to_string(),
+            message: format!("expected hello_ok, got {other:?}"),
+        }),
+        None => Err(ClientError::Refused {
+            code: proto::codes::MALFORMED_FRAME.to_string(),
+            message: "server closed during handshake".into(),
+        }),
+    }
+}
+
+/// Sends one command and returns its `(body, ok)` reply. Blank and
+/// comment lines are evaluated server-side too (they produce an empty
+/// body), so the caller need not replicate the session's lexing rules.
+pub fn request<S: Read + Write>(
+    stream: &mut S,
+    id: u64,
+    line: &str,
+) -> Result<(String, bool), ClientError> {
+    proto::write_frame(
+        stream,
+        &Frame::Request {
+            id,
+            line: line.to_string(),
+        },
+    )?;
+    stream.flush()?;
+    match proto::read_frame(stream)? {
+        Some(Frame::Reply {
+            id: got, ok, body, ..
+        }) => {
+            if got != id {
+                return Err(ClientError::Refused {
+                    code: proto::codes::MALFORMED_FRAME.to_string(),
+                    message: format!("reply id {got} for request {id}"),
+                });
+            }
+            Ok((body, ok))
+        }
+        Some(Frame::Error { code, message }) => Err(ClientError::Refused { code, message }),
+        Some(other) => Err(ClientError::Refused {
+            code: proto::codes::MALFORMED_FRAME.to_string(),
+            message: format!("expected reply, got {other:?}"),
+        }),
+        None => Err(ClientError::Refused {
+            code: proto::codes::MALFORMED_FRAME.to_string(),
+            message: "server closed mid-request".into(),
+        }),
+    }
+}
+
+/// Replays `input` (one command per line) over `stream` and writes each
+/// non-empty reply body as a line to `out` — the same transcript
+/// `tv batch` would produce locally. Stops at a `quit` line (the server
+/// closes after answering it) or at end of input (then sends `bye`).
+/// Returns the session exit code: 0 when every command succeeded, 1 if
+/// any failed.
+pub fn run_client<S: Read + Write, R: BufRead, W: Write>(
+    stream: &mut S,
+    tenant: &str,
+    limits: Limits,
+    input: R,
+    out: &mut W,
+) -> Result<u8, ClientError> {
+    handshake(stream, tenant, limits)?;
+    let mut failed = false;
+    let mut id = 0u64;
+    for line in input.lines() {
+        let line = line.map_err(ClientError::Io)?;
+        id += 1;
+        let (body, ok) = request(stream, id, &line)?;
+        if !body.is_empty() {
+            writeln!(out, "{body}").map_err(ClientError::Io)?;
+            out.flush().map_err(ClientError::Io)?;
+        }
+        failed |= !ok;
+        if line.trim() == "quit" {
+            return Ok(u8::from(failed));
+        }
+    }
+    let _ = proto::write_frame(stream, &Frame::Bye);
+    let _ = stream.flush();
+    Ok(u8::from(failed))
+}

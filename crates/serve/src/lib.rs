@@ -1,0 +1,31 @@
+//! The serving plane: long-lived sessions, crash-safe journals, and the
+//! multi-tenant `tv serve` server with its client and load generator.
+//!
+//! The crate split mirrors the engine/protocol/platform/client
+//! separation of the STEAM/gwr system the ROADMAP names:
+//!
+//! | layer | module | what it is |
+//! |---|---|---|
+//! | engine | [`session`] | one resident `Design` + pass pipeline, command → JSON reply |
+//! | durability | [`journal`] | append-only checksummed command log, `--resume` replay |
+//! | platform | [`server`] | TCP/unix listeners, thread-per-connection, admission control |
+//! | terminus | [`client`] | script replay over a connection, transcript on stdout |
+//! | driver | [`loadgen`] | concurrent script replay publishing latency percentiles |
+//!
+//! The wire protocol itself lives one crate down in `tv_proto`, so the
+//! frame format is testable without dragging in the engine. Everything
+//! here is `std`-only: the server is thread-per-connection over blocking
+//! sockets, which at the session protocol's request rates (one analyze
+//! is milliseconds of compute) saturates the engine long before the
+//! platform becomes the bottleneck.
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod journal;
+pub mod loadgen;
+pub mod server;
+pub mod session;
+
+pub use server::{ServeConfig, ServerHandle};
+pub use session::TechTable;

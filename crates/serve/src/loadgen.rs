@@ -1,0 +1,218 @@
+//! The load generator: concurrent script replay with latency percentiles.
+//!
+//! `tv loadgen` opens N concurrent client connections (one tenant
+//! each), replays a batch script over every connection `repeat` times,
+//! and reports wall-clock throughput plus per-request latency
+//! percentiles (p50/p95/p99). Latencies are measured around one whole
+//! request/reply exchange — serialize, network, session work,
+//! deserialize — which is what a tenant experiences.
+//!
+//! Wall-clock numbers are host-dependent by nature, so the report
+//! never feeds golden transcripts; it feeds `BENCH_TRAJECTORY.json`,
+//! where the committed `pr10-serve` run and the `perf_trajectory
+//! --check` p99 gate live.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use tv_proto::Limits;
+
+use crate::client;
+use crate::server::Endpoint;
+
+/// One load run's shape.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Times each client replays the whole script.
+    pub repeat: usize,
+    /// Tenant names are `<prefix><client-index>`.
+    pub tenant_prefix: String,
+    /// Resource asks each client's `hello` carries.
+    pub limits: Limits,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            clients: 8,
+            repeat: 1,
+            tenant_prefix: "loadgen-".into(),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Concurrent clients driven.
+    pub clients: usize,
+    /// Script repetitions per client.
+    pub repeat: usize,
+    /// Requests completed (replies received).
+    pub requests: u64,
+    /// Requests whose reply was `ok:false`.
+    pub failed: u64,
+    /// Wall-clock of the whole run, nanoseconds.
+    pub wall_ns: u64,
+    /// Median request latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile request latency, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile request latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Worst request latency, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LoadgenReport {
+    /// Completed requests per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.requests as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    /// One JSON object for the CLI (times in integer nanoseconds; the
+    /// throughput is derived, rounded to 0.1 rps).
+    pub fn render_json(&self) -> String {
+        format!(
+            r#"{{"clients":{},"repeat":{},"requests":{},"failed":{},"wall_ns":{},"throughput_rps":{:.1},"p50_ns":{},"p95_ns":{},"p99_ns":{},"max_ns":{}}}"#,
+            self.clients,
+            self.repeat,
+            self.requests,
+            self.failed,
+            self.wall_ns,
+            self.throughput_rps(),
+            self.p50_ns,
+            self.p95_ns,
+            self.p99_ns,
+            self.max_ns
+        )
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = ((p * n).div_ceil(100)).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+/// Drives `cfg.clients` concurrent connections against `endpoint`, each
+/// replaying `script` `cfg.repeat` times. Lifecycle lines (`quit`,
+/// blanks, comments) are stripped — the generator manages its own
+/// connections and only measures real commands.
+pub fn run_loadgen(
+    endpoint: &Endpoint,
+    script: &[String],
+    cfg: &LoadgenConfig,
+) -> Result<LoadgenReport, String> {
+    let commands: Vec<&String> = script
+        .iter()
+        .filter(|l| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('#') && t != "quit"
+        })
+        .collect();
+    if commands.is_empty() {
+        return Err("loadgen script has no commands".into());
+    }
+    let started = Instant::now();
+    let mut per_client: Vec<Result<(Vec<u64>, u64), String>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|i| {
+                let tenant = format!("{}{i}", cfg.tenant_prefix);
+                let commands = &commands;
+                let limits = cfg.limits.clone();
+                s.spawn(move || -> Result<(Vec<u64>, u64), String> {
+                    let mut stream = endpoint.connect().map_err(|e| e.to_string())?;
+                    client::handshake(&mut stream, &tenant, limits).map_err(|e| e.to_string())?;
+                    let mut latencies = Vec::with_capacity(commands.len() * cfg.repeat);
+                    let mut failed = 0u64;
+                    let mut id = 0u64;
+                    for _ in 0..cfg.repeat {
+                        for line in commands.iter() {
+                            id += 1;
+                            let t = Instant::now();
+                            let (_body, ok) = client::request(&mut stream, id, line)
+                                .map_err(|e| e.to_string())?;
+                            latencies.push(t.elapsed().as_nanos() as u64);
+                            failed += u64::from(!ok);
+                        }
+                    }
+                    let _ = tv_proto::write_frame(&mut stream, &tv_proto::Frame::Bye);
+                    let _ = stream.flush();
+                    Ok((latencies, failed))
+                })
+            })
+            .collect();
+        for h in handles {
+            per_client.push(h.join().unwrap_or_else(|_| Err("client panicked".into())));
+        }
+    });
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let mut latencies = Vec::new();
+    let mut failed = 0u64;
+    for r in per_client {
+        let (l, f) = r?;
+        latencies.extend(l);
+        failed += f;
+    }
+    latencies.sort_unstable();
+    Ok(LoadgenReport {
+        clients: cfg.clients,
+        repeat: cfg.repeat,
+        requests: latencies.len() as u64,
+        failed,
+        wall_ns,
+        p50_ns: percentile(&latencies, 50),
+        p95_ns: percentile(&latencies, 95),
+        p99_ns: percentile(&latencies, 99),
+        max_ns: latencies.last().copied().unwrap_or(0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 95), 95);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&[7], 99), 7);
+        assert_eq!(percentile(&[], 50), 0);
+        let two = [10, 20];
+        assert_eq!(percentile(&two, 50), 10);
+        assert_eq!(percentile(&two, 99), 20);
+    }
+
+    #[test]
+    fn report_json_is_one_object() {
+        let r = LoadgenReport {
+            clients: 8,
+            repeat: 2,
+            requests: 160,
+            failed: 0,
+            wall_ns: 1_000_000_000,
+            p50_ns: 100,
+            p95_ns: 200,
+            p99_ns: 300,
+            max_ns: 400,
+        };
+        let j = r.render_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains(r#""throughput_rps":160.0"#));
+        assert!(j.contains(r#""p99_ns":300"#));
+    }
+}

@@ -29,8 +29,12 @@
 //!
 //! Blank lines and lines starting with `#` are ignored (batch scripts
 //! use them for comments). An unknown or failing command replies
-//! `{"ok":false,...}` and the session continues; the exit code of the
-//! whole run is 1 if any command failed, 0 otherwise.
+//! `{"ok":false,"code":"TV06xx",...}` and the session continues — one
+//! bad line can never kill the session (or a served connection hosting
+//! it): `TV0601` names an unknown verb, `TV0602` a known command that
+//! failed, and `TV0603` a command the supervisor had to abandon after a
+//! panic. The exit code of the whole run is 1 if any command failed, 0
+//! otherwise.
 //!
 //! The `analyze` reply's `fingerprint` is [`report_fingerprint`] — the
 //! same golden FNV the equivalence suite pins — and `passes` lists every
@@ -41,6 +45,7 @@
 
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
 
 use tv_core::propagate::Completion;
 use tv_core::{
@@ -53,12 +58,69 @@ use tv_netlist::{codes, sim_format, Design, DeviceKind, Diagnostics, EditClass, 
 
 use crate::journal;
 
+/// The technologies a process knows, interned once and shared read-only
+/// by every session it hosts. `Tech` is a small table of constants, so
+/// the sharing buys identity more than memory: a server hosting a
+/// thousand tenants hands each the *same* technology object, and a
+/// technology tweak (when that becomes a feature) lands in one place.
+#[derive(Debug)]
+pub struct TechTable {
+    /// The 4 µm teaching technology ([`Tech::nmos4um`]), the default.
+    pub nmos4um: Tech,
+    /// The scaled 2 µm technology ([`Tech::nmos2um`]).
+    pub nmos2um: Tech,
+}
+
+impl TechTable {
+    /// The process-wide shared table.
+    pub fn shared() -> Arc<TechTable> {
+        static TABLE: OnceLock<Arc<TechTable>> = OnceLock::new();
+        TABLE
+            .get_or_init(|| {
+                Arc::new(TechTable {
+                    nmos4um: Tech::nmos4um(),
+                    nmos2um: Tech::nmos2um(),
+                })
+            })
+            .clone()
+    }
+
+    /// Looks a technology up by its session-command name.
+    pub fn get(&self, name: &str) -> Option<&Tech> {
+        match name {
+            "nmos4um" => Some(&self.nmos4um),
+            "nmos2um" => Some(&self.nmos2um),
+            _ => None,
+        }
+    }
+}
+
+/// A failing command's typed reply: a stable `TV06xx` code plus the
+/// human-readable message. Command handlers return plain `String`
+/// errors; the `From` impl stamps them [`codes::SESSION_COMMAND_FAILED`]
+/// and the dispatcher reserves [`codes::SESSION_UNKNOWN_COMMAND`] and
+/// [`codes::SESSION_PANIC`] for its own failure classes.
+pub(crate) struct CmdError {
+    pub(crate) code: &'static str,
+    pub(crate) msg: String,
+}
+
+impl From<String> for CmdError {
+    fn from(msg: String) -> CmdError {
+        CmdError {
+            code: codes::SESSION_COMMAND_FAILED,
+            msg,
+        }
+    }
+}
+
 /// One resident design and the demand-driven pipeline serving it.
 pub struct Session {
     design: Option<Design>,
     passes: PassManager,
     options: AnalysisOptions,
     max_errors: usize,
+    techs: Arc<TechTable>,
     /// Counter baseline for the `metrics` command: each reply reports
     /// the delta since the previous `metrics` (or session start).
     metrics_mark: tv_obs::Snapshot,
@@ -82,6 +144,12 @@ impl Session {
     /// A fresh session with no design loaded. `options` applies to every
     /// `analyze`; `max_errors` caps reported parse errors per `load`.
     pub fn new(options: AnalysisOptions, max_errors: usize) -> Self {
+        Session::with_techs(options, max_errors, TechTable::shared())
+    }
+
+    /// [`Session::new`] against an explicit technology table (the server
+    /// hands every hosted session one `Arc` clone of its own).
+    pub fn with_techs(options: AnalysisOptions, max_errors: usize, techs: Arc<TechTable>) -> Self {
         // Sessions always keep the deterministic counter plane on: the
         // `metrics` command reports work done since its last baseline,
         // and the counters are interleaving-independent so this cannot
@@ -92,6 +160,7 @@ impl Session {
             passes: PassManager::new(),
             options,
             max_errors,
+            techs,
             metrics_mark: tv_obs::snapshot(),
             retry_hint: None,
         }
@@ -131,8 +200,12 @@ impl Session {
         }
         match self.supervised(&tokens) {
             Ok(json) => Reply::Line { json, ok: true },
-            Err(msg) => Reply::Line {
-                json: format!(r#"{{"ok":false,"error":"{}"}}"#, json_escape(&msg)),
+            Err(e) => Reply::Line {
+                json: format!(
+                    r#"{{"ok":false,"code":"{}","error":"{}"}}"#,
+                    e.code,
+                    json_escape(&e.msg)
+                ),
                 ok: false,
             },
         }
@@ -155,7 +228,7 @@ impl Session {
     /// symptomatic is returned as-is — degraded but honest. Exactly one
     /// retry, ever: recovery must never turn a persistent fault into a
     /// loop.
-    fn supervised(&mut self, tokens: &[&str]) -> Result<String, String> {
+    fn supervised(&mut self, tokens: &[&str]) -> Result<String, CmdError> {
         self.retry_hint = None;
         let first = match catch_unwind(AssertUnwindSafe(|| self.run_cmd(tokens))) {
             Ok(r) => r,
@@ -165,7 +238,10 @@ impl Session {
                 // state wholesale. Not retried: the command may have
                 // partially applied, and a blind re-run could double it.
                 self.passes = PassManager::new();
-                return Err(format!("command panicked: {}", panic_text(&payload)));
+                return Err(CmdError {
+                    code: codes::SESSION_PANIC,
+                    msg: format!("command panicked: {}", panic_text(&payload)),
+                });
             }
         };
         let Some(kind) = self.retry_hint.take() else {
@@ -185,27 +261,30 @@ impl Session {
             }
             Err(payload) => {
                 self.passes = PassManager::new();
-                Err(format!(
-                    "command panicked during retry: {}",
-                    panic_text(&payload)
-                ))
+                Err(CmdError {
+                    code: codes::SESSION_PANIC,
+                    msg: format!("command panicked during retry: {}", panic_text(&payload)),
+                })
             }
         }
     }
 
     /// Dispatches one tokenized command (everything but `quit`, which
     /// the caller handles — it must bypass the retry machinery).
-    fn run_cmd(&mut self, tokens: &[&str]) -> Result<String, String> {
+    fn run_cmd(&mut self, tokens: &[&str]) -> Result<String, CmdError> {
         match tokens[0] {
-            "load" => self.cmd_load(&tokens[1..]),
-            "demo" => self.cmd_demo(&tokens[1..]),
-            "edit" => self.cmd_edit(&tokens[1..]),
-            "analyze" => self.cmd_analyze(&tokens[1..]),
-            "paths" => self.cmd_paths(&tokens[1..]),
-            "flow" => self.cmd_flow(&tokens[1..]),
-            "revision" => self.cmd_revision(&tokens[1..]),
-            "metrics" => self.cmd_metrics(&tokens[1..]),
-            other => Err(format!("unknown command {other:?}")),
+            "load" => self.cmd_load(&tokens[1..]).map_err(CmdError::from),
+            "demo" => self.cmd_demo(&tokens[1..]).map_err(CmdError::from),
+            "edit" => self.cmd_edit(&tokens[1..]).map_err(CmdError::from),
+            "analyze" => self.cmd_analyze(&tokens[1..]).map_err(CmdError::from),
+            "paths" => self.cmd_paths(&tokens[1..]).map_err(CmdError::from),
+            "flow" => self.cmd_flow(&tokens[1..]).map_err(CmdError::from),
+            "revision" => self.cmd_revision(&tokens[1..]).map_err(CmdError::from),
+            "metrics" => self.cmd_metrics(&tokens[1..]).map_err(CmdError::from),
+            other => Err(CmdError {
+                code: codes::SESSION_UNKNOWN_COMMAND,
+                msg: format!("unknown command {other:?}"),
+            }),
         }
     }
 
@@ -231,14 +310,19 @@ impl Session {
             jobs: self.options.effective_jobs(),
             ..sim_format::ParseOptions::default()
         };
-        let netlist = sim_format::parse_recovering_with(&text, Tech::nmos4um(), &mut diags, &popts)
-            .map_err(|e| {
-                // Nothing was installed, so a re-read-and-re-parse is
-                // safe; on a genuinely bad file the retry fails the
-                // same way and the error stands.
-                self.retry_hint = Some("parse");
-                format!("unrecoverable parse failure in {path}: {e}")
-            })?;
+        let netlist = sim_format::parse_recovering_with(
+            &text,
+            self.techs.nmos4um.clone(),
+            &mut diags,
+            &popts,
+        )
+        .map_err(|e| {
+            // Nothing was installed, so a re-read-and-re-parse is
+            // safe; on a genuinely bad file the retry fails the
+            // same way and the error stands.
+            self.retry_hint = Some("parse");
+            format!("unrecoverable parse failure in {path}: {e}")
+        })?;
         let errors = diags.error_count();
         self.install(Design::new(netlist));
         let d = self.design.as_ref().expect("just installed");
@@ -259,7 +343,7 @@ impl Session {
             [other, ..] => return Err(format!("unknown demo config {other:?}")),
         };
         let which = if args == ["small"] { "small" } else { "mips32" };
-        let dp = datapath(Tech::nmos4um(), config);
+        let dp = datapath(self.techs.nmos4um.clone(), config);
         self.install(Design::new(dp.netlist));
         let d = self.design.as_ref().expect("just installed");
         Ok(format!(
@@ -280,6 +364,7 @@ impl Session {
     }
 
     fn cmd_edit(&mut self, args: &[&str]) -> Result<String, String> {
+        let techs = self.techs.clone();
         let design = self.design.as_mut().ok_or("no design loaded")?;
         let (kind, receipt) = match args {
             ["resize", dev, w, l] => {
@@ -332,11 +417,10 @@ impl Session {
                 ("rmdev", design.remove_device(id))
             }
             ["retech", tech] => {
-                let tech = match *tech {
-                    "nmos4um" => Tech::nmos4um(),
-                    "nmos2um" => Tech::nmos2um(),
-                    other => return Err(format!("unknown tech {other:?} (nmos4um|nmos2um)")),
-                };
+                let tech = techs
+                    .get(tech)
+                    .ok_or_else(|| format!("unknown tech {tech:?} (nmos4um|nmos2um)"))?
+                    .clone();
                 ("retech", design.retech(tech))
             }
             _ => {
@@ -531,7 +615,7 @@ fn annotate_recovered(json: &str, kind: &str) -> String {
 /// Extracts the `"revision":<n>` stamp from a reply line, if present
 /// (replies are generated by this module, so plain text scanning is
 /// exact — no reply nests another object with a `revision` key first).
-pub(crate) fn reply_revision(json: &str) -> Option<u64> {
+pub fn reply_revision(json: &str) -> Option<u64> {
     let rest = &json[json.find(r#""revision":"#)? + r#""revision":"#.len()..];
     let end = rest
         .find(|c: char| !c.is_ascii_digit())
@@ -540,7 +624,7 @@ pub(crate) fn reply_revision(json: &str) -> Option<u64> {
 }
 
 /// Extracts the `"fingerprint":"0x..."` stamp from a reply line.
-pub(crate) fn reply_fingerprint(json: &str) -> Option<String> {
+pub fn reply_fingerprint(json: &str) -> Option<String> {
     let rest = &json[json.find(r#""fingerprint":""#)? + r#""fingerprint":""#.len()..];
     Some(rest[..rest.find('"')?].to_string())
 }

@@ -124,4 +124,20 @@ echo "== fault fuzz smoke: tv fuzz --faults =="
 # fault must be absorbed, recovered, or loud — never a quiet corruption.
 cargo run --release --offline --bin tv -- fuzz --faults
 
+echo "== serve smoke: tv client vs golden over a live server =="
+# Start a real `tv serve` on a unix socket, replay the committed client
+# script against it, and diff the transcript against the golden — the
+# serving plane's bit-identity promise (client transcript == `tv batch`
+# transcript) checked end to end over an actual socket.
+serve_sock="$(mktemp -u /tmp/tv-serve.XXXXXX.sock)"
+./target/release/tv serve --unix "$serve_sock" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_sock" "$trace_file" "$ingest_sim"; rm -rf "$ingest_dir"' EXIT
+for _ in $(seq 1 100); do [ -S "$serve_sock" ] && break; sleep 0.1; done
+[ -S "$serve_sock" ] || { echo "serve smoke: server socket never appeared"; exit 1; }
+./target/release/tv client --unix "$serve_sock" tests/data/serve_smoke.txt \
+  | diff -u tests/data/serve_smoke.golden -
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+
 echo "verify: OK"

@@ -16,6 +16,9 @@
 //! tv demo    [--jobs N]            # analyze a built-in MIPS-class datapath
 //! tv session [--journal F | --resume F] # long-lived REPL, crash-safe with a journal
 //! tv batch   <script> [--resume F] # replay a session script deterministically
+//! tv serve   [--listen ADDR | --unix PATH] # multi-tenant session server
+//! tv client  [--connect ADDR | --unix PATH] [script] # replay a script remotely
+//! tv loadgen [--connect ADDR | --unix PATH] <script> # concurrent load + percentiles
 //! tv fuzz    [--iters N] [--seed S] [--faults] # deterministic ingest/fault fuzzing
 //! tv chaos   [--seeds N]           # seeded fault sweeps over a golden workload
 //! tv trace-check <trace.json>      # validate a Chrome trace written by --trace
@@ -98,6 +101,19 @@ const USAGE: &str = "usage:
              [--resume FILE]         replay a journal to its exact state, then continue
   tv batch   <script> [engine flags] replay a session script from a file
              [--resume FILE]         resume a journal before running the script
+  tv serve   [--listen ADDR]         serve sessions over TCP (default 127.0.0.1:7683)
+             [--unix PATH]           ... or over a unix socket instead
+             [--max-sessions N]      global concurrent-session cap (default 64)
+             [--max-tenant N]        per-tenant session cap (default 8)
+             [--journal-dir DIR]     crash-safe per-tenant journals + resume
+  tv client  [--connect ADDR | --unix PATH] [script]
+             [--tenant NAME]         tenant identity (default \"cli\")
+                                     replay a script (or stdin) against a server;
+                                     the transcript matches `tv batch` exactly
+  tv loadgen [--connect ADDR | --unix PATH] <script>
+             [--clients N]           concurrent connections (default 8)
+             [--repeat N]            script replays per client (default 1)
+                                     prints one JSON object: throughput + p50/p95/p99
   tv fuzz    [--iters N] [--seed S] [--faults]
                                      --faults drives seeded fault plans through
                                      random session scripts
@@ -474,6 +490,101 @@ fn run_inner(args: &[String]) -> Result<u8, TvError> {
             })?;
             Ok(code)
         }
+        "serve" => {
+            let (listen, unix, config) = parse_serve(&args[1..])?;
+            let handle = match (listen, unix) {
+                (Some(_), Some(_)) => {
+                    return Err(TvError::Usage(
+                        "--listen and --unix are mutually exclusive".into(),
+                    ))
+                }
+                #[cfg(unix)]
+                (None, Some(path)) => nmos_tv::serve::server::serve_unix(&path, config),
+                #[cfg(not(unix))]
+                (None, Some(_)) => {
+                    return Err(TvError::Usage(
+                        "--unix is not available on this platform".into(),
+                    ))
+                }
+                (listen, None) => nmos_tv::serve::server::serve_tcp(
+                    listen.as_deref().unwrap_or("127.0.0.1:7683"),
+                    config,
+                ),
+            }
+            .map_err(|e| TvError::Io {
+                path: "<listener>".into(),
+                source: e,
+            })?;
+            // The banner goes to stderr so scripted callers parsing
+            // stdout see nothing until they connect.
+            eprintln!("tv serve: listening on {}", handle.endpoint());
+            handle.wait();
+            Ok(EXIT_CLEAN)
+        }
+        "client" => {
+            let (flags, rest) = split_flags(&args[1..]);
+            let (endpoint, tenant, limits) = parse_client(&flags)?;
+            let mut stream = endpoint.connect().map_err(|e| TvError::Io {
+                path: endpoint.to_string(),
+                source: e,
+            })?;
+            let mut out = std::io::stdout();
+            let result = match rest.as_slice() {
+                [] => {
+                    let stdin = std::io::stdin();
+                    nmos_tv::serve::client::run_client(
+                        &mut stream,
+                        &tenant,
+                        limits,
+                        stdin.lock(),
+                        &mut out,
+                    )
+                }
+                [script] => {
+                    let text = std::fs::read_to_string(script).map_err(|e| TvError::Io {
+                        path: script.clone(),
+                        source: e,
+                    })?;
+                    nmos_tv::serve::client::run_client(
+                        &mut stream,
+                        &tenant,
+                        limits,
+                        std::io::Cursor::new(text),
+                        &mut out,
+                    )
+                }
+                _ => return Err(TvError::Usage("client takes at most one <script>".into())),
+            };
+            match result {
+                Ok(code) => Ok(code),
+                Err(e) => {
+                    eprintln!("tv client: {e}");
+                    Ok(EXIT_FAILURE)
+                }
+            }
+        }
+        "loadgen" => {
+            let (flags, rest) = split_flags(&args[1..]);
+            let (endpoint, config) = parse_loadgen(&flags)?;
+            let [script] = rest.as_slice() else {
+                return Err(TvError::Usage("loadgen needs <script>".into()));
+            };
+            let text = std::fs::read_to_string(script).map_err(|e| TvError::Io {
+                path: script.clone(),
+                source: e,
+            })?;
+            let lines: Vec<String> = text.lines().map(str::to_string).collect();
+            match nmos_tv::serve::loadgen::run_loadgen(&endpoint, &lines, &config) {
+                Ok(report) => {
+                    println!("{}", report.render_json());
+                    Ok(EXIT_CLEAN)
+                }
+                Err(msg) => {
+                    eprintln!("tv loadgen: {msg}");
+                    Ok(EXIT_FAILURE)
+                }
+            }
+        }
         "chaos" => {
             let (seeds, options) = parse_chaos(&args[1..])?;
             let report = nmos_tv::chaos::run_chaos(seeds, &options).map_err(|e| TvError::Io {
@@ -643,6 +754,15 @@ fn takes_value(flag: &str) -> bool {
             | "--journal"
             | "--resume"
             | "--fault-seed"
+            | "--listen"
+            | "--unix"
+            | "--connect"
+            | "--max-sessions"
+            | "--max-tenant"
+            | "--journal-dir"
+            | "--tenant"
+            | "--clients"
+            | "--repeat"
     )
 }
 
@@ -805,6 +925,189 @@ fn parse_gen(args: &[String]) -> Result<(usize, Option<String>), TvError> {
         }
     }
     Ok((cores, out))
+}
+
+/// Serve flags: where to listen plus the admission caps, the journal
+/// directory, and the engine ceilings hosted sessions start from.
+#[allow(clippy::type_complexity)]
+fn parse_serve(
+    args: &[String],
+) -> Result<(Option<String>, Option<String>, nmos_tv::serve::ServeConfig), TvError> {
+    let mut listen = None;
+    let mut unix = None;
+    let mut config = nmos_tv::serve::ServeConfig::default();
+    let mut fl = Flags::new(args);
+    while let Some(flag) = fl.next_flag() {
+        match flag {
+            "--listen" => listen = Some(fl.value(flag)?.to_string()),
+            "--unix" => unix = Some(fl.value(flag)?.to_string()),
+            "--max-sessions" => {
+                config.max_sessions = fl.parsed(flag, "session cap")?;
+                if config.max_sessions == 0 {
+                    return Err(TvError::Usage("session cap must be positive".into()));
+                }
+            }
+            "--max-tenant" => {
+                config.max_per_tenant = fl.parsed(flag, "tenant cap")?;
+                if config.max_per_tenant == 0 {
+                    return Err(TvError::Usage("tenant cap must be positive".into()));
+                }
+            }
+            "--journal-dir" => {
+                let v = fl.value(flag)?.to_string();
+                config.journal_dir = Some(file_operand(flag, Some(&v))?);
+            }
+            "--jobs" => config.options.jobs = fl.parsed(flag, "job count")?,
+            "--max-errors" => config.max_errors = fl.parsed(flag, "error cap")?,
+            "--relax-budget" => {
+                config.options.relax_budget = Some(fl.parsed(flag, "relaxation budget")?)
+            }
+            "--deadline" => {
+                let secs: f64 = fl.parsed(flag, "deadline")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(TvError::Usage(format!(
+                        "deadline must be positive, got {secs:?}"
+                    )));
+                }
+                config.options.deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--max-nodes" => config.options.max_nodes = Some(fl.parsed(flag, "node limit")?),
+            "--max-arcs" => config.options.max_arcs = Some(fl.parsed(flag, "arc limit")?),
+            "--profile" => {}
+            "--trace" | "--metrics" => {
+                let v = fl.value(flag)?.to_string();
+                file_operand(flag, Some(&v))?;
+            }
+            "--fault-seed" => {
+                fl.value(flag)?;
+            }
+            other => return Err(TvError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    Ok((listen, unix, config))
+}
+
+/// Resolves the client-side `--connect ADDR` / `--unix PATH` pair into
+/// an [`Endpoint`](nmos_tv::serve::server::Endpoint). Exactly one may be
+/// given; neither means the default TCP address `tv serve` binds.
+fn parse_endpoint(
+    connect: Option<String>,
+    unix: Option<String>,
+) -> Result<nmos_tv::serve::server::Endpoint, TvError> {
+    use std::net::ToSocketAddrs;
+    match (connect, unix) {
+        (Some(_), Some(_)) => Err(TvError::Usage(
+            "--connect and --unix are mutually exclusive".into(),
+        )),
+        #[cfg(unix)]
+        (None, Some(path)) => Ok(nmos_tv::serve::server::Endpoint::Unix(path.into())),
+        #[cfg(not(unix))]
+        (None, Some(_)) => Err(TvError::Usage(
+            "--unix is not available on this platform".into(),
+        )),
+        (connect, None) => {
+            let spec = connect.unwrap_or_else(|| "127.0.0.1:7683".into());
+            let addr = spec
+                .to_socket_addrs()
+                .map_err(|_| TvError::Usage(format!("cannot resolve address {spec:?}")))?
+                .next()
+                .ok_or_else(|| TvError::Usage(format!("cannot resolve address {spec:?}")))?;
+            Ok(nmos_tv::serve::server::Endpoint::Tcp(addr))
+        }
+    }
+}
+
+/// Client flags: the endpoint, the tenant identity, and the resource
+/// asks (`--relax-budget`, `--deadline`, `--max-nodes`) forwarded in
+/// `hello` — the server clamps them against its own ceilings.
+fn parse_client(
+    args: &[String],
+) -> Result<
+    (
+        nmos_tv::serve::server::Endpoint,
+        String,
+        nmos_tv::proto::Limits,
+    ),
+    TvError,
+> {
+    let mut connect = None;
+    let mut unix = None;
+    let mut tenant = "cli".to_string();
+    let mut limits = nmos_tv::proto::Limits::default();
+    let mut fl = Flags::new(args);
+    while let Some(flag) = fl.next_flag() {
+        match flag {
+            "--connect" => connect = Some(fl.value(flag)?.to_string()),
+            "--unix" => unix = Some(fl.value(flag)?.to_string()),
+            "--tenant" => tenant = fl.value(flag)?.to_string(),
+            "--relax-budget" => limits.relax_budget = Some(fl.parsed(flag, "relaxation budget")?),
+            "--deadline" => {
+                let secs: f64 = fl.parsed(flag, "deadline")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(TvError::Usage(format!(
+                        "deadline must be positive, got {secs:?}"
+                    )));
+                }
+                limits.deadline_ms = Some((secs * 1000.0).ceil() as u64);
+            }
+            "--max-nodes" => limits.max_nodes = Some(fl.parsed(flag, "node limit")?),
+            "--profile" => {}
+            "--trace" | "--metrics" => {
+                let v = fl.value(flag)?.to_string();
+                file_operand(flag, Some(&v))?;
+            }
+            "--fault-seed" => {
+                fl.value(flag)?;
+            }
+            other => return Err(TvError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    Ok((parse_endpoint(connect, unix)?, tenant, limits))
+}
+
+/// Loadgen flags: the endpoint plus the run shape (`--clients`,
+/// `--repeat`).
+fn parse_loadgen(
+    args: &[String],
+) -> Result<
+    (
+        nmos_tv::serve::server::Endpoint,
+        nmos_tv::serve::loadgen::LoadgenConfig,
+    ),
+    TvError,
+> {
+    let mut connect = None;
+    let mut unix = None;
+    let mut config = nmos_tv::serve::loadgen::LoadgenConfig::default();
+    let mut fl = Flags::new(args);
+    while let Some(flag) = fl.next_flag() {
+        match flag {
+            "--connect" => connect = Some(fl.value(flag)?.to_string()),
+            "--unix" => unix = Some(fl.value(flag)?.to_string()),
+            "--clients" => {
+                config.clients = fl.parsed(flag, "client count")?;
+                if config.clients == 0 {
+                    return Err(TvError::Usage("client count must be positive".into()));
+                }
+            }
+            "--repeat" => {
+                config.repeat = fl.parsed(flag, "repeat count")?;
+                if config.repeat == 0 {
+                    return Err(TvError::Usage("repeat count must be positive".into()));
+                }
+            }
+            "--profile" => {}
+            "--trace" | "--metrics" => {
+                let v = fl.value(flag)?.to_string();
+                file_operand(flag, Some(&v))?;
+            }
+            "--fault-seed" => {
+                fl.value(flag)?;
+            }
+            other => return Err(TvError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    Ok((parse_endpoint(connect, unix)?, config))
 }
 
 /// Chaos flags: the sweep size and the engine's worker count (the one

@@ -18,6 +18,12 @@
 //!   cut after a seed-dependent prefix (odd seeds also get a torn
 //!   garbage tail), resumed, and fed the rest of the workload; every
 //!   subsequent reply must be byte-identical to the uninterrupted run.
+//! * **The serving plane holds too.** Every seed is additionally swept
+//!   against a 2-client workload served by an in-process `tv serve`
+//!   (the clients run sequentially so fault attribution stays
+//!   deterministic); the `accept`/`frame_read`/`frame_write` sites
+//!   must be absorbed by the platform's bounded retries, and the
+//!   engine sites must classify exactly as they do in-process.
 //!
 //! The summary is deterministic — per-site outcome tallies, no paths,
 //! no times — so `tests/data/chaos_smoke.golden` pins it in CI.
@@ -79,6 +85,12 @@ pub struct ChaosReport {
     pub resume_checked: u64,
     /// Resume checks that also exercised a torn journal tail.
     pub resume_torn: u64,
+    /// Commands in the served workload (per client, excluding `quit`).
+    pub serve_commands: usize,
+    /// Served 2-client sweeps executed (one per seed).
+    pub serve_checked: u64,
+    /// Outcomes of the served sweeps per fault site.
+    pub serve_by_site: BTreeMap<&'static str, SiteTally>,
     /// Contract violations; an empty list is a passing sweep.
     pub violations: Vec<String>,
 }
@@ -101,6 +113,18 @@ impl fmt::Display for ChaosReport {
             writeln!(
                 f,
                 "site {site}: absorbed={} recovered={} loud={} not_triggered={}",
+                t.absorbed, t.recovered, t.loud, t.not_triggered
+            )?;
+        }
+        writeln!(
+            f,
+            "serve: clients=2 commands={} checked={}",
+            self.serve_commands, self.serve_checked
+        )?;
+        for (site, t) in &self.serve_by_site {
+            writeln!(
+                f,
+                "serve site {site}: absorbed={} recovered={} loud={} not_triggered={}",
                 t.absorbed, t.recovered, t.loud, t.not_triggered
             )?;
         }
@@ -137,6 +161,53 @@ pub fn workload(sim_path: &str) -> Vec<String> {
         "edit resize m0 6 2".into(),
         "analyze".into(),
     ]
+}
+
+/// The served workload each of the two chaos clients replays: demo,
+/// warm/cold analyzes, a parametric edit, and queries — enough traffic
+/// to cross every frame boundary several times per connection.
+pub fn serve_workload() -> Vec<String> {
+    vec![
+        "demo small".into(),
+        "analyze".into(),
+        "edit resize pu_wq0 6 2".into(),
+        "analyze".into(),
+        "flow".into(),
+        "revision".into(),
+    ]
+}
+
+/// Starts an in-process server, runs the 2 chaos clients *sequentially*
+/// against it (concurrent clients would make which one absorbs a fault
+/// schedule-dependent, and the summary is a golden), and returns their
+/// concatenated transcripts plus the worst client exit code.
+fn run_serve_pair(script: &[String]) -> Result<(Vec<String>, u8), String> {
+    let handle = tv_serve::server::serve_tcp("127.0.0.1:0", tv_serve::ServeConfig::default())
+        .map_err(|e| format!("cannot bind loopback server: {e}"))?;
+    let mut replies = Vec::new();
+    let mut code = 0u8;
+    for tenant in ["chaos-a", "chaos-b"] {
+        let mut stream = handle
+            .endpoint()
+            .connect()
+            .map_err(|e| format!("cannot connect: {e}"))?;
+        let mut input = script.join("\n");
+        input.push_str("\nquit\n");
+        let mut out = Vec::new();
+        let c = tv_serve::client::run_client(
+            &mut stream,
+            tenant,
+            tv_proto::Limits::default(),
+            Cursor::new(input),
+            &mut out,
+        )
+        .map_err(|e| format!("client {tenant}: {e}"))?;
+        code = code.max(c);
+        let text = String::from_utf8(out).map_err(|_| "non-UTF-8 transcript".to_string())?;
+        replies.extend(text.lines().map(str::to_string));
+    }
+    handle.stop();
+    Ok((replies, code))
 }
 
 /// Runs `commands` (plus a trailing `quit`) through one session and
@@ -274,6 +345,7 @@ pub fn run_chaos(seeds: u64, options: &AnalysisOptions) -> std::io::Result<Chaos
     let demo = datapath(Tech::nmos4um(), DatapathConfig::small());
     std::fs::write(&sim_path, sim_format::write(&demo.netlist))?;
     let script = workload(&sim_path);
+    let serve_script = serve_workload();
 
     let mut report = ChaosReport {
         seeds,
@@ -284,6 +356,12 @@ pub fn run_chaos(seeds: u64, options: &AnalysisOptions) -> std::io::Result<Chaos
             .collect(),
         resume_checked: 0,
         resume_torn: 0,
+        serve_commands: serve_script.len(),
+        serve_checked: 0,
+        serve_by_site: tv_fault::SITES
+            .iter()
+            .map(|s| (s.name(), SiteTally::default()))
+            .collect(),
         violations: Vec::new(),
     };
 
@@ -368,6 +446,56 @@ pub fn run_chaos(seeds: u64, options: &AnalysisOptions) -> std::io::Result<Chaos
                 ));
             }
         }
+
+        // Phase 3: the serving plane. The same seeds sweep a 2-client
+        // served workload, so the accept/frame_read/frame_write sites
+        // (and the engine sites, now behind a socket) face the same
+        // contract: absorbed, recovered, or loud — never silent.
+        tv_fault::disarm();
+        let (serve_base, serve_base_code) = match run_serve_pair(&serve_script) {
+            Ok(r) => r,
+            Err(e) => {
+                report
+                    .violations
+                    .push(format!("fault-free serve baseline failed: {e}"));
+                return Ok(());
+            }
+        };
+        if serve_base_code != 0 {
+            report.violations.push(format!(
+                "fault-free serve baseline failed with exit code {serve_base_code}"
+            ));
+            return Ok(());
+        }
+        for seed in 0..seeds {
+            let plan = FaultPlan::from_seed(seed);
+            let site = plan.site.name();
+            tv_fault::arm(plan);
+            let attempt = catch_unwind(AssertUnwindSafe(|| run_serve_pair(&serve_script)));
+            let fired = tv_fault::fired();
+            tv_fault::disarm();
+            let outcome = match attempt {
+                Err(_) => Outcome::Violation("panic escaped the serving plane".into()),
+                Ok(Err(e)) => Outcome::Violation(format!("serve client error: {e}")),
+                Ok(Ok((replies, code))) => {
+                    classify(&serve_base, serve_base_code, &replies, code, fired)
+                }
+            };
+            report.serve_checked += 1;
+            let tally = report
+                .serve_by_site
+                .get_mut(site)
+                .expect("all sites tallied");
+            match outcome {
+                Outcome::NotTriggered => tally.not_triggered += 1,
+                Outcome::Absorbed => tally.absorbed += 1,
+                Outcome::Recovered => tally.recovered += 1,
+                Outcome::Loud => tally.loud += 1,
+                Outcome::Violation(v) => report
+                    .violations
+                    .push(format!("serve seed {seed} site {site}: {v}")),
+            }
+        }
         Ok(())
     })?;
 
@@ -415,6 +543,29 @@ mod tests {
             classify(&base, 0, &silent, 0, true),
             Outcome::Violation(_)
         ));
+    }
+
+    #[test]
+    fn classify_treats_typed_session_codes_as_loud_not_fatal() {
+        // An unknown command (or an abandoned panicking one) is a typed
+        // `ok:false` reply — TV0601/TV0603 — and the session keeps
+        // serving; the classifier must read that as a loud, honest
+        // failure, never a violation, as long as the exit code agrees.
+        let base = vec![
+            r#"{"ok":true,"cmd":"revision","revision":1}"#.to_string(),
+            r#"{"ok":true,"cmd":"quit"}"#.to_string(),
+        ];
+        for code in ["TV0601", "TV0602", "TV0603"] {
+            let loud = vec![
+                format!(r#"{{"ok":false,"code":"{code}","error":"unknown command \"warp\""}}"#),
+                r#"{"ok":true,"cmd":"quit"}"#.to_string(),
+            ];
+            assert_eq!(
+                classify(&base, 0, &loud, 1, true),
+                Outcome::Loud,
+                "{code} must classify loud"
+            );
+        }
     }
 
     // Sweeps that actually arm the (process-global) fault plane live in

@@ -21,6 +21,8 @@
 //! | [`gen`] | `tv-gen` | benchmark circuit generators |
 //! | [`obs`] | `tv-obs` | deterministic counters, spans, trace profiler |
 //! | [`fault`] | `tv-fault` | seeded fault-injection plane for chaos testing |
+//! | [`proto`] | `tv-proto` | versioned, framed wire protocol for serving |
+//! | [`serve`] | `tv-serve` | sessions, journal, multi-tenant server, client, loadgen |
 //!
 //! # Quickstart
 //!
@@ -51,8 +53,6 @@
 
 pub mod chaos;
 pub mod fuzz;
-pub mod journal;
-pub mod session;
 
 pub use tv_clocks as clocks;
 pub use tv_core as core;
@@ -61,5 +61,8 @@ pub use tv_flow as flow;
 pub use tv_gen as gen;
 pub use tv_netlist as netlist;
 pub use tv_obs as obs;
+pub use tv_proto as proto;
 pub use tv_rc as rc;
+pub use tv_serve as serve;
+pub use tv_serve::{journal, session};
 pub use tv_sim as sim;

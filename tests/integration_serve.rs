@@ -1,0 +1,305 @@
+//! Serving-plane integration suite: the wire protocol's promises,
+//! end to end over real sockets.
+//!
+//! Four guarantees from the PR 10 design are pinned here:
+//!
+//! 1. **Version negotiation** — a client speaking the wrong protocol
+//!    version is refused with the typed `TV0701` error frame, never a
+//!    hang or a silent close.
+//! 2. **Serving bit-identity** — eight concurrent clients replaying the
+//!    committed smoke script each receive a transcript byte-identical
+//!    to what `tv batch` prints locally, at `--jobs 1`, `2`, and `8`.
+//!    Concurrency, framing, and scheduling must not leak into replies.
+//! 3. **Admission control** — a full server answers with the typed
+//!    `TV0702` busy frame and counts `serve.rejected`; capacity frees
+//!    on disconnect.
+//! 4. **Durability** — with `--journal-dir`, a tenant whose connection
+//!    dies mid-session reconnects, `hello_ok` reports the replayed
+//!    entry count, and the resumed session analyzes to the same
+//!    fingerprint the lost connection had.
+
+use std::io::Read as _;
+use std::process::Command;
+
+use nmos_tv::proto::{self, codes, Frame, Limits};
+use nmos_tv::serve::client;
+use nmos_tv::serve::server::{serve_tcp, Endpoint, ServeConfig, ServerHandle};
+
+/// The committed smoke script both `tv batch` and the served clients
+/// replay.
+const SMOKE: &str = "tests/data/session_smoke.txt";
+
+fn start(config: ServeConfig) -> ServerHandle {
+    serve_tcp("127.0.0.1:0", config).expect("bind loopback server")
+}
+
+fn connect(endpoint: &Endpoint) -> nmos_tv::serve::server::Stream {
+    endpoint.connect().expect("connect to test server")
+}
+
+/// What the installed `tv batch` binary prints for `script` — the
+/// local ground truth the served transcripts must match byte for byte.
+fn batch_transcript(script: &str, jobs: usize) -> (String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_tv"))
+        .args(["batch", script, "--jobs", &jobs.to_string()])
+        .output()
+        .expect("run tv batch");
+    (
+        String::from_utf8(out.stdout).expect("batch output is UTF-8"),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn wrong_protocol_version_is_refused_with_typed_code() {
+    let handle = start(ServeConfig::default());
+    let mut s = connect(handle.endpoint());
+    proto::write_frame(
+        &mut s,
+        &Frame::Hello {
+            proto: proto::VERSION + 1,
+            tenant: "future".into(),
+            client: "test".into(),
+            limits: Limits::default(),
+        },
+    )
+    .expect("send hello");
+    match proto::read_frame(&mut s).expect("read refusal") {
+        Some(Frame::Error { code, message }) => {
+            assert_eq!(code, codes::VERSION_MISMATCH, "refusal: {message}");
+            assert!(
+                message.contains(&proto::VERSION.to_string()),
+                "the refusal must name the server's version: {message}"
+            );
+        }
+        other => panic!("expected a typed version refusal, got {other:?}"),
+    }
+    // The refusal closes the connection.
+    let mut rest = Vec::new();
+    let _ = s.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "nothing follows a refusal");
+    handle.stop();
+}
+
+#[test]
+fn first_frame_must_be_hello() {
+    let handle = start(ServeConfig::default());
+    let mut s = connect(handle.endpoint());
+    proto::write_frame(
+        &mut s,
+        &Frame::Request {
+            id: 1,
+            line: "revision".into(),
+        },
+    )
+    .expect("send early request");
+    match proto::read_frame(&mut s).expect("read refusal") {
+        Some(Frame::Error { code, .. }) => assert_eq!(code, codes::HELLO_REQUIRED),
+        other => panic!("expected hello_required, got {other:?}"),
+    }
+    handle.stop();
+}
+
+#[test]
+fn unknown_command_gets_a_typed_session_error() {
+    let handle = start(ServeConfig::default());
+    let mut s = connect(handle.endpoint());
+    client::handshake(&mut s, "typed", Limits::default()).expect("admitted");
+    let (body, ok) = client::request(&mut s, 1, "demo small").expect("demo");
+    assert!(ok, "demo small failed: {body}");
+    let (body, ok) = client::request(&mut s, 2, "frobnicate the flux").expect("reply");
+    assert!(!ok, "unknown command must fail: {body}");
+    assert!(
+        body.contains(r#""code":"TV0601""#),
+        "failure reply must carry the unknown-command code: {body}"
+    );
+    // The session survives the bad command: the design loaded before it
+    // is still there.
+    let (body, ok) = client::request(&mut s, 3, "revision").expect("reply after error");
+    assert!(ok, "session must stay usable: {body}");
+    // stop() joins connection threads, so the connection must close first.
+    drop(s);
+    handle.stop();
+}
+
+#[test]
+fn concurrent_clients_match_tv_batch_at_every_jobs() {
+    let script = std::fs::read_to_string(SMOKE).expect("committed smoke script");
+    for jobs in [1usize, 2, 8] {
+        let (expected, batch_ok) = batch_transcript(SMOKE, jobs);
+        assert!(batch_ok, "the smoke script must replay cleanly locally");
+        let mut config = ServeConfig::default();
+        config.options.jobs = jobs;
+        let handle = start(config);
+        let endpoint = handle.endpoint().clone();
+        std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let script = script.as_str();
+                    let endpoint = &endpoint;
+                    sc.spawn(move || {
+                        let mut stream = connect(endpoint);
+                        let mut out = Vec::new();
+                        let code = client::run_client(
+                            &mut stream,
+                            &format!("ident-{i}"),
+                            Limits::default(),
+                            std::io::Cursor::new(script),
+                            &mut out,
+                        )
+                        .expect("client run");
+                        (code, String::from_utf8(out).expect("UTF-8 transcript"))
+                    })
+                })
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                let (code, transcript) = h.join().expect("client thread");
+                assert_eq!(code, 0, "client {i} at jobs={jobs} failed");
+                assert_eq!(
+                    transcript, expected,
+                    "client {i} at jobs={jobs} diverged from tv batch"
+                );
+            }
+        });
+        handle.stop();
+    }
+}
+
+#[test]
+fn admission_cap_answers_typed_busy_and_counts_it() {
+    nmos_tv::obs::counters::set_enabled(true);
+    let handle = start(ServeConfig {
+        max_sessions: 1,
+        ..ServeConfig::default()
+    });
+    let mut holder = connect(handle.endpoint());
+    client::handshake(&mut holder, "holder", Limits::default()).expect("holder admitted");
+    let before = nmos_tv::obs::snapshot();
+    let mut prober = connect(handle.endpoint());
+    match client::handshake(&mut prober, "prober", Limits::default()) {
+        Err(client::ClientError::Refused { code, message }) => {
+            assert_eq!(code, codes::BUSY, "refusal: {message}");
+        }
+        other => panic!("one-slot server admitted a second session: {other:?}"),
+    }
+    let delta = nmos_tv::obs::snapshot().since(&before);
+    assert!(
+        delta.get(nmos_tv::obs::Counter::ServeRejected) >= 1,
+        "the rejection must count serve.rejected"
+    );
+    // Freeing the slot readmits.
+    drop(holder);
+    let readmitted = (0..50).any(|_| {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let mut s = connect(handle.endpoint());
+        client::handshake(&mut s, "prober", Limits::default()).is_ok()
+    });
+    assert!(readmitted, "a freed slot must readmit within 500ms");
+    drop(prober);
+    handle.stop();
+}
+
+#[test]
+fn per_tenant_limits_clamp_against_server_ceiling() {
+    // A tenant asking for max_nodes=1 gets a session whose analyze is
+    // refused by the input-size guard, and the refusal names the
+    // clamped limit — proof the hello asks reach the engine.
+    let handle = start(ServeConfig::default());
+    let mut s = connect(handle.endpoint());
+    client::handshake(
+        &mut s,
+        "clamped",
+        Limits {
+            max_nodes: Some(1),
+            ..Limits::default()
+        },
+    )
+    .expect("admitted");
+    let (body, ok) = client::request(&mut s, 1, "demo small").expect("demo");
+    assert!(ok, "demo itself is not analysis: {body}");
+    let (body, ok) = client::request(&mut s, 2, "analyze").expect("analyze");
+    assert!(!ok, "a one-node budget must refuse the analysis: {body}");
+    assert!(
+        body.contains("limit of 1"),
+        "the refusal must name the hello-clamped budget: {body}"
+    );
+    drop(s);
+    handle.stop();
+}
+
+#[test]
+fn journal_backed_reconnect_resumes_the_session() {
+    let dir = std::env::temp_dir().join(format!("tv-serve-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp journal dir");
+    let handle = start(ServeConfig {
+        journal_dir: Some(dir.display().to_string()),
+        ..ServeConfig::default()
+    });
+
+    // First life: build state, then vanish without bye.
+    let fingerprint = {
+        let mut s = connect(handle.endpoint());
+        let resumed = client::handshake(&mut s, "phoenix", Limits::default()).expect("first admit");
+        assert_eq!(resumed, 0, "a fresh tenant has nothing to resume");
+        for (id, cmd) in ["demo small", "edit resize pu_wq0 6 2"].iter().enumerate() {
+            let (body, ok) = client::request(&mut s, id as u64 + 1, cmd).expect("command");
+            assert!(ok, "{cmd} failed: {body}");
+        }
+        let (body, ok) = client::request(&mut s, 3, "analyze").expect("analyze");
+        assert!(ok, "analyze failed: {body}");
+        let fp = body
+            .split(r#""fingerprint":""#)
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .expect("analyze reply carries a fingerprint")
+            .to_string();
+        drop(s); // the connection dies, no bye
+        fp
+    };
+
+    // Second life: the journal replays and the state is provably back.
+    let mut s = loop {
+        // The dead connection's admission slot may take a moment to
+        // release (journaling forces one session per tenant).
+        let mut s = connect(handle.endpoint());
+        match client::handshake(&mut s, "phoenix", Limits::default()) {
+            Ok(resumed) => {
+                assert_eq!(resumed, 3, "demo + edit + analyze must replay");
+                break s;
+            }
+            Err(client::ClientError::Refused { code, .. }) if code == codes::BUSY => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(e) => panic!("reconnect failed: {e}"),
+        }
+    };
+    let (body, ok) = client::request(&mut s, 1, "analyze").expect("analyze after resume");
+    assert!(ok, "resumed analyze failed: {body}");
+    assert!(
+        body.contains(&format!(r#""fingerprint":"{fingerprint}""#)),
+        "resumed session must reach the lost connection's fingerprint \
+         {fingerprint}: {body}"
+    );
+    let (body, ok) = client::request(&mut s, 2, "revision").expect("revision");
+    assert!(ok && body.contains(r#""revision":1"#), "revision: {body}");
+
+    drop(s);
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn frames_too_large_are_refused_before_allocation() {
+    let handle = start(ServeConfig::default());
+    let mut s = connect(handle.endpoint());
+    use std::io::Write as _;
+    // A hand-built length prefix claiming 2 MiB.
+    let prefix = ((2u32 << 20) + 1).to_be_bytes();
+    s.write_all(&prefix).expect("write prefix");
+    s.flush().expect("flush");
+    match proto::read_frame(&mut s).expect("read refusal") {
+        Some(Frame::Error { code, .. }) => assert_eq!(code, codes::FRAME_TOO_LARGE),
+        other => panic!("expected frame_too_large, got {other:?}"),
+    }
+    handle.stop();
+}
